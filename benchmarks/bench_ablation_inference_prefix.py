@@ -1,0 +1,55 @@
+"""Ablation: type-inference prefix size N (§3.1 design choice).
+
+The ingest pipeline infers column types from the first N records; a bad
+value past the prefix triggers the ALTER-to-string fallback.  Small N is
+cheap but reverts more columns (typed data silently becomes strings);
+large N costs more inspection for diminishing returns.
+"""
+
+import random
+
+from repro.engine.database import Database
+from repro.ingest.ingestor import Ingestor
+from repro.reporting import format_table
+from repro.synth import datagen
+
+
+def _ingest_all(prefix_records, uploads):
+    reverted = 0
+    typed_columns = 0
+    db = Database()
+    ingestor = Ingestor(db, prefix_records=prefix_records)
+    for index, upload in enumerate(uploads):
+        report = ingestor.ingest_text("t%d" % index, upload.text)
+        reverted += len(set(report.reverted_columns))
+        typed_columns += sum(
+            1 for t in report.column_types.values() if t.value != "varchar"
+        )
+    return reverted, typed_columns
+
+
+def test_ablation_inference_prefix(benchmark, report):
+    rng = random.Random(99)
+    uploads = [
+        datagen.generate_upload(rng, domain, rows=120)
+        for domain in ("oceanography", "genomics", "ecology", "social", "lab")
+        for _ in range(8)
+    ]
+    rows = []
+    for prefix in (5, 20, 100, 1000):
+        reverted, typed = _ingest_all(prefix, uploads)
+        rows.append((prefix, reverted, typed))
+    # Time the paper's default (N=100).
+    benchmark.pedantic(_ingest_all, args=(100, uploads), rounds=1, iterations=1)
+    text = format_table(
+        ["prefix N", "columns reverted via ALTER", "typed columns kept"],
+        rows,
+        title="Ablation: inference prefix size (paper uses prefix inspection "
+              "with ALTER fallback)",
+    )
+    report("ablation_inference_prefix", text)
+    by_prefix = {r[0]: r for r in rows}
+    # More prefix can only reduce (or hold) the fallback count.
+    assert by_prefix[1000][1] <= by_prefix[5][1]
+    # Typing still succeeds broadly at every setting.
+    assert all(r[2] > 0 for r in rows)

@@ -1,0 +1,30 @@
+"""Figure 10: most common physical operators in SDSS plans.
+
+Paper: Compute Scalar dominates (18.0) because of UDF-style scalar
+computation, followed by Clustered Index Seek (16.4), Nested Loops, Sort,
+Index Seek, scans and Top (4.6) — "compared to SQLShare we see fewer
+arithmetic and aggregate operators".
+"""
+
+from repro.analysis import complexity
+from repro.reporting import percent_bars
+
+
+def test_fig10_operator_frequency_sdss(benchmark, sdss_catalog, sqlshare_catalog,
+                                       report):
+    frequency = benchmark(
+        complexity.operator_frequency, sdss_catalog, ignore=()
+    )
+    text = percent_bars(
+        frequency,
+        title="Fig 10: operator frequency, SDSS (paper: Compute Scalar top "
+              "via scalar/UDF computation; fewer aggregates than SQLShare)",
+    )
+    report("fig10_operator_freq_sdss", text)
+    by_name = dict(frequency)
+    assert frequency[0][0] in ("Compute Scalar", "Clustered Index Seek")
+    assert by_name.get("Compute Scalar", 0) > 30.0
+    # The comparative claim: aggregates are relatively less prominent in
+    # SDSS than in SQLShare.
+    sqlshare_by_name = dict(complexity.operator_frequency(sqlshare_catalog))
+    assert by_name.get("Stream Aggregate", 0) < sqlshare_by_name.get("Stream Aggregate", 100)

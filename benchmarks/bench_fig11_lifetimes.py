@@ -1,0 +1,34 @@
+"""Figure 11: dataset lifetimes for the 12 most active users.
+
+Paper: "the great majority of datasets are accessed across a span of less
+than 10 days, but some are accessed across periods of years" — the
+short-lifetime, one-pass workload conventional databases don't serve.
+"""
+
+from repro.analysis import lifetimes
+from repro.reporting import cdf_lines
+
+
+def test_fig11_dataset_lifetimes(benchmark, sqlshare_platform, report):
+    curves = benchmark.pedantic(
+        lifetimes.lifetime_curves, args=(sqlshare_platform,), rounds=1, iterations=1
+    )
+    all_lifetimes = [value for curve in curves.values() for value in curve]
+    lines = [cdf_lines(
+        all_lifetimes,
+        title="Fig 11: dataset lifetime (days) across the 12 most active "
+              "users (paper: majority <10 days, tail of years)",
+    )]
+    for user, curve in sorted(curves.items())[:5]:
+        lines.append("  %s: %d datasets, max %.1f d, median %.1f d" % (
+            user.split("@")[0], len(curve), curve[0], curve[len(curve) // 2],
+        ))
+    text = "\n".join(lines)
+    report("fig11_lifetimes", text)
+    assert all_lifetimes
+    ordered = sorted(all_lifetimes)
+    median = ordered[len(ordered) // 2]
+    longest = ordered[-1]
+    # The paper's shape: short median, long tail.
+    assert median < 45.0
+    assert longest > 90.0

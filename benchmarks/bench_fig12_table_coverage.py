@@ -1,0 +1,37 @@
+"""Figure 12: rate of table coverage over time for the 12 most active users.
+
+Paper: a user who uploads one table at a time and queries it once makes a
+slope-one line; curves above slope one are conventional (upload everything,
+query repeatedly); SQLShare shows both, with the ad hoc, intermingled
+pattern dominating.
+"""
+
+from repro.analysis import lifetimes
+from repro.reporting import format_table
+
+
+def test_fig12_table_coverage(benchmark, sqlshare_platform, report):
+    curves = benchmark.pedantic(
+        lifetimes.coverage_curves, args=(sqlshare_platform,), rounds=1, iterations=1
+    )
+    rows = []
+    slopes = []
+    for user, curve in sorted(curves.items()):
+        if len(curve) < 2:
+            continue
+        slope = lifetimes.coverage_slope(curve)
+        slopes.append(slope)
+        midpoint = curve[len(curve) // 2]
+        rows.append((user.split("@")[0], len(curve), "%.2f" % slope,
+                     "%.0f%%@%.0f%%" % (midpoint[1], midpoint[0])))
+    text = format_table(
+        ["user", "queries", "avg slope", "coverage@midpoint"], rows,
+        title="Fig 12: table coverage for most active users (paper: ad hoc "
+              "slope-one pattern dominates; some conventional early-coverage)",
+    )
+    report("fig12_table_coverage", text)
+    assert slopes
+    # Every curve ends at 100% coverage by construction; the interesting
+    # shape is that uploads intermingle with queries for most users:
+    ad_hoc = sum(1 for slope in slopes if slope <= 1.6)
+    assert ad_hoc >= len(slopes) / 2.0

@@ -1,0 +1,31 @@
+"""Figure 13: the datasets-vs-queries scatter and user classes.
+
+Paper: most users are *exploratory* (roughly as many datasets as queries);
+a few are *analytical* (10-30 tables queried repeatedly, the conventional
+pattern); a cluster of *one-shot* users upload exactly one dataset, write
+1-50 queries and never return.
+"""
+
+from repro.analysis import users
+from repro.reporting import format_kv
+
+
+def test_fig13_user_classification(benchmark, sqlshare_platform, report):
+    points = benchmark(users.user_points, sqlshare_platform)
+    counts = users.category_counts(points)
+    sample = sorted(points, key=lambda p: -p.queries)[:8]
+    lines = [format_kv(counts, title="Fig 13 user classes (paper: exploratory "
+                                     "dominates; analytical minority; one-shot cluster)")]
+    lines.append("  top users (datasets, queries, class):")
+    for point in sample:
+        lines.append("    %-28s %4d %5d  %s" % (
+            point.user.split("@")[0], point.datasets, point.queries, point.category))
+    text = "\n".join(lines)
+    report("fig13_user_classes", text)
+    total = sum(counts.values())
+    assert total >= 3
+    assert counts[users.EXPLORATORY] >= counts[users.ANALYTICAL]
+    assert counts[users.ONE_SHOT] >= 1
+    # One-shot users look like the paper's: one dataset, few queries.
+    one_shots = [p for p in points if p.category == users.ONE_SHOT]
+    assert all(p.queries <= 60 for p in one_shots)

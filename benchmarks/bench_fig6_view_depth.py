@@ -1,0 +1,21 @@
+"""Figure 6: maximum view depth for the most active users.
+
+Paper: among the top-100 users, depths of 1-3 dominate, a meaningful group
+reaches 4-6, and a tail builds chains 8+ views deep.
+"""
+
+from repro.analysis.sharing import SharingSurvey
+from repro.reporting import bar_chart
+
+
+def test_fig6_max_view_depth(benchmark, sqlshare_platform, report):
+    survey = SharingSurvey(sqlshare_platform)
+    histogram = benchmark(survey.view_depth_histogram)
+    text = bar_chart(
+        histogram,
+        title="Fig 6: max view depth, top-100 users (paper: 1-3 dominates, "
+              "then 4-6, tail at 8+)",
+    )
+    report("fig6_view_depth", text)
+    assert sum(histogram.values()) > 0
+    assert histogram["1-3"] >= histogram["8+"]

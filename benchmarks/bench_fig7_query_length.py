@@ -1,0 +1,33 @@
+"""Figure 7: query length distribution, SQLShare vs SDSS.
+
+Paper: both workloads are mostly short, but SQLShare's lengths vary widely
+(hand-written) while SDSS clusters at a few canned lengths (~200 chars);
+SQLShare's tail reaches 11375 characters.
+"""
+
+from repro.analysis import complexity
+from repro.reporting import percent_bars
+
+
+def test_fig7_query_length(benchmark, sqlshare_catalog, sdss_catalog, report):
+    comparison = benchmark(
+        complexity.length_comparison, [sqlshare_catalog, sdss_catalog]
+    )
+    lines = []
+    for label, histogram in comparison.items():
+        lines.append(percent_bars(list(histogram.items()),
+                                  title="Fig 7 (%s)" % label))
+    lines.append(
+        "max SQLShare query length: %d chars (paper: 11375)"
+        % complexity.max_query_length(sqlshare_catalog)
+    )
+    text = "\n".join(lines)
+    report("fig7_query_length", text)
+    sqlshare = comparison["sqlshare"]
+    sdss = comparison["sdss"]
+    # Both workloads are dominated by short queries...
+    assert sqlshare["<100"] + sqlshare["100-500"] > 80.0
+    assert sdss["<100"] + sdss["100-500"] > 80.0
+    # ...and each bucket sums to a distribution.
+    assert abs(sum(sqlshare.values()) - 100.0) < 1e-6
+    assert abs(sum(sdss.values()) - 100.0) < 1e-6

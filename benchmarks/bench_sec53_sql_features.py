@@ -1,0 +1,37 @@
+"""Section 5.3: frequent SQL idioms / full-SQL feature usage.
+
+Paper: sorting in 24% of queries, top-k 2%, outer joins 11%, window
+functions (OVER) 4% — "virtually no systems outside of the major vendors
+support window functions; these newer systems will not be capable of
+handling the SQLShare workload!"
+"""
+
+from repro.analysis import features
+from repro.reporting import format_kv
+
+
+def test_sec53_feature_usage(benchmark, sqlshare_platform, report):
+    percentages, parsed, failed = benchmark.pedantic(
+        features.survey_platform, args=(sqlshare_platform,), rounds=1, iterations=1
+    )
+    headline = {
+        "sort_pct": percentages["sort"],
+        "top_k_pct": percentages["top_k"],
+        "outer_join_pct": percentages["outer_join"],
+        "window_pct": percentages["window"],
+        "subquery_pct": percentages["subquery"],
+        "group_by_pct": percentages["group_by"],
+        "parsed": parsed,
+        "unparsed": failed,
+    }
+    text = format_kv(
+        headline,
+        title="Sec 5.3 features (paper: sort 24%%, top-k 2%%, outer join 11%%, "
+              "window 4%%)",
+    )
+    report("sec53_sql_features", text)
+    assert failed == 0  # every logged query re-parses
+    assert 12.0 <= percentages["sort"] <= 40.0
+    assert 0.3 <= percentages["top_k"] <= 8.0
+    assert 3.0 <= percentages["outer_join"] <= 20.0
+    assert 0.8 <= percentages["window"] <= 10.0

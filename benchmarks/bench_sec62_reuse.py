@@ -1,0 +1,38 @@
+"""Section 6.2: reuse potential by caching intermediate results.
+
+Paper: with exact duplicates removed first, aggressively caching plan
+subtrees would save ~37% of estimated runtime in SQLShare and ~14% in
+SDSS; per-query savings are bimodal (most either <10% or >90%), so a small
+cache with a good heuristic captures most of it.
+"""
+
+from repro.analysis import reuse
+from repro.reporting import format_kv
+
+
+def test_sec62_reuse_estimation(benchmark, sqlshare_catalog, sdss_catalog, report):
+    ours = benchmark.pedantic(
+        reuse.estimate_reuse, args=(sqlshare_catalog,), rounds=1, iterations=1
+    )
+    theirs = reuse.estimate_reuse(sdss_catalog)
+    low, high = ours.bimodality()
+    summary = {
+        "sqlshare_saved_pct": 100.0 * ours.saved_fraction,
+        "sdss_saved_pct": 100.0 * theirs.saved_fraction,
+        "sqlshare_pct_queries_saving_lt10": 100.0 * low,
+        "sqlshare_pct_queries_saving_gt90": 100.0 * high,
+    }
+    text = format_kv(
+        summary,
+        title="Sec 6.2 reuse (paper: SQLShare ~37%%, SDSS ~14%%, bimodal "
+              "per-query savings)",
+    )
+    report("sec62_reuse", text)
+    assert 0.15 <= ours.saved_fraction <= 0.75
+    # SDSS reuse is small and scale-sensitive (few distinct queries at low
+    # REPRO_SCALE); the robust claim is the gap, not the absolute number.
+    assert 0.0 <= theirs.saved_fraction <= 0.45
+    # The comparative claim: SQLShare saves far more than SDSS's distinct set.
+    assert ours.saved_fraction > theirs.saved_fraction + 0.05
+    # Bimodality: the two extreme bins hold most of the mass.
+    assert low + high > 0.5

@@ -1,0 +1,29 @@
+"""Section 6.4: per-user workload diversity via Mozafari chunk distance.
+
+Paper: splitting each user's workload into chronological chunks and
+measuring the euclidean distance between attribute-frequency vectors, the
+original CliffGuard paper's maximum was 0.003; many SQLShare users exhibit
+orders of magnitude more diversity.
+"""
+
+from repro.analysis import diversity
+from repro.reporting import cdf_lines
+
+CLIFFGUARD_MAX = 0.003
+
+
+def test_sec64_mozafari_distance(benchmark, sqlshare_catalog, report):
+    per_user = benchmark.pedantic(
+        diversity.per_user_mozafari, args=(sqlshare_catalog,), rounds=1, iterations=1
+    )
+    distances = sorted(per_user.values())
+    text = cdf_lines(
+        distances,
+        title="Sec 6.4 Mozafari chunk distance per user (paper baseline "
+              "maximum: 0.003; SQLShare users orders of magnitude higher)",
+    )
+    report("sec64_mozafari", text)
+    assert distances, "need users with enough queries"
+    above = sum(1 for d in distances if d > 10 * CLIFFGUARD_MAX)
+    # Most measured users are far beyond the conventional-workload ceiling.
+    assert above >= len(distances) * 0.6

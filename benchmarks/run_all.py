@@ -1,0 +1,91 @@
+"""Standalone driver: regenerate every table/figure and print paper-vs-measured.
+
+Usage::
+
+    python benchmarks/run_all.py [scale]
+
+This is the script behind EXPERIMENTS.md; ``pytest benchmarks/
+--benchmark-only`` runs the same analyses with timing and assertions.
+"""
+
+import sys
+import time
+
+from repro.analysis import complexity, diversity, features, idioms, lifetimes, reuse, sharing, users
+from repro.reporting import bar_chart, format_kv, format_table, percent_bars, cdf_lines
+from repro.synth.driver import build_sdss_workload, build_sqlshare_deployment
+from repro.workload.extract import WorkloadAnalyzer
+
+
+def main(scale=0.2):
+    started = time.time()
+    print("== generating SQLShare deployment at scale %.2f ==" % scale)
+    platform, generator = build_sqlshare_deployment(scale=scale)
+    print("   stats: %s (%.1fs)" % (generator.stats, time.time() - started))
+    print("== generating SDSS comparator ==")
+    sdss, sdss_generator = build_sdss_workload(scale=scale / 5.0)
+    print("   %d queries" % len(sdss.log))
+    print("== Phase 1 + Phase 2 ==")
+    analyzer = WorkloadAnalyzer(platform, label="sqlshare")
+    catalog = analyzer.analyze()
+    sdss_catalog = WorkloadAnalyzer(sdss, label="sdss").analyze()
+    print("   sqlshare analyzed %d (skipped %d: datasets deleted since)"
+          % (len(catalog), len(analyzer.skipped)))
+
+    print("\n" + format_kv(platform.summary(), title="Table 2a"))
+    print("\n" + format_kv(catalog.summary(), title="Table 2b"))
+    print("\n" + bar_chart(lifetimes.queries_per_table(platform), title="Fig 4"))
+    print("\n" + format_kv(idioms.CorpusIdiomSurvey(platform).summary(), title="Sec 5.1"))
+    print("\n" + format_kv(sharing.SharingSurvey(platform).summary(), title="Sec 5.2"))
+    print("\n" + bar_chart(sharing.SharingSurvey(platform).view_depth_histogram(),
+                           title="Fig 6"))
+    pct, _p, _f = features.survey_platform(platform)
+    print("\n" + format_kv({k: pct[k] for k in ("sort", "top_k", "outer_join", "window")},
+                           title="Sec 5.3 (%)"))
+    for label, catalog_ in (("sqlshare", catalog), ("sdss", sdss_catalog)):
+        print("\n" + percent_bars(
+            list(complexity.length_histogram(catalog_).items()),
+            title="Fig 7 (%s)" % label))
+    for label, catalog_ in (("sqlshare", catalog), ("sdss", sdss_catalog)):
+        print("\n" + percent_bars(
+            list(complexity.distinct_operator_distribution(catalog_).items()),
+            title="Fig 8 (%s)" % label))
+    print("   top-decile distinct ops: sqlshare %.2f vs sdss %.2f" % (
+        complexity.top_decile_distinct_operators(catalog),
+        complexity.top_decile_distinct_operators(sdss_catalog)))
+    print("\n" + percent_bars(complexity.operator_frequency(catalog), title="Fig 9"))
+    print("\n" + percent_bars(complexity.operator_frequency(sdss_catalog, ignore=()),
+                              title="Fig 10"))
+    ours = diversity.entropy_table(catalog)
+    theirs = diversity.entropy_table(sdss_catalog)
+    print("\n" + format_table(["metric", "sqlshare", "sdss"],
+                              [(k, ours[k], theirs[k]) for k in ours], title="Table 3"))
+    ranked, distinct = diversity.expression_distribution(catalog, top=12)
+    sranked, sdistinct = diversity.expression_distribution(sdss_catalog, top=8)
+    print("\n" + format_table(["op", "count"], ranked,
+                              title="Table 4a (%d distinct)" % distinct))
+    print("\n" + format_table(["op", "count"], sranked,
+                              title="Table 4b (%d distinct)" % sdistinct))
+    ours_reuse = reuse.estimate_reuse(catalog)
+    theirs_reuse = reuse.estimate_reuse(sdss_catalog)
+    low, high = ours_reuse.bimodality()
+    print("\nSec 6.2 reuse: sqlshare %.1f%%, sdss %.1f%% "
+          "(bimodality: %.0f%% save <10%%, %.0f%% save >90%%)" % (
+              100 * ours_reuse.saved_fraction, 100 * theirs_reuse.saved_fraction,
+              100 * low, 100 * high))
+    all_lifetimes = [v for c in lifetimes.lifetime_curves(platform).values() for v in c]
+    print("\n" + cdf_lines(all_lifetimes, title="Fig 11 lifetime days (top users)"))
+    curves = lifetimes.coverage_curves(platform)
+    slopes = [lifetimes.coverage_slope(c) for c in curves.values() if len(c) > 1]
+    print("\nFig 12 coverage slopes (12 most active): %s" %
+          ", ".join("%.2f" % s for s in sorted(slopes)))
+    print("\n" + format_kv(users.category_counts(users.user_points(platform)),
+                           title="Fig 13 classes"))
+    per_user = diversity.per_user_mozafari(catalog)
+    print("\n" + cdf_lines(sorted(per_user.values()),
+                           title="Sec 6.4 Mozafari distances (baseline max 0.003)"))
+    print("\ntotal wall time: %.1fs" % (time.time() - started))
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.2)

@@ -1,0 +1,95 @@
+"""Collaborative analysis and data publishing with ownership chains (§3.2, §5.2).
+
+Three parties:
+
+- Prof. A owns sensitive survey data and shares a de-identified view with
+  grad student B (the raw table stays private);
+- B derives an analysis view; sharing *that* with external collaborator C
+  hits a broken ownership chain until A grants access at the crossing point;
+- A finally publishes an aggregate as a public dataset and mints a DOI.
+
+Usage::
+
+    python examples/collaborative_sharing.py
+"""
+
+from repro import SQLShare
+from repro.errors import PermissionError_
+
+SURVEY = """\
+respondent_id,name,region,income,response
+1,ann marsh,north,52000,agrees strongly
+2,raj patel,south,48000,neutral
+3,li wei,north,61000,disagrees
+4,sam ito,east,39000,agrees strongly
+5,may chen,south,57000,neutral
+"""
+
+A, B, C = "prof.a@uw.edu", "grad.b@uw.edu", "collab.c@mit.edu"
+
+
+def main():
+    platform = SQLShare()
+
+    # A uploads the sensitive raw data (private by default).
+    platform.upload(A, "survey_raw", SURVEY, tags=["survey", "restricted"])
+
+    # A shares only a de-identified projection with B.
+    platform.create_dataset(
+        A, "survey_deid",
+        "SELECT respondent_id, region, income, response FROM survey_raw",
+        description="names removed",
+    )
+    platform.share(A, "survey_deid", B)
+    print("B can read the de-identified view (chain A->A unbroken):")
+    result = platform.run_query(B, "SELECT COUNT(*) FROM survey_deid")
+    print("  rows:", result.rows[0][0])
+    try:
+        platform.run_query(B, "SELECT * FROM survey_raw")
+    except PermissionError_ as exc:
+        print("  ...but the raw table stays private: %s" % exc)
+
+    # B derives an analysis view and shares it with C.
+    platform.create_dataset(
+        B, "income_by_region",
+        "SELECT region, AVG(income) AS mean_income, COUNT(*) AS n "
+        "FROM survey_deid GROUP BY region",
+    )
+    platform.share(B, "income_by_region", C)
+    print("\nC tries B's view (chain B->A is broken):")
+    try:
+        platform.run_query(C, "SELECT * FROM income_by_region")
+    except PermissionError_ as exc:
+        print("  denied: %s" % exc)
+
+    # A repairs the chain with a direct grant at the crossing point.
+    platform.share(A, "survey_deid", C)
+    print("after A grants survey_deid to C:")
+    rows = platform.run_query(C, "SELECT * FROM income_by_region ORDER BY region").rows
+    for region, mean_income, n in rows:
+        print("  %-6s mean income %.0f (n=%d)" % (region, mean_income, n))
+
+    # Publishing: public dataset + DOI, citable in a paper.
+    platform.create_dataset(
+        A, "survey_summary",
+        "SELECT region, COUNT(*) AS respondents FROM survey_raw GROUP BY region",
+    )
+    platform.make_public(A, "survey_summary")
+    doi = platform.mint_doi(A, "survey_summary")
+    print("\npublished 'survey_summary' publicly with DOI %s" % doi)
+    anyone = platform.run_query("reader@anywhere.org", "SELECT * FROM survey_summary")
+    print("any user can read it: %d rows" % len(anyone.rows))
+
+    # C composes shared data with their own upload — over 10% of logged
+    # queries in the paper touch data the author does not own.
+    platform.upload(C, "region_codes", "region,code\nnorth,N\nsouth,S\neast,E\n")
+    joined = platform.run_query(
+        C,
+        "SELECT rc.code, ir.mean_income FROM region_codes rc "
+        "JOIN income_by_region ir ON rc.region = ir.region ORDER BY rc.code",
+    )
+    print("\nC joins shared analysis with private codes:", joined.rows)
+
+
+if __name__ == "__main__":
+    main()

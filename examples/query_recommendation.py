@@ -1,0 +1,55 @@
+"""Query recommendation over the workload (the paper's §7/§8 direction).
+
+Builds a SnipSuggest-style snippet model from a synthetic deployment's
+query log, then recommends predicates, joins and columns for a partial
+query — and finds the most similar previously-logged queries.
+
+Usage::
+
+    python examples/query_recommendation.py [scale]
+"""
+
+import sys
+
+from repro.analysis.recommend import build_recommender_from_catalog
+from repro.synth.driver import build_sqlshare_deployment
+from repro.workload.extract import WorkloadAnalyzer
+
+
+def main(scale=0.03):
+    print("generating deployment (scale=%.2f)..." % scale)
+    platform, generator = build_sqlshare_deployment(scale=scale)
+    print("  %(queries)d queries logged" % generator.stats)
+    catalog = WorkloadAnalyzer(platform).analyze()
+    recommender = build_recommender_from_catalog(catalog)
+    print("  model: %d queries parsed, %d snippets"
+          % (recommender.parsed, len(recommender.snippet_counts)))
+
+    # Pick a busy dataset to play the novice user against.
+    from collections import Counter
+
+    counts = Counter()
+    for record in catalog:
+        for name in record.datasets:
+            counts[name] += 1
+    dataset, uses = counts.most_common(1)[0]
+    partial = "SELECT * FROM [%s]" % dataset
+    print("\npartial query: %s  (dataset used by %d queries)" % (partial, uses))
+
+    for kind, label in (("predicate", "WHERE predicates"),
+                        ("column", "columns"),
+                        ("group_by", "GROUP BY keys"),
+                        ("function", "functions")):
+        suggestions = recommender.recommend(partial, kind=kind, k=4)
+        print("\n  suggested %s:" % label)
+        for _kind, text, score in suggestions:
+            print("    %-40s (score %.3f)" % (text, score))
+
+    sample = catalog.records[len(catalog.records) // 2].sql
+    print("\nmost similar logged queries to:\n  %s" % sample[:90])
+    for score, text in recommender.similar_queries(sample, k=3):
+        print("  %.2f  %s" % (score, text[:90]))
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.03)

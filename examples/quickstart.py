@@ -1,0 +1,73 @@
+"""Quickstart: the minimal SQLShare workflow.
+
+Upload data, write queries, share the results — nothing else.  Runs an
+in-process platform and then the same flow over the REST API.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import SQLShare
+from repro.server.client import SQLShareClient
+from repro.server.rest import SQLShareApp
+
+CSV = """\
+station,day,temperature
+P1,2014-06-01,11.2
+P1,2014-06-02,11.9
+P4,2014-06-01,9.8
+P4,2014-06-02,-999
+P8,2014-06-01,10.4
+"""
+
+
+def main():
+    platform = SQLShare()
+
+    # 1. Upload a file as-is: the schema (names, types) is inferred.
+    dataset = platform.upload("you@uw.edu", "sound_temps", CSV)
+    print("uploaded %r -> columns inferred: %s" % (
+        dataset.name,
+        platform.db.query_schema("SELECT * FROM sound_temps"),
+    ))
+
+    # 2. Write queries immediately; the wrapper view is a dataset already.
+    result = platform.run_query(
+        "you@uw.edu",
+        "SELECT station, AVG(temperature) AS avg_t FROM sound_temps "
+        "WHERE temperature <> -999 GROUP BY station ORDER BY avg_t DESC",
+    )
+    print("\nper-station averages:")
+    for row in result.rows:
+        print("  %s  %.2f" % row)
+
+    # 3. Save a query as a new dataset (a view) and share it.
+    platform.create_dataset(
+        "you@uw.edu", "sound_temps_clean",
+        "SELECT station, day, "
+        "CASE WHEN temperature = -999 THEN NULL ELSE temperature END AS temperature "
+        "FROM sound_temps",
+        description="sentinel -999 mapped to NULL",
+    )
+    platform.make_public("you@uw.edu", "sound_temps_clean")
+    print("\nshared %r publicly" % "sound_temps_clean")
+
+    # 4. A collaborator queries the shared view (not the private raw data).
+    collaborator = platform.run_query(
+        "friend@osu.edu", "SELECT COUNT(temperature) FROM sound_temps_clean"
+    )
+    print("collaborator sees %d clean readings" % collaborator.rows[0][0])
+
+    # 5. The same workflow over the REST API.
+    app = SQLShareApp(run_async=False)
+    client = SQLShareClient("you@uw.edu", app=app)
+    client.upload("rest_demo", CSV)
+    columns, rows = client.run_query(
+        "SELECT station, COUNT(*) AS n FROM rest_demo GROUP BY station ORDER BY n DESC"
+    )
+    print("\nvia REST:", columns, rows)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Miniature of the paper's Section 4-6 study: generate a deployment, run
+the two-phase extraction, print the headline tables and figures.
+
+Usage::
+
+    python examples/workload_analysis.py [scale]
+
+``scale`` defaults to 0.03 (a few hundred queries, a few seconds); 1.0
+approximates the paper's corpus size.
+"""
+
+import sys
+
+from repro.analysis import complexity, diversity, features, idioms, lifetimes, reuse, sharing, users
+from repro.reporting import bar_chart, format_kv, format_table, percent_bars
+from repro.synth.driver import build_sdss_workload, build_sqlshare_deployment
+from repro.workload.extract import WorkloadAnalyzer
+
+
+def main(scale=0.03):
+    print("generating SQLShare deployment (scale=%.2f)..." % scale)
+    platform, generator = build_sqlshare_deployment(scale=scale)
+    print("  %(uploads)d uploads, %(views)d views, %(queries)d queries" % generator.stats)
+
+    print("generating SDSS comparator...")
+    sdss, _sdss_gen = build_sdss_workload(scale=scale / 5.0)
+
+    print("running Phase 1 + Phase 2 extraction...")
+    catalog = WorkloadAnalyzer(platform, label="sqlshare").analyze()
+    sdss_catalog = WorkloadAnalyzer(sdss, label="sdss").analyze()
+
+    print("\n" + format_kv(platform.summary(), title="Workload metadata (Table 2a)"))
+    print("\n" + format_kv(catalog.summary(), title="Query metadata means (Table 2b)"))
+
+    pct, _parsed, _failed = features.survey_platform(platform)
+    headline = {k: pct[k] for k in ("sort", "top_k", "outer_join", "window")}
+    print("\n" + format_kv(headline, title="SQL feature usage %% (Sec 5.3)"))
+
+    print("\n" + format_kv(
+        idioms.CorpusIdiomSurvey(platform).summary(),
+        title="Schematization idioms (Sec 5.1)",
+    ))
+
+    print("\n" + format_kv(
+        sharing.SharingSurvey(platform).summary(),
+        title="Views & sharing (Sec 5.2)",
+    ))
+
+    rows = []
+    ours = diversity.entropy_table(catalog)
+    theirs = diversity.entropy_table(sdss_catalog)
+    for key in ours:
+        rows.append((key, ours[key], theirs[key]))
+    print("\n" + format_table(
+        ["metric", "sqlshare", "sdss"], rows, title="Workload entropy (Table 3)"
+    ))
+
+    print("\n" + percent_bars(
+        complexity.operator_frequency(catalog),
+        title="Operator frequency, SQLShare (Fig 9)",
+    ))
+    print("\n" + percent_bars(
+        complexity.operator_frequency(sdss_catalog, ignore=()),
+        title="Operator frequency, SDSS (Fig 10)",
+    ))
+
+    print("\n" + bar_chart(
+        lifetimes.queries_per_table(platform),
+        title="Queries per table (Fig 4)",
+    ))
+
+    print("\nReuse potential (Sec 6.2):")
+    print("  sqlshare: %.0f%%" % (100 * reuse.estimate_reuse(catalog).saved_fraction))
+    print("  sdss    : %.0f%%" % (100 * reuse.estimate_reuse(sdss_catalog).saved_fraction))
+
+    print("\n" + format_kv(
+        users.category_counts(users.user_points(platform)),
+        title="User classes (Fig 13)",
+    ))
+
+    from repro.workload.sessions import SessionSurvey
+
+    print("\n" + format_kv(
+        SessionSurvey(platform.log).summary(),
+        title="Session statistics (traffic-report style)",
+    ))
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.03)

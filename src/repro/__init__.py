@@ -1,0 +1,25 @@
+"""Reproduction of "SQLShare: Results from a Multi-Year SQL-as-a-Service
+Experiment" (Jain, Moritz, Halperin, Howe, Lazowska; SIGMOD 2016).
+
+The package is organized bottom-up:
+
+- :mod:`repro.engine` -- a from-scratch relational engine (parser, planner,
+  executor, cost model, SHOWPLAN-style plans) standing in for the Azure SQL
+  backend the paper deployed on.
+- :mod:`repro.ingest` -- relaxed-schema ingest: delimiter and type inference,
+  default column names, ragged-row padding.
+- :mod:`repro.core` -- the SQLShare platform itself: datasets as views,
+  permissions with ownership chains, append-as-UNION, the query log.
+- :mod:`repro.workload` -- the two-phase plan-extraction framework of Section 4.
+- :mod:`repro.analysis` -- the analyses of Sections 5 and 6.
+- :mod:`repro.synth` -- synthetic SQLShare and SDSS workload generators that
+  replay a multi-year deployment through the real platform.
+- :mod:`repro.server` -- a REST API and client mirroring the paper's service.
+"""
+
+from repro.core.sqlshare import SQLShare
+from repro.engine.database import Database
+
+__version__ = "1.0.0"
+
+__all__ = ["SQLShare", "Database", "__version__"]

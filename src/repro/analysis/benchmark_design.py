@@ -1,0 +1,147 @@
+"""High-variety benchmark design (§8 of the paper, future work).
+
+"We also plan to use the complexity and diversity properties of the query
+workload to design a formal benchmark emphasizing high variety rather than
+high volume or high velocity."
+
+Given an analyzed workload, this module selects a small, weighted suite of
+queries that preserves the workload's variety: one representative per plan
+template, stratified across complexity bands, with weights proportional to
+how much of the workload each template covers.
+"""
+
+import collections
+
+from repro.analysis.diversity import normalize_sql, plan_template
+
+#: Complexity bands by distinct-operator count (the paper's Fig 8 buckets).
+BANDS = (("simple", 0, 3), ("moderate", 4, 7), ("complex", 8, 10**9))
+
+
+def band_of(record):
+    count = record.distinct_operator_count
+    for name, low, high in BANDS:
+        if low <= count <= high:
+            return name
+    return BANDS[-1][0]
+
+
+class BenchmarkQuery(object):
+    """One suite member: SQL, weight, and provenance metadata."""
+
+    __slots__ = ("sql", "weight", "band", "template_population", "length",
+                 "distinct_operators")
+
+    def __init__(self, sql, weight, band, template_population, length,
+                 distinct_operators):
+        self.sql = sql
+        self.weight = weight
+        self.band = band
+        self.template_population = template_population
+        self.length = length
+        self.distinct_operators = distinct_operators
+
+    def __repr__(self):
+        return "BenchmarkQuery(%s, w=%.4f, %s)" % (
+            self.sql[:40], self.weight, self.band
+        )
+
+
+class VarietyBenchmark(object):
+    """A designed suite plus its coverage statistics."""
+
+    def __init__(self, queries, template_total, covered_templates):
+        self.queries = queries
+        self.template_total = template_total
+        self.covered_templates = covered_templates
+
+    @property
+    def template_coverage(self):
+        if not self.template_total:
+            return 0.0
+        return self.covered_templates / float(self.template_total)
+
+    def band_mix(self):
+        counts = collections.Counter(query.band for query in self.queries)
+        return {name: counts.get(name, 0) for name, _lo, _hi in BANDS}
+
+    def __len__(self):
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+
+def design_benchmark(catalog, size=30, per_band_minimum=2):
+    """Select a variety-preserving suite of ``size`` queries.
+
+    Groups string-distinct queries by plan template, ranks templates by
+    population (how many queries share them), then picks representatives
+    round-robin across complexity bands so rare complex shapes are not
+    crowded out by the popular simple ones.
+    """
+    groups = collections.defaultdict(list)
+    seen = set()
+    for record in catalog:
+        if record.plan_json is None:
+            continue
+        key = normalize_sql(record.sql)
+        if key in seen:
+            continue
+        seen.add(key)
+        groups[plan_template(record.plan_json)].append(record)
+    template_total = len(groups)
+    # Representative per template: the median-length member (typical, not
+    # degenerate).
+    representatives = []
+    for template, records in groups.items():
+        records.sort(key=lambda record: record.length)
+        representative = records[len(records) // 2]
+        representatives.append((len(records), representative))
+    # Rank by population within each band.
+    by_band = collections.defaultdict(list)
+    for population, record in representatives:
+        by_band[band_of(record)].append((population, record))
+    for members in by_band.values():
+        members.sort(key=lambda pair: -pair[0])
+    picked = []
+    # Guarantee minority bands their floor first.
+    for name, _lo, _hi in reversed(BANDS):  # complex first
+        take = min(per_band_minimum, len(by_band.get(name, [])))
+        picked.extend(by_band[name][:take])
+        by_band[name] = by_band[name][take:]
+    # Fill the rest by global population.
+    remaining = sorted(
+        (pair for members in by_band.values() for pair in members),
+        key=lambda pair: -pair[0],
+    )
+    picked.extend(remaining[: max(0, size - len(picked))])
+    picked = picked[:size]
+    total_population = sum(population for population, _record in picked) or 1
+    queries = [
+        BenchmarkQuery(
+            record.sql,
+            population / float(total_population),
+            band_of(record),
+            population,
+            record.length,
+            record.distinct_operator_count,
+        )
+        for population, record in picked
+    ]
+    return VarietyBenchmark(queries, template_total, len(queries))
+
+
+def run_benchmark(benchmark_suite, database, repetitions=1):
+    """Execute a designed suite against a database; returns per-query
+    weighted timings (wall clock, seconds)."""
+    import time
+
+    results = []
+    for query in benchmark_suite:
+        started = time.perf_counter()
+        for _ in range(repetitions):
+            database.execute(query.sql)
+        elapsed = (time.perf_counter() - started) / repetitions
+        results.append((query, elapsed))
+    return results

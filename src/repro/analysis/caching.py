@@ -1,0 +1,168 @@
+"""Bounded intermediate-result caching (§6.2's closing observation).
+
+"We conclude that most of the reuse could be achieved with a small cache
+if we have a good heuristic to determine which results will be reused."
+This module tests that claim: it replays the workload against a cache with
+a bounded number of entries under different admission/eviction heuristics
+and reports how much of the infinite-cache saving each one captures.
+"""
+
+import collections
+
+from repro.analysis.diversity import normalize_sql
+from repro.analysis.reuse import _subtree_facets
+from repro.workload.plans_json import walk_plan
+
+
+class CachePolicy(object):
+    """Eviction heuristic interface over (signature, filters, columns)."""
+
+    name = "base"
+
+    def priority(self, entry):
+        """Lower priority is evicted first."""
+        raise NotImplementedError
+
+
+class LRUPolicy(CachePolicy):
+    """Evict the least recently used subtree."""
+
+    name = "lru"
+
+    def priority(self, entry):
+        return entry.last_used
+
+
+class CostPolicy(CachePolicy):
+    """Evict the cheapest-to-recompute subtree (keep expensive results)."""
+
+    name = "cost"
+
+    def priority(self, entry):
+        return entry.cost
+
+
+class CostFrequencyPolicy(CachePolicy):
+    """Evict by (uses so far x cost): the paper's 'good heuristic' candidate."""
+
+    name = "cost*freq"
+
+    def priority(self, entry):
+        return entry.cost * (1 + entry.hits)
+
+
+class _Entry(object):
+    __slots__ = ("signature", "filters", "columns", "cost", "last_used", "hits")
+
+    def __init__(self, signature, filters, columns, cost, tick):
+        self.signature = signature
+        self.filters = filters
+        self.columns = columns
+        self.cost = cost
+        self.last_used = tick
+        self.hits = 0
+
+
+class BoundedCache(object):
+    """Fixed-capacity subtree cache with pluggable eviction."""
+
+    def __init__(self, capacity, policy):
+        self.capacity = capacity
+        self.policy = policy
+        self._entries = []
+        self._tick = 0
+
+    def lookup(self, signature, filters, columns):
+        self._tick += 1
+        for entry in self._entries:
+            if entry.signature != signature:
+                continue
+            if entry.filters <= filters and entry.columns >= columns:
+                entry.last_used = self._tick
+                entry.hits += 1
+                return entry
+        return None
+
+    def admit(self, signature, filters, columns, cost):
+        self._tick += 1
+        for entry in self._entries:
+            if (entry.signature == signature and entry.filters == filters
+                    and entry.columns == columns):
+                return  # already cached
+        entry = _Entry(signature, filters, columns, cost, self._tick)
+        self._entries.append(entry)
+        if len(self._entries) > self.capacity:
+            victim = min(self._entries, key=self.policy.priority)
+            self._entries.remove(victim)
+
+    def __len__(self):
+        return len(self._entries)
+
+
+class CacheSimulation(object):
+    """Result of one bounded-cache replay."""
+
+    def __init__(self, policy_name, capacity):
+        self.policy_name = policy_name
+        self.capacity = capacity
+        self.total_cost = 0.0
+        self.saved_cost = 0.0
+
+    @property
+    def saved_fraction(self):
+        if self.total_cost <= 0:
+            return 0.0
+        return self.saved_cost / self.total_cost
+
+
+def simulate_cache(catalog, capacity, policy=None):
+    """Replay a catalog's distinct queries against a bounded cache."""
+    policy = policy or CostFrequencyPolicy()
+    cache = BoundedCache(capacity, policy)
+    result = CacheSimulation(policy.name, capacity)
+    seen = set()
+    records = sorted(catalog.records, key=lambda record: record.timestamp)
+    for record in records:
+        if record.plan_json is None:
+            continue
+        key = normalize_sql(record.sql)
+        if key in seen:
+            continue
+        seen.add(key)
+        query_total = max(record.plan_json.get("total", 0.0), 0.0)
+        result.total_cost += query_total
+        saved_here = 0.0
+        covered = []
+        for node in walk_plan(record.plan_json, include_subplans=False):
+            if any(_inside(done, node) for done in covered):
+                continue
+            signature, filters, columns = _subtree_facets(node)
+            if cache.lookup(signature, filters, columns) is not None:
+                saved_here += node.get("total", 0.0)
+                covered.append(node)
+        for node in walk_plan(record.plan_json, include_subplans=False):
+            signature, filters, columns = _subtree_facets(node)
+            cache.admit(signature, filters, columns, node.get("total", 0.0))
+        result.saved_cost += min(saved_here, query_total)
+    return result
+
+
+def _inside(ancestor, node):
+    if ancestor is node:
+        return True
+    for child in ancestor.get("children", []):
+        if _inside(child, node):
+            return True
+    return False
+
+
+def capacity_sweep(catalog, capacities=(8, 32, 128, 512), policies=None):
+    """Saved fraction per (policy, capacity) — the §6.2 'small cache' table."""
+    policies = policies or [LRUPolicy(), CostPolicy(), CostFrequencyPolicy()]
+    table = collections.OrderedDict()
+    for policy in policies:
+        row = collections.OrderedDict()
+        for capacity in capacities:
+            row[capacity] = simulate_cache(catalog, capacity, policy).saved_fraction
+        table[policy.name] = row
+    return table

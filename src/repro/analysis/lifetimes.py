@@ -1,0 +1,134 @@
+"""Dataset permanence analyses (§6.3, Figures 4, 11 and 12).
+
+Lifetime of a dataset = days between the first and last query that accessed
+it.  Table coverage = cumulative fraction of a user's tables referenced by
+their first N% of queries.
+"""
+
+import collections
+
+
+def queries_per_table(platform, cap=5):
+    """Figure 4: histogram of how many queries touch each dataset.
+
+    Uses the platform log's dataset references; datasets never queried are
+    not part of the figure (it is a per-accessed-table histogram).
+    """
+    per_dataset = collections.Counter()
+    for entry in platform.log.successful():
+        for name in entry.datasets:
+            per_dataset[name.lower()] += 1
+    buckets = collections.OrderedDict()
+    for count in range(1, cap):
+        buckets[str(count)] = 0
+    buckets[">=%d" % cap] = 0
+    for _name, count in per_dataset.items():
+        if count >= cap:
+            buckets[">=%d" % cap] += 1
+        else:
+            buckets[str(count)] += 1
+    return buckets
+
+
+def dataset_access_times(platform):
+    """dataset name -> sorted list of access timestamps (incl. creation)."""
+    times = collections.defaultdict(list)
+    for dataset in platform.datasets.values():
+        if dataset.created_at is not None:
+            times[dataset.name.lower()].append(dataset.created_at)
+    for entry in platform.log.successful():
+        for name in entry.datasets:
+            times[name.lower()].append(entry.timestamp)
+    return {name: sorted(stamps) for name, stamps in times.items()}
+
+
+def dataset_lifetimes(platform, owner=None):
+    """Lifetime in days per dataset (optionally for one owner).
+
+    Returns {dataset name: lifetime_days} where lifetime is the difference
+    between first and last access; a dataset accessed once has lifetime 0.
+    """
+    owners = {d.name.lower(): d.owner for d in platform.datasets.values()}
+    lifetimes = {}
+    for name, stamps in dataset_access_times(platform).items():
+        if owner is not None and owners.get(name) != owner:
+            continue
+        lifetimes[name] = (stamps[-1] - stamps[0]).total_seconds() / 86400.0
+    return lifetimes
+
+
+def most_active_users(platform, count=12):
+    """The N most active users by query count (Figures 11/12 use 12)."""
+    activity = collections.Counter(
+        entry.owner for entry in platform.log.successful()
+    )
+    return [user for user, _n in activity.most_common(count)]
+
+
+def lifetime_curves(platform, user_count=12):
+    """Figure 11: per top user, dataset lifetimes in rank order (desc).
+
+    Returns {user: [lifetime_days, ...] sorted descending} — each list is
+    one curve; x is the rank-order percentile.
+    """
+    curves = {}
+    for user in most_active_users(platform, user_count):
+        lifetimes = sorted(dataset_lifetimes(platform, owner=user).values(), reverse=True)
+        if lifetimes:
+            curves[user] = lifetimes
+    return curves
+
+
+def median_lifetime_days(platform):
+    values = sorted(dataset_lifetimes(platform).values())
+    if not values:
+        return 0.0
+    middle = len(values) // 2
+    if len(values) % 2:
+        return values[middle]
+    return (values[middle - 1] + values[middle]) / 2.0
+
+
+def table_coverage_curve(platform, user):
+    """Figure 12: one user's coverage curve.
+
+    Returns a list of (queries_pct, tables_pct) points: after the first N%
+    of the user's queries, what fraction of all the tables they ever
+    reference has been touched?
+    """
+    entries = [
+        entry for entry in platform.log.successful() if entry.owner == user
+    ]
+    entries.sort(key=lambda entry: entry.timestamp)
+    all_tables = set()
+    for entry in entries:
+        all_tables.update(name.lower() for name in entry.datasets)
+    if not entries or not all_tables:
+        return []
+    seen = set()
+    points = []
+    for index, entry in enumerate(entries, start=1):
+        seen.update(name.lower() for name in entry.datasets)
+        points.append(
+            (100.0 * index / len(entries), 100.0 * len(seen) / len(all_tables))
+        )
+    return points
+
+
+def coverage_curves(platform, user_count=12):
+    """Figure 12 across the most active users: {user: curve}."""
+    return {
+        user: table_coverage_curve(platform, user)
+        for user in most_active_users(platform, user_count)
+    }
+
+
+def coverage_slope(curve):
+    """Average d(tables)/d(queries) of a coverage curve (slope ~1 = ad hoc
+    intermingled uploads; >1 early then flat = conventional usage)."""
+    if len(curve) < 2:
+        return 0.0
+    (x0, y0), (x1, y1) = curve[0], curve[-1]
+    if x1 == x0:
+        return 0.0
+    return (y1 - y0) / (x1 - x0)

@@ -1,0 +1,235 @@
+"""Context-aware query recommendation over the workload (SnipSuggest-style).
+
+The paper motivates this directly: "research on query recommendation
+platforms like SnipSuggest can be further improved by taking real science
+queries into consideration", and proposes recommending "queries of
+comparable complexity to queries that the user has written before" (§8).
+
+The model here follows SnipSuggest's core idea: decompose every logged
+query into *snippets* (tables, selected columns, predicate templates,
+joins, group-by keys, order-by keys, functions), then rank candidate
+snippets for a partial query by their conditional popularity given the
+snippets already present.
+"""
+
+import collections
+
+from repro.analysis.diversity import strip_constants
+from repro.engine import ast_nodes as ast
+from repro.engine.parser import parse
+from repro.errors import SQLError
+
+
+class QuerySnippets(object):
+    """The snippet decomposition of one query."""
+
+    __slots__ = ("tables", "columns", "predicates", "joins", "group_by",
+                 "order_by", "functions")
+
+    def __init__(self):
+        self.tables = set()
+        self.columns = set()
+        self.predicates = set()
+        self.joins = set()
+        self.group_by = set()
+        self.order_by = set()
+        self.functions = set()
+
+    def all_snippets(self):
+        out = set()
+        out.update(("table", item) for item in self.tables)
+        out.update(("column", item) for item in self.columns)
+        out.update(("predicate", item) for item in self.predicates)
+        out.update(("join", item) for item in self.joins)
+        out.update(("group_by", item) for item in self.group_by)
+        out.update(("order_by", item) for item in self.order_by)
+        out.update(("function", item) for item in self.functions)
+        return out
+
+
+def extract_snippets(sql):
+    """Parse a query and decompose it into snippets.
+
+    Raises :class:`SQLError` on unparseable input (callers usually skip).
+    """
+    query = parse(sql)
+    snippets = QuerySnippets()
+    for node in query.walk():
+        if isinstance(node, ast.TableRef):
+            snippets.tables.add(node.name.lower())
+        elif isinstance(node, ast.Join) and node.condition is not None:
+            names = sorted(
+                ref.name.lower()
+                for side in (node.left, node.right)
+                for ref in side.walk()
+                if isinstance(ref, ast.TableRef)
+            )
+            if len(names) >= 2:
+                snippets.joins.add("%s JOIN %s" % (names[0], names[-1]))
+        elif isinstance(node, ast.SelectItem):
+            if isinstance(node.expr, ast.ColumnRef):
+                snippets.columns.add(node.expr.name.lower())
+        elif isinstance(node, ast.FuncCall):
+            snippets.functions.add(node.name.lower())
+        elif isinstance(node, ast.Select):
+            if node.where is not None:
+                snippets.predicates.update(_predicate_templates(node.where))
+            for expr in node.group_by:
+                if isinstance(expr, ast.ColumnRef):
+                    snippets.group_by.add(expr.name.lower())
+            for item in node.order_by:
+                if isinstance(item.expr, ast.ColumnRef):
+                    snippets.order_by.add(item.expr.name.lower())
+    return snippets
+
+
+def _predicate_templates(where):
+    """Conjunct-level predicate templates with constants stripped."""
+    conjuncts = _split(where)
+    templates = set()
+    for conjunct in conjuncts:
+        text = _render(conjunct)
+        if text:
+            templates.add(strip_constants(text))
+    return templates
+
+
+def _split(node):
+    if isinstance(node, ast.BinaryOp) and node.op == "and":
+        return _split(node.left) + _split(node.right)
+    return [node]
+
+
+def _render(node):
+    """Compact textual form of a predicate AST (best-effort)."""
+    if isinstance(node, ast.BinaryOp):
+        left = _render(node.left)
+        right = _render(node.right)
+        if left is None or right is None:
+            return None
+        return "%s %s %s" % (left, node.op.upper(), right)
+    if isinstance(node, ast.ColumnRef):
+        return node.name.lower()
+    if isinstance(node, ast.Literal):
+        if isinstance(node.value, str):
+            return "'%s'" % node.value
+        return str(node.value)
+    if isinstance(node, ast.IsNull):
+        operand = _render(node.operand)
+        if operand is None:
+            return None
+        return "%s IS %sNULL" % (operand, "NOT " if node.negated else "")
+    if isinstance(node, ast.Like):
+        operand = _render(node.operand)
+        pattern = _render(node.pattern)
+        if operand is None or pattern is None:
+            return None
+        return "%s LIKE %s" % (operand, pattern)
+    if isinstance(node, ast.Between):
+        parts = [_render(node.operand), _render(node.low), _render(node.high)]
+        if any(part is None for part in parts):
+            return None
+        return "%s BETWEEN %s AND %s" % tuple(parts)
+    if isinstance(node, ast.FuncCall):
+        args = [_render(arg) for arg in node.args]
+        if any(arg is None for arg in args):
+            return None
+        return "%s(%s)" % (node.name.lower(), ", ".join(args))
+    return None
+
+
+class QueryRecommender(object):
+    """Snippet popularity model built from a workload.
+
+    ``corpus`` is an iterable of SQL strings (or anything with ``.sql``
+    attributes, e.g. catalog records / log entries).
+    """
+
+    def __init__(self, corpus):
+        #: snippet -> number of queries containing it.
+        self.snippet_counts = collections.Counter()
+        #: (context snippet, candidate snippet) -> co-occurrence count.
+        self.pair_counts = collections.Counter()
+        #: per-query snippet sets kept for similarity search.
+        self._query_snippets = []
+        self._sql_texts = []
+        self.parsed = 0
+        self.failed = 0
+        for item in corpus:
+            sql = item if isinstance(item, str) else item.sql
+            try:
+                snippets = extract_snippets(sql).all_snippets()
+            except SQLError:
+                self.failed += 1
+                continue
+            self.parsed += 1
+            self._query_snippets.append(snippets)
+            self._sql_texts.append(sql)
+            for snippet in snippets:
+                self.snippet_counts[snippet] += 1
+            snippet_list = sorted(snippets)
+            for context in snippet_list:
+                for candidate in snippet_list:
+                    if context != candidate:
+                        self.pair_counts[(context, candidate)] += 1
+
+    # -- ranking ------------------------------------------------------------------
+
+    def score(self, candidate, context):
+        """Smoothed conditional popularity of ``candidate`` given context."""
+        if not context:
+            return float(self.snippet_counts.get(candidate, 0)) / max(1, self.parsed)
+        total = 0.0
+        for present in context:
+            joint = self.pair_counts.get((present, candidate), 0)
+            base = self.snippet_counts.get(present, 0)
+            total += (joint + 0.1) / (base + 1.0)
+        return total / len(context)
+
+    def recommend(self, partial_sql, kind=None, k=5):
+        """Top-k snippets to add to a partial query.
+
+        ``kind`` restricts candidates ("predicate", "column", "join",
+        "group_by", "order_by", "function"); snippets already present are
+        never recommended.
+        """
+        try:
+            context = extract_snippets(partial_sql).all_snippets()
+        except SQLError:
+            context = set()
+        candidates = []
+        for snippet, _count in self.snippet_counts.most_common():
+            if snippet in context:
+                continue
+            if kind is not None and snippet[0] != kind:
+                continue
+            candidates.append(snippet)
+        ranked = sorted(
+            candidates, key=lambda snippet: -self.score(snippet, context)
+        )
+        return [
+            (snippet[0], snippet[1], self.score(snippet, context))
+            for snippet in ranked[:k]
+        ]
+
+    def similar_queries(self, sql, k=3):
+        """Logged queries most similar to ``sql`` by snippet Jaccard."""
+        try:
+            target = extract_snippets(sql).all_snippets()
+        except SQLError:
+            return []
+        scored = []
+        for snippets, text in zip(self._query_snippets, self._sql_texts):
+            if text == sql:
+                continue
+            union = len(target | snippets)
+            if union == 0:
+                continue
+            scored.append((len(target & snippets) / float(union), text))
+        scored.sort(key=lambda pair: -pair[0])
+        return scored[:k]
+
+
+def build_recommender_from_catalog(catalog):
+    """Convenience: a recommender over an analyzed workload catalog."""
+    return QueryRecommender(record.sql for record in catalog)

@@ -1,0 +1,147 @@
+"""Reuse estimation by plan-subtree matching (§6.2: compress runtimes).
+
+"We implemented a simple algorithm to calculate reuse of query results that
+matches subtrees of query execution plans.  While iterating over the
+queries, all subtrees are matched against all subtrees from previous
+queries.  We allow a subtree that we match against to have less selective
+filters (filters are a subset) and more columns for the same tables
+(columns is a superset).  If we find that we have seen the same subtree
+before, we add the cost of the subtree as estimated by the optimizer to the
+saved runtime."
+
+Duplicate queries are removed first, as the paper does for this analysis
+(a repeated query trivially reuses everything).
+"""
+
+import re
+
+from repro.analysis.diversity import normalize_sql
+from repro.workload.plans_json import walk_plan
+
+#: Optimizer-generated output names carry no identity across plans.
+_GENERATED_NAME_RE = re.compile(r"^(Expr|WindowExpr|Hidden)\d+$")
+
+
+class SubtreeIndex(object):
+    """Previously-seen plan subtrees, keyed by a structural signature."""
+
+    def __init__(self, exact_only=False):
+        self._by_structure = {}
+        #: Ablation switch: require exact filter/column match instead of the
+        #: subset/superset relaxation.
+        self.exact_only = exact_only
+
+    def find_match(self, signature, filters, columns):
+        """A previously-seen subtree this one could be computed from."""
+        for seen_filters, seen_columns in self._by_structure.get(signature, []):
+            if self.exact_only:
+                if seen_filters == filters and seen_columns == columns:
+                    return True
+            else:
+                # The cached subtree may filter less (its result is a
+                # superset of rows) and carry more columns.
+                if seen_filters <= filters and seen_columns >= columns:
+                    return True
+        return False
+
+    def add(self, signature, filters, columns):
+        self._by_structure.setdefault(signature, []).append((filters, columns))
+
+
+def _subtree_facets(node):
+    """(structural signature, filters frozenset, columns frozenset).
+
+    The signature captures operator structure and the tables it reads.
+    Filters are deliberately NOT part of the signature — the subset
+    relaxation compares them (a cached subtree with fewer predicates can be
+    filtered further) and they keep their constants (different constants
+    are different results).
+    """
+    filters = set()
+    columns = set()
+    signature_parts = []
+    for descendant in walk_plan(node, include_subplans=False):
+        signature_parts.append(descendant["physicalOp"])
+        signature_parts.extend(descendant.get("tables", []))
+        filters.update(descendant.get("filters", []))
+        columns.update(
+            name
+            for name in descendant.get("outputColumns", [])
+            if not _GENERATED_NAME_RE.match(name)
+        )
+    return tuple(signature_parts), frozenset(filters), frozenset(columns)
+
+
+class ReuseEstimate(object):
+    """Result of the reuse analysis over one workload."""
+
+    def __init__(self):
+        self.total_cost = 0.0
+        self.saved_cost = 0.0
+        #: Per-query saving fractions (for the bimodality observation).
+        self.per_query_fraction = []
+
+    @property
+    def saved_fraction(self):
+        if self.total_cost <= 0:
+            return 0.0
+        return self.saved_cost / self.total_cost
+
+    def bimodality(self, low=0.10, high=0.90):
+        """Fractions of queries saving <low and >high of their runtime —
+        the paper observes most savings are either very high or very low."""
+        if not self.per_query_fraction:
+            return 0.0, 0.0
+        total = float(len(self.per_query_fraction))
+        low_count = sum(1 for f in self.per_query_fraction if f < low)
+        high_count = sum(1 for f in self.per_query_fraction if f > high)
+        return low_count / total, high_count / total
+
+
+def estimate_reuse(catalog, exact_only=False):
+    """Run the subtree-matching reuse estimation over a catalog.
+
+    Assumes infinite cache and zero reuse cost, like the paper ("It could
+    overestimate since we assume infinite memory as well as no cost for
+    using a previously computed result").
+    """
+    index = SubtreeIndex(exact_only=exact_only)
+    estimate = ReuseEstimate()
+    seen_sql = set()
+    records = sorted(catalog.records, key=lambda record: record.timestamp)
+    for record in records:
+        if record.plan_json is None:
+            continue
+        key = normalize_sql(record.sql)
+        if key in seen_sql:
+            continue  # duplicates removed first
+        seen_sql.add(key)
+        query_total = max(record.plan_json.get("total", 0.0), 0.0)
+        estimate.total_cost += query_total
+        saved_here = 0.0
+        saved_nodes = []
+        for node in walk_plan(record.plan_json, include_subplans=False):
+            if any(_is_descendant(done, node) for done in saved_nodes):
+                continue  # already covered by a larger matched subtree
+            signature, filters, columns = _subtree_facets(node)
+            if index.find_match(signature, filters, columns):
+                saved_here += node.get("total", 0.0)
+                saved_nodes.append(node)
+        for node in walk_plan(record.plan_json, include_subplans=False):
+            signature, filters, columns = _subtree_facets(node)
+            index.add(signature, filters, columns)
+        saved_here = min(saved_here, query_total)
+        estimate.saved_cost += saved_here
+        estimate.per_query_fraction.append(
+            saved_here / query_total if query_total > 0 else 0.0
+        )
+    return estimate
+
+
+def _is_descendant(ancestor, node):
+    if ancestor is node:
+        return True
+    for child in ancestor.get("children", []):
+        if _is_descendant(child, node):
+            return True
+    return False

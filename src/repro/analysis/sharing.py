@@ -1,0 +1,118 @@
+"""Views and sharing statistics (§5.2: views afford controlled data sharing).
+
+Headline numbers reproduced here: ~56% of datasets derived from others via
+views; ~37% public; ~9% shared with specific users; ~2.5% of views access
+datasets the author does not own; >10% of queries access datasets the query
+author does not own; Figure 6's max-view-depth histogram for the top-100
+most active users.
+"""
+
+import collections
+
+
+class SharingSurvey(object):
+    """Computes the §5.2 statistics over a platform."""
+
+    def __init__(self, platform):
+        self.platform = platform
+
+    # -- dataset-side -----------------------------------------------------------
+
+    def derived_fraction(self):
+        """Fraction of datasets that are views over other datasets."""
+        datasets = list(self.platform.datasets.values())
+        if not datasets:
+            return 0.0
+        derived = sum(1 for d in datasets if d.derived_from)
+        return derived / float(len(datasets))
+
+    def public_fraction(self):
+        datasets = list(self.platform.datasets.values())
+        if not datasets:
+            return 0.0
+        public = sum(
+            1 for d in datasets if self.platform.permissions.is_public(d.name)
+        )
+        return public / float(len(datasets))
+
+    def shared_fraction(self):
+        """Datasets shared with at least one specific user (not public)."""
+        datasets = list(self.platform.datasets.values())
+        if not datasets:
+            return 0.0
+        shared = sum(
+            1
+            for d in datasets
+            if self.platform.permissions.shared_with(d.name)
+        )
+        return shared / float(len(datasets))
+
+    def cross_owner_view_fraction(self):
+        """Views referencing a dataset their author does not own (~2.5%)."""
+        derived = [d for d in self.platform.datasets.values() if d.is_derived]
+        if not derived:
+            return 0.0
+        crossing = 0
+        for dataset in derived:
+            for parent_name in dataset.derived_from:
+                if not self.platform.has_dataset(parent_name):
+                    continue  # parent deleted since; ownership unknowable
+                if self.platform.dataset(parent_name).owner != dataset.owner:
+                    crossing += 1
+                    break
+        return crossing / float(len(derived))
+
+    # -- query-side --------------------------------------------------------------
+
+    def cross_owner_query_fraction(self):
+        """Queries touching a dataset the query author does not own (>10%)."""
+        entries = self.platform.log.successful()
+        if not entries:
+            return 0.0
+        crossing = 0
+        for entry in entries:
+            for name in entry.datasets:
+                if not self.platform.has_dataset(name):
+                    continue  # dataset deleted since
+                if self.platform.dataset(name).owner != entry.owner:
+                    crossing += 1
+                    break
+        return crossing / float(len(entries))
+
+    # -- Figure 6 --------------------------------------------------------------------
+
+    def view_depth_histogram(self, top_users=100, bins=((1, 3), (4, 6), (8, None))):
+        """Max view depth per user, binned as in Figure 6 (1-3 / 4-6 / 8+).
+
+        Only the ``top_users`` most active users (by query count) are
+        considered, and users whose maximum depth is 0 (no derived views)
+        are excluded, as the figure plots view-building users.
+        """
+        activity = collections.Counter(
+            entry.owner for entry in self.platform.log.successful()
+        )
+        top = {user for user, _count in activity.most_common(top_users)}
+        depths = self.platform.views.max_depth_by_user()
+        histogram = collections.OrderedDict()
+        for low, high in bins:
+            label = "%d-%d" % (low, high) if high is not None else "%d+" % low
+            histogram[label] = 0
+        for user, depth in depths.items():
+            if top and user not in top:
+                continue
+            if depth <= 0:
+                continue
+            for (low, high), label in zip(bins, histogram):
+                if depth >= low and (high is None or depth <= high):
+                    histogram[label] += 1
+                    break
+        return histogram
+
+    def summary(self):
+        return {
+            "derived_pct": 100.0 * self.derived_fraction(),
+            "public_pct": 100.0 * self.public_fraction(),
+            "shared_pct": 100.0 * self.shared_fraction(),
+            "cross_owner_view_pct": 100.0 * self.cross_owner_view_fraction(),
+            "cross_owner_query_pct": 100.0 * self.cross_owner_query_fraction(),
+        }

@@ -1,0 +1,82 @@
+"""User classification (§6.4 / Figure 13: SQLShare attracts high churn).
+
+Each user is a point (datasets owned, queries written).  Three regimes:
+
+- *analytical* users upload relatively few tables and query them
+  repeatedly — the conventional database workload;
+- *exploratory* users upload about as many datasets as they write queries
+  — the ad hoc, high-churn workload SQLShare was built for;
+- *one-shot* users upload a single dataset, write a handful of queries and
+  never return.
+"""
+
+import collections
+
+ANALYTICAL = "analytical"
+EXPLORATORY = "exploratory"
+ONE_SHOT = "one-shot"
+
+#: Queries-per-dataset ratio above which a user looks conventional.
+ANALYTICAL_RATIO = 5.0
+#: Maximum dataset count for the one-shot class.
+ONE_SHOT_DATASETS = 1
+
+
+class UserPoint(object):
+    """One user's coordinates and class in the Figure 13 scatter."""
+
+    __slots__ = ("user", "datasets", "queries", "category")
+
+    def __init__(self, user, datasets, queries):
+        self.user = user
+        self.datasets = datasets
+        self.queries = queries
+        self.category = classify(datasets, queries)
+
+    @property
+    def ratio(self):
+        return self.queries / float(max(1, self.datasets))
+
+    def __repr__(self):
+        return "UserPoint(%r, datasets=%d, queries=%d, %s)" % (
+            self.user, self.datasets, self.queries, self.category
+        )
+
+
+def classify(datasets, queries):
+    """Assign the Figure 13 category for one user."""
+    if datasets <= ONE_SHOT_DATASETS:
+        return ONE_SHOT
+    if queries / float(max(1, datasets)) >= ANALYTICAL_RATIO:
+        return ANALYTICAL
+    return EXPLORATORY
+
+
+def user_points(platform):
+    """Build the Figure 13 scatter from a platform's state and log.
+
+    Dataset counts include deleted datasets when they appear in the log
+    history (ownership of a deleted dataset is reconstructed from uploads
+    still present; queries always count)."""
+    owned = collections.Counter(
+        dataset.owner for dataset in platform.datasets.values()
+    )
+    queries = collections.Counter(
+        entry.owner for entry in platform.log.successful()
+    )
+    users = sorted(set(owned) | set(queries))
+    return [UserPoint(user, owned.get(user, 0), queries.get(user, 0)) for user in users]
+
+
+def category_counts(points):
+    counts = collections.Counter(point.category for point in points)
+    return {
+        ANALYTICAL: counts.get(ANALYTICAL, 0),
+        EXPLORATORY: counts.get(EXPLORATORY, 0),
+        ONE_SHOT: counts.get(ONE_SHOT, 0),
+    }
+
+
+def scatter_rows(points):
+    """(datasets, queries, category) triples, ready for plotting/printing."""
+    return [(point.datasets, point.queries, point.category) for point in points]

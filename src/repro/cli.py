@@ -1,0 +1,107 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+- ``demo``    — run the quickstart workflow and print the results.
+- ``analyze`` — generate a deployment and print the paper's tables/figures.
+- ``serve``   — start the REST API over a freshly generated deployment.
+- ``export``  — write an anonymized corpus release to a directory.
+"""
+
+import argparse
+import sys
+
+
+def _cmd_demo(_args):
+    from examples import quickstart  # noqa: F401  (examples on sys.path)
+
+    quickstart.main()
+    return 0
+
+
+def _cmd_analyze(args):
+    sys.path.insert(0, "benchmarks")
+    from benchmarks import run_all
+
+    run_all.main(args.scale)
+    return 0
+
+
+def _cmd_serve(args):
+    from repro.server.rest import serve
+    from repro.synth.driver import build_sqlshare_deployment
+
+    platform = None
+    if args.scale > 0:
+        print("generating deployment at scale %.2f..." % args.scale)
+        platform, generator = build_sqlshare_deployment(scale=args.scale)
+        print("  %(uploads)d uploads, %(queries)d logged queries" % generator.stats)
+    server = serve(platform, host=args.host, port=args.port)
+    print("SQLShare REST API listening on http://%s:%d "
+          "(X-SQLShare-User header selects the identity)"
+          % (args.host, server.server_address[1]))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def _cmd_export(args):
+    from repro.synth.driver import build_sqlshare_deployment
+    from repro.workload.extract import WorkloadAnalyzer
+    from repro.workload.release import export_corpus
+
+    print("generating deployment at scale %.2f..." % args.scale)
+    platform, _generator = build_sqlshare_deployment(scale=args.scale)
+    print("attaching plans...")
+    WorkloadAnalyzer(platform).analyze()
+    manifest = export_corpus(
+        platform, args.out, anonymize=not args.identified
+    )
+    print("wrote corpus release to %s: %s" % (args.out, manifest))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SQLShare reproduction (SIGMOD 2016) command-line tools",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("demo", help="run the quickstart workflow")
+
+    analyze = commands.add_parser("analyze", help="regenerate the paper's results")
+    analyze.add_argument("--scale", type=float, default=0.05,
+                         help="workload scale (1.0 ~ paper size; default 0.05)")
+
+    serve = commands.add_parser("serve", help="start the REST API")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--scale", type=float, default=0.0,
+                       help="pre-populate with a generated deployment (0 = empty)")
+
+    export = commands.add_parser("export", help="write a corpus release")
+    export.add_argument("--out", required=True, help="output directory")
+    export.add_argument("--scale", type=float, default=0.05)
+    export.add_argument("--identified", action="store_true",
+                        help="keep real usernames (default anonymizes)")
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "demo": _cmd_demo,
+        "analyze": _cmd_analyze,
+        "serve": _cmd_serve,
+        "export": _cmd_export,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""The SQLShare platform (Sections 3.2-3.4 of the paper).
+
+Everything is a *dataset*: a ``(sql, metadata, preview)`` triple backed by a
+relational view.  Uploads create a base table plus a trivial wrapper view;
+derived datasets are views over other datasets; sharing is dataset-level
+permissions with Microsoft-style ownership chains; all executed queries are
+logged for the workload analysis.
+"""
+
+from repro.core.dataset import Dataset, DatasetMetadata
+from repro.core.permissions import PermissionManager, Visibility
+from repro.core.querylog import QueryLog, QueryLogEntry
+from repro.core.quota import QuotaManager
+from repro.core.sqlshare import SQLShare
+
+__all__ = [
+    "Dataset",
+    "DatasetMetadata",
+    "PermissionManager",
+    "QueryLog",
+    "QueryLogEntry",
+    "QuotaManager",
+    "SQLShare",
+    "Visibility",
+]

@@ -1,0 +1,133 @@
+"""Parameterized query macros (§5.2, footnote 4).
+
+The paper observed users applying "the same query to multiple source
+datasets, copying and pasting the view definition and only changing the
+name of a table in the FROM clause" and proposed lifting *query macros*
+into the interface: unlike conventional parameterized queries, a macro
+allows parameters in the FROM clause, not only as expressions.
+
+A macro template marks parameters as ``$name``.  On instantiation each
+argument is substituted as an identifier (bracketed) when it names a
+dataset/column, or as a literal otherwise; the result must parse.
+"""
+
+import re
+
+from repro.engine import parser as sql_parser
+from repro.errors import DatasetError, PermissionError_, SQLError
+
+_PARAM_RE = re.compile(r"\$([A-Za-z_][A-Za-z0-9_]*)")
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+class Macro(object):
+    """One stored macro: a template plus its declared parameter names."""
+
+    __slots__ = ("name", "owner", "template", "parameters", "description", "public")
+
+    def __init__(self, name, owner, template, description=""):
+        self.name = name
+        self.owner = owner
+        self.template = template
+        self.parameters = _ordered_params(template)
+        self.description = description
+        self.public = False
+        if not self.parameters:
+            raise SQLError("macro %r has no $parameters" % name)
+
+    def instantiate(self, arguments, is_name=None):
+        """Substitute arguments; returns SQL text (validated by parsing).
+
+        String arguments that look like identifiers (or that ``is_name``
+        recognizes as dataset names, e.g. names with spaces) substitute as
+        bracketed names usable in FROM; anything else becomes a literal.
+        """
+        missing = [p for p in self.parameters if p not in arguments]
+        if missing:
+            raise SQLError("macro %r missing arguments: %s" % (self.name, missing))
+        extra = [key for key in arguments if key not in self.parameters]
+        if extra:
+            raise SQLError("macro %r got unknown arguments: %s" % (self.name, extra))
+
+        def substitute(match):
+            return _render_argument(arguments[match.group(1)], is_name)
+
+        sql = _PARAM_RE.sub(substitute, self.template)
+        sql_parser.parse(sql)  # must be a valid statement
+        return sql
+
+
+def _ordered_params(template):
+    seen = []
+    for match in _PARAM_RE.finditer(template):
+        name = match.group(1)
+        if name not in seen:
+            seen.append(name)
+    return seen
+
+
+def _render_argument(value, is_name=None):
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        if _IDENT_RE.match(value) or (is_name is not None and is_name(value)):
+            return "[%s]" % value
+        return "'%s'" % value.replace("'", "''")
+    raise SQLError("unsupported macro argument %r" % (value,))
+
+
+class MacroManager(object):
+    """Per-platform macro registry with owner/public visibility."""
+
+    def __init__(self, platform):
+        self.platform = platform
+        self._macros = {}
+
+    def define(self, owner, name, template, description=""):
+        key = name.lower()
+        if key in self._macros:
+            raise DatasetError("a macro named %r already exists" % name)
+        macro = Macro(name, owner, template, description)
+        self._macros[key] = macro
+        return macro
+
+    def get(self, name):
+        try:
+            return self._macros[name.lower()]
+        except KeyError:
+            raise DatasetError("no macro named %r" % name)
+
+    def make_public(self, owner, name):
+        macro = self.get(name)
+        if macro.owner != owner:
+            raise PermissionError_("only the owner may publish macro %r" % name)
+        macro.public = True
+
+    def visible_to(self, user):
+        return sorted(
+            macro.name
+            for macro in self._macros.values()
+            if macro.owner == user or macro.public
+        )
+
+    def run(self, user, name, arguments, timestamp=None):
+        """Instantiate and execute a macro as ``user`` (permission-checked
+        by the normal query path, so FROM-clause parameters are safe)."""
+        macro = self.get(name)
+        if macro.owner != user and not macro.public:
+            raise PermissionError_("macro %r is private" % name)
+        sql = macro.instantiate(arguments, is_name=self.platform.has_dataset)
+        return self.platform.run_query(user, sql, timestamp=timestamp)
+
+    def save_as_dataset(self, user, name, arguments, dataset_name, timestamp=None):
+        """Instantiate a macro and save the result as a derived dataset."""
+        macro = self.get(name)
+        if macro.owner != user and not macro.public:
+            raise PermissionError_("macro %r is private" % name)
+        sql = macro.instantiate(arguments, is_name=self.platform.has_dataset)
+        return self.platform.create_dataset(
+            user, dataset_name, sql, timestamp=timestamp,
+            description="macro %s%r" % (macro.name, tuple(sorted(arguments))),
+        )

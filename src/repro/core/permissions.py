@@ -1,0 +1,113 @@
+"""Dataset-level permissions with Microsoft-style ownership chains.
+
+"A dataset can either be private, public or shared with specific set of
+users. ... The semantics for determining access to a shared resource uses
+the concept of ownership chains, following the semantics of Microsoft SQL
+Server." (§3.2)  If A owns table T and shares view V1(T) with B, B may
+query V1 even though T is private; but if B derives V2(V1) and shares it
+with C, C's access breaks because the chain V2 -> V1 crosses owners.
+"""
+
+from repro.errors import DatasetError, PermissionError_
+
+
+class Visibility(object):
+    PRIVATE = "private"
+    PUBLIC = "public"
+    SHARED = "shared"  # private plus an explicit grant list
+
+
+class PermissionManager(object):
+    """Tracks visibility and grants; evaluates chained access."""
+
+    def __init__(self, dataset_lookup):
+        #: Callable: dataset name -> Dataset (raises DatasetError if absent).
+        self._lookup = dataset_lookup
+        self._public = set()
+        self._grants = {}  # dataset name (lower) -> set of users
+
+    # -- mutation ------------------------------------------------------------
+
+    def make_public(self, name):
+        self._public.add(name.lower())
+
+    def make_private(self, name):
+        self._public.discard(name.lower())
+        self._grants.pop(name.lower(), None)
+
+    def share(self, name, user):
+        self._grants.setdefault(name.lower(), set()).add(user)
+
+    def unshare(self, name, user):
+        self._grants.get(name.lower(), set()).discard(user)
+
+    def forget(self, name):
+        """Drop all permission state for a deleted dataset."""
+        self._public.discard(name.lower())
+        self._grants.pop(name.lower(), None)
+
+    # -- inspection -----------------------------------------------------------
+
+    def is_public(self, name):
+        return name.lower() in self._public
+
+    def shared_with(self, name):
+        return set(self._grants.get(name.lower(), set()))
+
+    def visibility(self, name):
+        if self.is_public(name):
+            return Visibility.PUBLIC
+        if self._grants.get(name.lower()):
+            return Visibility.SHARED
+        return Visibility.PRIVATE
+
+    def has_direct_access(self, user, name):
+        """Owner, public, or explicitly granted — ignoring chains."""
+        dataset = self._lookup(name)
+        if dataset.owner == user:
+            return True
+        if self.is_public(name):
+            return True
+        return user in self._grants.get(name.lower(), set())
+
+    # -- chained access --------------------------------------------------------
+
+    def check_access(self, user, name):
+        """Raise :class:`PermissionError_` unless ``user`` may query ``name``.
+
+        Walks the provenance graph applying ownership-chain semantics: a
+        referenced dataset's permission check is skipped exactly when its
+        owner matches the referencing dataset's owner (unbroken chain).
+        """
+        self._check(user, name, via_owner=None, trail=[])
+
+    def can_access(self, user, name):
+        try:
+            self.check_access(user, name)
+            return True
+        except PermissionError_:
+            return False
+
+    def _check(self, user, name, via_owner, trail):
+        if name.lower() in (t.lower() for t in trail):
+            return  # cycles cannot grant more access than the first visit
+        try:
+            dataset = self._lookup(name)
+        except DatasetError:
+            if via_owner is not None:
+                # A referenced dataset was deleted: permission is moot; the
+                # query will fail at the engine with a catalog error.
+                return
+            raise
+        chain_unbroken = via_owner is not None and dataset.owner == via_owner
+        if not chain_unbroken and not self.has_direct_access(user, name):
+            if via_owner is None:
+                raise PermissionError_(
+                    "user %r may not access dataset %r" % (user, name)
+                )
+            raise PermissionError_(
+                "broken ownership chain at %r (owned by %r, reached via %r): "
+                "user %r needs direct permission" % (name, dataset.owner, trail[-1], user)
+            )
+        for referenced in dataset.derived_from:
+            self._check(user, referenced, via_owner=dataset.owner, trail=trail + [name])

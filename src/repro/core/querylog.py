@@ -1,0 +1,107 @@
+"""The query log: the research corpus this whole experiment exists to collect.
+
+"SQLShare logs all executed queries; this log was collected to inform
+research on new database systems supporting ad hoc analytics over weakly
+structured data." (§4)  Each entry records who ran what and when, which
+datasets the query touched, and the optimizer's cost estimate; Phase 1 of
+the analysis later attaches a JSON plan to each entry.
+"""
+
+import datetime as _dt
+import itertools
+
+
+class QueryLogEntry(object):
+    """One executed (or explained) query."""
+
+    __slots__ = (
+        "query_id",
+        "owner",
+        "sql",
+        "timestamp",
+        "datasets",
+        "tables",
+        "columns",
+        "views",
+        "runtime",
+        "row_count",
+        "error",
+        "plan_json",
+        "source",
+    )
+
+    def __init__(self, query_id, owner, sql, timestamp, datasets=(), tables=(),
+                 columns=(), views=(), runtime=0.0, row_count=0, error=None,
+                 source="webui"):
+        self.query_id = query_id
+        self.owner = owner
+        self.sql = sql
+        self.timestamp = timestamp
+        #: Dataset names referenced directly by the query text.
+        self.datasets = tuple(datasets)
+        #: Base tables reached through any chain of views.
+        self.tables = tuple(tables)
+        #: (table, column) pairs reached.
+        self.columns = tuple(columns)
+        #: Views (wrapper or derived) expanded while planning.
+        self.views = tuple(views)
+        #: Estimated runtime (optimizer cost units), as the paper uses.
+        self.runtime = runtime
+        self.row_count = row_count
+        self.error = error
+        #: Phase-1 JSON plan, attached by the workload framework.
+        self.plan_json = None
+        #: Where the query came from ("webui" or "rest").
+        self.source = source
+
+    @property
+    def succeeded(self):
+        return self.error is None
+
+    @property
+    def length(self):
+        """ASCII character length — the paper's simplest complexity proxy."""
+        return len(self.sql)
+
+    def __repr__(self):
+        return "QueryLogEntry(%s, %r, %d chars)" % (self.query_id, self.owner, self.length)
+
+
+class QueryLog(object):
+    """Append-only log with simple per-user and per-dataset indexes."""
+
+    def __init__(self):
+        self.entries = []
+        self._ids = itertools.count(1)
+
+    def record(self, owner, sql, timestamp=None, **kwargs):
+        if timestamp is None:
+            timestamp = _dt.datetime(2011, 1, 1) + _dt.timedelta(
+                seconds=len(self.entries)
+            )
+        entry = QueryLogEntry(next(self._ids), owner, sql, timestamp, **kwargs)
+        self.entries.append(entry)
+        return entry
+
+    def __len__(self):
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def successful(self):
+        return [entry for entry in self.entries if entry.succeeded]
+
+    def by_user(self, owner):
+        return [entry for entry in self.entries if entry.owner == owner]
+
+    def users(self):
+        return sorted({entry.owner for entry in self.entries})
+
+    def referencing(self, dataset_name):
+        lowered = dataset_name.lower()
+        return [
+            entry
+            for entry in self.entries
+            if any(name.lower() == lowered for name in entry.datasets)
+        ]

@@ -1,0 +1,38 @@
+"""Per-user storage quotas (the "Quotas" box in the Figure 3 architecture)."""
+
+from repro.errors import QuotaError
+
+#: Default per-user quota: generous relative to the paper's 143 GB total,
+#: scaled to this in-memory reproduction.
+DEFAULT_QUOTA_BYTES = 512 * 1024 * 1024
+
+
+class QuotaManager(object):
+    """Tracks bytes attributed to each user's uploaded base tables."""
+
+    def __init__(self, default_quota=DEFAULT_QUOTA_BYTES):
+        self.default_quota = default_quota
+        self._limits = {}
+        self._usage = {}
+
+    def set_limit(self, user, quota_bytes):
+        self._limits[user] = quota_bytes
+
+    def limit(self, user):
+        return self._limits.get(user, self.default_quota)
+
+    def usage(self, user):
+        return self._usage.get(user, 0)
+
+    def charge(self, user, byte_count):
+        """Attribute bytes to a user; raises :class:`QuotaError` over limit."""
+        new_usage = self.usage(user) + byte_count
+        if new_usage > self.limit(user):
+            raise QuotaError(
+                "user %r would use %d bytes, over the %d-byte quota"
+                % (user, new_usage, self.limit(user))
+            )
+        self._usage[user] = new_usage
+
+    def refund(self, user, byte_count):
+        self._usage[user] = max(0, self.usage(user) - byte_count)

@@ -1,0 +1,412 @@
+"""The SQLShare platform facade.
+
+The minimal workflow the paper set out to deliver: upload data, write
+queries, share the results — with installation, deployment, schema design,
+physical tuning and data dissemination automated away.  This object wires
+together the engine, the ingest pipeline, the dataset model, permissions,
+quotas and the query log.
+"""
+
+import datetime as _dt
+import itertools
+import re
+
+from repro.core.dataset import Dataset, PREVIEW_ROWS
+from repro.core.permissions import PermissionManager
+from repro.core.querylog import QueryLog
+from repro.core.quota import QuotaManager
+from repro.core.views import ViewGraph
+from repro.engine import ast_nodes as ast
+from repro.engine import parser as sql_parser
+from repro.engine.catalog import Column
+from repro.engine.database import Database
+from repro.engine.types import unify_types
+from repro.errors import DatasetError, PermissionError_
+from repro.ingest.ingestor import Ingestor
+from repro.ingest.staging import StagingArea
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_ ]*$")
+
+
+def quote_ident(name):
+    """Bracket-quote a dataset name for use in SQL."""
+    return "[%s]" % name
+
+
+def referenced_dataset_names(query_ast):
+    """Names referenced directly by a query AST (its own FROM clauses,
+    including subqueries — but not names inside referenced views)."""
+    names = []
+    seen = set()
+    for node in query_ast.walk():
+        if isinstance(node, ast.TableRef):
+            lowered = node.name.lower()
+            if lowered not in seen:
+                seen.add(lowered)
+                names.append(node.name)
+    return names
+
+
+class SQLShare(object):
+    """A complete in-process SQLShare deployment."""
+
+    def __init__(self, database=None, quota_manager=None, start_time=None):
+        self.db = database or Database()
+        self.staging = StagingArea()
+        self.ingestor = Ingestor(self.db)
+        self.log = QueryLog()
+        self.quotas = quota_manager or QuotaManager()
+        self.datasets = {}  # lower-case name -> Dataset
+        self.permissions = PermissionManager(self.dataset)
+        self.views = ViewGraph(self.dataset, lambda: list(self.datasets.values()))
+        self._table_ids = itertools.count(1)
+        self._clock = start_time or _dt.datetime(2011, 6, 1, 9, 0, 0)
+        #: Ingest reports by dataset name (feeds the §5.1 analysis).
+        self.ingest_reports = {}
+        #: Parameterized query macros (§5.2 footnote 4).
+        from repro.core.macros import MacroManager
+
+        self.macros = MacroManager(self)
+
+    # -- time -----------------------------------------------------------------
+
+    def _now(self, timestamp):
+        if timestamp is not None:
+            self._clock = max(self._clock, timestamp)
+            return timestamp
+        self._clock += _dt.timedelta(seconds=60)
+        return self._clock
+
+    # -- dataset lookup ----------------------------------------------------------
+
+    def dataset(self, name):
+        try:
+            return self.datasets[name.lower()]
+        except KeyError:
+            raise DatasetError("no dataset named %r" % name)
+
+    def has_dataset(self, name):
+        return name.lower() in self.datasets
+
+    def dataset_names(self):
+        return sorted(dataset.name for dataset in self.datasets.values())
+
+    def datasets_by_user(self, owner):
+        return [d for d in self.datasets.values() if d.owner == owner]
+
+    def public_datasets(self):
+        return [d for d in self.datasets.values() if self.permissions.is_public(d.name)]
+
+    def users(self):
+        return sorted({d.owner for d in self.datasets.values()} | set(self.log.users()))
+
+    # -- upload (Figure 2 b/c/d) ---------------------------------------------------
+
+    def upload(self, owner, name, text, description="", tags=None, timestamp=None):
+        """Stage and ingest a delimited file; returns the wrapper Dataset.
+
+        Creates a physical base table plus the trivial wrapper view
+        ``SELECT * FROM <base>`` so that "everything is a dataset" and
+        novice users always have an example query to edit (§3.2).
+        """
+        self._validate_name(name)
+        moment = self._now(timestamp)
+        staging_id = self.staging.stage(name, text, owner)
+        self.staging.record_attempt(staging_id)
+        self.quotas.charge(owner, len(text))
+        base_table = "t_%05d_%s" % (next(self._table_ids), _safe(name))
+        try:
+            report = self.ingestor.ingest_text(base_table, text)
+        except Exception:
+            self.quotas.refund(owner, len(text))
+            raise  # file remains staged for retry
+        self.staging.discard(staging_id)
+        wrapper_sql = "SELECT * FROM %s" % base_table
+        self.db.create_view(name, sql_parser.parse(wrapper_sql), sql=wrapper_sql)
+        dataset = Dataset(
+            name, owner, wrapper_sql, "wrapper",
+            base_table=base_table, created_at=moment,
+            description=description, tags=tags,
+        )
+        self.datasets[name.lower()] = dataset
+        self.ingest_reports[name.lower()] = report
+        self._refresh_preview(dataset)
+        return dataset
+
+    def _validate_name(self, name):
+        if not _NAME_RE.match(name or ""):
+            raise DatasetError("invalid dataset name %r" % name)
+        if self.has_dataset(name):
+            raise DatasetError("a dataset named %r already exists" % name)
+
+    # -- derived datasets (Figure 2 e) ------------------------------------------------
+
+    def create_dataset(self, owner, name, sql, description="", tags=None, timestamp=None):
+        """Save a query as a named derived dataset (view).
+
+        View creation is "a side effect of query authoring": no CREATE VIEW
+        syntax, just a query and a name.  The owner must be able to access
+        every dataset the query references.
+        """
+        self._validate_name(name)
+        moment = self._now(timestamp)
+        query = self._parse_query(sql)
+        referenced = self._resolve_references(owner, query)
+        self.db.create_view(name, query, sql=sql)
+        dataset = Dataset(
+            name, owner, sql, "derived",
+            derived_from=referenced, created_at=moment,
+            description=description, tags=tags,
+        )
+        self.datasets[name.lower()] = dataset
+        self._refresh_preview(dataset)
+        return dataset
+
+    def append(self, owner, name, text, timestamp=None):
+        """Append a batch by rewriting the view as (E) UNION ALL (N) (§3.2).
+
+        The new batch is uploaded as its own base table, so it can later be
+        "uninserted" and the batch substructure inspected.
+        """
+        dataset = self.dataset(name)
+        if dataset.owner != owner:
+            raise PermissionError_("only the owner may append to %r" % name)
+        self._now(timestamp)
+        base_table = "t_%05d_%s" % (next(self._table_ids), _safe(name + "_batch"))
+        self.quotas.charge(owner, len(text))
+        try:
+            self.ingestor.ingest_text(base_table, text)
+        except Exception:
+            self.quotas.refund(owner, len(text))
+            raise
+        try:
+            self._check_append_compatible(dataset, base_table)
+        except DatasetError:
+            self.db.catalog.drop_table(base_table, if_exists=True)
+            self.quotas.refund(owner, len(text))
+            raise
+        new_sql = "(%s) UNION ALL (SELECT * FROM %s)" % (dataset.sql, base_table)
+        self.db.create_view(name, self._parse_query(new_sql), sql=new_sql, replace=True)
+        dataset.sql = new_sql
+        self._refresh_preview(dataset)
+        return dataset
+
+    def _check_append_compatible(self, dataset, base_table):
+        existing = self.db.query_schema("SELECT * FROM %s" % quote_ident(dataset.name))
+        incoming = self.db.query_schema("SELECT * FROM %s" % base_table)
+        if len(existing) != len(incoming):
+            raise DatasetError(
+                "append to %r: column count mismatch (%d vs %d)"
+                % (dataset.name, len(existing), len(incoming))
+            )
+        for (old_name, old_type), (new_name, new_type) in zip(existing, incoming):
+            if old_name.lower() != new_name.lower():
+                raise DatasetError(
+                    "append to %r: column %r does not match %r"
+                    % (dataset.name, new_name, old_name)
+                )
+            unify_types(old_type, new_type)  # widening is always permitted
+
+    def materialize(self, owner, name, source_name, timestamp=None):
+        """Snapshot a dataset's current contents into a new physical dataset.
+
+        "the user can materialize the dataset to create a snapshot that is
+        distinct from the original view definition" (§3.2).
+        """
+        self._validate_name(name)
+        self.permissions.check_access(owner, source_name)
+        moment = self._now(timestamp)
+        result = self.db.execute("SELECT * FROM %s" % quote_ident(source_name))
+        schema = self.db.query_schema("SELECT * FROM %s" % quote_ident(source_name))
+        base_table = "t_%05d_%s" % (next(self._table_ids), _safe(name))
+        columns = [Column(col_name, col_type) for col_name, col_type in schema]
+        self.db.create_table_from_rows(base_table, columns, result.rows)
+        wrapper_sql = "SELECT * FROM %s" % base_table
+        self.db.create_view(name, sql_parser.parse(wrapper_sql), sql=wrapper_sql)
+        dataset = Dataset(
+            name, owner, wrapper_sql, "snapshot",
+            base_table=base_table, created_at=moment,
+        )
+        self.datasets[name.lower()] = dataset
+        self._refresh_preview(dataset)
+        return dataset
+
+    def delete_dataset(self, owner, name):
+        """Delete a dataset (the daily upload-process-download-delete loop).
+
+        Dependent views are left in place — they fail at query time, exactly
+        as in the deployed system.
+        """
+        dataset = self.dataset(name)
+        if dataset.owner != owner:
+            raise PermissionError_("only the owner may delete %r" % name)
+        self.db.catalog.drop_view(name, if_exists=True)
+        if dataset.base_table:
+            self.db.catalog.drop_table(dataset.base_table, if_exists=True)
+        self.permissions.forget(name)
+        del self.datasets[name.lower()]
+
+    # -- querying ------------------------------------------------------------------
+
+    def run_query(self, user, sql, timestamp=None, source="webui", log_errors=False):
+        """Execute a read-only query as ``user``, enforcing permissions.
+
+        Every successful execution is appended to the query log with its
+        referenced datasets and the optimizer's cost estimate.
+        """
+        moment = self._now(timestamp)
+        try:
+            query = self._parse_query(sql)
+            referenced = self._check_query_access(user, query)
+            result = self.db.execute(sql)
+        except Exception as exc:
+            if log_errors:
+                self.log.record(user, sql, timestamp=moment, error=str(exc), source=source)
+            raise
+        info = result.info
+        self.log.record(
+            user, sql, timestamp=moment,
+            datasets=referenced,
+            tables=sorted(info.tables),
+            columns=sorted(info.columns),
+            views=sorted(info.views),
+            runtime=result.plan.total_cost,
+            row_count=len(result.rows),
+            source=source,
+        )
+        return result
+
+    def explain_query(self, user, sql):
+        """Plan a query (permission-checked) without executing it."""
+        query = self._parse_query(sql)
+        self._check_query_access(user, query)
+        return self.db.explain(sql)
+
+    def preview(self, user, name):
+        """The dataset's cached 100-row preview (no query execution, §3.3)."""
+        self.permissions.check_access(user, name)
+        dataset = self.dataset(name)
+        return dataset.preview_columns, dataset.preview_rows
+
+    def download(self, user, name, timestamp=None):
+        """Full results — the one path that must actually run the query (§3.3)."""
+        return self.run_query(
+            user, "SELECT * FROM %s" % quote_ident(name), timestamp=timestamp,
+            source="rest",
+        )
+
+    def _parse_query(self, sql):
+        statement = sql_parser.parse(sql)
+        if not isinstance(statement, (ast.Select, ast.SetOperation, ast.WithQuery)):
+            raise PermissionError_(
+                "users may not run DDL statements; save a query as a dataset instead"
+            )
+        return statement
+
+    def _check_query_access(self, user, query):
+        referenced = []
+        for name in referenced_dataset_names(query):
+            if self.has_dataset(name):
+                self.permissions.check_access(user, name)
+                referenced.append(self.dataset(name).name)
+            elif self.db.catalog.has_table(name):
+                raise PermissionError_(
+                    "%r is an internal table; query its dataset instead" % name
+                )
+            # Unknown names fall through to the engine's CatalogError.
+        return referenced
+
+    def _resolve_references(self, owner, query):
+        referenced = []
+        for name in referenced_dataset_names(query):
+            if self.has_dataset(name):
+                self.permissions.check_access(owner, name)
+                referenced.append(self.dataset(name).name)
+            elif self.db.catalog.has_table(name):
+                raise PermissionError_(
+                    "%r is an internal table; reference its dataset instead" % name
+                )
+        return referenced
+
+    def _refresh_preview(self, dataset):
+        result = self.db.execute(
+            "SELECT TOP %d * FROM %s" % (PREVIEW_ROWS, quote_ident(dataset.name))
+        )
+        dataset.set_preview(result.columns, result.rows)
+
+    # -- sharing ----------------------------------------------------------------------
+
+    def make_public(self, owner, name):
+        self._require_owner(owner, name)
+        self.permissions.make_public(name)
+
+    def make_private(self, owner, name):
+        self._require_owner(owner, name)
+        self.permissions.make_private(name)
+
+    def share(self, owner, name, user):
+        self._require_owner(owner, name)
+        self.permissions.share(name, user)
+
+    def unshare(self, owner, name, user):
+        self._require_owner(owner, name)
+        self.permissions.unshare(name, user)
+
+    def visibility(self, name):
+        self.dataset(name)
+        return self.permissions.visibility(name)
+
+    def _require_owner(self, owner, name):
+        dataset = self.dataset(name)
+        if dataset.owner != owner:
+            raise PermissionError_(
+                "only the owner of %r may change its permissions" % name
+            )
+
+    # -- metadata ------------------------------------------------------------------------
+
+    def set_description(self, owner, name, description):
+        self._require_owner(owner, name)
+        self.dataset(name).metadata.description = description
+
+    def add_tags(self, owner, name, tags):
+        self._require_owner(owner, name)
+        self.dataset(name).metadata.tags.update(tags)
+
+    def find_by_tag(self, tag):
+        return [
+            dataset for dataset in self.datasets.values()
+            if tag in dataset.metadata.tags
+        ]
+
+    def mint_doi(self, owner, name):
+        """Assign a DOI-like identifier (the data-publishing use case, §5.2)."""
+        self._require_owner(owner, name)
+        dataset = self.dataset(name)
+        if dataset.doi is None:
+            dataset.doi = "10.5072/sqlshare.%s" % _safe(name).lower()
+        return dataset.doi
+
+    # -- statistics used throughout Sections 5/6 -----------------------------------------
+
+    def total_bytes(self):
+        return self.db.total_bytes()
+
+    def summary(self):
+        """Table 2a-style counts for this deployment."""
+        derived = sum(1 for d in self.datasets.values() if d.is_derived)
+        column_count = 0
+        for table in self.db.catalog.tables():
+            column_count += len(table.columns)
+        return {
+            "users": len(self.users()),
+            "tables": len(self.db.catalog.tables()),
+            "columns": column_count,
+            "datasets": len(self.datasets),
+            "derived_views": derived,
+            "queries": len(self.log),
+        }
+
+
+def _safe(name):
+    return re.sub(r"[^0-9a-zA-Z_]+", "_", name).strip("_") or "dataset"

@@ -1,0 +1,90 @@
+"""The view/provenance graph over datasets.
+
+Datasets form a DAG via their ``derived_from`` edges.  This module computes
+the provenance chains collaborators browse ("long chains of nested views to
+understand the provenance of a dataset") and the view-depth statistic of
+Figure 6.
+"""
+
+from repro.errors import DatasetError
+
+
+class ViewCycleError(DatasetError):
+    """The provenance graph contains a cycle (impossible through the
+    platform API, but guarded for direct graph construction)."""
+
+
+class ViewGraph(object):
+    """Dependency queries over a dataset collection."""
+
+    def __init__(self, dataset_lookup, all_datasets):
+        #: Callable: name -> Dataset.
+        self._lookup = dataset_lookup
+        #: Callable: () -> iterable of Dataset.
+        self._all = all_datasets
+
+    def depth(self, name):
+        """View depth: wrappers are 0; a derived view is 1 + max over parents.
+
+        A derived view referencing only uploaded (wrapper) datasets thus has
+        depth 1, a view over that has depth 2, and so on.
+        """
+        return self._depth(name, set())
+
+    def _depth(self, name, visiting):
+        lowered = name.lower()
+        if lowered in visiting:
+            raise ViewCycleError("cycle in view graph at %r" % name)
+        dataset = self._lookup(name)
+        if not dataset.derived_from:
+            return 0
+        visiting = visiting | {lowered}
+        parent_depths = []
+        for parent in dataset.derived_from:
+            try:
+                parent_depths.append(self._depth(parent, visiting))
+            except ViewCycleError:
+                raise
+            except DatasetError:
+                # Parent deleted since: the chain below it is unknowable.
+                parent_depths.append(0)
+        return 1 + max(parent_depths)
+
+    def provenance(self, name):
+        """All ancestor dataset names, nearest first (breadth-first)."""
+        seen = []
+        seen_set = set()
+        frontier = [name]
+        while frontier:
+            next_frontier = []
+            for current in frontier:
+                try:
+                    dataset = self._lookup(current)
+                except DatasetError:
+                    continue  # deleted ancestor: chain ends here
+                for parent in dataset.derived_from:
+                    lowered = parent.lower()
+                    if lowered not in seen_set:
+                        seen_set.add(lowered)
+                        seen.append(parent)
+                        next_frontier.append(parent)
+            frontier = next_frontier
+        return seen
+
+    def dependents(self, name):
+        """Dataset names that reference ``name`` directly."""
+        lowered = name.lower()
+        return [
+            dataset.name
+            for dataset in self._all()
+            if any(parent.lower() == lowered for parent in dataset.derived_from)
+        ]
+
+    def max_depth_by_user(self):
+        """user -> max depth over the datasets they own (Figure 6 input)."""
+        result = {}
+        for dataset in self._all():
+            depth = self.depth(dataset.name)
+            if depth > result.get(dataset.owner, -1):
+                result[dataset.owner] = depth
+        return result

@@ -1,0 +1,15 @@
+"""A from-scratch relational engine standing in for the Azure SQL backend.
+
+The engine exists to make the paper's workload-analysis pipeline real: every
+query in the (synthetic) SQLShare and SDSS workloads is parsed, planned with a
+SQL-Server-flavoured cost model, and optionally executed, and its plan is
+exported in a ``SHOWPLAN_XML``-style document that Phase 1 of the analysis
+framework consumes.
+
+Public entry point: :class:`repro.engine.database.Database`.
+"""
+
+from repro.engine.database import Database
+from repro.engine.types import SQLType
+
+__all__ = ["Database", "SQLType"]

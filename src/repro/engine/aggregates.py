@@ -1,0 +1,204 @@
+"""Aggregate function accumulators (COUNT/SUM/AVG/MIN/MAX/STDEV/VAR...).
+
+Each aggregate is a small accumulator class; the Stream Aggregate operator
+instantiates one per (group, aggregate) pair.  NULLs are ignored by every
+aggregate except ``COUNT(*)``, per the standard.
+"""
+
+import math
+from decimal import Decimal
+
+from repro.engine.types import SQLType
+from repro.errors import BindError
+
+AGGREGATE_NAMES = frozenset(
+    ["count", "count_big", "sum", "avg", "min", "max", "stdev", "stdevp", "var", "varp"]
+)
+
+
+def is_aggregate_name(name):
+    return name.lower() in AGGREGATE_NAMES
+
+
+class Accumulator(object):
+    """Base accumulator: feed values with add(), read with result()."""
+
+    def add(self, value):
+        raise NotImplementedError
+
+    def result(self):
+        raise NotImplementedError
+
+
+class CountStar(Accumulator):
+    def __init__(self):
+        self.count = 0
+
+    def add(self, value):
+        self.count += 1
+
+    def result(self):
+        return self.count
+
+
+class Count(Accumulator):
+    def __init__(self, distinct=False):
+        self.distinct = distinct
+        self.count = 0
+        self.seen = set() if distinct else None
+
+    def add(self, value):
+        if value is None:
+            return
+        if self.distinct:
+            key = _hashable(value)
+            if key in self.seen:
+                return
+            self.seen.add(key)
+        self.count += 1
+
+    def result(self):
+        return self.count
+
+
+class Sum(Accumulator):
+    def __init__(self, distinct=False):
+        self.distinct = distinct
+        self.total = None
+        self.seen = set() if distinct else None
+
+    def add(self, value):
+        if value is None:
+            return
+        if self.distinct:
+            key = _hashable(value)
+            if key in self.seen:
+                return
+            self.seen.add(key)
+        value = float(value) if isinstance(value, Decimal) else value
+        self.total = value if self.total is None else self.total + value
+
+    def result(self):
+        return self.total
+
+
+class Avg(Accumulator):
+    def __init__(self, distinct=False):
+        self.sum = Sum(distinct)
+        self.count = Count(distinct)
+
+    def add(self, value):
+        self.sum.add(value)
+        self.count.add(value)
+
+    def result(self):
+        total = self.sum.result()
+        count = self.count.result()
+        if not count:
+            return None
+        # T-SQL AVG over INT yields INT; we return float to avoid the classic
+        # surprise, matching the science-analytics expectation.
+        return total / float(count)
+
+
+class Min(Accumulator):
+    def __init__(self):
+        self.value = None
+
+    def add(self, value):
+        if value is None:
+            return
+        if self.value is None or _lt(value, self.value):
+            self.value = value
+
+    def result(self):
+        return self.value
+
+
+class Max(Accumulator):
+    def __init__(self):
+        self.value = None
+
+    def add(self, value):
+        if value is None:
+            return
+        if self.value is None or _lt(self.value, value):
+            self.value = value
+
+    def result(self):
+        return self.value
+
+
+class Variance(Accumulator):
+    """Welford's online variance; sample (VAR/STDEV) or population (…P)."""
+
+    def __init__(self, population=False, stdev=False):
+        self.population = population
+        self.stdev = stdev
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def add(self, value):
+        if value is None:
+            return
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    def result(self):
+        if self.count == 0:
+            return None
+        if self.population:
+            variance = self.m2 / self.count
+        else:
+            if self.count < 2:
+                return None
+            variance = self.m2 / (self.count - 1)
+        return math.sqrt(variance) if self.stdev else variance
+
+
+def _hashable(value):
+    return value
+
+
+def _lt(left, right):
+    from repro.engine.expressions import compare_values
+
+    return compare_values(left, right) < 0
+
+
+def make_accumulator(name, distinct=False, star=False):
+    """Build an accumulator for an aggregate call."""
+    lowered = name.lower()
+    if lowered in ("count", "count_big"):
+        return CountStar() if star else Count(distinct)
+    if lowered == "sum":
+        return Sum(distinct)
+    if lowered == "avg":
+        return Avg(distinct)
+    if lowered == "min":
+        return Min()
+    if lowered == "max":
+        return Max()
+    if lowered == "stdev":
+        return Variance(population=False, stdev=True)
+    if lowered == "stdevp":
+        return Variance(population=True, stdev=True)
+    if lowered == "var":
+        return Variance(population=False, stdev=False)
+    if lowered == "varp":
+        return Variance(population=True, stdev=False)
+    raise BindError("unknown aggregate %r" % name)
+
+
+def result_type(name, arg_type):
+    """Result SQLType of an aggregate given its argument type."""
+    lowered = name.lower()
+    if lowered in ("count", "count_big"):
+        return SQLType.BIGINT if lowered == "count_big" else SQLType.INT
+    if lowered in ("avg", "stdev", "stdevp", "var", "varp"):
+        return SQLType.FLOAT
+    return arg_type

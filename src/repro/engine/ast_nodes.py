@@ -1,0 +1,418 @@
+"""Abstract syntax tree for the engine's SQL dialect.
+
+Nodes are small plain classes with ``__slots__``; equality and repr are
+field-based to make parser tests direct.  Every expression node supports
+``walk()`` yielding itself and its descendants, which the analysis layer
+uses for idiom detection (CASE-to-NULL, CAST, renaming, ...).
+"""
+
+
+class Node(object):
+    """Base AST node: slot-based equality, repr and traversal."""
+
+    __slots__ = ()
+
+    def _fields(self):
+        return [(name, getattr(self, name)) for name in self.__slots__]
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self._fields() == other._fields()
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    def __hash__(self):
+        return hash((type(self).__name__, tuple(repr(v) for _, v in self._fields())))
+
+    def __repr__(self):
+        args = ", ".join("%s=%r" % (k, v) for k, v in self._fields())
+        return "%s(%s)" % (type(self).__name__, args)
+
+    def children(self):
+        """Child Nodes, recursing into lists/tuples of nodes."""
+        out = []
+        for _, value in self._fields():
+            if isinstance(value, Node):
+                out.append(value)
+            elif isinstance(value, (list, tuple)):
+                out.extend(v for v in value if isinstance(v, Node))
+        return out
+
+    def walk(self):
+        """Yield this node and all descendants, preorder."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+class Literal(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+class ColumnRef(Node):
+    """``name`` or ``table.name``; ``table`` may be None."""
+
+    __slots__ = ("table", "name")
+
+    def __init__(self, name, table=None):
+        self.table = table
+        self.name = name
+
+
+class Star(Node):
+    """``*`` or ``table.*`` in a select list or COUNT(*)."""
+
+    __slots__ = ("table",)
+
+    def __init__(self, table=None):
+        self.table = table
+
+
+class BinaryOp(Node):
+    """Arithmetic/comparison/logical binary operator; op is canonical text."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right):
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class UnaryOp(Node):
+    """``-x``, ``+x`` or ``NOT x``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand):
+        self.op = op
+        self.operand = operand
+
+
+class IsNull(Node):
+    __slots__ = ("operand", "negated")
+
+    def __init__(self, operand, negated=False):
+        self.operand = operand
+        self.negated = negated
+
+
+class Between(Node):
+    __slots__ = ("operand", "low", "high", "negated")
+
+    def __init__(self, operand, low, high, negated=False):
+        self.operand = operand
+        self.low = low
+        self.high = high
+        self.negated = negated
+
+
+class InList(Node):
+    __slots__ = ("operand", "items", "negated")
+
+    def __init__(self, operand, items, negated=False):
+        self.operand = operand
+        self.items = items
+        self.negated = negated
+
+
+class InSubquery(Node):
+    __slots__ = ("operand", "subquery", "negated")
+
+    def __init__(self, operand, subquery, negated=False):
+        self.operand = operand
+        self.subquery = subquery
+        self.negated = negated
+
+
+class Exists(Node):
+    __slots__ = ("subquery", "negated")
+
+    def __init__(self, subquery, negated=False):
+        self.subquery = subquery
+        self.negated = negated
+
+
+class ScalarSubquery(Node):
+    __slots__ = ("subquery",)
+
+    def __init__(self, subquery):
+        self.subquery = subquery
+
+
+class Like(Node):
+    """LIKE with optional ESCAPE (escape kept simple: a literal char)."""
+
+    __slots__ = ("operand", "pattern", "negated")
+
+    def __init__(self, operand, pattern, negated=False):
+        self.operand = operand
+        self.pattern = pattern
+        self.negated = negated
+
+
+class Case(Node):
+    """Searched or simple CASE.  For simple CASE ``operand`` is not None."""
+
+    __slots__ = ("operand", "whens", "else_result")
+
+    def __init__(self, whens, else_result=None, operand=None):
+        self.operand = operand
+        self.whens = whens  # list of (condition_or_value, result)
+        self.else_result = else_result
+
+    def children(self):
+        out = []
+        if self.operand is not None:
+            out.append(self.operand)
+        for cond, result in self.whens:
+            out.append(cond)
+            out.append(result)
+        if self.else_result is not None:
+            out.append(self.else_result)
+        return out
+
+
+class Cast(Node):
+    """CAST/CONVERT/TRY_CAST; ``type_name`` is the raw SQL type text."""
+
+    __slots__ = ("operand", "type_name", "try_cast")
+
+    def __init__(self, operand, type_name, try_cast=False):
+        self.operand = operand
+        self.type_name = type_name
+        self.try_cast = try_cast
+
+
+class FuncCall(Node):
+    """Scalar or aggregate function call.  ``distinct`` for COUNT(DISTINCT x)."""
+
+    __slots__ = ("name", "args", "distinct")
+
+    def __init__(self, name, args, distinct=False):
+        self.name = name.lower()
+        self.args = args
+        self.distinct = distinct
+
+
+class WindowFunction(Node):
+    """``func(args) OVER (PARTITION BY ... ORDER BY ...)``."""
+
+    __slots__ = ("func", "partition_by", "order_by")
+
+    def __init__(self, func, partition_by, order_by):
+        self.func = func  # a FuncCall
+        self.partition_by = partition_by  # list of expressions
+        self.order_by = order_by  # list of OrderItem
+
+    def children(self):
+        out = [self.func]
+        out.extend(self.partition_by)
+        out.extend(item.expr for item in self.order_by)
+        return out
+
+
+# --------------------------------------------------------------------------
+# Query structure
+# --------------------------------------------------------------------------
+
+
+class SelectItem(Node):
+    """One select-list entry: an expression with an optional alias."""
+
+    __slots__ = ("expr", "alias")
+
+    def __init__(self, expr, alias=None):
+        self.expr = expr
+        self.alias = alias
+
+
+class OrderItem(Node):
+    __slots__ = ("expr", "descending")
+
+    def __init__(self, expr, descending=False):
+        self.expr = expr
+        self.descending = descending
+
+
+class TableRef(Node):
+    """A named table or view in FROM; alias optional."""
+
+    __slots__ = ("name", "alias")
+
+    def __init__(self, name, alias=None):
+        self.name = name
+        self.alias = alias
+
+
+class SubqueryRef(Node):
+    """A derived table ``(SELECT ...) AS alias``."""
+
+    __slots__ = ("query", "alias")
+
+    def __init__(self, query, alias):
+        self.query = query
+        self.alias = alias
+
+
+class Join(Node):
+    """``kind`` in {'inner','left','right','full','cross'}."""
+
+    __slots__ = ("kind", "left", "right", "condition")
+
+    def __init__(self, kind, left, right, condition=None):
+        self.kind = kind
+        self.left = left
+        self.right = right
+        self.condition = condition
+
+
+class Select(Node):
+    """A single SELECT block (no set operators at this level)."""
+
+    __slots__ = (
+        "items",
+        "from_clause",
+        "where",
+        "group_by",
+        "having",
+        "order_by",
+        "distinct",
+        "top",
+        "top_percent",
+    )
+
+    def __init__(
+        self,
+        items,
+        from_clause=None,
+        where=None,
+        group_by=None,
+        having=None,
+        order_by=None,
+        distinct=False,
+        top=None,
+        top_percent=False,
+    ):
+        self.items = items
+        self.from_clause = from_clause
+        self.where = where
+        self.group_by = group_by or []
+        self.having = having
+        self.order_by = order_by or []
+        self.distinct = distinct
+        self.top = top
+        self.top_percent = top_percent
+
+
+class CommonTableExpression(Node):
+    """One ``name [(columns)] AS (query)`` member of a WITH clause."""
+
+    __slots__ = ("name", "columns", "query")
+
+    def __init__(self, name, query, columns=None):
+        self.name = name
+        self.columns = columns
+        self.query = query
+
+
+class WithQuery(Node):
+    """``WITH cte [, ...] <query>`` — non-recursive CTEs."""
+
+    __slots__ = ("ctes", "body")
+
+    def __init__(self, ctes, body):
+        self.ctes = ctes
+        self.body = body
+
+
+class SetOperation(Node):
+    """UNION [ALL] / INTERSECT / EXCEPT between two query expressions."""
+
+    __slots__ = ("op", "all", "left", "right", "order_by")
+
+    def __init__(self, op, left, right, all=False, order_by=None):
+        self.op = op
+        self.all = all
+        self.left = left
+        self.right = right
+        self.order_by = order_by or []
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+class CreateView(Node):
+    __slots__ = ("name", "query", "or_replace")
+
+    def __init__(self, name, query, or_replace=False):
+        self.name = name
+        self.query = query
+        self.or_replace = or_replace
+
+
+class DropView(Node):
+    __slots__ = ("name", "if_exists")
+
+    def __init__(self, name, if_exists=False):
+        self.name = name
+        self.if_exists = if_exists
+
+
+class ColumnDef(Node):
+    __slots__ = ("name", "type_name")
+
+    def __init__(self, name, type_name):
+        self.name = name
+        self.type_name = type_name
+
+
+class CreateTable(Node):
+    __slots__ = ("name", "columns")
+
+    def __init__(self, name, columns):
+        self.name = name
+        self.columns = columns
+
+
+class DropTable(Node):
+    __slots__ = ("name", "if_exists")
+
+    def __init__(self, name, if_exists=False):
+        self.name = name
+        self.if_exists = if_exists
+
+
+class Insert(Node):
+    """INSERT INTO t [(cols)] VALUES (...), (...) or INSERT ... SELECT."""
+
+    __slots__ = ("table", "columns", "rows", "query")
+
+    def __init__(self, table, columns=None, rows=None, query=None):
+        self.table = table
+        self.columns = columns
+        self.rows = rows
+        self.query = query
+
+
+class AlterColumn(Node):
+    """ALTER TABLE t ALTER COLUMN c TYPE — the ingest fallback path."""
+
+    __slots__ = ("table", "column", "type_name")
+
+    def __init__(self, table, column, type_name):
+        self.table = table
+        self.column = column
+        self.type_name = type_name

@@ -1,0 +1,290 @@
+"""System catalog: table schemas, view definitions, statistics.
+
+Mirrors the paper's backend constraints where they matter to the analysis:
+every base table carries a clustered index over *all* columns in column
+order (the SQL Azure requirement noted in Section 3.4), which is why scans
+surface as ``Clustered Index Scan`` and leading-column predicates as
+``Clustered Index Seek`` in plans.
+"""
+
+from repro.engine.types import SQLType, TYPE_WIDTH, value_width
+from repro.errors import CatalogError
+
+
+class Column(object):
+    """A named, typed column of a table or view output."""
+
+    __slots__ = ("name", "sql_type")
+
+    def __init__(self, name, sql_type):
+        self.name = name
+        self.sql_type = sql_type
+
+    def __repr__(self):
+        return "Column(%r, %s)" % (self.name, self.sql_type.value)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Column)
+            and self.name == other.name
+            and self.sql_type == other.sql_type
+        )
+
+    def __hash__(self):
+        return hash((self.name, self.sql_type))
+
+
+class TableStatistics(object):
+    """Cheap per-table statistics driving cardinality estimation.
+
+    Tracks row count, average row width, and per-column distinct-value
+    estimates (exact counts maintained incrementally; adequate at the
+    workload's scale and deterministic for tests).
+    """
+
+    def __init__(self):
+        self.row_count = 0
+        self.total_width = 0
+        self.distinct = {}  # column name -> set of values (bounded)
+        self._distinct_cap = 10000
+        self._overflow = set()  # columns whose distinct sets overflowed
+        #: Deterministic numeric value samples per column (range selectivity).
+        self.samples = {}
+        self._sample_cap = 400
+
+    def observe_row(self, columns, row):
+        self.row_count += 1
+        for column, value in zip(columns, row):
+            self.total_width += value_width(value, column.sql_type)
+            self._observe_sample(column.name, value)
+            if column.name in self._overflow:
+                continue
+            bucket = self.distinct.setdefault(column.name, set())
+            bucket.add(value)
+            if len(bucket) > self._distinct_cap:
+                self._overflow.add(column.name)
+
+    def _observe_sample(self, column_name, value):
+        if value is None or isinstance(value, bool):
+            return
+        if not isinstance(value, (int, float)):
+            return
+        sample = self.samples.setdefault(column_name, [])
+        if len(sample) < self._sample_cap:
+            sample.append(float(value))
+        else:
+            # Deterministic reservoir: a pseudo-random slot keyed off the
+            # row count, so repeated builds estimate identically.
+            slot = (self.row_count * 2654435761) % self.row_count
+            if slot < self._sample_cap:
+                sample[slot] = float(value)
+
+    def range_selectivity(self, column_name, op, literal):
+        """Estimated selectivity of ``column <op> literal`` from the sample.
+
+        Returns None when the column has no usable numeric sample (callers
+        fall back to the optimizer's magic default).
+        """
+        sample = self.samples.get(column_name)
+        if not sample:
+            return None
+        try:
+            bound = float(literal)
+        except (TypeError, ValueError):
+            return None
+        if op == "<":
+            hits = sum(1 for v in sample if v < bound)
+        elif op == "<=":
+            hits = sum(1 for v in sample if v <= bound)
+        elif op == ">":
+            hits = sum(1 for v in sample if v > bound)
+        elif op == ">=":
+            hits = sum(1 for v in sample if v >= bound)
+        elif op == "<>":
+            hits = sum(1 for v in sample if v != bound)
+        else:
+            return None
+        # Clamp away 0 and 1 so downstream cardinalities never collapse.
+        return min(0.999, max(1.0 / (len(sample) * 2.0), hits / float(len(sample))))
+
+    def forget(self):
+        self.row_count = 0
+        self.total_width = 0
+        self.distinct = {}
+        self._overflow = set()
+        self.samples = {}
+
+    def distinct_count(self, column_name):
+        """Estimated number of distinct values in a column (>= 1)."""
+        if column_name in self._overflow:
+            # Saturated: assume high cardinality proportional to rows.
+            return max(self._distinct_cap, int(self.row_count * 0.9))
+        bucket = self.distinct.get(column_name)
+        if not bucket:
+            return 1
+        return max(1, len(bucket))
+
+    def avg_row_width(self, columns):
+        if self.row_count:
+            return max(1.0, self.total_width / float(self.row_count))
+        return float(sum(TYPE_WIDTH[c.sql_type] for c in columns)) or 8.0
+
+
+class Table(object):
+    """A base table: schema, row storage and statistics.
+
+    Rows are tuples aligned with ``columns``.  The clustered index is
+    modelled as the sort order over all columns; we keep insertion order
+    and expose ``clustered_prefix`` for the planner's seek detection.
+    """
+
+    def __init__(self, name, columns):
+        if not columns:
+            raise CatalogError("table %r must have at least one column" % name)
+        seen = set()
+        for column in columns:
+            key = column.name.lower()
+            if key in seen:
+                raise CatalogError(
+                    "duplicate column %r in table %r" % (column.name, name)
+                )
+            seen.add(key)
+        self.name = name
+        self.columns = list(columns)
+        self.rows = []
+        self.stats = TableStatistics()
+
+    @property
+    def clustered_prefix(self):
+        """Leading column of the clustered index (first column by design)."""
+        return self.columns[0].name
+
+    def column_index(self, name):
+        lowered = name.lower()
+        for index, column in enumerate(self.columns):
+            if column.name.lower() == lowered:
+                return index
+        raise CatalogError("no column %r in table %r" % (name, self.name))
+
+    def insert_row(self, row):
+        if len(row) != len(self.columns):
+            raise CatalogError(
+                "row arity %d does not match table %r arity %d"
+                % (len(row), self.name, len(self.columns))
+            )
+        row = tuple(row)
+        self.rows.append(row)
+        self.stats.observe_row(self.columns, row)
+
+    def alter_column_type(self, column_name, new_type, convert):
+        """Retype a column in place, converting stored values with ``convert``.
+
+        Used by the ingest fallback: when the prefix-inferred type fails on a
+        later row, the column reverts to VARCHAR via ALTER TABLE (§3.1).
+        """
+        index = self.column_index(column_name)
+        old = self.columns[index]
+        self.columns[index] = Column(old.name, new_type)
+        self.rows = [
+            row[:index] + (convert(row[index]),) + row[index + 1 :] for row in self.rows
+        ]
+        self._rebuild_stats()
+
+    def _rebuild_stats(self):
+        self.stats.forget()
+        for row in self.rows:
+            self.stats.observe_row(self.columns, row)
+
+
+class View(object):
+    """A named view: raw SQL text plus its parsed query and output schema."""
+
+    def __init__(self, name, sql, query, columns):
+        self.name = name
+        self.sql = sql
+        self.query = query
+        self.columns = list(columns)
+
+
+class Catalog(object):
+    """Name-to-object map for tables and views (case-insensitive)."""
+
+    def __init__(self):
+        self._tables = {}
+        self._views = {}
+
+    # -- tables ---------------------------------------------------------------
+
+    def create_table(self, name, columns):
+        key = name.lower()
+        if key in self._tables or key in self._views:
+            raise CatalogError("object %r already exists" % name)
+        table = Table(name, columns)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name, if_exists=False):
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError("no table named %r" % name)
+        del self._tables[key]
+
+    def get_table(self, name):
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError("no table named %r" % name)
+
+    def has_table(self, name):
+        return name.lower() in self._tables
+
+    def tables(self):
+        return list(self._tables.values())
+
+    # -- views ----------------------------------------------------------------
+
+    def create_view(self, name, sql, query, columns, replace=False):
+        key = name.lower()
+        if key in self._tables:
+            raise CatalogError("a table named %r already exists" % name)
+        if key in self._views and not replace:
+            raise CatalogError("a view named %r already exists" % name)
+        view = View(name, sql, query, columns)
+        self._views[key] = view
+        return view
+
+    def drop_view(self, name, if_exists=False):
+        key = name.lower()
+        if key not in self._views:
+            if if_exists:
+                return
+            raise CatalogError("no view named %r" % name)
+        del self._views[key]
+
+    def get_view(self, name):
+        try:
+            return self._views[name.lower()]
+        except KeyError:
+            raise CatalogError("no view named %r" % name)
+
+    def has_view(self, name):
+        return name.lower() in self._views
+
+    def views(self):
+        return list(self._views.values())
+
+    # -- generic --------------------------------------------------------------
+
+    def has_object(self, name):
+        return self.has_table(name) or self.has_view(name)
+
+    def resolve(self, name):
+        """Return ('table', Table) or ('view', View) for a name."""
+        key = name.lower()
+        if key in self._tables:
+            return "table", self._tables[key]
+        if key in self._views:
+            return "view", self._views[key]
+        raise CatalogError("no table or view named %r" % name)

@@ -1,0 +1,109 @@
+"""SQL-Server-flavoured cost model.
+
+The constants mirror the well-known SQL Server optimizer magic numbers so
+that extracted plans look like the ones the paper's pipeline consumed
+(e.g. the ``io: 0.003125`` of Listing 1 is one random-I/O page).  Costs are
+unitless "optimizer seconds"; the analysis layer treats them as estimated
+runtimes, exactly as the paper does with SHOWPLAN estimates.
+"""
+
+import math
+
+#: Cost of the first (random) page read.
+RANDOM_IO = 0.003125
+#: Cost of each subsequent sequential page read.
+SEQUENTIAL_IO = 0.000740740740741
+#: Base CPU cost of touching the first row.
+CPU_BASE = 0.0001581
+#: CPU cost of each subsequent row.
+CPU_PER_ROW = 0.0000011
+#: CPU per row for predicate evaluation in a Filter.
+FILTER_CPU_PER_ROW = 0.0000010
+#: CPU per output row for Compute Scalar.
+COMPUTE_SCALAR_CPU = 0.0000001
+#: Nested Loops per-comparison CPU.
+NESTED_LOOP_CPU = 0.00000418
+#: Hash Match startup (memory grant) plus build/probe per-row CPU.
+HASH_STARTUP = 0.0075
+HASH_BUILD_CPU = 0.0000017
+HASH_PROBE_CPU = 0.0000011
+#: Sort startup cost and per-comparison CPU.
+SORT_STARTUP = 0.0112613
+SORT_CPU_PER_COMPARISON = 0.000001
+#: Merge Join per-row CPU.
+MERGE_CPU_PER_ROW = 0.0000044
+#: Stream Aggregate per-row CPU.
+AGGREGATE_CPU_PER_ROW = 0.0000018
+#: Bytes per page for I/O estimation.
+PAGE_SIZE = 8192.0
+#: Fixed per-row storage overhead in bytes.
+ROW_OVERHEAD = 9
+
+
+def pages_for(rows, row_size):
+    """Number of pages holding ``rows`` rows of ``row_size`` bytes."""
+    if rows <= 0:
+        return 1.0
+    return max(1.0, math.ceil(rows * row_size / PAGE_SIZE))
+
+
+def scan_io(rows, row_size):
+    """I/O cost of a full sequential scan."""
+    pages = pages_for(rows, row_size)
+    return RANDOM_IO + SEQUENTIAL_IO * max(0.0, pages - 1)
+
+
+def seek_io(matching_rows, row_size):
+    """I/O cost of a clustered-index seek returning ``matching_rows``."""
+    pages = pages_for(matching_rows, row_size)
+    return RANDOM_IO + SEQUENTIAL_IO * max(0.0, pages - 1)
+
+
+def scan_cpu(rows):
+    """CPU cost of producing ``rows`` rows from a scan or seek."""
+    return CPU_BASE + CPU_PER_ROW * max(0.0, rows - 1)
+
+
+def sort_cpu(rows):
+    """CPU cost of sorting ``rows`` rows (n log2 n comparisons)."""
+    if rows <= 1:
+        return SORT_STARTUP
+    return SORT_STARTUP + SORT_CPU_PER_COMPARISON * rows * math.log(rows, 2)
+
+
+def hash_join_cpu(build_rows, probe_rows):
+    return HASH_STARTUP + HASH_BUILD_CPU * build_rows + HASH_PROBE_CPU * probe_rows
+
+
+def nested_loop_cpu(outer_rows, inner_rows):
+    return NESTED_LOOP_CPU * outer_rows * max(1.0, inner_rows)
+
+
+def merge_join_cpu(left_rows, right_rows):
+    return MERGE_CPU_PER_ROW * (left_rows + right_rows)
+
+
+def aggregate_cpu(input_rows):
+    return AGGREGATE_CPU_PER_ROW * max(1.0, input_rows)
+
+
+# -- selectivity heuristics (SQL-Server-style defaults) -------------------------
+
+EQUALITY_DEFAULT = 0.1
+RANGE_DEFAULT = 0.30
+LIKE_DEFAULT = 0.10
+NULL_DEFAULT = 0.05
+UNKNOWN_DEFAULT = 0.33
+
+
+def conjunct_selectivity(selectivities):
+    """Combined selectivity of ANDed predicates (independence assumption)."""
+    result = 1.0
+    for sel in selectivities:
+        result *= sel
+    return max(result, 1e-6)
+
+
+def disjunct_selectivity(left, right):
+    """Combined selectivity of ORed predicates."""
+    return min(1.0, left + right - left * right)

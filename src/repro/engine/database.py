@@ -1,0 +1,241 @@
+"""Engine facade: the object the platform talks to.
+
+Plays the role of the Azure SQL database in Figure 3 of the paper: executes
+SQL, explains queries (SHOWPLAN-style XML), runs DDL (the platform — never
+users — issues CREATE/DROP/ALTER), and exposes the catalog.
+"""
+
+import time
+
+from repro.engine import ast_nodes as ast
+from repro.engine import parser
+from repro.engine.catalog import Catalog, Column
+from repro.engine.executor import execute_plan
+from repro.engine.expressions import OutputColumn
+from repro.engine.plan_xml import plan_to_xml
+from repro.engine.planner import Planner
+from repro.engine.types import SQLType, cast_value, format_value, resolve_type_name
+from repro.errors import CatalogError, ExecutionError, SQLError
+
+
+class QueryResult(object):
+    """Result of an executed statement."""
+
+    def __init__(self, columns, rows, plan=None, info=None, elapsed=0.0):
+        #: Output column names, in order.
+        self.columns = columns
+        #: Rows as tuples.
+        self.rows = rows
+        #: Root physical operator (None for DDL/DML).
+        self.plan = plan
+        #: PlanInfo with referenced tables/columns/views (None for DDL/DML).
+        self.info = info
+        #: Wall-clock execution time in seconds.
+        self.elapsed = elapsed
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def as_dicts(self):
+        """Rows as a list of column-name dictionaries."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+class ExplainedQuery(object):
+    """Result of explaining a statement without executing it."""
+
+    def __init__(self, plan, schema, info, xml):
+        self.plan = plan
+        self.schema = schema
+        self.info = info
+        self.xml = xml
+
+    @property
+    def total_cost(self):
+        return self.plan.total_cost
+
+    @property
+    def estimated_rows(self):
+        return self.plan.est_rows
+
+
+class Database(object):
+    """An in-memory relational database with a T-SQL-flavoured dialect."""
+
+    def __init__(self, name="sqlshare"):
+        self.name = name
+        self.catalog = Catalog()
+        self.planner = Planner(self.catalog)
+
+    # -- querying ---------------------------------------------------------------
+
+    def execute(self, sql):
+        """Parse, plan and run one statement; returns a QueryResult."""
+        statement = parser.parse(sql)
+        if isinstance(statement, (ast.Select, ast.SetOperation, ast.WithQuery)):
+            planned = self.planner.plan(statement)
+            started = time.perf_counter()
+            rows = execute_plan(planned.root)
+            elapsed = time.perf_counter() - started
+            return QueryResult(
+                [column.name for column in planned.schema],
+                rows,
+                plan=planned.root,
+                info=planned.info,
+                elapsed=elapsed,
+            )
+        return self._execute_statement(statement, sql)
+
+    def explain(self, sql):
+        """Plan a query and return its SHOWPLAN-style XML without running it.
+
+        This is the engine's ``SHOWPLAN_XML`` switch, the entry point for
+        Phase 1 of the paper's analysis methodology.
+        """
+        statement = parser.parse(sql)
+        if not isinstance(statement, (ast.Select, ast.SetOperation, ast.WithQuery)):
+            raise SQLError("only queries can be explained")
+        planned = self.planner.plan(statement)
+        xml = plan_to_xml(
+            planned.root, statement_text=sql,
+            expression_ops=planned.info.expression_ops,
+            referenced_columns=planned.info.columns,
+        )
+        return ExplainedQuery(planned.root, planned.schema, planned.info, xml)
+
+    def query_schema(self, sql):
+        """Output columns (name, SQLType) a query would produce."""
+        statement = parser.parse(sql)
+        if not isinstance(statement, (ast.Select, ast.SetOperation, ast.WithQuery)):
+            raise SQLError("not a query")
+        planned = self.planner.plan(statement)
+        return [(column.name, column.sql_type) for column in planned.schema]
+
+    # -- DDL / DML ----------------------------------------------------------------
+
+    def _execute_statement(self, statement, sql):
+        if isinstance(statement, ast.CreateTable):
+            columns = [
+                Column(definition.name, resolve_type_name(definition.type_name))
+                for definition in statement.columns
+            ]
+            self.catalog.create_table(statement.name, columns)
+            return QueryResult([], [])
+        if isinstance(statement, ast.DropTable):
+            self.catalog.drop_table(statement.name, if_exists=statement.if_exists)
+            return QueryResult([], [])
+        if isinstance(statement, ast.CreateView):
+            self.create_view(statement.name, statement.query, sql)
+            return QueryResult([], [])
+        if isinstance(statement, ast.DropView):
+            self.catalog.drop_view(statement.name, if_exists=statement.if_exists)
+            return QueryResult([], [])
+        if isinstance(statement, ast.Insert):
+            count = self._insert(statement)
+            return QueryResult([], [], elapsed=0.0) if count is None else QueryResult([], [])
+        if isinstance(statement, ast.AlterColumn):
+            self._alter_column(statement)
+            return QueryResult([], [])
+        raise SQLError("unsupported statement %s" % type(statement).__name__)
+
+    def create_view(self, name, query_ast, sql=None, replace=False):
+        """Create a view from a parsed query (planning it validates it)."""
+        planned = self.planner.plan(query_ast)
+        columns = []
+        seen = set()
+        for column in planned.schema:
+            key = column.name.lower()
+            if key in seen:
+                raise CatalogError(
+                    "view %r would have duplicate column %r" % (name, column.name)
+                )
+            seen.add(key)
+            columns.append(Column(column.name, column.sql_type))
+        # Views discard any ORDER BY, per the SQL standard (the paper notes
+        # SQLShare strips it automatically during view creation).
+        stripped = _strip_order_by(query_ast)
+        return self.catalog.create_view(name, sql or "", stripped, columns, replace=replace)
+
+    def create_table_from_rows(self, name, columns, rows):
+        """Bulk-create a table (the ingest path).  ``columns`` are Column."""
+        table = self.catalog.create_table(name, columns)
+        for row in rows:
+            table.insert_row(row)
+        return table
+
+    def _insert(self, statement):
+        table = self.catalog.get_table(statement.table)
+        if statement.query is not None:
+            planned = self.planner.plan(statement.query)
+            incoming = execute_plan(planned.root)
+        else:
+            incoming = []
+            for row_exprs in statement.rows:
+                values = []
+                for expr in row_exprs:
+                    if not isinstance(expr, ast.Literal):
+                        raise SQLError("INSERT VALUES must be literals")
+                    values.append(expr.value)
+                incoming.append(tuple(values))
+        column_order = None
+        if statement.columns is not None:
+            column_order = [table.column_index(name) for name in statement.columns]
+        for values in incoming:
+            if column_order is not None:
+                row = [None] * len(table.columns)
+                if len(values) != len(column_order):
+                    raise SQLError("INSERT arity mismatch")
+                for target, value in zip(column_order, values):
+                    row[target] = value
+            else:
+                row = list(values)
+            coerced = [
+                cast_value(value, column.sql_type)
+                for value, column in zip(row, table.columns)
+            ]
+            table.insert_row(coerced)
+        return len(incoming)
+
+    def _alter_column(self, statement):
+        table = self.catalog.get_table(statement.table)
+        target = resolve_type_name(statement.type_name)
+
+        def convert(value):
+            if target is SQLType.VARCHAR:
+                return format_value(value)
+            return cast_value(value, target)
+
+        table.alter_column_type(statement.column, target, convert)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def table_names(self):
+        return sorted(table.name for table in self.catalog.tables())
+
+    def view_names(self):
+        return sorted(view.name for view in self.catalog.views())
+
+    def row_count(self, table_name):
+        return self.catalog.get_table(table_name).stats.row_count
+
+    def total_bytes(self):
+        """Rough storage footprint across base tables (quota accounting)."""
+        total = 0
+        for table in self.catalog.tables():
+            total += int(
+                table.stats.row_count * table.stats.avg_row_width(table.columns)
+            )
+        return total
+
+
+def _strip_order_by(query_ast):
+    if isinstance(query_ast, ast.Select) and query_ast.top is None:
+        query_ast.order_by = []
+    if isinstance(query_ast, ast.SetOperation):
+        query_ast.order_by = []
+    if isinstance(query_ast, ast.WithQuery):
+        _strip_order_by(query_ast.body)
+    return query_ast

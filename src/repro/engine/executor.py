@@ -1,0 +1,24 @@
+"""Plan execution: drives the pull-based operator iterators."""
+
+from repro.engine.expressions import ExecutionContext
+
+
+def _run_plan(plan, ctx):
+    return plan.execute(ctx)
+
+
+def execute_plan(root):
+    """Execute a physical plan; returns all rows as a list of tuples.
+
+    A fresh :class:`ExecutionContext` is created per execution so that
+    uncorrelated-subquery caches never leak across statements.
+    """
+    ctx = ExecutionContext(run_plan=_run_plan)
+    return list(root.execute(ctx))
+
+
+def iterate_plan(root):
+    """Execute a physical plan lazily (generator of tuples)."""
+    ctx = ExecutionContext(run_plan=_run_plan)
+    for row in root.execute(ctx):
+        yield row

@@ -1,0 +1,189 @@
+"""Tokenizer for the engine's T-SQL-flavoured dialect."""
+
+from decimal import Decimal
+
+from repro.errors import LexError
+
+# Token kinds.
+KEYWORD = "KEYWORD"
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+OP = "OP"
+PUNCT = "PUNCT"
+PARAM = "PARAM"
+EOF = "EOF"
+
+KEYWORDS = frozenset(
+    """
+    select from where group by having order asc desc distinct all top
+    as on inner left right full outer cross join union intersect except
+    and or not in is null like between exists case when then else end
+    cast convert create view table drop insert into values alter column
+    add with over partition rows range preceding following unbounded current row
+    true false percent offset fetch next first only try_cast
+    """.split()
+)
+
+_TWO_CHAR_OPS = ("<>", "!=", ">=", "<=", "||")
+_ONE_CHAR_OPS = "+-*/%=<>&|^"
+_PUNCT = "(),.;"
+
+
+class Token(object):
+    """A single lexical token.
+
+    ``value`` holds the canonical form: lower-case text for keywords, the
+    spelled identifier for IDENT (unquoted identifiers keep their original
+    spelling; name resolution is case-insensitive), a Python number for
+    NUMBER and the decoded string for STRING.
+    """
+
+    __slots__ = ("kind", "value", "pos")
+
+    def __init__(self, kind, value, pos):
+        self.kind = kind
+        self.value = value
+        self.pos = pos
+
+    def matches(self, kind, value=None):
+        if self.kind != kind:
+            return False
+        if value is None:
+            return True
+        if isinstance(value, (tuple, frozenset, set, list)):
+            return self.value in value
+        return self.value == value
+
+    def __repr__(self):
+        return "Token(%s, %r)" % (self.kind, self.value)
+
+
+def tokenize(sql):
+    """Tokenize a SQL string; returns a list of Tokens ending in EOF.
+
+    Supports ``--`` line comments and ``/* */`` block comments, quoted
+    identifiers in double quotes or square brackets, standard single-quoted
+    strings with doubled-quote escaping, and numeric literals (int, decimal
+    point, scientific notation).
+    """
+    tokens = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            nl = sql.find("\n", i)
+            i = n if nl < 0 else nl + 1
+            continue
+        if sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", i)
+            i = end + 2
+            continue
+        if ch == "'":
+            value, i = _read_string(sql, i)
+            tokens.append(Token(STRING, value, i))
+            continue
+        if ch == '"' or ch == "[":
+            value, i = _read_quoted_ident(sql, i)
+            tokens.append(Token(IDENT, value, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            value, i = _read_number(sql, i)
+            tokens.append(Token(NUMBER, value, i))
+            continue
+        if ch.isalpha() or ch == "_" or ch == "@" or ch == "#":
+            value, i = _read_word(sql, i)
+            lowered = value.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(KEYWORD, lowered, i))
+            else:
+                tokens.append(Token(IDENT, value, i))
+            continue
+        if ch == "?":
+            tokens.append(Token(PARAM, "?", i))
+            i += 1
+            continue
+        two = sql[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token(OP, "<>" if two == "!=" else two, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token(OP, ch, i))
+            i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(PUNCT, ch, i))
+            i += 1
+            continue
+        raise LexError("unexpected character %r" % ch, i)
+    tokens.append(Token(EOF, None, n))
+    return tokens
+
+
+def _read_string(sql, i):
+    # i points at the opening quote.
+    parts = []
+    i += 1
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise LexError("unterminated string literal", i)
+
+
+def _read_quoted_ident(sql, i):
+    close = '"' if sql[i] == '"' else "]"
+    end = sql.find(close, i + 1)
+    if end < 0:
+        raise LexError("unterminated quoted identifier", i)
+    return sql[i + 1 : end], end + 1
+
+
+def _read_number(sql, i):
+    n = len(sql)
+    start = i
+    seen_dot = False
+    seen_exp = False
+    while i < n:
+        ch = sql[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exp and i > start:
+            nxt = sql[i + 1 : i + 2]
+            if nxt.isdigit() or (nxt in "+-" and sql[i + 2 : i + 3].isdigit()):
+                seen_exp = True
+                i += 2 if nxt in "+-" else 1
+            else:
+                break
+        else:
+            break
+    text = sql[start:i]
+    if seen_exp:
+        return float(text), i
+    if seen_dot:
+        return Decimal(text), i
+    return int(text), i
+
+
+def _read_word(sql, i):
+    n = len(sql)
+    start = i
+    while i < n and (sql[i].isalnum() or sql[i] in "_@#$"):
+        i += 1
+    return sql[start:i], i

@@ -1,0 +1,555 @@
+"""Physical operators: pull-based iterators with SQL-Server plan names.
+
+Each operator owns its estimates (rows, row size, io, cpu) which the planner
+fills at construction time, and a cumulative ``total_cost`` including its
+children and any attached subplans.  The plan vocabulary matches what the
+paper's Figures 9/10 report: Clustered Index Scan/Seek, Table Scan, Filter,
+Compute Scalar, Nested Loops, Merge Join, Hash Match, Sort, Stream
+Aggregate, Concatenation, Top, Segment and Sequence Project.
+"""
+
+import functools
+
+from repro.engine import aggregates as agg
+from repro.engine import cost as costmodel
+from repro.engine.expressions import compare_values
+from repro.errors import ExecutionError
+
+
+def _null_first_cmp(left, right):
+    """SQL-Server ordering: NULLs sort first ascending."""
+    if left is None and right is None:
+        return 0
+    if left is None:
+        return -1
+    if right is None:
+        return 1
+    result = compare_values(left, right)
+    return 0 if result is None else result
+
+
+def sort_rows(rows, key_exprs, descendings, ctx):
+    """Stable multi-key sort honouring NULLS FIRST and DESC flags."""
+
+    def compare(row_a, row_b):
+        for expr, descending in zip(key_exprs, descendings):
+            result = _null_first_cmp(expr.eval(row_a, ctx), expr.eval(row_b, ctx))
+            if result:
+                return -result if descending else result
+        return 0
+
+    return sorted(rows, key=functools.cmp_to_key(compare))
+
+
+def group_key(values):
+    """Hashable grouping key; numbers unify (1 == 1.0), NULL groups as one."""
+    key = []
+    for value in values:
+        if isinstance(value, bool):
+            key.append(("n", float(value)))
+        elif isinstance(value, (int, float)):
+            key.append(("n", float(value)))
+        elif value is None:
+            key.append(("null", None))
+        else:
+            key.append((type(value).__name__, value))
+    return tuple(key)
+
+
+class Operator(object):
+    """Base physical operator."""
+
+    physical_name = "Operator"
+    logical_name = None
+
+    def __init__(self, children, schema):
+        self.children = list(children)
+        self.schema = list(schema)
+        #: Subquery plans evaluated inside this operator's expressions.
+        self.subplans = []
+        #: Predicate descriptions (Listing 1 "filters" entries).
+        self.filters = []
+        #: Extra properties exposed in the plan XML.
+        self.properties = {}
+        self.est_rows = 0.0
+        self.row_size = 8.0
+        self.io_cost = 0.0
+        self.cpu_cost = 0.0
+
+    @property
+    def logical(self):
+        return self.logical_name or self.physical_name
+
+    @property
+    def total_cost(self):
+        total = self.io_cost + self.cpu_cost
+        for child in self.children:
+            total += child.total_cost
+        for plan in self.subplans:
+            total += plan.total_cost
+        return total
+
+    def set_estimates(self, rows, row_size, io_cost, cpu_cost):
+        self.est_rows = float(max(0.0, rows))
+        self.row_size = float(max(1.0, row_size))
+        self.io_cost = float(max(0.0, io_cost))
+        self.cpu_cost = float(max(0.0, cpu_cost))
+
+    def execute(self, ctx):
+        raise NotImplementedError
+
+    def walk(self):
+        """Yield this operator and all descendants (not subplans)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+    def __repr__(self):
+        return "%s(rows=%.1f)" % (self.physical_name.replace(" ", ""), self.est_rows)
+
+
+class ClusteredIndexScan(Operator):
+    """Full scan of a base table via its (mandatory) clustered index.
+
+    Pushed-down residual predicates (SQL Server shows them as the scan's
+    Predicate rather than a separate Filter operator) live in
+    ``residual_predicates``.
+    """
+
+    physical_name = "Clustered Index Scan"
+
+    def __init__(self, table, schema):
+        super(ClusteredIndexScan, self).__init__([], schema)
+        self.table = table
+        self.residual_predicates = []
+        self.properties["Index"] = "%s.cix" % table.name
+        self.properties["Table"] = table.name
+
+    def add_residual(self, predicate, description):
+        self.residual_predicates.append(predicate)
+        self.filters.append(description)
+
+    def execute(self, ctx):
+        if not self.residual_predicates:
+            return iter(self.table.rows)
+        return self._filtered(ctx)
+
+    def _filtered(self, ctx):
+        predicates = self.residual_predicates
+        for row in self.table.rows:
+            for predicate in predicates:
+                flag = predicate.eval(row, ctx)
+                if flag is None or not flag:
+                    break
+            else:
+                yield row
+
+
+class ClusteredIndexSeek(Operator):
+    """Scan restricted by a sargable predicate on the clustered index."""
+
+    physical_name = "Clustered Index Seek"
+
+    def __init__(self, table, schema, predicate, descriptions):
+        super(ClusteredIndexSeek, self).__init__([], schema)
+        self.table = table
+        self.predicate = predicate
+        self.residual_predicates = []
+        if isinstance(descriptions, str):
+            descriptions = [descriptions]
+        self.filters.extend(descriptions)
+        self.properties["Index"] = "%s.cix" % table.name
+        self.properties["Table"] = table.name
+        self.properties["SeekPredicate"] = " AND ".join(descriptions)
+
+    def add_residual(self, predicate, description):
+        self.residual_predicates.append(predicate)
+        self.filters.append(description)
+
+    def execute(self, ctx):
+        predicate = self.predicate
+        residuals = self.residual_predicates
+        for row in self.table.rows:
+            flag = predicate.eval(row, ctx)
+            if flag is None or not flag:
+                continue
+            passed = True
+            for residual in residuals:
+                flag = residual.eval(row, ctx)
+                if flag is None or not flag:
+                    passed = False
+                    break
+            if passed:
+                yield row
+
+
+class TableScan(Operator):
+    """Scan of an unindexed rowset (only used for engine-internal rowsets)."""
+
+    physical_name = "Table Scan"
+
+    def __init__(self, rows, schema):
+        super(TableScan, self).__init__([], schema)
+        self.rows = rows
+
+    def execute(self, ctx):
+        return iter(self.rows)
+
+
+class ConstantScan(Operator):
+    """Produces literal rows (SELECT without FROM, VALUES)."""
+
+    physical_name = "Constant Scan"
+
+    def __init__(self, exprs_rows, schema):
+        super(ConstantScan, self).__init__([], schema)
+        self.exprs_rows = exprs_rows
+
+    def execute(self, ctx):
+        for exprs in self.exprs_rows:
+            yield tuple(expr.eval((), ctx) for expr in exprs)
+
+
+class Filter(Operator):
+    physical_name = "Filter"
+
+    def __init__(self, child, predicate, descriptions):
+        super(Filter, self).__init__([child], child.schema)
+        self.predicate = predicate
+        self.filters.extend(descriptions)
+
+    def execute(self, ctx):
+        predicate = self.predicate
+        for row in self.children[0].execute(ctx):
+            flag = predicate.eval(row, ctx)
+            if flag is not None and flag:
+                yield row
+
+
+class ComputeScalar(Operator):
+    """Projection: evaluates one expression per output column."""
+
+    physical_name = "Compute Scalar"
+
+    def __init__(self, child, exprs, schema):
+        super(ComputeScalar, self).__init__([child], schema)
+        self.exprs = exprs
+
+    def execute(self, ctx):
+        exprs = self.exprs
+        for row in self.children[0].execute(ctx):
+            yield tuple(expr.eval(row, ctx) for expr in exprs)
+
+
+class NestedLoops(Operator):
+    """Inner/left/cross join; inner input is materialized once."""
+
+    physical_name = "Nested Loops"
+
+    def __init__(self, kind, left, right, predicate, schema, descriptions):
+        super(NestedLoops, self).__init__([left, right], schema)
+        self.kind = kind
+        self.predicate = predicate
+        self.filters.extend(descriptions)
+        self.logical_name = "%s Join" % kind.capitalize()
+
+    def execute(self, ctx):
+        inner = list(self.children[1].execute(ctx))
+        pad = (None,) * len(self.children[1].schema)
+        for outer_row in self.children[0].execute(ctx):
+            matched = False
+            for inner_row in inner:
+                row = outer_row + inner_row
+                if self.predicate is None:
+                    matched = True
+                    yield row
+                    continue
+                flag = self.predicate.eval(row, ctx)
+                if flag is not None and flag:
+                    matched = True
+                    yield row
+            if self.kind == "left" and not matched:
+                yield outer_row + pad
+
+
+class HashMatch(Operator):
+    """Equi-join via hashing; supports inner/left/right/full and semi joins."""
+
+    physical_name = "Hash Match"
+
+    def __init__(self, kind, left, right, left_keys, right_keys, residual, schema,
+                 descriptions):
+        super(HashMatch, self).__init__([left, right], schema)
+        self.kind = kind
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+        self.filters.extend(descriptions)
+        self.logical_name = {
+            "inner": "Inner Join",
+            "left": "Left Outer Join",
+            "right": "Right Outer Join",
+            "full": "Full Outer Join",
+            "semi": "Left Semi Join",
+            "anti": "Left Anti Semi Join",
+        }[kind]
+
+    def execute(self, ctx):
+        build_rows = list(self.children[1].execute(ctx))
+        table = {}
+        for index, row in enumerate(build_rows):
+            values = [expr.eval(row, ctx) for expr in self.right_keys]
+            if any(value is None for value in values):
+                continue  # NULL keys never join
+            table.setdefault(group_key(values), []).append((index, row))
+        matched_right = set()
+        left_pad = (None,) * len(self.children[0].schema)
+        right_pad = (None,) * len(self.children[1].schema)
+        for left_row in self.children[0].execute(ctx):
+            values = [expr.eval(left_row, ctx) for expr in self.left_keys]
+            candidates = []
+            if not any(value is None for value in values):
+                candidates = table.get(group_key(values), [])
+            matched = False
+            for index, right_row in candidates:
+                row = left_row + right_row
+                if self.residual is not None:
+                    flag = self.residual.eval(row, ctx)
+                    if flag is None or not flag:
+                        continue
+                matched = True
+                matched_right.add(index)
+                if self.kind == "semi":
+                    break
+                if self.kind != "anti":
+                    yield row
+            if self.kind == "semi" and matched:
+                yield left_row
+            elif self.kind == "anti" and not matched:
+                yield left_row
+            elif self.kind in ("left", "full") and not matched:
+                yield left_row + right_pad
+        if self.kind in ("right", "full"):
+            for index, right_row in enumerate(build_rows):
+                if index not in matched_right:
+                    yield left_pad + right_row
+
+
+class MergeJoin(Operator):
+    """Equi-join over two sorted inputs (planner guarantees the Sort)."""
+
+    physical_name = "Merge Join"
+
+    def __init__(self, kind, left, right, left_keys, right_keys, schema, descriptions):
+        super(MergeJoin, self).__init__([left, right], schema)
+        self.kind = kind
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.filters.extend(descriptions)
+        self.logical_name = "%s Join" % kind.capitalize()
+
+    def execute(self, ctx):
+        left_rows = list(self.children[0].execute(ctx))
+        right_rows = list(self.children[1].execute(ctx))
+        # Defensive: merge join requires sorted inputs; we sort here rather
+        # than trust upstream, which keeps execution correct under plan edits.
+        left_rows = sort_rows(left_rows, self.left_keys, [False] * len(self.left_keys), ctx)
+        right_rows = sort_rows(right_rows, self.right_keys, [False] * len(self.right_keys), ctx)
+        pad = (None,) * len(self.children[1].schema)
+        i = j = 0
+        while i < len(left_rows):
+            left_key = [expr.eval(left_rows[i], ctx) for expr in self.left_keys]
+            if any(value is None for value in left_key):
+                if self.kind == "left":
+                    yield left_rows[i] + pad
+                i += 1
+                continue
+            while j < len(right_rows):
+                right_key = [expr.eval(right_rows[j], ctx) for expr in self.right_keys]
+                if any(value is None for value in right_key) or _key_cmp(right_key, left_key) < 0:
+                    j += 1
+                else:
+                    break
+            k = j
+            matched = False
+            while k < len(right_rows):
+                right_key = [expr.eval(right_rows[k], ctx) for expr in self.right_keys]
+                if _key_cmp(right_key, left_key) == 0:
+                    matched = True
+                    yield left_rows[i] + right_rows[k]
+                    k += 1
+                else:
+                    break
+            if self.kind == "left" and not matched:
+                yield left_rows[i] + pad
+            i += 1
+
+
+def _key_cmp(key_a, key_b):
+    for a, b in zip(key_a, key_b):
+        result = _null_first_cmp(a, b)
+        if result:
+            return result
+    return 0
+
+
+class Sort(Operator):
+    """Sort, optionally deduplicating (logical Distinct Sort)."""
+
+    physical_name = "Sort"
+
+    def __init__(self, child, key_exprs, descendings, distinct=False, output_width=None):
+        super(Sort, self).__init__([child], child.schema)
+        self.key_exprs = key_exprs
+        self.descendings = descendings
+        self.distinct = distinct
+        #: When set, rows are trimmed to this many columns after sorting —
+        #: hidden ORDER BY expressions are sorted on but not returned.
+        self.output_width = output_width
+        if distinct:
+            self.logical_name = "Distinct Sort"
+
+    def execute(self, ctx):
+        rows = list(self.children[0].execute(ctx))
+        rows = sort_rows(rows, self.key_exprs, self.descendings, ctx)
+        if self.output_width is not None:
+            width = self.output_width
+            rows = [row[:width] for row in rows]
+        if not self.distinct:
+            return iter(rows)
+        return self._dedup(rows)
+
+    @staticmethod
+    def _dedup(rows):
+        seen = set()
+        for row in rows:
+            key = group_key(row)
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+
+class Top(Operator):
+    physical_name = "Top"
+
+    def __init__(self, child, count, percent=False):
+        super(Top, self).__init__([child], child.schema)
+        self.count = count
+        self.percent = percent
+        self.properties["Rows"] = str(count) + ("%" if percent else "")
+
+    def execute(self, ctx):
+        if self.percent:
+            rows = list(self.children[0].execute(ctx))
+            keep = int(round(len(rows) * self.count / 100.0 + 0.4999)) if rows else 0
+            return iter(rows[: max(0, keep)])
+        return self._limit(ctx)
+
+    def _limit(self, ctx):
+        remaining = self.count
+        if remaining <= 0:
+            return
+        for row in self.children[0].execute(ctx):
+            yield row
+            remaining -= 1
+            if remaining == 0:
+                return
+
+
+class StreamAggregate(Operator):
+    """Grouped aggregation.
+
+    ``key_exprs`` evaluate the grouping key on input rows; ``agg_specs`` is a
+    list of ``(name, arg_expr_or_None, distinct)``; output rows are
+    ``key values + aggregate results``.  Scalar aggregation (no GROUP BY over
+    a possibly-empty input) yields exactly one row, per the standard.
+    """
+
+    physical_name = "Stream Aggregate"
+    logical_name = "Aggregate"
+
+    def __init__(self, child, key_exprs, agg_specs, schema, scalar=False):
+        super(StreamAggregate, self).__init__([child], schema)
+        self.key_exprs = key_exprs
+        self.agg_specs = agg_specs
+        self.scalar = scalar
+
+    def _new_accumulators(self):
+        return [
+            agg.make_accumulator(name, distinct=distinct, star=arg_expr is None)
+            for name, arg_expr, distinct in self.agg_specs
+        ]
+
+    def execute(self, ctx):
+        groups = {}
+        order = []
+        for row in self.children[0].execute(ctx):
+            key_values = tuple(expr.eval(row, ctx) for expr in self.key_exprs)
+            key = group_key(key_values)
+            state = groups.get(key)
+            if state is None:
+                state = (key_values, self._new_accumulators())
+                groups[key] = state
+                order.append(key)
+            for (name, arg_expr, distinct), accumulator in zip(self.agg_specs, state[1]):
+                accumulator.add(1 if arg_expr is None else arg_expr.eval(row, ctx))
+        if not groups and self.scalar and not self.key_exprs:
+            accumulators = self._new_accumulators()
+            yield tuple(acc.result() for acc in accumulators)
+            return
+        for key in order:
+            key_values, accumulators = groups[key]
+            yield key_values + tuple(acc.result() for acc in accumulators)
+
+
+class Concatenation(Operator):
+    """UNION ALL of N children with identical arity."""
+
+    physical_name = "Concatenation"
+
+    def __init__(self, children, schema):
+        super(Concatenation, self).__init__(children, schema)
+
+    def execute(self, ctx):
+        for child in self.children:
+            for row in child.execute(ctx):
+                yield row
+
+
+class Segment(Operator):
+    """Marks partition boundaries for window computation (pass-through)."""
+
+    physical_name = "Segment"
+
+    def __init__(self, child):
+        super(Segment, self).__init__([child], child.schema)
+
+    def execute(self, ctx):
+        return self.children[0].execute(ctx)
+
+
+class SequenceProject(Operator):
+    """Computes window functions, appending one column per function.
+
+    ``window_specs``: list of ``WindowSpec`` (see window module).  Rows are
+    materialized, partitioned and ordered per spec; output preserves the
+    input ordering of rows (stable), with window values appended in spec
+    order.
+    """
+
+    physical_name = "Sequence Project"
+    logical_name = "Compute Scalar"
+
+    def __init__(self, child, window_specs, schema):
+        super(SequenceProject, self).__init__([child], schema)
+        self.window_specs = window_specs
+
+    def execute(self, ctx):
+        from repro.engine.window import compute_windows
+
+        rows = list(self.children[0].execute(ctx))
+        extra_columns = compute_windows(rows, self.window_specs, ctx)
+        for row, extras in zip(rows, extra_columns):
+            yield row + tuple(extras)

@@ -1,0 +1,723 @@
+"""Recursive-descent parser for the engine's T-SQL-flavoured dialect.
+
+The grammar covers what the SQLShare workload needs (Section 3.5 of the
+paper): full SELECT with joins and subqueries anywhere, set operations,
+GROUP BY/HAVING, ORDER BY, TOP [PERCENT], CASE, CAST/CONVERT/TRY_CAST,
+window functions via OVER, and the DDL/DML the platform itself issues
+(CREATE/DROP VIEW and TABLE, INSERT, ALTER TABLE ... ALTER COLUMN).
+"""
+
+from repro.engine import ast_nodes as ast
+from repro.engine import lexer
+from repro.engine.lexer import EOF, IDENT, KEYWORD, NUMBER, OP, PUNCT, STRING
+from repro.errors import ParseError
+
+_COMPARISON_OPS = ("=", "<>", "<", ">", "<=", ">=")
+_JOIN_KINDS = ("inner", "left", "right", "full", "cross")
+
+#: Function names treated as aggregates by the parser's OVER handling.
+AGGREGATE_NAMES = frozenset(
+    ["count", "sum", "avg", "min", "max", "stdev", "stdevp", "var", "varp",
+     "count_big", "string_agg"]
+)
+
+#: Ranking window functions (only meaningful with OVER).
+RANKING_NAMES = frozenset(["row_number", "rank", "dense_rank", "ntile"])
+
+
+def parse(sql):
+    """Parse one SQL statement; returns an AST statement node.
+
+    Raises :class:`ParseError` if the text is not a single valid statement.
+    """
+    return Parser(sql).parse_statement()
+
+
+def parse_expression(sql):
+    """Parse a standalone scalar expression (used in tests and tools)."""
+    parser = Parser(sql)
+    expr = parser._expression()
+    parser._expect_eof()
+    return expr
+
+
+class Parser(object):
+    """Single-statement parser over a token list."""
+
+    def __init__(self, sql):
+        self.sql = sql
+        self.tokens = lexer.tokenize(sql)
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self, ahead=0):
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _next(self):
+        token = self.tokens[self.pos]
+        if token.kind != EOF:
+            self.pos += 1
+        return token
+
+    def _accept(self, kind, value=None):
+        if self._peek().matches(kind, value):
+            return self._next()
+        return None
+
+    def _expect(self, kind, value=None):
+        token = self._accept(kind, value)
+        if token is None:
+            got = self._peek()
+            raise ParseError(
+                "expected %s %s, got %r near position %s"
+                % (kind, value or "", got.value, got.pos),
+                got,
+            )
+        return token
+
+    def _expect_eof(self):
+        self._accept(PUNCT, ";")
+        if self._peek().kind != EOF:
+            got = self._peek()
+            raise ParseError("unexpected trailing input %r" % got.value, got)
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_statement(self):
+        token = self._peek()
+        if token.matches(KEYWORD, "with"):
+            query = self._with_query()
+            self._expect_eof()
+            return query
+        if token.matches(KEYWORD, "select") or token.matches(PUNCT, "("):
+            query = self._query_expression()
+            self._expect_eof()
+            return query
+        if token.matches(KEYWORD, "create"):
+            stmt = self._create()
+            self._expect_eof()
+            return stmt
+        if token.matches(KEYWORD, "drop"):
+            stmt = self._drop()
+            self._expect_eof()
+            return stmt
+        if token.matches(KEYWORD, "insert"):
+            stmt = self._insert()
+            self._expect_eof()
+            return stmt
+        if token.matches(KEYWORD, "alter"):
+            stmt = self._alter()
+            self._expect_eof()
+            return stmt
+        raise ParseError("unsupported statement start: %r" % token.value, token)
+
+    def _with_query(self):
+        self._expect(KEYWORD, "with")
+        ctes = []
+        while True:
+            name = self._expect(IDENT).value
+            columns = None
+            if self._accept(PUNCT, "("):
+                columns = [self._expect(IDENT).value]
+                while self._accept(PUNCT, ","):
+                    columns.append(self._expect(IDENT).value)
+                self._expect(PUNCT, ")")
+            self._expect(KEYWORD, "as")
+            self._expect(PUNCT, "(")
+            query = self._query_expression()
+            self._expect(PUNCT, ")")
+            ctes.append(ast.CommonTableExpression(name, query, columns))
+            if not self._accept(PUNCT, ","):
+                break
+        body = self._query_expression()
+        return ast.WithQuery(ctes, body)
+
+    def _create(self):
+        self._expect(KEYWORD, "create")
+        if self._accept(KEYWORD, "view"):
+            name = self._qualified_name()
+            self._expect(KEYWORD, "as")
+            if self._peek().matches(KEYWORD, "with"):
+                return ast.CreateView(name, self._with_query())
+            query = self._query_expression()
+            return ast.CreateView(name, query)
+        if self._accept(KEYWORD, "table"):
+            name = self._qualified_name()
+            self._expect(PUNCT, "(")
+            columns = []
+            while True:
+                col = self._expect(IDENT).value
+                type_name = self._type_name()
+                columns.append(ast.ColumnDef(col, type_name))
+                if not self._accept(PUNCT, ","):
+                    break
+            self._expect(PUNCT, ")")
+            return ast.CreateTable(name, columns)
+        token = self._peek()
+        raise ParseError("expected VIEW or TABLE after CREATE", token)
+
+    def _drop(self):
+        self._expect(KEYWORD, "drop")
+        if self._accept(KEYWORD, "view"):
+            if_exists = self._if_exists()
+            return ast.DropView(self._qualified_name(), if_exists)
+        if self._accept(KEYWORD, "table"):
+            if_exists = self._if_exists()
+            return ast.DropTable(self._qualified_name(), if_exists)
+        raise ParseError("expected VIEW or TABLE after DROP", self._peek())
+
+    def _if_exists(self):
+        # "IF EXISTS" — IF is not a keyword in our lexer, so match idents.
+        if self._peek().matches(IDENT) and self._peek().value.lower() == "if":
+            if self._peek(1).matches(KEYWORD, "exists"):
+                self._next()
+                self._next()
+                return True
+        return False
+
+    def _insert(self):
+        self._expect(KEYWORD, "insert")
+        self._expect(KEYWORD, "into")
+        table = self._qualified_name()
+        columns = None
+        if self._accept(PUNCT, "("):
+            columns = []
+            while True:
+                columns.append(self._expect(IDENT).value)
+                if not self._accept(PUNCT, ","):
+                    break
+            self._expect(PUNCT, ")")
+        if self._accept(KEYWORD, "values"):
+            rows = []
+            while True:
+                self._expect(PUNCT, "(")
+                row = []
+                while True:
+                    row.append(self._expression())
+                    if not self._accept(PUNCT, ","):
+                        break
+                self._expect(PUNCT, ")")
+                rows.append(row)
+                if not self._accept(PUNCT, ","):
+                    break
+            return ast.Insert(table, columns=columns, rows=rows)
+        query = self._query_expression()
+        return ast.Insert(table, columns=columns, query=query)
+
+    def _alter(self):
+        self._expect(KEYWORD, "alter")
+        self._expect(KEYWORD, "table")
+        table = self._qualified_name()
+        self._expect(KEYWORD, "alter")
+        self._expect(KEYWORD, "column")
+        column = self._expect(IDENT).value
+        type_name = self._type_name()
+        return ast.AlterColumn(table, column, type_name)
+
+    def _type_name(self):
+        token = self._peek()
+        if token.kind == IDENT:
+            self._next()
+            name = token.value
+        elif token.kind == KEYWORD and token.value in ("table", "view"):
+            raise ParseError("expected a type name", token)
+        else:
+            # Some type names collide with nothing; accept keywords that are
+            # also valid type words is unnecessary in this dialect.
+            raise ParseError("expected a type name, got %r" % token.value, token)
+        if self._accept(PUNCT, "("):
+            parts = [str(self._expect(NUMBER).value)]
+            while self._accept(PUNCT, ","):
+                parts.append(str(self._expect(NUMBER).value))
+            self._expect(PUNCT, ")")
+            name = "%s(%s)" % (name, ",".join(parts))
+        return name
+
+    def _qualified_name(self):
+        """Dotted name like ``schema.table``; returned joined with dots."""
+        parts = [self._expect(IDENT).value]
+        while self._accept(PUNCT, "."):
+            parts.append(self._expect(IDENT).value)
+        return ".".join(parts)
+
+    # -- query expressions ----------------------------------------------------
+
+    def _query_expression(self):
+        """Handle set operations with left associativity.
+
+        INTERSECT binds tighter than UNION/EXCEPT per the standard; the
+        workload rarely mixes them, so we keep plain left-to-right with the
+        standard's precedence implemented in one pass.
+        """
+        left = self._query_term()
+        while True:
+            token = self._peek()
+            if token.matches(KEYWORD, ("union", "except")):
+                op = self._next().value
+                all_rows = bool(self._accept(KEYWORD, "all"))
+                right = self._query_term()
+                left = ast.SetOperation(op, left, right, all=all_rows)
+                # A trailing ORDER BY belongs to the whole set operation, but
+                # the rightmost SELECT greedily consumes it; reclaim it here.
+                if (
+                    isinstance(right, ast.Select)
+                    and right.order_by
+                    and right.top is None
+                ):
+                    left.order_by = right.order_by
+                    right.order_by = []
+            else:
+                break
+        # A trailing ORDER BY applies to the whole set operation result.
+        if isinstance(left, ast.SetOperation) and self._peek().matches(KEYWORD, "order"):
+            left.order_by = self._order_by()
+        return left
+
+    def _query_term(self):
+        left = self._query_primary()
+        while self._peek().matches(KEYWORD, "intersect"):
+            self._next()
+            all_rows = bool(self._accept(KEYWORD, "all"))
+            right = self._query_primary()
+            left = ast.SetOperation("intersect", left, right, all=all_rows)
+        return left
+
+    def _query_primary(self):
+        if self._accept(PUNCT, "("):
+            query = self._query_expression()
+            self._expect(PUNCT, ")")
+            return query
+        return self._select()
+
+    def _select(self):
+        self._expect(KEYWORD, "select")
+        distinct = False
+        if self._accept(KEYWORD, "distinct"):
+            distinct = True
+        elif self._accept(KEYWORD, "all"):
+            pass
+        top = None
+        top_percent = False
+        if self._accept(KEYWORD, "top"):
+            if self._accept(PUNCT, "("):
+                top = self._expect(NUMBER).value
+                self._expect(PUNCT, ")")
+            else:
+                top = self._expect(NUMBER).value
+            top = int(top)
+            if self._accept(KEYWORD, "percent"):
+                top_percent = True
+        items = [self._select_item()]
+        while self._accept(PUNCT, ","):
+            items.append(self._select_item())
+        from_clause = None
+        if self._accept(KEYWORD, "from"):
+            from_clause = self._from_clause()
+        where = None
+        if self._accept(KEYWORD, "where"):
+            where = self._expression()
+        group_by = []
+        if self._accept(KEYWORD, "group"):
+            self._expect(KEYWORD, "by")
+            group_by.append(self._expression())
+            while self._accept(PUNCT, ","):
+                group_by.append(self._expression())
+        having = None
+        if self._accept(KEYWORD, "having"):
+            having = self._expression()
+        order_by = []
+        if self._peek().matches(KEYWORD, "order"):
+            order_by = self._order_by()
+        return ast.Select(
+            items,
+            from_clause=from_clause,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            distinct=distinct,
+            top=top,
+            top_percent=top_percent,
+        )
+
+    def _order_by(self):
+        self._expect(KEYWORD, "order")
+        self._expect(KEYWORD, "by")
+        items = [self._order_item()]
+        while self._accept(PUNCT, ","):
+            items.append(self._order_item())
+        return items
+
+    def _order_item(self):
+        expr = self._expression()
+        descending = False
+        if self._accept(KEYWORD, "desc"):
+            descending = True
+        else:
+            self._accept(KEYWORD, "asc")
+        return ast.OrderItem(expr, descending)
+
+    def _select_item(self):
+        token = self._peek()
+        # "*" or "t.*"
+        if token.matches(OP, "*"):
+            self._next()
+            return ast.SelectItem(ast.Star())
+        if (
+            token.kind == IDENT
+            and self._peek(1).matches(PUNCT, ".")
+            and self._peek(2).matches(OP, "*")
+        ):
+            self._next()
+            self._next()
+            self._next()
+            return ast.SelectItem(ast.Star(table=token.value))
+        expr = self._expression()
+        alias = None
+        if self._accept(KEYWORD, "as"):
+            alias = self._alias_name()
+        elif self._peek().kind == IDENT:
+            alias = self._next().value
+        elif self._peek().kind == STRING:
+            alias = self._next().value
+        return ast.SelectItem(expr, alias)
+
+    def _alias_name(self):
+        token = self._peek()
+        if token.kind in (IDENT, STRING):
+            return self._next().value
+        raise ParseError("expected an alias name, got %r" % token.value, token)
+
+    # -- FROM clause ----------------------------------------------------------
+
+    def _from_clause(self):
+        left = self._table_source()
+        while True:
+            token = self._peek()
+            if token.matches(PUNCT, ","):
+                self._next()
+                right = self._table_source()
+                left = ast.Join("cross", left, right)
+                continue
+            kind = self._join_kind()
+            if kind is None:
+                break
+            right = self._table_source()
+            condition = None
+            if kind != "cross":
+                self._expect(KEYWORD, "on")
+                condition = self._expression()
+            left = ast.Join(kind, left, right, condition)
+        return left
+
+    def _join_kind(self):
+        token = self._peek()
+        if token.matches(KEYWORD, "join"):
+            self._next()
+            return "inner"
+        if token.matches(KEYWORD, "inner"):
+            self._next()
+            self._expect(KEYWORD, "join")
+            return "inner"
+        if token.matches(KEYWORD, ("left", "right", "full")):
+            kind = self._next().value
+            self._accept(KEYWORD, "outer")
+            self._expect(KEYWORD, "join")
+            return kind
+        if token.matches(KEYWORD, "cross"):
+            self._next()
+            self._expect(KEYWORD, "join")
+            return "cross"
+        return None
+
+    def _table_source(self):
+        if self._accept(PUNCT, "("):
+            # Either a derived table or a parenthesized join tree.
+            if self._peek().matches(KEYWORD, "select") or self._peek().matches(PUNCT, "("):
+                query = self._query_expression()
+                self._expect(PUNCT, ")")
+                alias = self._table_alias(required=True)
+                return ast.SubqueryRef(query, alias)
+            source = self._from_clause()
+            self._expect(PUNCT, ")")
+            return source
+        name = self._qualified_name()
+        alias = self._table_alias(required=False)
+        return ast.TableRef(name, alias)
+
+    def _table_alias(self, required):
+        if self._accept(KEYWORD, "as"):
+            return self._expect(IDENT).value
+        if self._peek().kind == IDENT:
+            return self._next().value
+        if required:
+            raise ParseError("derived table requires an alias", self._peek())
+        return None
+
+    # -- expressions ------------------------------------------------------------
+
+    def _expression(self):
+        return self._or_expr()
+
+    def _or_expr(self):
+        left = self._and_expr()
+        while self._accept(KEYWORD, "or"):
+            right = self._and_expr()
+            left = ast.BinaryOp("or", left, right)
+        return left
+
+    def _and_expr(self):
+        left = self._not_expr()
+        while self._accept(KEYWORD, "and"):
+            right = self._not_expr()
+            left = ast.BinaryOp("and", left, right)
+        return left
+
+    def _not_expr(self):
+        if self._accept(KEYWORD, "not"):
+            return ast.UnaryOp("not", self._not_expr())
+        return self._predicate()
+
+    def _predicate(self):
+        if self._peek().matches(KEYWORD, "exists"):
+            self._next()
+            self._expect(PUNCT, "(")
+            subquery = self._query_expression()
+            self._expect(PUNCT, ")")
+            return ast.Exists(subquery)
+        left = self._additive()
+        while True:
+            token = self._peek()
+            if token.kind == OP and token.value in _COMPARISON_OPS:
+                op = self._next().value
+                right = self._comparison_rhs()
+                left = ast.BinaryOp(op, left, right)
+                continue
+            negated = False
+            look = token
+            if token.matches(KEYWORD, "not"):
+                look = self._peek(1)
+                if look.matches(KEYWORD, ("like", "in", "between")):
+                    self._next()
+                    negated = True
+                    token = self._peek()
+                else:
+                    break
+            if token.matches(KEYWORD, "is"):
+                self._next()
+                neg = bool(self._accept(KEYWORD, "not"))
+                self._expect(KEYWORD, "null")
+                left = ast.IsNull(left, negated=neg)
+                continue
+            if token.matches(KEYWORD, "like"):
+                self._next()
+                pattern = self._additive()
+                left = ast.Like(left, pattern, negated=negated)
+                continue
+            if token.matches(KEYWORD, "between"):
+                self._next()
+                low = self._additive()
+                self._expect(KEYWORD, "and")
+                high = self._additive()
+                left = ast.Between(left, low, high, negated=negated)
+                continue
+            if token.matches(KEYWORD, "in"):
+                self._next()
+                self._expect(PUNCT, "(")
+                if self._peek().matches(KEYWORD, "select"):
+                    subquery = self._query_expression()
+                    self._expect(PUNCT, ")")
+                    left = ast.InSubquery(left, subquery, negated=negated)
+                else:
+                    items = [self._expression()]
+                    while self._accept(PUNCT, ","):
+                        items.append(self._expression())
+                    self._expect(PUNCT, ")")
+                    left = ast.InList(left, items, negated=negated)
+                continue
+            break
+        return left
+
+    def _comparison_rhs(self):
+        # ANY/ALL/SOME quantified comparisons are not in the dialect; a bare
+        # subquery on the RHS is a scalar subquery, handled in _primary.
+        return self._additive()
+
+    def _additive(self):
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            # Bitwise operators share this precedence level (T-SQL places
+            # them near +/-); they exist for the SDSS flag-mask idiom.
+            if token.kind == OP and token.value in ("+", "-", "||", "&", "|", "^"):
+                op = self._next().value
+                right = self._multiplicative()
+                left = ast.BinaryOp(op, left, right)
+            else:
+                break
+        return left
+
+    def _multiplicative(self):
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.kind == OP and token.value in ("*", "/", "%"):
+                op = self._next().value
+                right = self._unary()
+                left = ast.BinaryOp(op, left, right)
+            else:
+                break
+        return left
+
+    def _unary(self):
+        token = self._peek()
+        if token.kind == OP and token.value in ("-", "+"):
+            self._next()
+            return ast.UnaryOp(token.value, self._unary())
+        return self._primary()
+
+    def _primary(self):
+        token = self._peek()
+        if token.kind == NUMBER or token.kind == STRING:
+            self._next()
+            return ast.Literal(token.value)
+        if token.matches(KEYWORD, "null"):
+            self._next()
+            return ast.Literal(None)
+        if token.matches(KEYWORD, "true"):
+            self._next()
+            return ast.Literal(True)
+        if token.matches(KEYWORD, "false"):
+            self._next()
+            return ast.Literal(False)
+        if token.matches(KEYWORD, "case"):
+            return self._case()
+        if token.matches(KEYWORD, ("cast", "try_cast")):
+            return self._cast(try_cast=token.value == "try_cast")
+        if token.matches(KEYWORD, "convert"):
+            return self._convert()
+        if token.matches(PUNCT, "("):
+            self._next()
+            if self._peek().matches(KEYWORD, "select"):
+                subquery = self._query_expression()
+                self._expect(PUNCT, ")")
+                return ast.ScalarSubquery(subquery)
+            expr = self._expression()
+            self._expect(PUNCT, ")")
+            return expr
+        if token.kind == IDENT:
+            return self._identifier_expression()
+        if token.matches(OP, "*"):
+            # COUNT(*) reaches here via FuncCall args parsing.
+            self._next()
+            return ast.Star()
+        raise ParseError("unexpected token %r in expression" % (token.value,), token)
+
+    def _identifier_expression(self):
+        name = self._expect(IDENT).value
+        if self._peek().matches(PUNCT, "("):
+            return self._func_call(name)
+        if self._accept(PUNCT, "."):
+            column = self._expect(IDENT).value
+            return ast.ColumnRef(column, table=name)
+        return ast.ColumnRef(name)
+
+    def _func_call(self, name):
+        self._expect(PUNCT, "(")
+        distinct = False
+        args = []
+        if not self._peek().matches(PUNCT, ")"):
+            if self._accept(KEYWORD, "distinct"):
+                distinct = True
+            elif self._accept(KEYWORD, "all"):
+                pass
+            args.append(self._expression())
+            while self._accept(PUNCT, ","):
+                args.append(self._expression())
+        self._expect(PUNCT, ")")
+        call = ast.FuncCall(name, args, distinct=distinct)
+        if self._peek().matches(KEYWORD, "over"):
+            return self._over(call)
+        return call
+
+    def _over(self, call):
+        self._expect(KEYWORD, "over")
+        self._expect(PUNCT, "(")
+        partition_by = []
+        order_by = []
+        if self._accept(KEYWORD, "partition"):
+            self._expect(KEYWORD, "by")
+            partition_by.append(self._expression())
+            while self._accept(PUNCT, ","):
+                partition_by.append(self._expression())
+        if self._peek().matches(KEYWORD, "order"):
+            order_by = self._order_by()
+        # Window frames (ROWS/RANGE ...) are accepted and ignored: the
+        # executor computes whole-partition or running aggregates, which
+        # covers the workload's usage.
+        if self._peek().matches(KEYWORD, ("rows", "range")):
+            self._next()
+            self._skip_frame()
+        self._expect(PUNCT, ")")
+        return ast.WindowFunction(call, partition_by, order_by)
+
+    def _skip_frame(self):
+        if self._accept(KEYWORD, "between"):
+            self._frame_bound()
+            self._expect(KEYWORD, "and")
+            self._frame_bound()
+        else:
+            self._frame_bound()
+
+    def _frame_bound(self):
+        if self._accept(KEYWORD, "unbounded"):
+            if not (self._accept(KEYWORD, "preceding") or self._accept(KEYWORD, "following")):
+                raise ParseError("expected PRECEDING/FOLLOWING", self._peek())
+            return
+        if self._accept(KEYWORD, "current"):
+            self._expect(KEYWORD, "row")
+            return
+        self._expect(NUMBER)
+        if not (self._accept(KEYWORD, "preceding") or self._accept(KEYWORD, "following")):
+            raise ParseError("expected PRECEDING/FOLLOWING", self._peek())
+
+    def _case(self):
+        self._expect(KEYWORD, "case")
+        operand = None
+        if not self._peek().matches(KEYWORD, "when"):
+            operand = self._expression()
+        whens = []
+        while self._accept(KEYWORD, "when"):
+            condition = self._expression()
+            self._expect(KEYWORD, "then")
+            result = self._expression()
+            whens.append((condition, result))
+        if not whens:
+            raise ParseError("CASE requires at least one WHEN", self._peek())
+        else_result = None
+        if self._accept(KEYWORD, "else"):
+            else_result = self._expression()
+        self._expect(KEYWORD, "end")
+        return ast.Case(whens, else_result=else_result, operand=operand)
+
+    def _cast(self, try_cast):
+        self._next()  # cast / try_cast
+        self._expect(PUNCT, "(")
+        operand = self._expression()
+        self._expect(KEYWORD, "as")
+        type_name = self._type_name()
+        self._expect(PUNCT, ")")
+        return ast.Cast(operand, type_name, try_cast=try_cast)
+
+    def _convert(self):
+        self._expect(KEYWORD, "convert")
+        self._expect(PUNCT, "(")
+        type_name = self._type_name()
+        self._expect(PUNCT, ",")
+        operand = self._expression()
+        if self._accept(PUNCT, ","):
+            self._expect(NUMBER)  # style argument, accepted and ignored
+        self._expect(PUNCT, ")")
+        return ast.Cast(operand, type_name)

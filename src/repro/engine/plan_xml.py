@@ -1,0 +1,90 @@
+"""SHOWPLAN_XML-style plan documents.
+
+The engine's equivalent of ``SET SHOWPLAN_XML ON`` (Section 4 of the paper):
+an XML document of nested ``RelOp`` elements carrying physical/logical
+operator names, estimated rows, row size, I/O and CPU costs, predicates and
+output columns.  Phase 1 of the workload framework parses this XML back
+into the JSON plans of Listing 1 — deliberately round-tripping through XML
+so the reproduction exercises the same extraction path the authors used.
+"""
+
+import xml.etree.ElementTree as ET
+
+NAMESPACE = "http://schemas.microsoft.com/sqlserver/2004/07/showplan"
+
+
+def plan_to_xml(root_operator, statement_text="", expression_ops=None,
+                referenced_columns=None):
+    """Render a physical plan as a SHOWPLAN-style XML string.
+
+    ``expression_ops`` lists the intrinsic/arithmetic expression operators
+    the optimizer saw in the statement (``like``, ``ADD``, ``patindex``,
+    ...); they are emitted under ``<ExpressionList>`` so Phase 1 can pull
+    them out with XPath, as the paper describes.
+    """
+    showplan = ET.Element("ShowPlanXML", {"xmlns": NAMESPACE, "Version": "1.2"})
+    statements = ET.SubElement(showplan, "BatchSequence")
+    batch = ET.SubElement(statements, "Batch")
+    stmts = ET.SubElement(batch, "Statements")
+    stmt = ET.SubElement(
+        stmts,
+        "StmtSimple",
+        {
+            "StatementText": statement_text,
+            "StatementType": "SELECT",
+            "StatementSubTreeCost": _fmt(root_operator.total_cost),
+            "StatementEstRows": _fmt(root_operator.est_rows),
+        },
+    )
+    if expression_ops:
+        expressions = ET.SubElement(stmt, "ExpressionList")
+        for name in expression_ops:
+            ET.SubElement(expressions, "ExpressionOp", {"Name": name})
+    if referenced_columns:
+        referenced = ET.SubElement(stmt, "ReferencedColumns")
+        for table, column in sorted(referenced_columns):
+            ET.SubElement(
+                referenced, "ColumnReference", {"Table": table, "Column": column}
+            )
+    query_plan = ET.SubElement(stmt, "QueryPlan")
+    _emit_relop(query_plan, root_operator)
+    return ET.tostring(showplan, encoding="unicode")
+
+
+def _emit_relop(parent, operator):
+    relop = ET.SubElement(
+        parent,
+        "RelOp",
+        {
+            "PhysicalOp": operator.physical_name,
+            "LogicalOp": operator.logical,
+            "EstimateRows": _fmt(operator.est_rows),
+            "AvgRowSize": _fmt(operator.row_size),
+            "EstimateIO": _fmt(operator.io_cost),
+            "EstimateCPU": _fmt(operator.cpu_cost),
+            "EstimatedTotalSubtreeCost": _fmt(operator.total_cost),
+        },
+    )
+    output = ET.SubElement(relop, "OutputList")
+    for column in operator.schema:
+        attrs = {"Column": column.name}
+        if column.source_table:
+            attrs["Table"] = column.source_table
+            if column.source_column:
+                attrs["SourceColumn"] = column.source_column
+        ET.SubElement(output, "ColumnReference", attrs)
+    if operator.filters:
+        predicate = ET.SubElement(relop, "Predicate")
+        for text in operator.filters:
+            ET.SubElement(predicate, "ScalarOperator", {"ScalarString": text})
+    for key, value in sorted(operator.properties.items()):
+        ET.SubElement(relop, "Property", {"Name": key, "Value": str(value)})
+    for child in operator.children:
+        _emit_relop(relop, child)
+    for subplan in operator.subplans:
+        wrapper = ET.SubElement(relop, "Subplan")
+        _emit_relop(wrapper, subplan)
+
+
+def _fmt(value):
+    return "%.10g" % float(value)

@@ -1,0 +1,1137 @@
+"""Logical-to-physical planning with cost-based join selection.
+
+The planner walks a parsed query and emits a tree of physical operators
+(:mod:`repro.engine.operators`) with SQL-Server-style cardinality and cost
+estimates attached, because the paper's entire analysis pipeline is driven
+by exactly those estimates.  Along the way it accumulates a
+:class:`PlanInfo` — referenced tables, columns, views and expression
+operators — which Phase 2 of the workload framework stores in the query
+catalog.
+"""
+
+from repro.engine import ast_nodes as ast
+from repro.engine import cost as costmodel
+from repro.engine import operators as ops
+from repro.engine.aggregates import is_aggregate_name, result_type as agg_result_type
+from repro.engine.expressions import (
+    Binder,
+    BoundBinary,
+    BoundColumn,
+    BoundIsNull,
+    BoundLike,
+    BoundLiteral,
+    BoundUnary,
+    OutputColumn,
+    Scope,
+    contains_subquery,
+    rebase_expr,
+    referenced_slots,
+)
+from repro.engine.types import SQLType, TYPE_WIDTH, unify_types
+from repro.errors import BindError, CatalogError
+from repro.engine.window import NAVIGATION_FUNCTIONS, RANKING_FUNCTIONS, WindowSpec
+
+_COMPARISONS = ("=", "<>", "<", ">", "<=", ">=")
+
+
+class PlanInfo(object):
+    """Side products of planning used by the workload analysis."""
+
+    def __init__(self):
+        self.tables = set()
+        self.columns = set()  # (table, column)
+        self.views = set()
+        self.expression_ops = []
+
+    def merge(self, other):
+        self.tables |= other.tables
+        self.columns |= other.columns
+        self.views |= other.views
+        self.expression_ops.extend(other.expression_ops)
+
+
+class PlannedQuery(object):
+    """A planned statement: root operator, output schema and plan info."""
+
+    def __init__(self, root, schema, info):
+        self.root = root
+        self.schema = schema
+        self.info = info
+
+
+class _Frame(object):
+    """Per-subquery planning frame used for correlation detection."""
+
+    def __init__(self):
+        self.used_outer = False
+
+
+class Planner(object):
+    """Plans query ASTs against a catalog."""
+
+    def __init__(self, catalog):
+        self.catalog = catalog
+        self._name_counter = 0
+        #: Stack of CTE scopes: name (lower) -> (query AST, declared columns).
+        self._cte_stack = []
+
+    # -- public entry points ----------------------------------------------------
+
+    def plan(self, query):
+        """Plan a SELECT or set operation; returns a :class:`PlannedQuery`."""
+        info = PlanInfo()
+        root, schema = self._plan_query(query, None, info)
+        return PlannedQuery(root, schema, info)
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _fresh_name(self, prefix="Expr"):
+        self._name_counter += 1
+        return "%s%04d" % (prefix, 1000 + self._name_counter)
+
+    def _make_binder(self, scope, info, replacements=None, frame=None):
+        binder = Binder(
+            scope,
+            plan_subquery=self._subquery_planner(info, frame),
+            replacements=replacements,
+            references=info.columns,
+            expression_ops=info.expression_ops,
+        )
+        original = binder._bind_columnref
+
+        def tracking_bind(node, _original=original, _frame=frame):
+            bound = _original(node)
+            if _frame is not None and bound.__class__.__name__ == "BoundOuterColumn":
+                _frame.used_outer = True
+            return bound
+
+        binder._bind_columnref = tracking_bind
+        
+        return binder
+
+    def _subquery_planner(self, info, outer_frame):
+        def plan_subquery(query, scope):
+            frame = _Frame()
+            root, schema = self._plan_query(query, scope, info, frame)
+            if outer_frame is not None and frame.used_outer:
+                # Correlation may reach past the immediate scope.
+                outer_frame.used_outer = True
+            return root, schema, frame.used_outer
+
+        return plan_subquery
+
+    # -- query expressions -----------------------------------------------------------
+
+    def _plan_query(self, query, outer_scope, info, frame=None):
+        if isinstance(query, ast.Select):
+            return self._plan_select(query, outer_scope, info, frame)
+        if isinstance(query, ast.SetOperation):
+            return self._plan_set_operation(query, outer_scope, info, frame)
+        if isinstance(query, ast.WithQuery):
+            return self._plan_with(query, outer_scope, info, frame)
+        raise BindError("cannot plan %s as a query" % type(query).__name__)
+
+    def _plan_with(self, query, outer_scope, info, frame):
+        """Non-recursive CTEs: each name resolves to its query, inlined at
+        every reference (SQL Server expands non-materialized CTEs too).
+
+        Each CTE captures the name scope at its definition point — outer
+        WITH layers plus *earlier* members of its own clause — so a CTE
+        shadowing a table name still reads the base table inside its own
+        body, as in T-SQL.
+        """
+        layer = {}
+        base_layers = list(self._cte_stack)
+        for cte in query.ctes:
+            if cte.name.lower() in layer:
+                raise BindError("duplicate CTE name %r" % cte.name)
+            visible = base_layers + [dict(layer)]
+            layer[cte.name.lower()] = (cte.query, cte.columns, visible)
+        self._cte_stack.append(layer)
+        try:
+            return self._plan_query(query.body, outer_scope, info, frame)
+        finally:
+            self._cte_stack.pop()
+
+    def _resolve_cte(self, name):
+        lowered = name.lower()
+        for layer in reversed(self._cte_stack):
+            if lowered in layer:
+                return layer[lowered]
+        return None
+
+    def _plan_set_operation(self, query, outer_scope, info, frame):
+        left_root, left_schema = self._plan_query(query.left, outer_scope, info, frame)
+        right_root, right_schema = self._plan_query(query.right, outer_scope, info, frame)
+        if len(left_schema) != len(right_schema):
+            raise BindError(
+                "set operation arity mismatch: %d vs %d"
+                % (len(left_schema), len(right_schema))
+            )
+        schema = [
+            OutputColumn(
+                left.name,
+                unify_types(left.sql_type, right.sql_type),
+                qualifier=None,
+                source_table=left.source_table,
+                source_column=left.source_column,
+            )
+            for left, right in zip(left_schema, right_schema)
+        ]
+        target_types = [column.sql_type for column in schema]
+        left_root = self._coerce_branch(left_root, target_types)
+        right_root = self._coerce_branch(right_root, target_types)
+        if query.op == "union":
+            root = ops.Concatenation([left_root, right_root], schema)
+            rows = left_root.est_rows + right_root.est_rows
+            row_size = max(left_root.row_size, right_root.row_size)
+            root.set_estimates(rows, row_size, 0.0, costmodel.CPU_PER_ROW * rows)
+            if not query.all:
+                root = self._distinct(root)
+        elif query.op == "intersect":
+            root = self._semi_join("semi", left_root, right_root, schema)
+        elif query.op == "except":
+            root = self._semi_join("anti", left_root, right_root, schema)
+        else:
+            raise BindError("unknown set operation %r" % query.op)
+        root.schema = schema
+        if query.order_by:
+            scope = Scope(schema, parent=outer_scope)
+            root = self._order(root, query.order_by, scope, info, frame, schema)
+        return root, schema
+
+    def _coerce_branch(self, root, target_types):
+        """Cast a set-operation branch to the unified column types.
+
+        T-SQL converts both sides of a UNION to a common type; without this
+        a branch whose column widened (say FLOAT under a VARCHAR-unified
+        column) would leak raw floats into string comparisons downstream.
+        """
+        if all(
+            column.sql_type == target
+            for column, target in zip(root.schema, target_types)
+        ):
+            return root
+        exprs = []
+        new_schema = []
+        for slot, (column, target) in enumerate(zip(root.schema, target_types)):
+            base = BoundColumn(slot, column.sql_type, column.name)
+            if column.sql_type == target:
+                exprs.append(base)
+                new_schema.append(column)
+            else:
+                from repro.engine.expressions import BoundCast
+
+                exprs.append(BoundCast(base, target, try_cast=False))
+                new_schema.append(column.renamed())
+                new_schema[-1].sql_type = target
+        project = ops.ComputeScalar(root, exprs, new_schema)
+        project.set_estimates(
+            root.est_rows, root.row_size, 0.0,
+            costmodel.COMPUTE_SCALAR_CPU * max(1.0, root.est_rows),
+        )
+        return project
+
+    def _semi_join(self, kind, left_root, right_root, schema):
+        left_distinct = self._distinct(left_root)
+        key_count = len(schema)
+        left_keys = [
+            BoundColumn(i, schema[i].sql_type, schema[i].name) for i in range(key_count)
+        ]
+        right_keys = [
+            BoundColumn(i, right_root.schema[i].sql_type, right_root.schema[i].name)
+            for i in range(key_count)
+        ]
+        join = ops.HashMatch(
+            kind, left_distinct, right_root, left_keys, right_keys, None, schema, []
+        )
+        rows = max(1.0, left_distinct.est_rows * (0.5 if kind == "semi" else 0.5))
+        join.set_estimates(
+            rows,
+            left_distinct.row_size,
+            0.0,
+            costmodel.hash_join_cpu(right_root.est_rows, left_distinct.est_rows),
+        )
+        return join
+
+    def _distinct(self, child):
+        keys = [
+            BoundColumn(i, column.sql_type, column.name)
+            for i, column in enumerate(child.schema)
+        ]
+        out = ops.Sort(child, keys, [False] * len(keys), distinct=True)
+        rows = max(1.0, child.est_rows * 0.5)
+        out.set_estimates(rows, child.row_size, 0.0, costmodel.sort_cpu(child.est_rows))
+        return out
+
+    # -- SELECT -------------------------------------------------------------------------
+
+    def _plan_select(self, select, outer_scope, info, frame):
+        # 1. FROM (a FROM-less SELECT reads one empty row, as in T-SQL)
+        if select.from_clause is not None:
+            source, source_schema = self._plan_from(select.from_clause, outer_scope, info, frame)
+        else:
+            source = ops.ConstantScan([[]], [])
+            source.set_estimates(1, costmodel.ROW_OVERHEAD, 0.0, costmodel.CPU_PER_ROW)
+            source_schema = []
+        scope = Scope(source_schema, parent=outer_scope)
+
+        # 2. WHERE (with seek pushdown into a lone table scan)
+        if select.where is not None:
+            source = self._plan_where(select.where, source, scope, info, frame)
+
+        # 3. Aggregation
+        replacements = {}
+        aggregate_calls = self._collect_aggregates(select)
+        if select.group_by or aggregate_calls:
+            source, scope = self._plan_aggregate(
+                select, source, scope, outer_scope, info, frame, aggregate_calls, replacements
+            )
+
+        # 4. HAVING
+        if select.having is not None:
+            binder = self._make_binder(scope, info, replacements, frame)
+            predicate = binder.bind(select.having)
+            having = ops.Filter(source, predicate, [predicate.describe()])
+            having.subplans.extend(binder.subplans)
+            rows = max(1.0, source.est_rows * 0.5)
+            having.set_estimates(
+                rows, source.row_size, 0.0,
+                costmodel.FILTER_CPU_PER_ROW * max(1.0, source.est_rows),
+            )
+            source = having
+
+        # 5. Window functions
+        window_nodes = self._collect_windows(select)
+        if window_nodes:
+            source, scope = self._plan_windows(
+                window_nodes, source, scope, outer_scope, info, frame, replacements
+            )
+
+        # 6. Select list
+        items = self._expand_stars(select.items, scope)
+        binder = self._make_binder(scope, info, replacements, frame)
+        exprs = []
+        out_columns = []
+        for item in items:
+            bound = binder.bind(item.expr)
+            name = item.alias or self._derive_name(item.expr)
+            source_table = source_column = None
+            if isinstance(item.expr, ast.ColumnRef):
+                _levels, _slot, resolved = scope.resolve(item.expr.name, item.expr.table)
+                source_table = resolved.source_table
+                source_column = resolved.source_column
+            out_columns.append(
+                OutputColumn(
+                    name, bound.sql_type,
+                    source_table=source_table, source_column=source_column,
+                )
+            )
+            exprs.append(bound)
+        if self._is_identity_projection(exprs, source):
+            root = source
+            root.schema = out_columns
+        else:
+            # The projection gets its own schema list: ORDER BY may push
+            # hidden sort columns into it without touching ``out_columns``.
+            root = ops.ComputeScalar(source, exprs, list(out_columns))
+            rows = source.est_rows
+            root.set_estimates(
+                rows, _schema_width(out_columns), 0.0,
+                costmodel.COMPUTE_SCALAR_CPU * max(1.0, rows),
+            )
+            root.subplans.extend(binder.subplans)
+
+        # 7. DISTINCT
+        if select.distinct:
+            root = self._distinct(root)
+            root.schema = out_columns
+
+        # 8. ORDER BY (may reference select aliases or source columns)
+        if select.order_by:
+            order_scope = Scope(out_columns, parent=outer_scope)
+            root = self._order(
+                root, select.order_by, order_scope, info, frame, out_columns,
+                fallback_scope=scope, fallback_replacements=replacements,
+                projection_exprs=exprs,
+            )
+
+        # 9. TOP
+        if select.top is not None:
+            top = ops.Top(root, select.top, percent=select.top_percent)
+            if select.top_percent:
+                rows = max(1.0, root.est_rows * select.top / 100.0)
+            else:
+                rows = min(float(select.top), root.est_rows or float(select.top))
+            top.set_estimates(rows, root.row_size, 0.0, costmodel.CPU_PER_ROW * rows)
+            root = top
+        return root, out_columns
+
+    def _is_identity_projection(self, exprs, source):
+        if len(exprs) != len(source.schema):
+            return False
+        for slot, expr in enumerate(exprs):
+            if not (isinstance(expr, BoundColumn) and expr.slot == slot):
+                return False
+        return True
+
+    def _derive_name(self, expr):
+        if isinstance(expr, ast.ColumnRef):
+            return expr.name
+        if isinstance(expr, ast.Cast) and isinstance(expr.operand, ast.ColumnRef):
+            return expr.operand.name
+        return self._fresh_name()
+
+    # -- FROM ---------------------------------------------------------------------------
+
+    def _plan_from(self, node, outer_scope, info, frame):
+        if isinstance(node, ast.TableRef):
+            return self._plan_table_ref(node, info)
+        if isinstance(node, ast.SubqueryRef):
+            root, schema = self._plan_query(node.query, outer_scope, info, frame)
+            renamed = [column.renamed(qualifier=node.alias) for column in schema]
+            root.schema = renamed
+            return root, renamed
+        if isinstance(node, ast.Join):
+            return self._plan_join(node, outer_scope, info, frame)
+        raise BindError("unsupported FROM element %s" % type(node).__name__)
+
+    def _plan_table_ref(self, node, info):
+        cte = self._resolve_cte(node.name)
+        if cte is not None:
+            return self._plan_cte_ref(node, cte, info)
+        kind, obj = self.catalog.resolve(node.name)
+        qualifier = node.alias or node.name.split(".")[-1]
+        if kind == "table":
+            info.tables.add(obj.name)
+            schema = [
+                OutputColumn(
+                    column.name, column.sql_type, qualifier=qualifier,
+                    source_table=obj.name, source_column=column.name,
+                )
+                for column in obj.columns
+            ]
+            scan = ops.ClusteredIndexScan(obj, schema)
+            rows = obj.stats.row_count
+            row_size = obj.stats.avg_row_width(obj.columns) + costmodel.ROW_OVERHEAD
+            scan.set_estimates(
+                rows, row_size, costmodel.scan_io(rows, row_size), costmodel.scan_cpu(rows)
+            )
+            return scan, schema
+        return self._plan_view_ref(node, obj, info)
+
+    def _plan_cte_ref(self, node, cte, info):
+        cte_query, declared_columns, visible_layers = cte
+        qualifier = node.alias or node.name
+        saved_stack = self._cte_stack
+        self._cte_stack = visible_layers
+        try:
+            root, inner_schema = self._plan_query(cte_query, None, info)
+        finally:
+            self._cte_stack = saved_stack
+        if declared_columns is not None:
+            if len(declared_columns) != len(inner_schema):
+                raise BindError(
+                    "CTE %r declares %d columns but produces %d"
+                    % (node.name, len(declared_columns), len(inner_schema))
+                )
+            names = declared_columns
+        else:
+            names = [column.name for column in inner_schema]
+        schema = [
+            column.renamed(name=name, qualifier=qualifier)
+            for column, name in zip(inner_schema, names)
+        ]
+        root.schema = schema
+        return root, schema
+
+    def _plan_view_ref(self, node, obj, info):
+        qualifier = node.alias or node.name.split(".")[-1]
+        # View: expand by planning its stored query.
+        info.views.add(obj.name)
+        planned = self.plan(obj.query)
+        if _is_trivial_wrapper(obj.query):
+            # A wrapper view's SELECT * references every column by
+            # construction; counting those would make every query look like
+            # it touches the whole table.  Only the outer query's own
+            # bindings count, as after projection pruning.
+            planned.info.columns = set()
+        info.merge(planned.info)
+        schema = [
+            OutputColumn(
+                declared.name, actual.sql_type, qualifier=qualifier,
+                source_table=actual.source_table, source_column=actual.source_column,
+            )
+            for declared, actual in zip(obj.columns, planned.schema)
+        ]
+        planned.root.schema = schema
+        return planned.root, schema
+
+    def _plan_join(self, node, outer_scope, info, frame):
+        left_root, left_schema = self._plan_from(node.left, outer_scope, info, frame)
+        right_root, right_schema = self._plan_from(node.right, outer_scope, info, frame)
+        schema = list(left_schema) + list(right_schema)
+        scope = Scope(schema, parent=outer_scope)
+        if node.kind == "cross" or node.condition is None:
+            join = ops.NestedLoops("cross", left_root, right_root, None, schema, [])
+            rows = max(1.0, left_root.est_rows * max(1.0, right_root.est_rows))
+            join.set_estimates(
+                rows,
+                left_root.row_size + right_root.row_size,
+                0.0,
+                costmodel.nested_loop_cpu(left_root.est_rows, right_root.est_rows),
+            )
+            return join, schema
+        binder = self._make_binder(scope, info, None, frame)
+        predicate = binder.bind(node.condition)
+        description = predicate.describe()
+        equi_keys = self._extract_equi_keys(predicate, len(left_schema))
+        join = self._choose_join(
+            node.kind, left_root, right_root, predicate, equi_keys, schema, description
+        )
+        join.subplans.extend(binder.subplans)
+        return join, schema
+
+    def _extract_equi_keys(self, predicate, left_width):
+        """Return (left_keys, right_keys, residual) if the predicate has at
+        least one column=column equality across the two inputs, else None.
+
+        ``right_keys`` are rebased so they evaluate against the right child's
+        own rows (slots shifted by the left child's width)."""
+        conjuncts = _split_conjuncts(predicate)
+        left_keys, right_keys, residual = [], [], []
+        for conjunct in conjuncts:
+            pair = self._equi_pair(conjunct, left_width)
+            if pair is not None:
+                left_keys.append(pair[0])
+                right_keys.append(pair[1])
+            else:
+                residual.append(conjunct)
+        if not left_keys:
+            return None
+        residual_pred = _combine_and(residual)
+        return left_keys, right_keys, residual_pred
+
+    def _equi_pair(self, conjunct, left_width):
+        if not (isinstance(conjunct, BoundBinary) and conjunct.op == "="):
+            return None
+        sides = [conjunct.left, conjunct.right]
+        if not all(isinstance(side, BoundColumn) for side in sides):
+            return None
+        left_side = [s for s in sides if s.slot < left_width]
+        right_side = [s for s in sides if s.slot >= left_width]
+        if len(left_side) != 1 or len(right_side) != 1:
+            return None
+        right = right_side[0]
+        rebased = BoundColumn(right.slot - left_width, right.sql_type, right.name)
+        return left_side[0], rebased
+
+    def _choose_join(self, kind, left_root, right_root, predicate, equi_keys, schema,
+                     description):
+        left_rows = max(1.0, left_root.est_rows)
+        right_rows = max(1.0, right_root.est_rows)
+        row_size = left_root.row_size + right_root.row_size
+        if equi_keys is None:
+            if kind in ("right", "full"):
+                raise BindError(
+                    "%s OUTER JOIN requires an equality join condition" % kind.upper()
+                )
+            join = ops.NestedLoops(kind, left_root, right_root, predicate, schema,
+                                   [description])
+            rows = self._join_cardinality(left_rows, right_rows, None, left_root, right_root)
+            join.set_estimates(rows, row_size, 0.0,
+                               costmodel.nested_loop_cpu(left_rows, right_rows))
+            return join
+        left_keys, right_keys, residual = equi_keys
+        rows = self._join_cardinality(left_rows, right_rows, (left_keys, right_keys),
+                                      left_root, right_root)
+        nested_cost = costmodel.nested_loop_cpu(left_rows, right_rows)
+        hash_cost = costmodel.hash_join_cpu(right_rows, left_rows)
+        # A clustered-index scan delivers rows sorted by the leading column,
+        # so joins on leading columns can merge without sorting.
+        left_sorted = _sorted_on(left_root, left_keys[0])
+        right_sorted = _sorted_on(right_root, right_keys[0])
+        merge_cost = (
+            (0.0 if left_sorted else costmodel.sort_cpu(left_rows))
+            + (0.0 if right_sorted else costmodel.sort_cpu(right_rows))
+            + costmodel.merge_join_cpu(left_rows, right_rows)
+        )
+        if kind in ("right", "full"):
+            choice = "hash"
+        elif nested_cost <= min(hash_cost, merge_cost):
+            choice = "nested"
+        elif merge_cost < hash_cost and residual is None and kind == "inner":
+            choice = "merge"
+        else:
+            choice = "hash"
+        if choice == "nested":
+            join = ops.NestedLoops(kind, left_root, right_root, predicate, schema,
+                                   [description])
+            join.set_estimates(rows, row_size, 0.0, nested_cost)
+            return join
+        if choice == "merge":
+            join = ops.MergeJoin(kind, left_root, right_root, left_keys, right_keys,
+                                 schema, [description])
+            join.set_estimates(rows, row_size, 0.0, merge_cost)
+            return join
+        join = ops.HashMatch(kind, left_root, right_root, left_keys, right_keys, residual,
+                             schema, [description])
+        join.set_estimates(rows, row_size, 0.0, hash_cost)
+        return join
+
+    def _join_cardinality(self, left_rows, right_rows, keys, left_root, right_root):
+        if keys is None:
+            return max(1.0, left_rows * right_rows * 0.1)
+        left_keys, right_keys = keys
+        distinct = max(
+            self._distinct_estimate(left_root, left_keys[0]),
+            self._distinct_estimate(right_root, right_keys[0]),
+            1.0,
+        )
+        return max(1.0, left_rows * right_rows / distinct)
+
+    def _distinct_estimate(self, operator, key_expr):
+        if isinstance(operator, (ops.ClusteredIndexScan, ops.ClusteredIndexSeek)):
+            if isinstance(key_expr, BoundColumn):
+                return float(operator.table.stats.distinct_count(key_expr.name))
+        return max(1.0, operator.est_rows * 0.7)
+
+    # -- WHERE ---------------------------------------------------------------------------
+
+    def _plan_where(self, where, source, scope, info, frame):
+        binder = self._make_binder(scope, info, None, frame)
+        predicate = binder.bind(where)
+        conjuncts = _split_conjuncts(predicate)
+        seek_predicates = []
+        residual = []
+        if isinstance(source, ops.ClusteredIndexScan):
+            leading = source.table.clustered_prefix.lower()
+            for conjunct in conjuncts:
+                if self._is_sargable(conjunct, leading):
+                    seek_predicates.append(conjunct)
+                else:
+                    residual.append(conjunct)
+        else:
+            residual = conjuncts
+        if seek_predicates:
+            seek_pred = _combine_and(seek_predicates)
+            seek_sel = self._selectivity(seek_pred, source)
+            rows = max(1.0, source.est_rows * seek_sel)
+            seek = ops.ClusteredIndexSeek(
+                source.table, source.schema, seek_pred,
+                [conjunct.describe() for conjunct in seek_predicates],
+            )
+            seek.set_estimates(
+                rows,
+                source.row_size,
+                costmodel.seek_io(rows, source.row_size),
+                costmodel.scan_cpu(rows),
+            )
+            source = seek
+        # Predicate pushdown: SQL Server evaluates residual predicates
+        # inside scans/seeks (and below sorts/projections) rather than with
+        # a standalone Filter; a Filter operator only survives when the
+        # predicate cannot move (e.g. sits above an aggregate or join it
+        # cannot commute with, or contains a subquery).
+        leftover = []
+        for conjunct in residual:
+            selectivity = self._selectivity(conjunct, source)
+            if contains_subquery(conjunct) or not self._push_predicate(
+                source, conjunct, selectivity
+            ):
+                leftover.append(conjunct)
+        if leftover:
+            residual_pred = _combine_and(leftover)
+            rows = max(1.0, (source.est_rows or 1.0) * self._selectivity(residual_pred, source))
+            flt = ops.Filter(source, residual_pred,
+                             [c.describe() for c in leftover])
+            flt.subplans.extend(binder.subplans)
+            flt.set_estimates(
+                rows, source.row_size, 0.0,
+                costmodel.FILTER_CPU_PER_ROW * max(1.0, source.est_rows) * len(leftover),
+            )
+            source = flt
+        elif binder.subplans:
+            source.subplans.extend(binder.subplans)
+        return source
+
+    def _push_predicate(self, operator, conjunct, selectivity):
+        """Try to evaluate ``conjunct`` inside ``operator``'s subtree.
+
+        Returns True when the predicate found a home (scan/seek residual, an
+        existing Filter, or below a projection/sort/join side); estimates
+        along the visited path are scaled by ``selectivity``.
+        """
+        if isinstance(operator, (ops.ClusteredIndexScan, ops.ClusteredIndexSeek)):
+            operator.add_residual(conjunct, conjunct.describe())
+            operator.est_rows = max(1.0, operator.est_rows * selectivity)
+            operator.cpu_cost += costmodel.FILTER_CPU_PER_ROW * operator.est_rows
+            return True
+        if isinstance(operator, ops.ComputeScalar):
+            exprs = operator.exprs
+
+            def substitute(slot):
+                return exprs[slot] if slot < len(exprs) else None
+
+            rebased = rebase_expr(conjunct, substitute)
+            if rebased is not None and self._push_predicate(
+                operator.children[0], rebased, selectivity
+            ):
+                operator.est_rows = max(1.0, operator.est_rows * selectivity)
+                return True
+            return False
+        if isinstance(operator, (ops.Sort, ops.Segment)):
+            # Filtering commutes with ordering, segmentation and DISTINCT.
+            if getattr(operator, "output_width", None) is not None:
+                width = operator.output_width
+                if any(slot >= width for slot in referenced_slots(conjunct)):
+                    return False
+            if self._push_predicate(operator.children[0], conjunct, selectivity):
+                operator.est_rows = max(1.0, operator.est_rows * selectivity)
+                return True
+            return False
+        if isinstance(operator, ops.Filter):
+            if self._push_predicate(operator.children[0], conjunct, selectivity):
+                operator.est_rows = max(1.0, operator.est_rows * selectivity)
+                return True
+            operator.predicate = _combine_and([operator.predicate, conjunct])
+            operator.filters.append(conjunct.describe())
+            operator.est_rows = max(1.0, operator.est_rows * selectivity)
+            return True
+        if isinstance(operator, ops.StreamAggregate):
+            # A predicate over the grouping key commutes with aggregation.
+            key_count = len(operator.key_exprs)
+            slots = referenced_slots(conjunct)
+            if slots and all(slot < key_count for slot in slots):
+                keys = operator.key_exprs
+
+                def substitute_key(slot):
+                    return keys[slot] if slot < key_count else None
+
+                rebased = rebase_expr(conjunct, substitute_key)
+                if rebased is not None and self._push_predicate(
+                    operator.children[0], rebased, selectivity
+                ):
+                    operator.est_rows = max(1.0, operator.est_rows * selectivity)
+                    return True
+            return False
+        if isinstance(operator, (ops.HashMatch, ops.NestedLoops, ops.MergeJoin)):
+            kind = operator.kind
+            left_width = len(operator.children[0].schema)
+            slots = referenced_slots(conjunct)
+            if not slots:
+                return False
+            if all(slot < left_width for slot in slots) and kind in (
+                "inner", "left", "cross", "semi", "anti"
+            ):
+                if self._push_predicate(operator.children[0], conjunct, selectivity):
+                    operator.est_rows = max(1.0, operator.est_rows * selectivity)
+                    return True
+                return False
+            if all(slot >= left_width for slot in slots) and kind in ("inner", "cross"):
+                rebased = rebase_expr(
+                    conjunct,
+                    lambda slot: BoundColumn(
+                        slot - left_width,
+                        operator.children[1].schema[slot - left_width].sql_type,
+                        operator.children[1].schema[slot - left_width].name,
+                    ),
+                )
+                if rebased is not None and self._push_predicate(
+                    operator.children[1], rebased, selectivity
+                ):
+                    operator.est_rows = max(1.0, operator.est_rows * selectivity)
+                    return True
+            return False
+        return False
+
+    def _is_sargable(self, conjunct, leading_column):
+        """Whether a conjunct can be answered by the clustered index.
+
+        SQLShare's backend clusters every table on *all* columns in column
+        order (§3.4), so any column-vs-literal comparison is index-supported;
+        this is what makes Listing 1's ``income > 500000`` a seek even though
+        ``income`` is not the leading column.
+        """
+        del leading_column  # the index covers every column
+        if isinstance(conjunct, BoundBinary) and conjunct.op in _COMPARISONS:
+            sides = (conjunct.left, conjunct.right)
+            columns = [s for s in sides if isinstance(s, BoundColumn)]
+            literals = [s for s in sides if isinstance(s, BoundLiteral)]
+            return len(columns) == 1 and len(literals) == 1
+        return False
+
+    def _selectivity(self, predicate, source):
+        table = None
+        if isinstance(source, (ops.ClusteredIndexScan, ops.ClusteredIndexSeek)):
+            table = source.table
+        return _predicate_selectivity(predicate, table)
+
+    # -- aggregation ---------------------------------------------------------------------
+
+    def _collect_aggregates(self, select):
+        """Aggregate FuncCall nodes used outside OVER clauses."""
+        found = []
+        seen = set()
+
+        def visit(node, inside_window):
+            if isinstance(node, ast.WindowFunction):
+                for child in node.children():
+                    visit(child, True)
+                return
+            if isinstance(node, (ast.ScalarSubquery, ast.Exists, ast.InSubquery)):
+                return  # aggregates inside subqueries belong to the subquery
+            if (
+                isinstance(node, ast.FuncCall)
+                and is_aggregate_name(node.name)
+                and not inside_window
+            ):
+                if node not in seen:
+                    seen.add(node)
+                    found.append(node)
+                return
+            for child in node.children():
+                visit(child, inside_window)
+
+        for item in select.items:
+            visit(item.expr, False)
+        if select.having is not None:
+            visit(select.having, False)
+        for order in select.order_by:
+            visit(order.expr, False)
+        return found
+
+    def _plan_aggregate(self, select, source, scope, outer_scope, info, frame,
+                        aggregate_calls, replacements):
+        binder = self._make_binder(scope, info, None, frame)
+        key_exprs = []
+        out_columns = []
+        for index, group_expr in enumerate(select.group_by):
+            bound = binder.bind(group_expr)
+            key_exprs.append(bound)
+            if isinstance(group_expr, ast.ColumnRef):
+                _levels, _slot, resolved = scope.resolve(group_expr.name, group_expr.table)
+                column = OutputColumn(
+                    resolved.name, bound.sql_type, qualifier=resolved.qualifier,
+                    source_table=resolved.source_table, source_column=resolved.source_column,
+                )
+            else:
+                column = OutputColumn(self._fresh_name(), bound.sql_type)
+            out_columns.append(column)
+            replacements[group_expr] = (index, bound.sql_type, column.name)
+        agg_specs = []
+        for offset, call in enumerate(aggregate_calls):
+            star = bool(call.args and isinstance(call.args[0], ast.Star)) or not call.args
+            if star:
+                arg_bound = None
+                arg_type = SQLType.INT
+            else:
+                arg_bound = binder.bind(call.args[0])
+                arg_type = arg_bound.sql_type
+            result = agg_result_type(call.name, arg_type)
+            slot = len(key_exprs) + offset
+            name = self._fresh_name()
+            out_columns.append(OutputColumn(name, result))
+            agg_specs.append((call.name, arg_bound, call.distinct))
+            replacements[call] = (slot, result, name)
+        aggregate = ops.StreamAggregate(
+            source, key_exprs, agg_specs, out_columns, scalar=not select.group_by
+        )
+        aggregate.subplans.extend(binder.subplans)
+        rows = self._group_cardinality(select.group_by, source, scope)
+        aggregate.set_estimates(
+            rows, _schema_width(out_columns), 0.0,
+            costmodel.aggregate_cpu(source.est_rows) + costmodel.sort_cpu(source.est_rows),
+        )
+        return aggregate, Scope(out_columns, parent=outer_scope)
+
+    def _group_cardinality(self, group_by, source, scope):
+        if not group_by:
+            return 1.0
+        estimate = 1.0
+        for expr in group_by:
+            if isinstance(expr, ast.ColumnRef):
+                try:
+                    _levels, _slot, column = scope.resolve(expr.name, expr.table)
+                except BindError:
+                    column = None
+                if column is not None and column.source_table is not None:
+                    if self.catalog.has_table(column.source_table):
+                        table = self.catalog.get_table(column.source_table)
+                        estimate *= max(
+                            1.0, table.stats.distinct_count(column.source_column or column.name)
+                        )
+                        continue
+            estimate *= max(1.0, (source.est_rows or 1.0) ** 0.5)
+        return max(1.0, min(estimate, source.est_rows or 1.0))
+
+    # -- window functions --------------------------------------------------------------------
+
+    def _collect_windows(self, select):
+        found = []
+        seen = set()
+        for item in select.items:
+            for node in item.expr.walk():
+                if isinstance(node, ast.WindowFunction) and node not in seen:
+                    seen.add(node)
+                    found.append(node)
+        for order in select.order_by:
+            for node in order.expr.walk():
+                if isinstance(node, ast.WindowFunction) and node not in seen:
+                    seen.add(node)
+                    found.append(node)
+        return found
+
+    def _plan_windows(self, window_nodes, source, scope, outer_scope, info, frame,
+                      replacements):
+        binder = self._make_binder(scope, info, dict(replacements), frame)
+        specs = []
+        out_columns = list(scope.columns)
+        for node in window_nodes:
+            func = node.func
+            name = func.name.lower()
+            info.expression_ops.append(name)
+            ntile_buckets = None
+            offset = 1
+            default_expr = None
+            if name in RANKING_FUNCTIONS:
+                arg_bound = None
+                if name == "ntile":
+                    if not func.args or not isinstance(func.args[0], ast.Literal):
+                        raise BindError("NTILE requires a literal bucket count")
+                    ntile_buckets = int(func.args[0].value)
+                if name != "ntile" and func.args:
+                    raise BindError("%s takes no arguments" % name.upper())
+                if not node.order_by:
+                    raise BindError("%s requires ORDER BY in OVER()" % name.upper())
+            elif name in NAVIGATION_FUNCTIONS:
+                if not func.args:
+                    raise BindError("%s requires an argument" % name.upper())
+                if not node.order_by:
+                    raise BindError("%s requires ORDER BY in OVER()" % name.upper())
+                arg_bound = binder.bind(func.args[0])
+                if name in ("lag", "lead"):
+                    if len(func.args) >= 2:
+                        if not isinstance(func.args[1], ast.Literal):
+                            raise BindError("%s offset must be a literal" % name.upper())
+                        offset = int(func.args[1].value)
+                    if len(func.args) >= 3:
+                        default_expr = binder.bind(func.args[2])
+                elif len(func.args) > 1:
+                    raise BindError("%s takes one argument" % name.upper())
+            elif is_aggregate_name(name):
+                star = bool(func.args and isinstance(func.args[0], ast.Star)) or not func.args
+                arg_bound = None if star else binder.bind(func.args[0])
+            else:
+                raise BindError("unsupported window function %r" % name)
+            partition_exprs = [binder.bind(expr) for expr in node.partition_by]
+            order_exprs = [binder.bind(item.expr) for item in node.order_by]
+            descendings = [item.descending for item in node.order_by]
+            spec = WindowSpec(
+                name, arg_bound, partition_exprs, order_exprs, descendings,
+                ntile_buckets, offset=offset, default_expr=default_expr,
+            )
+            slot = len(out_columns)
+            column_name = self._fresh_name("WindowExpr")
+            out_columns.append(OutputColumn(column_name, spec.sql_type))
+            replacements[node] = (slot, spec.sql_type, column_name)
+            specs.append(spec)
+        segment = ops.Segment(source)
+        segment.set_estimates(source.est_rows, source.row_size, 0.0,
+                              costmodel.CPU_PER_ROW * max(1.0, source.est_rows))
+        project = ops.SequenceProject(segment, specs, out_columns)
+        project.subplans.extend(binder.subplans)
+        project.set_estimates(
+            source.est_rows, _schema_width(out_columns), 0.0,
+            costmodel.sort_cpu(source.est_rows) * len(specs),
+        )
+        return project, Scope(out_columns, parent=outer_scope)
+
+    # -- ORDER BY -------------------------------------------------------------------------------
+
+    def _order(self, root, order_items, order_scope, info, frame, out_columns,
+               fallback_scope=None, fallback_replacements=None, projection_exprs=None):
+        key_exprs = []
+        descendings = []
+        original_width = len(root.schema)
+        for item in order_items:
+            expr = item.expr
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                position = expr.value
+                if not 1 <= position <= len(out_columns):
+                    raise BindError("ORDER BY position %d out of range" % position)
+                column = out_columns[position - 1]
+                key_exprs.append(BoundColumn(position - 1, column.sql_type, column.name))
+                descendings.append(item.descending)
+                continue
+            binder = self._make_binder(order_scope, info, None, frame)
+            try:
+                key_exprs.append(binder.bind(expr))
+            except BindError:
+                if fallback_scope is None:
+                    raise
+                key_exprs.append(self._order_fallback(
+                    expr, root, out_columns, fallback_scope, fallback_replacements,
+                    info, frame, projection_exprs,
+                ))
+            descendings.append(item.descending)
+        hidden_width = len(root.schema) - original_width
+        sort = ops.Sort(
+            root, key_exprs, descendings,
+            output_width=original_width if hidden_width else None,
+        )
+        sort.set_estimates(root.est_rows, root.row_size, 0.0,
+                           costmodel.sort_cpu(root.est_rows))
+        sort.schema = list(out_columns)
+        return sort
+
+    def _order_fallback(self, expr, root, out_columns, fallback_scope,
+                        fallback_replacements, info, frame, projection_exprs):
+        """ORDER BY on a column not in the select list.
+
+        Only legal when the projection sits directly below the Sort (the
+        common case); we push the hidden expression into the projection,
+        sort on it and let the schema ignore the extra slot.
+        """
+        if not isinstance(root, ops.ComputeScalar) or projection_exprs is None:
+            raise BindError("cannot ORDER BY %r: not in the select list" % expr)
+        binder = self._make_binder(fallback_scope, info, fallback_replacements, frame)
+        hidden = binder.bind(expr)
+        root.exprs.append(hidden)
+        hidden_column = OutputColumn(self._fresh_name("Hidden"), hidden.sql_type)
+        root.schema.append(hidden_column)
+        slot = len(root.schema) - 1
+        return BoundColumn(slot, hidden.sql_type, hidden_column.name)
+
+    # -- star expansion --------------------------------------------------------------------------
+
+    def _expand_stars(self, items, scope):
+        expanded = []
+        for item in items:
+            if isinstance(item.expr, ast.Star):
+                matches = [
+                    column
+                    for column in scope.columns
+                    if item.expr.table is None
+                    or (column.qualifier or "").lower() == item.expr.table.lower()
+                ]
+                if not matches:
+                    raise BindError(
+                        "no columns match %s.*" % (item.expr.table or "")
+                    )
+                for column in matches:
+                    expanded.append(
+                        ast.SelectItem(
+                            ast.ColumnRef(column.name, table=column.qualifier),
+                            alias=column.name,
+                        )
+                    )
+            else:
+                expanded.append(item)
+        return expanded
+
+
+# --------------------------------------------------------------------------
+# Module-level helpers
+# --------------------------------------------------------------------------
+
+
+def _is_trivial_wrapper(query):
+    """Whether a view query is the auto-generated ``SELECT * FROM t``."""
+    return (
+        isinstance(query, ast.Select)
+        and len(query.items) == 1
+        and isinstance(query.items[0].expr, ast.Star)
+        and query.items[0].expr.table is None
+        and isinstance(query.from_clause, ast.TableRef)
+        and query.where is None
+        and not query.group_by
+        and not query.order_by
+        and not query.distinct
+        and query.top is None
+    )
+
+
+def _sorted_on(operator, key_expr):
+    """Whether an input already delivers rows ordered by the join key."""
+    if isinstance(operator, (ops.ClusteredIndexScan, ops.ClusteredIndexSeek)):
+        return (
+            isinstance(key_expr, BoundColumn)
+            and key_expr.name.lower() == operator.table.clustered_prefix.lower()
+        )
+    return False
+
+
+def _split_conjuncts(predicate):
+    if isinstance(predicate, BoundBinary) and predicate.op == "and":
+        return _split_conjuncts(predicate.left) + _split_conjuncts(predicate.right)
+    return [predicate]
+
+
+def _combine_and(predicates):
+    if not predicates:
+        return None
+    combined = predicates[0]
+    for predicate in predicates[1:]:
+        combined = BoundBinary("and", combined, predicate, SQLType.BIT)
+    return combined
+
+
+def _predicate_selectivity(predicate, table):
+    if predicate is None:
+        return 1.0
+    if isinstance(predicate, BoundBinary):
+        if predicate.op == "and":
+            return costmodel.conjunct_selectivity(
+                [
+                    _predicate_selectivity(predicate.left, table),
+                    _predicate_selectivity(predicate.right, table),
+                ]
+            )
+        if predicate.op == "or":
+            return costmodel.disjunct_selectivity(
+                _predicate_selectivity(predicate.left, table),
+                _predicate_selectivity(predicate.right, table),
+            )
+        if predicate.op == "=":
+            column = _column_side(predicate)
+            if column is not None and table is not None:
+                return 1.0 / max(1.0, table.stats.distinct_count(column.name))
+            return costmodel.EQUALITY_DEFAULT
+        if predicate.op in ("<", ">", "<=", ">=", "<>"):
+            column = _column_side(predicate)
+            if column is not None and table is not None:
+                literal = (
+                    predicate.right if isinstance(predicate.right, BoundLiteral)
+                    else predicate.left
+                )
+                op = predicate.op
+                if predicate.left is literal:
+                    # literal OP column: flip the comparison direction.
+                    op = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "<>": "<>"}[op]
+                estimated = table.stats.range_selectivity(
+                    column.name, op, literal.value
+                )
+                if estimated is not None:
+                    return estimated
+            return costmodel.RANGE_DEFAULT
+    if isinstance(predicate, BoundLike):
+        return costmodel.LIKE_DEFAULT
+    if isinstance(predicate, BoundIsNull):
+        return 1.0 - costmodel.NULL_DEFAULT if predicate.negated else costmodel.NULL_DEFAULT
+    if isinstance(predicate, BoundUnary) and predicate.op == "not":
+        return max(0.0, 1.0 - _predicate_selectivity(predicate.operand, table))
+    return costmodel.UNKNOWN_DEFAULT
+
+
+def _column_side(predicate):
+    sides = (predicate.left, predicate.right)
+    columns = [s for s in sides if isinstance(s, BoundColumn)]
+    literals = [s for s in sides if isinstance(s, BoundLiteral)]
+    if len(columns) == 1 and len(literals) == 1:
+        return columns[0]
+    return None
+
+
+def _schema_width(columns):
+    return float(sum(TYPE_WIDTH[c.sql_type] for c in columns)) + costmodel.ROW_OVERHEAD

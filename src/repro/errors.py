@@ -1,0 +1,62 @@
+"""Exception hierarchy shared by the engine and the platform.
+
+Every error raised on purpose by this package derives from :class:`ReproError`
+so callers can catch the package's failures without catching programming
+mistakes (``TypeError`` and friends propagate unchanged).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SQLError(ReproError):
+    """Base class for errors raised while processing a SQL statement."""
+
+
+class LexError(SQLError):
+    """The statement could not be tokenized."""
+
+    def __init__(self, message, position=None):
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(SQLError):
+    """The statement could not be parsed."""
+
+    def __init__(self, message, token=None):
+        super().__init__(message)
+        self.token = token
+
+
+class BindError(SQLError):
+    """A name (table, column, function) could not be resolved."""
+
+
+class TypeCheckError(SQLError):
+    """An expression is not well typed (e.g. ``'a' + DATE``)."""
+
+
+class ExecutionError(SQLError):
+    """A runtime failure while evaluating a query (cast failure, div by zero)."""
+
+
+class CatalogError(SQLError):
+    """Catalog violation: duplicate table, unknown view, invalid DDL."""
+
+
+class IngestError(ReproError):
+    """A file could not be staged or ingested."""
+
+
+class PermissionError_(ReproError):
+    """A dataset access was denied (broken ownership chain, private data)."""
+
+
+class QuotaError(ReproError):
+    """A user exceeded their storage quota."""
+
+
+class DatasetError(ReproError):
+    """Invalid dataset operation (unknown dataset, bad append, name clash)."""

@@ -1,0 +1,22 @@
+"""Relaxed-schema ingest (Section 3.1 of the paper).
+
+Files are staged server-side, their delimiters and column types inferred
+from a prefix of rows, default column names assigned when the source has
+none, ragged rows padded with NULLs, and late type-inference failures
+repaired by reverting the column to string via ALTER TABLE.
+"""
+
+from repro.ingest.delimiters import FormatGuess, infer_format
+from repro.ingest.ingestor import IngestReport, Ingestor
+from repro.ingest.staging import StagedFile, StagingArea
+from repro.ingest.type_inference import infer_column_types
+
+__all__ = [
+    "FormatGuess",
+    "IngestReport",
+    "Ingestor",
+    "StagedFile",
+    "StagingArea",
+    "infer_column_types",
+    "infer_format",
+]

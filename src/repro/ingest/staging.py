@@ -1,0 +1,73 @@
+"""Server-side file staging.
+
+"By staging the file server-side we ensure robustness: if ingest fails, we
+can retry without forcing the user to re-upload the data" (§3.1).  The
+staging area keeps raw uploads keyed by an opaque id until ingest succeeds
+or the upload is abandoned.
+"""
+
+import hashlib
+import itertools
+
+from repro.errors import IngestError
+
+
+class StagedFile(object):
+    """One staged upload: raw text plus upload metadata."""
+
+    __slots__ = ("staging_id", "filename", "text", "owner", "checksum", "attempts")
+
+    def __init__(self, staging_id, filename, text, owner):
+        self.staging_id = staging_id
+        self.filename = filename
+        self.text = text
+        self.owner = owner
+        self.checksum = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        self.attempts = 0
+
+    def __repr__(self):
+        return "StagedFile(%s, %r, %d bytes)" % (self.staging_id, self.filename, len(self.text))
+
+
+class StagingArea(object):
+    """In-memory staging area with retry accounting."""
+
+    def __init__(self, max_attempts=3):
+        self._files = {}
+        self._ids = itertools.count(1)
+        self.max_attempts = max_attempts
+
+    def stage(self, filename, text, owner):
+        """Stage an upload; returns its staging id."""
+        if not isinstance(text, str):
+            raise IngestError("staged content must be text")
+        staging_id = "stage-%06d" % next(self._ids)
+        self._files[staging_id] = StagedFile(staging_id, filename, text, owner)
+        return staging_id
+
+    def get(self, staging_id):
+        try:
+            return self._files[staging_id]
+        except KeyError:
+            raise IngestError("no staged file %r" % staging_id)
+
+    def record_attempt(self, staging_id):
+        """Count an ingest attempt; raises after ``max_attempts`` failures."""
+        staged = self.get(staging_id)
+        staged.attempts += 1
+        if staged.attempts > self.max_attempts:
+            raise IngestError(
+                "staged file %r exceeded %d ingest attempts"
+                % (staging_id, self.max_attempts)
+            )
+        return staged
+
+    def discard(self, staging_id):
+        self._files.pop(staging_id, None)
+
+    def pending(self):
+        """Staging ids still awaiting successful ingest."""
+        return sorted(self._files)
+
+    def __len__(self):
+        return len(self._files)

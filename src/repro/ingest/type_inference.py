@@ -1,0 +1,112 @@
+"""Column type inference with the paper's prefix heuristic.
+
+"To infer column types, the first N records are inspected.  For each
+column, the most-specific type is identified. ... This prefix inspection
+heuristic can fail, and non-integer types may be encountered further down
+in the dataset.  In that case, the database raises an exception, we revert
+the type to a string via ALTER TABLE, and the ingest continues." (§3.1)
+"""
+
+from repro.engine.types import SQLType, parse_date, parse_datetime
+
+#: Records inspected by the prefix heuristic (the paper's N).
+DEFAULT_PREFIX_RECORDS = 100
+
+#: Values treated as SQL NULL on ingest.
+NULL_TOKENS = frozenset(["", "null", "na", "n/a", "none", "nan", "-"])
+
+#: Specificity order: earlier types are tried first.
+_SPECIFICITY = (SQLType.BIT, SQLType.INT, SQLType.FLOAT, SQLType.DATE,
+                SQLType.DATETIME, SQLType.VARCHAR)
+
+
+def is_null_token(text):
+    return text.strip().lower() in NULL_TOKENS
+
+
+def value_matches(text, sql_type):
+    """Whether a raw field parses as ``sql_type`` (NULL tokens match all)."""
+    text = text.strip()
+    if is_null_token(text):
+        return True
+    if sql_type is SQLType.BIT:
+        return text.lower() in ("0", "1", "true", "false")
+    if sql_type is SQLType.INT:
+        try:
+            int(text)
+            return True
+        except ValueError:
+            return False
+    if sql_type is SQLType.FLOAT:
+        try:
+            float(text)
+            return True
+        except ValueError:
+            return False
+    if sql_type is SQLType.DATE:
+        try:
+            parse_date(text)
+            return True
+        except ValueError:
+            return False
+    if sql_type is SQLType.DATETIME:
+        try:
+            parse_datetime(text)
+            return True
+        except ValueError:
+            return False
+    return True  # VARCHAR matches anything
+
+
+def most_specific_type(values):
+    """Most specific SQLType every non-null value in ``values`` matches."""
+    for candidate in _SPECIFICITY:
+        if all(value_matches(value, candidate) for value in values):
+            return candidate
+    return SQLType.VARCHAR
+
+
+def infer_column_types(records, column_count, prefix_records=DEFAULT_PREFIX_RECORDS):
+    """Infer a type per column from the first ``prefix_records`` records.
+
+    ``records`` is a sequence of lists of raw strings (already padded to
+    ``column_count``).  Columns that are entirely NULL in the prefix come
+    back as VARCHAR, the universal type.
+    """
+    prefix = records[:prefix_records]
+    types = []
+    for index in range(column_count):
+        values = [record[index] for record in prefix if record[index] is not None]
+        non_null = [value for value in values if not is_null_token(value)]
+        if not non_null:
+            types.append(SQLType.VARCHAR)
+        else:
+            types.append(most_specific_type(non_null))
+    return types
+
+
+def convert_field(text, sql_type):
+    """Convert a raw field to a Python value of ``sql_type``.
+
+    Raises ValueError when the field does not parse — the trigger for the
+    ALTER-to-string fallback on rows beyond the inference prefix.
+    """
+    if text is None or is_null_token(text):
+        return None
+    text = text.strip()
+    if sql_type is SQLType.BIT:
+        lowered = text.lower()
+        if lowered in ("1", "true"):
+            return True
+        if lowered in ("0", "false"):
+            return False
+        raise ValueError("not a bit: %r" % text)
+    if sql_type is SQLType.INT:
+        return int(text)
+    if sql_type is SQLType.FLOAT:
+        return float(text)
+    if sql_type is SQLType.DATE:
+        return parse_date(text)
+    if sql_type is SQLType.DATETIME:
+        return parse_datetime(text)
+    return text

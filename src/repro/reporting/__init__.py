@@ -1,0 +1,6 @@
+"""Plain-text rendering of tables, histograms and series for the benches."""
+
+from repro.reporting.tables import format_table, format_kv
+from repro.reporting.histogram import bar_chart, cdf_lines, percent_bars
+
+__all__ = ["bar_chart", "cdf_lines", "format_kv", "format_table", "percent_bars"]

@@ -1,0 +1,41 @@
+"""ASCII bar charts and distribution summaries for bench output."""
+
+
+def bar_chart(mapping, width=40, title=None, unit=""):
+    """Horizontal bars scaled to the largest value."""
+    values = [float(v) for v in mapping.values()]
+    peak = max(values) if values else 1.0
+    peak = peak or 1.0
+    labels = [str(key) for key in mapping]
+    label_width = max((len(label) for label in labels), default=0)
+    out = [title] if title else []
+    for (key, value) in mapping.items():
+        bar = "#" * int(round(width * float(value) / peak))
+        rendered = "%.2f" % value if isinstance(value, float) else str(value)
+        out.append(
+            "  %s | %s %s%s" % (str(key).ljust(label_width), bar, rendered, unit)
+        )
+    return "\n".join(out)
+
+
+def percent_bars(pairs, width=40, title=None):
+    """Bars for (label, percent) pairs, scaled to 100%."""
+    label_width = max((len(str(label)) for label, _v in pairs), default=0)
+    out = [title] if title else []
+    for label, value in pairs:
+        bar = "#" * int(round(width * float(value) / 100.0))
+        out.append("  %s | %s %.2f%%" % (str(label).ljust(label_width), bar, value))
+    return "\n".join(out)
+
+
+def cdf_lines(values, points=(10, 25, 50, 75, 90, 95, 99), title=None):
+    """Percentile summary of a numeric list."""
+    ordered = sorted(values)
+    out = [title] if title else []
+    if not ordered:
+        out.append("  (no data)")
+        return "\n".join(out)
+    for pct in points:
+        index = min(len(ordered) - 1, int(len(ordered) * pct / 100.0))
+        out.append("  p%-2d : %.3f" % (pct, float(ordered[index])))
+    return "\n".join(out)

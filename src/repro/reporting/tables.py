@@ -1,0 +1,48 @@
+"""ASCII table rendering."""
+
+
+def format_table(headers, rows, title=None):
+    """Render rows as a boxed ASCII table; values are str()-ed."""
+    headers = [str(h) for h in headers]
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    line = "+".join("-" * (w + 2) for w in widths)
+    line = "+%s+" % line
+    out = []
+    if title:
+        out.append(title)
+    out.append(line)
+    out.append(_row(headers, widths))
+    out.append(line)
+    for row in text_rows:
+        out.append(_row(row, widths))
+    out.append(line)
+    return "\n".join(out)
+
+
+def _row(values, widths):
+    cells = [" %s " % value.ljust(width) for value, width in zip(values, widths)]
+    return "|%s|" % "|".join(cells)
+
+
+def _cell(value):
+    if isinstance(value, float):
+        return "%.2f" % value
+    return str(value)
+
+
+def format_kv(mapping, title=None, value_format="%s"):
+    """Render a mapping as aligned key/value lines."""
+    keys = [str(key) for key in mapping]
+    width = max((len(key) for key in keys), default=0)
+    out = [title] if title else []
+    for key, value in mapping.items():
+        if isinstance(value, float):
+            rendered = "%.2f" % value
+        else:
+            rendered = value_format % value
+        out.append("  %s : %s" % (str(key).ljust(width), rendered))
+    return "\n".join(out)

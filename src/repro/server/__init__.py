@@ -1,0 +1,13 @@
+"""REST service and client (the Figure 3 architecture's front door).
+
+The WSGI application exposes the paper's workflow — staged upload, async
+query submission with identifier polling, dataset CRUD, permissions — and
+the client mirrors the community-built clients (R, javascript) the paper
+mentions.  The UI is "in no way a privileged application": everything goes
+through the same REST surface.
+"""
+
+from repro.server.client import SQLShareClient
+from repro.server.rest import SQLShareApp, serve
+
+__all__ = ["SQLShareApp", "SQLShareClient", "serve"]

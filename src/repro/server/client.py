@@ -1,0 +1,168 @@
+"""Python client for the REST API.
+
+Speaks to either a live HTTP endpoint (``base_url=...``) or directly to a
+WSGI application in-process (``app=...``), which is how the tests and
+examples run without opening sockets.  Mirrors the workflow of the
+community clients the paper mentions: upload, save queries as datasets,
+submit-and-poll queries, manage permissions.
+"""
+
+import io
+import json
+import time
+import urllib.request
+
+from repro.errors import ReproError
+
+
+class ClientError(ReproError):
+    """An API call failed; carries the HTTP status and server message."""
+
+    def __init__(self, status, message):
+        super(ClientError, self).__init__("HTTP %s: %s" % (status, message))
+        self.status = status
+        self.message = message
+
+
+class _WSGITransport(object):
+    """In-process transport: calls the WSGI app directly."""
+
+    def __init__(self, app):
+        self.app = app
+
+    def request(self, method, path, headers, body):
+        raw = json.dumps(body).encode("utf-8") if body is not None else b""
+        environ = {
+            "REQUEST_METHOD": method,
+            "PATH_INFO": path,
+            "CONTENT_LENGTH": str(len(raw)),
+            "wsgi.input": io.BytesIO(raw),
+        }
+        for key, value in headers.items():
+            environ["HTTP_" + key.upper().replace("-", "_")] = value
+        captured = {}
+
+        def start_response(status, _headers):
+            captured["status"] = int(status.split()[0])
+
+        chunks = self.app(environ, start_response)
+        payload = json.loads(b"".join(chunks).decode("utf-8"))
+        return captured["status"], payload
+
+
+class _HTTPTransport(object):
+    """Real HTTP transport via urllib."""
+
+    def __init__(self, base_url):
+        self.base_url = base_url.rstrip("/")
+
+    def request(self, method, path, headers, body):
+        raw = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path, data=raw, method=method
+        )
+        for key, value in headers.items():
+            request.add_header(key, value)
+        if raw is not None:
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(request) as response:
+                return response.status, json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read().decode("utf-8"))
+
+
+class SQLShareClient(object):
+    """High-level API client bound to one user identity."""
+
+    def __init__(self, user, app=None, base_url=None):
+        if (app is None) == (base_url is None):
+            raise ValueError("provide exactly one of app= or base_url=")
+        self.user = user
+        self._transport = _WSGITransport(app) if app is not None else _HTTPTransport(base_url)
+
+    def _call(self, method, path, body=None, expect=(200, 201, 202)):
+        status, payload = self._transport.request(
+            method, path, {"X-SQLShare-User": self.user}, body
+        )
+        if status not in expect:
+            raise ClientError(status, payload.get("error", "unknown error"))
+        return payload
+
+    # -- datasets -------------------------------------------------------------------
+
+    def upload(self, name, data, description="", tags=None):
+        """Upload a delimited file's text as a new dataset."""
+        return self._call(
+            "POST", "/api/v1/upload",
+            {"name": name, "data": data, "description": description,
+             "tags": tags or []},
+        )["dataset"]
+
+    def save_dataset(self, name, sql, description="", tags=None):
+        """Save a query as a named derived dataset."""
+        return self._call(
+            "POST", "/api/v1/dataset",
+            {"name": name, "sql": sql, "description": description,
+             "tags": tags or []},
+        )["dataset"]
+
+    def list_datasets(self):
+        return self._call("GET", "/api/v1/datasets")["datasets"]
+
+    def dataset(self, name):
+        return self._call("GET", "/api/v1/dataset/%s" % name)
+
+    def delete_dataset(self, name):
+        self._call("DELETE", "/api/v1/dataset/%s" % name)
+
+    def append(self, name, data):
+        return self._call(
+            "POST", "/api/v1/dataset/%s/append" % name, {"data": data}
+        )["dataset"]
+
+    # -- permissions ------------------------------------------------------------------
+
+    def make_public(self, name):
+        return self._call(
+            "PUT", "/api/v1/dataset/%s/permissions" % name, {"public": True}
+        )
+
+    def make_private(self, name):
+        return self._call(
+            "PUT", "/api/v1/dataset/%s/permissions" % name, {"public": False}
+        )
+
+    def share(self, name, *users):
+        return self._call(
+            "PUT", "/api/v1/dataset/%s/permissions" % name,
+            {"share_with": list(users)},
+        )
+
+    # -- queries ----------------------------------------------------------------------
+
+    def submit_query(self, sql):
+        """Submit a query; returns its identifier immediately."""
+        return self._call("POST", "/api/v1/query", {"sql": sql})["id"]
+
+    def query_status(self, query_id):
+        return self._call("GET", "/api/v1/query/%s" % query_id)
+
+    def fetch_results(self, query_id):
+        payload = self._call(
+            "GET", "/api/v1/query/%s/results" % query_id, expect=(200, 202)
+        )
+        return payload
+
+    def run_query(self, sql, timeout=30.0, poll_interval=0.02):
+        """Submit and poll until complete; returns (columns, rows)."""
+        query_id = self.submit_query(sql)
+        deadline = time.time() + timeout
+        while True:
+            payload = self.fetch_results(query_id)
+            if payload["status"] == "complete":
+                rows = [tuple(row) for row in payload["rows"]]
+                return payload["columns"], rows
+            if time.time() > deadline:
+                raise ClientError(408, "query %s timed out" % query_id)
+            time.sleep(poll_interval)

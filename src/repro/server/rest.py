@@ -1,0 +1,301 @@
+"""The REST API as a WSGI application (stdlib only).
+
+Query execution follows the paper's §3.3 protocol: ``POST /api/v1/query``
+assigns an identifier and returns immediately; the client polls
+``GET /api/v1/query/<id>`` for status and fetches rows from
+``GET /api/v1/query/<id>/results`` — "an obvious choice over an atomic
+request ... as long running queries would reduce the requests the REST
+server can handle."
+
+Authentication is a trusted ``X-SQLShare-User`` header (the deployed system
+used university SSO; the identity plumbing is identical downstream).
+"""
+
+import itertools
+import json
+import re
+import threading
+
+from repro.core.sqlshare import SQLShare
+from repro.errors import (
+    DatasetError,
+    IngestError,
+    PermissionError_,
+    QuotaError,
+    ReproError,
+    SQLError,
+)
+
+_ROUTES = []
+
+
+def route(method, pattern):
+    compiled = re.compile("^%s$" % pattern)
+
+    def decorator(func):
+        _ROUTES.append((method, compiled, func))
+        return func
+
+    return decorator
+
+
+class _HTTPError(Exception):
+    def __init__(self, status, message):
+        super(_HTTPError, self).__init__(message)
+        self.status = status
+        self.message = message
+
+
+_STATUS_TEXT = {
+    200: "200 OK",
+    201: "201 Created",
+    202: "202 Accepted",
+    400: "400 Bad Request",
+    401: "401 Unauthorized",
+    403: "403 Forbidden",
+    404: "404 Not Found",
+    405: "405 Method Not Allowed",
+    409: "409 Conflict",
+}
+
+
+class SQLShareApp(object):
+    """WSGI application wrapping one SQLShare platform instance."""
+
+    def __init__(self, platform=None, run_async=True):
+        self.platform = platform or SQLShare()
+        #: When True, queries run on a worker thread and the client truly
+        #: polls; when False (tests), the query completes before the POST
+        #: returns but the protocol is unchanged.
+        self.run_async = run_async
+        self._queries = {}
+        self._query_ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    # -- WSGI entry point ---------------------------------------------------------
+
+    def __call__(self, environ, start_response):
+        method = environ["REQUEST_METHOD"]
+        path = environ.get("PATH_INFO", "/")
+        user = environ.get("HTTP_X_SQLSHARE_USER")
+        try:
+            body = self._read_body(environ)
+            status, payload = self._dispatch(method, path, user, body)
+        except _HTTPError as exc:
+            status, payload = exc.status, {"error": exc.message}
+        except PermissionError_ as exc:
+            status, payload = 403, {"error": str(exc)}
+        except DatasetError as exc:
+            status, payload = 404 if "no dataset" in str(exc) else 409, {"error": str(exc)}
+        except QuotaError as exc:
+            status, payload = 403, {"error": str(exc)}
+        except (SQLError, IngestError) as exc:
+            status, payload = 400, {"error": str(exc)}
+        except ReproError as exc:
+            status, payload = 400, {"error": str(exc)}
+        data = json.dumps(payload, default=str).encode("utf-8")
+        start_response(
+            _STATUS_TEXT[status],
+            [("Content-Type", "application/json"), ("Content-Length", str(len(data)))],
+        )
+        return [data]
+
+    @staticmethod
+    def _read_body(environ):
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        if not length:
+            return {}
+        raw = environ["wsgi.input"].read(length)
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except ValueError:
+            raise _HTTPError(400, "request body is not valid JSON")
+
+    def _dispatch(self, method, path, user, body):
+        for route_method, pattern, handler in _ROUTES:
+            if route_method != method:
+                continue
+            match = pattern.match(path)
+            if match:
+                if user is None:
+                    raise _HTTPError(401, "missing X-SQLShare-User header")
+                return handler(self, user, body, **match.groupdict())
+        for route_method, pattern, _handler in _ROUTES:
+            if pattern.match(path):
+                raise _HTTPError(405, "method %s not allowed on %s" % (method, path))
+        raise _HTTPError(404, "no such endpoint: %s" % path)
+
+    # -- dataset endpoints -----------------------------------------------------------
+
+    @route("GET", "/api/v1/datasets")
+    def list_datasets(self, user, body):
+        visible = [
+            self._dataset_info(dataset)
+            for dataset in self.platform.datasets.values()
+            if self.platform.permissions.can_access(user, dataset.name)
+        ]
+        visible.sort(key=lambda info: info["name"])
+        return 200, {"datasets": visible}
+
+    @route("POST", "/api/v1/upload")
+    def upload(self, user, body):
+        name = _require(body, "name")
+        data = _require(body, "data")
+        dataset = self.platform.upload(
+            user, name, data,
+            description=body.get("description", ""),
+            tags=body.get("tags"),
+        )
+        return 201, {"dataset": self._dataset_info(dataset)}
+
+    @route("POST", "/api/v1/dataset")
+    def save_dataset(self, user, body):
+        name = _require(body, "name")
+        sql = _require(body, "sql")
+        dataset = self.platform.create_dataset(
+            user, name, sql,
+            description=body.get("description", ""),
+            tags=body.get("tags"),
+        )
+        return 201, {"dataset": self._dataset_info(dataset)}
+
+    @route("GET", "/api/v1/dataset/(?P<name>[^/]+)")
+    def get_dataset(self, user, body, name):
+        self.platform.permissions.check_access(user, name)
+        dataset = self.platform.dataset(name)
+        info = self._dataset_info(dataset)
+        info["preview"] = {
+            "columns": dataset.preview_columns,
+            "rows": dataset.preview_rows,
+        }
+        info["provenance"] = self.platform.views.provenance(name)
+        return 200, info
+
+    @route("DELETE", "/api/v1/dataset/(?P<name>[^/]+)")
+    def delete_dataset(self, user, body, name):
+        self.platform.delete_dataset(user, name)
+        return 200, {"deleted": name}
+
+    @route("POST", "/api/v1/dataset/(?P<name>[^/]+)/append")
+    def append(self, user, body, name):
+        data = _require(body, "data")
+        dataset = self.platform.append(user, name, data)
+        return 200, {"dataset": self._dataset_info(dataset)}
+
+    @route("PUT", "/api/v1/dataset/(?P<name>[^/]+)/permissions")
+    def set_permissions(self, user, body, name):
+        if body.get("public") is True:
+            self.platform.make_public(user, name)
+        elif body.get("public") is False:
+            self.platform.make_private(user, name)
+        for grantee in body.get("share_with", []):
+            self.platform.share(user, name, grantee)
+        for grantee in body.get("unshare", []):
+            self.platform.unshare(user, name, grantee)
+        return 200, {
+            "name": self.platform.dataset(name).name,
+            "visibility": self.platform.visibility(name),
+            "shared_with": sorted(self.platform.permissions.shared_with(name)),
+        }
+
+    # -- query endpoints ------------------------------------------------------------------
+
+    @route("POST", "/api/v1/query")
+    def submit_query(self, user, body):
+        sql = _require(body, "sql")
+        with self._lock:
+            query_id = "q%06d" % next(self._query_ids)
+            self._queries[query_id] = {"status": "pending", "owner": user}
+        if self.run_async:
+            worker = threading.Thread(
+                target=self._execute, args=(query_id, user, sql), daemon=True
+            )
+            worker.start()
+        else:
+            self._execute(query_id, user, sql)
+        return 202, {"id": query_id, "status": "pending"}
+
+    def _execute(self, query_id, user, sql):
+        try:
+            result = self.platform.run_query(user, sql, source="rest")
+            record = {
+                "status": "complete",
+                "owner": user,
+                "columns": result.columns,
+                "rows": [list(row) for row in result.rows],
+                "row_count": len(result.rows),
+            }
+        except Exception as exc:  # surfaced to the polling client
+            record = {"status": "error", "owner": user, "error": str(exc)}
+        with self._lock:
+            self._queries[query_id] = record
+
+    @route("GET", "/api/v1/query/(?P<query_id>[^/]+)")
+    def query_status(self, user, body, query_id):
+        record = self._get_query(user, query_id)
+        payload = {"id": query_id, "status": record["status"]}
+        if record["status"] == "complete":
+            payload["row_count"] = record["row_count"]
+        if record["status"] == "error":
+            payload["error"] = record["error"]
+        return 200, payload
+
+    @route("GET", "/api/v1/query/(?P<query_id>[^/]+)/results")
+    def query_results(self, user, body, query_id):
+        record = self._get_query(user, query_id)
+        if record["status"] == "pending":
+            return 202, {"id": query_id, "status": "pending"}
+        if record["status"] == "error":
+            return 400, {"id": query_id, "status": "error", "error": record["error"]}
+        return 200, {
+            "id": query_id,
+            "status": "complete",
+            "columns": record["columns"],
+            "rows": record["rows"],
+        }
+
+    def _get_query(self, user, query_id):
+        with self._lock:
+            record = self._queries.get(query_id)
+        if record is None:
+            raise _HTTPError(404, "no query %r" % query_id)
+        if record["owner"] != user:
+            raise _HTTPError(403, "query %r belongs to another user" % query_id)
+        return record
+
+    # -- helpers ----------------------------------------------------------------------------
+
+    def _dataset_info(self, dataset):
+        return {
+            "name": dataset.name,
+            "owner": dataset.owner,
+            "kind": dataset.kind,
+            "sql": dataset.sql,
+            "description": dataset.metadata.description,
+            "tags": sorted(dataset.metadata.tags),
+            "visibility": self.platform.visibility(dataset.name),
+            "created_at": dataset.created_at,
+            "derived_from": dataset.derived_from,
+            "doi": dataset.doi,
+        }
+
+
+def _require(body, key):
+    value = body.get(key)
+    if value is None:
+        raise _HTTPError(400, "missing required field %r" % key)
+    return value
+
+
+def serve(platform=None, host="127.0.0.1", port=8080):
+    """Run the app on wsgiref's simple server (for the examples/demo)."""
+    from wsgiref.simple_server import make_server
+
+    app = SQLShareApp(platform)
+    server = make_server(host, port, app)
+    return server

@@ -1,0 +1,21 @@
+"""Synthetic SQLShare and SDSS workloads.
+
+The paper's corpora are not redistributable here, so these generators build
+statistically similar stand-ins *through the real system*: every SQLShare
+query is permission-checked, planned and executed by the platform; every
+SDSS query is planned by the engine over a fixed astronomy schema.  The
+generators are deterministic given a seed, and calibrated so the paper's
+comparative shapes hold (see DESIGN.md and EXPERIMENTS.md).
+"""
+
+from repro.synth.driver import build_sdss_workload, build_sqlshare_deployment
+from repro.synth.sdss_workload import SDSSWorkloadGenerator, SyntheticWorkload
+from repro.synth.sqlshare_workload import SQLShareWorkloadGenerator
+
+__all__ = [
+    "SDSSWorkloadGenerator",
+    "SQLShareWorkloadGenerator",
+    "SyntheticWorkload",
+    "build_sdss_workload",
+    "build_sqlshare_deployment",
+]

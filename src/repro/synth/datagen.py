@@ -1,0 +1,97 @@
+"""Synthetic dirty-CSV generation for uploads.
+
+Dirtiness knobs follow the paper's measurements: ~50% of files ship without
+column names, ~9% have ragged rows, flagged columns carry sentinel values
+like -999 or 'ND' that users later clean with CASE expressions, and a small
+fraction of numeric columns hide a stray string past the inference prefix
+(exercising the ALTER-to-string fallback).
+"""
+
+import datetime as _dt
+
+from repro.synth.names import CATEGORY_VALUES, SCHEMA_TEMPLATES, TEXT_VALUES
+
+#: Probability a file has no header row at all.
+P_NO_HEADER = 0.43
+#: Probability a header is present but has some empty cells.
+P_PARTIAL_HEADER = 0.12
+#: Probability the file has ragged rows.
+P_RAGGED = 0.09
+#: Probability a float cell holds the -999 sentinel in flagged columns.
+P_SENTINEL = 0.06
+#: Probability a numeric column hides one late bad value (type fallback).
+P_LATE_BAD_VALUE = 0.03
+#: Probability an empty-string NULL token appears in any cell.
+P_EMPTY = 0.02
+
+
+class GeneratedUpload(object):
+    """A synthesized file plus the ground truth about it."""
+
+    __slots__ = ("text", "domain", "column_names", "has_header", "row_count")
+
+    def __init__(self, text, domain, column_names, has_header, row_count):
+        self.text = text
+        self.domain = domain
+        self.column_names = column_names
+        self.has_header = has_header
+        self.row_count = row_count
+
+
+def generate_upload(rng, domain, rows=None, base_date=None):
+    """Generate one dirty CSV for a domain schema template."""
+    schema = SCHEMA_TEMPLATES[domain]
+    rows = rows if rows is not None else rng.randint(20, 80)
+    base_date = base_date or _dt.date(2012, 1, 1)
+    has_header = rng.random() >= P_NO_HEADER
+    partial = has_header and rng.random() < P_PARTIAL_HEADER
+    ragged = rng.random() < P_RAGGED
+    late_bad_columns = {
+        index
+        for index, (_name, kind) in enumerate(schema)
+        if kind in ("int", "float") and rng.random() < P_LATE_BAD_VALUE
+    }
+    lines = []
+    if has_header:
+        header = []
+        for name, _kind in schema:
+            if partial and rng.random() < 0.3:
+                header.append("")
+            else:
+                header.append(name)
+        lines.append(",".join(header))
+    for row_index in range(rows):
+        cells = []
+        for col_index, (name, kind) in enumerate(schema):
+            value = _cell(rng, name, kind, row_index, base_date)
+            if rng.random() < P_EMPTY:
+                value = ""
+            if col_index in late_bad_columns and row_index == rows - 1:
+                value = "see notes"
+            cells.append(value)
+        if ragged and rng.random() < 0.15 and len(cells) > 2:
+            cells = cells[: rng.randint(2, len(cells) - 1)]
+        lines.append(",".join(cells))
+    text = "\n".join(lines) + "\n"
+    return GeneratedUpload(text, domain, [n for n, _k in schema], has_header, rows)
+
+
+def _cell(rng, name, kind, row_index, base_date):
+    if kind == "id":
+        return str(row_index + 1)
+    if kind == "int":
+        return str(rng.randint(0, 5000))
+    if kind == "float":
+        return "%.3f" % (rng.random() * 100.0)
+    if kind == "flagged_float":
+        if rng.random() < P_SENTINEL:
+            return "-999"
+        return "%.3f" % (rng.random() * 40.0)
+    if kind == "date":
+        offset = rng.randint(0, 900)
+        return (base_date + _dt.timedelta(days=offset)).isoformat()
+    if kind == "category":
+        return rng.choice(CATEGORY_VALUES[name])
+    if kind == "text":
+        return rng.choice(TEXT_VALUES[name])
+    raise ValueError("unknown column kind %r" % kind)

@@ -1,0 +1,114 @@
+"""Science-flavoured vocabulary for the synthetic SQLShare workload.
+
+The paper's users come from the life, physical and social sciences; the
+table-schema templates here mirror the kinds of rows-and-columns datasets
+they upload: sensor timeseries, sequencing summaries, field observations,
+survey responses, lab measurements.
+"""
+
+DOMAINS = ("oceanography", "genomics", "ecology", "social", "lab")
+
+#: Column spec kinds: "id" (int key), "int", "float", "text", "date",
+#: "flagged_float" (floats with sentinel -999 values), "category".
+SCHEMA_TEMPLATES = {
+    "oceanography": [
+        ("cast_id", "id"),
+        ("station", "category"),
+        ("sample_date", "date"),
+        ("depth_m", "float"),
+        ("temperature", "flagged_float"),
+        ("salinity", "flagged_float"),
+        ("nitrate", "flagged_float"),
+        ("oxygen", "float"),
+        ("quality_flag", "category"),
+    ],
+    "genomics": [
+        ("read_id", "id"),
+        ("gene", "text"),
+        ("chromosome", "category"),
+        ("start_pos", "int"),
+        ("end_pos", "int"),
+        ("expression", "float"),
+        ("p_value", "float"),
+        ("condition", "category"),
+    ],
+    "ecology": [
+        ("obs_id", "id"),
+        ("site", "category"),
+        ("species", "text"),
+        ("count", "int"),
+        ("obs_date", "date"),
+        ("biomass", "flagged_float"),
+        ("observer", "text"),
+    ],
+    "social": [
+        ("respondent_id", "id"),
+        ("age", "int"),
+        ("region", "category"),
+        ("income", "int"),
+        ("education", "category"),
+        ("response", "text"),
+        ("survey_date", "date"),
+        ("weight", "float"),
+    ],
+    "lab": [
+        ("run_id", "id"),
+        ("instrument", "category"),
+        ("run_date", "date"),
+        ("concentration", "flagged_float"),
+        ("absorbance", "float"),
+        ("replicate", "int"),
+        ("notes", "text"),
+    ],
+}
+
+CATEGORY_VALUES = {
+    "station": ["P1", "P4", "P8", "P12", "PSB3", "HoodCanal"],
+    "quality_flag": ["ok", "questionable", "bad", "ND"],
+    "chromosome": ["chr1", "chr2", "chr3", "chrX", "chrY"],
+    "condition": ["control", "treated", "heatshock"],
+    "site": ["ridge", "meadow", "forest", "wetland"],
+    "region": ["north", "south", "east", "west"],
+    "education": ["hs", "college", "graduate"],
+    "instrument": ["hplc1", "hplc2", "specA"],
+}
+
+TEXT_VALUES = {
+    "gene": ["BRCA1", "TP53", "opsin 3", "hsp-70", "rbcL", "cytB"],
+    "species": ["salmo trutta", "picea abies", "daphnia pulex", "larus canus"],
+    "observer": ["field team a", "field team b", "volunteer"],
+    "response": ["agrees strongly", "neutral", "no answer", "disagrees"],
+    "notes": ["ok", "rerun needed", "contaminated?", "baseline drift"],
+}
+
+DATASET_NOUNS = [
+    "cruise", "survey", "run", "batch", "plate", "transect", "deployment",
+    "catch", "census", "trial", "assay", "panel", "screen", "profile",
+]
+
+USER_FIRST = [
+    "ana", "ben", "carla", "dmitri", "elena", "frank", "grace", "hiro",
+    "ines", "jonas", "kira", "liam", "mara", "nadia", "omar", "priya",
+    "quinn", "rosa", "sam", "tova", "ulrich", "vera", "wen", "xena",
+    "yusuf", "zoe",
+]
+
+USER_LAST = [
+    "rivera", "chen", "okafor", "lindgren", "batra", "novak", "silva",
+    "tanaka", "osei", "kaur", "marino", "petrov", "alvarez", "dube",
+    "ferris", "gold", "haines", "ivanova",
+]
+
+EDU_DOMAINS = ["uw.edu", "osu.edu", "mit.edu", "ucsd.edu", "umich.edu"]
+OTHER_DOMAINS = ["gmail.com", "labmail.org", "fieldstation.net"]
+
+
+def make_username(rng):
+    """A plausible user id; ~44% get a .edu address as in the paper."""
+    name = "%s.%s" % (rng.choice(USER_FIRST), rng.choice(USER_LAST))
+    domain = rng.choice(EDU_DOMAINS) if rng.random() < 0.44 else rng.choice(OTHER_DOMAINS)
+    return "%s@%s" % (name, domain)
+
+
+def make_dataset_name(rng, user_seq, domain):
+    return "%s_%s_%d" % (domain[:4], rng.choice(DATASET_NOUNS), user_seq)

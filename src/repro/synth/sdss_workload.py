@@ -1,0 +1,209 @@
+"""Synthetic SDSS SkyServer comparator workload (§6 of the paper).
+
+SDSS is the paper's low-diversity baseline: a conventional, pre-engineered
+astronomy schema queried overwhelmingly by applications (the SkyServer
+query composer, the Google Earth plugin) that emit the same canned strings
+millions of times.  Only ~3% of the raw log is string-distinct; of those,
+~0.2% are column-distinct and ~0.3% are distinct plan templates; scalar
+computation (UDFs, flag masks, dynamic ranges) dominates the operator mix.
+
+This generator reproduces those *ratios* at a configurable scale (the real
+log has 7M entries; the default here is tens of thousands).  Queries are
+planned — not executed — through the engine, exactly what the analysis
+pipeline needs.
+"""
+
+import datetime as _dt
+import random
+
+from repro.core.querylog import QueryLog
+from repro.engine.catalog import Column
+from repro.engine.database import Database
+from repro.engine.types import SQLType
+from repro.errors import ReproError
+
+START = _dt.datetime(2010, 1, 1)
+SPAN_DAYS = 1800
+
+
+class SyntheticWorkload(object):
+    """A database plus query log, duck-typing the platform for analysis.
+
+    :class:`repro.workload.extract.WorkloadAnalyzer` only needs ``.log``
+    (with ``successful()``) and ``.db.explain``.
+    """
+
+    def __init__(self, db, label):
+        self.db = db
+        self.label = label
+        self.log = QueryLog()
+
+
+def build_sdss_schema(db, rng, photoobj_rows=2000, specobj_rows=800):
+    """Create and populate the fixed SkyServer-like schema."""
+    photoobj = db.catalog.create_table(
+        "photoobj",
+        [
+            Column("objid", SQLType.INT),
+            Column("ra", SQLType.FLOAT),
+            Column("dec", SQLType.FLOAT),
+            Column("type", SQLType.INT),
+            Column("flags", SQLType.INT),
+            Column("u_mag", SQLType.FLOAT),
+            Column("g_mag", SQLType.FLOAT),
+            Column("r_mag", SQLType.FLOAT),
+            Column("i_mag", SQLType.FLOAT),
+            Column("z_mag", SQLType.FLOAT),
+        ],
+    )
+    for objid in range(photoobj_rows):
+        base = rng.uniform(14.0, 24.0)
+        photoobj.insert_row(
+            (
+                objid,
+                rng.uniform(0.0, 360.0),
+                rng.uniform(-90.0, 90.0),
+                rng.choice((3, 6)),  # galaxy / star
+                rng.getrandbits(20),
+                base + rng.uniform(0.0, 3.0),
+                base + rng.uniform(0.0, 2.0),
+                base,
+                base - rng.uniform(0.0, 1.0),
+                base - rng.uniform(0.0, 1.5),
+            )
+        )
+    specobj = db.catalog.create_table(
+        "specobj",
+        [
+            Column("specobjid", SQLType.INT),
+            Column("bestobjid", SQLType.INT),
+            Column("z", SQLType.FLOAT),
+            Column("zconf", SQLType.FLOAT),
+            Column("class", SQLType.VARCHAR),
+        ],
+    )
+    for specid in range(specobj_rows):
+        specobj.insert_row(
+            (
+                specid,
+                rng.randrange(photoobj_rows),
+                rng.uniform(0.0, 3.0),
+                rng.uniform(0.5, 1.0),
+                rng.choice(("GALAXY", "STAR", "QSO")),
+            )
+        )
+
+
+#: Canned query templates; {} slots receive constants.  The mix leans on
+#: BETWEEN ranges (GetRange* intrinsics), flag masks (BIT_AND), magnitude
+#: arithmetic and scalar-heavy selects, per Figure 10 / Table 4b.
+TEMPLATES = [
+    ("SELECT TOP 10 objid, ra, dec FROM photoobj "
+     "WHERE ra BETWEEN {ra0} AND {ra1} AND dec BETWEEN {dec0} AND {dec1}"),
+    ("SELECT objid, u_mag - g_mag AS ug, g_mag - r_mag AS gr FROM photoobj "
+     "WHERE g_mag - r_mag > {cut} AND type = 3"),
+    ("SELECT COUNT(*) FROM photoobj WHERE flags & {mask} > 0 AND r_mag < {mag}"),
+    ("SELECT p.objid, s.z FROM photoobj p "
+     "JOIN specobj s ON p.objid = s.bestobjid "
+     "WHERE s.z BETWEEN {z0} AND {z1} AND p.r_mag < {mag}"),
+    ("SELECT objid, ra, dec, r_mag FROM photoobj "
+     "WHERE r_mag < {mag} AND type = 6 ORDER BY r_mag"),
+    ("SELECT s.class, COUNT(*) AS n FROM specobj s GROUP BY s.class"),
+    ("SELECT * FROM specobj WHERE UPPER(class) = '{cls}' AND zconf > {conf} AND z < {z1}"),
+    ("SELECT p.objid FROM photoobj p WHERE p.objid = {objid}"),
+    ("SELECT objid, SQRT(SQUARE(ra - {ra}) + SQUARE(dec - {dec})) AS dist "
+     "FROM photoobj WHERE ra BETWEEN {ra0} AND {ra1}"),
+    ("SELECT class, AVG(z) AS mean_z, MIN(z) AS min_z, MAX(z) AS max_z "
+     "FROM specobj WHERE zconf > {conf} GROUP BY class"),
+    ("SELECT TOP 10 objid, r_mag FROM photoobj WHERE flags & {mask} = 0 "
+     "AND r_mag BETWEEN {mag} AND {mag2} ORDER BY r_mag DESC"),
+    ("SELECT s.specobjid, s.z FROM specobj s WHERE s.class LIKE '{like}%' AND s.z BETWEEN {z0} AND {z1}"),
+    ("SELECT COUNT(*) FROM photoobj p JOIN specobj s ON p.objid = s.bestobjid "
+     "WHERE p.type = 3 AND p.g_mag < {mag2} AND s.z > {z0}"),
+    ("SELECT objid, (u_mag + g_mag + r_mag) / 3 AS mean_mag FROM photoobj "
+     "WHERE dec BETWEEN {dec0} AND {dec1}"),
+    ("SELECT ra, dec FROM photoobj WHERE type = {type} AND ra > {ra}"),
+]
+
+
+class SDSSWorkloadGenerator(object):
+    """Generates the canned-heavy SkyServer query stream."""
+
+    def __init__(self, seed=7, total_queries=20000, distinct_fraction=0.025,
+                 canned_instances=None):
+        self.rng = random.Random(seed)
+        self.total_queries = total_queries
+        #: Fraction of the log that is string-distinct (paper: 3%).
+        self.distinct_fraction = distinct_fraction
+        #: Number of fixed canned strings the GUI applications repeat;
+        #: scales with the log so the distinct ratio stays at ~3%.
+        if canned_instances is None:
+            canned_instances = max(20, int(total_queries * 0.005))
+        self.canned_instances = canned_instances
+        self.workload = SyntheticWorkload(Database("sdss"), "sdss")
+        self.stats = {"queries": 0, "failed": 0}
+
+    def generate(self):
+        build_sdss_schema(self.workload.db, self.rng)
+        canned = [self._instantiate() for _ in range(self.canned_instances)]
+        gui_users = ["skyserver-composer", "google-earth", "casjobs-sample"]
+        distinct_budget = int(self.total_queries * self.distinct_fraction)
+        moment = START
+        for index in range(self.total_queries):
+            moment = START + _dt.timedelta(
+                days=self.rng.uniform(0, SPAN_DAYS)
+            )
+            if index < distinct_budget:
+                sql = self._instantiate()
+                user = "astro-user-%d" % self.rng.randint(0, 200)
+            else:
+                sql = self.rng.choice(canned)
+                user = self.rng.choice(gui_users)
+            self._log(user, sql, moment)
+        self.workload.log.entries.sort(key=lambda entry: entry.timestamp)
+        return self.workload
+
+    def _log(self, user, sql, moment):
+        try:
+            explained = self.workload.db.explain(sql)
+        except ReproError:
+            self.stats["failed"] += 1
+            return
+        info = explained.info
+        self.workload.log.record(
+            user, sql, timestamp=moment,
+            datasets=(),
+            tables=sorted(info.tables),
+            columns=sorted(info.columns),
+            views=sorted(info.views),
+            runtime=explained.total_cost,
+            row_count=0,
+            source="gui",
+        )
+        self.stats["queries"] += 1
+
+    def _instantiate(self):
+        template = self.rng.choice(TEMPLATES)
+        ra = self.rng.uniform(0, 350)
+        dec = self.rng.uniform(-85, 80)
+        mag = self.rng.uniform(15, 22)
+        z0 = self.rng.uniform(0.0, 2.0)
+        return template.format(
+            ra0="%.4f" % ra,
+            ra1="%.4f" % (ra + self.rng.uniform(0.1, 5.0)),
+            dec0="%.4f" % dec,
+            dec1="%.4f" % (dec + self.rng.uniform(0.1, 5.0)),
+            ra="%.4f" % ra,
+            dec="%.4f" % dec,
+            cut="%.2f" % self.rng.uniform(0.2, 2.2),
+            mask=str(self.rng.choice((0x10, 0x40, 0x800, 0x10000))),
+            z0="%.3f" % z0,
+            z1="%.3f" % (z0 + self.rng.uniform(0.05, 0.5)),
+            mag="%.2f" % mag,
+            mag2="%.2f" % (mag + self.rng.uniform(0.5, 3.0)),
+            cls=self.rng.choice(("GALAXY", "STAR", "QSO")),
+            conf="%.2f" % self.rng.uniform(0.5, 0.95),
+            objid=str(self.rng.randrange(2000)),
+            like=self.rng.choice(("GAL", "ST", "Q")),
+            type=str(self.rng.choice((3, 6))),
+        )

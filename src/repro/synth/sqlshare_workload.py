@@ -1,0 +1,725 @@
+"""Generative model of the SQLShare deployment (2011-2015).
+
+Users arrive with one of four archetypes and act through the *real*
+platform — uploads go through ingest, views through the dataset model,
+queries through permission checks, planning and execution:
+
+- *exploratory* (majority): upload a few datasets per visit, poke at them
+  briefly, derive a cleaning view or two, move on (short data lifetimes);
+- *one-shot*: upload one dataset, run a handful of queries, never return;
+- *analytical*: upload a working set once, then query it repeatedly for
+  years — the conventional-database minority;
+- *pipeline*: the "data processing mode" users: upload a batch on a
+  schedule, run the same (copy-pasted) queries with only the table name
+  changed, download, delete, repeat.
+
+The action probabilities are calibrated against the paper's Section 5/6
+statistics; see EXPERIMENTS.md for the side-by-side numbers.
+"""
+
+import datetime as _dt
+import random
+
+from repro.core.sqlshare import SQLShare, quote_ident
+from repro.engine.types import SQLType
+from repro.errors import ReproError
+from repro.synth import datagen, names
+
+ARCHETYPES = ("exploratory", "one_shot", "analytical", "pipeline")
+ARCHETYPE_WEIGHTS = (0.52, 0.26, 0.12, 0.10)
+
+START = _dt.datetime(2011, 6, 1, 9, 0, 0)
+END = _dt.datetime(2015, 5, 31, 18, 0, 0)
+
+#: Probability a freshly created dataset is made public / shared.
+P_PUBLIC = 0.37
+P_SHARED = 0.09
+#: Probability a query touches a public dataset the author does not own.
+P_FOREIGN_QUERY = 0.15
+#: Probability a new derived view reads someone else's dataset.
+P_FOREIGN_VIEW = 0.035
+
+
+class _DatasetHandle(object):
+    """Generator-side bookkeeping for one live dataset."""
+
+    __slots__ = ("name", "owner", "domain", "schema", "depth")
+
+    def __init__(self, name, owner, domain, schema, depth=0):
+        self.name = name
+        self.owner = owner
+        self.domain = domain
+        self.schema = schema  # list of (column name, SQLType)
+        self.depth = depth
+
+    def columns_of(self, *kinds):
+        numeric = (SQLType.INT, SQLType.BIGINT, SQLType.FLOAT, SQLType.DECIMAL)
+        out = []
+        for name, sql_type in self.schema:
+            if "numeric" in kinds and sql_type in numeric:
+                out.append(name)
+            elif "text" in kinds and sql_type is SQLType.VARCHAR:
+                out.append(name)
+            elif "date" in kinds and sql_type in (SQLType.DATE, SQLType.DATETIME):
+                out.append(name)
+            elif "any" in kinds:
+                out.append(name)
+        return out
+
+
+class SQLShareWorkloadGenerator(object):
+    """Builds a populated SQLShare platform with a multi-year query log."""
+
+    def __init__(self, seed=42, users=60, scale=1.0, platform=None):
+        self.rng = random.Random(seed)
+        self.user_count = max(3, int(users * scale))
+        self.platform = platform or SQLShare(start_time=START)
+        self._seq = 0
+        self._live = {}  # name -> _DatasetHandle
+        self._public = []  # names
+        self._user_domain = {}
+        self._user_chain_tip = {}  # user -> handle of their deepest chain
+        self.stats = {"failed_actions": 0, "queries": 0, "uploads": 0, "views": 0}
+
+    # -- public API -----------------------------------------------------------------
+
+    def generate(self):
+        """Run the whole simulated deployment; returns the platform."""
+        sessions = self._plan_sessions()
+        for moment, user, archetype, session_index in sessions:
+            try:
+                self._run_session(moment, user, archetype, session_index)
+            except ReproError:
+                self.stats["failed_actions"] += 1
+        # Constant-variant refinements may interleave with the session
+        # clock; keep the published log chronological.
+        self.platform.log.entries.sort(key=lambda entry: entry.timestamp)
+        return self.platform
+
+    # -- session planning ----------------------------------------------------------------
+
+    def _plan_sessions(self):
+        sessions = []
+        total_days = (END - START).days
+        for user_index in range(self.user_count):
+            user = names.make_username(self.rng) + str(user_index)
+            archetype = self._pick_archetype()
+            self._user_domain[user] = self.rng.choice(names.DOMAINS)
+            first_day = self.rng.randint(0, max(1, total_days - 30))
+            if archetype == "one_shot":
+                count, span = 1, 1
+            elif archetype == "exploratory":
+                count = self.rng.randint(4, 18)
+                span = self.rng.randint(30, 700)
+            elif archetype == "analytical":
+                count = self.rng.randint(15, 45)
+                span = self.rng.randint(300, 1300)
+            else:  # pipeline
+                count = self.rng.randint(10, 40)
+                span = count * 7  # weekly cadence
+            for session_index in range(count):
+                day = first_day + int(span * session_index / max(1, count - 1 or 1))
+                day = min(day, total_days - 1)
+                moment = START + _dt.timedelta(
+                    days=day, hours=self.rng.randint(0, 10), minutes=self.rng.randint(0, 59)
+                )
+                sessions.append((moment, user, archetype, session_index))
+        sessions.sort(key=lambda item: item[0])
+        return sessions
+
+    def _pick_archetype(self):
+        roll = self.rng.random()
+        cumulative = 0.0
+        for archetype, weight in zip(ARCHETYPES, ARCHETYPE_WEIGHTS):
+            cumulative += weight
+            if roll < cumulative:
+                return archetype
+        return ARCHETYPES[0]
+
+    # -- sessions ---------------------------------------------------------------------------
+
+    def _run_session(self, moment, user, archetype, session_index):
+        clock = [moment]
+
+        def tick():
+            clock[0] += _dt.timedelta(minutes=self.rng.randint(1, 9))
+            return clock[0]
+
+        if archetype == "one_shot":
+            handle = self._upload(user, tick())
+            if handle is not None:
+                for _ in range(self.rng.randint(1, 6)):
+                    self._query([handle], user, tick())
+            return
+        if archetype == "pipeline":
+            self._pipeline_session(user, session_index, tick)
+            return
+        if archetype == "analytical":
+            self._analytical_session(user, session_index, tick)
+            return
+        self._exploratory_session(user, tick)
+
+    def _exploratory_session(self, user, tick):
+        mine = [h for h in self._live.values() if h.owner == user]
+        for _ in range(self.rng.randint(1, 2)):
+            handle = self._upload(user, tick())
+            if handle is not None:
+                mine.append(handle)
+                for _ in range(self.rng.randint(1, 4)):
+                    self._query([handle], user, tick())
+        # Deriving views is the primary workflow: most sessions save one or
+        # two (56% of all datasets end up derived).
+        for _ in range(self.rng.randint(1, 2)):
+            if mine and self.rng.random() < 0.85:
+                derived = self._derive_view(user, mine, tick())
+                if derived is not None:
+                    mine.append(derived)
+        for _ in range(self.rng.randint(0, 4)):
+            self._query(mine, user, tick())
+        # Short lifetimes: sometimes clean up an old dataset.
+        if len(mine) > 4 and self.rng.random() < 0.3:
+            victim = self.rng.choice(mine[:-2])
+            self._delete(user, victim)
+
+    def _analytical_session(self, user, session_index, tick):
+        mine = [h for h in self._live.values() if h.owner == user]
+        if session_index == 0 or len(mine) < 3:
+            for _ in range(self.rng.randint(3, 8)):
+                handle = self._upload(user, tick())
+                if handle is not None:
+                    mine.append(handle)
+        if mine and self.rng.random() < 0.7:
+            derived = self._derive_view(user, mine, tick())
+            if derived is not None:
+                mine.append(derived)
+        for _ in range(self.rng.randint(4, 14)):
+            self._query(mine, user, tick())
+
+    def _pipeline_session(self, user, session_index, tick):
+        mine = [h for h in self._live.values() if h.owner == user]
+        handle = self._upload(user, tick())
+        if handle is None:
+            return
+        # The same processing queries, copy-pasted with a new table name:
+        # low template diversity, exactly as the paper observes.
+        numeric = handle.columns_of("numeric")
+        text = handle.columns_of("text")
+        if numeric:
+            self._run(
+                user,
+                "SELECT %s, COUNT(*) AS n, AVG(%s) AS mean_val FROM %s GROUP BY %s"
+                % (self._key_col(handle), numeric[0], quote_ident(handle.name),
+                   self._key_col(handle)),
+                tick(),
+            )
+            self._run(
+                user,
+                "SELECT * FROM %s WHERE %s IS NOT NULL AND %s > 0"
+                % (quote_ident(handle.name), numeric[0], numeric[0]),
+                tick(),
+            )
+        if text:
+            self._run(
+                user,
+                "SELECT %s, LEN(%s) AS name_len FROM %s"
+                % (text[0], text[0], quote_ident(handle.name)),
+                tick(),
+            )
+        self.platform.download(user, handle.name, timestamp=tick())
+        # Multi-part batches occasionally get recomposed with UNION.
+        previous = [h for h in mine if h.domain == handle.domain and h.depth == 0]
+        if previous and self.rng.random() < 0.35:
+            self._union_view(user, previous[-1], handle, tick())
+        # Then yesterday's batch is deleted: the high-churn loop.
+        if previous and self.rng.random() < 0.7:
+            self._delete(user, previous[0])
+
+    # -- actions -------------------------------------------------------------------------------
+
+    def _upload(self, user, moment):
+        domain = self._user_domain[user]
+        self._seq += 1
+        name = names.make_dataset_name(self.rng, self._seq, domain)
+        upload = datagen.generate_upload(self.rng, domain, base_date=moment.date())
+        try:
+            self.platform.upload(user, name, upload.text, timestamp=moment)
+        except ReproError:
+            self.stats["failed_actions"] += 1
+            return None
+        schema = self.platform.db.query_schema("SELECT * FROM %s" % quote_ident(name))
+        handle = _DatasetHandle(name, user, domain, schema)
+        self._live[name] = handle
+        self.stats["uploads"] += 1
+        self._apply_sharing(user, name)
+        return handle
+
+    def _apply_sharing(self, user, name):
+        if self.rng.random() < P_PUBLIC:
+            self.platform.make_public(user, name)
+            self._public.append(name)
+        elif self.rng.random() < P_SHARED / (1.0 - P_PUBLIC):
+            other = self.rng.choice(list(self._user_domain))
+            if other != user:
+                self.platform.share(user, name, other)
+
+    def _delete(self, user, handle):
+        try:
+            self.platform.delete_dataset(user, handle.name)
+        except ReproError:
+            self.stats["failed_actions"] += 1
+            return
+        self._live.pop(handle.name, None)
+        if handle.name in self._public:
+            self._public.remove(handle.name)
+
+    # -- view derivation (the cleaning chains of §3.2/§5.1) ---------------------------------------
+
+    def _derive_view(self, user, mine, moment):
+        if not mine:
+            return None
+        if self.rng.random() < P_FOREIGN_VIEW and self._public:
+            foreign_name = self.rng.choice(self._public)
+            source = self._live.get(foreign_name)
+            if source is None or source.owner == user:
+                source = self.rng.choice(mine)
+        elif user in self._user_chain_tip and self.rng.random() < 0.40:
+            source = self._user_chain_tip[user]
+            if source.name not in self._live:
+                source = self.rng.choice(mine)
+            elif source.depth >= 3 and self.rng.random() > 0.2:
+                # Most chains stop at depth 1-3 (Figure 6); only a tail of
+                # users keeps stacking past that.
+                source = self.rng.choice(mine)
+        else:
+            source = self.rng.choice(mine)
+        roll = self.rng.random()
+        if roll < 0.28:
+            builder = self._rename_view
+        elif roll < 0.43:
+            builder = self._cast_view
+        elif roll < 0.57:
+            builder = self._null_clean_view
+        elif roll < 0.76:
+            builder = self._binning_view
+        else:
+            builder = self._filter_view
+        handle = builder(user, source, moment)
+        if handle is not None:
+            self.stats["views"] += 1
+            if handle.depth >= source.depth:
+                self._user_chain_tip[user] = handle
+            self._apply_sharing(user, handle.name)
+        return handle
+
+    def _register_view(self, user, name, sql, source, moment):
+        try:
+            self.platform.create_dataset(user, name, sql, timestamp=moment)
+        except ReproError:
+            self.stats["failed_actions"] += 1
+            return None
+        schema = self.platform.db.query_schema("SELECT * FROM %s" % quote_ident(name))
+        handle = _DatasetHandle(name, user, source.domain, schema, depth=source.depth + 1)
+        self._live[name] = handle
+        return handle
+
+    def _rename_view(self, user, source, moment):
+        targets = [
+            (old, "renamed_%s_%d" % (old.strip("column"), i))
+            for i, (old, _t) in enumerate(source.schema)
+        ]
+        items = []
+        for index, (name, _sql_type) in enumerate(source.schema):
+            if name.startswith("column") or self.rng.random() < 0.3:
+                items.append("%s AS %s" % (name, "col_%s_%d" % (source.domain[:3], index)))
+            else:
+                items.append(name)
+        del targets
+        self._seq += 1
+        view_name = "%s_named_%d" % (source.domain[:4], self._seq)
+        sql = "SELECT %s FROM %s" % (", ".join(items), quote_ident(source.name))
+        return self._register_view(user, view_name, sql, source, moment)
+
+    def _cast_view(self, user, source, moment):
+        text_cols = source.columns_of("text")
+        items = []
+        for name, sql_type in source.schema:
+            if sql_type is SQLType.VARCHAR and name in text_cols and self.rng.random() < 0.22:
+                items.append("TRY_CAST(%s AS float) AS %s" % (name, name))
+            else:
+                items.append(name)
+        self._seq += 1
+        view_name = "%s_typed_%d" % (source.domain[:4], self._seq)
+        sql = "SELECT %s FROM %s" % (", ".join(items), quote_ident(source.name))
+        return self._register_view(user, view_name, sql, source, moment)
+
+    def _null_clean_view(self, user, source, moment):
+        numeric = source.columns_of("numeric")
+        if not numeric:
+            return self._rename_view(user, source, moment)
+        column = self.rng.choice(numeric)
+        items = []
+        for name, _sql_type in source.schema:
+            if name == column:
+                items.append(
+                    "CASE WHEN %s = -999 THEN NULL ELSE %s END AS %s"
+                    % (name, name, name)
+                )
+            else:
+                items.append(name)
+        self._seq += 1
+        view_name = "%s_clean_%d" % (source.domain[:4], self._seq)
+        sql = "SELECT %s FROM %s" % (", ".join(items), quote_ident(source.name))
+        return self._register_view(user, view_name, sql, source, moment)
+
+    def _binning_view(self, user, source, moment):
+        numeric = source.columns_of("numeric")
+        key = self._key_col(source)
+        if not numeric or key is None:
+            return self._rename_view(user, source, moment)
+        value = self.rng.choice(numeric)
+        self._seq += 1
+        view_name = "%s_hourly_%d" % (source.domain[:4], self._seq)
+        sql = (
+            "SELECT %s, COUNT(*) AS n, AVG(%s) AS mean_val, MIN(%s) AS lo, "
+            "MAX(%s) AS hi FROM %s GROUP BY %s"
+            % (key, value, value, value, quote_ident(source.name), key)
+        )
+        return self._register_view(user, view_name, sql, source, moment)
+
+    def _filter_view(self, user, source, moment):
+        numeric = source.columns_of("numeric")
+        if not numeric:
+            return self._rename_view(user, source, moment)
+        column = self.rng.choice(numeric)
+        self._seq += 1
+        view_name = "%s_subset_%d" % (source.domain[:4], self._seq)
+        sql = "SELECT * FROM %s WHERE %s %s %s" % (
+            quote_ident(source.name), column,
+            self.rng.choice((">", "<", ">=")), self.rng.randint(0, 500),
+        )
+        return self._register_view(user, view_name, sql, source, moment)
+
+    def _union_view(self, user, first, second, moment):
+        if [n for n, _t in first.schema] != [n for n, _t in second.schema]:
+            return None
+        self._seq += 1
+        view_name = "%s_all_%d" % (first.domain[:4], self._seq)
+        sql = "SELECT * FROM %s UNION ALL SELECT * FROM %s" % (
+            quote_ident(first.name), quote_ident(second.name),
+        )
+        handle = self._register_view(user, view_name, sql, first, moment)
+        if handle is not None:
+            self.stats["views"] += 1
+        return handle
+
+    # -- queries -----------------------------------------------------------------------------------
+
+    def _key_col(self, handle):
+        categories = [
+            name for name, sql_type in handle.schema
+            if sql_type is SQLType.VARCHAR
+        ]
+        if categories:
+            return categories[0]
+        anything = handle.columns_of("any")
+        return anything[0] if anything else None
+
+    def _query(self, mine, user, moment):
+        pool = [h for h in mine if h.name in self._live]
+        if self.rng.random() < P_FOREIGN_QUERY and self._public:
+            foreign = self._live.get(self.rng.choice(self._public))
+            if foreign is not None and foreign.owner != user:
+                # Cross-owner analysis: query the shared dataset directly
+                # (>10% of logged queries touch data the author doesn't own).
+                pool = [foreign] + pool
+                sql = self._filter_query(foreign) or (
+                    "SELECT * FROM %s" % quote_ident(foreign.name)
+                )
+                self._run(user, sql, moment)
+                return
+        if not pool:
+            return
+        # Derived views are the workhorse datasets: querying one expands its
+        # whole cleaning chain in the plan, which is where the workload's
+        # high operator counts come from.
+        deep = [h for h in pool if h.depth > 0]
+        if deep and self.rng.random() < 0.45:
+            handle = max(deep, key=lambda h: h.depth) if self.rng.random() < 0.5 \
+                else self.rng.choice(deep)
+        else:
+            handle = self.rng.choice(pool)
+        roll = self.rng.random()
+        if roll < 0.24:
+            sql = self._aggregate_query(handle)
+        elif roll < 0.42:
+            sql = self._filter_query(handle)
+        elif roll < 0.56:
+            sql = self._string_query(handle)
+        elif roll < 0.72:
+            sql = self._join_query(handle, pool)
+        elif roll < 0.76:
+            sql = self._window_query(handle)
+        elif roll < 0.81:
+            sql = self._subquery_query(handle)
+        elif roll < 0.84:
+            sql = self._union_query(handle, pool)
+        elif roll < 0.86:
+            sql = self._topk_query(handle)
+        elif roll < 0.89:
+            sql = self._multi_join_query(pool)
+        elif roll < 0.92:
+            sql = self._long_query(handle)
+        else:
+            sql = self._arithmetic_query(handle)
+        if sql is None:
+            sql = "SELECT * FROM %s" % quote_ident(handle.name)
+        self._run(user, sql, moment)
+        # Users refine by editing only the constants of the previous query
+        # ("editing a simple query into an adjacent query is very easy"):
+        # same plan template, distinct string — the source of the paper's
+        # 63%-unique-template figure.
+        if self.rng.random() < 0.5:
+            for _ in range(self.rng.randint(1, 3)):
+                variant = self._vary_constants(sql)
+                if variant != sql:
+                    moment = moment + _dt.timedelta(minutes=self.rng.randint(1, 5))
+                    self._run(user, variant, moment)
+
+    _CONSTANT_RE = None
+
+    def _vary_constants(self, sql):
+        import re
+
+        if SQLShareWorkloadGenerator._CONSTANT_RE is None:
+            # Digits not embedded in identifiers (no adjacent word chars).
+            SQLShareWorkloadGenerator._CONSTANT_RE = re.compile(
+                r"(?<![\w\]])(\d+)(?![\w\[])"
+            )
+
+        def bump(match):
+            return str(max(1, int(match.group(1)) + self.rng.randint(-40, 60)))
+
+        # Never rewrite digits inside string literals (LIKE/PATINDEX
+        # patterns must survive intact).
+        parts = re.split(r"('(?:[^']|'')*')", sql)
+        for index in range(0, len(parts), 2):
+            parts[index] = SQLShareWorkloadGenerator._CONSTANT_RE.sub(bump, parts[index])
+        return "".join(parts)
+
+    def _run(self, user, sql, moment):
+        try:
+            self.platform.run_query(user, sql, timestamp=moment)
+            self.stats["queries"] += 1
+        except ReproError:
+            self.stats["failed_actions"] += 1
+
+    def _maybe_order(self, sql, column, probability=0.4):
+        if column is not None and self.rng.random() < probability:
+            direction = " DESC" if self.rng.random() < 0.4 else ""
+            return "%s ORDER BY %s%s" % (sql, column, direction)
+        return sql
+
+    def _aggregate_query(self, handle):
+        numeric = handle.columns_of("numeric")
+        key = self._key_col(handle)
+        if not numeric or key is None:
+            return None
+        value = self.rng.choice(numeric)
+        aggs = self.rng.sample(
+            ["COUNT(*) AS n", "AVG(%s) AS avg_v" % value, "SUM(%s) AS sum_v" % value,
+             "MIN(%s) AS min_v" % value, "MAX(%s) AS max_v" % value],
+            self.rng.randint(1, 3),
+        )
+        sql = "SELECT %s, %s FROM %s GROUP BY %s" % (
+            key, ", ".join(aggs), quote_ident(handle.name), key
+        )
+        if self.rng.random() < 0.10:
+            sql += " HAVING COUNT(*) > %d" % self.rng.randint(1, 4)
+        return self._maybe_order(sql, key, 0.35)
+
+    def _filter_query(self, handle):
+        numeric = handle.columns_of("numeric")
+        if not numeric:
+            return None
+        column = self.rng.choice(numeric)
+        selected = handle.columns_of("any")
+        width = self.rng.randint(2, max(2, min(7, len(selected))))
+        sql = "SELECT %s FROM %s WHERE %s %s %s" % (
+            ", ".join(self.rng.sample(selected, min(width, len(selected)))),
+            quote_ident(handle.name),
+            column,
+            self.rng.choice((">", "<", ">=", "<=", "=")),
+            self.rng.randint(0, 4000),
+        )
+        if self.rng.random() < 0.35:
+            sql += " AND %s IS NOT NULL" % self.rng.choice(numeric)
+        if self.rng.random() < 0.2:
+            text = handle.columns_of("text")
+            if text:
+                sql += " AND %s LIKE '%%%s%%'" % (self.rng.choice(text), "a")
+        return self._maybe_order(sql, column, 0.45)
+
+    def _string_query(self, handle):
+        text = handle.columns_of("text")
+        if not text:
+            return None
+        column = self.rng.choice(text)
+        pattern = self.rng.choice(["%a%", "%team%", "x%", "%1%", "%ok%", "%an%"])
+        expressions = [
+            "LEN(%s) AS len_%s" % (column, column),
+            "UPPER(%s) AS u_%s" % (column, column),
+            "SUBSTRING(%s, 1, %d) AS prefix_v" % (column, self.rng.randint(2, 5)),
+            "CHARINDEX('a', %s) AS pos_a" % column,
+            "PATINDEX('%%[0-9]%%', %s) AS first_digit" % column,
+            "ISNUMERIC(%s) AS isnum" % column,
+        ]
+        picked = self.rng.sample(expressions, self.rng.randint(1, 3))
+        sql = "SELECT %s, %s FROM %s WHERE %s LIKE '%s'" % (
+            column, ", ".join(picked), quote_ident(handle.name), column, pattern
+        )
+        if self.rng.random() < 0.4:
+            sql += " OR %s LIKE '%s'" % (column, self.rng.choice(["%b%", "%no%", "a%"]))
+        return self._maybe_order(sql, column, 0.25)
+
+    def _join_query(self, handle, pool):
+        others = [h for h in pool if h is not handle]
+        partner = self.rng.choice(others) if others else handle
+        left_keys = handle.columns_of("text") or handle.columns_of("any")
+        right_keys = partner.columns_of("text") or partner.columns_of("any")
+        if not left_keys or not right_keys:
+            return None
+        join_word = "LEFT OUTER JOIN" if self.rng.random() < 0.75 else "INNER JOIN"
+        left_cols = handle.columns_of("any")
+        right_cols = partner.columns_of("any")
+        left_picks = self.rng.sample(left_cols, min(len(left_cols), self.rng.randint(1, 3)))
+        right_picks = self.rng.sample(right_cols, min(len(right_cols), self.rng.randint(1, 2)))
+        select_list = ", ".join(
+            ["a.%s" % c for c in left_picks] + ["b.%s" % c for c in right_picks]
+        )
+        sql = (
+            "SELECT %s FROM %s a %s %s b ON a.%s = b.%s"
+            % (select_list, quote_ident(handle.name), join_word,
+               quote_ident(partner.name), left_keys[0], right_keys[0])
+        )
+        if self.rng.random() < 0.3:
+            numeric = handle.columns_of("numeric")
+            if numeric:
+                sql += " WHERE a.%s IS NOT NULL" % self.rng.choice(numeric)
+        return self._maybe_order(sql, "a.%s" % left_picks[0], 0.25)
+
+    def _multi_join_query(self, pool):
+        """Integration across several datasets — the paper reports users
+        stitching together many tens of uploads in one query."""
+        if len(pool) < 3:
+            return None
+        parts = self.rng.sample(pool, min(len(pool), self.rng.randint(3, 5)))
+        aliases = "abcdef"
+        first = parts[0]
+        key = (first.columns_of("text") or first.columns_of("any"))[0]
+        clauses = ["%s a" % quote_ident(first.name)]
+        selects = ["a.%s" % c for c in first.columns_of("any")[:2]]
+        usable = True
+        for index, part in enumerate(parts[1:], start=1):
+            part_key = (part.columns_of("text") or part.columns_of("any"))
+            if not part_key:
+                usable = False
+                break
+            alias = aliases[index]
+            clauses.append(
+                "JOIN %s %s ON a.%s = %s.%s"
+                % (quote_ident(part.name), alias, key, alias, part_key[0])
+            )
+            selects.append("%s.%s" % (alias, part.columns_of("any")[0]))
+        if not usable:
+            return None
+        return "SELECT %s FROM %s" % (", ".join(selects), " ".join(clauses))
+
+    def _window_query(self, handle):
+        numeric = handle.columns_of("numeric")
+        key = self._key_col(handle)
+        if not numeric or key is None:
+            return None
+        value = self.rng.choice(numeric)
+        form = self.rng.choice(
+            [
+                "ROW_NUMBER() OVER (PARTITION BY %s ORDER BY %s DESC) AS rn" % (key, value),
+                "RANK() OVER (ORDER BY %s DESC) AS rk" % value,
+                "AVG(%s) OVER (PARTITION BY %s) AS group_mean" % (value, key),
+                "SUM(%s) OVER (PARTITION BY %s ORDER BY %s) AS running" % (value, key, value),
+            ]
+        )
+        return "SELECT %s, %s, %s FROM %s" % (key, value, form, quote_ident(handle.name))
+
+    def _subquery_query(self, handle):
+        numeric = handle.columns_of("numeric")
+        if not numeric:
+            return None
+        column = self.rng.choice(numeric)
+        return (
+            "SELECT * FROM %s WHERE %s > (SELECT AVG(%s) FROM %s)"
+            % (quote_ident(handle.name), column, column, quote_ident(handle.name))
+        )
+
+    def _union_query(self, handle, pool):
+        same = [
+            h for h in pool
+            if h is not handle and [n for n, _t in h.schema] == [n for n, _t in handle.schema]
+        ]
+        if not same:
+            return None
+        partner = self.rng.choice(same)
+        return "SELECT * FROM %s UNION ALL SELECT * FROM %s" % (
+            quote_ident(handle.name), quote_ident(partner.name)
+        )
+
+    def _topk_query(self, handle):
+        numeric = handle.columns_of("numeric")
+        if not numeric:
+            return None
+        column = self.rng.choice(numeric)
+        return "SELECT TOP %d * FROM %s ORDER BY %s DESC" % (
+            self.rng.choice((5, 10, 20, 100)), quote_ident(handle.name), column
+        )
+
+    def _long_query(self, handle):
+        """A very long hand-written query: the Figure 7 tail.
+
+        The paper observes queries over 1000 characters that are mostly
+        repetitive (a filter applied to 50+ columns, exhaustive renamed
+        select lists) — long to write via copy-paste, few distinct ops.
+        """
+        columns = handle.columns_of("any")
+        if not columns:
+            return None
+        items = []
+        for index, name in enumerate(columns):
+            items.append("%s AS %s_clean_%02d" % (name, name, index))
+            items.append(
+                "CASE WHEN %s IS NULL THEN 'missing_%02d' ELSE 'present_%02d' END "
+                "AS %s_presence_flag_%02d" % (name, index, index, name, index)
+            )
+        predicates = [
+            "%s IS NOT NULL" % name for name in columns
+        ]
+        numeric = handle.columns_of("numeric")
+        for name in numeric:
+            predicates.append("%s <> -999" % name)
+        sql = "SELECT %s FROM %s WHERE %s" % (
+            ", ".join(items), quote_ident(handle.name), " AND ".join(predicates)
+        )
+        return sql
+
+    def _arithmetic_query(self, handle):
+        numeric = handle.columns_of("numeric")
+        if len(numeric) < 2:
+            return None
+        a, b = self.rng.sample(numeric, 2)
+        expressions = [
+            "%s + %s AS total_v" % (a, b),
+            "%s - %s AS delta_v" % (a, b),
+            "%s / %d AS scaled_v" % (a, self.rng.choice((2, 10, 100))),
+            "%s * %d AS x%d" % (b, self.rng.choice((2, 3)), self.rng.choice((2, 3))),
+            "SQUARE(%s) AS sq_v" % a,
+        ]
+        picked = self.rng.sample(expressions, self.rng.randint(1, 3))
+        return "SELECT %s, %s FROM %s" % (a, ", ".join(picked), quote_ident(handle.name))

@@ -1,0 +1,29 @@
+"""The two-phase workload-extraction framework of Section 4, plus the
+corpus release (the paper's published dataset) and session analysis.
+
+Phase 1 asks the backend to explain each logged query, cleans the returned
+SHOWPLAN-style XML and converts it to the JSON plan of Listing 1, saving it
+back into the query catalog.  Phase 2 walks each JSON plan and extracts the
+referenced tables, columns and views, the operators with their costs, and
+the expression operators, into separate catalog tables for analysis.
+"""
+
+from repro.workload.catalog import QueryCatalog, QueryRecord
+from repro.workload.extract import WorkloadAnalyzer
+from repro.workload.plans_json import clean_xml, plan_xml_to_json
+from repro.workload.release import ReleasedCorpus, export_corpus, load_corpus
+from repro.workload.sessions import Session, SessionSurvey, sessionize
+
+__all__ = [
+    "QueryCatalog",
+    "QueryRecord",
+    "ReleasedCorpus",
+    "Session",
+    "SessionSurvey",
+    "WorkloadAnalyzer",
+    "clean_xml",
+    "export_corpus",
+    "load_corpus",
+    "plan_xml_to_json",
+    "sessionize",
+]

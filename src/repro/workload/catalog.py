@@ -1,0 +1,131 @@
+"""The query catalog: analysis-side tables built by Phases 1 and 2.
+
+The paper stores the JSON plan as an extra column of the query log and the
+Phase-2 extractions (referenced tables/columns/views, operators, costs,
+expressions) in separate tables of a "query catalog".  This module is that
+catalog, with the aggregate helpers that produce Table 2.
+"""
+
+
+class QueryRecord(object):
+    """One analyzed query: log fields plus Phase 1/2 products."""
+
+    __slots__ = (
+        "query_id",
+        "owner",
+        "sql",
+        "timestamp",
+        "length",
+        "runtime",
+        "plan_json",
+        "operators",
+        "distinct_operators",
+        "operator_costs",
+        "tables",
+        "columns",
+        "views",
+        "datasets",
+        "expression_ops",
+        "filters",
+        "source",
+    )
+
+    def __init__(self, query_id, owner, sql, timestamp, runtime):
+        self.query_id = query_id
+        self.owner = owner
+        self.sql = sql
+        self.timestamp = timestamp
+        self.length = len(sql)
+        self.runtime = runtime
+        self.plan_json = None
+        self.operators = []
+        self.distinct_operators = set()
+        self.operator_costs = []  # (physicalOp, total cost) pairs
+        self.tables = []
+        self.columns = []  # (table, column)
+        self.views = []
+        self.datasets = []
+        self.expression_ops = []
+        self.filters = []
+        self.source = "webui"
+
+    @property
+    def operator_count(self):
+        return len(self.operators)
+
+    @property
+    def distinct_operator_count(self):
+        return len(self.distinct_operators)
+
+    @property
+    def table_count(self):
+        return len(self.tables)
+
+    @property
+    def column_count(self):
+        return len(self.columns)
+
+    def __repr__(self):
+        return "QueryRecord(%s, %d ops)" % (self.query_id, self.operator_count)
+
+
+class QueryCatalog(object):
+    """Holds analyzed queries plus the flattened Phase-2 tables."""
+
+    def __init__(self, label="workload"):
+        self.label = label
+        self.records = []
+        #: Phase-2 tables: flat lists of (query_id, value) rows.
+        self.table_refs = []
+        self.column_refs = []
+        self.view_refs = []
+        self.operator_rows = []  # (query_id, physicalOp, logicalOp-ish, cost)
+        self.expression_rows = []  # (query_id, expression op)
+
+    def add(self, record):
+        self.records.append(record)
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # -- flattened table maintenance (Phase 2 writes through here) -----------------
+
+    def index_record(self, record):
+        for table in record.tables:
+            self.table_refs.append((record.query_id, table))
+        for table, column in record.columns:
+            self.column_refs.append((record.query_id, table, column))
+        for view in record.views:
+            self.view_refs.append((record.query_id, view))
+        for op_name, cost in record.operator_costs:
+            self.operator_rows.append((record.query_id, op_name, cost))
+        for expression in record.expression_ops:
+            self.expression_rows.append((record.query_id, expression))
+
+    # -- aggregates (Table 2b) -------------------------------------------------------
+
+    def mean(self, getter):
+        if not self.records:
+            return 0.0
+        return sum(getter(record) for record in self.records) / float(len(self.records))
+
+    def summary(self):
+        """The Table 2b row: means of the per-query metrics."""
+        return {
+            "queries": len(self.records),
+            "mean_length": self.mean(lambda r: r.length),
+            "mean_runtime": self.mean(lambda r: r.runtime),
+            "mean_operators": self.mean(lambda r: r.operator_count),
+            "mean_distinct_operators": self.mean(lambda r: r.distinct_operator_count),
+            "mean_tables": self.mean(lambda r: r.table_count),
+            "mean_columns": self.mean(lambda r: r.column_count),
+        }
+
+    def by_user(self):
+        result = {}
+        for record in self.records:
+            result.setdefault(record.owner, []).append(record)
+        return result

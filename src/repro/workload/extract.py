@@ -1,0 +1,112 @@
+"""The extraction driver: runs Phase 1 and Phase 2 over a query log.
+
+Phase 1 (Figure 5a): pick query -> get plan XML from the backend -> clean
+XML -> convert to JSON -> save the JSON plan back to the query catalog.
+
+Phase 2 (Figure 5b): pick query and plan -> extract referenced tables,
+columns and views -> extract operators, expressions and costs -> save into
+separate catalog tables.
+"""
+
+from repro.workload.catalog import QueryCatalog, QueryRecord
+from repro.workload.plans_json import plan_xml_to_json, walk_plan
+
+
+class WorkloadAnalyzer(object):
+    """Builds a :class:`QueryCatalog` from a platform's query log.
+
+    ``explain`` is a callable ``sql -> xml`` (defaults to the platform
+    database's SHOWPLAN path).  Queries that can no longer be planned —
+    their datasets were deleted, a routine event in this workload — are
+    skipped and counted in :attr:`skipped`.
+    """
+
+    def __init__(self, platform=None, explain=None, label="sqlshare",
+                 prefer_stored_plans=None):
+        if platform is None and explain is None:
+            raise ValueError("need a platform or an explain callable")
+        self.platform = platform
+        self._explain = explain or (lambda sql: platform.db.explain(sql).xml)
+        #: Use plans already attached to log entries (a loaded corpus
+        #: release) instead of re-explaining.  Defaults to True exactly when
+        #: there is no live database to ask.
+        if prefer_stored_plans is None:
+            prefer_stored_plans = explain is None and not hasattr(platform, "db")
+        self.prefer_stored_plans = prefer_stored_plans
+        self.catalog = QueryCatalog(label)
+        self.skipped = []
+
+    # -- the full pipeline ---------------------------------------------------------
+
+    def analyze(self, entries=None):
+        """Run Phase 1 then Phase 2 over the given (or all) log entries."""
+        self.run_phase1(entries)
+        self.run_phase2()
+        return self.catalog
+
+    # -- Phase 1 ----------------------------------------------------------------------
+
+    def run_phase1(self, entries=None):
+        """Explain every logged query and store its JSON plan."""
+        if entries is None:
+            entries = self.platform.log.successful()
+        for entry in entries:
+            record = QueryRecord(
+                entry.query_id, entry.owner, entry.sql, entry.timestamp, entry.runtime
+            )
+            record.datasets = list(entry.datasets)
+            record.source = getattr(entry, "source", "webui")
+            if self.prefer_stored_plans and entry.plan_json is not None:
+                record.plan_json = entry.plan_json
+            else:
+                try:
+                    xml = self._explain(entry.sql)
+                except Exception as exc:
+                    self.skipped.append((entry.query_id, str(exc)))
+                    continue
+                record.plan_json = plan_xml_to_json(xml)
+                entry.plan_json = record.plan_json
+            self.catalog.add(record)
+        return self.catalog
+
+    # -- Phase 2 ----------------------------------------------------------------------
+
+    def run_phase2(self):
+        """Extract tables/columns/views and operators/expressions/costs."""
+        for record in self.catalog:
+            plan = record.plan_json
+            if plan is None:
+                continue
+            self._extract_references(record, plan)
+            self._extract_operators(record, plan)
+            record.expression_ops = list(plan.get("expressionOps", []))
+            self.catalog.index_record(record)
+        return self.catalog
+
+    @staticmethod
+    def _extract_references(record, plan):
+        columns = plan.get("columns", {})
+        record.tables = sorted(columns)
+        record.columns = sorted(
+            (table, column)
+            for table, names in columns.items()
+            for column in names
+        )
+        if record.datasets and record.plan_json is not None:
+            # Views = referenced datasets (wrapper or derived); the platform
+            # recorded them in the log, mirrored here for the catalog.
+            record.views = list(record.datasets)
+
+    @staticmethod
+    def _extract_operators(record, plan):
+        operators = []
+        costs = []
+        filters = []
+        for node in walk_plan(plan):
+            operators.append(node["physicalOp"])
+            costs.append((node["physicalOp"], node["io"] + node["cpu"]))
+            filters.extend(node.get("filters", []))
+        record.operators = operators
+        record.distinct_operators = set(operators)
+        record.operator_costs = costs
+        record.filters = filters

@@ -1,0 +1,138 @@
+"""Phase 1: SHOWPLAN XML -> the JSON plan of Listing 1.
+
+"For each query, backend SQL Server is asked to explain it and return the
+corresponding XML plan.  The XML is then cleaned for easier parsing and the
+extracted information is converted to a JSON plan for easier consumption by
+further steps." (Figure 5a)
+
+The JSON shape matches the paper's Listing 1::
+
+    query:      the SQL text
+    physicalOp: "Clustered Index Seek"
+    io:         0.003125
+    rowSize:    31
+    cpu:        0.0001603
+    numRows:    3
+    filters:    ["income GT 500000"]
+    operator:   same as physicalOp (logical name when it differs)
+    total:      cumulative subtree cost
+    children:   nested operators, same shape
+    columns:    {table: [column, ...]}
+"""
+
+import re
+import xml.etree.ElementTree as ET
+
+from repro.errors import ReproError
+
+_NAMESPACE_RE = re.compile(r'\sxmlns="[^"]*"')
+
+
+def clean_xml(xml_text):
+    """Strip the showplan namespace so XPath expressions stay short.
+
+    This mirrors the paper's "Clean XML" step: the raw SHOWPLAN document
+    namespaces every element, which makes every XPath query verbose.
+    """
+    return _NAMESPACE_RE.sub("", xml_text, count=1)
+
+
+def plan_xml_to_json(xml_text):
+    """Convert one SHOWPLAN-style XML document into a JSON-ready dict."""
+    tree = ET.fromstring(clean_xml(xml_text))
+    stmt = tree.find(".//StmtSimple")
+    if stmt is None:
+        raise ReproError("no StmtSimple element in plan XML")
+    root_relop = stmt.find("./QueryPlan/RelOp")
+    if root_relop is None:
+        raise ReproError("no root RelOp element in plan XML")
+    plan = _relop_to_json(root_relop)
+    plan["query"] = stmt.get("StatementText", "")
+    plan["columns"] = _collect_columns(stmt)
+    plan["expressionOps"] = [
+        element.get("Name")
+        for element in stmt.findall("./ExpressionList/ExpressionOp")
+    ]
+    return plan
+
+
+def _relop_to_json(relop):
+    node = {
+        "physicalOp": relop.get("PhysicalOp"),
+        "operator": relop.get("LogicalOp") or relop.get("PhysicalOp"),
+        "io": float(relop.get("EstimateIO", "0")),
+        "cpu": float(relop.get("EstimateCPU", "0")),
+        "rowSize": float(relop.get("AvgRowSize", "0")),
+        "numRows": float(relop.get("EstimateRows", "0")),
+        "total": float(relop.get("EstimatedTotalSubtreeCost", "0")),
+        "filters": [
+            scalar.get("ScalarString")
+            for scalar in relop.findall("./Predicate/ScalarOperator")
+        ],
+        "outputColumns": sorted(
+            "%s.%s" % (ref.get("Table"), ref.get("SourceColumn") or ref.get("Column"))
+            if ref.get("Table")
+            else (ref.get("Column") or "")
+            for ref in relop.findall("./OutputList/ColumnReference")
+        ),
+        "tables": sorted(
+            {
+                ref.get("Table")
+                for ref in relop.findall("./OutputList/ColumnReference")
+                if ref.get("Table")
+            }
+        ),
+        "children": [
+            _relop_to_json(child) for child in relop.findall("./RelOp")
+        ],
+    }
+    subplans = [
+        _relop_to_json(sub)
+        for wrapper in relop.findall("./Subplan")
+        for sub in wrapper.findall("./RelOp")
+    ]
+    if subplans:
+        node["subplans"] = subplans
+    return node
+
+
+def _collect_columns(stmt):
+    """(table, column) references for the statement, grouped by table.
+
+    Prefers the optimizer's ``ReferencedColumns`` summary (columns the
+    query actually touches); falls back to scraping every per-operator
+    ``ColumnReference``, which over-approximates because scans output
+    whole rows.
+    """
+    summary = stmt.findall("./ReferencedColumns/ColumnReference")
+    refs = summary if summary else stmt.findall(".//ColumnReference")
+    columns = {}
+    for ref in refs:
+        table = ref.get("Table")
+        if not table:
+            continue
+        name = ref.get("SourceColumn") or ref.get("Column")
+        bucket = columns.setdefault(table, [])
+        if name not in bucket:
+            bucket.append(name)
+    return columns
+
+
+def walk_plan(plan_json, include_subplans=True):
+    """Yield every operator node in a JSON plan, preorder."""
+    stack = [plan_json]
+    while stack:
+        node = stack.pop()
+        yield node
+        children = list(node.get("children", []))
+        if include_subplans:
+            children.extend(node.get("subplans", []))
+        stack.extend(reversed(children))
+
+
+def operator_names(plan_json, include_subplans=True):
+    """Physical operator names appearing in a plan (with repeats)."""
+    return [
+        node["physicalOp"]
+        for node in walk_plan(plan_json, include_subplans=include_subplans)
+    ]

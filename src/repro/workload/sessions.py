@@ -1,0 +1,116 @@
+"""Sessionization of the query log.
+
+The paper's related work leans on Singh et al.'s SkyServer traffic report,
+which "analyzed traffic and sessions by duration [and] usage pattern over
+time".  This module applies the same lens to any query log: consecutive
+queries by one user separated by less than an idle gap form a session.
+"""
+
+import collections
+import datetime as _dt
+
+#: Idle gap that closes a session (the traffic report's convention).
+DEFAULT_GAP = _dt.timedelta(minutes=30)
+
+
+class Session(object):
+    """One user session: a maximal gap-free run of queries."""
+
+    __slots__ = ("user", "entries",)
+
+    def __init__(self, user):
+        self.user = user
+        self.entries = []
+
+    @property
+    def start(self):
+        return self.entries[0].timestamp
+
+    @property
+    def end(self):
+        return self.entries[-1].timestamp
+
+    @property
+    def duration(self):
+        return self.end - self.start
+
+    @property
+    def query_count(self):
+        return len(self.entries)
+
+    def datasets_touched(self):
+        names = set()
+        for entry in self.entries:
+            names.update(name.lower() for name in entry.datasets)
+        return names
+
+    def __repr__(self):
+        return "Session(%r, %d queries, %s)" % (
+            self.user, self.query_count, self.duration
+        )
+
+
+def sessionize(entries, gap=DEFAULT_GAP):
+    """Split log entries into per-user sessions; returns all sessions,
+    ordered by start time."""
+    by_user = collections.defaultdict(list)
+    for entry in sorted(entries, key=lambda e: e.timestamp):
+        by_user[entry.owner].append(entry)
+    sessions = []
+    for user, stream in by_user.items():
+        current = None
+        for entry in stream:
+            if current is None or entry.timestamp - current.entries[-1].timestamp > gap:
+                current = Session(user)
+                sessions.append(current)
+            current.entries.append(entry)
+    sessions.sort(key=lambda session: session.start)
+    return sessions
+
+
+class SessionSurvey(object):
+    """Aggregate session statistics for a platform or corpus log."""
+
+    def __init__(self, log, gap=DEFAULT_GAP):
+        self.sessions = sessionize(log.successful(), gap=gap)
+
+    def count(self):
+        return len(self.sessions)
+
+    def mean_queries_per_session(self):
+        if not self.sessions:
+            return 0.0
+        return sum(s.query_count for s in self.sessions) / float(len(self.sessions))
+
+    def median_duration_minutes(self):
+        if not self.sessions:
+            return 0.0
+        durations = sorted(s.duration.total_seconds() / 60.0 for s in self.sessions)
+        return durations[len(durations) // 2]
+
+    def single_query_fraction(self):
+        """One-query sessions: quick lookups and previews."""
+        if not self.sessions:
+            return 0.0
+        singles = sum(1 for s in self.sessions if s.query_count == 1)
+        return singles / float(len(self.sessions))
+
+    def sessions_per_user(self):
+        counts = collections.Counter(s.user for s in self.sessions)
+        return dict(counts)
+
+    def activity_by_month(self):
+        """(year, month) -> session count: the usage-over-time curve."""
+        counts = collections.Counter(
+            (s.start.year, s.start.month) for s in self.sessions
+        )
+        return collections.OrderedDict(sorted(counts.items()))
+
+    def summary(self):
+        return {
+            "sessions": self.count(),
+            "mean_queries_per_session": self.mean_queries_per_session(),
+            "median_duration_minutes": self.median_duration_minutes(),
+            "single_query_session_pct": 100.0 * self.single_query_fraction(),
+            "users": len(self.sessions_per_user()),
+        }

@@ -1,0 +1,89 @@
+"""Variety-benchmark designer tests (§8 future work)."""
+
+import pytest
+
+from repro.analysis.benchmark_design import (
+    BANDS,
+    design_benchmark,
+    run_benchmark,
+)
+from repro.core.sqlshare import SQLShare
+from repro.workload.extract import WorkloadAnalyzer
+
+CSV = "k,v,grp,label\n" + "\n".join(
+    "%d,%d,%d,item%d" % (i, i * 7, i % 4, i) for i in range(40)
+) + "\n"
+
+
+@pytest.fixture(scope="module")
+def world():
+    share = SQLShare()
+    share.upload("u", "data", CSV)
+    # A popular simple template (same plan shape, different constants)...
+    for threshold in range(8):
+        share.run_query("u", "SELECT k, v FROM data WHERE v > %d" % (threshold * 10))
+    # ...a moderately complex shape...
+    for _ in range(3):
+        share.run_query(
+            "u",
+            "SELECT grp, COUNT(*) AS n, AVG(v) AS m FROM data "
+            "GROUP BY grp HAVING COUNT(*) > 1 ORDER BY n DESC",
+        )
+    # ...and a rare complex one.
+    share.run_query(
+        "u",
+        "SELECT grp, label, v, ROW_NUMBER() OVER (PARTITION BY grp ORDER BY v DESC) AS rn "
+        "FROM data WHERE label LIKE 'item%' AND v > (SELECT AVG(v) FROM data) "
+        "ORDER BY grp, rn",
+    )
+    catalog = WorkloadAnalyzer(share).analyze()
+    return share, catalog
+
+
+class TestDesign:
+    def test_suite_size_respected(self, world):
+        _share, catalog = world
+        suite = design_benchmark(catalog, size=3)
+        assert len(suite) == 3
+
+    def test_weights_sum_to_one(self, world):
+        _share, catalog = world
+        suite = design_benchmark(catalog, size=3)
+        assert sum(q.weight for q in suite) == pytest.approx(1.0)
+
+    def test_popular_template_gets_high_weight(self, world):
+        _share, catalog = world
+        suite = design_benchmark(catalog, size=3)
+        top = max(suite, key=lambda q: q.weight)
+        assert "WHERE v >" in top.sql
+        assert top.template_population >= 8
+
+    def test_complex_band_represented(self, world):
+        _share, catalog = world
+        suite = design_benchmark(catalog, size=3, per_band_minimum=1)
+        mix = suite.band_mix()
+        # The rare windowed query cannot be crowded out.
+        assert mix["moderate"] + mix["complex"] >= 1
+
+    def test_coverage_reported(self, world):
+        _share, catalog = world
+        suite = design_benchmark(catalog, size=100)
+        assert 0.0 < suite.template_coverage <= 1.0
+
+    def test_band_of_boundaries(self, world):
+        assert BANDS[0][0] == "simple"
+
+    def test_no_duplicate_sql(self, world):
+        _share, catalog = world
+        suite = design_benchmark(catalog, size=10)
+        texts = [q.sql for q in suite]
+        assert len(texts) == len(set(texts))
+
+
+class TestRun:
+    def test_suite_executes(self, world):
+        share, catalog = world
+        suite = design_benchmark(catalog, size=3)
+        results = run_benchmark(suite, share.db)
+        assert len(results) == 3
+        assert all(elapsed >= 0.0 for _query, elapsed in results)

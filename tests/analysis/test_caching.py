@@ -1,0 +1,92 @@
+"""Bounded-cache simulation tests (§6.2's small-cache claim)."""
+
+import pytest
+
+from repro.analysis import reuse
+from repro.analysis.caching import (
+    BoundedCache,
+    CostFrequencyPolicy,
+    CostPolicy,
+    LRUPolicy,
+    capacity_sweep,
+    simulate_cache,
+)
+from repro.core.sqlshare import SQLShare
+from repro.workload.extract import WorkloadAnalyzer
+
+CSV = "k,v,grp\n" + "\n".join("%d,%d,%d" % (i, i * 10, i % 3) for i in range(40)) + "\n"
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    share = SQLShare()
+    share.upload("u", "data", CSV)
+    for threshold in (5, 10, 15, 20):
+        share.run_query("u", "SELECT grp, AVG(v) FROM data GROUP BY grp")
+        share.run_query(
+            "u",
+            "SELECT grp, AVG(v) FROM data GROUP BY grp ORDER BY grp",
+        )
+        share.run_query("u", "SELECT k FROM data WHERE v > %d" % threshold)
+    return WorkloadAnalyzer(share).analyze()
+
+
+class TestBoundedCache:
+    def test_lookup_miss_then_hit(self):
+        cache = BoundedCache(4, LRUPolicy())
+        facets = (("Scan", "t"), frozenset(), frozenset({"t.a"}))
+        assert cache.lookup(*facets) is None
+        cache.admit(*facets, cost=1.0)
+        assert cache.lookup(*facets) is not None
+
+    def test_subset_filter_semantics(self):
+        cache = BoundedCache(4, LRUPolicy())
+        cache.admit(("Scan",), frozenset({"a GT 1"}), frozenset({"t.a", "t.b"}), 1.0)
+        hit = cache.lookup(("Scan",), frozenset({"a GT 1", "b GT 2"}), frozenset({"t.a"}))
+        assert hit is not None
+
+    def test_eviction_respects_capacity(self):
+        cache = BoundedCache(2, LRUPolicy())
+        for index in range(5):
+            cache.admit(("Scan", str(index)), frozenset(), frozenset(), 1.0)
+        assert len(cache) == 2
+
+    def test_cost_policy_keeps_expensive(self):
+        cache = BoundedCache(1, CostPolicy())
+        cache.admit(("cheap",), frozenset(), frozenset(), 0.001)
+        cache.admit(("pricey",), frozenset(), frozenset(), 10.0)
+        assert cache.lookup(("pricey",), frozenset(), frozenset()) is not None
+        assert cache.lookup(("cheap",), frozenset(), frozenset()) is None
+
+    def test_duplicate_admit_is_noop(self):
+        cache = BoundedCache(4, LRUPolicy())
+        facets = (("Scan",), frozenset(), frozenset())
+        cache.admit(*facets, cost=1.0)
+        cache.admit(*facets, cost=1.0)
+        assert len(cache) == 1
+
+
+class TestSimulation:
+    def test_bounded_never_beats_infinite(self, catalog):
+        infinite = reuse.estimate_reuse(catalog).saved_fraction
+        bounded = simulate_cache(catalog, capacity=4).saved_fraction
+        assert bounded <= infinite + 1e-9
+
+    def test_bigger_cache_saves_at_least_as_much(self, catalog):
+        small = simulate_cache(catalog, capacity=2, policy=CostFrequencyPolicy())
+        large = simulate_cache(catalog, capacity=256, policy=CostFrequencyPolicy())
+        assert large.saved_fraction >= small.saved_fraction - 1e-9
+
+    def test_small_cache_captures_most_reuse(self, catalog):
+        """The paper's claim: a small cache + good heuristic suffices."""
+        infinite = reuse.estimate_reuse(catalog).saved_fraction
+        small = simulate_cache(catalog, capacity=32).saved_fraction
+        if infinite > 0:
+            assert small >= 0.6 * infinite
+
+    def test_capacity_sweep_shape(self, catalog):
+        table = capacity_sweep(catalog, capacities=(2, 16))
+        assert set(table) == {"lru", "cost", "cost*freq"}
+        for row in table.values():
+            assert list(row) == [2, 16]
+            assert all(0.0 <= value <= 1.0 for value in row.values())

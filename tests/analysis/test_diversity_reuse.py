@@ -1,0 +1,153 @@
+"""Tests for §6.2: entropy metrics, plan templates, reuse estimation."""
+
+import pytest
+
+from repro.analysis import diversity
+from repro.analysis.reuse import estimate_reuse
+from repro.core.sqlshare import SQLShare
+from repro.workload.extract import WorkloadAnalyzer
+
+CSV = "k,v,grp\n" + "\n".join("%d,%d,%d" % (i, i * 10, i % 3) for i in range(30)) + "\n"
+
+
+@pytest.fixture
+def share():
+    platform = SQLShare()
+    platform.upload("u", "data", CSV)
+    return platform
+
+
+def analyzed(platform):
+    return WorkloadAnalyzer(platform).analyze()
+
+
+class TestStringDistinct:
+    def test_exact_duplicates_collapse(self, share):
+        share.run_query("u", "SELECT * FROM data")
+        share.run_query("u", "SELECT * FROM data")
+        catalog = analyzed(share)
+        assert diversity.string_distinct(catalog) == 1
+
+    def test_whitespace_normalized(self, share):
+        share.run_query("u", "SELECT * FROM data")
+        share.run_query("u", "SELECT   *   FROM data")
+        catalog = analyzed(share)
+        assert diversity.string_distinct(catalog) == 1
+
+    def test_different_queries_distinct(self, share):
+        share.run_query("u", "SELECT k FROM data")
+        share.run_query("u", "SELECT v FROM data")
+        assert diversity.string_distinct(analyzed(share)) == 2
+
+
+class TestColumnDistinct:
+    def test_same_columns_same_class(self, share):
+        share.run_query("u", "SELECT k FROM data WHERE v > 10")
+        share.run_query("u", "SELECT v FROM data WHERE k > 3")  # same {k,v}
+        assert diversity.column_distinct(analyzed(share)) == 1
+
+    def test_different_columns_distinct(self, share):
+        share.run_query("u", "SELECT k FROM data")
+        share.run_query("u", "SELECT grp FROM data")
+        assert diversity.column_distinct(analyzed(share)) == 2
+
+
+class TestPlanTemplates:
+    def test_constants_unified(self, share):
+        share.run_query("u", "SELECT * FROM data WHERE v > 100")
+        share.run_query("u", "SELECT * FROM data WHERE v > 200")
+        assert diversity.distinct_templates(analyzed(share)) == 1
+
+    def test_structure_distinguished(self, share):
+        share.run_query("u", "SELECT * FROM data WHERE v > 100")
+        share.run_query("u", "SELECT grp, COUNT(*) FROM data GROUP BY grp")
+        assert diversity.distinct_templates(analyzed(share)) == 2
+
+    def test_strip_constants(self):
+        assert diversity.strip_constants("income GT 500000") == "income GT ?"
+        assert diversity.strip_constants("name LIKE 'a%'") == "name LIKE ?"
+
+    def test_entropy_table_shape(self, share):
+        share.run_query("u", "SELECT * FROM data")
+        share.run_query("u", "SELECT * FROM data")
+        share.run_query("u", "SELECT k FROM data WHERE v > 5")
+        table = diversity.entropy_table(analyzed(share))
+        assert table["total_queries"] == 3
+        assert table["string_distinct"] == 2
+        assert table["string_distinct_pct"] == pytest.approx(66.67, abs=0.1)
+
+
+class TestExpressionDistribution:
+    def test_counts(self, share):
+        share.run_query("u", "SELECT v + 1 FROM data")
+        share.run_query("u", "SELECT v + 2, v * 3 FROM data")
+        ranked, distinct = diversity.expression_distribution(analyzed(share))
+        counted = dict(ranked)
+        assert counted["ADD"] == 2
+        assert counted["MULT"] == 1
+        assert distinct == 2
+
+
+class TestMozafariDistance:
+    def test_uniform_workload_low_distance(self, share):
+        for _ in range(10):
+            share.run_query("u", "SELECT k FROM data")
+        catalog = analyzed(share)
+        assert diversity.mozafari_distance(catalog.records) == pytest.approx(0.0)
+
+    def test_shifting_workload_high_distance(self, share):
+        for _ in range(5):
+            share.run_query("u", "SELECT k FROM data")
+        for _ in range(5):
+            share.run_query("u", "SELECT grp FROM data")
+        catalog = analyzed(share)
+        assert diversity.mozafari_distance(catalog.records) > 0.5
+
+    def test_per_user_filtering(self, share):
+        share.run_query("u", "SELECT k FROM data")
+        catalog = analyzed(share)
+        assert diversity.per_user_mozafari(catalog, min_queries=10) == {}
+
+
+class TestReuse:
+    def test_repeated_template_reuses(self, share):
+        share.run_query("u", "SELECT grp, AVG(v) FROM data GROUP BY grp")
+        share.run_query("u", "SELECT grp, AVG(v) FROM data GROUP BY grp ORDER BY grp")
+        estimate = estimate_reuse(analyzed(share))
+        assert estimate.saved_fraction > 0.1
+
+    def test_exact_duplicates_removed_first(self, share):
+        share.run_query("u", "SELECT * FROM data")
+        share.run_query("u", "SELECT * FROM data")
+        estimate = estimate_reuse(analyzed(share))
+        # The duplicate is dropped, so nothing is "saved" by the cache.
+        assert len(estimate.per_query_fraction) == 1
+
+    def test_unrelated_queries_no_reuse(self, share):
+        share.upload("u", "other", "a,b\n1,2\n")
+        share.run_query("u", "SELECT k FROM data WHERE v > 3")
+        share.run_query("u", "SELECT a FROM other")
+        estimate = estimate_reuse(analyzed(share))
+        assert estimate.saved_fraction == pytest.approx(0.0)
+
+    def test_subset_filter_matching(self, share):
+        # Second query adds a filter: the first (less selective) result can
+        # be reused and filtered further.
+        share.run_query("u", "SELECT k, v FROM data WHERE v > 10")
+        share.run_query("u", "SELECT k, v FROM data WHERE v > 10 AND k > 2")
+        relaxed = estimate_reuse(analyzed(share))
+        assert relaxed.saved_cost > 0
+
+    def test_exact_mode_misses_subset_matches(self, share):
+        share.run_query("u", "SELECT k, v FROM data WHERE v > 10")
+        share.run_query("u", "SELECT k, v FROM data WHERE v > 10 AND k > 2")
+        catalog = analyzed(share)
+        relaxed = estimate_reuse(catalog)
+        exact = estimate_reuse(catalog, exact_only=True)
+        assert exact.saved_cost <= relaxed.saved_cost
+
+    def test_bimodality_helper(self, share):
+        share.run_query("u", "SELECT * FROM data")
+        estimate = estimate_reuse(analyzed(share))
+        low, high = estimate.bimodality()
+        assert 0.0 <= low <= 1.0 and 0.0 <= high <= 1.0

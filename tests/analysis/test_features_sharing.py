@@ -1,0 +1,105 @@
+"""Tests for §5.2 sharing statistics and §5.3 feature usage."""
+
+import pytest
+
+from repro.analysis.features import detect_features, feature_percentages, survey_platform
+from repro.analysis.sharing import SharingSurvey
+from repro.core.sqlshare import SQLShare
+
+CSV = "k,v\n1,10\n2,20\n3,30\n"
+
+
+class TestDetectFeatures:
+    def test_sort(self):
+        assert detect_features("SELECT * FROM t ORDER BY a").sort
+
+    def test_top_k(self):
+        assert detect_features("SELECT TOP 5 * FROM t").top_k
+
+    def test_outer_join(self):
+        assert detect_features(
+            "SELECT * FROM a LEFT JOIN b ON a.k = b.k"
+        ).outer_join
+
+    def test_inner_join_is_not_outer(self):
+        assert not detect_features("SELECT * FROM a JOIN b ON a.k = b.k").outer_join
+
+    def test_window(self):
+        assert detect_features(
+            "SELECT ROW_NUMBER() OVER (ORDER BY a) FROM t"
+        ).window
+
+    def test_subquery(self):
+        assert detect_features(
+            "SELECT * FROM t WHERE k IN (SELECT k FROM u)"
+        ).subquery
+
+    def test_set_operation(self):
+        assert detect_features("SELECT a FROM t UNION SELECT a FROM u").set_operation
+
+    def test_group_by(self):
+        assert detect_features("SELECT a, COUNT(*) FROM t GROUP BY a").group_by
+
+    def test_percentages(self):
+        queries = [
+            "SELECT * FROM t ORDER BY a",
+            "SELECT * FROM t",
+            "not even sql",
+        ]
+        percentages, parsed, failed = feature_percentages(queries)
+        assert parsed == 2 and failed == 1
+        assert percentages["sort"] == pytest.approx(50.0)
+
+
+class TestSharingSurvey:
+    @pytest.fixture
+    def share(self):
+        platform = SQLShare()
+        platform.upload("a", "d1", CSV)
+        platform.upload("a", "d2", CSV)
+        platform.upload("b", "d3", CSV)
+        platform.create_dataset("a", "v1", "SELECT k FROM d1")
+        platform.make_public("a", "d2")
+        platform.share("a", "d1", "b")
+        platform.create_dataset("b", "v2", "SELECT * FROM d1")  # cross-owner view
+        platform.run_query("a", "SELECT * FROM d1")
+        platform.run_query("b", "SELECT * FROM d2")  # cross-owner query
+        platform.run_query("b", "SELECT * FROM d3")
+        return platform
+
+    def test_derived_fraction(self, share):
+        survey = SharingSurvey(share)
+        assert survey.derived_fraction() == pytest.approx(2.0 / 5.0)
+
+    def test_public_fraction(self, share):
+        assert SharingSurvey(share).public_fraction() == pytest.approx(1.0 / 5.0)
+
+    def test_shared_fraction(self, share):
+        assert SharingSurvey(share).shared_fraction() == pytest.approx(1.0 / 5.0)
+
+    def test_cross_owner_views(self, share):
+        assert SharingSurvey(share).cross_owner_view_fraction() == pytest.approx(0.5)
+
+    def test_cross_owner_queries(self, share):
+        assert SharingSurvey(share).cross_owner_query_fraction() == pytest.approx(1.0 / 3.0)
+
+    def test_summary_keys(self, share):
+        summary = SharingSurvey(share).summary()
+        assert set(summary) == {
+            "derived_pct", "public_pct", "shared_pct",
+            "cross_owner_view_pct", "cross_owner_query_pct",
+        }
+
+    def test_view_depth_histogram(self, share):
+        share.create_dataset("a", "v3", "SELECT * FROM v1")
+        share.create_dataset("a", "v4", "SELECT * FROM v3")
+        share.create_dataset("a", "v5", "SELECT * FROM v4")
+        histogram = SharingSurvey(share).view_depth_histogram()
+        assert histogram["4-6"] == 1  # user a reaches depth 4
+        assert histogram["1-3"] == 1  # user b tops out at depth 1
+
+    def test_platform_feature_survey(self, share):
+        share.run_query("a", "SELECT * FROM d1 ORDER BY k")
+        percentages, parsed, _failed = survey_platform(share)
+        assert parsed == 4
+        assert percentages["sort"] == pytest.approx(25.0)

@@ -1,0 +1,98 @@
+"""Schematization idiom detection tests (§5.1)."""
+
+import pytest
+
+from repro.analysis.idioms import CorpusIdiomSurvey, detect_idioms
+from repro.core.sqlshare import SQLShare
+
+
+class TestDetectIdioms:
+    def test_null_injection_via_case(self):
+        report = detect_idioms(
+            "SELECT CASE WHEN v = -999 THEN NULL ELSE v END AS v FROM t"
+        )
+        assert report.null_injection
+
+    def test_null_injection_without_else(self):
+        report = detect_idioms("SELECT CASE WHEN flag = 'ok' THEN v END AS v FROM t")
+        assert report.null_injection
+
+    def test_case_without_null_not_flagged(self):
+        report = detect_idioms(
+            "SELECT CASE WHEN v > 0 THEN 'pos' ELSE 'neg' END FROM t"
+        )
+        assert not report.null_injection
+
+    def test_cast(self):
+        assert detect_idioms("SELECT CAST(v AS float) AS v FROM t").cast
+
+    def test_convert_counts_as_cast(self):
+        assert detect_idioms("SELECT CONVERT(int, v) FROM t").cast
+
+    def test_union_recomposition(self):
+        report = detect_idioms("SELECT * FROM part1 UNION ALL SELECT * FROM part2")
+        assert report.union
+
+    def test_intersect_not_union(self):
+        report = detect_idioms("SELECT a FROM t INTERSECT SELECT a FROM u")
+        assert not report.union
+
+    def test_column_renaming(self):
+        report = detect_idioms("SELECT column1 AS site, column2 AS temp FROM t")
+        assert report.renaming
+        assert report.renamed_columns == 2
+
+    def test_same_name_alias_not_renaming(self):
+        assert not detect_idioms("SELECT v AS v FROM t").renaming
+
+    def test_expression_alias_not_renaming(self):
+        assert not detect_idioms("SELECT v * 2 AS doubled FROM t").renaming
+
+    def test_combined_idioms(self):
+        report = detect_idioms(
+            "SELECT column1 AS day, CAST(column2 AS float) AS v, "
+            "CASE WHEN column3 = 'ND' THEN NULL ELSE column3 END AS flag FROM t "
+            "UNION ALL SELECT column1, CAST(column2 AS float), column3 FROM u"
+        )
+        assert report.null_injection and report.cast and report.union and report.renaming
+        assert report.any()
+
+
+class TestCorpusSurvey:
+    @pytest.fixture
+    def share(self):
+        platform = SQLShare()
+        platform.upload("u", "raw", "1,2\n3,4\n")  # headerless: column1/column2
+        platform.create_dataset("u", "named", "SELECT column1 AS k, column2 AS v FROM raw")
+        platform.create_dataset(
+            "u", "typed", "SELECT k, CAST(v AS float) AS v FROM named"
+        )
+        platform.create_dataset(
+            "u", "cleaned",
+            "SELECT k, CASE WHEN v = 4.0 THEN NULL ELSE v END AS v FROM typed",
+        )
+        platform.upload("u", "raw2", "5,6\n")
+        platform.create_dataset(
+            "u", "combined", "SELECT * FROM raw UNION ALL SELECT * FROM raw2"
+        )
+        return platform
+
+    def test_survey_counts(self, share):
+        survey = CorpusIdiomSurvey(share)
+        summary = survey.summary()
+        assert summary["derived_datasets"] == 4
+        assert summary["null_injection"] == 1
+        assert summary["cast"] == 1
+        assert summary["union_recomposition"] == 1
+        assert summary["renaming"] == 1
+
+    def test_default_name_stats(self, share):
+        survey = CorpusIdiomSurvey(share)
+        some, every, total = survey.default_column_name_stats()
+        assert total == 2
+        assert some == 2 and every == 2
+
+    def test_wrappers_excluded(self, share):
+        survey = CorpusIdiomSurvey(share)
+        # The wrapper views are trivial SELECT *; none appear in idiom lists.
+        assert "raw" not in survey.cast_datasets

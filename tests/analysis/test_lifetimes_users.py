@@ -1,0 +1,122 @@
+"""Tests for §6.3 dataset permanence and §6.4 user classification."""
+
+import datetime as dt
+
+import pytest
+
+from repro.analysis import lifetimes, users
+from repro.core.sqlshare import SQLShare
+
+CSV = "k,v\n1,10\n2,20\n"
+
+
+def ts(day, hour=12):
+    return dt.datetime(2013, 1, day, hour)
+
+
+@pytest.fixture
+def share():
+    platform = SQLShare(start_time=dt.datetime(2013, 1, 1))
+    platform.upload("a", "d1", CSV, timestamp=ts(1))
+    platform.upload("a", "d2", CSV, timestamp=ts(1))
+    platform.upload("b", "d3", CSV, timestamp=ts(2))
+    return platform
+
+
+class TestQueriesPerTable:
+    def test_histogram(self, share):
+        share.run_query("a", "SELECT * FROM d1", timestamp=ts(3))
+        share.run_query("a", "SELECT k FROM d1", timestamp=ts(4))
+        share.run_query("a", "SELECT * FROM d2", timestamp=ts(3))
+        buckets = lifetimes.queries_per_table(share)
+        assert buckets["1"] == 1  # d2
+        assert buckets["2"] == 1  # d1
+        assert buckets[">=5"] == 0
+
+    def test_heavily_used_dataset(self, share):
+        for day in range(1, 8):
+            share.run_query("a", "SELECT * FROM d1", timestamp=ts(day + 2))
+        buckets = lifetimes.queries_per_table(share)
+        assert buckets[">=5"] == 1
+
+
+class TestLifetimes:
+    def test_lifetime_days(self, share):
+        share.run_query("a", "SELECT * FROM d1", timestamp=ts(1, 13))
+        share.run_query("a", "SELECT * FROM d1", timestamp=ts(11, 13))
+        lifetime = lifetimes.dataset_lifetimes(share, owner="a")["d1"]
+        assert lifetime == pytest.approx(10.0, abs=0.1)
+
+    def test_unaccessed_dataset_has_zero_lifetime(self, share):
+        assert lifetimes.dataset_lifetimes(share, owner="b")["d3"] == 0.0
+
+    def test_owner_filter(self, share):
+        assert "d3" not in lifetimes.dataset_lifetimes(share, owner="a")
+
+    def test_median(self, share):
+        share.run_query("a", "SELECT * FROM d1", timestamp=ts(11))
+        median = lifetimes.median_lifetime_days(share)
+        assert median >= 0.0
+
+    def test_lifetime_curves_sorted_descending(self, share):
+        share.run_query("a", "SELECT * FROM d1", timestamp=ts(20))
+        share.run_query("a", "SELECT * FROM d2", timestamp=ts(2))
+        curves = lifetimes.lifetime_curves(share)
+        assert curves["a"] == sorted(curves["a"], reverse=True)
+
+    def test_most_active_users(self, share):
+        for _ in range(3):
+            share.run_query("b", "SELECT * FROM d3")
+        share.run_query("a", "SELECT * FROM d1")
+        assert lifetimes.most_active_users(share, 2) == ["b", "a"]
+
+
+class TestCoverage:
+    def test_coverage_curve_reaches_100(self, share):
+        share.run_query("a", "SELECT * FROM d1", timestamp=ts(3))
+        share.run_query("a", "SELECT * FROM d2", timestamp=ts(4))
+        curve = lifetimes.table_coverage_curve(share, "a")
+        assert curve[-1] == (100.0, 100.0)
+
+    def test_conventional_user_covers_early(self, share):
+        share.run_query("a", "SELECT * FROM d1 JOIN d2 ON d1.k = d2.k", timestamp=ts(3))
+        for day in range(4, 10):
+            share.run_query("a", "SELECT * FROM d1", timestamp=ts(day))
+        curve = lifetimes.table_coverage_curve(share, "a")
+        # First query already touches 100% of tables used.
+        assert curve[0][1] == pytest.approx(100.0)
+
+    def test_ad_hoc_user_slope_one(self, share):
+        share.run_query("a", "SELECT * FROM d1", timestamp=ts(3))
+        share.run_query("a", "SELECT * FROM d2", timestamp=ts(4))
+        curve = lifetimes.table_coverage_curve(share, "a")
+        assert lifetimes.coverage_slope(curve) == pytest.approx(1.0)
+
+    def test_empty_curve_for_unknown_user(self, share):
+        assert lifetimes.table_coverage_curve(share, "zz") == []
+
+
+class TestUserClassification:
+    def test_one_shot(self):
+        assert users.classify(1, 10) == users.ONE_SHOT
+
+    def test_analytical(self):
+        assert users.classify(10, 200) == users.ANALYTICAL
+
+    def test_exploratory(self):
+        assert users.classify(40, 60) == users.EXPLORATORY
+
+    def test_user_points(self, share):
+        share.run_query("a", "SELECT * FROM d1")
+        points = {point.user: point for point in users.user_points(share)}
+        assert points["a"].datasets == 2
+        assert points["a"].queries == 1
+        assert points["b"].datasets == 1
+
+    def test_category_counts(self, share):
+        counts = users.category_counts(users.user_points(share))
+        assert sum(counts.values()) == 2
+
+    def test_scatter_rows(self, share):
+        rows = users.scatter_rows(users.user_points(share))
+        assert all(len(row) == 3 for row in rows)

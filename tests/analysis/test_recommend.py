@@ -1,0 +1,102 @@
+"""Query recommendation tests (SnipSuggest-style snippet model)."""
+
+import pytest
+
+from repro.analysis.recommend import QueryRecommender, extract_snippets
+
+CORPUS = [
+    "SELECT station, temp FROM casts WHERE temp > 10 ORDER BY station",
+    "SELECT station, AVG(temp) FROM casts GROUP BY station",
+    "SELECT station, AVG(nitrate) FROM casts WHERE nitrate IS NOT NULL GROUP BY station",
+    "SELECT c.station, b.label FROM casts c JOIN bottles b ON c.station = b.station",
+    "SELECT station FROM casts WHERE temp > 12 AND nitrate IS NOT NULL",
+    "SELECT depth, temp FROM casts WHERE depth < 100 ORDER BY depth",
+    "not even sql at all",
+]
+
+
+@pytest.fixture(scope="module")
+def recommender():
+    return QueryRecommender(CORPUS)
+
+
+class TestExtractSnippets:
+    def test_tables_and_columns(self):
+        snippets = extract_snippets("SELECT a, b FROM t WHERE a > 5")
+        assert snippets.tables == {"t"}
+        assert snippets.columns == {"a", "b"}
+
+    def test_predicate_template_strips_constants(self):
+        snippets = extract_snippets("SELECT a FROM t WHERE a > 5")
+        assert snippets.predicates == {"a > ?"}
+
+    def test_conjuncts_split(self):
+        snippets = extract_snippets("SELECT a FROM t WHERE a > 5 AND b IS NULL")
+        assert "a > ?" in snippets.predicates
+        assert "b IS NULL" in snippets.predicates
+
+    def test_join_snippet(self):
+        snippets = extract_snippets(
+            "SELECT * FROM x JOIN y ON x.k = y.k"
+        )
+        assert snippets.joins == {"x JOIN y"}
+
+    def test_group_and_order(self):
+        snippets = extract_snippets(
+            "SELECT g, COUNT(*) FROM t GROUP BY g ORDER BY g"
+        )
+        assert snippets.group_by == {"g"}
+        assert snippets.order_by == {"g"}
+        assert "count" in snippets.functions
+
+
+class TestRecommender:
+    def test_parses_most_of_corpus(self, recommender):
+        assert recommender.parsed == 6
+        assert recommender.failed == 1
+
+    def test_global_popularity_without_context(self, recommender):
+        top = recommender.recommend("", kind="table", k=2)
+        assert top[0][1] == "casts"
+
+    def test_predicates_conditioned_on_table(self, recommender):
+        suggestions = recommender.recommend(
+            "SELECT station FROM casts", kind="predicate", k=3
+        )
+        templates = [text for _kind, text, _score in suggestions]
+        assert "temp > ?" in templates
+        assert "nitrate IS NOT NULL" in templates
+
+    def test_join_suggested_for_casts(self, recommender):
+        suggestions = recommender.recommend(
+            "SELECT station FROM casts", kind="join", k=2
+        )
+        assert any("bottles" in text for _k, text, _s in suggestions)
+
+    def test_present_snippets_not_recommended(self, recommender):
+        suggestions = recommender.recommend(
+            "SELECT station FROM casts", kind="column", k=10
+        )
+        assert all(text != "station" for _k, text, _s in suggestions)
+
+    def test_scores_descend(self, recommender):
+        suggestions = recommender.recommend("SELECT station FROM casts", k=8)
+        scores = [score for _k, _t, score in suggestions]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_similar_queries(self, recommender):
+        similar = recommender.similar_queries(
+            "SELECT station, AVG(temp) FROM casts GROUP BY station"
+        )
+        assert similar
+        best_score, best_sql = similar[0]
+        assert best_score > 0.3
+        assert "GROUP BY" in best_sql
+
+    def test_similar_excludes_self(self, recommender):
+        sql = CORPUS[0]
+        assert all(text != sql for _score, text in recommender.similar_queries(sql))
+
+    def test_unparseable_partial_falls_back(self, recommender):
+        suggestions = recommender.recommend("SELEC broken", kind="table", k=1)
+        assert suggestions[0][1] == "casts"

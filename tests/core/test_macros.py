@@ -1,0 +1,135 @@
+"""Parameterized query macro tests (§5.2 footnote 4)."""
+
+import pytest
+
+from repro.core.sqlshare import SQLShare
+from repro.errors import DatasetError, PermissionError_, SQLError
+
+CSV_A = "station,v\nP1,10\nP4,20\n"
+CSV_B = "station,v\nP1,5\nP8,7\n"
+
+
+@pytest.fixture
+def share():
+    platform = SQLShare()
+    platform.upload("ana", "june", CSV_A)
+    platform.upload("ana", "july", CSV_B)
+    return platform
+
+
+@pytest.fixture
+def with_macro(share):
+    share.macros.define(
+        "ana", "station_means",
+        "SELECT station, AVG(v) AS mean_v FROM $source GROUP BY station",
+        description="per-station means of any upload",
+    )
+    return share
+
+
+class TestDefinition:
+    def test_parameters_discovered(self, with_macro):
+        macro = with_macro.macros.get("station_means")
+        assert macro.parameters == ["source"]
+
+    def test_macro_without_params_rejected(self, share):
+        with pytest.raises(SQLError):
+            share.macros.define("ana", "bad", "SELECT 1")
+
+    def test_duplicate_name_rejected(self, with_macro):
+        with pytest.raises(DatasetError):
+            with_macro.macros.define("ana", "station_means", "SELECT $x")
+
+    def test_multiple_parameters_ordered(self, share):
+        macro = share.macros.define(
+            "ana", "filtered", "SELECT * FROM $source WHERE v > $low AND v < $high"
+        )
+        assert macro.parameters == ["source", "low", "high"]
+
+
+class TestInstantiation:
+    def test_table_parameter_in_from(self, with_macro):
+        """The whole point: parameters in the FROM clause."""
+        result = with_macro.macros.run("ana", "station_means", {"source": "june"})
+        assert dict(result.rows)["P1"] == 10.0
+        result = with_macro.macros.run("ana", "station_means", {"source": "july"})
+        assert dict(result.rows)["P8"] == 7.0
+
+    def test_numeric_literal_argument(self, share):
+        share.macros.define("ana", "above", "SELECT COUNT(*) FROM $source WHERE v > $cut")
+        result = share.macros.run("ana", "above", {"source": "june", "cut": 15})
+        assert result.rows == [(1,)]
+
+    def test_string_literal_argument(self, share):
+        share.macros.define(
+            "ana", "one_station", "SELECT v FROM $source WHERE station = $which"
+        )
+        result = share.macros.run(
+            "ana", "one_station", {"source": "june", "which": "P4 "}
+        )
+        # 'P4 ' has a trailing space: substituted as a literal, not a name.
+        assert result.rows == []
+
+    def test_missing_argument_rejected(self, with_macro):
+        with pytest.raises(SQLError):
+            with_macro.macros.run("ana", "station_means", {})
+
+    def test_unknown_argument_rejected(self, with_macro):
+        with pytest.raises(SQLError):
+            with_macro.macros.run(
+                "ana", "station_means", {"source": "june", "bogus": 1}
+            )
+
+    def test_injection_quoted(self, share):
+        share.macros.define("ana", "find", "SELECT v FROM june WHERE station = $s")
+        result = share.macros.run("ana", "find", {"s": "x' OR '1'='1"})
+        assert result.rows == []  # the payload stays inside the literal
+
+    def test_instantiated_query_logged(self, with_macro):
+        before = len(with_macro.log)
+        with_macro.macros.run("ana", "station_means", {"source": "june"})
+        assert len(with_macro.log) == before + 1
+
+
+class TestVisibilityAndPermissions:
+    def test_private_macro_hidden(self, with_macro):
+        with pytest.raises(PermissionError_):
+            with_macro.macros.run("bob", "station_means", {"source": "june"})
+
+    def test_public_macro_still_checks_data_access(self, with_macro):
+        with_macro.macros.make_public("ana", "station_means")
+        # Bob may run the macro, but not against Ana's private data.
+        with pytest.raises(PermissionError_):
+            with_macro.macros.run("bob", "station_means", {"source": "june"})
+        with_macro.make_public("ana", "june")
+        result = with_macro.macros.run("bob", "station_means", {"source": "june"})
+        assert result.rows
+
+    def test_visible_to(self, with_macro):
+        assert with_macro.macros.visible_to("ana") == ["station_means"]
+        assert with_macro.macros.visible_to("bob") == []
+        with_macro.macros.make_public("ana", "station_means")
+        assert with_macro.macros.visible_to("bob") == ["station_means"]
+
+    def test_only_owner_publishes(self, with_macro):
+        with pytest.raises(PermissionError_):
+            with_macro.macros.make_public("bob", "station_means")
+
+
+class TestSaveAsDataset:
+    def test_macro_result_becomes_view(self, with_macro):
+        dataset = with_macro.macros.save_as_dataset(
+            "ana", "station_means", {"source": "june"}, "june_means"
+        )
+        assert dataset.is_derived
+        result = with_macro.run_query("ana", "SELECT COUNT(*) FROM june_means")
+        assert result.rows == [(2,)]
+
+    def test_template_reuse_across_uploads(self, with_macro):
+        """The workflow the paper wanted to replace copy-paste with."""
+        for source in ("june", "july"):
+            with_macro.macros.save_as_dataset(
+                "ana", "station_means", {"source": source}, "%s_means" % source
+            )
+        assert with_macro.has_dataset("june_means")
+        assert with_macro.has_dataset("july_means")

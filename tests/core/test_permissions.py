@@ -1,0 +1,125 @@
+"""Ownership-chain permission tests — the §3.2 semantics, including the
+paper's worked A/B/C example."""
+
+import pytest
+
+from repro.core.sqlshare import SQLShare
+from repro.errors import PermissionError_
+
+CSV = "k,v\n1,10\n2,20\n"
+
+
+@pytest.fixture
+def share():
+    platform = SQLShare()
+    platform.upload("a", "t", CSV)
+    return platform
+
+
+class TestDirectAccess:
+    def test_private_by_default(self, share):
+        assert share.visibility("t") == "private"
+        with pytest.raises(PermissionError_):
+            share.run_query("b", "SELECT * FROM t")
+
+    def test_owner_always_allowed(self, share):
+        assert share.run_query("a", "SELECT * FROM t").rows
+
+    def test_public_dataset(self, share):
+        share.make_public("a", "t")
+        assert share.run_query("b", "SELECT * FROM t").rows
+
+    def test_share_with_specific_user(self, share):
+        share.share("a", "t", "b")
+        assert share.run_query("b", "SELECT * FROM t").rows
+        with pytest.raises(PermissionError_):
+            share.run_query("c", "SELECT * FROM t")
+
+    def test_unshare(self, share):
+        share.share("a", "t", "b")
+        share.unshare("a", "t", "b")
+        with pytest.raises(PermissionError_):
+            share.run_query("b", "SELECT * FROM t")
+
+    def test_make_private_clears_grants(self, share):
+        share.share("a", "t", "b")
+        share.make_private("a", "t")
+        with pytest.raises(PermissionError_):
+            share.run_query("b", "SELECT * FROM t")
+
+    def test_only_owner_changes_permissions(self, share):
+        with pytest.raises(PermissionError_):
+            share.make_public("b", "t")
+
+    def test_visibility_labels(self, share):
+        assert share.visibility("t") == "private"
+        share.share("a", "t", "b")
+        assert share.visibility("t") == "shared"
+        share.make_public("a", "t")
+        assert share.visibility("t") == "public"
+
+
+class TestOwnershipChains:
+    """The paper's example: A owns T, shares V1(T) with B; B creates
+    V2(V1) and shares with C; C's access breaks because V2 -> V1 crosses
+    owners."""
+
+    def test_shared_view_over_private_table(self, share):
+        share.create_dataset("a", "v1", "SELECT k FROM t")
+        share.share("a", "v1", "b")
+        # B can query V1 even though T is private: the chain V1->T is
+        # unbroken (both owned by A).
+        assert share.run_query("b", "SELECT * FROM v1").rows
+
+    def test_broken_chain_denied(self, share):
+        share.create_dataset("a", "v1", "SELECT k FROM t")
+        share.share("a", "v1", "b")
+        share.create_dataset("b", "v2", "SELECT * FROM v1")
+        share.share("b", "v2", "c")
+        # C has access to V2, but V2 -> V1 crosses from owner B to owner A
+        # and C holds no grant on V1: broken chain.
+        with pytest.raises(PermissionError_):
+            share.run_query("c", "SELECT * FROM v2")
+
+    def test_broken_chain_repaired_by_direct_grant(self, share):
+        share.create_dataset("a", "v1", "SELECT k FROM t")
+        share.share("a", "v1", "b")
+        share.create_dataset("b", "v2", "SELECT * FROM v1")
+        share.share("b", "v2", "c")
+        share.share("a", "v1", "c")  # direct grant on the crossing point
+        assert share.run_query("c", "SELECT * FROM v2").rows
+
+    def test_b_can_still_use_own_view(self, share):
+        share.create_dataset("a", "v1", "SELECT k FROM t")
+        share.share("a", "v1", "b")
+        share.create_dataset("b", "v2", "SELECT * FROM v1")
+        assert share.run_query("b", "SELECT * FROM v2").rows
+
+    def test_public_view_over_private_data(self, share):
+        """The data-publishing pattern: publish a protected projection."""
+        share.create_dataset("a", "pub", "SELECT k FROM t")
+        share.make_public("a", "pub")
+        assert share.run_query("anyone", "SELECT * FROM pub").rows
+        with pytest.raises(PermissionError_):
+            share.run_query("anyone", "SELECT * FROM t")
+
+    def test_deep_unbroken_chain(self, share):
+        share.create_dataset("a", "l1", "SELECT * FROM t")
+        share.create_dataset("a", "l2", "SELECT * FROM l1")
+        share.create_dataset("a", "l3", "SELECT * FROM l2")
+        share.share("a", "l3", "b")
+        assert share.run_query("b", "SELECT * FROM l3").rows
+
+    def test_preview_respects_permissions(self, share):
+        with pytest.raises(PermissionError_):
+            share.preview("b", "t")
+
+    def test_cross_owner_query_composition(self, share):
+        """Over 10% of logged queries access datasets the author does not
+        own (§5.2): verify a user can join their data with a shared one."""
+        share.make_public("a", "t")
+        share.upload("b", "mine", "k,w\n1,100\n")
+        result = share.run_query(
+            "b", "SELECT m.w, t.v FROM mine m JOIN t ON m.k = t.k"
+        )
+        assert result.rows == [(100, 10)]

@@ -1,0 +1,260 @@
+"""SQLShare platform tests: upload, datasets, views, append, materialize."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.sqlshare import SQLShare
+from repro.errors import DatasetError, PermissionError_, QuotaError
+
+CSV = "site,temp\nA,10.5\nB,11.0\nC,12.5\n"
+
+
+@pytest.fixture
+def share():
+    return SQLShare()
+
+
+@pytest.fixture
+def loaded(share):
+    share.upload("alice", "obs", CSV)
+    return share
+
+
+class TestUpload:
+    def test_upload_creates_dataset(self, loaded):
+        dataset = loaded.dataset("obs")
+        assert dataset.owner == "alice"
+        assert dataset.is_wrapper
+
+    def test_wrapper_view_is_trivial_select(self, loaded):
+        assert loaded.dataset("obs").sql.startswith("SELECT * FROM t_")
+
+    def test_uploaded_data_queryable(self, loaded):
+        result = loaded.run_query("alice", "SELECT site FROM obs WHERE temp > 11.5")
+        assert result.rows == [("C",)]
+
+    def test_preview_cached(self, loaded):
+        columns, rows = loaded.preview("alice", "obs")
+        assert columns == ["site", "temp"]
+        assert len(rows) == 3
+
+    def test_duplicate_name_rejected(self, loaded):
+        with pytest.raises(DatasetError):
+            loaded.upload("alice", "obs", CSV)
+
+    def test_invalid_name_rejected(self, share):
+        with pytest.raises(DatasetError):
+            share.upload("alice", "1bad;name", CSV)
+
+    def test_ingest_report_recorded(self, loaded):
+        report = loaded.ingest_reports["obs"]
+        assert report.row_count == 3
+
+    def test_staging_cleared_after_success(self, loaded):
+        assert len(loaded.staging) == 0
+
+    def test_failed_ingest_stays_staged_and_refunds(self, share):
+        with pytest.raises(Exception):
+            share.upload("alice", "bad", "   \n  ")
+        assert len(share.staging) == 1
+        assert share.quotas.usage("alice") == 0
+
+    def test_quota_enforced(self, share):
+        share.quotas.set_limit("alice", 10)
+        with pytest.raises(QuotaError):
+            share.upload("alice", "obs", CSV)
+
+    def test_internal_table_hidden_from_users(self, loaded):
+        base = loaded.dataset("obs").base_table
+        with pytest.raises(PermissionError_):
+            loaded.run_query("alice", "SELECT * FROM %s" % base)
+
+
+class TestDerivedDatasets:
+    def test_create_dataset_from_query(self, loaded):
+        dataset = loaded.create_dataset(
+            "alice", "warm", "SELECT * FROM obs WHERE temp > 11.0"
+        )
+        assert dataset.is_derived
+        assert dataset.derived_from == ["obs"]
+
+    def test_derived_dataset_queryable(self, loaded):
+        loaded.create_dataset("alice", "warm", "SELECT * FROM obs WHERE temp > 11.0")
+        result = loaded.run_query("alice", "SELECT COUNT(*) FROM warm")
+        assert result.rows == [(1,)]  # only C (12.5) is strictly above 11.0
+
+    def test_view_chain(self, loaded):
+        loaded.create_dataset("alice", "warm", "SELECT * FROM obs WHERE temp > 11.0")
+        loaded.create_dataset("alice", "warm_sites", "SELECT site FROM warm")
+        assert loaded.views.depth("warm_sites") == 2
+        assert loaded.views.depth("warm") == 1
+        assert loaded.views.depth("obs") == 0
+
+    def test_provenance(self, loaded):
+        loaded.create_dataset("alice", "warm", "SELECT * FROM obs WHERE temp > 11.0")
+        loaded.create_dataset("alice", "warm_sites", "SELECT site FROM warm")
+        assert loaded.views.provenance("warm_sites") == ["warm", "obs"]
+
+    def test_dependents(self, loaded):
+        loaded.create_dataset("alice", "warm", "SELECT * FROM obs WHERE temp > 11.0")
+        assert loaded.views.dependents("obs") == ["warm"]
+
+    def test_ddl_rejected(self, loaded):
+        with pytest.raises(PermissionError_):
+            loaded.run_query("alice", "DROP TABLE obs")
+
+    def test_create_view_requires_access(self, loaded):
+        with pytest.raises(PermissionError_):
+            loaded.create_dataset("bob", "steal", "SELECT * FROM obs")
+
+    def test_cleaning_pipeline_idiom(self, loaded):
+        """The paper's environmental-sensing pipeline: rename, clean, bin."""
+        loaded.create_dataset(
+            "alice", "renamed", "SELECT site AS station, temp AS celsius FROM obs"
+        )
+        loaded.create_dataset(
+            "alice", "cleaned",
+            "SELECT station, CASE WHEN celsius > 12.0 THEN NULL ELSE celsius END AS celsius "
+            "FROM renamed",
+        )
+        result = loaded.run_query("alice", "SELECT COUNT(celsius) FROM cleaned")
+        assert result.rows == [(2,)]
+
+
+class TestAppend:
+    def test_append_extends_dataset(self, loaded):
+        loaded.append("alice", "obs", "site,temp\nD,13.0\n")
+        result = loaded.run_query("alice", "SELECT COUNT(*) FROM obs")
+        assert result.rows == [(4,)]
+
+    def test_downstream_views_see_appended_rows(self, loaded):
+        loaded.create_dataset("alice", "warm", "SELECT * FROM obs WHERE temp > 11.0")
+        loaded.append("alice", "obs", "site,temp\nD,13.0\n")
+        result = loaded.run_query("alice", "SELECT COUNT(*) FROM warm")
+        assert result.rows == [(2,)]  # C plus the appended D
+
+    def test_append_requires_owner(self, loaded):
+        with pytest.raises(PermissionError_):
+            loaded.append("bob", "obs", "site,temp\nD,13.0\n")
+
+    def test_incompatible_append_rejected(self, loaded):
+        with pytest.raises(DatasetError):
+            loaded.append("alice", "obs", "a,b,c\n1,2,3\n")
+
+    def test_mismatched_names_rejected(self, loaded):
+        with pytest.raises(DatasetError):
+            loaded.append("alice", "obs", "station,temp\nD,13.0\n")
+
+    def test_double_append(self, loaded):
+        loaded.append("alice", "obs", "site,temp\nD,13.0\n")
+        loaded.append("alice", "obs", "site,temp\nE,14.0\n")
+        result = loaded.run_query("alice", "SELECT COUNT(*) FROM obs")
+        assert result.rows == [(5,)]
+
+
+class TestMaterialize:
+    def test_snapshot_is_frozen(self, loaded):
+        loaded.materialize("alice", "obs_snap", "obs")
+        loaded.append("alice", "obs", "site,temp\nD,13.0\n")
+        live = loaded.run_query("alice", "SELECT COUNT(*) FROM obs").rows[0][0]
+        frozen = loaded.run_query("alice", "SELECT COUNT(*) FROM obs_snap").rows[0][0]
+        assert (live, frozen) == (4, 3)
+
+    def test_snapshot_kind(self, loaded):
+        dataset = loaded.materialize("alice", "snap", "obs")
+        assert dataset.kind == "snapshot"
+
+    def test_materialize_needs_access(self, loaded):
+        with pytest.raises(PermissionError_):
+            loaded.materialize("bob", "snap", "obs")
+
+
+class TestDelete:
+    def test_delete_removes_dataset(self, loaded):
+        loaded.delete_dataset("alice", "obs")
+        assert not loaded.has_dataset("obs")
+
+    def test_delete_requires_owner(self, loaded):
+        with pytest.raises(PermissionError_):
+            loaded.delete_dataset("bob", "obs")
+
+    def test_dependents_break_after_delete(self, loaded):
+        loaded.create_dataset("alice", "warm", "SELECT * FROM obs WHERE temp > 11.0")
+        loaded.delete_dataset("alice", "obs")
+        with pytest.raises(Exception):
+            loaded.run_query("alice", "SELECT * FROM warm")
+
+    def test_name_reusable_after_delete(self, loaded):
+        loaded.delete_dataset("alice", "obs")
+        loaded.upload("alice", "obs", CSV)
+        assert loaded.has_dataset("obs")
+
+
+class TestQueryLog:
+    def test_queries_logged(self, loaded):
+        loaded.run_query("alice", "SELECT * FROM obs")
+        assert len(loaded.log) >= 1
+        entry = loaded.log.entries[-1]
+        assert entry.owner == "alice"
+        assert "obs" in entry.datasets
+
+    def test_log_has_runtime_and_rows(self, loaded):
+        loaded.run_query("alice", "SELECT * FROM obs")
+        entry = loaded.log.entries[-1]
+        assert entry.runtime > 0
+        assert entry.row_count == 3
+
+    def test_timestamps_monotonic(self, loaded):
+        loaded.run_query("alice", "SELECT * FROM obs")
+        loaded.run_query("alice", "SELECT site FROM obs")
+        first, second = loaded.log.entries[-2:]
+        assert second.timestamp > first.timestamp
+
+    def test_explicit_timestamp(self, loaded):
+        moment = dt.datetime(2013, 5, 1, 12, 0, 0)
+        loaded.run_query("alice", "SELECT * FROM obs", timestamp=moment)
+        assert loaded.log.entries[-1].timestamp == moment
+
+    def test_errors_not_logged_by_default(self, loaded):
+        before = len(loaded.log)
+        with pytest.raises(Exception):
+            loaded.run_query("alice", "SELECT nope FROM obs")
+        assert len(loaded.log) == before
+
+    def test_errors_logged_on_request(self, loaded):
+        with pytest.raises(Exception):
+            loaded.run_query("alice", "SELECT nope FROM obs", log_errors=True)
+        assert loaded.log.entries[-1].error is not None
+
+    def test_download_logged_as_rest(self, loaded):
+        loaded.download("alice", "obs")
+        assert loaded.log.entries[-1].source == "rest"
+
+
+class TestMetadata:
+    def test_description_and_tags(self, loaded):
+        loaded.set_description("alice", "obs", "sensor observations")
+        loaded.add_tags("alice", "obs", ["sensors", "oceanography"])
+        dataset = loaded.dataset("obs")
+        assert dataset.metadata.description == "sensor observations"
+        assert "sensors" in dataset.metadata.tags
+
+    def test_find_by_tag(self, loaded):
+        loaded.add_tags("alice", "obs", ["ocean"])
+        assert [d.name for d in loaded.find_by_tag("ocean")] == ["obs"]
+
+    def test_doi_minting_idempotent(self, loaded):
+        first = loaded.mint_doi("alice", "obs")
+        second = loaded.mint_doi("alice", "obs")
+        assert first == second
+        assert first.startswith("10.5072/")
+
+    def test_summary_counts(self, loaded):
+        loaded.create_dataset("alice", "warm", "SELECT * FROM obs WHERE temp > 11.0")
+        loaded.run_query("alice", "SELECT * FROM warm")
+        summary = loaded.summary()
+        assert summary["datasets"] == 2
+        assert summary["derived_views"] == 1
+        assert summary["queries"] == 1
+        assert summary["users"] == 1

@@ -1,0 +1,126 @@
+"""Direct unit tests for aggregate accumulators."""
+
+import pytest
+
+from repro.engine import aggregates as agg
+from repro.engine.types import SQLType
+from repro.errors import BindError
+
+
+class TestCount:
+    def test_count_star_counts_everything(self):
+        acc = agg.make_accumulator("count", star=True)
+        for value in (1, None, "x"):
+            acc.add(value)
+        assert acc.result() == 3
+
+    def test_count_column_skips_null(self):
+        acc = agg.make_accumulator("count")
+        for value in (1, None, 2):
+            acc.add(value)
+        assert acc.result() == 2
+
+    def test_count_distinct(self):
+        acc = agg.make_accumulator("count", distinct=True)
+        for value in (1, 1, 2, None, 2):
+            acc.add(value)
+        assert acc.result() == 2
+
+    def test_empty_count_is_zero(self):
+        assert agg.make_accumulator("count").result() == 0
+
+
+class TestSumAvg:
+    def test_sum(self):
+        acc = agg.make_accumulator("sum")
+        for value in (1, 2, 3):
+            acc.add(value)
+        assert acc.result() == 6
+
+    def test_sum_empty_is_null(self):
+        assert agg.make_accumulator("sum").result() is None
+
+    def test_sum_distinct(self):
+        acc = agg.make_accumulator("sum", distinct=True)
+        for value in (5, 5, 3):
+            acc.add(value)
+        assert acc.result() == 8
+
+    def test_avg(self):
+        acc = agg.make_accumulator("avg")
+        for value in (1, 2, 3, None):
+            acc.add(value)
+        assert acc.result() == 2.0
+
+    def test_avg_empty_is_null(self):
+        assert agg.make_accumulator("avg").result() is None
+
+
+class TestMinMax:
+    def test_min_max_numbers(self):
+        lo = agg.make_accumulator("min")
+        hi = agg.make_accumulator("max")
+        for value in (5, 1, None, 9):
+            lo.add(value)
+            hi.add(value)
+        assert lo.result() == 1
+        assert hi.result() == 9
+
+    def test_min_max_strings(self):
+        lo = agg.make_accumulator("min")
+        hi = agg.make_accumulator("max")
+        for value in ("pear", "apple", "zebra"):
+            lo.add(value)
+            hi.add(value)
+        assert lo.result() == "apple"
+        assert hi.result() == "zebra"
+
+    def test_all_null_is_null(self):
+        acc = agg.make_accumulator("min")
+        acc.add(None)
+        assert acc.result() is None
+
+
+class TestVariance:
+    def test_stdev_two_values(self):
+        acc = agg.make_accumulator("stdev")
+        for value in (1.0, 3.0):
+            acc.add(value)
+        assert acc.result() == pytest.approx(2.0 ** 0.5, rel=1e-9)
+
+    def test_stdev_single_value_is_null(self):
+        acc = agg.make_accumulator("stdev")
+        acc.add(5.0)
+        assert acc.result() is None
+
+    def test_stdevp_single_value_is_zero(self):
+        acc = agg.make_accumulator("stdevp")
+        acc.add(5.0)
+        assert acc.result() == 0.0
+
+    def test_var_matches_formula(self):
+        acc = agg.make_accumulator("var")
+        for value in (2.0, 4.0, 6.0):
+            acc.add(value)
+        assert acc.result() == pytest.approx(4.0)
+
+    def test_varp(self):
+        acc = agg.make_accumulator("varp")
+        for value in (2.0, 4.0, 6.0):
+            acc.add(value)
+        assert acc.result() == pytest.approx(8.0 / 3.0)
+
+
+class TestRegistry:
+    def test_unknown_aggregate(self):
+        with pytest.raises(BindError):
+            agg.make_accumulator("median")
+
+    def test_is_aggregate_name(self):
+        assert agg.is_aggregate_name("SUM")
+        assert not agg.is_aggregate_name("len")
+
+    def test_result_types(self):
+        assert agg.result_type("count", SQLType.VARCHAR) == SQLType.INT
+        assert agg.result_type("avg", SQLType.INT) == SQLType.FLOAT
+        assert agg.result_type("max", SQLType.VARCHAR) == SQLType.VARCHAR

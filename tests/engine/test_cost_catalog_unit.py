@@ -1,0 +1,131 @@
+"""Direct unit tests for the cost model and the catalog."""
+
+import pytest
+
+from repro.engine import cost
+from repro.engine.catalog import Catalog, Column, Table
+from repro.engine.types import SQLType
+from repro.errors import CatalogError
+
+
+class TestCostModel:
+    def test_pages_at_least_one(self):
+        assert cost.pages_for(0, 100) == 1.0
+        assert cost.pages_for(1, 10) == 1.0
+
+    def test_scan_io_grows_with_rows(self):
+        small = cost.scan_io(10, 100)
+        large = cost.scan_io(10000, 100)
+        assert large > small
+
+    def test_first_page_is_random_io(self):
+        assert cost.scan_io(1, 10) == pytest.approx(cost.RANDOM_IO)
+
+    def test_scan_cpu_base_plus_per_row(self):
+        assert cost.scan_cpu(1) == pytest.approx(cost.CPU_BASE)
+        assert cost.scan_cpu(101) == pytest.approx(
+            cost.CPU_BASE + 100 * cost.CPU_PER_ROW
+        )
+
+    def test_sort_cpu_superlinear(self):
+        assert cost.sort_cpu(10000) - cost.SORT_STARTUP > 10 * (
+            cost.sort_cpu(1000) - cost.SORT_STARTUP
+        )
+
+    def test_hash_has_startup(self):
+        assert cost.hash_join_cpu(0, 0) == pytest.approx(cost.HASH_STARTUP)
+
+    def test_nested_loop_quadratic(self):
+        assert cost.nested_loop_cpu(100, 100) == pytest.approx(
+            100 * 100 * cost.NESTED_LOOP_CPU
+        )
+
+    def test_conjunct_selectivity_floor(self):
+        assert cost.conjunct_selectivity([1e-9, 1e-9]) >= 1e-6
+
+    def test_disjunct_selectivity_capped(self):
+        assert cost.disjunct_selectivity(0.9, 0.9) <= 1.0
+        assert cost.disjunct_selectivity(0.2, 0.3) == pytest.approx(0.44)
+
+
+class TestTable:
+    def make(self):
+        return Table("t", [Column("a", SQLType.INT), Column("b", SQLType.VARCHAR)])
+
+    def test_requires_columns(self):
+        with pytest.raises(CatalogError):
+            Table("t", [])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("t", [Column("a", SQLType.INT), Column("A", SQLType.INT)])
+
+    def test_insert_arity_checked(self):
+        table = self.make()
+        with pytest.raises(CatalogError):
+            table.insert_row((1,))
+
+    def test_column_index_case_insensitive(self):
+        table = self.make()
+        assert table.column_index("B") == 1
+
+    def test_unknown_column_index(self):
+        with pytest.raises(CatalogError):
+            self.make().column_index("zzz")
+
+    def test_stats_track_rows_and_distinct(self):
+        table = self.make()
+        for i in range(10):
+            table.insert_row((i % 3, "x"))
+        assert table.stats.row_count == 10
+        assert table.stats.distinct_count("a") == 3
+        assert table.stats.distinct_count("b") == 1
+
+    def test_alter_column_type_converts_values(self):
+        table = self.make()
+        table.insert_row((1, "x"))
+        table.alter_column_type("a", SQLType.VARCHAR, lambda v: str(v))
+        assert table.rows == [("1", "x")]
+        assert table.columns[0].sql_type == SQLType.VARCHAR
+
+    def test_clustered_prefix_is_first_column(self):
+        assert self.make().clustered_prefix == "a"
+
+
+class TestCatalog:
+    def test_table_view_namespace_shared(self):
+        catalog = Catalog()
+        catalog.create_table("x", [Column("a", SQLType.INT)])
+        with pytest.raises(CatalogError):
+            catalog.create_view("x", "", None, [Column("a", SQLType.INT)])
+
+    def test_resolve_kinds(self):
+        catalog = Catalog()
+        catalog.create_table("t", [Column("a", SQLType.INT)])
+        catalog.create_view("v", "", None, [Column("a", SQLType.INT)])
+        assert catalog.resolve("t")[0] == "table"
+        assert catalog.resolve("V")[0] == "view"
+
+    def test_drop_missing_table(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.drop_table("ghost")
+        catalog.drop_table("ghost", if_exists=True)  # no raise
+
+    def test_replace_view(self):
+        catalog = Catalog()
+        catalog.create_view("v", "sql1", None, [Column("a", SQLType.INT)])
+        catalog.create_view("v", "sql2", None, [Column("a", SQLType.INT)], replace=True)
+        assert catalog.get_view("v").sql == "sql2"
+
+    def test_replace_requires_flag(self):
+        catalog = Catalog()
+        catalog.create_view("v", "", None, [Column("a", SQLType.INT)])
+        with pytest.raises(CatalogError):
+            catalog.create_view("v", "", None, [Column("a", SQLType.INT)])
+
+    def test_has_object(self):
+        catalog = Catalog()
+        catalog.create_table("t", [Column("a", SQLType.INT)])
+        assert catalog.has_object("T")
+        assert not catalog.has_object("u")

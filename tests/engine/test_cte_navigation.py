@@ -1,0 +1,149 @@
+"""CTEs (WITH ...) and navigation window functions (LAG/LEAD/FIRST/LAST)."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.errors import BindError, ParseError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE series (grp varchar, t int, v float)")
+    database.execute(
+        "INSERT INTO series VALUES "
+        "('a', 1, 10.0), ('a', 2, 12.0), ('a', 3, 9.0), "
+        "('b', 1, 5.0), ('b', 2, 6.0)"
+    )
+    return database
+
+
+class TestCTE:
+    def test_basic_cte(self, db):
+        rows = db.execute(
+            "WITH highs AS (SELECT * FROM series WHERE v > 9.5) "
+            "SELECT COUNT(*) FROM highs"
+        ).rows
+        assert rows == [(2,)]  # 10.0 and 12.0
+
+    def test_cte_with_declared_columns(self, db):
+        rows = db.execute(
+            "WITH g (station, n) AS (SELECT grp, COUNT(*) FROM series GROUP BY grp) "
+            "SELECT station FROM g WHERE n = 3"
+        ).rows
+        assert rows == [("a",)]
+
+    def test_multiple_ctes(self, db):
+        rows = db.execute(
+            "WITH a_rows AS (SELECT * FROM series WHERE grp = 'a'), "
+            "b_rows AS (SELECT * FROM series WHERE grp = 'b') "
+            "SELECT (SELECT COUNT(*) FROM a_rows), (SELECT COUNT(*) FROM b_rows)"
+        ).rows
+        assert rows == [(3, 2)]
+
+    def test_cte_referencing_earlier_cte(self, db):
+        rows = db.execute(
+            "WITH base AS (SELECT grp, v FROM series), "
+            "doubled AS (SELECT grp, v * 2 AS v2 FROM base) "
+            "SELECT MAX(v2) FROM doubled"
+        ).rows
+        assert rows == [(24.0,)]
+
+    def test_cte_joined_with_table(self, db):
+        rows = db.execute(
+            "WITH means AS (SELECT grp, AVG(v) AS mean_v FROM series GROUP BY grp) "
+            "SELECT s.grp, s.v FROM series s JOIN means m ON s.grp = m.grp "
+            "WHERE s.v > m.mean_v ORDER BY s.grp"
+        ).rows
+        assert rows == [("a", 12.0), ("b", 6.0)]
+
+    def test_cte_shadows_table_name(self, db):
+        rows = db.execute(
+            "WITH series AS (SELECT TOP 1 * FROM series ORDER BY v DESC) "
+            "SELECT v FROM series"
+        ).rows
+        # Inner reference resolves to the real table; outer to the CTE.
+        assert rows == [(12.0,)]
+
+    def test_duplicate_cte_name_rejected(self, db):
+        with pytest.raises(BindError):
+            db.execute(
+                "WITH x AS (SELECT 1 AS a), x AS (SELECT 2 AS a) SELECT * FROM x"
+            )
+
+    def test_declared_column_arity_checked(self, db):
+        with pytest.raises(BindError):
+            db.execute("WITH x (a, b) AS (SELECT 1 AS a) SELECT * FROM x")
+
+    def test_cte_alias(self, db):
+        rows = db.execute(
+            "WITH c AS (SELECT grp FROM series) SELECT q.grp FROM c q WHERE q.grp = 'b'"
+        ).rows
+        assert len(rows) == 2
+
+    def test_cte_in_view_definition(self, db):
+        db.execute(
+            "CREATE VIEW top_by_group AS "
+            "WITH ranked AS (SELECT grp, v, ROW_NUMBER() OVER "
+            "(PARTITION BY grp ORDER BY v DESC) AS rn FROM series) "
+            "SELECT grp, v FROM ranked WHERE rn = 1"
+        )
+        rows = db.execute("SELECT * FROM top_by_group ORDER BY grp").rows
+        assert rows == [("a", 12.0), ("b", 6.0)]
+
+    def test_with_requires_as(self, db):
+        with pytest.raises(ParseError):
+            db.execute("WITH x (SELECT 1) SELECT * FROM x")
+
+
+class TestNavigationFunctions:
+    def test_lag(self, db):
+        rows = db.execute(
+            "SELECT t, v, LAG(v) OVER (PARTITION BY grp ORDER BY t) AS prev "
+            "FROM series WHERE grp = 'a' ORDER BY t"
+        ).rows
+        assert [r[2] for r in rows] == [None, 10.0, 12.0]
+
+    def test_lead(self, db):
+        rows = db.execute(
+            "SELECT t, LEAD(v) OVER (PARTITION BY grp ORDER BY t) AS nxt "
+            "FROM series WHERE grp = 'a' ORDER BY t"
+        ).rows
+        assert [r[1] for r in rows] == [12.0, 9.0, None]
+
+    def test_lag_with_offset_and_default(self, db):
+        rows = db.execute(
+            "SELECT t, LAG(v, 2, 0.0) OVER (ORDER BY t, grp) AS lag2 "
+            "FROM series WHERE grp = 'a' ORDER BY t"
+        ).rows
+        assert [r[1] for r in rows] == [0.0, 0.0, 10.0]
+
+    def test_first_and_last_value(self, db):
+        rows = db.execute(
+            "SELECT t, FIRST_VALUE(v) OVER (PARTITION BY grp ORDER BY t) AS f, "
+            "LAST_VALUE(v) OVER (PARTITION BY grp ORDER BY t) AS l "
+            "FROM series WHERE grp = 'a' ORDER BY t"
+        ).rows
+        assert all(r[1] == 10.0 for r in rows)
+        assert all(r[2] == 9.0 for r in rows)
+
+    def test_timeseries_delta_idiom(self, db):
+        """The science idiom: per-step change via LAG."""
+        rows = db.execute(
+            "SELECT grp, t, v - LAG(v) OVER (PARTITION BY grp ORDER BY t) AS delta "
+            "FROM series ORDER BY grp, t"
+        ).rows
+        deltas = [r[2] for r in rows if r[0] == "a"]
+        assert deltas == [None, 2.0, -3.0]
+
+    def test_lag_requires_order(self, db):
+        with pytest.raises(BindError):
+            db.execute("SELECT LAG(v) OVER (PARTITION BY grp) FROM series")
+
+    def test_lag_requires_argument(self, db):
+        with pytest.raises(BindError):
+            db.execute("SELECT LAG() OVER (ORDER BY t) FROM series")
+
+    def test_non_literal_offset_rejected(self, db):
+        with pytest.raises(BindError):
+            db.execute("SELECT LAG(v, t) OVER (ORDER BY t) FROM series")

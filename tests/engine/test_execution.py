@@ -1,0 +1,462 @@
+"""End-to-end query execution tests through the Database facade."""
+
+import datetime as dt
+
+import pytest
+
+from repro.engine.database import Database
+from repro.errors import BindError, CatalogError, ExecutionError, SQLError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE people (id int, name varchar, age int, city varchar)")
+    database.execute(
+        "INSERT INTO people VALUES "
+        "(1, 'alice', 34, 'seattle'), "
+        "(2, 'bob', 28, 'portland'), "
+        "(3, 'carol', 45, 'seattle'), "
+        "(4, 'dave', 28, 'boise'), "
+        "(5, 'erin', NULL, 'seattle')"
+    )
+    database.execute("CREATE TABLE orders (person_id int, amount float, day varchar)")
+    database.execute(
+        "INSERT INTO orders VALUES "
+        "(1, 10.0, '2014-01-01'), (1, 20.0, '2014-01-02'), "
+        "(2, 5.5, '2014-01-01'), (3, 7.25, '2014-02-01'), "
+        "(9, 99.0, '2014-03-01')"
+    )
+    return database
+
+
+class TestProjection:
+    def test_select_star(self, db):
+        result = db.execute("SELECT * FROM people")
+        assert len(result.rows) == 5
+        assert result.columns == ["id", "name", "age", "city"]
+
+    def test_column_subset(self, db):
+        result = db.execute("SELECT name FROM people WHERE id = 1")
+        assert result.rows == [("alice",)]
+
+    def test_expression_with_alias(self, db):
+        result = db.execute("SELECT age * 2 AS double_age FROM people WHERE id = 1")
+        assert result.columns == ["double_age"]
+        assert result.rows == [(68,)]
+
+    def test_string_concat(self, db):
+        result = db.execute("SELECT name + '!' FROM people WHERE id = 2")
+        assert result.rows == [("bob!",)]
+
+    def test_select_without_from(self, db):
+        assert db.execute("SELECT 1 + 2 AS three").rows == [(3,)]
+
+    def test_qualified_star(self, db):
+        result = db.execute("SELECT p.* FROM people p WHERE p.id = 1")
+        assert len(result.rows[0]) == 4
+
+    def test_as_dicts(self, db):
+        dicts = db.execute("SELECT id, name FROM people WHERE id = 1").as_dicts()
+        assert dicts == [{"id": 1, "name": "alice"}]
+
+
+class TestFiltering:
+    def test_equality(self, db):
+        assert len(db.execute("SELECT * FROM people WHERE city = 'seattle'").rows) == 3
+
+    def test_inequality(self, db):
+        assert len(db.execute("SELECT * FROM people WHERE age <> 28").rows) == 2
+
+    def test_null_comparison_filters_row(self, db):
+        # erin has NULL age: NULL > 30 is unknown, so she is excluded.
+        result = db.execute("SELECT name FROM people WHERE age > 30")
+        assert sorted(r[0] for r in result.rows) == ["alice", "carol"]
+
+    def test_is_null(self, db):
+        assert db.execute("SELECT name FROM people WHERE age IS NULL").rows == [("erin",)]
+
+    def test_is_not_null(self, db):
+        assert len(db.execute("SELECT * FROM people WHERE age IS NOT NULL").rows) == 4
+
+    def test_between(self, db):
+        result = db.execute("SELECT name FROM people WHERE age BETWEEN 28 AND 34")
+        assert sorted(r[0] for r in result.rows) == ["alice", "bob", "dave"]
+
+    def test_in_list(self, db):
+        result = db.execute("SELECT name FROM people WHERE city IN ('boise', 'portland')")
+        assert sorted(r[0] for r in result.rows) == ["bob", "dave"]
+
+    def test_not_in_list(self, db):
+        result = db.execute("SELECT name FROM people WHERE city NOT IN ('seattle')")
+        assert sorted(r[0] for r in result.rows) == ["bob", "dave"]
+
+    def test_like(self, db):
+        result = db.execute("SELECT name FROM people WHERE name LIKE '%a%'")
+        assert sorted(r[0] for r in result.rows) == ["alice", "carol", "dave"]
+
+    def test_and_or(self, db):
+        result = db.execute(
+            "SELECT name FROM people WHERE city = 'seattle' AND age > 40 OR name = 'bob'"
+        )
+        assert sorted(r[0] for r in result.rows) == ["bob", "carol"]
+
+    def test_not(self, db):
+        result = db.execute("SELECT name FROM people WHERE NOT city = 'seattle'")
+        assert sorted(r[0] for r in result.rows) == ["bob", "dave"]
+
+    def test_case_in_where(self, db):
+        result = db.execute(
+            "SELECT name FROM people WHERE CASE WHEN age > 30 THEN 1 ELSE 0 END = 1"
+        )
+        assert sorted(r[0] for r in result.rows) == ["alice", "carol"]
+
+
+class TestSorting:
+    def test_order_asc(self, db):
+        rows = db.execute("SELECT name FROM people ORDER BY name").rows
+        assert [r[0] for r in rows] == ["alice", "bob", "carol", "dave", "erin"]
+
+    def test_order_desc(self, db):
+        rows = db.execute("SELECT name FROM people ORDER BY name DESC").rows
+        assert [r[0] for r in rows][0] == "erin"
+
+    def test_nulls_sort_first(self, db):
+        rows = db.execute("SELECT name FROM people ORDER BY age").rows
+        assert rows[0] == ("erin",)
+
+    def test_multi_key(self, db):
+        rows = db.execute("SELECT name FROM people ORDER BY city, age DESC").rows
+        assert [r[0] for r in rows] == ["dave", "bob", "carol", "alice", "erin"]
+
+    def test_order_by_position(self, db):
+        rows = db.execute("SELECT name, age FROM people ORDER BY 2 DESC, 1").rows
+        assert rows[0][0] == "carol"
+
+    def test_order_by_hidden_column(self, db):
+        rows = db.execute("SELECT name FROM people ORDER BY age DESC").rows
+        assert rows[0] == ("carol",)
+        assert len(rows[0]) == 1  # hidden sort column is not in the output
+
+    def test_top(self, db):
+        rows = db.execute("SELECT TOP 2 name FROM people ORDER BY name").rows
+        assert [r[0] for r in rows] == ["alice", "bob"]
+
+    def test_top_percent(self, db):
+        rows = db.execute("SELECT TOP 40 PERCENT name FROM people ORDER BY name").rows
+        assert len(rows) == 2
+
+
+class TestAggregation:
+    def test_count_star(self, db):
+        assert db.execute("SELECT COUNT(*) FROM people").rows == [(5,)]
+
+    def test_count_column_skips_nulls(self, db):
+        assert db.execute("SELECT COUNT(age) FROM people").rows == [(4,)]
+
+    def test_count_distinct(self, db):
+        assert db.execute("SELECT COUNT(DISTINCT city) FROM people").rows == [(3,)]
+
+    def test_sum_avg_min_max(self, db):
+        row = db.execute("SELECT SUM(age), AVG(age), MIN(age), MAX(age) FROM people").rows[0]
+        assert row == (135, 33.75, 28, 45)
+
+    def test_group_by(self, db):
+        rows = db.execute(
+            "SELECT city, COUNT(*) AS n FROM people GROUP BY city ORDER BY n DESC, city"
+        ).rows
+        assert rows == [("seattle", 3), ("boise", 1), ("portland", 1)]
+
+    def test_group_by_expression(self, db):
+        rows = db.execute(
+            "SELECT age % 2, COUNT(*) FROM people WHERE age IS NOT NULL GROUP BY age % 2"
+        ).rows
+        assert sorted(rows) == [(0, 3), (1, 1)]
+
+    def test_having(self, db):
+        rows = db.execute(
+            "SELECT city FROM people GROUP BY city HAVING COUNT(*) > 1"
+        ).rows
+        assert rows == [("seattle",)]
+
+    def test_aggregate_over_empty_input(self, db):
+        rows = db.execute("SELECT COUNT(*), MAX(age) FROM people WHERE id > 100").rows
+        assert rows == [(0, None)]
+
+    def test_group_by_empty_input_no_rows(self, db):
+        rows = db.execute(
+            "SELECT city, COUNT(*) FROM people WHERE id > 100 GROUP BY city"
+        ).rows
+        assert rows == []
+
+    def test_arithmetic_on_aggregates(self, db):
+        rows = db.execute("SELECT MAX(age) - MIN(age) FROM people").rows
+        assert rows == [(17,)]
+
+    def test_stdev(self, db):
+        row = db.execute("SELECT STDEV(amount) FROM orders").rows[0]
+        assert row[0] == pytest.approx(39.891, abs=0.01)
+
+    def test_aggregate_in_order_by(self, db):
+        rows = db.execute(
+            "SELECT city FROM people GROUP BY city ORDER BY COUNT(*) DESC, city"
+        ).rows
+        assert rows[0] == ("seattle",)
+
+
+class TestJoins:
+    def test_inner_join(self, db):
+        rows = db.execute(
+            "SELECT p.name, o.amount FROM people p JOIN orders o ON p.id = o.person_id"
+        ).rows
+        assert len(rows) == 4
+
+    def test_left_join_pads_nulls(self, db):
+        rows = db.execute(
+            "SELECT p.name, o.amount FROM people p "
+            "LEFT JOIN orders o ON p.id = o.person_id ORDER BY p.name"
+        ).rows
+        by_name = {}
+        for name, amount in rows:
+            by_name.setdefault(name, []).append(amount)
+        assert by_name["dave"] == [None]
+        assert by_name["erin"] == [None]
+
+    def test_right_join(self, db):
+        rows = db.execute(
+            "SELECT p.name, o.amount FROM people p "
+            "RIGHT JOIN orders o ON p.id = o.person_id"
+        ).rows
+        assert (None, 99.0) in rows
+
+    def test_full_join(self, db):
+        rows = db.execute(
+            "SELECT p.name, o.amount FROM people p "
+            "FULL OUTER JOIN orders o ON p.id = o.person_id"
+        ).rows
+        names = [r[0] for r in rows]
+        amounts = [r[1] for r in rows]
+        assert "dave" in names and 99.0 in amounts
+
+    def test_cross_join(self, db):
+        rows = db.execute("SELECT * FROM people CROSS JOIN orders").rows
+        assert len(rows) == 25
+
+    def test_non_equi_join(self, db):
+        rows = db.execute(
+            "SELECT a.name, b.name FROM people a JOIN people b ON a.age > b.age"
+        ).rows
+        assert ("alice", "bob") in rows
+
+    def test_three_way_join(self, db):
+        rows = db.execute(
+            "SELECT p.name FROM people p "
+            "JOIN orders o ON p.id = o.person_id "
+            "JOIN people q ON q.city = p.city "
+            "WHERE q.name = 'carol'"
+        ).rows
+        assert sorted(set(r[0] for r in rows)) == ["alice", "carol"]
+
+    def test_join_with_aggregate(self, db):
+        rows = db.execute(
+            "SELECT p.name, SUM(o.amount) AS total FROM people p "
+            "JOIN orders o ON p.id = o.person_id GROUP BY p.name ORDER BY total DESC"
+        ).rows
+        assert rows[0] == ("alice", 30.0)
+
+
+class TestSubqueries:
+    def test_scalar_subquery(self, db):
+        rows = db.execute(
+            "SELECT name FROM people WHERE age > (SELECT AVG(age) FROM people)"
+        ).rows
+        assert sorted(r[0] for r in rows) == ["alice", "carol"]
+
+    def test_in_subquery(self, db):
+        rows = db.execute(
+            "SELECT name FROM people WHERE id IN (SELECT person_id FROM orders)"
+        ).rows
+        assert sorted(r[0] for r in rows) == ["alice", "bob", "carol"]
+
+    def test_not_in_subquery(self, db):
+        rows = db.execute(
+            "SELECT name FROM people WHERE id NOT IN "
+            "(SELECT person_id FROM orders WHERE person_id IS NOT NULL)"
+        ).rows
+        assert sorted(r[0] for r in rows) == ["dave", "erin"]
+
+    def test_exists_correlated(self, db):
+        rows = db.execute(
+            "SELECT name FROM people p WHERE EXISTS "
+            "(SELECT 1 FROM orders o WHERE o.person_id = p.id)"
+        ).rows
+        assert sorted(r[0] for r in rows) == ["alice", "bob", "carol"]
+
+    def test_not_exists_correlated(self, db):
+        rows = db.execute(
+            "SELECT name FROM people p WHERE NOT EXISTS "
+            "(SELECT 1 FROM orders o WHERE o.person_id = p.id)"
+        ).rows
+        assert sorted(r[0] for r in rows) == ["dave", "erin"]
+
+    def test_correlated_scalar_in_select(self, db):
+        rows = db.execute(
+            "SELECT name, (SELECT COUNT(*) FROM orders o WHERE o.person_id = p.id) "
+            "FROM people p ORDER BY name"
+        ).rows
+        assert rows[0] == ("alice", 2)
+
+    def test_derived_table(self, db):
+        rows = db.execute(
+            "SELECT city, n FROM "
+            "(SELECT city, COUNT(*) AS n FROM people GROUP BY city) AS sub "
+            "WHERE n > 1"
+        ).rows
+        assert rows == [("seattle", 3)]
+
+    def test_scalar_subquery_multiple_rows_fails(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT (SELECT id FROM people) FROM people")
+
+
+class TestSetOperations:
+    def test_union_dedups(self, db):
+        rows = db.execute(
+            "SELECT city FROM people UNION SELECT city FROM people"
+        ).rows
+        assert len(rows) == 3
+
+    def test_union_all_keeps_duplicates(self, db):
+        rows = db.execute(
+            "SELECT city FROM people UNION ALL SELECT city FROM people"
+        ).rows
+        assert len(rows) == 10
+
+    def test_intersect(self, db):
+        rows = db.execute(
+            "SELECT id FROM people INTERSECT SELECT person_id FROM orders"
+        ).rows
+        assert sorted(r[0] for r in rows) == [1, 2, 3]
+
+    def test_except(self, db):
+        rows = db.execute(
+            "SELECT id FROM people EXCEPT SELECT person_id FROM orders"
+        ).rows
+        assert sorted(r[0] for r in rows) == [4, 5]
+
+    def test_arity_mismatch(self, db):
+        with pytest.raises(BindError):
+            db.execute("SELECT id, name FROM people UNION SELECT id FROM people")
+
+    def test_union_with_order_by(self, db):
+        rows = db.execute(
+            "SELECT city FROM people UNION SELECT day FROM orders ORDER BY 1"
+        ).rows
+        assert rows[0] == ("2014-01-01",)
+
+
+class TestDistinct:
+    def test_distinct(self, db):
+        rows = db.execute("SELECT DISTINCT city FROM people").rows
+        assert len(rows) == 3
+
+    def test_distinct_multi_column(self, db):
+        rows = db.execute("SELECT DISTINCT city, age FROM people").rows
+        assert len(rows) == 5
+
+
+class TestCaseAndCast:
+    def test_null_injection_idiom(self, db):
+        # The canonical SQLShare cleaning idiom: special value -> NULL.
+        rows = db.execute(
+            "SELECT CASE WHEN age = 28 THEN NULL ELSE age END FROM people ORDER BY id"
+        ).rows
+        assert [r[0] for r in rows] == [34, None, 45, None, None]
+
+    def test_cast_idiom(self, db):
+        rows = db.execute("SELECT CAST(day AS datetime) FROM orders WHERE amount = 10.0").rows
+        assert rows == [(dt.datetime(2014, 1, 1),)]
+
+    def test_cast_failure_raises(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT CAST(name AS int) FROM people")
+
+    def test_try_cast_yields_null(self, db):
+        rows = db.execute("SELECT TRY_CAST(name AS int) FROM people WHERE id = 1").rows
+        assert rows == [(None,)]
+
+    def test_simple_case(self, db):
+        rows = db.execute(
+            "SELECT CASE city WHEN 'seattle' THEN 'WA' ELSE 'other' END FROM people "
+            "WHERE id IN (1, 2)"
+        ).rows
+        assert sorted(r[0] for r in rows) == ["WA", "other"]
+
+
+class TestViews:
+    def test_create_and_query_view(self, db):
+        db.execute("CREATE VIEW seattleites AS SELECT name, age FROM people WHERE city = 'seattle'")
+        rows = db.execute("SELECT * FROM seattleites ORDER BY name").rows
+        assert [r[0] for r in rows] == ["alice", "carol", "erin"]
+
+    def test_view_over_view(self, db):
+        db.execute("CREATE VIEW v1 AS SELECT * FROM people WHERE city = 'seattle'")
+        db.execute("CREATE VIEW v2 AS SELECT name FROM v1 WHERE age > 40")
+        assert db.execute("SELECT * FROM v2").rows == [("carol",)]
+
+    def test_view_sees_new_data(self, db):
+        db.execute("CREATE VIEW everyone AS SELECT name FROM people")
+        db.execute("INSERT INTO people VALUES (6, 'frank', 50, 'tacoma')")
+        assert len(db.execute("SELECT * FROM everyone").rows) == 6
+
+    def test_view_strips_order_by(self, db):
+        db.execute("CREATE VIEW ordered AS SELECT name FROM people ORDER BY name")
+        assert len(db.execute("SELECT * FROM ordered").rows) == 5
+
+    def test_drop_view(self, db):
+        db.execute("CREATE VIEW v AS SELECT * FROM people")
+        db.execute("DROP VIEW v")
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM v")
+
+    def test_duplicate_view_name_fails(self, db):
+        db.execute("CREATE VIEW v AS SELECT * FROM people")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE VIEW v AS SELECT * FROM orders")
+
+    def test_view_with_duplicate_columns_fails(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE VIEW v AS SELECT id, id FROM people")
+
+
+class TestErrors:
+    def test_unknown_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM nonexistent")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(BindError):
+            db.execute("SELECT nope FROM people")
+
+    def test_ambiguous_column(self, db):
+        with pytest.raises(BindError):
+            db.execute("SELECT id FROM people a JOIN people b ON a.id = b.id")
+
+    def test_division_by_zero(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT 1 / 0")
+
+    def test_explain_rejects_ddl(self, db):
+        with pytest.raises(SQLError):
+            db.explain("DROP TABLE people")
+
+
+class TestIntegerDivision:
+    def test_int_division_truncates(self, db):
+        assert db.execute("SELECT 7 / 2").rows == [(3,)]
+
+    def test_float_division(self, db):
+        assert db.execute("SELECT 7.0 / 2").rows == [(3.5,)]
+
+    def test_modulo(self, db):
+        assert db.execute("SELECT 7 % 3").rows == [(1,)]

@@ -1,0 +1,242 @@
+"""Scalar builtin function tests (T-SQL semantics)."""
+
+import datetime as dt
+import math
+
+import pytest
+
+from repro.engine import functions
+from repro.engine.functions import like_match, lookup
+from repro.errors import BindError, ExecutionError
+
+
+def call(name, *args):
+    return lookup(name, len(args))(*args)
+
+
+class TestLookup:
+    def test_unknown_function(self):
+        with pytest.raises(BindError):
+            lookup("frobnicate", 1)
+
+    def test_bad_arity(self):
+        with pytest.raises(BindError):
+            lookup("len", 2)
+
+    def test_case_insensitive(self):
+        assert lookup("LEN", 1) is lookup("len", 1)
+
+    def test_function_names_listed(self):
+        names = functions.function_names()
+        assert "patindex" in names and "square" in names
+
+
+class TestNullPropagation:
+    @pytest.mark.parametrize("name,args", [
+        ("len", (None,)),
+        ("substring", (None, 1, 2)),
+        ("abs", (None,)),
+        ("year", (None,)),
+    ])
+    def test_null_in_null_out(self, name, args):
+        assert call(name, *args) is None
+
+    def test_coalesce_skips_nulls(self):
+        assert call("coalesce", None, None, 3) == 3
+
+    def test_coalesce_all_null(self):
+        assert call("coalesce", None, None) is None
+
+    def test_isnull(self):
+        assert call("isnull", None, "x") == "x"
+        assert call("isnull", "a", "x") == "a"
+
+    def test_concat_ignores_nulls(self):
+        assert call("concat", "a", None, "b") == "ab"
+
+
+class TestStringFunctions:
+    def test_len_ignores_trailing_spaces(self):
+        assert call("len", "abc  ") == 3
+
+    def test_upper_lower(self):
+        assert call("upper", "aBc") == "ABC"
+        assert call("lower", "aBc") == "abc"
+
+    def test_substring_one_based(self):
+        assert call("substring", "abcdef", 2, 3) == "bcd"
+
+    def test_substring_start_before_one(self):
+        assert call("substring", "abcdef", 0, 3) == "ab"
+
+    def test_charindex(self):
+        assert call("charindex", "cd", "abcdef") == 3
+
+    def test_charindex_not_found(self):
+        assert call("charindex", "zz", "abc") == 0
+
+    def test_charindex_case_insensitive(self):
+        assert call("charindex", "CD", "abcdef") == 3
+
+    def test_patindex_found(self):
+        assert call("patindex", "%ter%", "interesting") == 3
+
+    def test_patindex_not_found(self):
+        assert call("patindex", "%zz%", "abc") == 0
+
+    def test_patindex_charclass(self):
+        assert call("patindex", "%[0-9]%", "ab3cd") == 3
+
+    @pytest.mark.parametrize("value,expected", [("12.5", 1), ("-3", 1), ("abc", 0), ("", 0)])
+    def test_isnumeric(self, value, expected):
+        assert call("isnumeric", value) == expected
+
+    def test_replace(self):
+        assert call("replace", "a-b-c", "-", "_") == "a_b_c"
+
+    def test_stuff(self):
+        assert call("stuff", "abcdef", 2, 3, "XY") == "aXYef"
+
+    def test_left_right(self):
+        assert call("left", "abcdef", 2) == "ab"
+        assert call("right", "abcdef", 2) == "ef"
+
+    def test_ltrim_rtrim(self):
+        assert call("ltrim", "  x ") == "x "
+        assert call("rtrim", " x  ") == " x"
+
+    def test_reverse(self):
+        assert call("reverse", "abc") == "cba"
+
+    def test_replicate(self):
+        assert call("replicate", "ab", 3) == "ababab"
+
+
+class TestLike:
+    @pytest.mark.parametrize("value,pattern,expected", [
+        ("hello", "hello", True),
+        ("hello", "h%", True),
+        ("hello", "%llo", True),
+        ("hello", "h_llo", True),
+        ("hello", "x%", False),
+        ("Hello", "hello", True),  # case-insensitive (SQL Server default)
+        ("a3c", "a[0-9]c", True),
+        ("abc", "a[0-9]c", False),
+        ("a.c", "a.c", True),
+        ("axc", "a.c", False),  # '.' is literal, not a wildcard
+        ("", "%", True),
+    ])
+    def test_patterns(self, value, pattern, expected):
+        assert like_match(value, pattern) is expected
+
+    def test_null_operand(self):
+        assert like_match(None, "%") is None
+
+
+class TestMathFunctions:
+    def test_abs(self):
+        assert call("abs", -4) == 4
+
+    def test_round(self):
+        assert call("round", 2.567, 1) == 2.6
+
+    def test_round_default_digits(self):
+        assert call("round", 2.4) == 2.0
+
+    def test_floor_ceiling(self):
+        assert call("floor", 2.9) == 2
+        assert call("ceiling", 2.1) == 3
+
+    def test_square(self):
+        assert call("square", 3) == 9.0
+
+    def test_sqrt(self):
+        assert call("sqrt", 16) == 4.0
+
+    def test_sqrt_negative_raises(self):
+        with pytest.raises(ExecutionError):
+            call("sqrt", -1)
+
+    def test_power(self):
+        assert call("power", 2, 10) == 1024.0
+
+    def test_log(self):
+        assert call("log", math.e) == pytest.approx(1.0)
+
+    def test_log_base(self):
+        assert call("log", 8, 2) == pytest.approx(3.0)
+
+    def test_log_nonpositive_raises(self):
+        with pytest.raises(ExecutionError):
+            call("log", 0)
+
+    def test_sign(self):
+        assert call("sign", -3) == -1
+        assert call("sign", 0) == 0
+        assert call("sign", 9) == 1
+
+    def test_string_coercion(self):
+        assert call("abs", "-5") == 5.0
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(ExecutionError):
+            call("abs", "abc")
+
+
+class TestDateFunctions:
+    def test_year_month_day(self):
+        date = dt.date(2013, 7, 4)
+        assert call("year", date) == 2013
+        assert call("month", date) == 7
+        assert call("day", date) == 4
+
+    def test_year_from_string(self):
+        assert call("year", "2012-03-04") == 2012
+
+    def test_datepart_aliases(self):
+        moment = dt.datetime(2013, 7, 4, 13, 45, 30)
+        assert call("datepart", "yy", moment) == 2013
+        assert call("datepart", "hh", moment) == 13
+        assert call("datepart", "mi", moment) == 45
+        assert call("datepart", "q", moment) == 3
+
+    def test_datepart_unknown_raises(self):
+        with pytest.raises(ExecutionError):
+            call("datepart", "eon", dt.date(2000, 1, 1))
+
+    def test_datediff_days(self):
+        assert call("datediff", "day", "2013-01-01", "2013-01-11") == 10
+
+    def test_datediff_months(self):
+        assert call("datediff", "month", "2012-11-15", "2013-02-01") == 3
+
+    def test_datediff_years_boundary(self):
+        # T-SQL counts calendar boundaries, not elapsed time.
+        assert call("datediff", "year", "2012-12-31", "2013-01-01") == 1
+
+    def test_datediff_hours(self):
+        assert call("datediff", "hour", "2013-01-01 00:00:00", "2013-01-01 05:30:00") == 5
+
+    def test_dateadd_days(self):
+        assert call("dateadd", "day", 10, "2013-01-01") == dt.datetime(2013, 1, 11)
+
+    def test_dateadd_months_clamps(self):
+        assert call("dateadd", "month", 1, "2013-01-31") == dt.datetime(2013, 2, 28)
+
+    def test_dateadd_year_leap(self):
+        assert call("dateadd", "year", 1, "2012-02-29") == dt.datetime(2013, 2, 28)
+
+    def test_getdate_deterministic(self):
+        assert call("getdate") == call("getdate")
+
+
+class TestConditionals:
+    def test_nullif_equal(self):
+        assert call("nullif", 5, 5) is None
+
+    def test_nullif_different(self):
+        assert call("nullif", 5, 6) == 5
+
+    def test_iif(self):
+        assert call("iif", True, "a", "b") == "a"
+        assert call("iif", False, "a", "b") == "b"

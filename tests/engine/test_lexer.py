@@ -1,0 +1,115 @@
+"""Tokenizer tests."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.engine import lexer
+from repro.errors import LexError
+
+
+def kinds(sql):
+    return [token.kind for token in lexer.tokenize(sql)]
+
+
+def values(sql):
+    return [token.value for token in lexer.tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_lowercased(self):
+        assert values("SELECT FROM Where") == ["select", "from", "where"]
+
+    def test_identifiers_keep_spelling(self):
+        assert values("MyTable") == ["MyTable"]
+
+    def test_integer_literal(self):
+        assert values("42") == [42]
+
+    def test_decimal_literal(self):
+        assert values("4.25") == [Decimal("4.25")]
+
+    def test_scientific_literal(self):
+        assert values("1e3") == [1000.0]
+
+    def test_scientific_with_sign(self):
+        assert values("2.5E-2") == [0.025]
+
+    def test_leading_dot_number(self):
+        assert values(".5") == [Decimal("0.5")]
+
+    def test_string_literal(self):
+        assert values("'hello'") == ["hello"]
+
+    def test_string_with_escaped_quote(self):
+        assert values("'it''s'") == ["it's"]
+
+    def test_empty_string(self):
+        assert values("''") == [""]
+
+    def test_bracket_quoted_identifier(self):
+        tokens = lexer.tokenize("[My Column]")
+        assert tokens[0].kind == lexer.IDENT
+        assert tokens[0].value == "My Column"
+
+    def test_double_quoted_identifier(self):
+        tokens = lexer.tokenize('"weird name"')
+        assert tokens[0].kind == lexer.IDENT
+        assert tokens[0].value == "weird name"
+
+    def test_ends_with_eof(self):
+        assert kinds("select")[-1] == lexer.EOF
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["=", "<", ">", "+", "-", "*", "/", "%"])
+    def test_single_char_ops(self, op):
+        assert values("a %s b" % op) == ["a", op, "b"]
+
+    @pytest.mark.parametrize("op,canon", [("<>", "<>"), ("!=", "<>"), (">=", ">="), ("<=", "<=")])
+    def test_two_char_ops(self, op, canon):
+        assert values("a %s b" % op)[1] == canon
+
+    def test_concat_op(self):
+        assert values("a || b")[1] == "||"
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("select -- comment\n 1") == ["select", 1]
+
+    def test_line_comment_at_end(self):
+        assert values("select 1 -- trailing") == ["select", 1]
+
+    def test_block_comment(self):
+        assert values("select /* a block */ 1") == ["select", 1]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            lexer.tokenize("select /* oops")
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            lexer.tokenize("'oops")
+
+    def test_unterminated_bracket(self):
+        with pytest.raises(LexError):
+            lexer.tokenize("[oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            lexer.tokenize("select \x01")
+
+
+class TestTokenMatching:
+    def test_matches_kind_and_value(self):
+        token = lexer.tokenize("select")[0]
+        assert token.matches(lexer.KEYWORD, "select")
+        assert not token.matches(lexer.KEYWORD, "from")
+        assert not token.matches(lexer.IDENT)
+
+    def test_matches_value_collection(self):
+        token = lexer.tokenize("union")[0]
+        assert token.matches(lexer.KEYWORD, ("union", "except"))

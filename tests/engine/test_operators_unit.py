@@ -1,0 +1,224 @@
+"""Direct unit tests for physical operators (no parser/planner involved)."""
+
+import pytest
+
+from repro.engine import operators as ops
+from repro.engine.expressions import (
+    BoundBinary,
+    BoundColumn,
+    BoundLiteral,
+    ExecutionContext,
+    OutputColumn,
+)
+from repro.engine.types import SQLType
+
+
+def ctx():
+    return ExecutionContext()
+
+
+def col(slot, name="c", sql_type=SQLType.INT):
+    return BoundColumn(slot, sql_type, name)
+
+
+def schema(*names):
+    return [OutputColumn(name, SQLType.INT) for name in names]
+
+
+def table_scan(rows, *names):
+    scan = ops.TableScan(rows, schema(*names))
+    scan.set_estimates(len(rows), 8, 0, 0)
+    return scan
+
+
+def null_safe_sorted(rows):
+    return sorted(
+        rows,
+        key=lambda row: tuple((v is None, 0 if v is None else v) for v in row),
+    )
+
+
+class TestSortRows:
+    def test_nulls_first_ascending(self):
+        rows = [(3,), (None,), (1,)]
+        ordered = ops.sort_rows(rows, [col(0)], [False], ctx())
+        assert ordered == [(None,), (1,), (3,)]
+
+    def test_nulls_last_descending(self):
+        rows = [(3,), (None,), (1,)]
+        ordered = ops.sort_rows(rows, [col(0)], [True], ctx())
+        assert ordered == [(3,), (1,), (None,)]
+
+    def test_stable_multi_key(self):
+        rows = [(1, "b"), (1, "a"), (0, "z")]
+        ordered = ops.sort_rows(rows, [col(0)], [False], ctx())
+        assert ordered == [(0, "z"), (1, "b"), (1, "a")]  # ties keep order
+
+    def test_mixed_numeric_types(self):
+        rows = [(2.5,), (2,), (10,)]
+        ordered = ops.sort_rows(rows, [col(0)], [False], ctx())
+        assert [r[0] for r in ordered] == [2, 2.5, 10]
+
+
+class TestGroupKey:
+    def test_int_float_unify(self):
+        assert ops.group_key([1]) == ops.group_key([1.0])
+
+    def test_null_groups_together(self):
+        assert ops.group_key([None]) == ops.group_key([None])
+
+    def test_string_vs_number_distinct(self):
+        assert ops.group_key(["1"]) != ops.group_key([1])
+
+
+class TestTopOperator:
+    def test_limit(self):
+        top = ops.Top(table_scan([(i,) for i in range(10)], "a"), 3)
+        assert len(list(top.execute(ctx()))) == 3
+
+    def test_limit_zero(self):
+        top = ops.Top(table_scan([(1,)], "a"), 0)
+        assert list(top.execute(ctx())) == []
+
+    def test_percent_rounds_up(self):
+        top = ops.Top(table_scan([(i,) for i in range(10)], "a"), 25, percent=True)
+        assert len(list(top.execute(ctx()))) == 3  # ceil(2.5)
+
+    def test_percent_of_empty(self):
+        top = ops.Top(table_scan([], "a"), 50, percent=True)
+        assert list(top.execute(ctx())) == []
+
+
+class TestHashMatchKinds:
+    def make(self, kind, left_rows, right_rows):
+        left = table_scan(left_rows, "k")
+        right = table_scan(right_rows, "k")
+        join = ops.HashMatch(
+            kind, left, right, [col(0)], [col(0)], None,
+            schema("lk", "rk") if kind not in ("semi", "anti") else schema("lk"),
+            [],
+        )
+        return null_safe_sorted(join.execute(ctx()))
+
+    def test_inner(self):
+        rows = self.make("inner", [(1,), (2,)], [(2,), (3,)])
+        assert rows == [(2, 2)]
+
+    def test_left_pads(self):
+        rows = self.make("left", [(1,), (2,)], [(2,)])
+        assert (1, None) in rows
+
+    def test_right_pads(self):
+        rows = self.make("right", [(2,)], [(2,), (3,)])
+        assert (None, 3) in rows
+
+    def test_full_pads_both(self):
+        rows = self.make("full", [(1,)], [(3,)])
+        assert set(rows) == {(1, None), (None, 3)}
+
+    def test_semi(self):
+        rows = self.make("semi", [(1,), (2,), (2,)], [(2,)])
+        assert rows == [(2,), (2,)]
+
+    def test_anti(self):
+        rows = self.make("anti", [(1,), (2,)], [(2,)])
+        assert rows == [(1,)]
+
+    def test_null_keys_never_match(self):
+        rows = self.make("inner", [(None,)], [(None,)])
+        assert rows == []
+
+    def test_null_key_left_join_pads(self):
+        rows = self.make("left", [(None,)], [(None,)])
+        assert rows == [(None, None)]
+
+
+class TestMergeJoin:
+    def test_inner_merge(self):
+        left = table_scan([(1,), (2,), (2,), (5,)], "k")
+        right = table_scan([(2,), (2,), (5,)], "k")
+        join = ops.MergeJoin("inner", left, right, [col(0)], [col(0)],
+                             schema("lk", "rk"), [])
+        rows = sorted(join.execute(ctx()))
+        assert rows == [(2, 2), (2, 2), (2, 2), (2, 2), (5, 5)]
+
+    def test_left_merge_pads(self):
+        left = table_scan([(1,), (2,)], "k")
+        right = table_scan([(2,)], "k")
+        join = ops.MergeJoin("left", left, right, [col(0)], [col(0)],
+                             schema("lk", "rk"), [])
+        rows = null_safe_sorted(join.execute(ctx()))
+        assert rows == [(1, None), (2, 2)]
+
+    def test_unsorted_inputs_handled(self):
+        left = table_scan([(5,), (1,)], "k")
+        right = table_scan([(5,), (1,)], "k")
+        join = ops.MergeJoin("inner", left, right, [col(0)], [col(0)],
+                             schema("lk", "rk"), [])
+        assert sorted(join.execute(ctx())) == [(1, 1), (5, 5)]
+
+
+class TestNestedLoops:
+    def test_cross(self):
+        left = table_scan([(1,), (2,)], "a")
+        right = table_scan([(9,)], "b")
+        join = ops.NestedLoops("cross", left, right, None, schema("a", "b"), [])
+        assert sorted(join.execute(ctx())) == [(1, 9), (2, 9)]
+
+    def test_theta_join(self):
+        left = table_scan([(1,), (5,)], "a")
+        right = table_scan([(3,)], "b")
+        predicate = BoundBinary(">", col(0), col(1), SQLType.BIT)
+        join = ops.NestedLoops("inner", left, right, predicate, schema("a", "b"), [])
+        assert list(join.execute(ctx())) == [(5, 3)]
+
+    def test_left_theta_pads(self):
+        left = table_scan([(1,), (5,)], "a")
+        right = table_scan([(3,)], "b")
+        predicate = BoundBinary(">", col(0), col(1), SQLType.BIT)
+        join = ops.NestedLoops("left", left, right, predicate, schema("a", "b"), [])
+        assert null_safe_sorted(join.execute(ctx())) == [(1, None), (5, 3)]
+
+
+class TestConcatenationAndDistinct:
+    def test_concatenation_order(self):
+        first = table_scan([(1,)], "a")
+        second = table_scan([(2,)], "a")
+        concat = ops.Concatenation([first, second], schema("a"))
+        assert list(concat.execute(ctx())) == [(1,), (2,)]
+
+    def test_distinct_sort(self):
+        scan = table_scan([(2,), (1,), (2,), (None,), (None,)], "a")
+        distinct = ops.Sort(scan, [col(0)], [False], distinct=True)
+        assert list(distinct.execute(ctx())) == [(None,), (1,), (2,)]
+
+
+class TestStreamAggregateUnit:
+    def test_grouped(self):
+        scan = table_scan([(1, 10), (1, 20), (2, 5)], "g", "v")
+        out = schema("g", "n")
+        aggregate = ops.StreamAggregate(scan, [col(0)], [("count", col(1), False)], out)
+        assert sorted(aggregate.execute(ctx())) == [(1, 2), (2, 1)]
+
+    def test_scalar_on_empty(self):
+        scan = table_scan([], "v")
+        aggregate = ops.StreamAggregate(
+            scan, [], [("count", None, False)], schema("n"), scalar=True
+        )
+        assert list(aggregate.execute(ctx())) == [(0,)]
+
+    def test_walk_counts_nodes(self):
+        scan = table_scan([], "v")
+        aggregate = ops.StreamAggregate(
+            scan, [], [("count", None, False)], schema("n"), scalar=True
+        )
+        assert len(list(aggregate.walk())) == 2
+
+    def test_total_cost_includes_children(self):
+        scan = table_scan([], "v")
+        scan.set_estimates(10, 8, 0.5, 0.1)
+        aggregate = ops.StreamAggregate(
+            scan, [], [("count", None, False)], schema("n"), scalar=True
+        )
+        aggregate.set_estimates(1, 8, 0.0, 0.2)
+        assert aggregate.total_cost == pytest.approx(0.8)

@@ -1,0 +1,330 @@
+"""Parser tests: statement shapes and expression precedence."""
+
+import pytest
+
+from repro.engine import ast_nodes as ast
+from repro.engine.parser import parse, parse_expression
+from repro.errors import ParseError
+
+
+class TestSelectBasics:
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt, ast.Select)
+        assert isinstance(stmt.items[0].expr, ast.Star)
+        assert stmt.from_clause == ast.TableRef("t")
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT t.* FROM t")
+        assert stmt.items[0].expr == ast.Star(table="t")
+
+    def test_column_alias_with_as(self):
+        stmt = parse("SELECT a AS b FROM t")
+        assert stmt.items[0].alias == "b"
+
+    def test_column_alias_without_as(self):
+        stmt = parse("SELECT a b FROM t")
+        assert stmt.items[0].alias == "b"
+
+    def test_table_alias(self):
+        stmt = parse("SELECT x FROM mytable m")
+        assert stmt.from_clause == ast.TableRef("mytable", alias="m")
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_top(self):
+        stmt = parse("SELECT TOP 10 a FROM t")
+        assert stmt.top == 10 and not stmt.top_percent
+
+    def test_top_percent(self):
+        stmt = parse("SELECT TOP 5 PERCENT a FROM t")
+        assert stmt.top == 5 and stmt.top_percent
+
+    def test_top_parenthesized(self):
+        assert parse("SELECT TOP (3) a FROM t").top == 3
+
+    def test_select_without_from(self):
+        stmt = parse("SELECT 1 + 1")
+        assert stmt.from_clause is None
+
+    def test_where(self):
+        stmt = parse("SELECT a FROM t WHERE a > 1")
+        assert isinstance(stmt.where, ast.BinaryOp)
+
+    def test_group_by_and_having(self):
+        stmt = parse("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2")
+        assert stmt.group_by == [ast.ColumnRef("a")]
+        assert stmt.having is not None
+
+    def test_order_by_directions(self):
+        stmt = parse("SELECT a, b FROM t ORDER BY a DESC, b ASC, a")
+        assert [item.descending for item in stmt.order_by] == [True, False, False]
+
+    def test_trailing_semicolon(self):
+        assert isinstance(parse("SELECT a FROM t;"), ast.Select)
+
+    def test_quoted_column_names(self):
+        stmt = parse('SELECT [my col], "other col" FROM t')
+        assert stmt.items[0].expr == ast.ColumnRef("my col")
+        assert stmt.items[1].expr == ast.ColumnRef("other col")
+
+
+class TestJoins:
+    def test_inner_join(self):
+        stmt = parse("SELECT * FROM a JOIN b ON a.x = b.x")
+        join = stmt.from_clause
+        assert isinstance(join, ast.Join) and join.kind == "inner"
+
+    def test_explicit_inner(self):
+        assert parse("SELECT * FROM a INNER JOIN b ON a.x = b.x").from_clause.kind == "inner"
+
+    @pytest.mark.parametrize("word,kind", [("LEFT", "left"), ("RIGHT", "right"), ("FULL", "full")])
+    def test_outer_joins(self, word, kind):
+        stmt = parse("SELECT * FROM a %s OUTER JOIN b ON a.x = b.x" % word)
+        assert stmt.from_clause.kind == kind
+
+    def test_outer_keyword_optional(self):
+        assert parse("SELECT * FROM a LEFT JOIN b ON a.x = b.x").from_clause.kind == "left"
+
+    def test_cross_join(self):
+        stmt = parse("SELECT * FROM a CROSS JOIN b")
+        assert stmt.from_clause.kind == "cross"
+        assert stmt.from_clause.condition is None
+
+    def test_comma_join(self):
+        stmt = parse("SELECT * FROM a, b")
+        assert stmt.from_clause.kind == "cross"
+
+    def test_chained_joins_left_deep(self):
+        stmt = parse("SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y")
+        outer = stmt.from_clause
+        assert isinstance(outer.left, ast.Join)
+        assert outer.right == ast.TableRef("c")
+
+    def test_derived_table(self):
+        stmt = parse("SELECT * FROM (SELECT a FROM t) AS sub")
+        assert isinstance(stmt.from_clause, ast.SubqueryRef)
+        assert stmt.from_clause.alias == "sub"
+
+    def test_derived_table_requires_alias(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM (SELECT a FROM t)")
+
+
+class TestSetOperations:
+    def test_union(self):
+        stmt = parse("SELECT a FROM t UNION SELECT b FROM u")
+        assert isinstance(stmt, ast.SetOperation)
+        assert stmt.op == "union" and not stmt.all
+
+    def test_union_all(self):
+        assert parse("SELECT a FROM t UNION ALL SELECT b FROM u").all
+
+    def test_intersect_binds_tighter(self):
+        stmt = parse("SELECT a FROM t UNION SELECT b FROM u INTERSECT SELECT c FROM v")
+        assert stmt.op == "union"
+        assert stmt.right.op == "intersect"
+
+    def test_except(self):
+        assert parse("SELECT a FROM t EXCEPT SELECT b FROM u").op == "except"
+
+    def test_union_chain_left_associative(self):
+        stmt = parse("SELECT a FROM t UNION SELECT b FROM u UNION SELECT c FROM v")
+        assert stmt.left.op == "union"
+
+    def test_order_by_on_set_operation(self):
+        stmt = parse("SELECT a FROM t UNION SELECT b FROM u ORDER BY 1")
+        assert len(stmt.order_by) == 1
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr == ast.BinaryOp(
+            "+", ast.Literal(1), ast.BinaryOp("*", ast.Literal(2), ast.Literal(3))
+        )
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_and_or_precedence(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "not"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-5")
+        assert expr == ast.UnaryOp("-", ast.Literal(5))
+
+    def test_is_null(self):
+        expr = parse_expression("a IS NULL")
+        assert expr == ast.IsNull(ast.ColumnRef("a"), negated=False)
+
+    def test_is_not_null(self):
+        assert parse_expression("a IS NOT NULL").negated
+
+    def test_like(self):
+        expr = parse_expression("name LIKE '%abc%'")
+        assert isinstance(expr, ast.Like)
+
+    def test_not_like(self):
+        assert parse_expression("name NOT LIKE 'x%'").negated
+
+    def test_between(self):
+        expr = parse_expression("a BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.Between)
+
+    def test_not_between(self):
+        assert parse_expression("a NOT BETWEEN 1 AND 2").negated
+
+    def test_in_list(self):
+        expr = parse_expression("a IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList) and len(expr.items) == 3
+
+    def test_not_in_list(self):
+        assert parse_expression("a NOT IN (1)").negated
+
+    def test_in_subquery(self):
+        expr = parse_expression("a IN (SELECT b FROM t)")
+        assert isinstance(expr, ast.InSubquery)
+
+    def test_exists(self):
+        expr = parse_expression("EXISTS (SELECT 1 FROM t)")
+        assert isinstance(expr, ast.Exists)
+
+    def test_scalar_subquery(self):
+        expr = parse_expression("(SELECT MAX(a) FROM t)")
+        assert isinstance(expr, ast.ScalarSubquery)
+
+    def test_searched_case(self):
+        expr = parse_expression("CASE WHEN a = 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(expr, ast.Case) and expr.operand is None
+
+    def test_simple_case(self):
+        expr = parse_expression("CASE a WHEN 1 THEN 'x' WHEN 2 THEN 'y' END")
+        assert expr.operand == ast.ColumnRef("a")
+        assert len(expr.whens) == 2
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_cast(self):
+        expr = parse_expression("CAST(a AS float)")
+        assert expr == ast.Cast(ast.ColumnRef("a"), "float")
+
+    def test_cast_with_precision(self):
+        expr = parse_expression("CAST(a AS decimal(10,2))")
+        assert expr.type_name == "decimal(10,2)"
+
+    def test_try_cast(self):
+        assert parse_expression("TRY_CAST(a AS int)").try_cast
+
+    def test_convert(self):
+        expr = parse_expression("CONVERT(varchar, a)")
+        assert isinstance(expr, ast.Cast) and expr.type_name == "varchar"
+
+    def test_function_call(self):
+        expr = parse_expression("LEN(name)")
+        assert expr == ast.FuncCall("len", [ast.ColumnRef("name")])
+
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert isinstance(expr.args[0], ast.Star)
+
+    def test_count_distinct(self):
+        assert parse_expression("COUNT(DISTINCT a)").distinct
+
+    def test_qualified_column(self):
+        assert parse_expression("t.col") == ast.ColumnRef("col", table="t")
+
+    def test_string_concat_plus(self):
+        expr = parse_expression("a + 'x'")
+        assert expr.op == "+"
+
+
+class TestWindowFunctions:
+    def test_row_number(self):
+        expr = parse_expression("ROW_NUMBER() OVER (ORDER BY a)")
+        assert isinstance(expr, ast.WindowFunction)
+        assert expr.func.name == "row_number"
+
+    def test_partition_by(self):
+        expr = parse_expression("SUM(x) OVER (PARTITION BY g ORDER BY t)")
+        assert len(expr.partition_by) == 1
+        assert len(expr.order_by) == 1
+
+    def test_window_without_order(self):
+        expr = parse_expression("AVG(x) OVER (PARTITION BY g)")
+        assert expr.order_by == []
+
+    def test_frame_clause_accepted(self):
+        expr = parse_expression(
+            "SUM(x) OVER (ORDER BY t ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW)"
+        )
+        assert isinstance(expr, ast.WindowFunction)
+
+
+class TestDDL:
+    def test_create_view(self):
+        stmt = parse("CREATE VIEW v AS SELECT a FROM t")
+        assert isinstance(stmt, ast.CreateView) and stmt.name == "v"
+
+    def test_create_table(self):
+        stmt = parse("CREATE TABLE t (a int, b varchar)")
+        assert [c.name for c in stmt.columns] == ["a", "b"]
+
+    def test_drop_view(self):
+        assert isinstance(parse("DROP VIEW v"), ast.DropView)
+
+    def test_drop_table_if_exists(self):
+        stmt = parse("DROP TABLE IF EXISTS t")
+        assert stmt.if_exists
+
+    def test_insert_values(self):
+        stmt = parse("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert len(stmt.rows) == 2
+
+    def test_insert_with_columns(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert stmt.columns == ["a", "b"]
+
+    def test_insert_select(self):
+        stmt = parse("INSERT INTO t SELECT * FROM u")
+        assert stmt.query is not None
+
+    def test_alter_column(self):
+        stmt = parse("ALTER TABLE t ALTER COLUMN c varchar")
+        assert isinstance(stmt, ast.AlterColumn)
+        assert (stmt.table, stmt.column, stmt.type_name) == ("t", "c", "varchar")
+
+    def test_qualified_table_name(self):
+        stmt = parse("SELECT * FROM dbo.mytable")
+        assert stmt.from_clause.name == "dbo.mytable"
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT * FROM",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t GROUP",
+            "UPDATE t SET a = 1",
+            "SELECT * FROM t JOIN u",
+            "SELECT a FROM t ORDER",
+            "CREATE VIEW v",
+            "SELECT * FROM t; SELECT * FROM u",
+        ],
+    )
+    def test_invalid_statements(self, sql):
+        with pytest.raises(ParseError):
+            parse(sql)

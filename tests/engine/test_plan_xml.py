@@ -1,0 +1,90 @@
+"""SHOWPLAN-style XML emission tests."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.plan_xml import NAMESPACE
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.execute("CREATE TABLE incomes (name varchar, income int, position varchar)")
+    database.execute(
+        "INSERT INTO incomes VALUES ('a', 600000, 'x'), ('b', 400000, 'y'), ('c', 700000, 'z')"
+    )
+    return database
+
+
+def relops(xml):
+    tree = ET.fromstring(xml)
+    return tree.findall(".//{%s}RelOp" % NAMESPACE)
+
+
+class TestXMLStructure:
+    def test_valid_xml(self, db):
+        xml = db.explain("SELECT * FROM incomes").xml
+        assert ET.fromstring(xml) is not None
+
+    def test_statement_text_preserved(self, db):
+        sql = "SELECT * FROM incomes WHERE income > 500000"
+        xml = db.explain(sql).xml
+        tree = ET.fromstring(xml)
+        stmt = tree.find(".//{%s}StmtSimple" % NAMESPACE)
+        assert stmt.get("StatementText") == sql
+
+    def test_relop_attributes(self, db):
+        xml = db.explain("SELECT * FROM incomes WHERE income > 500000").xml
+        for relop in relops(xml):
+            assert relop.get("PhysicalOp")
+            assert relop.get("LogicalOp")
+            float(relop.get("EstimateRows"))
+            float(relop.get("EstimateIO"))
+            float(relop.get("EstimateCPU"))
+            float(relop.get("AvgRowSize"))
+            float(relop.get("EstimatedTotalSubtreeCost"))
+
+    def test_listing1_shape(self, db):
+        """The running example from Listing 1 of the paper."""
+        xml = db.explain("SELECT * FROM incomes WHERE income > 500000").xml
+        ops = [relop.get("PhysicalOp") for relop in relops(xml)]
+        assert ops == ["Clustered Index Seek"]
+
+    def test_predicate_text(self, db):
+        xml = db.explain("SELECT * FROM incomes WHERE income > 500000").xml
+        tree = ET.fromstring(xml)
+        scalar = tree.find(".//{%s}ScalarOperator" % NAMESPACE)
+        assert scalar.get("ScalarString") == "income GT 500000"
+
+    def test_output_columns_listed(self, db):
+        xml = db.explain("SELECT name, income FROM incomes").xml
+        tree = ET.fromstring(xml)
+        columns = tree.findall(".//{%s}ColumnReference" % NAMESPACE)
+        names = {c.get("Column") for c in columns}
+        assert {"name", "income"} <= names
+
+    def test_nested_relops_for_join(self, db):
+        xml = db.explain(
+            "SELECT * FROM incomes a JOIN incomes b ON a.name = b.name"
+        ).xml
+        tree = ET.fromstring(xml)
+        root_relop = tree.find(".//{%s}QueryPlan/{%s}RelOp" % (NAMESPACE, NAMESPACE))
+        nested = root_relop.findall(".//{%s}RelOp" % NAMESPACE)
+        assert len(nested) >= 2
+
+    def test_subplan_wrapped(self, db):
+        xml = db.explain(
+            "SELECT * FROM incomes WHERE income > (SELECT AVG(income) FROM incomes)"
+        ).xml
+        tree = ET.fromstring(xml)
+        assert tree.find(".//{%s}Subplan" % NAMESPACE) is not None
+
+    def test_costs_match_plan_objects(self, db):
+        explained = db.explain("SELECT * FROM incomes ORDER BY income")
+        tree = ET.fromstring(explained.xml)
+        stmt = tree.find(".//{%s}StmtSimple" % NAMESPACE)
+        assert float(stmt.get("StatementSubTreeCost")) == pytest.approx(
+            explained.total_cost, rel=1e-6
+        )

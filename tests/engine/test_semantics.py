@@ -1,0 +1,167 @@
+"""SQL semantics details: three-valued logic, NULL handling, coercion,
+bitwise operators, and bound-expression rebasing (the pushdown machinery).
+"""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.expressions import (
+    BoundBinary,
+    BoundColumn,
+    BoundLiteral,
+    contains_subquery,
+    rebase_expr,
+    referenced_slots,
+)
+from repro.engine.types import SQLType
+from repro.errors import ExecutionError
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (a int, b int, s varchar)")
+    database.execute(
+        "INSERT INTO t VALUES (1, 10, 'x'), (2, NULL, 'y'), (NULL, 30, NULL)"
+    )
+    return database
+
+
+class TestThreeValuedLogic:
+    def test_null_equals_null_is_unknown(self, db):
+        # NULL = NULL is unknown -> row filtered out.
+        rows = db.execute("SELECT * FROM t WHERE a = a").rows
+        assert len(rows) == 2  # only non-NULL a rows survive
+
+    def test_unknown_or_true_is_true(self, db):
+        rows = db.execute("SELECT * FROM t WHERE b > 100 OR a = 1").rows
+        assert len(rows) == 1
+
+    def test_unknown_and_false_is_false(self, db):
+        rows = db.execute("SELECT * FROM t WHERE b > 0 AND a = 99").rows
+        assert rows == []
+
+    def test_not_unknown_is_unknown(self, db):
+        rows = db.execute("SELECT * FROM t WHERE NOT (b > 0)").rows
+        assert rows == []  # b NULL row must not pass NOT either
+
+    def test_null_in_select_propagates(self, db):
+        rows = db.execute("SELECT a + b FROM t ORDER BY a").rows
+        values = [r[0] for r in rows]
+        assert None in values
+        assert 11 in values
+
+    def test_null_not_in_empty_matching_list(self, db):
+        rows = db.execute("SELECT a FROM t WHERE a NOT IN (99, 100)").rows
+        # NULL NOT IN (...) is unknown; NULL row excluded.
+        assert sorted(r[0] for r in rows) == [1, 2]
+
+    def test_in_list_with_null_item(self, db):
+        # 1 IN (1, NULL) is true; 2 IN (1, NULL) is unknown.
+        rows = db.execute("SELECT a FROM t WHERE a IN (1, NULL)").rows
+        assert [r[0] for r in rows] == [1]
+
+
+class TestCoercion:
+    def test_string_number_comparison(self, db):
+        assert db.execute("SELECT 1 WHERE '10' > 5").rows == [(1,)]
+
+    def test_incomparable_raises(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT * FROM t WHERE s > 5")
+
+    def test_plus_concatenates_with_string(self, db):
+        rows = db.execute("SELECT s + '!' FROM t WHERE a = 1").rows
+        assert rows == [("x!",)]
+
+    def test_number_plus_string_number(self, db):
+        # T-SQL: '1' + 1 coerces; our '+' concatenates when either side is
+        # a string — deliberate, documented divergence favouring tolerance.
+        rows = db.execute("SELECT '1' + 'x' FROM t WHERE a = 1").rows
+        assert rows == [("1x",)]
+
+
+class TestBitwise:
+    def test_bit_and(self, db):
+        assert db.execute("SELECT 12 & 10").rows == [(8,)]
+
+    def test_bit_or(self, db):
+        assert db.execute("SELECT 12 | 3").rows == [(15,)]
+
+    def test_bit_xor(self, db):
+        assert db.execute("SELECT 12 ^ 10").rows == [(6,)]
+
+    def test_flag_mask_idiom(self, db):
+        rows = db.execute("SELECT a FROM t WHERE a & 1 > 0").rows
+        assert [r[0] for r in rows] == [1]
+
+    def test_null_bitwise(self, db):
+        assert db.execute("SELECT b & 1 FROM t WHERE a = 2").rows == [(None,)]
+
+
+class TestRebaseExpr:
+    def _col(self, slot, name="c"):
+        return BoundColumn(slot, SQLType.INT, name)
+
+    def test_identity_mapping(self):
+        expr = BoundBinary(">", self._col(0), BoundLiteral(5), SQLType.BIT)
+        rebased = rebase_expr(expr, lambda slot: self._col(slot + 3))
+        assert rebased.left.slot == 3
+
+    def test_unmappable_slot_returns_none(self):
+        expr = BoundBinary(">", self._col(0), BoundLiteral(5), SQLType.BIT)
+        assert rebase_expr(expr, lambda slot: None) is None
+
+    def test_literals_survive(self):
+        expr = BoundLiteral(42)
+        assert rebase_expr(expr, lambda slot: None) is expr
+
+    def test_referenced_slots(self):
+        expr = BoundBinary(
+            "+", self._col(2), BoundBinary("*", self._col(5), BoundLiteral(2), SQLType.INT),
+            SQLType.INT,
+        )
+        assert referenced_slots(expr) == {2, 5}
+
+    def test_contains_subquery_false_for_plain(self):
+        assert not contains_subquery(BoundLiteral(1))
+
+    def test_rebased_expression_evaluates(self):
+        expr = BoundBinary(">", self._col(0), BoundLiteral(5), SQLType.BIT)
+        rebased = rebase_expr(expr, lambda slot: self._col(1))
+        assert rebased.eval((0, 10), None) is True
+        assert rebased.eval((0, 1), None) is False
+
+
+class TestCorrelatedSubqueries:
+    @pytest.fixture(scope="class")
+    def db2(self):
+        database = Database()
+        database.execute("CREATE TABLE grp (g varchar, v int)")
+        database.execute(
+            "INSERT INTO grp VALUES ('a', 1), ('a', 5), ('b', 10), ('b', 2)"
+        )
+        return database
+
+    def test_correlated_max_per_group(self, db2):
+        rows = db2.execute(
+            "SELECT g, v FROM grp o WHERE v = "
+            "(SELECT MAX(v) FROM grp i WHERE i.g = o.g) ORDER BY g"
+        ).rows
+        assert rows == [("a", 5), ("b", 10)]
+
+    def test_nested_two_levels(self, db2):
+        rows = db2.execute(
+            "SELECT g FROM grp o WHERE EXISTS ("
+            "  SELECT 1 FROM grp m WHERE m.g = o.g AND m.v > ("
+            "    SELECT AVG(v) FROM grp i WHERE i.g = o.g)) "
+            "ORDER BY g, v"
+        ).rows
+        assert len(rows) == 4  # every group has an above-average member
+
+    def test_uncorrelated_subquery_cached(self, db2):
+        # Runs correctly and returns a consistent scalar for every row.
+        rows = db2.execute(
+            "SELECT v - (SELECT MIN(v) FROM grp) FROM grp ORDER BY v"
+        ).rows
+        assert [r[0] for r in rows] == [0, 1, 4, 9]

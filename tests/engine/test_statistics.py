@@ -1,0 +1,96 @@
+"""Statistics / cardinality estimation tests (sample-based selectivity)."""
+
+import pytest
+
+from repro.engine.catalog import Column, TableStatistics
+from repro.engine.database import Database
+from repro.engine.types import SQLType
+
+
+def make_stats(values):
+    stats = TableStatistics()
+    column = Column("v", SQLType.INT)
+    for value in values:
+        stats.observe_row([column], (value,))
+    return stats
+
+
+class TestRangeSelectivity:
+    def test_uniform_data_midpoint(self):
+        stats = make_stats(range(100))
+        assert stats.range_selectivity("v", ">", 49) == pytest.approx(0.5, abs=0.02)
+
+    def test_skewed_data(self):
+        stats = make_stats([1] * 90 + [100] * 10)
+        assert stats.range_selectivity("v", ">", 50) == pytest.approx(0.1, abs=0.02)
+
+    def test_all_below_never_zero(self):
+        stats = make_stats(range(100))
+        estimate = stats.range_selectivity("v", ">", 10**9)
+        assert 0.0 < estimate < 0.02
+
+    def test_all_above_never_one(self):
+        stats = make_stats(range(100))
+        assert stats.range_selectivity("v", ">", -1) <= 0.999
+
+    def test_unknown_column_returns_none(self):
+        stats = make_stats(range(10))
+        assert stats.range_selectivity("zzz", ">", 5) is None
+
+    def test_non_numeric_literal_returns_none(self):
+        stats = make_stats(range(10))
+        assert stats.range_selectivity("v", ">", "abc") is None
+
+    def test_equality_not_handled_here(self):
+        stats = make_stats(range(10))
+        assert stats.range_selectivity("v", "=", 5) is None
+
+    def test_not_equal(self):
+        stats = make_stats([1] * 50 + [2] * 50)
+        assert stats.range_selectivity("v", "<>", 1) == pytest.approx(0.5, abs=0.02)
+
+    def test_text_column_has_no_sample(self):
+        stats = TableStatistics()
+        column = Column("s", SQLType.VARCHAR)
+        for value in ("a", "b"):
+            stats.observe_row([column], (value,))
+        assert stats.range_selectivity("s", ">", 1) is None
+
+    def test_sample_cap_respected(self):
+        stats = make_stats(range(5000))
+        assert len(stats.samples["v"]) <= stats._sample_cap
+
+    def test_deterministic(self):
+        first = make_stats(range(2000)).samples["v"]
+        second = make_stats(range(2000)).samples["v"]
+        assert first == second
+
+
+class TestPlannerUsesSamples:
+    @pytest.fixture
+    def db(self):
+        database = Database()
+        database.execute("CREATE TABLE t (k int, v int)")
+        table = database.catalog.get_table("t")
+        # 90% of v below 100, 10% above.
+        for i in range(1000):
+            table.insert_row((i, 50 if i % 10 else 5000))
+        return database
+
+    def test_skew_aware_estimate(self, db):
+        plan = db.explain("SELECT * FROM t WHERE v > 100").plan
+        leaf = [op for op in plan.walk() if op.filters][0]
+        # Flat default would say 300 rows; the sample knows it is ~100.
+        assert leaf.est_rows == pytest.approx(100, rel=0.5)
+
+    def test_flipped_comparison(self, db):
+        plan = db.explain("SELECT * FROM t WHERE 100 < v").plan
+        leaf = [op for op in plan.walk() if op.filters][0]
+        assert leaf.est_rows == pytest.approx(100, rel=0.5)
+
+    def test_estimate_tracks_actual(self, db):
+        for threshold in (10, 60, 4000):
+            plan = db.explain("SELECT * FROM t WHERE v > %d" % threshold).plan
+            actual = len(db.execute("SELECT * FROM t WHERE v > %d" % threshold).rows)
+            leaf = [op for op in plan.walk() if op.filters][0]
+            assert leaf.est_rows == pytest.approx(max(actual, 1), rel=0.6, abs=10)

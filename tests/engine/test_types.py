@@ -1,0 +1,178 @@
+"""Type system tests: casting, coercion, widening, formatting."""
+
+import datetime as dt
+from decimal import Decimal
+
+import pytest
+
+from repro.engine.types import (
+    SQLType,
+    cast_value,
+    format_value,
+    infer_literal_type,
+    is_numeric,
+    parse_date,
+    parse_datetime,
+    resolve_type_name,
+    unify_types,
+)
+from repro.errors import ExecutionError, TypeCheckError
+
+
+class TestResolveTypeName:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("int", SQLType.INT),
+            ("INTEGER", SQLType.INT),
+            ("bigint", SQLType.BIGINT),
+            ("float", SQLType.FLOAT),
+            ("real", SQLType.FLOAT),
+            ("decimal(10,2)", SQLType.DECIMAL),
+            ("numeric", SQLType.DECIMAL),
+            ("varchar(255)", SQLType.VARCHAR),
+            ("nvarchar(max)", SQLType.VARCHAR),
+            ("text", SQLType.VARCHAR),
+            ("bit", SQLType.BIT),
+            ("date", SQLType.DATE),
+            ("datetime", SQLType.DATETIME),
+            ("datetime2", SQLType.DATETIME),
+        ],
+    )
+    def test_aliases(self, name, expected):
+        assert resolve_type_name(name) == expected
+
+    def test_unknown_type(self):
+        with pytest.raises(TypeCheckError):
+            resolve_type_name("blob")
+
+
+class TestCasting:
+    def test_null_casts_to_null(self):
+        assert cast_value(None, SQLType.INT) is None
+
+    def test_string_to_int(self):
+        assert cast_value("42", SQLType.INT) == 42
+
+    def test_string_with_spaces_to_int(self):
+        assert cast_value("  7 ", SQLType.INT) == 7
+
+    def test_fractional_string_to_int_fails(self):
+        with pytest.raises(ExecutionError):
+            cast_value("1.5", SQLType.INT)
+
+    def test_integral_float_string_to_int(self):
+        assert cast_value("3.0", SQLType.INT) == 3
+
+    def test_bad_string_to_int_fails(self):
+        with pytest.raises(ExecutionError):
+            cast_value("abc", SQLType.INT)
+
+    def test_try_cast_returns_null(self):
+        assert cast_value("abc", SQLType.INT, strict=False) is None
+
+    def test_string_to_float(self):
+        assert cast_value("2.5", SQLType.FLOAT) == 2.5
+
+    def test_float_to_int_truncates(self):
+        assert cast_value(2.9, SQLType.INT) == 2
+
+    def test_string_to_decimal(self):
+        assert cast_value("10.25", SQLType.DECIMAL) == Decimal("10.25")
+
+    @pytest.mark.parametrize("text,expected", [("true", True), ("0", False), ("YES", True)])
+    def test_string_to_bit(self, text, expected):
+        assert cast_value(text, SQLType.BIT) is expected
+
+    def test_bad_bit_fails(self):
+        with pytest.raises(ExecutionError):
+            cast_value("maybe", SQLType.BIT)
+
+    def test_string_to_date(self):
+        assert cast_value("2014-05-01", SQLType.DATE) == dt.date(2014, 5, 1)
+
+    def test_slash_date(self):
+        assert cast_value("05/01/2014", SQLType.DATE) == dt.date(2014, 5, 1)
+
+    def test_string_to_datetime(self):
+        expected = dt.datetime(2014, 5, 1, 13, 30, 0)
+        assert cast_value("2014-05-01 13:30:00", SQLType.DATETIME) == expected
+
+    def test_bare_date_to_datetime(self):
+        assert cast_value("2014-05-01", SQLType.DATETIME) == dt.datetime(2014, 5, 1)
+
+    def test_datetime_to_date(self):
+        assert cast_value(dt.datetime(2014, 5, 1, 9), SQLType.DATE) == dt.date(2014, 5, 1)
+
+    def test_int_to_varchar(self):
+        assert cast_value(42, SQLType.VARCHAR) == "42"
+
+    def test_bool_to_varchar(self):
+        assert cast_value(True, SQLType.VARCHAR) == "1"
+
+
+class TestFormatValue:
+    def test_none(self):
+        assert format_value(None) is None
+
+    def test_integral_float(self):
+        assert format_value(3.0) == "3"
+
+    def test_fractional_float(self):
+        assert format_value(2.5) == "2.5"
+
+    def test_date(self):
+        assert format_value(dt.date(2014, 1, 2)) == "2014-01-02"
+
+    def test_datetime(self):
+        assert format_value(dt.datetime(2014, 1, 2, 3, 4, 5)) == "2014-01-02 03:04:05"
+
+
+class TestUnifyTypes:
+    def test_same_type(self):
+        assert unify_types(SQLType.INT, SQLType.INT) == SQLType.INT
+
+    def test_int_float_widens(self):
+        assert unify_types(SQLType.INT, SQLType.FLOAT) == SQLType.FLOAT
+
+    def test_unknown_is_identity(self):
+        assert unify_types(SQLType.UNKNOWN, SQLType.DATE) == SQLType.DATE
+
+    def test_varchar_wins(self):
+        assert unify_types(SQLType.INT, SQLType.VARCHAR) == SQLType.VARCHAR
+
+    def test_date_datetime(self):
+        assert unify_types(SQLType.DATE, SQLType.DATETIME) == SQLType.DATETIME
+
+    def test_mixed_domains_become_varchar(self):
+        assert unify_types(SQLType.INT, SQLType.DATE) == SQLType.VARCHAR
+
+
+class TestInference:
+    def test_null(self):
+        assert infer_literal_type(None) == SQLType.UNKNOWN
+
+    def test_small_int(self):
+        assert infer_literal_type(5) == SQLType.INT
+
+    def test_big_int(self):
+        assert infer_literal_type(2**40) == SQLType.BIGINT
+
+    def test_bool_before_int(self):
+        assert infer_literal_type(True) == SQLType.BIT
+
+    def test_is_numeric(self):
+        assert is_numeric(SQLType.DECIMAL)
+        assert not is_numeric(SQLType.VARCHAR)
+
+
+class TestDateParsing:
+    def test_parse_date_formats(self):
+        assert parse_date("2013/07/04") == dt.date(2013, 7, 4)
+
+    def test_parse_date_invalid(self):
+        with pytest.raises(ValueError):
+            parse_date("not a date")
+
+    def test_parse_datetime_with_t(self):
+        assert parse_datetime("2013-07-04T10:00:00") == dt.datetime(2013, 7, 4, 10)

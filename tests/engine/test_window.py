@@ -1,0 +1,135 @@
+"""Window function tests (the OVER clause — 4% of the paper's workload)."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.errors import BindError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE readings (station varchar, hour int, temp float)")
+    database.execute(
+        "INSERT INTO readings VALUES "
+        "('a', 1, 10.0), ('a', 2, 12.0), ('a', 3, 11.0), "
+        "('b', 1, 20.0), ('b', 2, 22.0), "
+        "('c', 1, 5.0)"
+    )
+    return database
+
+
+class TestRanking:
+    def test_row_number_global(self, db):
+        rows = db.execute(
+            "SELECT station, hour, ROW_NUMBER() OVER (ORDER BY temp) AS rn FROM readings"
+        ).rows
+        ranks = {(r[0], r[1]): r[2] for r in rows}
+        assert ranks[("c", 1)] == 1
+        assert ranks[("b", 2)] == 6
+
+    def test_row_number_partitioned(self, db):
+        rows = db.execute(
+            "SELECT station, hour, "
+            "ROW_NUMBER() OVER (PARTITION BY station ORDER BY hour) AS rn FROM readings"
+        ).rows
+        ranks = {(r[0], r[1]): r[2] for r in rows}
+        assert ranks[("a", 1)] == 1 and ranks[("a", 3)] == 3
+        assert ranks[("b", 1)] == 1
+        assert ranks[("c", 1)] == 1
+
+    def test_rank_with_ties(self, db):
+        db.execute("INSERT INTO readings VALUES ('c', 2, 5.0)")
+        rows = db.execute(
+            "SELECT hour, RANK() OVER (ORDER BY temp) AS rk FROM readings WHERE station = 'c'"
+        ).rows
+        assert [r[1] for r in rows] == [1, 1]
+
+    def test_dense_rank(self, db):
+        db.execute("INSERT INTO readings VALUES ('d', 1, 10.0)")
+        rows = db.execute(
+            "SELECT station, DENSE_RANK() OVER (ORDER BY temp) AS dr FROM readings "
+            "WHERE temp = 10.0 OR temp = 11.0"
+        ).rows
+        by_station = {r[0]: r[1] for r in rows}
+        assert by_station["a"] in (1, 2)  # two temp=10 rows share dense rank 1
+
+    def test_ntile(self, db):
+        rows = db.execute(
+            "SELECT hour, NTILE(2) OVER (ORDER BY temp) AS bucket FROM readings "
+            "WHERE station = 'a'"
+        ).rows
+        buckets = sorted(r[1] for r in rows)
+        assert buckets == [1, 1, 2]
+
+    def test_ranking_requires_order(self, db):
+        with pytest.raises(BindError):
+            db.execute("SELECT ROW_NUMBER() OVER (PARTITION BY station) FROM readings")
+
+
+class TestWindowAggregates:
+    def test_whole_partition_aggregate(self, db):
+        rows = db.execute(
+            "SELECT station, temp, AVG(temp) OVER (PARTITION BY station) AS avg_t "
+            "FROM readings WHERE station = 'a'"
+        ).rows
+        assert all(r[2] == pytest.approx(11.0) for r in rows)
+
+    def test_global_aggregate_window(self, db):
+        rows = db.execute("SELECT station, COUNT(*) OVER () AS total FROM readings").rows
+        assert all(r[1] == 6 for r in rows)
+
+    def test_running_sum(self, db):
+        rows = db.execute(
+            "SELECT hour, SUM(temp) OVER (PARTITION BY station ORDER BY hour) AS rt "
+            "FROM readings WHERE station = 'a' ORDER BY hour"
+        ).rows
+        assert [r[1] for r in rows] == [10.0, 22.0, 33.0]
+
+    def test_running_sum_peers_share_value(self, db):
+        db.execute("CREATE TABLE t (g int, v int)")
+        db.execute("INSERT INTO t VALUES (1, 10), (1, 20), (2, 5)")
+        rows = db.execute(
+            "SELECT g, v, SUM(v) OVER (ORDER BY g) AS rt FROM t ORDER BY g, v"
+        ).rows
+        # Rows with g=1 are peers: both see the full peer-group sum 30.
+        assert [r[2] for r in rows] == [30, 30, 35]
+
+    def test_window_in_expression(self, db):
+        rows = db.execute(
+            "SELECT temp - AVG(temp) OVER (PARTITION BY station) AS anomaly "
+            "FROM readings WHERE station = 'b'"
+        ).rows
+        assert sorted(r[0] for r in rows) == [-1.0, 1.0]
+
+    def test_multiple_windows(self, db):
+        rows = db.execute(
+            "SELECT station, ROW_NUMBER() OVER (ORDER BY temp) AS rn, "
+            "MAX(temp) OVER (PARTITION BY station) AS mx FROM readings"
+        ).rows
+        assert len(rows) == 6
+        assert all(len(r) == 3 for r in rows)
+
+    def test_window_with_where_applied_first(self, db):
+        rows = db.execute(
+            "SELECT COUNT(*) OVER () FROM readings WHERE station = 'a'"
+        ).rows
+        assert all(r[0] == 3 for r in rows)
+
+    def test_window_after_group_by(self, db):
+        rows = db.execute(
+            "SELECT station, SUM(temp) AS total, "
+            "RANK() OVER (ORDER BY SUM(temp) DESC) AS rk "
+            "FROM readings GROUP BY station ORDER BY rk"
+        ).rows
+        assert rows[0][0] == "b" and rows[0][2] == 1
+
+
+class TestWindowPlanShape:
+    def test_plan_contains_segment_and_sequence_project(self, db):
+        explained = db.explain(
+            "SELECT ROW_NUMBER() OVER (ORDER BY temp) FROM readings"
+        )
+        names = [op.physical_name for op in explained.plan.walk()]
+        assert "Segment" in names
+        assert "Sequence Project" in names

@@ -1,0 +1,78 @@
+"""Format inference tests."""
+
+import pytest
+
+from repro.errors import IngestError
+from repro.ingest.delimiters import infer_format, split_fields, split_rows
+
+
+class TestFieldSplitting:
+    def test_simple_csv(self):
+        assert split_fields("a,b,c", ",") == ["a", "b", "c"]
+
+    def test_quoted_field_with_delimiter(self):
+        assert split_fields('a,"b,c",d', ",") == ["a", "b,c", "d"]
+
+    def test_escaped_quote(self):
+        assert split_fields('"say ""hi""",x', ",") == ['say "hi"', "x"]
+
+    def test_tab_delimited(self):
+        assert split_fields("a\tb", "\t") == ["a", "b"]
+
+    def test_empty_fields(self):
+        assert split_fields("a,,c", ",") == ["a", "", "c"]
+
+
+class TestRowSplitting:
+    def test_trailing_newline_dropped(self):
+        assert split_rows("a\nb\n", "\n") == ["a", "b"]
+
+    def test_crlf(self):
+        assert split_rows("a\r\nb\r\n", "\r\n") == ["a", "b"]
+
+
+class TestInferFormat:
+    def test_comma_csv(self):
+        fmt = infer_format("a,b,c\n1,2,3\n4,5,6\n")
+        assert fmt.field_delimiter == ","
+        assert fmt.column_count == 3
+
+    def test_tab_separated(self):
+        fmt = infer_format("a\tb\n1\t2\n")
+        assert fmt.field_delimiter == "\t"
+
+    def test_semicolon(self):
+        fmt = infer_format("a;b\n1;2\n")
+        assert fmt.field_delimiter == ";"
+
+    def test_pipe(self):
+        fmt = infer_format("a|b\n1|2\n")
+        assert fmt.field_delimiter == "|"
+
+    def test_crlf_rows(self):
+        fmt = infer_format("a,b\r\n1,2\r\n")
+        assert fmt.row_delimiter == "\r\n"
+
+    def test_header_detected(self):
+        fmt = infer_format("name,value\nalice,1\nbob,2\n")
+        assert fmt.has_header
+
+    def test_no_header_when_first_row_numeric(self):
+        fmt = infer_format("1,2\n3,4\n")
+        assert not fmt.has_header
+
+    def test_single_column_file(self):
+        fmt = infer_format("alpha\nbeta\ngamma\n")
+        assert fmt.column_count == 1
+
+    def test_empty_file_raises(self):
+        with pytest.raises(IngestError):
+            infer_format("   \n  ")
+
+    def test_ragged_rows_still_infer(self):
+        fmt = infer_format("a,b,c\n1,2\n4,5,6\n")
+        assert fmt.field_delimiter == ","
+
+    def test_quoted_comma_does_not_confuse(self):
+        fmt = infer_format('name,notes\nalice,"likes a, b"\n')
+        assert fmt.column_count == 2

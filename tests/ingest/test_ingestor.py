@@ -1,0 +1,158 @@
+"""End-to-end ingest pipeline tests."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.types import SQLType
+from repro.errors import IngestError
+from repro.ingest.ingestor import Ingestor
+from repro.ingest.staging import StagingArea
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+@pytest.fixture
+def ingestor(db):
+    return Ingestor(db, prefix_records=5)
+
+
+class TestBasicIngest:
+    def test_csv_with_header(self, db, ingestor):
+        report = ingestor.ingest_text("obs", "site,temp\nA,10.5\nB,11.0\n")
+        assert report.row_count == 2
+        assert db.execute("SELECT * FROM obs").columns == ["site", "temp"]
+        assert report.column_types["temp"] == SQLType.FLOAT
+
+    def test_rows_queryable(self, db, ingestor):
+        ingestor.ingest_text("obs", "site,temp\nA,10.5\nB,11.0\n")
+        rows = db.execute("SELECT site FROM obs WHERE temp > 10.7").rows
+        assert rows == [("B",)]
+
+    def test_headerless_file_gets_default_names(self, db, ingestor):
+        report = ingestor.ingest_text("nums", "1,2\n3,4\n")
+        assert report.all_names_defaulted
+        assert db.execute("SELECT column1, column2 FROM nums").rows == [(1, 2), (3, 4)]
+
+    def test_partial_header_defaults_missing(self, db, ingestor):
+        report = ingestor.ingest_text("m", "a,,b\n1,2,3\n")
+        assert report.defaulted_columns == ["column2"]
+
+    def test_duplicate_header_names_disambiguated(self, db, ingestor):
+        ingestor.ingest_text("d", "x,x\n1,2\n")
+        assert db.execute("SELECT x, x_2 FROM d").rows == [(1, 2)]
+
+    def test_header_sanitization(self, db, ingestor):
+        ingestor.ingest_text("s", "my col!,2nd\n1,2\n")
+        assert db.execute("SELECT my_col, c_2nd FROM s").rows == [(1, 2)]
+
+    def test_empty_data_raises(self, ingestor):
+        with pytest.raises(IngestError):
+            ingestor.ingest_text("e", "a,b\n")
+
+
+class TestRaggedRows:
+    def test_short_rows_padded_with_null(self, db, ingestor):
+        report = ingestor.ingest_text("r", "a,b,c\n1,2,3\n4,5\n")
+        assert report.ragged
+        rows = db.execute("SELECT c FROM r").rows
+        assert rows == [(3,), (None,)]
+
+    def test_extra_columns_created_for_longest_row(self, db, ingestor):
+        report = ingestor.ingest_text("r", "1,2\n3,4,5\n")
+        assert report.ragged
+        assert len(db.execute("SELECT * FROM r").columns) == 3
+
+    def test_null_tokens_become_null(self, db, ingestor):
+        ingestor.ingest_text("n", "v\n1\nNA\n3\n")
+        rows = db.execute("SELECT v FROM n").rows
+        assert rows == [(1,), (None,), (3,)]
+
+
+class TestTypeFallback:
+    def test_late_mismatch_reverts_to_varchar(self, db, ingestor):
+        # Prefix (5 records) is all integers; row 7 is not: ALTER fallback.
+        text = "v\n" + "\n".join(str(i) for i in range(6)) + "\nnot_a_number\n"
+        report = ingestor.ingest_text("f", text)
+        assert "v" in report.reverted_columns
+        assert report.column_types["v"] == SQLType.VARCHAR
+        rows = db.execute("SELECT v FROM f").rows
+        assert rows[0] == ("0",)
+        assert rows[-1] == ("not_a_number",)
+
+    def test_mismatch_within_prefix_just_infers_varchar(self, db, ingestor):
+        report = ingestor.ingest_text("g", "v\n1\nabc\n")
+        assert report.reverted_columns == []
+        assert report.column_types["v"] == SQLType.VARCHAR
+
+    def test_reverted_column_preserves_values_as_text(self, db, ingestor):
+        text = "v\n" + "\n".join("%d.5" % i for i in range(6)) + "\nxyz\n"
+        ingestor.ingest_text("h", text)
+        rows = db.execute("SELECT v FROM h").rows
+        assert rows[0] == ("0.5",)
+
+    def test_explicit_alter_path(self, db, ingestor):
+        ingestor.ingest_text("k", "v\n1\n2\n")
+        ingestor.reingest_with_alter("k", "v")
+        rows = db.execute("SELECT v FROM k").rows
+        assert rows == [("1",), ("2",)]
+
+
+class TestStagingArea:
+    def test_stage_and_get(self):
+        area = StagingArea()
+        sid = area.stage("data.csv", "a,b\n1,2\n", owner="alice")
+        staged = area.get(sid)
+        assert staged.filename == "data.csv"
+        assert staged.owner == "alice"
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(IngestError):
+            StagingArea().get("stage-999999")
+
+    def test_retry_accounting(self):
+        area = StagingArea(max_attempts=2)
+        sid = area.stage("f", "x\n1\n", owner="a")
+        area.record_attempt(sid)
+        area.record_attempt(sid)
+        with pytest.raises(IngestError):
+            area.record_attempt(sid)
+
+    def test_discard(self):
+        area = StagingArea()
+        sid = area.stage("f", "x\n1\n", owner="a")
+        area.discard(sid)
+        assert len(area) == 0
+
+    def test_non_text_rejected(self):
+        with pytest.raises(IngestError):
+            StagingArea().stage("f", b"bytes", owner="a")
+
+    def test_pending_lists_ids(self):
+        area = StagingArea()
+        sid = area.stage("f", "x\n1\n", owner="a")
+        assert area.pending() == [sid]
+
+
+class TestScienceDataScenario:
+    """The paper's motivating example: environmental sensing data with
+    string flags for missing values, no column names, many files."""
+
+    def test_sensor_files_with_flags(self, db, ingestor):
+        file_a = "2014-01-01,4.2\n2014-01-02,NA\n2014-01-03,5.0\n"
+        ingestor.ingest_text("nutrients_1", file_a)
+        # Values survive; NA became NULL; dates inferred.
+        rows = db.execute(
+            "SELECT column2 FROM nutrients_1 WHERE column2 IS NOT NULL"
+        ).rows
+        assert [r[0] for r in rows] == [4.2, 5.0]
+
+    def test_union_recomposition_after_ingest(self, db, ingestor):
+        ingestor.ingest_text("part1", "d,v\n2014-01-01,1.0\n")
+        ingestor.ingest_text("part2", "d,v\n2014-01-02,2.0\n")
+        rows = db.execute(
+            "SELECT v FROM part1 UNION ALL SELECT v FROM part2"
+        ).rows
+        assert sorted(r[0] for r in rows) == [1.0, 2.0]

@@ -1,0 +1,106 @@
+"""Type inference tests (prefix heuristic and NULL tokens)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.engine.types import SQLType
+from repro.ingest.type_inference import (
+    convert_field,
+    infer_column_types,
+    is_null_token,
+    most_specific_type,
+    value_matches,
+)
+
+
+class TestNullTokens:
+    @pytest.mark.parametrize("token", ["", "  ", "NULL", "na", "N/A", "None", "NaN", "-"])
+    def test_null_tokens(self, token):
+        assert is_null_token(token)
+
+    def test_zero_is_not_null(self):
+        assert not is_null_token("0")
+
+
+class TestMostSpecificType:
+    def test_integers(self):
+        assert most_specific_type(["1", "2", "-3"]) == SQLType.INT
+
+    def test_floats(self):
+        assert most_specific_type(["1.5", "2"]) == SQLType.FLOAT
+
+    def test_bits(self):
+        assert most_specific_type(["0", "1", "1"]) == SQLType.BIT
+
+    def test_bit_overflow_to_int(self):
+        assert most_specific_type(["0", "1", "2"]) == SQLType.INT
+
+    def test_dates(self):
+        assert most_specific_type(["2014-01-01", "2014-02-03"]) == SQLType.DATE
+
+    def test_datetimes(self):
+        assert most_specific_type(["2014-01-01 10:00:00"]) == SQLType.DATETIME
+
+    def test_strings(self):
+        assert most_specific_type(["abc", "1"]) == SQLType.VARCHAR
+
+    def test_scientific_is_float(self):
+        assert most_specific_type(["1e-3", "2.0"]) == SQLType.FLOAT
+
+
+class TestInferColumnTypes:
+    def test_mixed_columns(self):
+        records = [["1", "a", "2.5"], ["2", "b", "3.5"]]
+        assert infer_column_types(records, 3) == [
+            SQLType.INT,
+            SQLType.VARCHAR,
+            SQLType.FLOAT,
+        ]
+
+    def test_nulls_ignored_in_inference(self):
+        records = [["1"], ["NULL"], ["3"]]
+        assert infer_column_types(records, 1) == [SQLType.INT]
+
+    def test_all_null_column_is_varchar(self):
+        records = [["NA"], [""]]
+        assert infer_column_types(records, 1) == [SQLType.VARCHAR]
+
+    def test_prefix_limit_respected(self):
+        # The bad value sits beyond the prefix: inference still says INT.
+        records = [["%d" % i] for i in range(100)] + [["oops"]]
+        assert infer_column_types(records, 1, prefix_records=100) == [SQLType.INT]
+
+    def test_padded_none_fields(self):
+        records = [["1", None], ["2", None]]
+        assert infer_column_types(records, 2)[1] == SQLType.VARCHAR
+
+
+class TestConvertField:
+    def test_int(self):
+        assert convert_field("42", SQLType.INT) == 42
+
+    def test_float(self):
+        assert convert_field("2.5", SQLType.FLOAT) == 2.5
+
+    def test_null_token(self):
+        assert convert_field("NA", SQLType.INT) is None
+
+    def test_none_passthrough(self):
+        assert convert_field(None, SQLType.INT) is None
+
+    def test_date(self):
+        assert convert_field("2014-03-04", SQLType.DATE) == dt.date(2014, 3, 4)
+
+    def test_bit(self):
+        assert convert_field("true", SQLType.BIT) is True
+
+    def test_failure_raises_valueerror(self):
+        with pytest.raises(ValueError):
+            convert_field("abc", SQLType.INT)
+
+    def test_varchar_keeps_text(self):
+        assert convert_field("  spaced  ", SQLType.VARCHAR) == "spaced"
+
+    def test_value_matches_varchar_always(self):
+        assert value_matches("anything", SQLType.VARCHAR)

@@ -1,0 +1,225 @@
+"""REST API and client tests (in-process WSGI transport)."""
+
+import pytest
+
+from repro.server.client import ClientError, SQLShareClient
+from repro.server.rest import SQLShareApp
+
+CSV = "site,temp\nA,10.5\nB,11.0\nC,12.5\n"
+
+
+@pytest.fixture
+def app():
+    # Synchronous execution keeps the protocol identical without threads.
+    return SQLShareApp(run_async=False)
+
+
+@pytest.fixture
+def alice(app):
+    return SQLShareClient("alice", app=app)
+
+
+@pytest.fixture
+def bob(app):
+    return SQLShareClient("bob", app=app)
+
+
+class TestUploadAndQuery:
+    def test_upload_returns_dataset_info(self, alice):
+        info = alice.upload("obs", CSV, description="sensor data", tags=["ocean"])
+        assert info["name"] == "obs"
+        assert info["owner"] == "alice"
+        assert info["kind"] == "wrapper"
+        assert info["visibility"] == "private"
+        assert info["tags"] == ["ocean"]
+
+    def test_submit_and_poll(self, alice):
+        alice.upload("obs", CSV)
+        query_id = alice.submit_query("SELECT site FROM obs WHERE temp > 11")
+        status = alice.query_status(query_id)
+        assert status["status"] == "complete"
+        payload = alice.fetch_results(query_id)
+        assert payload["rows"] == [["C"]]
+
+    def test_run_query_convenience(self, alice):
+        alice.upload("obs", CSV)
+        columns, rows = alice.run_query("SELECT COUNT(*) AS n FROM obs")
+        assert columns == ["n"]
+        assert rows == [(3,)]
+
+    def test_query_error_surfaces(self, alice):
+        alice.upload("obs", CSV)
+        query_id = alice.submit_query("SELECT nope FROM obs")
+        status = alice.query_status(query_id)
+        assert status["status"] == "error"
+        with pytest.raises(ClientError):
+            alice.fetch_results(query_id)
+
+    def test_query_of_other_user_hidden(self, alice, bob):
+        alice.upload("obs", CSV)
+        query_id = alice.submit_query("SELECT * FROM obs")
+        with pytest.raises(ClientError) as excinfo:
+            bob.query_status(query_id)
+        assert excinfo.value.status == 403
+
+    def test_unknown_query_404(self, alice):
+        with pytest.raises(ClientError) as excinfo:
+            alice.query_status("q999999")
+        assert excinfo.value.status == 404
+
+
+class TestDatasetEndpoints:
+    def test_get_dataset_with_preview(self, alice):
+        alice.upload("obs", CSV)
+        info = alice.dataset("obs")
+        assert info["preview"]["columns"] == ["site", "temp"]
+        assert len(info["preview"]["rows"]) == 3
+
+    def test_save_derived_dataset(self, alice):
+        alice.upload("obs", CSV)
+        info = alice.save_dataset("warm", "SELECT * FROM obs WHERE temp > 11")
+        assert info["kind"] == "derived"
+        assert info["derived_from"] == ["obs"]
+
+    def test_provenance_in_dataset_info(self, alice):
+        alice.upload("obs", CSV)
+        alice.save_dataset("warm", "SELECT * FROM obs WHERE temp > 11")
+        alice.save_dataset("warm2", "SELECT site FROM warm")
+        info = alice.dataset("warm2")
+        assert info["provenance"] == ["warm", "obs"]
+
+    def test_list_datasets_filters_by_access(self, alice, bob):
+        alice.upload("obs", CSV)
+        alice.upload("pub", CSV.replace("site", "loc"))
+        alice.make_public("pub")
+        names = [d["name"] for d in bob.list_datasets()]
+        assert names == ["pub"]
+
+    def test_append(self, alice):
+        alice.upload("obs", CSV)
+        alice.append("obs", "site,temp\nD,13.0\n")
+        _columns, rows = alice.run_query("SELECT COUNT(*) FROM obs")
+        assert rows == [(4,)]
+
+    def test_delete(self, alice):
+        alice.upload("obs", CSV)
+        alice.delete_dataset("obs")
+        assert alice.list_datasets() == []
+
+    def test_delete_foreign_forbidden(self, alice, bob):
+        alice.upload("obs", CSV)
+        alice.make_public("obs")
+        with pytest.raises(ClientError) as excinfo:
+            bob.delete_dataset("obs")
+        assert excinfo.value.status == 403
+
+    def test_duplicate_upload_conflict(self, alice):
+        alice.upload("obs", CSV)
+        with pytest.raises(ClientError) as excinfo:
+            alice.upload("obs", CSV)
+        assert excinfo.value.status == 409
+
+    def test_missing_dataset_404(self, alice):
+        with pytest.raises(ClientError) as excinfo:
+            alice.dataset("ghost")
+        assert excinfo.value.status == 404
+
+
+class TestPermissionsEndpoints:
+    def test_share_roundtrip(self, alice, bob):
+        alice.upload("obs", CSV)
+        payload = alice.share("obs", "bob")
+        assert payload["shared_with"] == ["bob"]
+        _columns, rows = bob.run_query("SELECT COUNT(*) FROM obs")
+        assert rows == [(3,)]
+
+    def test_private_blocks_other_users(self, alice, bob):
+        alice.upload("obs", CSV)
+        with pytest.raises(ClientError) as excinfo:
+            bob.run_query("SELECT * FROM obs")
+        assert excinfo.value.status == 400 or excinfo.value.status == 403
+
+    def test_make_public_then_private(self, alice, bob):
+        alice.upload("obs", CSV)
+        alice.make_public("obs")
+        assert bob.run_query("SELECT COUNT(*) FROM obs")[1] == [(3,)]
+        alice.make_private("obs")
+        with pytest.raises(ClientError):
+            bob.run_query("SELECT COUNT(*) FROM obs")
+
+
+class TestProtocolDetails:
+    def call(self, app, method, path, user="alice", body=None):
+        import io, json
+
+        raw = json.dumps(body).encode() if body is not None else b""
+        environ = {
+            "REQUEST_METHOD": method,
+            "PATH_INFO": path,
+            "CONTENT_LENGTH": str(len(raw)),
+            "wsgi.input": io.BytesIO(raw),
+        }
+        if user:
+            environ["HTTP_X_SQLSHARE_USER"] = user
+        out = {}
+
+        def start_response(status, headers):
+            out["status"] = int(status.split()[0])
+
+        chunks = app(environ, start_response)
+        return out["status"], json.loads(b"".join(chunks))
+
+    def test_missing_user_header_401(self, app):
+        status, payload = self.call(app, "GET", "/api/v1/datasets", user=None)
+        assert status == 401
+
+    def test_unknown_endpoint_404(self, app):
+        status, _payload = self.call(app, "GET", "/api/v1/nothing")
+        assert status == 404
+
+    def test_wrong_method_405(self, app):
+        status, _payload = self.call(app, "DELETE", "/api/v1/datasets")
+        assert status == 405
+
+    def test_bad_json_400(self, app):
+        import io
+
+        environ = {
+            "REQUEST_METHOD": "POST",
+            "PATH_INFO": "/api/v1/query",
+            "CONTENT_LENGTH": "7",
+            "wsgi.input": io.BytesIO(b"not json"),
+            "HTTP_X_SQLSHARE_USER": "alice",
+        }
+        out = {}
+
+        def start_response(status, headers):
+            out["status"] = int(status.split()[0])
+
+        app(environ, start_response)
+        assert out["status"] == 400
+
+    def test_missing_field_400(self, app):
+        status, payload = self.call(app, "POST", "/api/v1/query", body={})
+        assert status == 400
+        assert "sql" in payload["error"]
+
+    def test_async_mode_polls(self):
+        app = SQLShareApp(run_async=True)
+        client = SQLShareClient("alice", app=app)
+        client.upload("obs", CSV)
+        _columns, rows = client.run_query("SELECT COUNT(*) FROM obs")
+        assert rows == [(3,)]
+
+    def test_live_http_server(self):
+        import threading
+
+        from repro.server.rest import serve
+
+        server = serve(port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.handle_request, daemon=True)
+        thread.start()
+        client = SQLShareClient("alice", base_url="http://127.0.0.1:%d" % port)
+        assert client.list_datasets() == []
+        server.server_close()

@@ -1,0 +1,137 @@
+"""Workload generator tests: determinism, plausibility, calibration shape."""
+
+import random
+
+import pytest
+
+from repro.synth import datagen, names
+from repro.synth.sdss_workload import SDSSWorkloadGenerator
+from repro.synth.sqlshare_workload import SQLShareWorkloadGenerator
+from repro.workload.extract import WorkloadAnalyzer
+from repro.analysis import diversity, sharing
+
+
+class TestDatagen:
+    def test_deterministic(self):
+        first = datagen.generate_upload(random.Random(5), "oceanography")
+        second = datagen.generate_upload(random.Random(5), "oceanography")
+        assert first.text == second.text
+
+    def test_row_count(self):
+        upload = datagen.generate_upload(random.Random(1), "ecology", rows=30)
+        assert upload.row_count == 30
+
+    def test_all_domains_produce_text(self):
+        rng = random.Random(2)
+        for domain in names.DOMAINS:
+            upload = datagen.generate_upload(rng, domain, rows=10)
+            assert len(upload.text.splitlines()) >= 10
+
+    def test_header_rate_roughly_half(self):
+        rng = random.Random(3)
+        headers = sum(
+            datagen.generate_upload(rng, "lab", rows=5).has_header for _ in range(200)
+        )
+        assert 80 <= headers <= 150  # ~57% expected
+
+    def test_usernames_unique_enough(self):
+        rng = random.Random(4)
+        usernames = {names.make_username(rng) for _ in range(50)}
+        assert len(usernames) > 30
+
+
+@pytest.fixture(scope="module")
+def small_platform():
+    generator = SQLShareWorkloadGenerator(seed=11, users=60, scale=0.04)
+    platform = generator.generate()
+    return platform, generator
+
+
+class TestSQLShareGenerator:
+    def test_deterministic(self):
+        first = SQLShareWorkloadGenerator(seed=3, users=30, scale=0.1).generate()
+        second = SQLShareWorkloadGenerator(seed=3, users=30, scale=0.1).generate()
+        assert [e.sql for e in first.log] == [e.sql for e in second.log]
+
+    def test_different_seeds_differ(self):
+        first = SQLShareWorkloadGenerator(seed=3, users=30, scale=0.1).generate()
+        second = SQLShareWorkloadGenerator(seed=4, users=30, scale=0.1).generate()
+        assert [e.sql for e in first.log] != [e.sql for e in second.log]
+
+    def test_produces_activity(self, small_platform):
+        platform, generator = small_platform
+        assert generator.stats["queries"] > 50
+        assert generator.stats["uploads"] > 10
+        assert generator.stats["views"] > 3
+        # Downloads also land in the log, so it is at least the query count.
+        assert len(platform.log) >= generator.stats["queries"]
+
+    def test_failure_rate_low(self, small_platform):
+        _platform, generator = small_platform
+        actions = sum(generator.stats.values())
+        assert generator.stats["failed_actions"] < 0.1 * actions
+
+    def test_timestamps_sorted(self, small_platform):
+        platform, _generator = small_platform
+        stamps = [entry.timestamp for entry in platform.log]
+        assert stamps == sorted(stamps)
+
+    def test_multiple_users(self, small_platform):
+        platform, _generator = small_platform
+        assert len(platform.users()) >= 3
+
+    def test_some_datasets_public(self, small_platform):
+        platform, _generator = small_platform
+        fraction = sharing.SharingSurvey(platform).public_fraction()
+        assert 0.15 < fraction < 0.6
+
+    def test_derived_datasets_exist(self, small_platform):
+        platform, _generator = small_platform
+        derived = [d for d in platform.datasets.values() if d.is_derived]
+        assert derived
+
+    def test_queries_mostly_string_distinct(self, small_platform):
+        platform, _generator = small_platform
+        catalog = WorkloadAnalyzer(platform).analyze()
+        table = diversity.entropy_table(catalog)
+        assert table["string_distinct_pct"] > 85.0
+
+
+class TestSDSSGenerator:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        generator = SDSSWorkloadGenerator(seed=9, total_queries=800)
+        return generator.generate(), generator
+
+    def test_deterministic(self):
+        first = SDSSWorkloadGenerator(seed=2, total_queries=200).generate()
+        second = SDSSWorkloadGenerator(seed=2, total_queries=200).generate()
+        assert [e.sql for e in first.log] == [e.sql for e in second.log]
+
+    def test_all_queries_plannable(self, workload):
+        _wl, generator = workload
+        assert generator.stats["failed"] == 0
+
+    def test_low_string_distinctness(self, workload):
+        wl, _generator = workload
+        catalog = WorkloadAnalyzer(wl).analyze()
+        table = diversity.entropy_table(catalog)
+        # The canned GUI workload: a few percent distinct, vs ~96% in SQLShare.
+        assert table["string_distinct_pct"] < 15.0
+
+    def test_schema_populated(self, workload):
+        wl, _generator = workload
+        assert wl.db.row_count("photoobj") > 0
+        assert wl.db.row_count("specobj") > 0
+
+    def test_getrange_intrinsics_present(self, workload):
+        wl, _generator = workload
+        catalog = WorkloadAnalyzer(wl).analyze()
+        ranked, _distinct = diversity.expression_distribution(catalog)
+        assert "GetRangeThroughConvert" in dict(ranked)
+
+    def test_bit_and_present(self, workload):
+        wl, _generator = workload
+        catalog = WorkloadAnalyzer(wl).analyze()
+        ranked, _distinct = diversity.expression_distribution(catalog)
+        assert "BIT_AND" in dict(ranked)

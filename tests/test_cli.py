@@ -1,0 +1,42 @@
+"""CLI tests (argument parsing and the export path end-to-end)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["analyze"])
+        assert args.command == "analyze"
+        assert args.scale == 0.05
+
+    def test_serve_options(self):
+        args = build_parser().parse_args(["serve", "--port", "9999", "--scale", "0.01"])
+        assert args.port == 9999
+        assert args.scale == 0.01
+
+    def test_export_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export"])
+
+
+class TestExportCommand:
+    def test_export_writes_release(self, tmp_path):
+        code = main(["export", "--out", str(tmp_path / "corpus"), "--scale", "0.01"])
+        assert code == 0
+        manifest = json.loads((tmp_path / "corpus" / "MANIFEST.json").read_text())
+        assert manifest["queries"] > 0
+        assert manifest["anonymized"] is True
+
+    def test_identified_export(self, tmp_path):
+        main(["export", "--out", str(tmp_path / "c2"), "--scale", "0.01",
+              "--identified"])
+        manifest = json.loads((tmp_path / "c2" / "MANIFEST.json").read_text())
+        assert manifest["anonymized"] is False

@@ -1,0 +1,164 @@
+"""Failure-injection tests: dirty inputs, broken references, races the
+deployed system had to survive."""
+
+import pytest
+
+from repro.core.sqlshare import SQLShare
+from repro.errors import (
+    CatalogError,
+    DatasetError,
+    ExecutionError,
+    IngestError,
+    PermissionError_,
+    QuotaError,
+    ReproError,
+)
+
+
+@pytest.fixture
+def share():
+    platform = SQLShare()
+    platform.upload("a", "base", "k,v\n1,10\n2,20\n")
+    return platform
+
+
+class TestDirtyIngest:
+    def test_binary_garbage_rejected_cleanly(self, share):
+        with pytest.raises(ReproError):
+            share.upload("a", "junk", "\x00\x01\x02")
+
+    def test_only_whitespace_rejected(self, share):
+        with pytest.raises(IngestError):
+            share.upload("a", "blank", "  \n \n")
+
+    def test_header_only_rejected(self, share):
+        with pytest.raises(IngestError):
+            share.upload("a", "empty", "col1,col2\n")
+
+    def test_failed_upload_leaves_no_dataset(self, share):
+        before = set(share.dataset_names())
+        with pytest.raises(ReproError):
+            share.upload("a", "blank", "  \n")
+        assert set(share.dataset_names()) == before
+
+    def test_failed_upload_leaves_no_engine_table(self, share):
+        tables_before = set(share.db.table_names())
+        with pytest.raises(ReproError):
+            share.upload("a", "blank", "  \n")
+        assert set(share.db.table_names()) == tables_before
+
+    def test_retry_after_failure_succeeds(self, share):
+        with pytest.raises(ReproError):
+            share.upload("a", "retry_me", "  \n")
+        share.upload("a", "retry_me", "k\n1\n")
+        assert share.has_dataset("retry_me")
+
+    def test_mixed_garbage_column_survives(self, share):
+        text = "v\n" + "\n".join(["1"] * 150) + "\n\x7f\x7f\n9\n"
+        share.upload("a", "weird", text)
+        result = share.run_query("a", "SELECT COUNT(*) FROM weird")
+        assert result.rows[0][0] == 152
+
+
+class TestBrokenReferences:
+    def test_view_over_deleted_dataset_fails_at_query(self, share):
+        share.create_dataset("a", "child", "SELECT k FROM base")
+        share.delete_dataset("a", "base")
+        with pytest.raises(CatalogError):
+            share.run_query("a", "SELECT * FROM child")
+
+    def test_deep_chain_broken_in_middle(self, share):
+        share.create_dataset("a", "l1", "SELECT * FROM base")
+        share.create_dataset("a", "l2", "SELECT * FROM l1")
+        share.delete_dataset("a", "l1")
+        with pytest.raises(CatalogError):
+            share.run_query("a", "SELECT * FROM l2")
+        # Provenance browsing still works (chain just ends early).
+        assert share.views.provenance("l2") == ["l1"]
+
+    def test_depth_of_orphaned_view(self, share):
+        share.create_dataset("a", "l1", "SELECT * FROM base")
+        share.create_dataset("a", "l2", "SELECT * FROM l1")
+        share.delete_dataset("a", "l1")
+        assert share.views.depth("l2") == 1
+
+    def test_permission_check_survives_deleted_parent(self, share):
+        share.create_dataset("a", "child", "SELECT k FROM base")
+        share.make_public("a", "child")
+        share.delete_dataset("a", "base")
+        # Access resolves (chain moot); the engine then reports the break.
+        assert share.permissions.can_access("b", "child")
+
+    def test_recreated_parent_heals_the_view(self, share):
+        share.create_dataset("a", "child", "SELECT k FROM base")
+        share.delete_dataset("a", "base")
+        share.upload("a", "base", "k,v\n7,70\n")
+        result = share.run_query("a", "SELECT * FROM child")
+        assert result.rows == [(7,)]
+
+
+class TestRuntimeFailures:
+    def test_division_by_zero_mid_query(self, share):
+        with pytest.raises(ExecutionError):
+            share.run_query("a", "SELECT v / (k - k) FROM base")
+
+    def test_cast_failure_mid_query(self, share):
+        share.upload("a", "texty", "s\nhello\n")
+        with pytest.raises(ExecutionError):
+            share.run_query("a", "SELECT CAST(s AS int) FROM texty")
+
+    def test_failed_query_not_logged(self, share):
+        before = len(share.log)
+        with pytest.raises(ExecutionError):
+            share.run_query("a", "SELECT 1 / 0 FROM base")
+        assert len(share.log) == before
+
+    def test_error_inside_view_surfaces_at_query_time(self, share):
+        share.upload("a", "texty2", "s\nhello\n")
+        share.create_dataset("a", "bad_view", "SELECT TRY_CAST(s AS int) AS n FROM texty2")
+        # TRY_CAST keeps the view usable even over garbage.
+        assert share.run_query("a", "SELECT n FROM bad_view").rows == [(None,)]
+
+
+class TestQuotaExhaustion:
+    def test_uploads_blocked_at_quota(self, share):
+        share.quotas.set_limit("hog", 60)
+        share.upload("hog", "first", "k\n1\n2\n3\n")
+        with pytest.raises(QuotaError):
+            share.upload("hog", "second", "k\n" + "\n".join("9" * 2 for _ in range(40)))
+
+    def test_delete_then_upload_within_quota(self, share):
+        share.quotas.set_limit("hog", 40)
+        share.upload("hog", "first", "k\n1\n2\n")
+        usage = share.quotas.usage("hog")
+        share.quotas.refund("hog", usage)  # simulating delete accounting
+        share.upload("hog", "second", "k\n5\n")
+        assert share.has_dataset("second")
+
+    def test_append_respects_quota(self, share):
+        share.quotas.set_limit("a", share.quotas.usage("a") + 4)
+        with pytest.raises(QuotaError):
+            share.append("a", "base", "k,v\n3,30\n")
+
+
+class TestConcurrencyShapedRaces:
+    """Sequential stand-ins for the races the service saw."""
+
+    def test_double_delete(self, share):
+        share.delete_dataset("a", "base")
+        with pytest.raises(DatasetError):
+            share.delete_dataset("a", "base")
+
+    def test_share_then_owner_deletes(self, share):
+        share.share("a", "base", "b")
+        assert share.run_query("b", "SELECT COUNT(*) FROM base").rows == [(2,)]
+        share.delete_dataset("a", "base")
+        with pytest.raises(ReproError):
+            share.run_query("b", "SELECT COUNT(*) FROM base")
+
+    def test_permission_revoked_between_queries(self, share):
+        share.make_public("a", "base")
+        share.run_query("b", "SELECT * FROM base")
+        share.make_private("a", "base")
+        with pytest.raises(PermissionError_):
+            share.run_query("b", "SELECT * FROM base")

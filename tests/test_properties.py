@@ -1,0 +1,297 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Each property checks the engine or ingest pipeline against an independent
+Python reference on randomly generated inputs: query results must agree
+with naive list comprehensions, casts must be idempotent, sorting must be
+total with NULLs first, and ingest must round-trip values.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.catalog import Column
+from repro.engine.database import Database
+from repro.engine.functions import like_match
+from repro.engine.operators import group_key
+from repro.engine.types import SQLType, cast_value, format_value, unify_types
+from repro.ingest.ingestor import Ingestor
+
+# -- strategies ----------------------------------------------------------------
+
+ints = st.integers(min_value=-10**6, max_value=10**6)
+floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+simple_text = st.text(alphabet=string.ascii_lowercase + string.digits, max_size=12)
+sql_types = st.sampled_from(
+    [SQLType.INT, SQLType.FLOAT, SQLType.VARCHAR, SQLType.BIT]
+)
+
+
+def make_db(values):
+    db = Database()
+    table = db.catalog.create_table(
+        "t", [Column("k", SQLType.INT), Column("v", SQLType.INT)]
+    )
+    for index, value in enumerate(values):
+        table.insert_row((index, value))
+    return db
+
+
+# -- type system properties ----------------------------------------------------------
+
+
+class TestTypeProperties:
+    @given(ints)
+    def test_int_varchar_roundtrip(self, value):
+        text = cast_value(value, SQLType.VARCHAR)
+        assert cast_value(text, SQLType.INT) == value
+
+    @given(floats)
+    def test_float_cast_idempotent(self, value):
+        once = cast_value(value, SQLType.FLOAT)
+        assert cast_value(once, SQLType.FLOAT) == once
+
+    @given(sql_types, sql_types)
+    def test_unify_commutative(self, left, right):
+        assert unify_types(left, right) == unify_types(right, left)
+
+    @given(sql_types)
+    def test_unify_idempotent(self, sql_type):
+        assert unify_types(sql_type, sql_type) == sql_type
+
+    @given(sql_types, sql_types)
+    def test_unified_type_accepts_both_sides(self, left, right):
+        """Any value of either branch type casts cleanly to the unified type."""
+        samples = {
+            SQLType.INT: 7,
+            SQLType.FLOAT: 2.5,
+            SQLType.VARCHAR: "x",
+            SQLType.BIT: True,
+        }
+        target = unify_types(left, right)
+        for source in (left, right):
+            cast_value(samples[source], target)  # must not raise
+
+    @given(st.one_of(ints, floats, simple_text, st.none()))
+    def test_format_value_none_only_for_none(self, value):
+        rendered = format_value(value)
+        assert (rendered is None) == (value is None)
+
+
+# -- LIKE properties ---------------------------------------------------------------
+
+
+class TestLikeProperties:
+    @given(simple_text)
+    def test_everything_matches_percent(self, value):
+        assert like_match(value, "%") is True
+
+    @given(simple_text)
+    def test_exact_self_match(self, value):
+        assert like_match(value, value) is True
+
+    @given(simple_text, simple_text)
+    def test_contains_pattern(self, haystack, needle):
+        expected = needle.lower() in haystack.lower()
+        assert like_match(haystack, "%" + needle + "%") is expected
+
+    @given(simple_text)
+    def test_prefix_pattern(self, value):
+        prefix = value[: len(value) // 2]
+        assert like_match(value, prefix + "%") is True
+
+
+# -- query execution vs Python reference ----------------------------------------------
+
+
+class TestQueryProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.one_of(ints, st.none()), min_size=0, max_size=30), ints)
+    def test_filter_matches_reference(self, values, threshold):
+        db = make_db(values)
+        rows = db.execute("SELECT v FROM t WHERE v > %d" % threshold).rows
+        expected = [v for v in values if v is not None and v > threshold]
+        assert sorted(r[0] for r in rows) == sorted(expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.one_of(ints, st.none()), min_size=0, max_size=30))
+    def test_aggregates_match_reference(self, values):
+        db = make_db(values)
+        row = db.execute("SELECT COUNT(v), SUM(v), MIN(v), MAX(v) FROM t").rows[0]
+        non_null = [v for v in values if v is not None]
+        assert row[0] == len(non_null)
+        assert row[1] == (sum(non_null) if non_null else None)
+        assert row[2] == (min(non_null) if non_null else None)
+        assert row[3] == (max(non_null) if non_null else None)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(ints, min_size=0, max_size=30))
+    def test_order_by_sorts(self, values):
+        db = make_db(values)
+        rows = db.execute("SELECT v FROM t ORDER BY v").rows
+        assert [r[0] for r in rows] == sorted(values)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.one_of(ints, st.none()), min_size=0, max_size=30))
+    def test_distinct_is_set_semantics(self, values):
+        db = make_db(values)
+        rows = db.execute("SELECT DISTINCT v FROM t").rows
+        assert len(rows) == len(set(values))
+        assert {r[0] for r in rows} == set(values)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(ints, min_size=0, max_size=20), st.lists(ints, min_size=0, max_size=20))
+    def test_union_all_counts_add(self, left, right):
+        db = Database()
+        for name, values in (("a", left), ("b", right)):
+            table = db.catalog.create_table(name, [Column("v", SQLType.INT)])
+            for value in values:
+                table.insert_row((value,))
+        rows = db.execute("SELECT v FROM a UNION ALL SELECT v FROM b").rows
+        assert len(rows) == len(left) + len(right)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(ints, min_size=1, max_size=30), st.integers(min_value=1, max_value=10))
+    def test_top_limits(self, values, limit):
+        db = make_db(values)
+        rows = db.execute("SELECT TOP %d v FROM t" % limit).rows
+        assert len(rows) == min(limit, len(values))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(ints, min_size=0, max_size=30))
+    def test_group_by_partitions_input(self, values):
+        db = make_db(values)
+        rows = db.execute(
+            "SELECT v % 3, COUNT(*) FROM t GROUP BY v % 3"
+        ).rows
+        assert sum(r[1] for r in rows) == len(values)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(ints, min_size=0, max_size=25), ints)
+    def test_view_is_transparent(self, values, threshold):
+        db = make_db(values)
+        db.execute("CREATE VIEW f AS SELECT v FROM t WHERE v > %d" % threshold)
+        through_view = db.execute("SELECT v FROM f").rows
+        direct = db.execute("SELECT v FROM t WHERE v > %d" % threshold).rows
+        assert sorted(through_view) == sorted(direct)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(ints, min_size=1, max_size=25))
+    def test_row_number_is_a_permutation(self, values):
+        db = make_db(values)
+        rows = db.execute(
+            "SELECT ROW_NUMBER() OVER (ORDER BY v, k) FROM t"
+        ).rows
+        assert sorted(r[0] for r in rows) == list(range(1, len(values) + 1))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.one_of(ints, st.none()), min_size=0, max_size=25))
+    def test_estimates_are_finite_and_positive(self, values):
+        db = make_db(values)
+        plan = db.explain("SELECT v FROM t WHERE v > 3 ORDER BY v").plan
+        for op in plan.walk():
+            assert op.est_rows >= 0.0
+            assert op.total_cost >= 0.0
+            assert op.row_size >= 1.0
+
+
+# -- grouping key properties -----------------------------------------------------------
+
+
+class TestGroupKeyProperties:
+    @given(st.lists(st.one_of(ints, simple_text, st.none()), max_size=5))
+    def test_group_key_deterministic(self, values):
+        assert group_key(values) == group_key(list(values))
+
+    @given(ints)
+    def test_int_float_unify_in_keys(self, value):
+        assert group_key([value]) == group_key([float(value)])
+
+
+# -- parse/render round-trip on generated ASTs ------------------------------------------
+
+
+def _expr_strategy():
+    from repro.engine import ast_nodes as ast_nodes
+
+    literals = st.one_of(
+        st.integers(min_value=0, max_value=999),
+        st.text(alphabet=string.ascii_lowercase, max_size=5),
+        st.none(),
+    ).map(ast_nodes.Literal)
+    columns = st.sampled_from(["a", "b", "c", "weird name"]).map(ast_nodes.ColumnRef)
+    leaves = st.one_of(literals, columns)
+
+    def extend(children):
+        binary = st.builds(
+            ast_nodes.BinaryOp,
+            st.sampled_from(["+", "-", "*", "=", ">", "<", "and", "or"]),
+            children,
+            children,
+        )
+        unary = st.builds(ast_nodes.UnaryOp, st.just("not"), children)
+        isnull = st.builds(ast_nodes.IsNull, children, st.booleans())
+        func = st.builds(
+            lambda arg: ast_nodes.FuncCall("len", [arg]), children
+        )
+        cast = st.builds(
+            lambda arg: ast_nodes.Cast(arg, "varchar"), children
+        )
+        return st.one_of(binary, unary, isnull, func, cast)
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+class TestRenderRoundTripProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(_expr_strategy())
+    def test_expression_round_trip(self, expr):
+        from repro.engine import ast_nodes as ast_nodes
+        from repro.engine.parser import parse
+        from repro.engine.sql_format import render_statement
+
+        statement = ast_nodes.Select(
+            [ast_nodes.SelectItem(expr, alias="x")],
+            from_clause=ast_nodes.TableRef("t"),
+        )
+        rendered = render_statement(statement)
+        assert parse(rendered) == statement
+
+
+# -- ingest properties ---------------------------------------------------------------------
+
+
+class TestIngestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(ints, min_size=1, max_size=30))
+    def test_int_column_roundtrip(self, values):
+        db = Database()
+        text = "v\n" + "\n".join(str(v) for v in values) + "\n"
+        Ingestor(db).ingest_text("t", text)
+        rows = db.execute("SELECT v FROM t").rows
+        assert [r[0] for r in rows] == values
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8),
+                    min_size=1, max_size=20))
+    def test_text_column_roundtrip(self, values):
+        from repro.ingest.type_inference import is_null_token
+
+        db = Database()
+        text = "word,n\n" + "\n".join("%s,%d" % (v, i) for i, v in enumerate(values)) + "\n"
+        Ingestor(db).ingest_text("t", text)
+        rows = db.execute("SELECT word FROM t ORDER BY n").rows
+        # Ingest maps NULL tokens ('null', 'na', ...) to SQL NULL by design.
+        expected = [None if is_null_token(v) else v for v in values]
+        assert [r[0] for r in rows] == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.lists(ints, min_size=1, max_size=5), min_size=1, max_size=10))
+    def test_ragged_rows_padded_to_widest(self, rows_in):
+        db = Database()
+        text = "\n".join(",".join(str(v) for v in row) for row in rows_in) + "\n"
+        Ingestor(db).ingest_text("t", text)
+        width = max(len(row) for row in rows_in)
+        result = db.execute("SELECT * FROM t").rows
+        assert all(len(row) == width for row in result)
+        assert len(result) == len(rows_in)

@@ -1,0 +1,159 @@
+"""Tests for Phase 1 (XML -> JSON plan) and Phase 2 (catalog extraction)."""
+
+import pytest
+
+from repro.core.sqlshare import SQLShare
+from repro.workload.extract import WorkloadAnalyzer
+from repro.workload.plans_json import clean_xml, operator_names, plan_xml_to_json, walk_plan
+from repro.workload import metrics
+
+
+@pytest.fixture
+def share():
+    platform = SQLShare()
+    platform.upload(
+        "alice", "incomes",
+        "name,income,position\nalice,600000,ceo\nbob,400000,dev\ncarol,700000,cto\n",
+    )
+    return platform
+
+
+class TestPhase1:
+    def test_listing1_roundtrip(self, share):
+        """The paper's Listing 1: extracted structure from a sample query."""
+        xml = share.db.explain("SELECT * FROM incomes WHERE income > 500000").xml
+        plan = plan_xml_to_json(xml)
+        assert plan["query"] == "SELECT * FROM incomes WHERE income > 500000"
+        assert plan["physicalOp"] == "Clustered Index Seek"
+        assert plan["filters"] == ["income GT 500000"]
+        assert plan["children"] == []
+        assert plan["numRows"] >= 1
+        assert plan["io"] > 0
+        assert plan["total"] >= plan["io"] + plan["cpu"]
+        table = list(plan["columns"])[0]
+        assert set(plan["columns"][table]) == {"name", "income", "position"}
+
+    def test_clean_xml_strips_namespace(self, share):
+        xml = share.db.explain("SELECT * FROM incomes").xml
+        cleaned = clean_xml(xml)
+        assert "xmlns" not in cleaned.split(">")[0] or "showplan" not in cleaned
+
+    def test_nested_children(self, share):
+        xml = share.db.explain(
+            "SELECT position, COUNT(*) FROM incomes GROUP BY position ORDER BY position"
+        ).xml
+        plan = plan_xml_to_json(xml)
+        names = operator_names(plan)
+        assert "Sort" in names and "Stream Aggregate" in names
+
+    def test_subplans_extracted(self, share):
+        xml = share.db.explain(
+            "SELECT * FROM incomes WHERE income > (SELECT AVG(income) FROM incomes)"
+        ).xml
+        plan = plan_xml_to_json(xml)
+        all_ops = operator_names(plan)
+        assert "Stream Aggregate" in all_ops  # comes from the subplan
+
+    def test_expression_ops_in_plan(self, share):
+        xml = share.db.explain("SELECT income * 2 FROM incomes WHERE name LIKE 'a%'").xml
+        plan = plan_xml_to_json(xml)
+        assert "MULT" in plan["expressionOps"]
+        assert "like" in plan["expressionOps"]
+
+    def test_walk_plan_counts(self, share):
+        xml = share.db.explain("SELECT name FROM incomes ORDER BY income").xml
+        plan = plan_xml_to_json(xml)
+        assert len(list(walk_plan(plan))) == len(operator_names(plan))
+
+
+class TestAnalyzer:
+    def test_full_pipeline(self, share):
+        share.run_query("alice", "SELECT * FROM incomes WHERE income > 500000")
+        share.run_query("alice", "SELECT position, AVG(income) FROM incomes GROUP BY position")
+        analyzer = WorkloadAnalyzer(share)
+        catalog = analyzer.analyze()
+        assert len(catalog) == 2
+        record = catalog.records[0]
+        assert record.plan_json is not None
+        assert record.operator_count >= 1
+        assert record.tables
+
+    def test_skipped_queries_counted(self, share):
+        share.run_query("alice", "SELECT * FROM incomes")
+        share.delete_dataset("alice", "incomes")
+        analyzer = WorkloadAnalyzer(share)
+        catalog = analyzer.analyze()
+        assert len(catalog) == 0
+        assert len(analyzer.skipped) == 1
+
+    def test_catalog_tables_populated(self, share):
+        share.run_query("alice", "SELECT income + 1 FROM incomes")
+        catalog = WorkloadAnalyzer(share).analyze()
+        assert catalog.table_refs
+        assert catalog.column_refs
+        assert catalog.operator_rows
+        assert ("ADD" in [op for _qid, op in catalog.expression_rows])
+
+    def test_view_refs_recorded(self, share):
+        share.create_dataset("alice", "rich", "SELECT * FROM incomes WHERE income > 500000")
+        share.run_query("alice", "SELECT name FROM rich")
+        catalog = WorkloadAnalyzer(share).analyze()
+        assert any(view == "rich" for _qid, view in catalog.view_refs)
+
+    def test_summary_means(self, share):
+        share.run_query("alice", "SELECT * FROM incomes")
+        share.run_query("alice", "SELECT name FROM incomes ORDER BY income DESC")
+        summary = WorkloadAnalyzer(share).analyze().summary()
+        assert summary["queries"] == 2
+        assert summary["mean_length"] > 10
+        assert summary["mean_operators"] >= 1
+        assert summary["mean_tables"] >= 1
+
+    def test_explain_callable_mode(self, share):
+        share.run_query("alice", "SELECT * FROM incomes")
+        analyzer = WorkloadAnalyzer(
+            platform=share, explain=lambda sql: share.db.explain(sql).xml
+        )
+        assert len(analyzer.analyze()) == 1
+
+    def test_requires_platform_or_explain(self):
+        with pytest.raises(ValueError):
+            WorkloadAnalyzer()
+
+
+class TestMetrics:
+    @pytest.fixture
+    def catalog(self, share):
+        share.run_query("alice", "SELECT * FROM incomes")
+        share.run_query(
+            "alice", "SELECT name, income / 12 FROM incomes WHERE income > 1 ORDER BY name"
+        )
+        share.run_query(
+            "alice",
+            "SELECT position, COUNT(*), AVG(income) FROM incomes "
+            "GROUP BY position HAVING COUNT(*) >= 1 ORDER BY position",
+        )
+        return WorkloadAnalyzer(share).analyze()
+
+    def test_length_histogram_sums_to_100(self, catalog):
+        histogram = metrics.length_histogram(catalog)
+        assert sum(histogram.values()) == pytest.approx(100.0)
+        assert histogram["<100"] > 0
+
+    def test_distinct_operator_histogram(self, catalog):
+        histogram = metrics.distinct_operator_histogram(catalog)
+        assert sum(histogram.values()) == pytest.approx(100.0)
+
+    def test_operator_frequency_ignores_scan(self, catalog):
+        frequency = metrics.operator_frequency(catalog)
+        names = [name for name, _pct in frequency]
+        assert "Clustered Index Scan" not in names
+
+    def test_expression_frequency(self, catalog):
+        counted = dict(metrics.expression_frequency(catalog))
+        assert counted  # GROUP BY query used COUNT/AVG aggregates at least
+
+    def test_queries_per_table(self, catalog):
+        buckets = metrics.queries_per_table(catalog)
+        assert sum(buckets.values()) == 1  # one physical table, queried 3x
+        assert buckets["3"] == 1

@@ -1,0 +1,101 @@
+"""Corpus release export/load tests (the paper's released dataset)."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.sqlshare import SQLShare
+from repro.errors import ReproError
+from repro.workload.extract import WorkloadAnalyzer
+from repro.workload.release import export_corpus, load_corpus
+from repro.analysis import diversity
+
+
+@pytest.fixture
+def platform():
+    share = SQLShare()
+    share.upload("ana@uw.edu", "obs", "k,v\n1,10\n2,20\n3,30\n")
+    share.create_dataset("ana@uw.edu", "big", "SELECT * FROM obs WHERE v > 15")
+    share.run_query("ana@uw.edu", "SELECT COUNT(*) FROM big")
+    share.run_query("ana@uw.edu", "SELECT k, v * 2 FROM obs ORDER BY k")
+    # Attach plans like the real release.
+    WorkloadAnalyzer(share).analyze()
+    return share
+
+
+class TestExport:
+    def test_files_written(self, platform, tmp_path):
+        manifest = export_corpus(platform, str(tmp_path))
+        assert manifest["queries"] == 2
+        assert manifest["datasets"] == 2
+        for name in ("MANIFEST.json", "queries.jsonl", "datasets.json", "users.json"):
+            assert (tmp_path / name).exists()
+
+    def test_anonymization(self, platform, tmp_path):
+        export_corpus(platform, str(tmp_path), anonymize=True)
+        text = (tmp_path / "queries.jsonl").read_text()
+        assert "ana@uw.edu" not in text
+        assert "user_0001" in text
+
+    def test_identity_preserved_when_not_anonymized(self, platform, tmp_path):
+        export_corpus(platform, str(tmp_path), anonymize=False)
+        text = (tmp_path / "queries.jsonl").read_text()
+        assert "ana@uw.edu" in text
+
+    def test_academic_count(self, platform, tmp_path):
+        export_corpus(platform, str(tmp_path))
+        users = json.loads((tmp_path / "users.json").read_text())
+        assert users["academic_count"] == 1
+
+    def test_plans_included(self, platform, tmp_path):
+        export_corpus(platform, str(tmp_path))
+        first = json.loads((tmp_path / "queries.jsonl").read_text().splitlines()[0])
+        assert "plan" in first
+        assert first["plan"]["physicalOp"]
+
+    def test_plans_excludable(self, platform, tmp_path):
+        export_corpus(platform, str(tmp_path), include_plans=False)
+        first = json.loads((tmp_path / "queries.jsonl").read_text().splitlines()[0])
+        assert "plan" not in first
+
+
+class TestLoad:
+    def test_roundtrip(self, platform, tmp_path):
+        export_corpus(platform, str(tmp_path))
+        corpus = load_corpus(str(tmp_path))
+        assert len(corpus) == 2
+        assert corpus.manifest["anonymized"] is True
+        assert len(corpus.datasets) == 2
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_corpus(str(tmp_path))
+
+    def test_bad_version_raises(self, platform, tmp_path):
+        export_corpus(platform, str(tmp_path))
+        manifest_path = tmp_path / "MANIFEST.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ReproError):
+            load_corpus(str(tmp_path))
+
+    def test_analysis_over_loaded_corpus(self, platform, tmp_path):
+        """Downstream researchers analyze the release without the database."""
+        export_corpus(platform, str(tmp_path))
+        corpus = load_corpus(str(tmp_path))
+        analyzer = WorkloadAnalyzer(platform=corpus)
+        assert analyzer.prefer_stored_plans
+        catalog = analyzer.analyze()
+        assert len(catalog) == 2
+        assert catalog.records[0].operator_count >= 1
+        table = diversity.entropy_table(catalog)
+        assert table["string_distinct"] == 2
+
+    def test_timestamps_roundtrip(self, platform, tmp_path):
+        export_corpus(platform, str(tmp_path))
+        corpus = load_corpus(str(tmp_path))
+        originals = [entry.timestamp for entry in platform.log]
+        loaded = [entry.timestamp for entry in corpus.entries]
+        assert loaded == originals

@@ -1,0 +1,82 @@
+"""Sessionization tests."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.querylog import QueryLog
+from repro.workload.sessions import DEFAULT_GAP, Session, SessionSurvey, sessionize
+
+
+def make_log(events):
+    """events: list of (user, minutes-offset)."""
+    log = QueryLog()
+    base = dt.datetime(2013, 4, 1, 9, 0, 0)
+    for user, minutes in events:
+        log.record(user, "SELECT 1", timestamp=base + dt.timedelta(minutes=minutes),
+                   datasets=("d_%s" % user,))
+    return log
+
+
+class TestSessionize:
+    def test_single_session(self):
+        log = make_log([("a", 0), ("a", 5), ("a", 10)])
+        sessions = sessionize(log.successful())
+        assert len(sessions) == 1
+        assert sessions[0].query_count == 3
+
+    def test_gap_splits_sessions(self):
+        log = make_log([("a", 0), ("a", 5), ("a", 120)])
+        sessions = sessionize(log.successful())
+        assert [s.query_count for s in sessions] == [2, 1]
+
+    def test_users_never_share_sessions(self):
+        log = make_log([("a", 0), ("b", 1), ("a", 2)])
+        sessions = sessionize(log.successful())
+        assert len(sessions) == 2
+        by_user = {s.user: s.query_count for s in sessions}
+        assert by_user == {"a": 2, "b": 1}
+
+    def test_sessions_sorted_by_start(self):
+        log = make_log([("b", 50), ("a", 0)])
+        sessions = sessionize(log.successful())
+        assert [s.user for s in sessions] == ["a", "b"]
+
+    def test_custom_gap(self):
+        log = make_log([("a", 0), ("a", 20)])
+        assert len(sessionize(log.successful(), gap=dt.timedelta(minutes=10))) == 2
+        assert len(sessionize(log.successful(), gap=dt.timedelta(minutes=30))) == 1
+
+    def test_boundary_gap_exactly(self):
+        log = make_log([("a", 0), ("a", 30)])
+        # Exactly the gap: still the same session (strictly-greater splits).
+        assert len(sessionize(log.successful(), gap=DEFAULT_GAP)) == 1
+
+    def test_duration_and_datasets(self):
+        log = make_log([("a", 0), ("a", 12)])
+        session = sessionize(log.successful())[0]
+        assert session.duration == dt.timedelta(minutes=12)
+        assert session.datasets_touched() == {"d_a"}
+
+
+class TestSurvey:
+    def test_summary(self):
+        log = make_log([("a", 0), ("a", 5), ("a", 90), ("b", 0)])
+        survey = SessionSurvey(log)
+        summary = survey.summary()
+        assert summary["sessions"] == 3
+        assert summary["users"] == 2
+        assert summary["mean_queries_per_session"] == pytest.approx(4 / 3.0)
+        assert summary["single_query_session_pct"] == pytest.approx(200 / 3.0)
+
+    def test_activity_by_month(self):
+        log = QueryLog()
+        log.record("a", "SELECT 1", timestamp=dt.datetime(2013, 1, 5))
+        log.record("a", "SELECT 1", timestamp=dt.datetime(2013, 3, 5))
+        survey = SessionSurvey(log)
+        activity = survey.activity_by_month()
+        assert list(activity) == [(2013, 1), (2013, 3)]
+
+    def test_empty_log(self):
+        survey = SessionSurvey(QueryLog())
+        assert survey.summary()["sessions"] == 0

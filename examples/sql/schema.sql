@@ -1,0 +1,30 @@
+-- Schema for the static-analysis demo (repro lint --ddl examples/sql/schema.sql).
+-- Mirrors a typical SQLShare science upload: observations plus a lookup table.
+
+CREATE TABLE observations (
+    obs_id INT,
+    site VARCHAR,
+    species VARCHAR,
+    biomass FLOAT,
+    observed_at DATETIME,
+    observer VARCHAR
+);
+
+CREATE TABLE sites (
+    site VARCHAR,
+    region VARCHAR,
+    latitude FLOAT,
+    longitude FLOAT
+);
+
+INSERT INTO observations VALUES (1, 'A1', 'salmo trutta', 12.5, '2012-06-01', 'alice');
+INSERT INTO observations VALUES (2, 'A1', 'salmo salar', 8.25, '2012-06-02', 'alice');
+INSERT INTO observations VALUES (3, 'B7', 'esox lucius', 30.0, '2012-06-02', 'bob');
+
+INSERT INTO sites VALUES ('A1', 'north', 48.2, 122.6);
+INSERT INTO sites VALUES ('B7', 'south', 47.1, 122.9);
+
+CREATE VIEW site_totals AS
+SELECT o.site, SUM(o.biomass) AS total_biomass, COUNT(*) AS n
+FROM observations o
+GROUP BY o.site;

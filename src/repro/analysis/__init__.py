@@ -10,4 +10,7 @@ Each module reproduces one cluster of findings:
 - :mod:`repro.analysis.reuse` -- cached-subtree reuse estimation (§6.2)
 - :mod:`repro.analysis.lifetimes` -- dataset lifetime / coverage (§6.3, Figs 4, 11, 12)
 - :mod:`repro.analysis.users` -- user classification (§6.4, Fig 13)
+- :mod:`repro.analysis.hygiene` -- static-analysis error/smell rates per
+  user archetype (builds on :mod:`repro.engine.semantic` and
+  :mod:`repro.lint`)
 """

@@ -1,0 +1,120 @@
+"""Query hygiene per user archetype: static-analysis findings over the log.
+
+Runs the semantic analyzer + lint rules (``Database.check`` — no planning,
+no execution) over every logged query and aggregates error and smell rates
+by the Figure 13 user categories (analytical / exploratory / one-shot).
+The hypothesis this measures: ad hoc, high-churn users produce more
+ill-formed and smelly SQL than conventional analytical users.
+
+One artifact needs care: checking a *historical* query against the *final*
+catalog flags references to datasets that were deleted later (SQLShare's
+routine churn) as unknown tables.  Successful queries whose only errors are
+catalog lookups are therefore counted as ``stale``, not as user errors.
+"""
+
+import collections
+
+from repro.analysis import users as user_analysis
+from repro.errors import ERROR, WARNING
+
+
+class UserHygiene(object):
+    """Per-user tallies of static-analysis findings."""
+
+    __slots__ = ("user", "category", "queries", "error_queries",
+                 "smell_queries", "stale_queries", "diagnostics",
+                 "code_counts")
+
+    def __init__(self, user, category):
+        self.user = user
+        self.category = category
+        self.queries = 0
+        #: Queries with at least one non-catalog error finding.
+        self.error_queries = 0
+        #: Queries with at least one warning/info finding (query smells).
+        self.smell_queries = 0
+        #: Successful queries whose only errors are catalog lookups —
+        #: dataset churn, not user mistakes.
+        self.stale_queries = 0
+        self.diagnostics = 0
+        self.code_counts = collections.Counter()
+
+
+class HygieneReport(object):
+    """Aggregated hygiene over one platform's query log."""
+
+    def __init__(self, per_user):
+        self.per_user = per_user
+
+    def category_rates(self):
+        """Per-archetype rates: one dict per category plus 'all'.
+
+        Each row reports the share of queries with errors, with smells,
+        gone stale, and the mean diagnostics per query.
+        """
+        buckets = collections.defaultdict(list)
+        for hygiene in self.per_user:
+            buckets[hygiene.category].append(hygiene)
+        buckets["all"] = list(self.per_user)
+        rows = []
+        for category in sorted(buckets):
+            members = buckets[category]
+            queries = sum(h.queries for h in members)
+            if not queries:
+                continue
+            rows.append({
+                "category": category,
+                "users": len(members),
+                "queries": queries,
+                "error_rate": sum(h.error_queries for h in members) / queries,
+                "smell_rate": sum(h.smell_queries for h in members) / queries,
+                "stale_rate": sum(h.stale_queries for h in members) / queries,
+                "diagnostics_per_query":
+                    sum(h.diagnostics for h in members) / queries,
+            })
+        return rows
+
+    def top_codes(self, n=10):
+        """Most frequent diagnostic codes over the whole corpus."""
+        totals = collections.Counter()
+        for hygiene in self.per_user:
+            totals.update(hygiene.code_counts)
+        return totals.most_common(n)
+
+
+def analyze_hygiene(platform, entries=None, check=None, lint=True):
+    """Check every logged query; returns a :class:`HygieneReport`.
+
+    ``check`` overrides the analysis callable (``sql -> [Diagnostic]``);
+    it defaults to ``platform.db.check``.
+    """
+    if check is None:
+        check = lambda sql: platform.db.check(sql, lint=lint)  # noqa: E731
+    categories = {
+        point.user: point.category
+        for point in user_analysis.user_points(platform)
+    }
+    per_user = {}
+    for entry in platform.log:
+        hygiene = per_user.get(entry.owner)
+        if hygiene is None:
+            category = categories.get(entry.owner, user_analysis.ONE_SHOT)
+            hygiene = per_user[entry.owner] = UserHygiene(entry.owner, category)
+        hygiene.queries += 1
+        try:
+            diagnostics = check(entry.sql)
+        except Exception:
+            diagnostics = []
+        hygiene.diagnostics += len(diagnostics)
+        for diagnostic in diagnostics:
+            hygiene.code_counts[diagnostic.code] += 1
+        errors = [d for d in diagnostics if d.severity == ERROR]
+        smells = [d for d in diagnostics if d.severity != ERROR]
+        hard_errors = [d for d in errors if d.category != "catalog"]
+        if errors and not hard_errors and entry.succeeded:
+            hygiene.stale_queries += 1
+        elif errors:
+            hygiene.error_queries += 1
+        if smells:
+            hygiene.smell_queries += 1
+    return HygieneReport(sorted(per_user.values(), key=lambda h: h.user))

@@ -6,6 +6,7 @@ Commands:
 - ``analyze`` — generate a deployment and print the paper's tables/figures.
 - ``serve``   — start the REST API over a freshly generated deployment.
 - ``export``  — write an anonymized corpus release to a directory.
+- ``lint``    — statically check SQL files (or stdin) without executing.
 """
 
 import argparse
@@ -63,6 +64,72 @@ def _cmd_export(args):
     return 0
 
 
+def _render_diagnostic(diagnostic, text, path):
+    """One finding as ``path:line:col: [CODE] severity: message`` plus a
+    caret line pointing into the source."""
+    lines = []
+    span = diagnostic.span
+    where = path
+    if span is not None and span.line:
+        where = "%s:%d:%d" % (path, span.line, span.col)
+    lines.append("%s: [%s] %s: %s"
+                 % (where, diagnostic.code, diagnostic.severity,
+                    diagnostic.message))
+    if span is not None and span.line:
+        source_lines = text.splitlines()
+        if 0 < span.line <= len(source_lines):
+            source_line = source_lines[span.line - 1].replace("\t", " ")
+            lines.append("    " + source_line)
+            width = max(1, span.end - span.start)
+            # Clamp the underline to the rest of the line (spans may cover
+            # several lines; the caret marks where they start).
+            width = max(1, min(width, len(source_line) - span.col + 1))
+            lines.append("    " + " " * (span.col - 1) + "^" * width)
+    return "\n".join(lines)
+
+
+def _cmd_lint(args):
+    from repro.engine.database import Database
+    from repro.lint import lint_text
+
+    db = Database()
+    sources = []
+    try:
+        if args.ddl:
+            with open(args.ddl) as handle:
+                sources.append((args.ddl, handle.read(), True))
+        for path in args.files:
+            if path == "-":
+                sources.append(("<stdin>", sys.stdin.read(), False))
+            else:
+                with open(path) as handle:
+                    sources.append((path, handle.read(), False))
+    except OSError as error:
+        print("error: cannot read %r: %s"
+              % (error.filename, error.strerror), file=sys.stderr)
+        return 2
+    if not sources:
+        print("nothing to lint", file=sys.stderr)
+        return 2
+    errors = 0
+    total = 0
+    for path, text, ddl_only in sources:
+        findings = lint_text(text, db, lint=not args.no_lint)
+        if ddl_only:
+            # The --ddl file only sets up the catalog; still report its
+            # errors (a broken schema makes everything downstream noise).
+            findings = [d for d in findings if d.severity == "error"]
+        for diagnostic in findings:
+            total += 1
+            if diagnostic.severity == "error":
+                errors += 1
+            print(_render_diagnostic(diagnostic, text, path))
+    print("%d finding%s (%d error%s)"
+          % (total, "" if total == 1 else "s",
+             errors, "" if errors == 1 else "s"))
+    return 1 if errors else 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -88,6 +155,15 @@ def build_parser():
     export.add_argument("--identified", action="store_true",
                         help="keep real usernames (default anonymizes)")
 
+    lint = commands.add_parser(
+        "lint", help="statically check SQL files without executing them")
+    lint.add_argument("files", nargs="*", default=["-"],
+                      help="SQL files to check ('-' for stdin)")
+    lint.add_argument("--ddl", default=None,
+                      help="schema file executed first to populate the catalog")
+    lint.add_argument("--no-lint", action="store_true",
+                      help="semantic errors only, skip the smell rules")
+
     return parser
 
 
@@ -99,6 +175,7 @@ def main(argv=None):
         "analyze": _cmd_analyze,
         "serve": _cmd_serve,
         "export": _cmd_export,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 

@@ -8,12 +8,27 @@ uses for idiom detection (CASE-to-NULL, CAST, renaming, ...).
 
 
 class Node(object):
-    """Base AST node: slot-based equality, repr and traversal."""
+    """Base AST node: slot-based equality, repr and traversal.
 
-    __slots__ = ()
+    The base class carries one slot, ``span`` (a :class:`repro.errors.Span`
+    set by the parser on the productions the analyzer reports on).  It is
+    deliberately *excluded* from equality/hash/repr — ``_fields`` iterates
+    the subclass ``__slots__`` only — so two structurally identical nodes
+    from different source positions still compare equal (the planner's
+    aggregate/window rewrite maps depend on that).  Because slots have no
+    default, read it with :func:`span_of`.
+    """
+
+    __slots__ = ("span",)
 
     def _fields(self):
         return [(name, getattr(self, name)) for name in self.__slots__]
+
+    def with_span(self, span):
+        """Attach a source span (only if one is not already set); returns self."""
+        if span is not None and span_of(self) is None:
+            self.span = span
+        return self
 
     def __eq__(self, other):
         return type(self) is type(other) and self._fields() == other._fields()
@@ -45,6 +60,11 @@ class Node(object):
             node = stack.pop()
             yield node
             stack.extend(reversed(node.children()))
+
+
+def span_of(node):
+    """The node's source :class:`~repro.errors.Span`, or None."""
+    return getattr(node, "span", None)
 
 
 # --------------------------------------------------------------------------

@@ -9,13 +9,21 @@ import time
 
 from repro.engine import ast_nodes as ast
 from repro.engine import parser
+from repro.engine import semantic
 from repro.engine.catalog import Catalog, Column
 from repro.engine.executor import execute_plan
 from repro.engine.expressions import OutputColumn
 from repro.engine.plan_xml import plan_to_xml
 from repro.engine.planner import Planner
 from repro.engine.types import SQLType, cast_value, format_value, resolve_type_name
-from repro.errors import CatalogError, ExecutionError, SQLError
+from repro.errors import (
+    CatalogError,
+    Diagnostic,
+    ExecutionError,
+    LexError,
+    ParseError,
+    SQLError,
+)
 
 
 class QueryResult(object):
@@ -73,8 +81,17 @@ class Database(object):
     # -- querying ---------------------------------------------------------------
 
     def execute(self, sql):
-        """Parse, plan and run one statement; returns a QueryResult."""
+        """Parse, analyze, plan and run one statement; returns a QueryResult.
+
+        The semantic analyzer runs between parsing and planning, so name and
+        type errors surface with source positions and the full list of
+        problems (``.diagnostics`` on the raised error) instead of only the
+        first one the planner happens to hit.
+        """
         statement = parser.parse(sql)
+        analysis = semantic.analyze(statement, self.catalog, source=sql)
+        if not analysis.ok:
+            raise semantic.error_from_diagnostics(analysis.diagnostics, sql)
         if isinstance(statement, (ast.Select, ast.SetOperation, ast.WithQuery)):
             planned = self.planner.plan(statement)
             started = time.perf_counter()
@@ -88,6 +105,27 @@ class Database(object):
                 elapsed=elapsed,
             )
         return self._execute_statement(statement, sql)
+
+    def check(self, sql, lint=True):
+        """Statically analyze one statement; nothing is planned or executed.
+
+        Returns the full list of :class:`Diagnostic` findings — syntax
+        errors, semantic errors and (unless ``lint`` is False) query-smell
+        warnings — instead of raising.  An empty list means the statement is
+        clean.
+        """
+        try:
+            statement = parser.parse(sql)
+        except (LexError, ParseError) as error:
+            return [Diagnostic.from_error(error, sql)]
+        if lint:
+            from repro.lint import lint_statement
+
+            _result, diagnostics = lint_statement(
+                statement, self.catalog, source=sql)
+            return diagnostics
+        result = semantic.analyze(statement, self.catalog, source=sql)
+        return result.sorted_diagnostics()
 
     def explain(self, sql):
         """Plan a query and return its SHOWPLAN-style XML without running it.

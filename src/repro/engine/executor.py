@@ -8,17 +8,16 @@ def _run_plan(plan, ctx):
 
 
 def execute_plan(root):
-    """Execute a physical plan; returns all rows as a list of tuples.
+    """Execute a physical plan; returns all rows as a list of tuples."""
+    return list(iterate_plan(root))
+
+
+def iterate_plan(root):
+    """Execute a physical plan lazily (generator of tuples).
 
     A fresh :class:`ExecutionContext` is created per execution so that
     uncorrelated-subquery caches never leak across statements.
     """
-    ctx = ExecutionContext(run_plan=_run_plan)
-    return list(root.execute(ctx))
-
-
-def iterate_plan(root):
-    """Execute a physical plan lazily (generator of tuples)."""
     ctx = ExecutionContext(run_plan=_run_plan)
     for row in root.execute(ctx):
         yield row

@@ -20,7 +20,7 @@ from repro.engine.types import (
     resolve_type_name,
     unify_types,
 )
-from repro.errors import BindError, ExecutionError
+from repro.errors import BindError, ExecutionError, TypeCheckError
 
 #: Predicate-description operator names used in extracted plans.
 _OP_NAMES = {"=": "EQ", "<>": "NE", "<": "LT", ">": "GT", "<=": "LE", ">=": "GE"}
@@ -839,7 +839,12 @@ class Binder(object):
             if slot_info is not None:
                 slot, sql_type, name = slot_info
                 return BoundColumn(slot, sql_type, name)
-        return handler(node)
+        try:
+            return handler(node)
+        except (BindError, TypeCheckError) as error:
+            if error.span is None:
+                error.span = getattr(node, "span", None)
+            raise
 
     # -- leaf nodes -----------------------------------------------------------
 

@@ -37,14 +37,20 @@ class Token(object):
     spelled identifier for IDENT (unquoted identifiers keep their original
     spelling; name resolution is case-insensitive), a Python number for
     NUMBER and the decoded string for STRING.
+
+    ``pos``/``end`` are the half-open byte range of the token in the source
+    text; ``line``/``col`` are 1-based and point at the first character.
     """
 
-    __slots__ = ("kind", "value", "pos")
+    __slots__ = ("kind", "value", "pos", "end", "line", "col")
 
-    def __init__(self, kind, value, pos):
+    def __init__(self, kind, value, pos, end=None, line=0, col=0):
         self.kind = kind
         self.value = value
         self.pos = pos
+        self.end = pos if end is None else end
+        self.line = line
+        self.col = col
 
     def matches(self, kind, value=None):
         if self.kind != kind:
@@ -69,60 +75,86 @@ def tokenize(sql):
     """
     tokens = []
     i, n = 0, len(sql)
+    line, line_start = 1, 0
+
+    def emit(kind, value, start, end):
+        tokens.append(Token(kind, value, start, end, line, start - line_start + 1))
+
+    def advance_lines(start, end):
+        # Fold any newlines inside sql[start:end] into the line counter.
+        nonlocal line, line_start
+        newlines = sql.count("\n", start, end)
+        if newlines:
+            line += newlines
+            line_start = sql.rfind("\n", start, end) + 1
+
     while i < n:
         ch = sql[i]
         if ch in " \t\r\n":
+            if ch == "\n":
+                line += 1
+                line_start = i + 1
             i += 1
             continue
         if sql.startswith("--", i):
             nl = sql.find("\n", i)
             i = n if nl < 0 else nl + 1
+            if nl >= 0:
+                line += 1
+                line_start = i
             continue
         if sql.startswith("/*", i):
             end = sql.find("*/", i + 2)
             if end < 0:
                 raise LexError("unterminated block comment", i)
+            advance_lines(i, end + 2)
             i = end + 2
             continue
         if ch == "'":
+            start = i
             value, i = _read_string(sql, i)
-            tokens.append(Token(STRING, value, i))
+            emit(STRING, value, start, i)
+            advance_lines(start, i)
             continue
         if ch == '"' or ch == "[":
+            start = i
             value, i = _read_quoted_ident(sql, i)
-            tokens.append(Token(IDENT, value, i))
+            emit(IDENT, value, start, i)
+            advance_lines(start, i)
             continue
         if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            start = i
             value, i = _read_number(sql, i)
-            tokens.append(Token(NUMBER, value, i))
+            emit(NUMBER, value, start, i)
             continue
         if ch.isalpha() or ch == "_" or ch == "@" or ch == "#":
+            start = i
             value, i = _read_word(sql, i)
             lowered = value.lower()
             if lowered in KEYWORDS:
-                tokens.append(Token(KEYWORD, lowered, i))
+                emit(KEYWORD, lowered, start, i)
             else:
-                tokens.append(Token(IDENT, value, i))
+                emit(IDENT, value, start, i)
             continue
         if ch == "?":
-            tokens.append(Token(PARAM, "?", i))
+            emit(PARAM, "?", i, i + 1)
             i += 1
             continue
         two = sql[i : i + 2]
         if two in _TWO_CHAR_OPS:
-            tokens.append(Token(OP, "<>" if two == "!=" else two, i))
+            emit(OP, "<>" if two == "!=" else two, i, i + 2)
             i += 2
             continue
         if ch in _ONE_CHAR_OPS:
-            tokens.append(Token(OP, ch, i))
+            emit(OP, ch, i, i + 1)
             i += 1
             continue
         if ch in _PUNCT:
-            tokens.append(Token(PUNCT, ch, i))
+            emit(PUNCT, ch, i, i + 1)
             i += 1
             continue
         raise LexError("unexpected character %r" % ch, i)
-    tokens.append(Token(EOF, None, n))
+    tokens.append(Token(EOF, None, n, n, line, n - line_start + 1))
     return tokens
 
 

@@ -10,7 +10,7 @@ window functions via OVER, and the DDL/DML the platform itself issues
 from repro.engine import ast_nodes as ast
 from repro.engine import lexer
 from repro.engine.lexer import EOF, IDENT, KEYWORD, NUMBER, OP, PUNCT, STRING
-from repro.errors import ParseError
+from repro.errors import ParseError, Span
 
 _COMPARISON_OPS = ("=", "<>", "<", ">", "<=", ">=")
 _JOIN_KINDS = ("inner", "left", "right", "full", "cross")
@@ -83,6 +83,16 @@ class Parser(object):
             got = self._peek()
             raise ParseError("unexpected trailing input %r" % got.value, got)
 
+    def _spanned(self, node, mark):
+        """Attach a Span covering tokens[mark]..tokens[pos-1] to ``node``.
+
+        Keeps an already-present (more specific) span.
+        """
+        last = len(self.tokens) - 1
+        start = self.tokens[min(mark, last)]
+        end = self.tokens[min(max(mark, self.pos - 1), last)]
+        return node.with_span(Span(start.pos, end.end, start.line, start.col))
+
     # -- statements ----------------------------------------------------------
 
     def parse_statement(self):
@@ -114,9 +124,11 @@ class Parser(object):
         raise ParseError("unsupported statement start: %r" % token.value, token)
 
     def _with_query(self):
+        mark = self.pos
         self._expect(KEYWORD, "with")
         ctes = []
         while True:
+            mark = self.pos
             name = self._expect(IDENT).value
             columns = None
             if self._accept(PUNCT, "("):
@@ -128,44 +140,48 @@ class Parser(object):
             self._expect(PUNCT, "(")
             query = self._query_expression()
             self._expect(PUNCT, ")")
-            ctes.append(ast.CommonTableExpression(name, query, columns))
+            ctes.append(
+                self._spanned(ast.CommonTableExpression(name, query, columns), mark))
             if not self._accept(PUNCT, ","):
                 break
         body = self._query_expression()
-        return ast.WithQuery(ctes, body)
+        return self._spanned(ast.WithQuery(ctes, body), mark)
 
     def _create(self):
+        mark = self.pos
         self._expect(KEYWORD, "create")
         if self._accept(KEYWORD, "view"):
             name = self._qualified_name()
             self._expect(KEYWORD, "as")
             if self._peek().matches(KEYWORD, "with"):
-                return ast.CreateView(name, self._with_query())
+                return self._spanned(ast.CreateView(name, self._with_query()), mark)
             query = self._query_expression()
-            return ast.CreateView(name, query)
+            return self._spanned(ast.CreateView(name, query), mark)
         if self._accept(KEYWORD, "table"):
             name = self._qualified_name()
             self._expect(PUNCT, "(")
             columns = []
             while True:
+                col_mark = self.pos
                 col = self._expect(IDENT).value
                 type_name = self._type_name()
-                columns.append(ast.ColumnDef(col, type_name))
+                columns.append(self._spanned(ast.ColumnDef(col, type_name), col_mark))
                 if not self._accept(PUNCT, ","):
                     break
             self._expect(PUNCT, ")")
-            return ast.CreateTable(name, columns)
+            return self._spanned(ast.CreateTable(name, columns), mark)
         token = self._peek()
         raise ParseError("expected VIEW or TABLE after CREATE", token)
 
     def _drop(self):
+        mark = self.pos
         self._expect(KEYWORD, "drop")
         if self._accept(KEYWORD, "view"):
             if_exists = self._if_exists()
-            return ast.DropView(self._qualified_name(), if_exists)
+            return self._spanned(ast.DropView(self._qualified_name(), if_exists), mark)
         if self._accept(KEYWORD, "table"):
             if_exists = self._if_exists()
-            return ast.DropTable(self._qualified_name(), if_exists)
+            return self._spanned(ast.DropTable(self._qualified_name(), if_exists), mark)
         raise ParseError("expected VIEW or TABLE after DROP", self._peek())
 
     def _if_exists(self):
@@ -178,6 +194,7 @@ class Parser(object):
         return False
 
     def _insert(self):
+        mark = self.pos
         self._expect(KEYWORD, "insert")
         self._expect(KEYWORD, "into")
         table = self._qualified_name()
@@ -202,11 +219,12 @@ class Parser(object):
                 rows.append(row)
                 if not self._accept(PUNCT, ","):
                     break
-            return ast.Insert(table, columns=columns, rows=rows)
+            return self._spanned(ast.Insert(table, columns=columns, rows=rows), mark)
         query = self._query_expression()
-        return ast.Insert(table, columns=columns, query=query)
+        return self._spanned(ast.Insert(table, columns=columns, query=query), mark)
 
     def _alter(self):
+        mark = self.pos
         self._expect(KEYWORD, "alter")
         self._expect(KEYWORD, "table")
         table = self._qualified_name()
@@ -214,7 +232,7 @@ class Parser(object):
         self._expect(KEYWORD, "column")
         column = self._expect(IDENT).value
         type_name = self._type_name()
-        return ast.AlterColumn(table, column, type_name)
+        return self._spanned(ast.AlterColumn(table, column, type_name), mark)
 
     def _type_name(self):
         token = self._peek()
@@ -251,6 +269,7 @@ class Parser(object):
         workload rarely mixes them, so we keep plain left-to-right with the
         standard's precedence implemented in one pass.
         """
+        mark = self.pos
         left = self._query_term()
         while True:
             token = self._peek()
@@ -258,7 +277,8 @@ class Parser(object):
                 op = self._next().value
                 all_rows = bool(self._accept(KEYWORD, "all"))
                 right = self._query_term()
-                left = ast.SetOperation(op, left, right, all=all_rows)
+                left = self._spanned(
+                    ast.SetOperation(op, left, right, all=all_rows), mark)
                 # A trailing ORDER BY belongs to the whole set operation, but
                 # the rightmost SELECT greedily consumes it; reclaim it here.
                 if (
@@ -276,12 +296,14 @@ class Parser(object):
         return left
 
     def _query_term(self):
+        mark = self.pos
         left = self._query_primary()
         while self._peek().matches(KEYWORD, "intersect"):
             self._next()
             all_rows = bool(self._accept(KEYWORD, "all"))
             right = self._query_primary()
-            left = ast.SetOperation("intersect", left, right, all=all_rows)
+            left = self._spanned(
+                ast.SetOperation("intersect", left, right, all=all_rows), mark)
         return left
 
     def _query_primary(self):
@@ -292,6 +314,7 @@ class Parser(object):
         return self._select()
 
     def _select(self):
+        mark = self.pos
         self._expect(KEYWORD, "select")
         distinct = False
         if self._accept(KEYWORD, "distinct"):
@@ -330,16 +353,19 @@ class Parser(object):
         order_by = []
         if self._peek().matches(KEYWORD, "order"):
             order_by = self._order_by()
-        return ast.Select(
-            items,
-            from_clause=from_clause,
-            where=where,
-            group_by=group_by,
-            having=having,
-            order_by=order_by,
-            distinct=distinct,
-            top=top,
-            top_percent=top_percent,
+        return self._spanned(
+            ast.Select(
+                items,
+                from_clause=from_clause,
+                where=where,
+                group_by=group_by,
+                having=having,
+                order_by=order_by,
+                distinct=distinct,
+                top=top,
+                top_percent=top_percent,
+            ),
+            mark,
         )
 
     def _order_by(self):
@@ -351,20 +377,23 @@ class Parser(object):
         return items
 
     def _order_item(self):
+        mark = self.pos
         expr = self._expression()
         descending = False
         if self._accept(KEYWORD, "desc"):
             descending = True
         else:
             self._accept(KEYWORD, "asc")
-        return ast.OrderItem(expr, descending)
+        return self._spanned(ast.OrderItem(expr, descending), mark)
 
     def _select_item(self):
         token = self._peek()
+        mark = self.pos
         # "*" or "t.*"
         if token.matches(OP, "*"):
             self._next()
-            return ast.SelectItem(ast.Star())
+            return self._spanned(
+                ast.SelectItem(self._spanned(ast.Star(), mark)), mark)
         if (
             token.kind == IDENT
             and self._peek(1).matches(PUNCT, ".")
@@ -373,7 +402,8 @@ class Parser(object):
             self._next()
             self._next()
             self._next()
-            return ast.SelectItem(ast.Star(table=token.value))
+            return self._spanned(
+                ast.SelectItem(self._spanned(ast.Star(table=token.value), mark)), mark)
         expr = self._expression()
         alias = None
         if self._accept(KEYWORD, "as"):
@@ -382,7 +412,7 @@ class Parser(object):
             alias = self._next().value
         elif self._peek().kind == STRING:
             alias = self._next().value
-        return ast.SelectItem(expr, alias)
+        return self._spanned(ast.SelectItem(expr, alias), mark)
 
     def _alias_name(self):
         token = self._peek()
@@ -393,13 +423,14 @@ class Parser(object):
     # -- FROM clause ----------------------------------------------------------
 
     def _from_clause(self):
+        mark = self.pos
         left = self._table_source()
         while True:
             token = self._peek()
             if token.matches(PUNCT, ","):
                 self._next()
                 right = self._table_source()
-                left = ast.Join("cross", left, right)
+                left = self._spanned(ast.Join("cross", left, right), mark)
                 continue
             kind = self._join_kind()
             if kind is None:
@@ -409,7 +440,7 @@ class Parser(object):
             if kind != "cross":
                 self._expect(KEYWORD, "on")
                 condition = self._expression()
-            left = ast.Join(kind, left, right, condition)
+            left = self._spanned(ast.Join(kind, left, right, condition), mark)
         return left
 
     def _join_kind(self):
@@ -433,19 +464,20 @@ class Parser(object):
         return None
 
     def _table_source(self):
+        mark = self.pos
         if self._accept(PUNCT, "("):
             # Either a derived table or a parenthesized join tree.
             if self._peek().matches(KEYWORD, "select") or self._peek().matches(PUNCT, "("):
                 query = self._query_expression()
                 self._expect(PUNCT, ")")
                 alias = self._table_alias(required=True)
-                return ast.SubqueryRef(query, alias)
+                return self._spanned(ast.SubqueryRef(query, alias), mark)
             source = self._from_clause()
             self._expect(PUNCT, ")")
             return source
         name = self._qualified_name()
         alias = self._table_alias(required=False)
-        return ast.TableRef(name, alias)
+        return self._spanned(ast.TableRef(name, alias), mark)
 
     def _table_alias(self, required):
         if self._accept(KEYWORD, "as"):
@@ -462,38 +494,42 @@ class Parser(object):
         return self._or_expr()
 
     def _or_expr(self):
+        mark = self.pos
         left = self._and_expr()
         while self._accept(KEYWORD, "or"):
             right = self._and_expr()
-            left = ast.BinaryOp("or", left, right)
+            left = self._spanned(ast.BinaryOp("or", left, right), mark)
         return left
 
     def _and_expr(self):
+        mark = self.pos
         left = self._not_expr()
         while self._accept(KEYWORD, "and"):
             right = self._not_expr()
-            left = ast.BinaryOp("and", left, right)
+            left = self._spanned(ast.BinaryOp("and", left, right), mark)
         return left
 
     def _not_expr(self):
+        mark = self.pos
         if self._accept(KEYWORD, "not"):
-            return ast.UnaryOp("not", self._not_expr())
+            return self._spanned(ast.UnaryOp("not", self._not_expr()), mark)
         return self._predicate()
 
     def _predicate(self):
+        mark = self.pos
         if self._peek().matches(KEYWORD, "exists"):
             self._next()
             self._expect(PUNCT, "(")
             subquery = self._query_expression()
             self._expect(PUNCT, ")")
-            return ast.Exists(subquery)
+            return self._spanned(ast.Exists(subquery), mark)
         left = self._additive()
         while True:
             token = self._peek()
             if token.kind == OP and token.value in _COMPARISON_OPS:
                 op = self._next().value
                 right = self._comparison_rhs()
-                left = ast.BinaryOp(op, left, right)
+                left = self._spanned(ast.BinaryOp(op, left, right), mark)
                 continue
             negated = False
             look = token
@@ -509,19 +545,20 @@ class Parser(object):
                 self._next()
                 neg = bool(self._accept(KEYWORD, "not"))
                 self._expect(KEYWORD, "null")
-                left = ast.IsNull(left, negated=neg)
+                left = self._spanned(ast.IsNull(left, negated=neg), mark)
                 continue
             if token.matches(KEYWORD, "like"):
                 self._next()
                 pattern = self._additive()
-                left = ast.Like(left, pattern, negated=negated)
+                left = self._spanned(ast.Like(left, pattern, negated=negated), mark)
                 continue
             if token.matches(KEYWORD, "between"):
                 self._next()
                 low = self._additive()
                 self._expect(KEYWORD, "and")
                 high = self._additive()
-                left = ast.Between(left, low, high, negated=negated)
+                left = self._spanned(
+                    ast.Between(left, low, high, negated=negated), mark)
                 continue
             if token.matches(KEYWORD, "in"):
                 self._next()
@@ -529,13 +566,15 @@ class Parser(object):
                 if self._peek().matches(KEYWORD, "select"):
                     subquery = self._query_expression()
                     self._expect(PUNCT, ")")
-                    left = ast.InSubquery(left, subquery, negated=negated)
+                    left = self._spanned(
+                        ast.InSubquery(left, subquery, negated=negated), mark)
                 else:
                     items = [self._expression()]
                     while self._accept(PUNCT, ","):
                         items.append(self._expression())
                     self._expect(PUNCT, ")")
-                    left = ast.InList(left, items, negated=negated)
+                    left = self._spanned(
+                        ast.InList(left, items, negated=negated), mark)
                 continue
             break
         return left
@@ -546,6 +585,7 @@ class Parser(object):
         return self._additive()
 
     def _additive(self):
+        mark = self.pos
         left = self._multiplicative()
         while True:
             token = self._peek()
@@ -554,19 +594,20 @@ class Parser(object):
             if token.kind == OP and token.value in ("+", "-", "||", "&", "|", "^"):
                 op = self._next().value
                 right = self._multiplicative()
-                left = ast.BinaryOp(op, left, right)
+                left = self._spanned(ast.BinaryOp(op, left, right), mark)
             else:
                 break
         return left
 
     def _multiplicative(self):
+        mark = self.pos
         left = self._unary()
         while True:
             token = self._peek()
             if token.kind == OP and token.value in ("*", "/", "%"):
                 op = self._next().value
                 right = self._unary()
-                left = ast.BinaryOp(op, left, right)
+                left = self._spanned(ast.BinaryOp(op, left, right), mark)
             else:
                 break
         return left
@@ -574,36 +615,38 @@ class Parser(object):
     def _unary(self):
         token = self._peek()
         if token.kind == OP and token.value in ("-", "+"):
+            mark = self.pos
             self._next()
-            return ast.UnaryOp(token.value, self._unary())
+            return self._spanned(ast.UnaryOp(token.value, self._unary()), mark)
         return self._primary()
 
     def _primary(self):
         token = self._peek()
+        mark = self.pos
         if token.kind == NUMBER or token.kind == STRING:
             self._next()
-            return ast.Literal(token.value)
+            return self._spanned(ast.Literal(token.value), mark)
         if token.matches(KEYWORD, "null"):
             self._next()
-            return ast.Literal(None)
+            return self._spanned(ast.Literal(None), mark)
         if token.matches(KEYWORD, "true"):
             self._next()
-            return ast.Literal(True)
+            return self._spanned(ast.Literal(True), mark)
         if token.matches(KEYWORD, "false"):
             self._next()
-            return ast.Literal(False)
+            return self._spanned(ast.Literal(False), mark)
         if token.matches(KEYWORD, "case"):
-            return self._case()
+            return self._spanned(self._case(), mark)
         if token.matches(KEYWORD, ("cast", "try_cast")):
-            return self._cast(try_cast=token.value == "try_cast")
+            return self._spanned(self._cast(try_cast=token.value == "try_cast"), mark)
         if token.matches(KEYWORD, "convert"):
-            return self._convert()
+            return self._spanned(self._convert(), mark)
         if token.matches(PUNCT, "("):
             self._next()
             if self._peek().matches(KEYWORD, "select"):
                 subquery = self._query_expression()
                 self._expect(PUNCT, ")")
-                return ast.ScalarSubquery(subquery)
+                return self._spanned(ast.ScalarSubquery(subquery), mark)
             expr = self._expression()
             self._expect(PUNCT, ")")
             return expr
@@ -612,17 +655,18 @@ class Parser(object):
         if token.matches(OP, "*"):
             # COUNT(*) reaches here via FuncCall args parsing.
             self._next()
-            return ast.Star()
+            return self._spanned(ast.Star(), mark)
         raise ParseError("unexpected token %r in expression" % (token.value,), token)
 
     def _identifier_expression(self):
+        mark = self.pos
         name = self._expect(IDENT).value
         if self._peek().matches(PUNCT, "("):
-            return self._func_call(name)
+            return self._spanned(self._func_call(name), mark)
         if self._accept(PUNCT, "."):
             column = self._expect(IDENT).value
-            return ast.ColumnRef(column, table=name)
-        return ast.ColumnRef(name)
+            return self._spanned(ast.ColumnRef(column, table=name), mark)
+        return self._spanned(ast.ColumnRef(name), mark)
 
     def _func_call(self, name):
         self._expect(PUNCT, "(")

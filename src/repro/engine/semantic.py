@@ -1,0 +1,1066 @@
+"""Static semantic analysis: the pass between the parser and the planner.
+
+The analyzer walks a parsed statement and performs scope construction,
+table/column/function resolution (CTEs, derived tables and view chains via
+the catalog) and expression type inference — without planning or executing
+anything.  Unlike the planner, which raises on the first problem, the
+analyzer collects every finding into structured :class:`Diagnostic` objects
+carrying a code, a severity and a source span, then keeps going.
+
+Design rule — *mirror the planner, never outrun it*: an error-severity
+diagnostic is only emitted for conditions the planner would definitely
+reject.  Anything the planner tolerates (extra aggregate arguments, INSERT
+rows wider than the table, ...) is at most a warning, so wiring the
+analyzer in front of ``Database.execute`` can never fail a statement that
+used to run.  The one deliberate divergence is *where* findings surface:
+errors inside a CTE that is never referenced are downgraded to warnings,
+because the planner expands CTEs lazily and never sees them.
+
+Diagnostic codes
+----------------
+
+====== ==========================================================
+SEM001 unknown column
+SEM002 ambiguous column reference
+SEM003 unknown table/view, or another catalog violation
+SEM004 unknown function or wrong argument count
+SEM005 unknown type name in CAST/DDL
+SEM006 aggregate misuse (nested, or outside items/HAVING/ORDER BY)
+SEM007 window-function misuse (bad args, missing OVER ORDER BY)
+SEM008 subquery column-count violation
+SEM009 set-operation arity mismatch
+SEM010 CTE violation (duplicate name, declared-column arity)
+SEM011 ORDER BY position out of range
+SEM012 star ('*') misuse or empty expansion
+SEM013 column neither grouped nor aggregated
+SEM014 DML violation (INSERT shape, non-literal VALUES)
+====== ==========================================================
+"""
+
+from repro.engine import aggregates
+from repro.engine import ast_nodes as ast
+from repro.engine import functions
+from repro.engine.ast_nodes import span_of
+from repro.engine.types import (
+    SQLType,
+    infer_literal_type,
+    resolve_type_name,
+    unify_types,
+)
+from repro.engine.expressions import OutputColumn
+from repro.engine.window import NAVIGATION_FUNCTIONS, RANKING_FUNCTIONS
+from repro.errors import (
+    ERROR,
+    INFO,
+    WARNING,
+    BindError,
+    CatalogError,
+    Diagnostic,
+    SEVERITY_ORDER,
+    TypeCheckError,
+)
+
+#: Queries (as opposed to DDL/DML) — same set Database.execute plans.
+QUERY_NODES = (ast.Select, ast.SetOperation, ast.WithQuery)
+
+
+class SourceInfo(object):
+    """One FROM-clause range variable, resolved."""
+
+    __slots__ = ("kind", "name", "alias", "qualifier", "schema", "node",
+                 "table", "unknown")
+
+    def __init__(self, kind, name, alias, qualifier, schema, node,
+                 table=None, unknown=False):
+        #: "table", "view", "cte", "derived" or "unknown".
+        self.kind = kind
+        self.name = name
+        self.alias = alias
+        self.qualifier = qualifier
+        self.schema = schema
+        self.node = node
+        #: The catalog Table (for cardinality-based lint rules), if any.
+        self.table = table
+        self.unknown = unknown
+
+    def __repr__(self):
+        return "SourceInfo(%s %r as %r)" % (self.kind, self.name, self.qualifier)
+
+
+class SelectInfo(object):
+    """Per-SELECT record handed to the lint layer."""
+
+    __slots__ = ("select", "sources", "output", "aggregated", "depth", "statement")
+
+    def __init__(self, select, sources, output, aggregated, depth, statement):
+        self.select = select
+        self.sources = sources
+        self.output = output
+        self.aggregated = aggregated
+        #: 0 for the statement's outermost SELECT, >0 inside subqueries/CTEs.
+        self.depth = depth
+        self.statement = statement
+
+
+class AnalysisResult(object):
+    """Everything the analyzer learned about one statement."""
+
+    def __init__(self, statement, source=None):
+        self.statement = statement
+        self.source = source
+        self.diagnostics = []
+        #: Output schema (list of OutputColumn) when the statement is a query.
+        self.schema = None
+        #: id(ast node) -> inferred SQLType for every analyzed expression.
+        self.types = {}
+        #: One SelectInfo per SELECT block, outermost first.
+        self.selects = []
+        #: id(OutputColumn) for every column actually referenced somewhere.
+        self.used_columns = set()
+        #: (ColumnRef node, OutputColumn) for every successful resolution.
+        self.resolutions = []
+        #: CommonTableExpression nodes never referenced by the body.
+        self.unused_ctes = []
+
+    def add(self, code, severity, message, span=None, category="bind"):
+        diagnostic = Diagnostic(code, severity, message, span, category)
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def errors(self):
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    def warnings(self):
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def ok(self):
+        return not self.errors()
+
+    def type_of(self, node):
+        return self.types.get(id(node), SQLType.UNKNOWN)
+
+    def sorted_diagnostics(self):
+        """Diagnostics ordered by source position, then severity."""
+        def key(d):
+            start = d.span.start if d.span is not None else 1 << 30
+            return (start, SEVERITY_ORDER.get(d.severity, 3))
+        return sorted(self.diagnostics, key=key)
+
+
+class Scope(object):
+    """Resolution scope: columns plus an outer chain and an 'unknown' taint.
+
+    ``unknown`` marks scopes built over an unresolvable source (a missing
+    table, a star over one): resolution failures under such a scope are
+    suppressed rather than reported, so one missing table does not cascade
+    into a column error per reference.
+    """
+
+    def __init__(self, columns, parent=None, unknown=False):
+        self.columns = list(columns)
+        self.parent = parent
+        self.unknown = unknown
+
+    def resolve(self, name, table=None):
+        """Return ``("ok", column)``, ``("ambiguous", None)``,
+        ``("unknown", None)`` or ``("suppressed", None)``."""
+        scope = self
+        tainted = False
+        while scope is not None:
+            tainted = tainted or scope.unknown
+            matches = [
+                column
+                for column in scope.columns
+                if column.name.lower() == name.lower()
+                and (table is None or (column.qualifier or "").lower() == table.lower())
+            ]
+            if len(matches) == 1:
+                return "ok", matches[0]
+            if len(matches) > 1:
+                return "ambiguous", None
+            scope = scope.parent
+        return ("suppressed" if tainted else "unknown"), None
+
+    def tainted(self):
+        scope = self
+        while scope is not None:
+            if scope.unknown:
+                return True
+            scope = scope.parent
+        return False
+
+
+class _Context(object):
+    """Expression-analysis context flags."""
+
+    __slots__ = ("windows", "in_aggregate", "group_fallback")
+
+    def __init__(self, windows=False, in_aggregate=False, group_fallback=None):
+        #: Window functions allowed here (select items / ORDER BY only).
+        self.windows = windows
+        #: Currently inside an aggregate's argument (nested-aggregate check).
+        self.in_aggregate = in_aggregate
+        #: Pre-aggregation scope, for "must appear in GROUP BY" messages.
+        self.group_fallback = group_fallback
+
+    def replaced(self, **overrides):
+        values = {"windows": self.windows, "in_aggregate": self.in_aggregate,
+                  "group_fallback": self.group_fallback}
+        values.update(overrides)
+        return _Context(**values)
+
+
+class _CTE(object):
+    __slots__ = ("name", "node", "schema", "reliable", "diagnostics", "used",
+                 "refs")
+
+    def __init__(self, name, node, schema, reliable, diagnostics):
+        self.name = name
+        self.node = node
+        self.schema = schema
+        self.reliable = reliable
+        self.diagnostics = diagnostics
+        self.used = False
+        #: CTEs this CTE's body references (for transitive usedness).
+        self.refs = set()
+
+
+def analyze(statement, catalog, source=None):
+    """Analyze one parsed statement; returns an :class:`AnalysisResult`."""
+    return SemanticAnalyzer(catalog).analyze(statement, source=source)
+
+
+def error_from_diagnostics(diagnostics, sql=None):
+    """Build the exception ``Database.execute`` raises for analyzer errors.
+
+    The exception class follows the first error's category so callers that
+    catch :class:`BindError`/:class:`CatalogError`/:class:`TypeCheckError`
+    keep working; every diagnostic rides along as ``.diagnostics``.
+    """
+    errors = [d for d in diagnostics if d.severity == ERROR]
+    first = errors[0]
+    message = first.message
+    if first.span is not None and first.span.line:
+        message += " (line %d, col %d)" % (first.span.line, first.span.col)
+    if len(errors) > 1:
+        message += "; plus %d more error%s" % (
+            len(errors) - 1, "" if len(errors) == 2 else "s")
+    cls = {"catalog": CatalogError, "type": TypeCheckError}.get(
+        first.category, BindError)
+    exc = cls(message)
+    exc.span = first.span
+    exc.diagnostics = list(diagnostics)
+    return exc
+
+
+class SemanticAnalyzer(object):
+    """AST-walking analyzer over a catalog.  One instance per statement."""
+
+    def __init__(self, catalog):
+        self.catalog = catalog
+        self._cte_stack = []
+        self._ref_stack = []
+        self._fresh = 1000
+        self._depth = 0
+
+    # -- entry points -------------------------------------------------------
+
+    def analyze(self, statement, source=None):
+        result = AnalysisResult(statement, source)
+        if isinstance(statement, QUERY_NODES):
+            schema, _reliable = self._query(statement, None, result)
+            result.schema = schema
+        elif isinstance(statement, ast.CreateView):
+            self._create_view(statement, result)
+        elif isinstance(statement, ast.CreateTable):
+            self._create_table(statement, result)
+        elif isinstance(statement, ast.DropTable):
+            if not statement.if_exists and not self.catalog.has_table(statement.name):
+                result.add("SEM003", ERROR, "no table named %r" % statement.name,
+                           span_of(statement), "catalog")
+        elif isinstance(statement, ast.DropView):
+            if not statement.if_exists and not self.catalog.has_view(statement.name):
+                result.add("SEM003", ERROR, "no view named %r" % statement.name,
+                           span_of(statement), "catalog")
+        elif isinstance(statement, ast.Insert):
+            self._insert(statement, result)
+        elif isinstance(statement, ast.AlterColumn):
+            self._alter_column(statement, result)
+        return result
+
+    # -- statements ---------------------------------------------------------
+
+    def _create_view(self, statement, result):
+        span = span_of(statement)
+        if self.catalog.has_table(statement.name):
+            result.add("SEM003", ERROR,
+                       "a table named %r already exists" % statement.name,
+                       span, "catalog")
+        elif self.catalog.has_view(statement.name):
+            result.add("SEM003", ERROR,
+                       "a view named %r already exists" % statement.name,
+                       span, "catalog")
+        schema, reliable = self._query(statement.query, None, result)
+        result.schema = schema
+        if reliable:
+            seen = set()
+            for column in schema:
+                key = column.name.lower()
+                if key in seen:
+                    result.add(
+                        "SEM003", ERROR,
+                        "view %r would have duplicate column %r"
+                        % (statement.name, column.name),
+                        span, "catalog")
+                seen.add(key)
+
+    def _create_table(self, statement, result):
+        span = span_of(statement)
+        if self.catalog.has_object(statement.name):
+            result.add("SEM003", ERROR,
+                       "object %r already exists" % statement.name,
+                       span, "catalog")
+        seen = set()
+        for definition in statement.columns:
+            key = definition.name.lower()
+            if key in seen:
+                result.add("SEM003", ERROR,
+                           "duplicate column %r in table %r"
+                           % (definition.name, statement.name),
+                           span_of(definition) or span, "catalog")
+            seen.add(key)
+            self._check_type_name(definition.type_name,
+                                  span_of(definition) or span, result)
+
+    def _insert(self, statement, result):
+        span = span_of(statement)
+        if not self.catalog.has_table(statement.table):
+            result.add("SEM003", ERROR,
+                       "no table named %r" % statement.table, span, "catalog")
+            if statement.query is not None:
+                self._query(statement.query, None, result)
+            return
+        table = self.catalog.get_table(statement.table)
+        width = len(table.columns)
+        if statement.columns is not None:
+            width = len(statement.columns)
+            for name in statement.columns:
+                try:
+                    table.column_index(name)
+                except CatalogError as error:
+                    result.add("SEM003", ERROR, str(error), span, "catalog")
+        if statement.query is not None:
+            schema, reliable = self._query(statement.query, None, result)
+            # Arity problems in INSERT ... SELECT only surface at runtime when
+            # the query yields rows, so they can never be definite errors.
+            if reliable and len(schema) != width:
+                result.add(
+                    "SEM014", WARNING,
+                    "INSERT query produces %d columns for %d target columns"
+                    % (len(schema), width), span)
+            return
+        for row in statement.rows:
+            for expr in row:
+                if not isinstance(expr, ast.Literal):
+                    result.add("SEM014", ERROR, "INSERT VALUES must be literals",
+                               span_of(expr) or span)
+            if statement.columns is not None:
+                if len(row) != width:
+                    result.add("SEM014", ERROR, "INSERT arity mismatch", span)
+            elif len(row) < len(table.columns):
+                result.add(
+                    "SEM014", ERROR,
+                    "row arity %d does not match table %r arity %d"
+                    % (len(row), table.name, len(table.columns)),
+                    span, "catalog")
+            elif len(row) > len(table.columns):
+                result.add(
+                    "SEM014", WARNING,
+                    "INSERT provides %d values for %d columns; extras are ignored"
+                    % (len(row), len(table.columns)), span)
+
+    def _alter_column(self, statement, result):
+        span = span_of(statement)
+        if not self.catalog.has_table(statement.table):
+            result.add("SEM003", ERROR,
+                       "no table named %r" % statement.table, span, "catalog")
+            return
+        table = self.catalog.get_table(statement.table)
+        try:
+            table.column_index(statement.column)
+        except CatalogError as error:
+            result.add("SEM003", ERROR, str(error), span, "catalog")
+        self._check_type_name(statement.type_name, span, result)
+
+    def _check_type_name(self, type_name, span, result):
+        try:
+            return resolve_type_name(type_name)
+        except TypeCheckError as error:
+            result.add("SEM005", ERROR, str(error), span, "type")
+            return SQLType.UNKNOWN
+
+    # -- queries ------------------------------------------------------------
+
+    def _query(self, query, outer_scope, result):
+        """Analyze a query expression; returns ``(schema, reliable)``.
+
+        ``reliable`` is False when the column list could not be fully
+        determined (a star over an unresolvable source), in which case
+        arity-sensitive checks downstream are skipped.
+        """
+        if isinstance(query, ast.WithQuery):
+            return self._with_query(query, outer_scope, result)
+        if isinstance(query, ast.SetOperation):
+            return self._set_operation(query, outer_scope, result)
+        if isinstance(query, ast.Select):
+            return self._select(query, outer_scope, result)
+        return [], False
+
+    def _with_query(self, query, outer_scope, result):
+        layer = {}
+        base_layers = list(self._cte_stack)
+        members = []
+        for cte in query.ctes:
+            if cte.name.lower() in layer:
+                result.add("SEM010", ERROR,
+                           "duplicate CTE name %r" % cte.name, span_of(cte))
+            buffered = []
+            refs = set()
+            saved_stack = self._cte_stack
+            saved_diags = result.diagnostics
+            self._cte_stack = base_layers + [dict(layer)]
+            self._ref_stack.append((refs, len(self._cte_stack)))
+            result.diagnostics = buffered
+            self._depth += 1
+            try:
+                schema, reliable = self._query(cte.query, None, result)
+            finally:
+                self._depth -= 1
+                self._cte_stack = saved_stack
+                self._ref_stack.pop()
+                result.diagnostics = saved_diags
+            if cte.columns is not None:
+                if reliable and len(cte.columns) != len(schema):
+                    buffered.append(Diagnostic(
+                        "SEM010", ERROR,
+                        "CTE %r declares %d columns but produces %d"
+                        % (cte.name, len(cte.columns), len(schema)),
+                        span_of(cte)))
+                schema = [
+                    column.renamed(name=name)
+                    for column, name in zip(schema, cte.columns)
+                ]
+            member = _CTE(cte.name, cte, schema, reliable, buffered)
+            member.refs = refs
+            layer[cte.name.lower()] = member
+            members.append(member)
+        self._cte_stack.append(layer)
+        try:
+            schema, reliable = self._query(query.body, outer_scope, result)
+        finally:
+            self._cte_stack.pop()
+        # Usedness is transitive: a CTE referenced only from another *used*
+        # CTE is expanded by the planner too.
+        worklist = [member for member in members if member.used]
+        while worklist:
+            for dep in worklist.pop().refs:
+                if not dep.used:
+                    dep.used = True
+                    worklist.append(dep)
+        for member in members:
+            if member.used:
+                result.diagnostics.extend(member.diagnostics)
+            else:
+                result.unused_ctes.append(member.node)
+                # The planner expands CTEs lazily, so problems in a CTE it
+                # never references cannot fail the statement: report them,
+                # but only as warnings.
+                for diagnostic in member.diagnostics:
+                    if diagnostic.severity == ERROR:
+                        diagnostic.severity = WARNING
+                        diagnostic.message += " (in unused CTE %r)" % member.name
+                    result.diagnostics.append(diagnostic)
+        return schema, reliable
+
+    def _resolve_cte(self, name):
+        """Return ``(member, layer_index)`` for a visible CTE, or None."""
+        lowered = name.lower()
+        for index in range(len(self._cte_stack) - 1, -1, -1):
+            layer = self._cte_stack[index]
+            if lowered in layer:
+                return layer[lowered], index
+        return None
+
+    def _set_operation(self, query, outer_scope, result):
+        left_schema, left_ok = self._query(query.left, outer_scope, result)
+        right_schema, right_ok = self._query(query.right, outer_scope, result)
+        reliable = left_ok and right_ok
+        if reliable and len(left_schema) != len(right_schema):
+            result.add("SEM009", ERROR,
+                       "set operation arity mismatch: %d vs %d"
+                       % (len(left_schema), len(right_schema)),
+                       span_of(query))
+        schema = [
+            OutputColumn(left.name, unify_types(left.sql_type, right.sql_type),
+                         source_table=left.source_table,
+                         source_column=left.source_column)
+            for left, right in zip(left_schema, right_schema)
+        ]
+        if query.order_by:
+            scope = Scope(schema, parent=outer_scope, unknown=not reliable)
+            context = _Context()
+            for item in query.order_by:
+                if self._positional(item, len(schema), reliable, result):
+                    continue
+                self._expr(item.expr, scope, None, context, result)
+        return schema, reliable
+
+    def _positional(self, item, width, reliable, result):
+        """Handle ``ORDER BY 2``; returns True when the item was positional."""
+        expr = item.expr
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            if reliable and not 1 <= expr.value <= width:
+                result.add("SEM011", ERROR,
+                           "ORDER BY position %d out of range" % expr.value,
+                           span_of(item) or span_of(expr))
+            return True
+        return False
+
+    # -- SELECT -------------------------------------------------------------
+
+    def _select(self, select, outer_scope, result):
+        depth = self._depth
+        sources = []
+        if select.from_clause is not None:
+            columns, from_reliable = self._from(
+                select.from_clause, outer_scope, sources, result)
+        else:
+            columns, from_reliable = [], True
+        unknown_source = any(source.unknown for source in sources)
+        scope = Scope(columns, parent=outer_scope, unknown=unknown_source)
+        source_scope = scope
+
+        if select.where is not None:
+            self._expr(select.where, scope, None, _Context(), result)
+
+        aggregate_calls = self._collect_aggregates(select)
+        replacements = None
+        if select.group_by or aggregate_calls:
+            scope, replacements = self._aggregate(
+                select, scope, outer_scope, aggregate_calls, result)
+
+        context = _Context(group_fallback=source_scope if replacements else None)
+        if select.having is not None:
+            self._expr(select.having, scope, replacements, context, result)
+
+        for node in self._collect_windows(select):
+            replacements = replacements if replacements is not None else {}
+            self._window(node, scope, replacements, context, result)
+
+        item_context = context.replaced(windows=True)
+        out_columns = []
+        items_reliable = True
+        for item in select.items:
+            if isinstance(item.expr, ast.Star):
+                star = item.expr
+                matches = [
+                    column
+                    for column in scope.columns
+                    if star.table is None
+                    or (column.qualifier or "").lower() == star.table.lower()
+                ]
+                if not matches:
+                    if scope.tainted():
+                        items_reliable = False
+                    else:
+                        result.add("SEM012", ERROR,
+                                   "no columns match %s.*" % (star.table or ""),
+                                   span_of(item) or span_of(star))
+                for column in matches:
+                    result.used_columns.add(id(column))
+                    out_columns.append(column.renamed(qualifier=None))
+                continue
+            sql_type = self._expr(item.expr, scope, replacements,
+                                  item_context, result)
+            name = item.alias or self._derive_name(item.expr)
+            source_table = source_column = None
+            if isinstance(item.expr, ast.ColumnRef):
+                status, resolved = scope.resolve(item.expr.name, item.expr.table)
+                if status == "ok":
+                    source_table = resolved.source_table
+                    source_column = resolved.source_column
+            out_columns.append(OutputColumn(
+                name, sql_type,
+                source_table=source_table, source_column=source_column))
+
+        if select.order_by:
+            self._order_by(select, out_columns, items_reliable, scope,
+                           replacements, outer_scope, result)
+
+        result.selects.append(SelectInfo(
+            select, sources, out_columns,
+            aggregated=replacements is not None, depth=depth,
+            statement=result.statement))
+        return out_columns, from_reliable and items_reliable
+
+    def _order_by(self, select, out_columns, reliable, fallback_scope,
+                  replacements, outer_scope, result):
+        order_scope = Scope(out_columns, parent=outer_scope,
+                            unknown=not reliable)
+        context = _Context(windows=True)
+        for item in select.order_by:
+            if self._positional(item, len(out_columns), reliable, result):
+                continue
+            # Mirror the planner: first bind against the select-list columns
+            # (no replacements), then fall back to the source scope with the
+            # aggregate/window rewrites.
+            attempt = self._speculate(item.expr, order_scope, None,
+                                      context, result)
+            if attempt is not None:
+                result.diagnostics.extend(attempt)
+                continue
+            fallback = self._speculate(item.expr, fallback_scope, replacements,
+                                       context, result)
+            result.diagnostics.extend(
+                fallback if fallback is not None else [])
+
+    def _speculate(self, expr, scope, replacements, context, result):
+        """Analyze ``expr`` buffering diagnostics.
+
+        Returns the buffered list when it contains no errors (commit), or
+        None when it does (caller should try another scope).
+        """
+        buffered = []
+        saved = result.diagnostics
+        result.diagnostics = buffered
+        try:
+            self._expr(expr, scope, replacements, context, result)
+        finally:
+            result.diagnostics = saved
+        if any(d.severity == ERROR for d in buffered):
+            return None
+        return buffered
+
+    # -- FROM ---------------------------------------------------------------
+
+    def _from(self, node, outer_scope, sources, result):
+        if isinstance(node, ast.TableRef):
+            return self._table_ref(node, sources, result)
+        if isinstance(node, ast.SubqueryRef):
+            self._depth += 1
+            try:
+                inner, reliable = self._query(node.query, outer_scope, result)
+            finally:
+                self._depth -= 1
+            schema = [column.renamed(qualifier=node.alias) for column in inner]
+            sources.append(SourceInfo(
+                "derived", node.alias, node.alias, node.alias, schema, node,
+                unknown=not reliable))
+            return schema, reliable
+        if isinstance(node, ast.Join):
+            left, left_ok = self._from(node.left, outer_scope, sources, result)
+            right, right_ok = self._from(node.right, outer_scope, sources, result)
+            combined = left + right
+            if node.condition is not None:
+                unknown = any(source.unknown for source in sources)
+                scope = Scope(combined, parent=outer_scope, unknown=unknown)
+                self._expr(node.condition, scope, None, _Context(), result)
+            return combined, left_ok and right_ok
+        return [], False
+
+    def _table_ref(self, node, sources, result):
+        resolved_cte = self._resolve_cte(node.name)
+        if resolved_cte is not None:
+            cte, layer_index = resolved_cte
+            if self._ref_stack and layer_index < self._ref_stack[-1][1]:
+                # Inside another CTE's body: record a dependency; whether it
+                # counts as "used" depends on whether *that* CTE is used.
+                self._ref_stack[-1][0].add(cte)
+            else:
+                cte.used = True
+            qualifier = node.alias or node.name
+            schema = [column.renamed(qualifier=qualifier)
+                      for column in cte.schema]
+            sources.append(SourceInfo(
+                "cte", node.name, node.alias, qualifier, schema, node,
+                unknown=not cte.reliable))
+            return schema, cte.reliable
+        qualifier = node.alias or node.name.split(".")[-1]
+        try:
+            kind, obj = self.catalog.resolve(node.name)
+        except CatalogError as error:
+            result.add("SEM003", ERROR, str(error), span_of(node), "catalog")
+            sources.append(SourceInfo(
+                "unknown", node.name, node.alias, qualifier, [], node,
+                unknown=True))
+            return [], False
+        if kind == "table":
+            schema = [
+                OutputColumn(column.name, column.sql_type, qualifier=qualifier,
+                             source_table=obj.name, source_column=column.name)
+                for column in obj.columns
+            ]
+            sources.append(SourceInfo(
+                "table", obj.name, node.alias, qualifier, schema, node,
+                table=obj))
+            return schema, True
+        # Views resolve through their declared output schema; the analyzer
+        # does not recurse into view bodies (a broken view chain is a
+        # planner-time CatalogError, exactly as before).
+        schema = [
+            OutputColumn(column.name, column.sql_type, qualifier=qualifier)
+            for column in obj.columns
+        ]
+        sources.append(SourceInfo(
+            "view", obj.name, node.alias, qualifier, schema, node))
+        return schema, True
+
+    # -- aggregation ----------------------------------------------------------
+
+    def _collect_aggregates(self, select):
+        """Aggregate calls outside OVER clauses — planner's collection, mirrored."""
+        found = []
+        seen = set()
+
+        def visit(node, inside_window):
+            if isinstance(node, ast.WindowFunction):
+                for child in node.children():
+                    visit(child, True)
+                return
+            if isinstance(node, (ast.ScalarSubquery, ast.Exists, ast.InSubquery)):
+                return
+            if (isinstance(node, ast.FuncCall)
+                    and aggregates.is_aggregate_name(node.name)
+                    and not inside_window):
+                if node not in seen:
+                    seen.add(node)
+                    found.append(node)
+                return
+            for child in node.children():
+                visit(child, inside_window)
+
+        for item in select.items:
+            visit(item.expr, False)
+        if select.having is not None:
+            visit(select.having, False)
+        for order in select.order_by:
+            visit(order.expr, False)
+        return found
+
+    def _aggregate(self, select, scope, outer_scope, aggregate_calls, result):
+        replacements = {}
+        out_columns = []
+        group_context = _Context()
+        for group_expr in select.group_by:
+            sql_type = self._expr(group_expr, scope, None, group_context, result)
+            if isinstance(group_expr, ast.ColumnRef):
+                status, resolved = scope.resolve(group_expr.name, group_expr.table)
+                if status == "ok":
+                    column = OutputColumn(
+                        resolved.name, sql_type, qualifier=resolved.qualifier,
+                        source_table=resolved.source_table,
+                        source_column=resolved.source_column)
+                else:
+                    column = OutputColumn(group_expr.name, sql_type)
+            else:
+                column = OutputColumn(self._fresh_name(), sql_type)
+            out_columns.append(column)
+            replacements[group_expr] = sql_type
+        argument_context = _Context(in_aggregate=True)
+        for call in aggregate_calls:
+            star = bool(call.args and isinstance(call.args[0], ast.Star)) \
+                or not call.args
+            if star:
+                arg_type = SQLType.INT
+            else:
+                arg_type = self._expr(call.args[0], scope, None,
+                                      argument_context, result)
+                if len(call.args) > 1:
+                    result.add(
+                        "SEM006", WARNING,
+                        "aggregate %s takes one argument; extras are ignored"
+                        % call.name.upper(), span_of(call))
+            result_type = aggregates.result_type(call.name, arg_type)
+            result.types[id(call)] = result_type
+            out_columns.append(OutputColumn(self._fresh_name(), result_type))
+            replacements[call] = result_type
+        aggregate_scope = Scope(out_columns, parent=outer_scope,
+                                unknown=scope.tainted())
+        return aggregate_scope, replacements
+
+    def _collect_windows(self, select):
+        found = []
+        seen = set()
+        for item in select.items:
+            for node in item.expr.walk():
+                if isinstance(node, ast.WindowFunction) and node not in seen:
+                    seen.add(node)
+                    found.append(node)
+        for order in select.order_by:
+            for node in order.expr.walk():
+                if isinstance(node, ast.WindowFunction) and node not in seen:
+                    seen.add(node)
+                    found.append(node)
+        return found
+
+    def _window(self, node, scope, replacements, context, result):
+        func = node.func
+        name = func.name.lower()
+        span = span_of(node) or span_of(func)
+        argument_context = context.replaced(windows=False)
+        sql_type = SQLType.UNKNOWN
+        if name in RANKING_FUNCTIONS:
+            if name == "ntile":
+                if not func.args or not isinstance(func.args[0], ast.Literal):
+                    result.add("SEM007", ERROR,
+                               "NTILE requires a literal bucket count", span)
+            elif func.args:
+                result.add("SEM007", ERROR,
+                           "%s takes no arguments" % name.upper(), span)
+            if not node.order_by:
+                result.add("SEM007", ERROR,
+                           "%s requires ORDER BY in OVER()" % name.upper(), span)
+            sql_type = SQLType.BIGINT
+        elif name in NAVIGATION_FUNCTIONS:
+            if not func.args:
+                result.add("SEM007", ERROR,
+                           "%s requires an argument" % name.upper(), span)
+            if not node.order_by:
+                result.add("SEM007", ERROR,
+                           "%s requires ORDER BY in OVER()" % name.upper(), span)
+            if func.args:
+                sql_type = self._expr(func.args[0], scope, replacements,
+                                      argument_context, result)
+            if name in ("lag", "lead"):
+                if len(func.args) >= 2 and not isinstance(func.args[1], ast.Literal):
+                    result.add("SEM007", ERROR,
+                               "%s offset must be a literal" % name.upper(), span)
+                if len(func.args) >= 3:
+                    self._expr(func.args[2], scope, replacements,
+                               argument_context, result)
+            elif len(func.args) > 1:
+                result.add("SEM007", ERROR,
+                           "%s takes one argument" % name.upper(), span)
+        elif aggregates.is_aggregate_name(name):
+            star = bool(func.args and isinstance(func.args[0], ast.Star)) \
+                or not func.args
+            if star:
+                arg_type = SQLType.INT
+            else:
+                arg_type = self._expr(func.args[0], scope, replacements,
+                                      argument_context, result)
+            sql_type = aggregates.result_type(name, arg_type)
+        else:
+            result.add("SEM007", ERROR,
+                       "unsupported window function %r" % name, span)
+        for expr in node.partition_by:
+            self._expr(expr, scope, replacements, argument_context, result)
+        for item in node.order_by:
+            self._expr(item.expr, scope, replacements, argument_context, result)
+        result.types[id(node)] = sql_type
+        replacements[node] = sql_type
+        return sql_type
+
+    # -- expressions ----------------------------------------------------------
+
+    def _expr(self, node, scope, replacements, context, result):
+        sql_type = self._expr_inner(node, scope, replacements, context, result)
+        result.types[id(node)] = sql_type
+        return sql_type
+
+    def _expr_inner(self, node, scope, replacements, context, result):
+        if replacements is not None:
+            replaced = replacements.get(node)
+            if replaced is not None:
+                return replaced
+        if isinstance(node, ast.Literal):
+            return infer_literal_type(node.value)
+        if isinstance(node, ast.ColumnRef):
+            return self._column_ref(node, scope, context, result)
+        if isinstance(node, ast.Star):
+            result.add("SEM012", ERROR,
+                       "'*' is only allowed in a select list or COUNT(*)",
+                       span_of(node))
+            return SQLType.UNKNOWN
+        if isinstance(node, ast.UnaryOp):
+            operand = self._expr(node.operand, scope, replacements, context, result)
+            return SQLType.BIT if node.op == "not" else operand
+        if isinstance(node, ast.BinaryOp):
+            left = self._expr(node.left, scope, replacements, context, result)
+            right = self._expr(node.right, scope, replacements, context, result)
+            return _binary_type(node.op, left, right)
+        if isinstance(node, ast.IsNull):
+            self._expr(node.operand, scope, replacements, context, result)
+            return SQLType.BIT
+        if isinstance(node, ast.Like):
+            self._expr(node.operand, scope, replacements, context, result)
+            self._expr(node.pattern, scope, replacements, context, result)
+            return SQLType.BIT
+        if isinstance(node, ast.Between):
+            for child in (node.operand, node.low, node.high):
+                self._expr(child, scope, replacements, context, result)
+            return SQLType.BIT
+        if isinstance(node, ast.InList):
+            self._expr(node.operand, scope, replacements, context, result)
+            for item in node.items:
+                self._expr(item, scope, replacements, context, result)
+            return SQLType.BIT
+        if isinstance(node, ast.InSubquery):
+            self._expr(node.operand, scope, replacements, context, result)
+            schema, reliable = self._subquery(node.subquery, scope, result)
+            if reliable and len(schema) != 1:
+                result.add("SEM008", ERROR,
+                           "IN subquery must return exactly one column",
+                           span_of(node))
+            return SQLType.BIT
+        if isinstance(node, ast.Exists):
+            self._subquery(node.subquery, scope, result)
+            return SQLType.BIT
+        if isinstance(node, ast.ScalarSubquery):
+            schema, reliable = self._subquery(node.subquery, scope, result)
+            if reliable and len(schema) != 1:
+                result.add("SEM008", ERROR,
+                           "scalar subquery must return exactly one column",
+                           span_of(node))
+            return schema[0].sql_type if schema else SQLType.UNKNOWN
+        if isinstance(node, ast.Case):
+            return self._case(node, scope, replacements, context, result)
+        if isinstance(node, ast.Cast):
+            self._expr(node.operand, scope, replacements, context, result)
+            return self._check_type_name(node.type_name, span_of(node), result)
+        if isinstance(node, ast.FuncCall):
+            return self._func_call(node, scope, replacements, context, result)
+        if isinstance(node, ast.WindowFunction):
+            if not context.windows:
+                result.add("SEM007", ERROR,
+                           "window function %s used outside a select list"
+                           % node.func.name.upper(), span_of(node))
+                return SQLType.UNKNOWN
+            if replacements is None:
+                replacements = {}
+            return self._window(node, scope, replacements, context, result)
+        return SQLType.UNKNOWN
+
+    def _column_ref(self, node, scope, context, result):
+        status, column = scope.resolve(node.name, node.table)
+        if status == "ok":
+            result.used_columns.add(id(column))
+            result.resolutions.append((node, column))
+            return column.sql_type
+        if status == "ambiguous":
+            result.add("SEM002", ERROR,
+                       "ambiguous column reference %r" % node.name,
+                       span_of(node))
+            return SQLType.UNKNOWN
+        if status == "suppressed":
+            return SQLType.UNKNOWN
+        # Unknown — distinguish "not grouped" from "does not exist".
+        if context.group_fallback is not None:
+            fallback_status, column = context.group_fallback.resolve(
+                node.name, node.table)
+            if fallback_status == "ok":
+                result.used_columns.add(id(column))
+                result.add(
+                    "SEM013", ERROR,
+                    "column %r must appear in the GROUP BY clause or be used "
+                    "in an aggregate" % node.name, span_of(node))
+                return column.sql_type
+        if node.table:
+            message = "unknown column %s.%s" % (node.table, node.name)
+        else:
+            message = "unknown column %r" % node.name
+        result.add("SEM001", ERROR, message, span_of(node))
+        return SQLType.UNKNOWN
+
+    def _case(self, node, scope, replacements, context, result):
+        if node.operand is not None:
+            self._expr(node.operand, scope, replacements, context, result)
+        unified = None
+        for condition, branch in node.whens:
+            self._expr(condition, scope, replacements, context, result)
+            branch_type = self._expr(branch, scope, replacements, context, result)
+            unified = branch_type if unified is None \
+                else unify_types(unified, branch_type)
+        if node.else_result is not None:
+            else_type = self._expr(node.else_result, scope, replacements,
+                                   context, result)
+            unified = else_type if unified is None \
+                else unify_types(unified, else_type)
+        return unified or SQLType.UNKNOWN
+
+    def _func_call(self, node, scope, replacements, context, result):
+        name = node.name.lower()
+        if aggregates.is_aggregate_name(name):
+            # Not rewritten by the aggregation step, so the planner's binder
+            # would look it up among scalar functions and fail.
+            if context.in_aggregate:
+                message = "aggregate %s cannot be nested inside an aggregate" \
+                    % name.upper()
+            else:
+                message = "aggregate %s is not allowed here" % name.upper()
+            result.add("SEM006", ERROR, message, span_of(node))
+            for arg in node.args:
+                if not isinstance(arg, ast.Star):
+                    self._expr(arg, scope, replacements, context, result)
+            return aggregates.result_type(name, SQLType.UNKNOWN)
+        arg_types = []
+        for arg in node.args:
+            if isinstance(arg, ast.Star):
+                result.add("SEM012", ERROR,
+                           "'*' is only allowed in a select list or COUNT(*)",
+                           span_of(arg) or span_of(node))
+                arg_types.append(SQLType.UNKNOWN)
+                continue
+            arg_types.append(
+                self._expr(arg, scope, replacements, context, result))
+        try:
+            func = functions.lookup(name, len(node.args))
+        except BindError as error:
+            result.add("SEM004", ERROR, str(error), span_of(node))
+            return SQLType.UNKNOWN
+        try:
+            return func.type_of(arg_types)
+        except (TypeCheckError, BindError):
+            return SQLType.UNKNOWN
+
+    def _subquery(self, query, scope, result):
+        self._depth += 1
+        try:
+            return self._query(query, scope, result)
+        finally:
+            self._depth -= 1
+
+    # -- helpers --------------------------------------------------------------
+
+    def _fresh_name(self):
+        self._fresh += 1
+        return "Expr%d" % self._fresh
+
+    def _derive_name(self, expr):
+        if isinstance(expr, ast.ColumnRef):
+            return expr.name
+        if isinstance(expr, ast.Cast) and isinstance(expr.operand, ast.ColumnRef):
+            return expr.operand.name
+        return self._fresh_name()
+
+
+def _binary_type(op, left, right):
+    """Result type of a binary operator — expressions._binary_result_type
+    restated over bare SQLTypes."""
+    if op in ("and", "or", "=", "<>", "<", ">", "<=", ">="):
+        return SQLType.BIT
+    if op == "||":
+        return SQLType.VARCHAR
+    if op == "+" and SQLType.VARCHAR in (left, right):
+        return SQLType.VARCHAR
+    if op == "/":
+        integral = (SQLType.INT, SQLType.BIGINT, SQLType.BIT)
+        if left in integral and right in integral:
+            return unify_types(left, right)
+        return SQLType.FLOAT
+    if op == "%":
+        return SQLType.INT
+    if op in ("&", "|", "^"):
+        return SQLType.INT
+    return unify_types(left, right)

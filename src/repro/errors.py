@@ -3,7 +3,130 @@
 Every error raised on purpose by this package derives from :class:`ReproError`
 so callers can catch the package's failures without catching programming
 mistakes (``TypeError`` and friends propagate unchanged).
+
+This module also hosts the two small value objects the static-analysis
+layer is built on — :class:`Span` (a source location) and
+:class:`Diagnostic` (one structured finding) — so the engine, the lint
+rules and the CLI all agree on a single representation.
 """
+
+#: Diagnostic severities, mildest last.
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: Ordering used when sorting / summarising mixed-severity reports.
+SEVERITY_ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+class Span(object):
+    """A half-open ``[start, end)`` byte range with a 1-based line/column."""
+
+    __slots__ = ("start", "end", "line", "col")
+
+    def __init__(self, start, end=None, line=0, col=0):
+        self.start = start
+        self.end = start if end is None else end
+        self.line = line
+        self.col = col
+
+    @classmethod
+    def from_offset(cls, source, start, end=None):
+        """Build a Span for ``start`` computing line/col from ``source``."""
+        if start is None:
+            return None
+        start = min(start, len(source))
+        line = source.count("\n", 0, start) + 1
+        line_start = source.rfind("\n", 0, start) + 1
+        return cls(start, end, line, start - line_start + 1)
+
+    def to_dict(self):
+        return {"start": self.start, "end": self.end,
+                "line": self.line, "col": self.col}
+
+    def __eq__(self, other):
+        if not isinstance(other, Span):
+            return NotImplemented
+        return (self.start, self.end, self.line, self.col) == \
+               (other.start, other.end, other.line, other.col)
+
+    def __repr__(self):
+        return "Span(%d:%d @%d,%d)" % (self.start, self.end, self.line, self.col)
+
+
+class Diagnostic(object):
+    """One structured analysis finding.
+
+    ``category`` tells :func:`repro.engine.semantic.error_from_diagnostics`
+    which exception class an error-severity finding maps to when surfaced
+    through ``Database.execute`` ("catalog", "type", "bind", "syntax" or
+    "lint").
+    """
+
+    __slots__ = ("code", "severity", "message", "span", "category")
+
+    def __init__(self, code, severity, message, span=None, category="bind"):
+        self.code = code
+        self.severity = severity
+        self.message = message
+        self.span = span
+        self.category = category
+
+    @property
+    def line(self):
+        return self.span.line if self.span is not None else 0
+
+    @property
+    def col(self):
+        return self.span.col if self.span is not None else 0
+
+    def to_dict(self):
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "span": self.span.to_dict() if self.span is not None else None,
+            "category": self.category,
+        }
+
+    @classmethod
+    def from_error(cls, error, source=None):
+        """Adapt any :class:`SQLError` into a Diagnostic.
+
+        ``source`` (the statement text) lets offset-only errors recover a
+        line/column.
+        """
+        span = getattr(error, "span", None)
+        if span is None and source is not None:
+            position = getattr(error, "position", None)
+            token = getattr(error, "token", None)
+            if token is not None and getattr(token, "line", 0):
+                span = Span(token.pos, getattr(token, "end", token.pos),
+                            token.line, token.col)
+            elif token is not None:
+                span = Span.from_offset(source, token.pos)
+            elif position is not None:
+                span = Span.from_offset(source, position)
+        if isinstance(error, LexError):
+            code, category = "SYN001", "syntax"
+        elif isinstance(error, ParseError):
+            code, category = "SYN002", "syntax"
+        elif isinstance(error, TypeCheckError):
+            code, category = "SEM005", "type"
+        elif isinstance(error, CatalogError):
+            code, category = "SEM003", "catalog"
+        elif isinstance(error, BindError):
+            code, category = "SEM001", "bind"
+        else:
+            code, category = "SQL000", "bind"
+        return cls(code, ERROR, str(error), span, category)
+
+    def __repr__(self):
+        where = ""
+        if self.span is not None and self.span.line:
+            where = " @%d:%d" % (self.span.line, self.span.col)
+        return "Diagnostic(%s, %s%s: %s)" % (
+            self.code, self.severity, where, self.message)
 
 
 class ReproError(Exception):
@@ -11,7 +134,15 @@ class ReproError(Exception):
 
 
 class SQLError(ReproError):
-    """Base class for errors raised while processing a SQL statement."""
+    """Base class for errors raised while processing a SQL statement.
+
+    Instances may carry a :class:`Span` (``.span``) locating the offending
+    token and, when raised from the semantic analyzer, the full list of
+    findings for the statement (``.diagnostics``).
+    """
+
+    span = None
+    diagnostics = None
 
 
 class LexError(SQLError):
@@ -28,14 +159,25 @@ class ParseError(SQLError):
     def __init__(self, message, token=None):
         super().__init__(message)
         self.token = token
+        if token is not None and getattr(token, "line", 0):
+            self.span = Span(token.pos, getattr(token, "end", token.pos),
+                             token.line, token.col)
 
 
 class BindError(SQLError):
     """A name (table, column, function) could not be resolved."""
 
+    def __init__(self, message, span=None):
+        super().__init__(message)
+        self.span = span
+
 
 class TypeCheckError(SQLError):
     """An expression is not well typed (e.g. ``'a' + DATE``)."""
+
+    def __init__(self, message, span=None):
+        super().__init__(message)
+        self.span = span
 
 
 class ExecutionError(SQLError):

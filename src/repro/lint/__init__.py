@@ -1,0 +1,29 @@
+"""Workload lint: query-smell rules over the semantic analyzer's output.
+
+The lint layer never re-implements name resolution — it consumes the
+annotated :class:`~repro.engine.semantic.AnalysisResult` (per-SELECT source
+lists, inferred expression types, used-column sets) and the catalog's table
+statistics, and emits :class:`~repro.errors.Diagnostic` objects with
+``LINTxxx`` codes at warning/info severity.
+"""
+
+from repro.lint.engine import (
+    LintRule,
+    RULES,
+    lint_statement,
+    lint_text,
+    run_rules,
+    split_statements,
+)
+
+# Importing the module registers the built-in rules.
+from repro.lint import rules as _rules  # noqa: F401
+
+__all__ = [
+    "LintRule",
+    "RULES",
+    "lint_statement",
+    "lint_text",
+    "run_rules",
+    "split_statements",
+]

@@ -145,6 +145,10 @@ class SQLShareClient(object):
         """Submit a query; returns its identifier immediately."""
         return self._call("POST", "/api/v1/query", {"sql": sql})["id"]
 
+    def check(self, sql, lint=True):
+        """Static analysis without execution; returns the /check payload."""
+        return self._call("POST", "/api/v1/check", {"sql": sql, "lint": lint})
+
     def query_status(self, query_id):
         return self._call("GET", "/api/v1/query/%s" % query_id)
 

@@ -220,6 +220,17 @@ class SQLShareApp(object):
             self._execute(query_id, user, sql)
         return 202, {"id": query_id, "status": "pending"}
 
+    @route("POST", "/api/v1/check")
+    def check_query(self, user, body):
+        """Static analysis only: diagnostics for a statement, no execution."""
+        sql = _require(body, "sql")
+        lint = body.get("lint", True)
+        diagnostics = self.platform.db.check(sql, lint=bool(lint))
+        return 200, {
+            "diagnostics": [d.to_dict() for d in diagnostics],
+            "ok": all(d.severity != "error" for d in diagnostics),
+        }
+
     def _execute(self, query_id, user, sql):
         try:
             result = self.platform.run_query(user, sql, source="rest")

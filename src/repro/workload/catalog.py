@@ -28,6 +28,7 @@ class QueryRecord(object):
         "expression_ops",
         "filters",
         "source",
+        "diagnostics",
     )
 
     def __init__(self, query_id, owner, sql, timestamp, runtime):
@@ -48,6 +49,8 @@ class QueryRecord(object):
         self.expression_ops = []
         self.filters = []
         self.source = "webui"
+        #: Static-analysis findings (dicts from Diagnostic.to_dict), Phase 1.
+        self.diagnostics = []
 
     @property
     def operator_count(self):

@@ -22,11 +22,17 @@ class WorkloadAnalyzer(object):
     """
 
     def __init__(self, platform=None, explain=None, label="sqlshare",
-                 prefer_stored_plans=None):
+                 prefer_stored_plans=None, check=None):
         if platform is None and explain is None:
             raise ValueError("need a platform or an explain callable")
         self.platform = platform
         self._explain = explain or (lambda sql: platform.db.explain(sql).xml)
+        #: ``sql -> [Diagnostic]`` used to annotate Phase-1 records with
+        #: static-analysis findings; defaults to the platform database's
+        #: ``check`` (semantic analysis + lint, no execution).
+        if check is None and platform is not None and hasattr(platform, "db"):
+            check = platform.db.check
+        self._check = check
         #: Use plans already attached to log entries (a loaded corpus
         #: release) instead of re-explaining.  Defaults to True exactly when
         #: there is no live database to ask.
@@ -56,6 +62,13 @@ class WorkloadAnalyzer(object):
             )
             record.datasets = list(entry.datasets)
             record.source = getattr(entry, "source", "webui")
+            if self._check is not None:
+                try:
+                    record.diagnostics = [
+                        d.to_dict() for d in self._check(entry.sql)
+                    ]
+                except Exception:
+                    record.diagnostics = []
             if self.prefer_stored_plans and entry.plan_json is not None:
                 record.plan_json = entry.plan_json
             else:

@@ -1,0 +1,59 @@
+"""Tests for the per-archetype query-hygiene analysis."""
+
+import datetime as dt
+
+import pytest
+
+from repro.analysis.hygiene import analyze_hygiene
+from repro.core.sqlshare import SQLShare
+
+CSV = "k,v\n1,10\n2,20\n3,30\n"
+
+
+@pytest.fixture
+def share():
+    platform = SQLShare(start_time=dt.datetime(2013, 1, 1))
+    platform.upload("ana", "d1", CSV)
+    platform.upload("ana", "d2", CSV)
+    platform.upload("solo", "lone", CSV)
+    return platform
+
+
+class TestHygiene:
+    def test_clean_queries_rate_zero(self, share):
+        share.run_query("ana", "SELECT k, v FROM d1 WHERE v > 10")
+        report = analyze_hygiene(share)
+        rows = {row["category"]: row for row in report.category_rates()}
+        assert rows["all"]["error_rate"] == 0.0
+        assert rows["all"]["smell_rate"] == 0.0
+
+    def test_smells_counted_per_category(self, share):
+        # A non-sargable predicate is a smell, not an error.
+        share.run_query("ana", "SELECT k FROM d1 WHERE v * 2 > 10")
+        share.run_query("solo", "SELECT k FROM lone WHERE v > 10")
+        report = analyze_hygiene(share)
+        rows = {row["category"]: row for row in report.category_rates()}
+        smelly = [r for r in report.category_rates()
+                  if r["category"] != "all" and r["smell_rate"] > 0]
+        assert len(smelly) == 1
+        assert rows["all"]["smell_rate"] == 0.5
+        assert dict(report.top_codes())["LINT003"] == 1
+
+    def test_stale_not_counted_as_error(self, share):
+        # Query a dataset, then delete it: re-checking the historical query
+        # sees a missing table, which must count as stale, not an error.
+        share.run_query("ana", "SELECT k FROM d2")
+        share.delete_dataset("ana", "d2")
+        report = analyze_hygiene(share)
+        rows = {row["category"]: row for row in report.category_rates()}
+        assert rows["all"]["error_rate"] == 0.0
+        assert rows["all"]["stale_rate"] > 0.0
+
+    def test_per_user_tallies(self, share):
+        share.run_query("ana", "SELECT k FROM d1")
+        share.run_query("ana", "SELECT k FROM d1 WHERE v * 2 > 1")
+        report = analyze_hygiene(share)
+        by_user = {h.user: h for h in report.per_user}
+        assert by_user["ana"].queries == 2
+        assert by_user["ana"].smell_queries == 1
+        assert by_user["ana"].code_counts["LINT003"] == 1

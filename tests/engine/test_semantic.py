@@ -1,0 +1,382 @@
+"""Semantic analyzer tests: scopes, resolution, type inference, diagnostics.
+
+The analyzer's contract has two halves:
+
+1. completeness — statements the planner rejects get error diagnostics,
+   with positions, and *all* problems are reported, not just the first;
+2. leniency — statements the planner accepts never get error diagnostics
+   (``Database.execute`` runs the analyzer in front of the planner, so a
+   false positive here would break working SQL).
+"""
+
+import pytest
+
+from repro.engine import parser, semantic
+from repro.engine.database import Database
+from repro.engine.types import SQLType
+from repro.errors import (
+    BindError,
+    CatalogError,
+    ERROR,
+    TypeCheckError,
+    WARNING,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE orders (id INT, total FLOAT, placed_at DATETIME, "
+        "customer VARCHAR)"
+    )
+    database.execute("CREATE TABLE customers (id INT, name VARCHAR, region VARCHAR)")
+    database.execute("INSERT INTO orders VALUES (1, 9.5, '2015-01-01', 'ada')")
+    database.execute("INSERT INTO customers VALUES (1, 'ada', 'north')")
+    database.execute(
+        "CREATE VIEW big_orders AS SELECT id, total FROM orders WHERE total > 5"
+    )
+    return database
+
+
+def analyze(db, sql):
+    return semantic.analyze(parser.parse(sql), db.catalog, source=sql)
+
+
+def codes(result, severity=None):
+    return [d.code for d in result.sorted_diagnostics()
+            if severity is None or d.severity == severity]
+
+
+class TestResolution:
+    def test_clean_query_has_no_diagnostics(self, db):
+        result = analyze(db, "SELECT id, total FROM orders WHERE total > 1")
+        assert result.diagnostics == []
+        assert result.ok
+
+    def test_unknown_column(self, db):
+        result = analyze(db, "SELECT frobz FROM orders")
+        assert codes(result) == ["SEM001"]
+        assert "frobz" in result.diagnostics[0].message
+
+    def test_multiple_errors_reported_together(self, db):
+        result = analyze(db, "SELECT frobz, quux FROM orders")
+        assert codes(result) == ["SEM001", "SEM001"]
+
+    def test_diagnostics_carry_positions(self, db):
+        result = analyze(db, "SELECT frobz,\n       quux FROM orders")
+        first, second = result.sorted_diagnostics()
+        assert (first.line, first.col) == (1, 8)
+        assert (second.line, second.col) == (2, 8)
+
+    def test_unknown_table(self, db):
+        result = analyze(db, "SELECT x FROM nonesuch")
+        assert codes(result, ERROR) == ["SEM003"]
+
+    def test_unknown_table_does_not_cascade_column_errors(self, db):
+        result = analyze(db, "SELECT a, b, c FROM nonesuch WHERE d > 1")
+        assert codes(result, ERROR) == ["SEM003"]
+
+    def test_qualified_resolution(self, db):
+        result = analyze(
+            db,
+            "SELECT o.id, c.name FROM orders o JOIN customers c ON o.id = c.id",
+        )
+        assert result.ok
+
+    def test_ambiguous_column(self, db):
+        result = analyze(
+            db, "SELECT id FROM orders JOIN customers ON orders.id = customers.id"
+        )
+        assert codes(result, ERROR) == ["SEM002"]
+
+    def test_wrong_qualifier(self, db):
+        result = analyze(db, "SELECT o.name FROM orders o")
+        assert codes(result, ERROR) == ["SEM001"]
+        assert "o.name" in result.diagnostics[0].message
+
+    def test_view_columns_resolve(self, db):
+        result = analyze(db, "SELECT v.id, v.total FROM big_orders v")
+        assert result.ok
+
+    def test_derived_table_alias_scopes(self, db):
+        result = analyze(
+            db,
+            "SELECT d.n FROM (SELECT count(*) AS n FROM orders) d",
+        )
+        assert result.ok
+
+    def test_derived_table_inner_error_surfaces(self, db):
+        # Both the inner unknown column and the outer reference to a
+        # column the derived table does not produce are reported.
+        result = analyze(db, "SELECT d.x FROM (SELECT wrong FROM orders) d")
+        assert codes(result, ERROR) == ["SEM001", "SEM001"]
+
+    def test_unknown_function(self, db):
+        result = analyze(db, "SELECT nosuchfunc(id) FROM orders")
+        assert codes(result, ERROR) == ["SEM004"]
+
+    def test_unknown_type_name_in_cast(self, db):
+        result = analyze(db, "SELECT cast(id AS wibble) FROM orders")
+        assert codes(result, ERROR) == ["SEM005"]
+
+
+class TestTypeInference:
+    def test_output_schema_types(self, db):
+        result = analyze(db, "SELECT id, total, customer FROM orders")
+        assert [c.sql_type for c in result.schema] == [
+            SQLType.INT, SQLType.FLOAT, SQLType.VARCHAR]
+
+    def test_aggregate_result_types(self, db):
+        result = analyze(
+            db, "SELECT count(*) AS n, avg(total) AS a, max(customer) AS m "
+                "FROM orders")
+        assert [c.sql_type for c in result.schema] == [
+            SQLType.INT, SQLType.FLOAT, SQLType.VARCHAR]
+
+    def test_division_promotes_to_float(self, db):
+        result = analyze(db, "SELECT total / 2 AS half FROM orders")
+        assert result.schema[0].sql_type == SQLType.FLOAT
+
+    def test_concat_is_varchar(self, db):
+        result = analyze(db, "SELECT customer || '!' AS s FROM orders")
+        assert result.schema[0].sql_type == SQLType.VARCHAR
+
+
+class TestAggregatesAndGrouping:
+    def test_non_grouped_column_is_error(self, db):
+        result = analyze(db, "SELECT customer, total FROM orders GROUP BY customer")
+        assert codes(result, ERROR) == ["SEM013"]
+        assert "GROUP BY" in result.diagnostics[0].message
+
+    def test_grouped_and_aggregated_is_clean(self, db):
+        result = analyze(
+            db, "SELECT customer, sum(total) FROM orders GROUP BY customer")
+        assert result.ok
+
+    def test_aggregate_in_where_is_error(self, db):
+        result = analyze(db, "SELECT id FROM orders WHERE sum(total) > 5")
+        assert codes(result, ERROR) == ["SEM006"]
+
+    def test_nested_aggregate_is_error(self, db):
+        result = analyze(db, "SELECT sum(avg(total)) FROM orders")
+        assert codes(result, ERROR) == ["SEM006"]
+
+    def test_aggregate_without_group_mixing_plain_column(self, db):
+        result = analyze(db, "SELECT customer, sum(total) FROM orders")
+        assert codes(result, ERROR) == ["SEM013"]
+
+    def test_having_uses_aggregate_scope(self, db):
+        result = analyze(
+            db,
+            "SELECT customer FROM orders GROUP BY customer "
+            "HAVING sum(total) > 10",
+        )
+        assert result.ok
+
+
+class TestWindows:
+    def test_ranking_requires_order_by(self, db):
+        result = analyze(db, "SELECT rank() OVER () FROM orders")
+        assert codes(result, ERROR) == ["SEM007"]
+
+    def test_valid_window_is_clean(self, db):
+        result = analyze(
+            db,
+            "SELECT row_number() OVER (PARTITION BY customer ORDER BY total) "
+            "FROM orders",
+        )
+        assert result.ok
+        assert result.schema[0].sql_type == SQLType.BIGINT
+
+    def test_ntile_needs_literal_bucket(self, db):
+        result = analyze(db, "SELECT ntile(id) OVER (ORDER BY id) FROM orders")
+        assert codes(result, ERROR) == ["SEM007"]
+
+    def test_lag_offset_must_be_literal(self, db):
+        result = analyze(
+            db, "SELECT lag(total, id) OVER (ORDER BY id) FROM orders")
+        assert codes(result, ERROR) == ["SEM007"]
+
+    def test_unsupported_window_function(self, db):
+        result = analyze(db, "SELECT len(customer) OVER (ORDER BY id) FROM orders")
+        assert codes(result, ERROR) == ["SEM007"]
+
+
+class TestQueriesAndCtes:
+    def test_order_by_position_out_of_range(self, db):
+        result = analyze(db, "SELECT id, total FROM orders ORDER BY 3")
+        assert codes(result, ERROR) == ["SEM011"]
+
+    def test_order_by_position_in_range(self, db):
+        result = analyze(db, "SELECT id, total FROM orders ORDER BY 2 DESC")
+        assert result.ok
+
+    def test_order_by_source_column_not_in_select_list(self, db):
+        result = analyze(db, "SELECT id FROM orders ORDER BY total")
+        assert result.ok
+
+    def test_set_operation_arity_mismatch(self, db):
+        result = analyze(
+            db, "SELECT id FROM orders UNION SELECT id, name FROM customers")
+        assert codes(result, ERROR) == ["SEM009"]
+
+    def test_scalar_subquery_column_count(self, db):
+        result = analyze(
+            db, "SELECT (SELECT id, name FROM customers) FROM orders")
+        assert codes(result, ERROR) == ["SEM008"]
+
+    def test_in_subquery_column_count(self, db):
+        result = analyze(
+            db,
+            "SELECT id FROM orders WHERE id IN (SELECT id, name FROM customers)",
+        )
+        assert codes(result, ERROR) == ["SEM008"]
+
+    def test_correlated_subquery_resolves_outer_column(self, db):
+        result = analyze(
+            db,
+            "SELECT id FROM orders o WHERE EXISTS "
+            "(SELECT 1 FROM customers c WHERE c.name = o.customer)",
+        )
+        assert result.ok
+
+    def test_duplicate_cte_name(self, db):
+        result = analyze(
+            db,
+            "WITH a AS (SELECT id FROM orders), a AS (SELECT id FROM orders) "
+            "SELECT * FROM a",
+        )
+        assert "SEM010" in codes(result, ERROR)
+
+    def test_cte_declared_arity_mismatch(self, db):
+        result = analyze(
+            db,
+            "WITH a (x, y) AS (SELECT id FROM orders) SELECT * FROM a",
+        )
+        assert codes(result, ERROR) == ["SEM010"]
+
+    def test_cte_shadowing_resolves_to_cte(self, db):
+        # A CTE named like a base table wins; 'extra' only exists in the CTE.
+        result = analyze(
+            db,
+            "WITH orders AS (SELECT id, 1 AS extra FROM customers) "
+            "SELECT extra FROM orders",
+        )
+        assert result.ok
+
+    def test_error_in_unused_cte_downgraded_to_warning(self, db):
+        result = analyze(
+            db,
+            "WITH bad AS (SELECT nope FROM orders) SELECT id FROM orders",
+        )
+        assert codes(result, ERROR) == []
+        assert codes(result, WARNING) == ["SEM001"]
+        assert result.unused_ctes
+
+    def test_error_in_used_cte_stays_error(self, db):
+        result = analyze(
+            db, "WITH bad AS (SELECT nope FROM orders) SELECT * FROM bad")
+        assert codes(result, ERROR) == ["SEM001"]
+
+    def test_transitively_unused_cte_chain_downgrades(self, db):
+        result = analyze(
+            db,
+            "WITH a AS (SELECT nope FROM orders), "
+            "b AS (SELECT * FROM a) SELECT id FROM orders",
+        )
+        assert codes(result, ERROR) == []
+
+    def test_transitively_used_cte_chain_errors(self, db):
+        result = analyze(
+            db,
+            "WITH a AS (SELECT nope FROM orders), "
+            "b AS (SELECT * FROM a) SELECT * FROM b",
+        )
+        assert codes(result, ERROR) == ["SEM001"]
+
+    def test_star_with_unknown_qualifier(self, db):
+        result = analyze(db, "SELECT z.* FROM orders o")
+        assert codes(result, ERROR) == ["SEM012"]
+
+
+class TestStatements:
+    def test_create_view_duplicate_output_column(self, db):
+        result = analyze(
+            db, "CREATE VIEW dup AS SELECT id, id FROM orders")
+        assert codes(result, ERROR) == ["SEM003"]
+        assert "duplicate column" in result.diagnostics[0].message
+
+    def test_create_view_name_clash(self, db):
+        result = analyze(db, "CREATE VIEW orders AS SELECT id FROM orders")
+        assert "SEM003" in codes(result, ERROR)
+
+    def test_insert_unknown_column(self, db):
+        result = analyze(db, "INSERT INTO orders (id, zzz) VALUES (1, 2)")
+        assert codes(result, ERROR) == ["SEM003"]
+
+    def test_insert_too_few_values(self, db):
+        result = analyze(db, "INSERT INTO orders VALUES (1)")
+        assert codes(result, ERROR) == ["SEM014"]
+
+    def test_insert_extra_values_only_warn(self, db):
+        # The engine silently drops extras when no column list is given.
+        result = analyze(db, "INSERT INTO orders VALUES (1, 2.0, '2015-01-01', 'x', 'extra')")
+        assert codes(result, ERROR) == []
+        assert codes(result, WARNING) == ["SEM014"]
+
+    def test_drop_missing_table(self, db):
+        result = analyze(db, "DROP TABLE nonesuch")
+        assert codes(result, ERROR) == ["SEM003"]
+
+    def test_alter_column_bad_type(self, db):
+        result = analyze(
+            db, "ALTER TABLE orders ALTER COLUMN id wibble")
+        assert codes(result, ERROR) == ["SEM005"]
+
+
+class TestExecuteIntegration:
+    def test_execute_reports_position_and_all_errors(self, db):
+        with pytest.raises(BindError) as excinfo:
+            db.execute("SELECT frobz, quux FROM orders")
+        assert "(line 1, col 8)" in str(excinfo.value)
+        assert len(excinfo.value.diagnostics) == 2
+
+    def test_execute_maps_catalog_category(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("SELECT x FROM nonesuch")
+
+    def test_execute_maps_type_category(self, db):
+        with pytest.raises(TypeCheckError):
+            db.execute("SELECT cast(id AS wibble) FROM orders")
+
+    def test_check_does_not_execute_or_mutate(self, db):
+        before = db.execute("SELECT count(*) FROM orders").rows
+        diagnostics = db.check("INSERT INTO orders VALUES (2, 1.0, '2015-01-02', 'bob')")
+        assert diagnostics == []
+        assert db.execute("SELECT count(*) FROM orders").rows == before
+
+    def test_check_reports_parse_errors_instead_of_raising(self, db):
+        diagnostics = db.check("SELEC id FROM orders")
+        assert [d.code for d in diagnostics] == ["SYN002"]
+        assert diagnostics[0].severity == ERROR
+
+    def test_planner_agreement_on_valid_statements(self, db):
+        # Leniency spot-checks: everything the planner accepts, the
+        # analyzer must accept too.
+        statements = [
+            "SELECT TOP 2 id FROM orders ORDER BY total DESC",
+            "SELECT DISTINCT customer FROM orders",
+            "SELECT o.id FROM orders o, customers c WHERE o.id = c.id",
+            "SELECT CASE WHEN total > 5 THEN 'big' ELSE 'small' END FROM orders",
+            "SELECT id FROM orders WHERE customer LIKE 'a%'",
+            "SELECT id FROM orders WHERE total BETWEEN 1 AND 10",
+            "SELECT id FROM orders WHERE id IN (1, 2, 3)",
+            "SELECT upper(customer) FROM orders",
+            "SELECT sum(total) FROM orders HAVING sum(total) > 0",
+            "SELECT id FROM orders UNION ALL SELECT id FROM customers",
+            "SELECT id, count(*) AS n FROM orders GROUP BY id ORDER BY n DESC",
+        ]
+        for sql in statements:
+            result = db.execute(sql)
+            assert result is not None, sql

@@ -1,0 +1,191 @@
+"""Golden trigger / non-trigger pairs for every lint rule."""
+
+import pytest
+
+from repro.engine import parser
+from repro.engine.database import Database
+from repro.lint import lint_statement, lint_text, split_statements
+from repro.lint.rules import CARTESIAN_ROW_THRESHOLD
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE orders (id INT, total FLOAT, placed_at DATETIME, "
+        "customer VARCHAR)"
+    )
+    database.execute("CREATE TABLE customers (id INT, name VARCHAR, region VARCHAR)")
+    for i in range(4):
+        database.execute(
+            "INSERT INTO orders VALUES (%d, %d.5, '2015-01-0%d', 'u%d')"
+            % (i, i, i + 1, i)
+        )
+        database.execute("INSERT INTO customers VALUES (%d, 'u%d', 'north')" % (i, i))
+    return database
+
+
+def lint_codes(db, sql):
+    _result, diagnostics = lint_statement(
+        parser.parse(sql), db.catalog, source=sql)
+    return [d.code for d in diagnostics]
+
+
+class TestRuleTriggers:
+    def test_select_star_in_view(self, db):
+        assert "LINT001" in lint_codes(
+            db, "CREATE VIEW v AS SELECT * FROM orders")
+        assert "LINT001" not in lint_codes(
+            db, "CREATE VIEW v AS SELECT id, total FROM orders")
+        # Star outside a view definition is not this rule's business.
+        assert "LINT001" not in lint_codes(db, "SELECT * FROM orders")
+
+    def test_missing_join_predicate(self, db):
+        assert "LINT002" in lint_codes(
+            db, "SELECT o.id FROM orders o, customers c")
+        assert "LINT002" in lint_codes(
+            db, "SELECT o.id FROM orders o CROSS JOIN customers c")
+        assert "LINT002" not in lint_codes(
+            db, "SELECT o.id FROM orders o JOIN customers c ON o.id = c.id")
+        # A WHERE equality connecting the sides also counts.
+        assert "LINT002" not in lint_codes(
+            db, "SELECT o.id FROM orders o, customers c WHERE o.id = c.id")
+
+    def test_non_sargable_predicate(self, db):
+        assert "LINT003" in lint_codes(
+            db, "SELECT id FROM orders WHERE upper(customer) = 'ADA'")
+        assert "LINT003" in lint_codes(
+            db, "SELECT id FROM orders WHERE total * 2 > 10")
+        assert "LINT003" in lint_codes(
+            db, "SELECT id FROM orders WHERE customer LIKE '%ada'")
+        assert "LINT003" not in lint_codes(
+            db, "SELECT id FROM orders WHERE total > 10")
+        assert "LINT003" not in lint_codes(
+            db, "SELECT id FROM orders WHERE customer LIKE 'ada%'")
+
+    def test_implicit_coercion(self, db):
+        assert "LINT004" in lint_codes(
+            db, "SELECT id FROM orders WHERE customer = 5")
+        assert "LINT004" in lint_codes(
+            db, "SELECT id FROM orders WHERE placed_at > 20150101")
+        assert "LINT004" not in lint_codes(
+            db, "SELECT id FROM orders WHERE customer = 'ada'")
+        assert "LINT004" not in lint_codes(
+            db, "SELECT id FROM orders WHERE total = 5")
+
+    def test_unused_cte(self, db):
+        assert "LINT005" in lint_codes(
+            db, "WITH t AS (SELECT id FROM orders) SELECT id FROM orders")
+        assert "LINT005" not in lint_codes(
+            db, "WITH t AS (SELECT id FROM orders) SELECT * FROM t")
+
+    def test_unused_derived_column(self, db):
+        assert "LINT006" in lint_codes(
+            db, "SELECT d.id FROM (SELECT id, total FROM orders) d")
+        assert "LINT006" not in lint_codes(
+            db, "SELECT d.id, d.total FROM (SELECT id, total FROM orders) d")
+        assert "LINT006" not in lint_codes(
+            db, "SELECT d.* FROM (SELECT id, total FROM orders) d")
+
+    def test_order_by_in_subquery(self, db):
+        assert "LINT007" in lint_codes(
+            db, "SELECT d.id FROM (SELECT id FROM orders ORDER BY id) d")
+        assert "LINT007" not in lint_codes(
+            db, "SELECT d.id FROM (SELECT TOP 2 id FROM orders ORDER BY id) d")
+        assert "LINT007" not in lint_codes(
+            db, "SELECT id FROM orders ORDER BY id")
+
+    def test_distinct_with_group_by(self, db):
+        assert "LINT008" in lint_codes(
+            db, "SELECT DISTINCT customer FROM orders GROUP BY customer")
+        assert "LINT008" not in lint_codes(
+            db, "SELECT customer FROM orders GROUP BY customer")
+        assert "LINT008" not in lint_codes(
+            db, "SELECT DISTINCT customer FROM orders")
+
+    def test_unqualified_column_in_join(self, db):
+        assert "LINT009" in lint_codes(
+            db,
+            "SELECT total FROM orders o JOIN customers c ON o.id = c.id")
+        assert "LINT009" not in lint_codes(
+            db,
+            "SELECT o.total FROM orders o JOIN customers c ON o.id = c.id")
+        assert "LINT009" not in lint_codes(db, "SELECT total FROM orders")
+
+    def test_aggregate_mixing(self, db):
+        assert "LINT010" in lint_codes(db, "SELECT customer, sum(total) FROM orders")
+        assert "LINT010" not in lint_codes(
+            db, "SELECT customer, sum(total) FROM orders GROUP BY customer")
+        assert "LINT010" not in lint_codes(db, "SELECT sum(total) FROM orders")
+
+    def test_cartesian_growth(self, db):
+        big = Database()
+        big.execute("CREATE TABLE a (x INT)")
+        big.execute("CREATE TABLE b (y INT)")
+        rows = int(CARTESIAN_ROW_THRESHOLD ** 0.5) + 1
+        for table, column in (("a", "x"), ("b", "y")):
+            for i in range(rows):
+                big.execute("INSERT INTO %s VALUES (%d)" % (table, i))
+        codes = lint_codes(big, "SELECT a.x FROM a, b")
+        assert "LINT011" in codes and "LINT002" in codes
+        # Same shape over tiny tables: only the missing-predicate warning.
+        assert "LINT011" not in lint_codes(db, "SELECT o.id FROM orders o, customers c")
+
+    def test_clean_query_has_no_findings(self, db):
+        assert lint_codes(
+            db,
+            "SELECT o.id, o.total FROM orders o WHERE o.total > 1 "
+            "ORDER BY o.total DESC",
+        ) == []
+
+    def test_lint_diagnostics_never_error_severity(self, db):
+        _result, diagnostics = lint_statement(
+            parser.parse("SELECT o.id FROM orders o, customers c"),
+            db.catalog)
+        lint_findings = [d for d in diagnostics if d.code.startswith("LINT")]
+        assert lint_findings
+        assert all(d.severity in ("warning", "info") for d in lint_findings)
+        assert all(d.category == "lint" for d in lint_findings)
+
+
+class TestSplitStatements:
+    def test_basic_split(self):
+        parts = split_statements("SELECT 1; SELECT 2;")
+        assert [text.strip() for _offset, text in parts] == \
+            ["SELECT 1", "SELECT 2"]
+
+    def test_semicolons_in_strings_and_comments_ignored(self):
+        text = "SELECT ';' AS s; -- trailing; comment\nSELECT 2 /* a;b */;"
+        parts = split_statements(text)
+        assert len(parts) == 2
+
+    def test_offsets_point_into_original_text(self):
+        text = "SELECT 1;\nSELECT 2;"
+        (_, first), (offset, second) = split_statements(text)
+        assert text[offset:offset + len(second)] == second
+
+    def test_bracket_quoted_identifier(self):
+        parts = split_statements("SELECT [a;b] FROM t;")
+        assert len(parts) == 1
+
+
+class TestLintText:
+    def test_ddl_applies_for_later_statements(self):
+        db = Database()
+        findings = lint_text(
+            "CREATE TABLE t (a INT);\nSELECT a FROM t;", db)
+        assert [d.code for d in findings] == []
+        assert db.catalog.has_table("t")
+
+    def test_spans_rebased_onto_full_script(self):
+        db = Database()
+        script = "CREATE TABLE t (a INT);\nSELECT zzz FROM t;"
+        findings = lint_text(script, db)
+        assert [d.code for d in findings] == ["SEM001"]
+        assert findings[0].span.line == 2
+        assert script[findings[0].span.start:findings[0].span.end] == "zzz"
+
+    def test_parse_error_reported_not_raised(self):
+        db = Database()
+        findings = lint_text("SELEC 1;", db)
+        assert [d.code for d in findings] == ["SYN002"]

@@ -223,3 +223,27 @@ class TestProtocolDetails:
         client = SQLShareClient("alice", base_url="http://127.0.0.1:%d" % port)
         assert client.list_datasets() == []
         server.server_close()
+
+
+class TestCheckEndpoint:
+    def test_check_reports_diagnostics_without_executing(self, alice):
+        alice.upload("obs", CSV)
+        payload = alice.check("SELECT frobz, quux FROM obs WHERE site = 3")
+        codes = [d["code"] for d in payload["diagnostics"]]
+        assert codes.count("SEM001") == 2
+        assert "LINT004" in codes
+        assert payload["ok"] is False
+        spans = [d["span"] for d in payload["diagnostics"]]
+        assert all(span and span["line"] == 1 for span in spans)
+
+    def test_check_clean_statement(self, alice):
+        alice.upload("obs", CSV)
+        payload = alice.check("SELECT site, temp FROM obs WHERE temp > 11.0")
+        assert payload == {"diagnostics": [], "ok": True}
+
+    def test_check_semantic_only(self, alice):
+        alice.upload("obs", CSV)
+        payload = alice.check(
+            "SELECT o.site FROM obs o, obs b", lint=False)
+        assert payload["ok"] is True
+        assert payload["diagnostics"] == []

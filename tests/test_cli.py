@@ -40,3 +40,53 @@ class TestExportCommand:
               "--identified"])
         manifest = json.loads((tmp_path / "c2" / "MANIFEST.json").read_text())
         assert manifest["anonymized"] is False
+
+
+class TestLintCommand:
+    def test_lint_parser_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.command == "lint"
+        assert args.files == ["-"]
+        assert args.ddl is None
+
+    def test_lint_parser_options(self):
+        args = build_parser().parse_args(
+            ["lint", "q.sql", "--ddl", "schema.sql", "--no-lint"])
+        assert args.files == ["q.sql"]
+        assert args.ddl == "schema.sql"
+        assert args.no_lint is True
+
+    def test_clean_examples_exit_zero(self, capsys):
+        code = main(["lint", "--ddl", "examples/sql/schema.sql",
+                     "examples/sql/demo_queries.sql"])
+        assert code == 0
+        assert "0 findings (0 errors)" in capsys.readouterr().out
+
+    def test_errors_exit_one_with_carets(self, tmp_path, capsys):
+        schema = tmp_path / "s.sql"
+        schema.write_text("CREATE TABLE t (a INT, b VARCHAR);\n")
+        query = tmp_path / "q.sql"
+        query.write_text("SELECT frobz FROM t;\n")
+        code = main(["lint", "--ddl", str(schema), str(query)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "SEM001" in out
+        assert "q.sql:1:8" in out
+        assert "^^^^^" in out
+
+    def test_warnings_alone_exit_zero(self, tmp_path, capsys):
+        schema = tmp_path / "s.sql"
+        schema.write_text("CREATE TABLE t (a INT, b VARCHAR);\n")
+        query = tmp_path / "q.sql"
+        query.write_text("SELECT a FROM t WHERE b = 5;\n")
+        code = main(["lint", "--ddl", str(schema), str(query)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "LINT004" in out
+
+    def test_stdin_dash(self, monkeypatch, capsys):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO("SELECT 1 FROM nope;"))
+        code = main(["lint", "-"])
+        assert code == 1
+        assert "SEM003" in capsys.readouterr().out

@@ -157,3 +157,29 @@ class TestMetrics:
         buckets = metrics.queries_per_table(catalog)
         assert sum(buckets.values()) == 1  # one physical table, queried 3x
         assert buckets["3"] == 1
+
+
+class TestDiagnostics:
+    def test_phase1_attaches_diagnostics(self, share):
+        share.run_query("alice", "SELECT name FROM incomes WHERE income * 2 > 100")
+        catalog = WorkloadAnalyzer(share).run_phase1()
+        records = list(catalog)
+        assert records
+        record = records[-1]
+        assert isinstance(record.diagnostics, list)
+        codes = [d["code"] for d in record.diagnostics]
+        assert "LINT003" in codes
+        assert all(
+            set(d) >= {"code", "severity", "message", "span", "category"}
+            for d in record.diagnostics
+        )
+
+    def test_clean_query_gets_empty_diagnostics(self, share):
+        share.run_query("alice", "SELECT name FROM incomes WHERE income > 100")
+        catalog = WorkloadAnalyzer(share).run_phase1()
+        assert list(catalog)[-1].diagnostics == []
+
+    def test_check_callable_override(self, share):
+        share.run_query("alice", "SELECT name FROM incomes")
+        catalog = WorkloadAnalyzer(share, check=lambda sql: []).run_phase1()
+        assert list(catalog)[-1].diagnostics == []

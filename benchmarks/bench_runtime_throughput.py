@@ -1,0 +1,219 @@
+"""Query-runtime throughput: serial vs concurrent, cold vs warm cache.
+
+Replays the synthetic deployment's own query log (§3.3 workload) through
+the :mod:`repro.runtime` scheduler three ways:
+
+1. **serial / no cache** — the baseline: one query at a time, every query
+   fully executed;
+2. **concurrent / cold cache** — the bounded worker pool with the
+   versioned result cache starting empty (within-run repeats already hit,
+   which is where §6.3's reuse shows up);
+3. **concurrent / warm cache** — the same workload replayed against the
+   now-populated cache.
+
+Reports queries/sec and cache hit rate for each phase, then proves the
+zero-stale property two ways: re-executing a sample of cached queries
+with the cache bypassed and diffing the rows, and bumping a referenced
+table's catalog version to show the entry stops being served.
+
+Standalone (this is what CI's smoke step runs)::
+
+    PYTHONPATH=src python benchmarks/bench_runtime_throughput.py \
+        --scale 0.02 --workers 2 --smoke
+
+or via pytest alongside the other benches (``pytest benchmarks/``),
+which writes ``bench_results/runtime_throughput.json``.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+from collections import Counter
+
+from repro.synth.driver import (
+    build_sqlshare_deployment,
+    replay_workload,
+    replayable_queries,
+)
+
+RESULTS_PATH = (
+    pathlib.Path(__file__).resolve().parent
+    / "bench_results"
+    / "runtime_throughput.json"
+)
+
+#: Cached queries re-executed with the cache bypassed to diff rows.
+STALE_SAMPLE = 25
+
+
+def _phase_summary(stats):
+    return {
+        "queries": stats["queries"],
+        "elapsed_seconds": stats["elapsed_seconds"],
+        "qps": stats["qps"],
+        "outcomes": stats["outcomes"],
+        "cache_hits": stats["cache_hits"],
+        # Per-phase rate (the runtime's own counters are cumulative).
+        "hit_rate": (
+            round(stats["cache_hits"] / float(stats["queries"]), 4)
+            if stats["queries"] else 0.0
+        ),
+    }
+
+
+def _stale_served_count(platform, queries):
+    """Re-run a sample with and without the cache; count row mismatches."""
+    cache = platform.result_cache
+    stale = 0
+    for user, sql in queries[:STALE_SAMPLE]:
+        cached = platform.run_query(user, sql)
+        platform.result_cache = None
+        try:
+            fresh = platform.run_query(user, sql)
+        finally:
+            platform.result_cache = cache
+        # Multiset comparison: rows may contain NULLs, which don't sort.
+        if Counter(map(tuple, cached.rows)) != Counter(map(tuple, fresh.rows)):
+            stale += 1
+    return stale
+
+
+def _invalidation_demo(platform, queries):
+    """Bump a referenced table's version; the cached entry must stop serving."""
+    for user, sql in queries:
+        warm = platform.run_query(user, sql)
+        if not warm.cache_hit or not warm.info.tables:
+            continue
+        platform.db.catalog.bump_version(next(iter(warm.info.tables)))
+        rerun = platform.run_query(user, sql)
+        return {
+            "query": sql[:120],
+            "served_after_version_bump": rerun.cache_hit,
+        }
+    return {"query": None, "served_after_version_bump": False}
+
+
+def run(scale=0.1, workers=4, limit=None, timeout=30.0):
+    platform, generator = build_sqlshare_deployment(scale=scale, seed=42)
+    queries = replayable_queries(platform, limit=limit)
+    if not queries:
+        raise SystemExit("no replayable queries at scale %s" % scale)
+
+    # Phase 1: serial, cache disabled (platform.result_cache stays unset).
+    serial, _ = replay_workload(
+        platform, queries, workers=0, statement_timeout=timeout,
+        cache_enabled=False,
+    )
+    # Phase 2: concurrent, cold cache (the runtime attaches the cache).
+    cold, runtime = replay_workload(
+        platform, queries, workers=workers, statement_timeout=timeout,
+    )
+    # Phase 3: same workload, same runtime — warm cache.
+    warm, _ = replay_workload(
+        platform, queries, workers=workers, runtime=runtime,
+    )
+
+    stale_served = _stale_served_count(platform, queries)
+    stale_sitting = runtime.cache.audit(platform.db.catalog.version_of)
+    invalidation = _invalidation_demo(platform, queries)
+
+    results = {
+        "scale": scale,
+        "workers": workers,
+        "replayed_queries": len(queries),
+        "workload": dict(generator.stats),
+        "serial_no_cache": _phase_summary(serial),
+        "concurrent_cold": _phase_summary(cold),
+        "concurrent_warm": _phase_summary(warm),
+        "speedup_concurrent_vs_serial": (
+            round(cold["qps"] / serial["qps"], 2) if serial["qps"] else None
+        ),
+        "speedup_warm_vs_serial": (
+            round(warm["qps"] / serial["qps"], 2) if serial["qps"] else None
+        ),
+        "stale_results_served": stale_served,
+        "stale_entries_sitting_unserved": stale_sitting,
+        "invalidation_demo": invalidation,
+        "cache": runtime.cache.stats.to_dict(),
+    }
+    runtime.shutdown()
+    return results
+
+
+def check(results):
+    """The smoke assertions CI gates on (robust on shared runners)."""
+    total = results["replayed_queries"]
+    for phase in ("serial_no_cache", "concurrent_cold", "concurrent_warm"):
+        accounted = sum(results[phase]["outcomes"].values())
+        assert accounted == total, (
+            "%s lost queries: %d of %d accounted" % (phase, accounted, total)
+        )
+        assert results[phase]["outcomes"]["SUCCEEDED"] == total, (
+            "%s had failures: %s" % (phase, results[phase]["outcomes"])
+        )
+    assert results["concurrent_warm"]["hit_rate"] > 0, "warm cache never hit"
+    # Everything except oversize results (which skip the cache by design)
+    # should be served from cache on the warm pass.
+    assert results["concurrent_warm"]["cache_hits"] >= 0.9 * total, (
+        "warm replay mostly missed: %d hits of %d"
+        % (results["concurrent_warm"]["cache_hits"], total)
+    )
+    assert results["stale_results_served"] == 0, "cache served stale rows"
+    assert results["invalidation_demo"]["served_after_version_bump"] is False, (
+        "cache served an entry after its table's version was bumped"
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--limit", type=int, default=None,
+                        help="replay at most N queries")
+    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the CI correctness assertions")
+    parser.add_argument("--output", default=str(RESULTS_PATH))
+    args = parser.parse_args(argv)
+
+    results = run(scale=args.scale, workers=args.workers,
+                  limit=args.limit, timeout=args.timeout)
+    out = pathlib.Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    print("replayed %d queries at scale %s" % (results["replayed_queries"],
+                                               results["scale"]))
+    for phase in ("serial_no_cache", "concurrent_cold", "concurrent_warm"):
+        summary = results[phase]
+        print("  %-18s %8.1f qps  hit_rate %.2f" % (
+            phase, summary["qps"], summary["hit_rate"]))
+    print("  speedup concurrent/serial: %sx, warm/serial: %sx" % (
+        results["speedup_concurrent_vs_serial"],
+        results["speedup_warm_vs_serial"]))
+    print("  stale served: %d (sitting unserved: %d)" % (
+        results["stale_results_served"],
+        results["stale_entries_sitting_unserved"]))
+    print("  results -> %s" % out)
+    if args.smoke:
+        check(results)
+        print("  smoke assertions passed")
+    return results
+
+
+def test_runtime_throughput_smoke(report):
+    """Pytest entry point so ``pytest benchmarks/`` covers the runtime."""
+    results = run(scale=0.02, workers=2)
+    check(results)
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    report("runtime_throughput", json.dumps(
+        {k: results[k] for k in ("serial_no_cache", "concurrent_cold",
+                                 "concurrent_warm",
+                                 "speedup_warm_vs_serial")},
+        indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

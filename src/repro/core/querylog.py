@@ -9,6 +9,7 @@ the analysis later attaches a JSON plan to each entry.
 
 import datetime as _dt
 import itertools
+import threading
 
 
 class QueryLogEntry(object):
@@ -28,11 +29,16 @@ class QueryLogEntry(object):
         "error",
         "plan_json",
         "source",
+        "outcome",
+        "queue_seconds",
+        "exec_seconds",
+        "cache_hit",
     )
 
     def __init__(self, query_id, owner, sql, timestamp, datasets=(), tables=(),
                  columns=(), views=(), runtime=0.0, row_count=0, error=None,
-                 source="webui"):
+                 source="webui", outcome=None, queue_seconds=None,
+                 exec_seconds=None, cache_hit=False):
         self.query_id = query_id
         self.owner = owner
         self.sql = sql
@@ -51,8 +57,15 @@ class QueryLogEntry(object):
         self.error = error
         #: Phase-1 JSON plan, attached by the workload framework.
         self.plan_json = None
-        #: Where the query came from ("webui" or "rest").
+        #: Where the query came from ("webui", "rest" or "replay").
         self.source = source
+        #: Scheduler outcome (job state name) when run through the runtime.
+        self.outcome = outcome
+        #: Seconds spent queued / executing (None outside the runtime).
+        self.queue_seconds = queue_seconds
+        self.exec_seconds = exec_seconds
+        #: True when the rows were served from the result cache.
+        self.cache_hit = cache_hit
 
     @property
     def succeeded(self):
@@ -73,15 +86,19 @@ class QueryLog(object):
     def __init__(self):
         self.entries = []
         self._ids = itertools.count(1)
+        # Concurrent workers all append here; the lock keeps id assignment
+        # and the entries list consistent.
+        self._lock = threading.Lock()
 
     def record(self, owner, sql, timestamp=None, **kwargs):
-        if timestamp is None:
-            timestamp = _dt.datetime(2011, 1, 1) + _dt.timedelta(
-                seconds=len(self.entries)
-            )
-        entry = QueryLogEntry(next(self._ids), owner, sql, timestamp, **kwargs)
-        self.entries.append(entry)
-        return entry
+        with self._lock:
+            if timestamp is None:
+                timestamp = _dt.datetime(2011, 1, 1) + _dt.timedelta(
+                    seconds=len(self.entries)
+                )
+            entry = QueryLogEntry(next(self._ids), owner, sql, timestamp, **kwargs)
+            self.entries.append(entry)
+            return entry
 
     def __len__(self):
         return len(self.entries)

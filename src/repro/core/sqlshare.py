@@ -10,6 +10,8 @@ quotas and the query log.
 import datetime as _dt
 import itertools
 import re
+import threading
+import time
 
 from repro.core.dataset import Dataset, PREVIEW_ROWS
 from repro.core.permissions import PermissionManager
@@ -61,6 +63,17 @@ class SQLShare(object):
         self.views = ViewGraph(self.dataset, lambda: list(self.datasets.values()))
         self._table_ids = itertools.count(1)
         self._clock = start_time or _dt.datetime(2011, 6, 1, 9, 0, 0)
+        #: Versioned result cache, attached by a QueryRuntime (or directly).
+        #: When present, ``run_query`` consults it and every mutating
+        #: operation eagerly invalidates the changed dataset's dependents.
+        self.result_cache = None
+        #: Serializes dataset mutations (upload/append/delete/...) and the
+        #: logical clock against the runtime's concurrent query workers.
+        self._state_lock = threading.RLock()
+        #: raw sql -> referenced dataset-name list (pure function of the
+        #: text), memoized so repeat submissions skip the access-check
+        #: parse; the per-user permission checks themselves always re-run.
+        self._referenced_names = {}
         #: Ingest reports by dataset name (feeds the §5.1 analysis).
         self.ingest_reports = {}
         #: Parameterized query macros (§5.2 footnote 4).
@@ -71,11 +84,12 @@ class SQLShare(object):
     # -- time -----------------------------------------------------------------
 
     def _now(self, timestamp):
-        if timestamp is not None:
-            self._clock = max(self._clock, timestamp)
-            return timestamp
-        self._clock += _dt.timedelta(seconds=60)
-        return self._clock
+        with self._state_lock:
+            if timestamp is not None:
+                self._clock = max(self._clock, timestamp)
+                return timestamp
+            self._clock += _dt.timedelta(seconds=60)
+            return self._clock
 
     # -- dataset lookup ----------------------------------------------------------
 
@@ -88,17 +102,45 @@ class SQLShare(object):
     def has_dataset(self, name):
         return name.lower() in self.datasets
 
+    def all_datasets(self):
+        """Snapshot of every Dataset (safe to iterate under concurrency)."""
+        with self._state_lock:
+            return list(self.datasets.values())
+
     def dataset_names(self):
-        return sorted(dataset.name for dataset in self.datasets.values())
+        return sorted(dataset.name for dataset in self.all_datasets())
 
     def datasets_by_user(self, owner):
-        return [d for d in self.datasets.values() if d.owner == owner]
+        return [d for d in self.all_datasets() if d.owner == owner]
 
     def public_datasets(self):
-        return [d for d in self.datasets.values() if self.permissions.is_public(d.name)]
+        return [d for d in self.all_datasets() if self.permissions.is_public(d.name)]
 
     def users(self):
-        return sorted({d.owner for d in self.datasets.values()} | set(self.log.users()))
+        return sorted({d.owner for d in self.all_datasets()} | set(self.log.users()))
+
+    # -- result-cache invalidation ----------------------------------------------
+
+    def _invalidate_cache(self, name, dataset=None):
+        """Eagerly drop cached results for ``name``, its base table, and
+        every transitive dependent through the view DAG.  (The cache's
+        version-vector check already guarantees stale entries are never
+        *served*; this releases their memory promptly.)"""
+        cache = self.result_cache
+        if cache is None:
+            return
+        seen = {name.lower()}
+        names = [name]
+        if dataset is not None and dataset.base_table:
+            names.append(dataset.base_table)
+        frontier = [name]
+        while frontier:
+            for dependent in self.views.dependents(frontier.pop()):
+                if dependent.lower() not in seen:
+                    seen.add(dependent.lower())
+                    names.append(dependent)
+                    frontier.append(dependent)
+        cache.invalidate(names)
 
     # -- upload (Figure 2 b/c/d) ---------------------------------------------------
 
@@ -109,29 +151,31 @@ class SQLShare(object):
         ``SELECT * FROM <base>`` so that "everything is a dataset" and
         novice users always have an example query to edit (§3.2).
         """
-        self._validate_name(name)
-        moment = self._now(timestamp)
-        staging_id = self.staging.stage(name, text, owner)
-        self.staging.record_attempt(staging_id)
-        self.quotas.charge(owner, len(text))
-        base_table = "t_%05d_%s" % (next(self._table_ids), _safe(name))
-        try:
-            report = self.ingestor.ingest_text(base_table, text)
-        except Exception:
-            self.quotas.refund(owner, len(text))
-            raise  # file remains staged for retry
-        self.staging.discard(staging_id)
-        wrapper_sql = "SELECT * FROM %s" % base_table
-        self.db.create_view(name, sql_parser.parse(wrapper_sql), sql=wrapper_sql)
-        dataset = Dataset(
-            name, owner, wrapper_sql, "wrapper",
-            base_table=base_table, created_at=moment,
-            description=description, tags=tags,
-        )
-        self.datasets[name.lower()] = dataset
-        self.ingest_reports[name.lower()] = report
-        self._refresh_preview(dataset)
-        return dataset
+        with self._state_lock:
+            self._validate_name(name)
+            moment = self._now(timestamp)
+            staging_id = self.staging.stage(name, text, owner)
+            self.staging.record_attempt(staging_id)
+            self.quotas.charge(owner, len(text))
+            base_table = "t_%05d_%s" % (next(self._table_ids), _safe(name))
+            try:
+                report = self.ingestor.ingest_text(base_table, text)
+            except Exception:
+                self.quotas.refund(owner, len(text))
+                raise  # file remains staged for retry
+            self.staging.discard(staging_id)
+            wrapper_sql = "SELECT * FROM %s" % base_table
+            self.db.create_view(name, sql_parser.parse(wrapper_sql), sql=wrapper_sql)
+            dataset = Dataset(
+                name, owner, wrapper_sql, "wrapper",
+                base_table=base_table, created_at=moment,
+                description=description, tags=tags,
+            )
+            self.datasets[name.lower()] = dataset
+            self.ingest_reports[name.lower()] = report
+            self._invalidate_cache(name, dataset)
+            self._refresh_preview(dataset)
+            return dataset
 
     def _validate_name(self, name):
         if not _NAME_RE.match(name or ""):
@@ -148,19 +192,21 @@ class SQLShare(object):
         syntax, just a query and a name.  The owner must be able to access
         every dataset the query references.
         """
-        self._validate_name(name)
-        moment = self._now(timestamp)
-        query = self._parse_query(sql)
-        referenced = self._resolve_references(owner, query)
-        self.db.create_view(name, query, sql=sql)
-        dataset = Dataset(
-            name, owner, sql, "derived",
-            derived_from=referenced, created_at=moment,
-            description=description, tags=tags,
-        )
-        self.datasets[name.lower()] = dataset
-        self._refresh_preview(dataset)
-        return dataset
+        with self._state_lock:
+            self._validate_name(name)
+            moment = self._now(timestamp)
+            query = self._parse_query(sql)
+            referenced = self._resolve_references(owner, query)
+            self.db.create_view(name, query, sql=sql)
+            dataset = Dataset(
+                name, owner, sql, "derived",
+                derived_from=referenced, created_at=moment,
+                description=description, tags=tags,
+            )
+            self.datasets[name.lower()] = dataset
+            self._invalidate_cache(name, dataset)
+            self._refresh_preview(dataset)
+            return dataset
 
     def append(self, owner, name, text, timestamp=None):
         """Append a batch by rewriting the view as (E) UNION ALL (N) (§3.2).
@@ -168,28 +214,30 @@ class SQLShare(object):
         The new batch is uploaded as its own base table, so it can later be
         "uninserted" and the batch substructure inspected.
         """
-        dataset = self.dataset(name)
-        if dataset.owner != owner:
-            raise PermissionError_("only the owner may append to %r" % name)
-        self._now(timestamp)
-        base_table = "t_%05d_%s" % (next(self._table_ids), _safe(name + "_batch"))
-        self.quotas.charge(owner, len(text))
-        try:
-            self.ingestor.ingest_text(base_table, text)
-        except Exception:
-            self.quotas.refund(owner, len(text))
-            raise
-        try:
-            self._check_append_compatible(dataset, base_table)
-        except DatasetError:
-            self.db.catalog.drop_table(base_table, if_exists=True)
-            self.quotas.refund(owner, len(text))
-            raise
-        new_sql = "(%s) UNION ALL (SELECT * FROM %s)" % (dataset.sql, base_table)
-        self.db.create_view(name, self._parse_query(new_sql), sql=new_sql, replace=True)
-        dataset.sql = new_sql
-        self._refresh_preview(dataset)
-        return dataset
+        with self._state_lock:
+            dataset = self.dataset(name)
+            if dataset.owner != owner:
+                raise PermissionError_("only the owner may append to %r" % name)
+            self._now(timestamp)
+            base_table = "t_%05d_%s" % (next(self._table_ids), _safe(name + "_batch"))
+            self.quotas.charge(owner, len(text))
+            try:
+                self.ingestor.ingest_text(base_table, text)
+            except Exception:
+                self.quotas.refund(owner, len(text))
+                raise
+            try:
+                self._check_append_compatible(dataset, base_table)
+            except DatasetError:
+                self.db.catalog.drop_table(base_table, if_exists=True)
+                self.quotas.refund(owner, len(text))
+                raise
+            new_sql = "(%s) UNION ALL (SELECT * FROM %s)" % (dataset.sql, base_table)
+            self.db.create_view(name, self._parse_query(new_sql), sql=new_sql, replace=True)
+            dataset.sql = new_sql
+            self._invalidate_cache(name, dataset)
+            self._refresh_preview(dataset)
+            return dataset
 
     def _check_append_compatible(self, dataset, base_table):
         existing = self.db.query_schema("SELECT * FROM %s" % quote_ident(dataset.name))
@@ -213,23 +261,25 @@ class SQLShare(object):
         "the user can materialize the dataset to create a snapshot that is
         distinct from the original view definition" (§3.2).
         """
-        self._validate_name(name)
-        self.permissions.check_access(owner, source_name)
-        moment = self._now(timestamp)
-        result = self.db.execute("SELECT * FROM %s" % quote_ident(source_name))
-        schema = self.db.query_schema("SELECT * FROM %s" % quote_ident(source_name))
-        base_table = "t_%05d_%s" % (next(self._table_ids), _safe(name))
-        columns = [Column(col_name, col_type) for col_name, col_type in schema]
-        self.db.create_table_from_rows(base_table, columns, result.rows)
-        wrapper_sql = "SELECT * FROM %s" % base_table
-        self.db.create_view(name, sql_parser.parse(wrapper_sql), sql=wrapper_sql)
-        dataset = Dataset(
-            name, owner, wrapper_sql, "snapshot",
-            base_table=base_table, created_at=moment,
-        )
-        self.datasets[name.lower()] = dataset
-        self._refresh_preview(dataset)
-        return dataset
+        with self._state_lock:
+            self._validate_name(name)
+            self.permissions.check_access(owner, source_name)
+            moment = self._now(timestamp)
+            result = self.db.execute("SELECT * FROM %s" % quote_ident(source_name))
+            schema = self.db.query_schema("SELECT * FROM %s" % quote_ident(source_name))
+            base_table = "t_%05d_%s" % (next(self._table_ids), _safe(name))
+            columns = [Column(col_name, col_type) for col_name, col_type in schema]
+            self.db.create_table_from_rows(base_table, columns, result.rows)
+            wrapper_sql = "SELECT * FROM %s" % base_table
+            self.db.create_view(name, sql_parser.parse(wrapper_sql), sql=wrapper_sql)
+            dataset = Dataset(
+                name, owner, wrapper_sql, "snapshot",
+                base_table=base_table, created_at=moment,
+            )
+            self.datasets[name.lower()] = dataset
+            self._invalidate_cache(name, dataset)
+            self._refresh_preview(dataset)
+            return dataset
 
     def delete_dataset(self, owner, name):
         """Delete a dataset (the daily upload-process-download-delete loop).
@@ -237,33 +287,54 @@ class SQLShare(object):
         Dependent views are left in place — they fail at query time, exactly
         as in the deployed system.
         """
-        dataset = self.dataset(name)
-        if dataset.owner != owner:
-            raise PermissionError_("only the owner may delete %r" % name)
-        self.db.catalog.drop_view(name, if_exists=True)
-        if dataset.base_table:
-            self.db.catalog.drop_table(dataset.base_table, if_exists=True)
-        self.permissions.forget(name)
-        del self.datasets[name.lower()]
+        with self._state_lock:
+            dataset = self.dataset(name)
+            if dataset.owner != owner:
+                raise PermissionError_("only the owner may delete %r" % name)
+            self._invalidate_cache(name, dataset)
+            self.db.catalog.drop_view(name, if_exists=True)
+            if dataset.base_table:
+                self.db.catalog.drop_table(dataset.base_table, if_exists=True)
+            self.permissions.forget(name)
+            del self.datasets[name.lower()]
 
     # -- querying ------------------------------------------------------------------
 
-    def run_query(self, user, sql, timestamp=None, source="webui", log_errors=False):
+    def run_query(self, user, sql, timestamp=None, source="webui", log_errors=False,
+                  cancellation=None, log_extra=None):
         """Execute a read-only query as ``user``, enforcing permissions.
 
         Every successful execution is appended to the query log with its
         referenced datasets and the optimizer's cost estimate.
+
+        ``cancellation`` is an optional token the executor polls so the
+        runtime can cancel/time out work mid-scan.  When a result cache is
+        attached (``self.result_cache``) the query is served from it on a
+        version-vector match; permission checks run either way.
+        ``log_extra`` merges extra structured fields (scheduler outcome and
+        queue time) into the query-log record.
         """
         moment = self._now(timestamp)
+        started = time.perf_counter()
         try:
-            query = self._parse_query(sql)
-            referenced = self._check_query_access(user, query)
-            result = self.db.execute(sql)
+            names = self._referenced_names.get(sql)
+            if names is None:
+                query = self._parse_query(sql)
+                names = referenced_dataset_names(query)
+                if len(self._referenced_names) > 4096:
+                    self._referenced_names.clear()
+                self._referenced_names[sql] = names
+            referenced = self._check_names_access(user, names)
+            result = self.db.execute(
+                sql, cancellation=cancellation, cache=self.result_cache)
         except Exception as exc:
             if log_errors:
                 self.log.record(user, sql, timestamp=moment, error=str(exc), source=source)
             raise
         info = result.info
+        extra = dict(log_extra or {})
+        extra.setdefault("exec_seconds", round(time.perf_counter() - started, 6))
+        extra.setdefault("cache_hit", result.cache_hit)
         self.log.record(
             user, sql, timestamp=moment,
             datasets=referenced,
@@ -273,6 +344,7 @@ class SQLShare(object):
             runtime=result.plan.total_cost,
             row_count=len(result.rows),
             source=source,
+            **extra
         )
         return result
 
@@ -304,8 +376,11 @@ class SQLShare(object):
         return statement
 
     def _check_query_access(self, user, query):
+        return self._check_names_access(user, referenced_dataset_names(query))
+
+    def _check_names_access(self, user, names):
         referenced = []
-        for name in referenced_dataset_names(query):
+        for name in names:
             if self.has_dataset(name):
                 self.permissions.check_access(user, name)
                 referenced.append(self.dataset(name).name)
@@ -375,7 +450,7 @@ class SQLShare(object):
 
     def find_by_tag(self, tag):
         return [
-            dataset for dataset in self.datasets.values()
+            dataset for dataset in self.all_datasets()
             if tag in dataset.metadata.tags
         ]
 
@@ -394,7 +469,7 @@ class SQLShare(object):
 
     def summary(self):
         """Table 2a-style counts for this deployment."""
-        derived = sum(1 for d in self.datasets.values() if d.is_derived)
+        derived = sum(1 for d in self.all_datasets() if d.is_derived)
         column_count = 0
         for table in self.db.catalog.tables():
             column_count += len(table.columns)

@@ -7,6 +7,8 @@ surface as ``Clustered Index Scan`` and leading-column predicates as
 ``Clustered Index Seek`` in plans.
 """
 
+import threading
+
 from repro.engine.types import SQLType, TYPE_WIDTH, value_width
 from repro.errors import CatalogError
 
@@ -207,84 +209,139 @@ class View(object):
 
 
 class Catalog(object):
-    """Name-to-object map for tables and views (case-insensitive)."""
+    """Name-to-object map for tables and views (case-insensitive).
+
+    Thread-safe for concurrent readers and DDL writers: all dictionary
+    access goes through an RLock, and ``tables()``/``views()`` return
+    snapshots so callers never iterate a dict being resized.  Row storage
+    itself is copy-on-write-ish: readers that obtained a Table keep a
+    consistent row list even while ALTER rebuilds it (the rebuild rebinds
+    ``table.rows`` rather than mutating in place).
+
+    Every object also carries a monotonically increasing *version*,
+    bumped on any DDL or DML that can change its contents (CREATE, DROP,
+    INSERT, ALTER, view redefinition).  Versions survive DROP so a
+    re-created object never reuses an old version — the runtime's result
+    cache keys on (name, version) vectors and relies on this.
+    """
 
     def __init__(self):
         self._tables = {}
         self._views = {}
+        self._versions = {}  # lower-cased name -> int (monotonic, survives drop)
+        self._lock = threading.RLock()
+
+    # -- versions -------------------------------------------------------------
+
+    def bump_version(self, name):
+        """Record that ``name``'s contents changed; returns the new version."""
+        key = name.lower()
+        with self._lock:
+            version = self._versions.get(key, 0) + 1
+            self._versions[key] = version
+            return version
+
+    def version_of(self, name):
+        """Current version of an object (0 if it never existed)."""
+        return self._versions.get(name.lower(), 0)
+
+    def version_vector(self, names):
+        """Sorted ((name, version), ...) tuple over ``names`` — the result
+        cache's validity stamp for a query touching those objects."""
+        with self._lock:
+            return tuple(sorted(
+                (name.lower(), self._versions.get(name.lower(), 0))
+                for name in names
+            ))
 
     # -- tables ---------------------------------------------------------------
 
     def create_table(self, name, columns):
         key = name.lower()
-        if key in self._tables or key in self._views:
-            raise CatalogError("object %r already exists" % name)
-        table = Table(name, columns)
-        self._tables[key] = table
-        return table
+        with self._lock:
+            if key in self._tables or key in self._views:
+                raise CatalogError("object %r already exists" % name)
+            table = Table(name, columns)
+            self._tables[key] = table
+            self.bump_version(name)
+            return table
 
     def drop_table(self, name, if_exists=False):
         key = name.lower()
-        if key not in self._tables:
-            if if_exists:
-                return
-            raise CatalogError("no table named %r" % name)
-        del self._tables[key]
+        with self._lock:
+            if key not in self._tables:
+                if if_exists:
+                    return
+                raise CatalogError("no table named %r" % name)
+            del self._tables[key]
+            self.bump_version(name)
 
     def get_table(self, name):
-        try:
-            return self._tables[name.lower()]
-        except KeyError:
-            raise CatalogError("no table named %r" % name)
+        with self._lock:
+            try:
+                return self._tables[name.lower()]
+            except KeyError:
+                raise CatalogError("no table named %r" % name)
 
     def has_table(self, name):
-        return name.lower() in self._tables
+        with self._lock:
+            return name.lower() in self._tables
 
     def tables(self):
-        return list(self._tables.values())
+        with self._lock:
+            return list(self._tables.values())
 
     # -- views ----------------------------------------------------------------
 
     def create_view(self, name, sql, query, columns, replace=False):
         key = name.lower()
-        if key in self._tables:
-            raise CatalogError("a table named %r already exists" % name)
-        if key in self._views and not replace:
-            raise CatalogError("a view named %r already exists" % name)
-        view = View(name, sql, query, columns)
-        self._views[key] = view
-        return view
+        with self._lock:
+            if key in self._tables:
+                raise CatalogError("a table named %r already exists" % name)
+            if key in self._views and not replace:
+                raise CatalogError("a view named %r already exists" % name)
+            view = View(name, sql, query, columns)
+            self._views[key] = view
+            self.bump_version(name)
+            return view
 
     def drop_view(self, name, if_exists=False):
         key = name.lower()
-        if key not in self._views:
-            if if_exists:
-                return
-            raise CatalogError("no view named %r" % name)
-        del self._views[key]
+        with self._lock:
+            if key not in self._views:
+                if if_exists:
+                    return
+                raise CatalogError("no view named %r" % name)
+            del self._views[key]
+            self.bump_version(name)
 
     def get_view(self, name):
-        try:
-            return self._views[name.lower()]
-        except KeyError:
-            raise CatalogError("no view named %r" % name)
+        with self._lock:
+            try:
+                return self._views[name.lower()]
+            except KeyError:
+                raise CatalogError("no view named %r" % name)
 
     def has_view(self, name):
-        return name.lower() in self._views
+        with self._lock:
+            return name.lower() in self._views
 
     def views(self):
-        return list(self._views.values())
+        with self._lock:
+            return list(self._views.values())
 
     # -- generic --------------------------------------------------------------
 
     def has_object(self, name):
-        return self.has_table(name) or self.has_view(name)
+        with self._lock:
+            return self.has_table(name) or self.has_view(name)
 
     def resolve(self, name):
         """Return ('table', Table) or ('view', View) for a name."""
         key = name.lower()
-        if key in self._tables:
-            return "table", self._tables[key]
-        if key in self._views:
-            return "view", self._views[key]
+        with self._lock:
+            if key in self._tables:
+                return "table", self._tables[key]
+            if key in self._views:
+                return "view", self._views[key]
         raise CatalogError("no table or view named %r" % name)

@@ -29,7 +29,8 @@ from repro.errors import (
 class QueryResult(object):
     """Result of an executed statement."""
 
-    def __init__(self, columns, rows, plan=None, info=None, elapsed=0.0):
+    def __init__(self, columns, rows, plan=None, info=None, elapsed=0.0,
+                 cache_hit=False):
         #: Output column names, in order.
         self.columns = columns
         #: Rows as tuples.
@@ -40,6 +41,8 @@ class QueryResult(object):
         self.info = info
         #: Wall-clock execution time in seconds.
         self.elapsed = elapsed
+        #: True when the rows came from the runtime's result cache.
+        self.cache_hit = cache_hit
 
     def __len__(self):
         return len(self.rows)
@@ -80,30 +83,83 @@ class Database(object):
 
     # -- querying ---------------------------------------------------------------
 
-    def execute(self, sql):
+    def execute(self, sql, cancellation=None, cache=None):
         """Parse, analyze, plan and run one statement; returns a QueryResult.
 
         The semantic analyzer runs between parsing and planning, so name and
         type errors surface with source positions and the full list of
         problems (``.diagnostics`` on the raised error) instead of only the
         first one the planner happens to hit.
+
+        ``cancellation`` is an optional token the executor polls while
+        iterating (cooperative cancel/timeout).  ``cache`` is an optional
+        :class:`repro.runtime.cache.ResultCache`: queries are looked up by
+        normalized SQL, valid only while the catalog version of every
+        table/view the original plan reached is unchanged, and stored on
+        success.  A hit skips analysis, planning and execution — the entry
+        carries the original plan and PlanInfo, which a version match
+        guarantees are still accurate — so the caller's permission checks
+        and log metadata behave identically at a fraction of the cost.
         """
+        key = None
+        probed = False
+        if cache is not None:
+            # Fast path: raw text seen before -> normalized key known ->
+            # probe without parsing.  Only select-like statements are ever
+            # memoized, so a DDL string can't slip through here.
+            key = cache.memoized_key(sql)
+            if key is not None:
+                probed = True
+                entry = cache.lookup(key, self.catalog.version_of)
+                if entry is not None:
+                    return QueryResult(
+                        entry.columns, list(entry.rows),
+                        plan=entry.plan, info=entry.info, elapsed=0.0,
+                        cache_hit=True,
+                    )
         statement = parser.parse(sql)
+        if isinstance(statement, (ast.Select, ast.SetOperation, ast.WithQuery)):
+            if cache is not None:
+                if key is None:
+                    key = cache.key_for(sql, statement)
+                if not probed:
+                    entry = cache.lookup(key, self.catalog.version_of)
+                    if entry is not None:
+                        return QueryResult(
+                            entry.columns, list(entry.rows),
+                            plan=entry.plan, info=entry.info, elapsed=0.0,
+                            cache_hit=True,
+                        )
+            analysis = semantic.analyze(statement, self.catalog, source=sql)
+            if not analysis.ok:
+                raise semantic.error_from_diagnostics(analysis.diagnostics, sql)
+            planned = self.planner.plan(statement)
+            info = planned.info
+            columns = [column.name for column in planned.schema]
+            # Stamp the vector BEFORE executing: if a concurrent writer
+            # bumps a referenced object mid-execution, the stored entry
+            # carries the pre-write versions and fails validation later,
+            # instead of blessing possibly-stale rows with new versions.
+            vector = None
+            if cache is not None:
+                vector = self.catalog.version_vector(
+                    set(info.tables) | set(info.views))
+            started = time.perf_counter()
+            rows = execute_plan(planned.root, cancellation=cancellation)
+            elapsed = time.perf_counter() - started
+            if cache is not None:
+                cache.store(key, vector, columns, rows,
+                            plan=planned.root, info=info)
+            return QueryResult(
+                columns,
+                rows,
+                plan=planned.root,
+                info=info,
+                elapsed=elapsed,
+            )
         analysis = semantic.analyze(statement, self.catalog, source=sql)
         if not analysis.ok:
             raise semantic.error_from_diagnostics(analysis.diagnostics, sql)
-        if isinstance(statement, (ast.Select, ast.SetOperation, ast.WithQuery)):
-            planned = self.planner.plan(statement)
-            started = time.perf_counter()
-            rows = execute_plan(planned.root)
-            elapsed = time.perf_counter() - started
-            return QueryResult(
-                [column.name for column in planned.schema],
-                rows,
-                plan=planned.root,
-                info=planned.info,
-                elapsed=elapsed,
-            )
         return self._execute_statement(statement, sql)
 
     def check(self, sql, lint=True):
@@ -202,6 +258,8 @@ class Database(object):
         table = self.catalog.create_table(name, columns)
         for row in rows:
             table.insert_row(row)
+        # Second bump: the table was visible (empty) during the load.
+        self.catalog.bump_version(name)
         return table
 
     def _insert(self, statement):
@@ -235,6 +293,7 @@ class Database(object):
                 for value, column in zip(row, table.columns)
             ]
             table.insert_row(coerced)
+        self.catalog.bump_version(statement.table)
         return len(incoming)
 
     def _alter_column(self, statement):
@@ -247,6 +306,7 @@ class Database(object):
             return cast_value(value, target)
 
         table.alter_column_type(statement.column, target, convert)
+        self.catalog.bump_version(statement.table)
 
     # -- introspection -----------------------------------------------------------------
 

@@ -7,17 +7,19 @@ def _run_plan(plan, ctx):
     return plan.execute(ctx)
 
 
-def execute_plan(root):
+def execute_plan(root, cancellation=None):
     """Execute a physical plan; returns all rows as a list of tuples."""
-    return list(iterate_plan(root))
+    return list(iterate_plan(root, cancellation=cancellation))
 
 
-def iterate_plan(root):
+def iterate_plan(root, cancellation=None):
     """Execute a physical plan lazily (generator of tuples).
 
     A fresh :class:`ExecutionContext` is created per execution so that
-    uncorrelated-subquery caches never leak across statements.
+    uncorrelated-subquery caches never leak across statements.  When a
+    ``cancellation`` token is supplied the operators poll it every few
+    thousand rows, so cancel/timeout interrupts work mid-scan.
     """
-    ctx = ExecutionContext(run_plan=_run_plan)
+    ctx = ExecutionContext(run_plan=_run_plan, cancellation=cancellation)
     for row in root.execute(ctx):
         yield row

@@ -89,13 +89,33 @@ class Scope(object):
         raise BindError("unknown column %r" % name)
 
 
-class ExecutionContext(object):
-    """Per-execution state: outer-row stack and subplan runner/cache."""
+#: Rows between cooperative cancellation checks (see ``ExecutionContext.tick``).
+CANCEL_CHECK_ROWS = 1024
 
-    def __init__(self, run_plan=None):
+
+class ExecutionContext(object):
+    """Per-execution state: outer-row stack, subplan runner/cache and the
+    (optional) cancellation token the operators poll while iterating."""
+
+    def __init__(self, run_plan=None, cancellation=None):
         self.outer_rows = []
         self._run_plan = run_plan
+        #: CancellationToken (or None): operators call :meth:`tick` per row
+        #: processed; every ``CANCEL_CHECK_ROWS`` ticks the token is polled
+        #: so a cancel/timeout stops work mid-scan rather than at row
+        #: boundaries of the final result.
+        self.cancellation = cancellation
+        self._ticks = 0
+        self._next_check = CANCEL_CHECK_ROWS
         self._uncorrelated_cache = {}
+
+    def tick(self):
+        """Account one row of work; poll the cancellation token every N rows."""
+        self._ticks = ticks = self._ticks + 1
+        if ticks >= self._next_check:
+            self._next_check = ticks + CANCEL_CHECK_ROWS
+            if self.cancellation is not None:
+                self.cancellation.raise_if_cancelled()
 
     def run_subplan(self, plan, correlated):
         """Materialize a subplan's rows, caching uncorrelated results."""

@@ -132,13 +132,15 @@ class ClusteredIndexScan(Operator):
         self.filters.append(description)
 
     def execute(self, ctx):
-        if not self.residual_predicates:
+        if not self.residual_predicates and ctx.cancellation is None:
             return iter(self.table.rows)
         return self._filtered(ctx)
 
     def _filtered(self, ctx):
         predicates = self.residual_predicates
+        tick = ctx.tick
         for row in self.table.rows:
+            tick()
             for predicate in predicates:
                 flag = predicate.eval(row, ctx)
                 if flag is None or not flag:
@@ -171,7 +173,9 @@ class ClusteredIndexSeek(Operator):
     def execute(self, ctx):
         predicate = self.predicate
         residuals = self.residual_predicates
+        tick = ctx.tick
         for row in self.table.rows:
+            tick()
             flag = predicate.eval(row, ctx)
             if flag is None or not flag:
                 continue
@@ -195,7 +199,15 @@ class TableScan(Operator):
         self.rows = rows
 
     def execute(self, ctx):
-        return iter(self.rows)
+        if ctx.cancellation is None:
+            return iter(self.rows)
+        return self._ticked(ctx)
+
+    def _ticked(self, ctx):
+        tick = ctx.tick
+        for row in self.rows:
+            tick()
+            yield row
 
 
 class ConstantScan(Operator):
@@ -258,9 +270,11 @@ class NestedLoops(Operator):
     def execute(self, ctx):
         inner = list(self.children[1].execute(ctx))
         pad = (None,) * len(self.children[1].schema)
+        tick = ctx.tick
         for outer_row in self.children[0].execute(ctx):
             matched = False
             for inner_row in inner:
+                tick()
                 row = outer_row + inner_row
                 if self.predicate is None:
                     matched = True
@@ -307,7 +321,9 @@ class HashMatch(Operator):
         matched_right = set()
         left_pad = (None,) * len(self.children[0].schema)
         right_pad = (None,) * len(self.children[1].schema)
+        tick = ctx.tick
         for left_row in self.children[0].execute(ctx):
+            tick()
             values = [expr.eval(left_row, ctx) for expr in self.left_keys]
             candidates = []
             if not any(value is None for value in values):
@@ -359,7 +375,9 @@ class MergeJoin(Operator):
         right_rows = sort_rows(right_rows, self.right_keys, [False] * len(self.right_keys), ctx)
         pad = (None,) * len(self.children[1].schema)
         i = j = 0
+        tick = ctx.tick
         while i < len(left_rows):
+            tick()
             left_key = [expr.eval(left_rows[i], ctx) for expr in self.left_keys]
             if any(value is None for value in left_key):
                 if self.kind == "left":

@@ -184,6 +184,18 @@ class ExecutionError(SQLError):
     """A runtime failure while evaluating a query (cast failure, div by zero)."""
 
 
+class QueryCancelled(ExecutionError):
+    """The query was cancelled while executing (cooperative cancellation)."""
+
+
+class QueryTimeout(QueryCancelled):
+    """The query exceeded its statement timeout."""
+
+
+class AdmissionError(ReproError):
+    """The scheduler refused a submission (per-user queue depth exceeded)."""
+
+
 class CatalogError(SQLError):
     """Catalog violation: duplicate table, unknown view, invalid DDL."""
 

@@ -30,7 +30,10 @@ def value_matches(text, sql_type):
     if is_null_token(text):
         return True
     if sql_type is SQLType.BIT:
-        return text.lower() in ("0", "1", "true", "false")
+        # Only digit flags infer BIT: bare "true"/"false" words stay text so
+        # a VARCHAR column of English words round-trips (convert_field still
+        # accepts the word forms when a column is already BIT).
+        return text in ("0", "1")
     if sql_type is SQLType.INT:
         try:
             int(text)

@@ -1,0 +1,349 @@
+"""The query runtime service: worker pool, admission control, fairness.
+
+This is the layer the paper's deployed system delegated to its job queue
+(§3.3: submit returns an identifier immediately; clients poll) and that
+CasJobs/workload-management systems show a multi-tenant SQL service needs:
+
+- a **bounded worker pool** (no more thread-per-query);
+- **per-user admission control**: at most ``per_user_queue_depth`` queued
+  jobs per user, at most ``per_user_max_concurrent`` running;
+- **fair round-robin dispatch** across users, so one user's burst cannot
+  starve everyone else's interactive queries;
+- a configurable **statement timeout** enforced through the cooperative
+  :class:`~repro.runtime.cancellation.CancellationToken` the engine polls
+  mid-scan, so TIMED_OUT/CANCELLED jobs actually release their worker;
+- the **versioned result cache** shared with the platform, so repeated
+  queries are served without execution (and never stale — see cache.py).
+"""
+
+import itertools
+import threading
+from collections import OrderedDict, deque
+
+from repro.errors import AdmissionError, QueryCancelled, QueryTimeout
+from repro.runtime import job as jobmod
+from repro.runtime.cache import ResultCache
+from repro.runtime.job import QueryJob
+
+
+class RuntimeConfig(object):
+    """Tunables for one :class:`QueryRuntime` instance."""
+
+    def __init__(self, max_workers=4, per_user_max_concurrent=2,
+                 per_user_queue_depth=16, statement_timeout=30.0,
+                 cache_enabled=True, cache_entries=256,
+                 cache_max_rows=50000, lint_submissions=True,
+                 completed_jobs_retained=10000):
+        #: Worker threads.  0 means no threads are ever spawned: submissions
+        #: run inline in the caller (the tests' synchronous mode) or wait in
+        #: the queue for explicit :meth:`QueryRuntime.step` calls.
+        self.max_workers = max_workers
+        self.per_user_max_concurrent = per_user_max_concurrent
+        self.per_user_queue_depth = per_user_queue_depth
+        #: Seconds before a running statement times out (0/None disables).
+        self.statement_timeout = statement_timeout
+        self.cache_enabled = cache_enabled
+        self.cache_entries = cache_entries
+        self.cache_max_rows = cache_max_rows
+        #: Run the lint/semantic checker on every submission and attach the
+        #: diagnostics to the job record.
+        self.lint_submissions = lint_submissions
+        #: Terminal jobs kept for status polling before being forgotten.
+        self.completed_jobs_retained = completed_jobs_retained
+
+    def to_dict(self):
+        return dict(self.__dict__)
+
+
+class QueryRuntime(object):
+    """Owns the lifecycle of every query executed against a platform."""
+
+    def __init__(self, platform, config=None):
+        self.platform = platform
+        self.config = config or RuntimeConfig()
+        if self.config.cache_enabled:
+            # Share one cache with the platform so the web-UI path
+            # (platform.run_query) and the scheduler path hit the same
+            # entries and the platform's mutators can invalidate eagerly.
+            if getattr(platform, "result_cache", None) is None:
+                platform.result_cache = ResultCache(
+                    capacity=self.config.cache_entries,
+                    max_rows_per_entry=self.config.cache_max_rows,
+                )
+            self.cache = platform.result_cache
+        else:
+            self.cache = None
+        self._jobs = OrderedDict()  # job_id -> QueryJob (bounded retention)
+        self._ids = itertools.count(1)
+        self._queues = {}  # user -> deque of QUEUED jobs
+        self._rr = deque()  # round-robin rotation of users with queued jobs
+        self._queued = {}  # user -> queued count
+        self._running = {}  # user -> running count
+        self._finished = {}  # terminal state -> count
+        self._cond = threading.Condition()
+        self._workers = []
+        self._shutdown = False
+        #: sql text -> lint diagnostics.  Linting parses the statement, so
+        #: repeat submissions (the workload's dominant pattern, §6.3) would
+        #: otherwise pay a full parse before even reaching the result
+        #: cache's no-parse fast path.  Diagnostics are advisory, so a memo
+        #: keyed on text alone is acceptable.
+        self._lint_memo = {}
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, user, sql, source="rest", timeout=None, inline=None):
+        """Admit a query; returns its :class:`QueryJob` immediately.
+
+        ``inline=True`` executes synchronously in the caller's thread
+        (bypassing the queue but not the timeout/cache machinery); the
+        default is inline when the pool has no workers.  Raises
+        :class:`AdmissionError` when the user's queue is full.
+        """
+        if inline is None:
+            inline = self.config.max_workers <= 0
+        with self._cond:
+            if self._shutdown:
+                raise AdmissionError("runtime is shut down")
+            if not inline and self._queued.get(user, 0) >= self.config.per_user_queue_depth:
+                raise AdmissionError(
+                    "user %r already has %d queries queued (limit %d)"
+                    % (user, self._queued[user], self.config.per_user_queue_depth)
+                )
+            job = QueryJob("q%06d" % next(self._ids), user, sql,
+                           source=source, timeout=timeout)
+            if self.config.lint_submissions:
+                job.diagnostics = self._lint(sql)
+            self._jobs[job.job_id] = job
+            self._prune_terminal_locked()
+            if not inline:
+                queue = self._queues.get(user)
+                if queue is None:
+                    queue = self._queues[user] = deque()
+                    self._rr.append(user)
+                queue.append(job)
+                self._queued[user] = self._queued.get(user, 0) + 1
+                self._cond.notify()
+        if inline:
+            self._start_job(job)
+        else:
+            self._ensure_workers()
+        return job
+
+    def _lint(self, sql):
+        diagnostics = self._lint_memo.get(sql)
+        if diagnostics is None:
+            try:
+                diagnostics = [
+                    d.to_dict() for d in self.platform.db.check(sql, lint=True)
+                ]
+            except Exception:
+                diagnostics = []  # advisory; never block submission
+            if len(self._lint_memo) > 4096:
+                self._lint_memo.clear()
+            self._lint_memo[sql] = diagnostics
+        return diagnostics
+
+    # -- lookup / cancellation ------------------------------------------------
+
+    def get(self, job_id):
+        with self._cond:
+            return self._jobs.get(job_id)
+
+    def cancel(self, job_id, reason="cancelled by client"):
+        """Cancel a job: dequeue it if still QUEUED, or flag its token so
+        the executing worker stops at the next cooperative check.  Returns
+        the job (None if unknown); terminal jobs are left untouched.
+        """
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.state == jobmod.QUEUED:
+                queue = self._queues.get(job.user)
+                if queue is not None and job in queue:
+                    queue.remove(job)
+                    self._queued[job.user] -= 1
+                    if not queue:
+                        del self._queues[job.user]
+                        self._rr.remove(job.user)
+                job.token.cancel(reason)
+                job.transition(jobmod.CANCELLED, error=reason)
+                self._finished[job.state] = self._finished.get(job.state, 0) + 1
+                self._log_outcome(job)
+            elif job.state == jobmod.RUNNING:
+                job.token.cancel(reason)
+            return job
+
+    # -- execution ------------------------------------------------------------
+
+    def _ensure_workers(self):
+        with self._cond:
+            if self._shutdown:
+                return
+            while len(self._workers) < self.config.max_workers:
+                worker = threading.Thread(
+                    target=self._worker_loop,
+                    name="query-runtime-%d" % len(self._workers),
+                    daemon=True,
+                )
+                self._workers.append(worker)
+                worker.start()
+
+    def _worker_loop(self):
+        while True:
+            with self._cond:
+                job = self._next_job_locked()
+                while job is None:
+                    if self._shutdown:
+                        return
+                    self._cond.wait(0.1)
+                    job = self._next_job_locked()
+                job.transition(jobmod.RUNNING)
+                self._running[job.user] = self._running.get(job.user, 0) + 1
+            self._run_job(job)
+
+    def step(self):
+        """Dispatch and run one queued job in the calling thread.
+
+        Returns the job, or None when nothing is dispatchable.  This is the
+        scheduler's manual crank: tests use it to observe dispatch order
+        deterministically and the serial replay mode drains through it.
+        """
+        with self._cond:
+            job = self._next_job_locked()
+            if job is None:
+                return None
+            job.transition(jobmod.RUNNING)
+            self._running[job.user] = self._running.get(job.user, 0) + 1
+        self._run_job(job)
+        return job
+
+    def _start_job(self, job):
+        with self._cond:
+            job.transition(jobmod.RUNNING)
+            self._running[job.user] = self._running.get(job.user, 0) + 1
+        self._run_job(job)
+
+    def _next_job_locked(self):
+        """Fair dispatch: rotate through users, skipping any at their
+        concurrency limit; within a user, FIFO."""
+        for _ in range(len(self._rr)):
+            user = self._rr[0]
+            self._rr.rotate(-1)
+            queue = self._queues.get(user)
+            if not queue:
+                self._rr.remove(user)
+                self._queues.pop(user, None)
+                continue
+            if self._running.get(user, 0) >= self.config.per_user_max_concurrent:
+                continue
+            job = queue.popleft()
+            self._queued[user] -= 1
+            if not queue:
+                del self._queues[user]
+                self._rr.remove(user)
+            return job
+        return None
+
+    def _run_job(self, job):
+        timeout = job.timeout if job.timeout is not None else self.config.statement_timeout
+        if timeout:
+            job.token.set_deadline(timeout)
+        try:
+            result = self.platform.run_query(
+                job.user, job.sql, source=job.source,
+                cancellation=job.token,
+                log_extra={
+                    "outcome": jobmod.SUCCEEDED,
+                    "queue_seconds": round(job.queue_seconds, 6),
+                },
+            )
+        except QueryTimeout as exc:
+            job.transition(jobmod.TIMED_OUT, error=str(exc))
+        except QueryCancelled as exc:
+            job.transition(jobmod.CANCELLED, error=str(exc))
+        except Exception as exc:
+            job.transition(jobmod.FAILED, error=str(exc))
+        else:
+            job.result = result
+            job.cache_hit = result.cache_hit
+            job.transition(jobmod.SUCCEEDED)
+        finally:
+            if job.state in (jobmod.TIMED_OUT, jobmod.CANCELLED, jobmod.FAILED):
+                self._log_outcome(job)
+            with self._cond:
+                self._running[job.user] = self._running.get(job.user, 1) - 1
+                self._finished[job.state] = self._finished.get(job.state, 0) + 1
+                self._cond.notify_all()
+
+    def _log_outcome(self, job):
+        """Append the structured failure/cancel record to the query log
+        (successes are recorded by ``run_query`` itself)."""
+        try:
+            self.platform.log.record(
+                job.user, job.sql, error=job.error or job.state,
+                source=job.source, **job.timing_record()
+            )
+        except Exception:
+            pass  # the log must never take the scheduler down
+
+    # -- waiting / shutdown ---------------------------------------------------
+
+    def drain(self, jobs=None, timeout=None):
+        """Block until the given jobs (default: all known) are terminal."""
+        if jobs is None:
+            with self._cond:
+                jobs = list(self._jobs.values())
+        for job in jobs:
+            job.wait(timeout)
+        return jobs
+
+    def shutdown(self):
+        with self._cond:
+            self._shutdown = True
+            self._cond.notify_all()
+        for worker in self._workers:
+            worker.join(timeout=1.0)
+
+    def _prune_terminal_locked(self):
+        keep = self.config.completed_jobs_retained
+        excess = len(self._jobs) - keep
+        if excess <= 0:
+            return
+        # Drop the oldest terminal jobs.  Only the front of the (insertion-
+        # ordered) dict is examined — a bounded window, so each submission
+        # pays O(1) amortized rather than rescanning all retained jobs.
+        for job_id in list(itertools.islice(self._jobs, 2 * excess)):
+            if excess <= 0:
+                break
+            if self._jobs[job_id].done:
+                del self._jobs[job_id]
+                excess -= 1
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self):
+        with self._cond:
+            per_user = {}
+            for user, count in self._queued.items():
+                if count:
+                    per_user.setdefault(user, {})["queued"] = count
+            for user, count in self._running.items():
+                if count:
+                    per_user.setdefault(user, {})["running"] = count
+            payload = {
+                "workers": len(self._workers),
+                "queued": sum(self._queued.values()),
+                "running": sum(self._running.values()),
+                "finished": dict(self._finished),
+                "per_user": per_user,
+                "config": self.config.to_dict(),
+            }
+        if self.cache is not None:
+            cache_stats = self.cache.stats.to_dict()
+            cache_stats["entries"] = len(self.cache)
+            payload["cache"] = cache_stats
+        else:
+            payload["cache"] = None
+        return payload

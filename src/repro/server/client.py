@@ -141,9 +141,25 @@ class SQLShareClient(object):
 
     # -- queries ----------------------------------------------------------------------
 
-    def submit_query(self, sql):
-        """Submit a query; returns its identifier immediately."""
-        return self._call("POST", "/api/v1/query", {"sql": sql})["id"]
+    def submit_query(self, sql, timeout=None):
+        """Submit a query; returns its identifier immediately.
+
+        ``timeout`` (seconds) overrides the server's statement timeout for
+        this query.  Raises :class:`ClientError` with status 429 when the
+        server's per-user admission limit rejects the submission.
+        """
+        body = {"sql": sql}
+        if timeout is not None:
+            body["timeout"] = timeout
+        return self._call("POST", "/api/v1/query", body)["id"]
+
+    def cancel_query(self, query_id):
+        """Request cancellation; returns the job's status afterwards."""
+        return self._call("DELETE", "/api/v1/query/%s" % query_id)
+
+    def runtime_stats(self):
+        """The scheduler's live counters (workers, queues, cache)."""
+        return self._call("GET", "/api/v1/runtime/stats")
 
     def check(self, sql, lint=True):
         """Static analysis without execution; returns the /check payload."""

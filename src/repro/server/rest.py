@@ -7,17 +7,22 @@ assigns an identifier and returns immediately; the client polls
 request ... as long running queries would reduce the requests the REST
 server can handle."
 
+Queries are executed by the :mod:`repro.runtime` scheduler — a bounded
+worker pool with per-user admission control, statement timeouts, a
+versioned result cache, and cooperative cancellation exposed as
+``DELETE /api/v1/query/<id>``.  ``GET /api/v1/runtime/stats`` reports the
+scheduler's live counters.
+
 Authentication is a trusted ``X-SQLShare-User`` header (the deployed system
 used university SSO; the identity plumbing is identical downstream).
 """
 
-import itertools
 import json
 import re
-import threading
 
 from repro.core.sqlshare import SQLShare
 from repro.errors import (
+    AdmissionError,
     DatasetError,
     IngestError,
     PermissionError_,
@@ -25,6 +30,7 @@ from repro.errors import (
     ReproError,
     SQLError,
 )
+from repro.runtime import QueryRuntime, RuntimeConfig
 
 _ROUTES = []
 
@@ -56,21 +62,25 @@ _STATUS_TEXT = {
     404: "404 Not Found",
     405: "405 Method Not Allowed",
     409: "409 Conflict",
+    429: "429 Too Many Requests",
 }
 
 
 class SQLShareApp(object):
     """WSGI application wrapping one SQLShare platform instance."""
 
-    def __init__(self, platform=None, run_async=True):
+    def __init__(self, platform=None, run_async=True, runtime=None,
+                 runtime_config=None):
         self.platform = platform or SQLShare()
-        #: When True, queries run on a worker thread and the client truly
-        #: polls; when False (tests), the query completes before the POST
-        #: returns but the protocol is unchanged.
+        #: When True, queries run on the scheduler's worker pool and the
+        #: client truly polls; when False (tests), the query completes
+        #: before the POST returns but the protocol is unchanged.
         self.run_async = run_async
-        self._queries = {}
-        self._query_ids = itertools.count(1)
-        self._lock = threading.Lock()
+        if runtime is None:
+            config = runtime_config or RuntimeConfig(
+                max_workers=4 if run_async else 0)
+            runtime = QueryRuntime(self.platform, config)
+        self.runtime = runtime
 
     # -- WSGI entry point ---------------------------------------------------------
 
@@ -208,17 +218,19 @@ class SQLShareApp(object):
     @route("POST", "/api/v1/query")
     def submit_query(self, user, body):
         sql = _require(body, "sql")
-        with self._lock:
-            query_id = "q%06d" % next(self._query_ids)
-            self._queries[query_id] = {"status": "pending", "owner": user}
-        if self.run_async:
-            worker = threading.Thread(
-                target=self._execute, args=(query_id, user, sql), daemon=True
+        timeout = body.get("timeout")
+        try:
+            job = self.runtime.submit(
+                user, sql, source="rest", timeout=timeout,
+                inline=not self.run_async,
             )
-            worker.start()
-        else:
-            self._execute(query_id, user, sql)
-        return 202, {"id": query_id, "status": "pending"}
+        except AdmissionError as exc:
+            raise _HTTPError(429, str(exc))
+        return 202, {
+            "id": job.job_id,
+            "status": job.protocol_status,
+            "diagnostics": job.diagnostics,
+        }
 
     @route("POST", "/api/v1/check")
     def check_query(self, user, body):
@@ -231,53 +243,47 @@ class SQLShareApp(object):
             "ok": all(d.severity != "error" for d in diagnostics),
         }
 
-    def _execute(self, query_id, user, sql):
-        try:
-            result = self.platform.run_query(user, sql, source="rest")
-            record = {
-                "status": "complete",
-                "owner": user,
-                "columns": result.columns,
-                "rows": [list(row) for row in result.rows],
-                "row_count": len(result.rows),
-            }
-        except Exception as exc:  # surfaced to the polling client
-            record = {"status": "error", "owner": user, "error": str(exc)}
-        with self._lock:
-            self._queries[query_id] = record
-
     @route("GET", "/api/v1/query/(?P<query_id>[^/]+)")
     def query_status(self, user, body, query_id):
-        record = self._get_query(user, query_id)
-        payload = {"id": query_id, "status": record["status"]}
-        if record["status"] == "complete":
-            payload["row_count"] = record["row_count"]
-        if record["status"] == "error":
-            payload["error"] = record["error"]
-        return 200, payload
+        job = self._get_query(user, query_id)
+        return 200, job.to_dict()
 
     @route("GET", "/api/v1/query/(?P<query_id>[^/]+)/results")
     def query_results(self, user, body, query_id):
-        record = self._get_query(user, query_id)
-        if record["status"] == "pending":
-            return 202, {"id": query_id, "status": "pending"}
-        if record["status"] == "error":
-            return 400, {"id": query_id, "status": "error", "error": record["error"]}
+        job = self._get_query(user, query_id)
+        status = job.protocol_status
+        if status in ("pending", "running"):
+            return 202, {"id": query_id, "status": status}
+        if status == "error":
+            return 400, {"id": query_id, "status": status, "error": job.error}
+        if status in ("cancelled", "timeout"):
+            return 409, {"id": query_id, "status": status, "error": job.error}
+        result = job.result
         return 200, {
             "id": query_id,
             "status": "complete",
-            "columns": record["columns"],
-            "rows": record["rows"],
+            "columns": result.columns,
+            "rows": [list(row) for row in result.rows],
+            "cache_hit": job.cache_hit,
         }
 
+    @route("DELETE", "/api/v1/query/(?P<query_id>[^/]+)")
+    def cancel_query(self, user, body, query_id):
+        self._get_query(user, query_id)  # ownership check
+        job = self.runtime.cancel(query_id)
+        return 202, {"id": query_id, "status": job.protocol_status}
+
+    @route("GET", "/api/v1/runtime/stats")
+    def runtime_stats(self, user, body):
+        return 200, self.runtime.stats()
+
     def _get_query(self, user, query_id):
-        with self._lock:
-            record = self._queries.get(query_id)
-        if record is None:
+        job = self.runtime.get(query_id)
+        if job is None:
             raise _HTTPError(404, "no query %r" % query_id)
-        if record["owner"] != user:
+        if job.user != user:
             raise _HTTPError(403, "query %r belongs to another user" % query_id)
-        return record
+        return job
 
     # -- helpers ----------------------------------------------------------------------------
 

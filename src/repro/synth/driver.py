@@ -7,6 +7,7 @@ same internal ratios — see EXPERIMENTS.md).
 """
 
 import os
+import time
 
 from repro.synth.sdss_workload import SDSSWorkloadGenerator
 from repro.synth.sqlshare_workload import SQLShareWorkloadGenerator
@@ -39,3 +40,93 @@ def build_sdss_workload(scale=None, seed=7):
     generator = SDSSWorkloadGenerator(seed=seed, total_queries=total)
     workload = generator.generate()
     return workload, generator
+
+
+# -- workload replay through the query runtime --------------------------------
+
+
+def replayable_queries(platform, limit=None):
+    """(user, sql) pairs from the log that can be re-executed today.
+
+    Only successful entries whose referenced objects all still exist
+    qualify — the generator's upload/process/download/delete users leave
+    log entries against dropped tables, which would fail on replay.  The
+    check covers the *transitive* closure the original plan reached
+    (``entry.tables``/``entry.views``), not just the named datasets:
+    deleting a base dataset leaves dependent views in the catalog that no
+    longer plan.
+    """
+    catalog = platform.db.catalog
+    pairs = []
+    for entry in platform.log.successful():
+        if not all(platform.has_dataset(name) for name in entry.datasets):
+            continue
+        if not all(catalog.has_object(name)
+                   for name in list(entry.tables) + list(entry.views)):
+            continue
+        pairs.append((entry.owner, entry.sql))
+        if limit is not None and len(pairs) >= limit:
+            break
+    return pairs
+
+
+def replay_workload(platform, queries, workers=0, runtime=None,
+                    statement_timeout=30.0, cache_enabled=True,
+                    cache_entries=None, cache_max_rows=2000000):
+    """Re-run ``queries`` (``(user, sql)`` pairs) through a QueryRuntime.
+
+    ``workers=0`` executes serially inline in the calling thread;
+    ``workers>0`` submits everything to a bounded worker pool and drains.
+    Returns a stats dict (qps, outcome counts, cache counters) plus the
+    runtime used, so callers can rerun against a warm cache.
+    """
+    from repro.runtime import QueryRuntime, RuntimeConfig, TERMINAL_STATES
+
+    if runtime is None:
+        config = RuntimeConfig(
+            max_workers=workers,
+            # Replay is a batch: admission control would only throttle the
+            # driver itself, so the queue is effectively unbounded and each
+            # user may occupy several workers.
+            per_user_queue_depth=len(queries) + 1,
+            per_user_max_concurrent=max(1, workers),
+            statement_timeout=statement_timeout,
+            cache_enabled=cache_enabled,
+            # Size the cache to the workload: an LRU smaller than the
+            # replay set thrashes and a warm rerun never hits; the row cap
+            # is raised because the handful of giant-result queries are
+            # exactly the ones worth not re-executing.
+            cache_entries=cache_entries or max(1024, 2 * len(queries)),
+            cache_max_rows=cache_max_rows,
+        )
+        runtime = QueryRuntime(platform, config)
+    else:
+        # An existing runtime dictates the mode: queueing work at a pool
+        # with no workers would make drain() block forever.
+        workers = runtime.config.max_workers
+    jobs = []
+    start = time.perf_counter()
+    if workers <= 0:
+        for user, sql in queries:
+            jobs.append(runtime.submit(user, sql, source="replay", inline=True))
+    else:
+        for user, sql in queries:
+            jobs.append(runtime.submit(user, sql, source="replay", inline=False))
+        runtime.drain(jobs)
+    elapsed = time.perf_counter() - start
+    outcomes = {state: 0 for state in TERMINAL_STATES}
+    cache_hits = 0
+    for job in jobs:
+        outcomes[job.state] = outcomes.get(job.state, 0) + 1
+        if job.cache_hit:
+            cache_hits += 1
+    stats = {
+        "queries": len(jobs),
+        "workers": workers,
+        "elapsed_seconds": round(elapsed, 6),
+        "qps": round(len(jobs) / elapsed, 3) if elapsed else float("inf"),
+        "outcomes": outcomes,
+        "cache_hits": cache_hits,
+        "cache": runtime.cache.stats.to_dict() if runtime.cache else None,
+    }
+    return stats, runtime

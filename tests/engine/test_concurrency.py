@@ -1,0 +1,137 @@
+"""Concurrency stress: readers query while DDL writers mutate the catalog.
+
+The runtime's worker pool means the Database/Catalog now serve queries
+from several threads while the platform's single-writer paths (upload,
+append, delete, view redefinition) change the catalog underneath them.
+These tests hammer that interleaving and assert two properties:
+
+- no internal corruption: every reader either gets a correct snapshot
+  result or a clean ``ReproError`` (for objects mid-drop), never a crash
+  or a wrong answer;
+- the shared result cache never serves a stale row (append-only counters
+  must be non-decreasing per reader).
+"""
+
+import threading
+
+import pytest
+
+from repro.core.sqlshare import SQLShare
+from repro.errors import ReproError
+from repro.runtime import ResultCache
+
+CSV = "site,temp\nA,10.5\nB,11.0\nC,12.5\n"
+READERS = 4
+READS_PER_THREAD = 60
+WRITER_ROUNDS = 25
+
+
+@pytest.fixture
+def platform():
+    share = SQLShare()
+    share.upload("alice", "stable", CSV)
+    share.upload("alice", "growing", "n\n1\n2\n3\n")
+    share.make_public("alice", "stable")
+    share.make_public("alice", "growing")
+    share.result_cache = ResultCache()
+    return share
+
+
+def run_threads(targets):
+    threads = [threading.Thread(target=t, daemon=True) for t in targets]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not any(thread.is_alive() for thread in threads), "stress wedged"
+
+
+def test_readers_with_churning_ddl(platform):
+    """Queries on a stable dataset stay correct while other datasets churn."""
+    errors = []
+
+    def reader():
+        try:
+            for _ in range(READS_PER_THREAD):
+                result = platform.run_query(
+                    "bob", "SELECT COUNT(*) AS n FROM stable")
+                assert result.rows == [(3,)]
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    def writer():
+        try:
+            for round_ in range(WRITER_ROUNDS):
+                name = "churn_%d" % round_
+                platform.upload("alice", name, CSV)
+                platform.create_dataset(
+                    "alice", name + "_v", "SELECT site FROM %s" % name)
+                platform.delete_dataset("alice", name + "_v")
+                platform.delete_dataset("alice", name)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    run_threads([reader] * READERS + [writer])
+    assert errors == []
+
+
+def test_append_monotonic_counts_under_cache(platform):
+    """Append-only growth: cached reads may lag but never regress."""
+    errors = []
+    stop = threading.Event()
+
+    def reader():
+        last = 0
+        try:
+            while not stop.is_set():
+                result = platform.run_query(
+                    "bob", "SELECT COUNT(*) AS n FROM growing")
+                count = result.rows[0][0]
+                assert count >= last, (
+                    "stale read: count went %d -> %d" % (last, count))
+                assert count % 3 == 0
+                last = count
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    def writer():
+        try:
+            for _ in range(WRITER_ROUNDS):
+                platform.append("alice", "growing", "n\n4\n5\n6\n")
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    run_threads([reader] * READERS + [writer])
+    assert errors == []
+    final = platform.run_query("bob", "SELECT COUNT(*) AS n FROM growing")
+    assert final.rows == [(3 + 3 * WRITER_ROUNDS,)]
+
+
+def test_queries_racing_drop_fail_cleanly(platform):
+    """A query racing a drop either succeeds or raises a ReproError."""
+    crashes = []
+
+    def reader():
+        for _ in range(READS_PER_THREAD):
+            try:
+                platform.run_query("bob", "SELECT site FROM doomed")
+            except ReproError:
+                pass  # clean refusal is the accepted outcome
+            except Exception as exc:  # pragma: no cover - failure reporting
+                crashes.append(exc)
+
+    def writer():
+        for _ in range(WRITER_ROUNDS):
+            try:
+                platform.upload("alice", "doomed", CSV)
+                platform.make_public("alice", "doomed")
+                platform.delete_dataset("alice", "doomed")
+            except ReproError:
+                pass
+            except Exception as exc:  # pragma: no cover - failure reporting
+                crashes.append(exc)
+
+    run_threads([reader] * 2 + [writer])
+    assert crashes == []

@@ -1,0 +1,101 @@
+"""QueryJob state-machine tests."""
+
+import pytest
+
+from repro.runtime import (
+    CANCELLED,
+    FAILED,
+    InvalidTransition,
+    QUEUED,
+    QueryJob,
+    RUNNING,
+    SUCCEEDED,
+    TERMINAL_STATES,
+    TIMED_OUT,
+)
+
+
+def make_job(**kwargs):
+    return QueryJob("q000001", "alice", "SELECT 1", **kwargs)
+
+
+class TestTransitions:
+    def test_full_lifecycle(self):
+        job = make_job()
+        assert job.state == QUEUED
+        assert not job.done
+        job.transition(RUNNING)
+        assert job.started_at is not None
+        job.transition(SUCCEEDED)
+        assert job.done
+        assert job.finished_at is not None
+
+    @pytest.mark.parametrize("terminal", sorted(TERMINAL_STATES))
+    def test_terminal_states_are_final(self, terminal):
+        job = make_job()
+        job.transition(RUNNING)
+        job.transition(terminal)
+        for target in (QUEUED, RUNNING, SUCCEEDED, FAILED, CANCELLED):
+            with pytest.raises(InvalidTransition):
+                job.transition(target)
+
+    def test_queued_cannot_jump_to_succeeded(self):
+        job = make_job()
+        with pytest.raises(InvalidTransition):
+            job.transition(SUCCEEDED)
+
+    def test_queued_can_be_cancelled_directly(self):
+        job = make_job()
+        job.transition(CANCELLED, error="client gave up")
+        assert job.done
+        assert job.error == "client gave up"
+        # started_at is backfilled so timing math stays total.
+        assert job.started_at is not None
+
+    def test_cannot_requeue(self):
+        job = make_job()
+        job.transition(RUNNING)
+        with pytest.raises(InvalidTransition):
+            job.transition(QUEUED)
+
+    def test_error_recorded_on_failure(self):
+        job = make_job()
+        job.transition(RUNNING)
+        job.transition(FAILED, error="boom")
+        assert job.error == "boom"
+
+
+class TestProtocolAndTiming:
+    def test_protocol_status_vocabulary(self):
+        job = make_job()
+        assert job.protocol_status == "pending"
+        job.transition(RUNNING)
+        assert job.protocol_status == "running"
+        job.transition(TIMED_OUT)
+        assert job.protocol_status == "timeout"
+
+    def test_timing_record_fields(self):
+        job = make_job()
+        job.transition(RUNNING)
+        job.transition(SUCCEEDED)
+        record = job.timing_record()
+        assert record["outcome"] == SUCCEEDED
+        assert record["queue_seconds"] >= 0.0
+        assert record["exec_seconds"] >= 0.0
+        assert record["cache_hit"] is False
+
+    def test_wait_returns_immediately_when_terminal(self):
+        job = make_job()
+        job.transition(CANCELLED)
+        assert job.wait(timeout=0.01) == CANCELLED
+
+    def test_to_dict_carries_diagnostics_and_error(self):
+        job = make_job()
+        job.diagnostics = [{"severity": "warning", "message": "smell"}]
+        job.transition(RUNNING)
+        job.transition(FAILED, error="no such table")
+        payload = job.to_dict()
+        assert payload["status"] == "error"
+        assert payload["state"] == FAILED
+        assert payload["error"] == "no such table"
+        assert payload["diagnostics"][0]["message"] == "smell"

@@ -1,0 +1,207 @@
+"""Scheduler tests: admission, fairness, timeout, cancellation."""
+
+import pytest
+
+from repro.core.sqlshare import SQLShare
+from repro.errors import AdmissionError
+from repro.runtime import (
+    CANCELLED,
+    QueryRuntime,
+    RuntimeConfig,
+    SUCCEEDED,
+    TIMED_OUT,
+)
+
+CSV = "site,temp\nA,10.5\nB,11.0\nC,12.5\n"
+#: A triple self cross-join over this keeps a worker busy for seconds —
+#: long enough to observe RUNNING and to trip sub-second timeouts.
+BIG_ROWS = 120
+SLOW_SQL = "SELECT COUNT(*) AS n FROM big a, big b, big c"
+
+
+@pytest.fixture
+def platform():
+    share = SQLShare()
+    share.upload("alice", "obs", CSV)
+    share.upload("alice", "big", "n\n" + "".join("%d\n" % i for i in range(BIG_ROWS)))
+    share.make_public("alice", "obs")
+    share.make_public("alice", "big")
+    return share
+
+
+def manual_runtime(platform, **overrides):
+    """A runtime with no worker threads: tests crank it with step()."""
+    defaults = dict(max_workers=0, statement_timeout=30.0)
+    defaults.update(overrides)
+    return QueryRuntime(platform, RuntimeConfig(**defaults))
+
+
+class TestSubmission:
+    def test_inline_success(self, platform):
+        runtime = manual_runtime(platform)
+        job = runtime.submit("alice", "SELECT site FROM obs")
+        assert job.state == SUCCEEDED
+        assert job.result.rows == [("A",), ("B",), ("C",)]
+        assert job.protocol_status == "complete"
+
+    def test_inline_failure_is_failed_not_raised(self, platform):
+        runtime = manual_runtime(platform)
+        job = runtime.submit("alice", "SELECT nope FROM obs")
+        assert job.protocol_status == "error"
+        assert job.error
+
+    def test_lint_diagnostics_attached(self, platform):
+        runtime = manual_runtime(platform)
+        job = runtime.submit("alice", "SELECT nope FROM obs")
+        assert isinstance(job.diagnostics, list)
+        assert any("nope" in d.get("message", "") for d in job.diagnostics)
+
+    def test_success_logged_with_outcome(self, platform):
+        runtime = manual_runtime(platform)
+        runtime.submit("alice", "SELECT site FROM obs")
+        entry = platform.log.entries[-1]
+        assert entry.outcome == SUCCEEDED
+        assert entry.queue_seconds is not None
+        assert entry.exec_seconds is not None
+        assert entry.cache_hit is False
+        assert entry.source == "rest"
+
+    def test_cache_hit_recorded_on_job_and_log(self, platform):
+        runtime = manual_runtime(platform)
+        runtime.submit("alice", "SELECT site FROM obs")
+        job = runtime.submit("alice", "SELECT site FROM obs")
+        assert job.cache_hit is True
+        assert platform.log.entries[-1].cache_hit is True
+
+
+class TestAdmission:
+    def test_queue_depth_enforced_per_user(self, platform):
+        runtime = manual_runtime(platform, per_user_queue_depth=2)
+        runtime.submit("alice", "SELECT 1", inline=False)
+        runtime.submit("alice", "SELECT 2", inline=False)
+        with pytest.raises(AdmissionError):
+            runtime.submit("alice", "SELECT 3", inline=False)
+        # Another user's queue is untouched.
+        runtime.submit("bob", "SELECT 4", inline=False)
+
+    def test_dispatch_frees_queue_slot(self, platform):
+        runtime = manual_runtime(platform, per_user_queue_depth=1)
+        runtime.submit("alice", "SELECT 1", inline=False)
+        runtime.step()
+        runtime.submit("alice", "SELECT 2", inline=False)
+
+
+class TestFairness:
+    def test_round_robin_across_users(self, platform):
+        runtime = manual_runtime(platform)
+        for i in range(3):
+            runtime.submit("alice", "SELECT %d" % i, inline=False)
+        for i in range(2):
+            runtime.submit("bob", "SELECT %d" % (10 + i), inline=False)
+        order = []
+        while True:
+            job = runtime.step()
+            if job is None:
+                break
+            order.append(job.user)
+        # Alice's burst of 3 cannot run back-to-back while bob waits.
+        assert order == ["alice", "bob", "alice", "bob", "alice"]
+
+    def test_fifo_within_user(self, platform):
+        runtime = manual_runtime(platform)
+        first = runtime.submit("alice", "SELECT 1", inline=False)
+        second = runtime.submit("alice", "SELECT 2", inline=False)
+        assert runtime.step() is first
+        assert runtime.step() is second
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, platform):
+        runtime = manual_runtime(platform)
+        job = runtime.submit("alice", "SELECT site FROM obs", inline=False)
+        cancelled = runtime.cancel(job.job_id)
+        assert cancelled is job
+        assert job.state == CANCELLED
+        assert runtime.step() is None  # queue is empty again
+        assert platform.log.entries[-1].outcome == CANCELLED
+
+    def test_cancel_unknown_returns_none(self, platform):
+        runtime = manual_runtime(platform)
+        assert runtime.cancel("q999999") is None
+
+    def test_cancel_terminal_job_is_noop(self, platform):
+        runtime = manual_runtime(platform)
+        job = runtime.submit("alice", "SELECT site FROM obs")
+        assert job.state == SUCCEEDED
+        runtime.cancel(job.job_id)
+        assert job.state == SUCCEEDED
+
+    def test_cancel_mid_execution(self, platform):
+        import time
+
+        runtime = QueryRuntime(platform, RuntimeConfig(max_workers=1))
+
+        def catalog_snapshot():
+            catalog = platform.db.catalog
+            return {
+                table.name: catalog.version_of(table.name)
+                for table in catalog.tables()
+            }
+
+        before = catalog_snapshot()
+        job = runtime.submit("alice", SLOW_SQL, inline=False)
+        # Wait for the worker to pick it up, then pull the plug.
+        deadline = time.monotonic() + 5.0
+        while job.state == "QUEUED" and time.monotonic() < deadline:
+            time.sleep(0.02)
+        runtime.cancel(job.job_id)
+        assert job.wait(timeout=10.0) == CANCELLED
+        # The catalog is untouched by the aborted read.
+        assert catalog_snapshot() == before
+        # The worker slot is free: a follow-up query completes.
+        follow_up = runtime.submit("alice", "SELECT site FROM obs", inline=False)
+        assert follow_up.wait(timeout=10.0) == SUCCEEDED
+        runtime.shutdown()
+
+
+class TestTimeout:
+    def test_statement_timeout_reliably_times_out(self, platform):
+        runtime = QueryRuntime(
+            platform, RuntimeConfig(max_workers=1, statement_timeout=0.1))
+        job = runtime.submit("alice", SLOW_SQL, inline=False)
+        assert job.wait(timeout=15.0) == TIMED_OUT
+        assert job.protocol_status == "timeout"
+        assert platform.log.entries[-1].outcome == TIMED_OUT
+        # The worker is not wedged: a fast query still goes through
+        # (COUNT over 3 rows finishes far inside any timeout).
+        follow_up = runtime.submit(
+            "alice", "SELECT COUNT(*) AS n FROM obs", inline=False)
+        assert follow_up.wait(timeout=10.0) == SUCCEEDED
+        assert follow_up.result.rows == [(3,)]
+        runtime.shutdown()
+
+    def test_per_job_timeout_overrides_config(self, platform):
+        runtime = manual_runtime(platform, statement_timeout=1000.0)
+        job = runtime.submit("alice", SLOW_SQL, timeout=0.1)
+        assert job.state == TIMED_OUT
+
+
+class TestStats:
+    def test_stats_shape(self, platform):
+        runtime = manual_runtime(platform)
+        runtime.submit("alice", "SELECT site FROM obs")
+        runtime.submit("alice", "SELECT site FROM obs")
+        runtime.submit("bob", "SELECT 1", inline=False)
+        stats = runtime.stats()
+        assert stats["queued"] == 1
+        assert stats["running"] == 0
+        assert stats["finished"][SUCCEEDED] == 2
+        assert stats["per_user"]["bob"]["queued"] == 1
+        assert stats["cache"]["hits"] == 1
+        assert stats["config"]["max_workers"] == 0
+
+    def test_shutdown_rejects_new_work(self, platform):
+        runtime = manual_runtime(platform)
+        runtime.shutdown()
+        with pytest.raises(AdmissionError):
+            runtime.submit("alice", "SELECT 1")

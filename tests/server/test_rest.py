@@ -247,3 +247,95 @@ class TestCheckEndpoint:
             "SELECT o.site FROM obs o, obs b", lint=False)
         assert payload["ok"] is True
         assert payload["diagnostics"] == []
+
+
+class TestRuntimeEndpoints:
+    def test_submit_returns_diagnostics(self, alice):
+        alice.upload("obs", CSV)
+        app = alice._transport.app
+        status, payload = TestProtocolDetails().call(
+            app, "POST", "/api/v1/query",
+            body={"sql": "SELECT nope FROM obs"})
+        assert status == 202
+        assert any("nope" in d.get("message", "")
+                   for d in payload["diagnostics"])
+
+    def test_status_payload_carries_state_and_timing(self, alice):
+        alice.upload("obs", CSV)
+        query_id = alice.submit_query("SELECT site FROM obs")
+        status = alice.query_status(query_id)
+        assert status["state"] == "SUCCEEDED"
+        assert status["row_count"] == 3
+        assert status["exec_seconds"] >= 0.0
+
+    def test_results_report_cache_hit(self, alice):
+        alice.upload("obs", CSV)
+        first = alice.submit_query("SELECT site FROM obs")
+        assert alice.fetch_results(first)["cache_hit"] is False
+        second = alice.submit_query("SELECT site FROM obs")
+        assert alice.fetch_results(second)["cache_hit"] is True
+
+    def test_runtime_stats_endpoint(self, alice):
+        alice.upload("obs", CSV)
+        alice.run_query("SELECT site FROM obs")
+        alice.run_query("SELECT site FROM obs")
+        stats = alice.runtime_stats()
+        assert stats["finished"]["SUCCEEDED"] >= 2
+        assert stats["cache"]["hits"] >= 1
+        assert stats["config"]["max_workers"] == 0
+
+    def test_cancel_completed_query_is_noop(self, alice):
+        alice.upload("obs", CSV)
+        query_id = alice.submit_query("SELECT site FROM obs")
+        payload = alice.cancel_query(query_id)
+        assert payload["status"] == "complete"
+
+    def test_cancel_unknown_404_and_foreign_403(self, alice, bob):
+        alice.upload("obs", CSV)
+        with pytest.raises(ClientError) as excinfo:
+            alice.cancel_query("q999999")
+        assert excinfo.value.status == 404
+        query_id = alice.submit_query("SELECT site FROM obs")
+        with pytest.raises(ClientError) as excinfo:
+            bob.cancel_query(query_id)
+        assert excinfo.value.status == 403
+
+
+class TestQueuedRuntime:
+    """run_async app with a zero-worker pool: jobs queue, nothing runs —
+    the deterministic way to exercise pending status, 429 admission and
+    queued-job cancellation over HTTP."""
+
+    @pytest.fixture
+    def queued_app(self):
+        from repro.runtime import RuntimeConfig
+
+        return SQLShareApp(
+            run_async=True,
+            runtime_config=RuntimeConfig(
+                max_workers=0, per_user_queue_depth=1),
+        )
+
+    @pytest.fixture
+    def carol(self, queued_app):
+        return SQLShareClient("carol", app=queued_app)
+
+    def test_pending_then_admission_limit_429(self, carol):
+        first = carol.submit_query("SELECT 1")
+        assert carol.query_status(first)["status"] == "pending"
+        assert carol.fetch_results(first)["status"] == "pending"
+        with pytest.raises(ClientError) as excinfo:
+            carol.submit_query("SELECT 2")
+        assert excinfo.value.status == 429
+
+    def test_cancel_queued_query(self, carol, queued_app):
+        query_id = carol.submit_query("SELECT 1")
+        payload = carol.cancel_query(query_id)
+        assert payload["status"] == "cancelled"
+        with pytest.raises(ClientError) as excinfo:
+            carol.fetch_results(query_id)
+        assert excinfo.value.status == 409
+        # The queue slot is released: a new submission is admitted.
+        carol.submit_query("SELECT 2")
+        stats = carol.runtime_stats()
+        assert stats["queued"] == 1

@@ -136,6 +136,9 @@ def run(scale=0.1, workers=4, limit=None, timeout=30.0):
         "stale_entries_sitting_unserved": stale_sitting,
         "invalidation_demo": invalidation,
         "cache": runtime.cache.stats.to_dict(),
+        # Queue/exec latency quantiles straight from the scheduler's
+        # histograms (cumulative over the concurrent phases).
+        "latency": runtime.stats().get("latency"),
     }
     runtime.shutdown()
     return results

@@ -13,4 +13,6 @@ Each module reproduces one cluster of findings:
 - :mod:`repro.analysis.hygiene` -- static-analysis error/smell rates per
   user archetype (builds on :mod:`repro.engine.semantic` and
   :mod:`repro.lint`)
+- :mod:`repro.analysis.estimation` -- cardinality-estimation quality
+  (q-error) from profiled workload replay (builds on :mod:`repro.obs`)
 """

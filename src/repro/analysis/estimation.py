@@ -1,0 +1,179 @@
+"""Cardinality-estimation quality: q-error over a profiled workload replay.
+
+The optimizer's cost model is only as good as its cardinality estimates,
+and the paper's workload — short ad hoc queries over freshly uploaded,
+never-ANALYZEd data — is exactly where estimates go wrong.  This module
+re-executes the replayable slice of the query log with per-operator
+profiling on (``Database.execute(profile=True)``) and compares the
+planner's estimated row counts against the actuals the instrumented
+executor observed, using the standard q-error metric::
+
+    q(est, act) = max(est / act, act / est)      (rows floored at 1)
+
+A q-error of 1.0 is a perfect estimate; the distribution's median/p90/max
+— overall and per physical operator type — says which operators the
+estimator misjudges and by how much.
+"""
+
+import collections
+
+from repro.obs.profiler import q_error  # noqa: F401  (re-exported)
+
+
+def _percentile(sorted_values, fraction):
+    """Nearest-rank percentile over an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+class OperatorEstimation(object):
+    """Q-error distribution for one physical operator type."""
+
+    __slots__ = ("physical_name", "q_errors", "worst")
+
+    def __init__(self, physical_name):
+        self.physical_name = physical_name
+        self.q_errors = []
+        #: (q_error, est_rows, actual_rows, sql) for the worst instance.
+        self.worst = None
+
+    def add(self, q, est_rows, actual_rows, sql):
+        self.q_errors.append(q)
+        if self.worst is None or q > self.worst[0]:
+            self.worst = (q, est_rows, actual_rows, sql)
+
+    def summary(self):
+        ordered = sorted(self.q_errors)
+        return {
+            "operator": self.physical_name,
+            "count": len(ordered),
+            "median_q_error": round(_percentile(ordered, 0.5), 2),
+            "p90_q_error": round(_percentile(ordered, 0.9), 2),
+            "max_q_error": round(ordered[-1], 2) if ordered else 0.0,
+        }
+
+
+class EstimationReport(object):
+    """Estimated-vs-actual cardinalities over a profiled replay."""
+
+    def __init__(self, per_operator, q_errors, queries_profiled,
+                 queries_skipped):
+        #: physical operator name -> :class:`OperatorEstimation`.
+        self.per_operator = per_operator
+        #: Flat q-error list over every executed operator instance.
+        self.q_errors = q_errors
+        self.queries_profiled = queries_profiled
+        #: Replayable queries that failed to re-execute (churned catalog).
+        self.queries_skipped = queries_skipped
+
+    def summary(self):
+        ordered = sorted(self.q_errors)
+        return {
+            "queries_profiled": self.queries_profiled,
+            "queries_skipped": self.queries_skipped,
+            "operators_profiled": len(ordered),
+            "median_q_error": round(_percentile(ordered, 0.5), 2),
+            "p90_q_error": round(_percentile(ordered, 0.9), 2),
+            "max_q_error": round(ordered[-1], 2) if ordered else 0.0,
+        }
+
+    def operator_rows(self):
+        """Per-operator summaries, worst median first."""
+        rows = [op.summary() for op in self.per_operator.values()]
+        rows.sort(key=lambda row: (-row["median_q_error"], row["operator"]))
+        return rows
+
+    def worst_estimates(self, n=5):
+        """The ``n`` most misestimated operator instances."""
+        worst = [
+            (op.worst[0], op.physical_name, op.worst[1], op.worst[2], op.worst[3])
+            for op in self.per_operator.values() if op.worst is not None
+        ]
+        worst.sort(reverse=True)
+        return [
+            {"q_error": round(q, 2), "operator": name,
+             "est_rows": est, "actual_rows": act, "sql": sql}
+            for q, name, est, act, sql in worst[:n]
+        ]
+
+    def to_dict(self):
+        return {
+            "summary": self.summary(),
+            "per_operator": self.operator_rows(),
+            "worst_estimates": self.worst_estimates(),
+        }
+
+
+def analyze_estimation(platform, limit=200):
+    """Profile up to ``limit`` replayable logged queries; returns an
+    :class:`EstimationReport`.
+
+    Executes through ``platform.db`` directly (permissions were already
+    enforced when the query was first logged) so the replay does not
+    append to the query log or disturb the result cache — profiled
+    executions bypass the cache by design, so actuals are real.
+    """
+    from repro.synth.driver import replayable_queries
+
+    per_operator = collections.OrderedDict()
+    q_errors = []
+    profiled = 0
+    skipped = 0
+    for _user, sql in replayable_queries(platform, limit=limit):
+        try:
+            result = platform.db.execute(sql, profile=True)
+        except Exception:
+            skipped += 1
+            continue
+        profile = result.profile
+        if profile is None:  # non-SELECT statement
+            continue
+        profiled += 1
+        for stats in profile.operators:
+            if not stats.loops:
+                continue  # never opened (e.g. short-circuited subplan)
+            q = stats.q_error
+            q_errors.append(q)
+            bucket = per_operator.get(stats.physical_name)
+            if bucket is None:
+                bucket = per_operator[stats.physical_name] = OperatorEstimation(
+                    stats.physical_name)
+            bucket.add(q, stats.est_rows, stats.actual_rows_per_loop, sql)
+    return EstimationReport(per_operator, q_errors, profiled, skipped)
+
+
+def render_estimation(report):
+    """The report as a printable table (the CLI's --workload output)."""
+    summary = report.summary()
+    lines = [
+        "Cardinality estimation over %d profiled queries "
+        "(%d operator instances, %d skipped)"
+        % (summary["queries_profiled"], summary["operators_profiled"],
+           summary["queries_skipped"]),
+        "overall q-error: median %.2f, p90 %.2f, max %.2f" % (
+            summary["median_q_error"], summary["p90_q_error"],
+            summary["max_q_error"]),
+        "",
+        "%-36s %8s %10s %10s %10s" % (
+            "Operator", "Count", "Median Q", "P90 Q", "Max Q"),
+        "-" * 78,
+    ]
+    for row in report.operator_rows():
+        lines.append("%-36s %8d %10.2f %10.2f %10.2f" % (
+            row["operator"], row["count"], row["median_q_error"],
+            row["p90_q_error"], row["max_q_error"]))
+    worst = report.worst_estimates()
+    if worst:
+        lines.append("")
+        lines.append("worst estimates:")
+        for item in worst:
+            sql = item["sql"]
+            if len(sql) > 60:
+                sql = sql[:57] + "..."
+            lines.append("  q=%-8.2f %-28s est %-10.1f actual %-10.1f %s" % (
+                item["q_error"], item["operator"], item["est_rows"],
+                item["actual_rows"], sql))
+    return "\n".join(lines)

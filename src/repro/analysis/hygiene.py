@@ -118,3 +118,44 @@ def analyze_hygiene(platform, entries=None, check=None, lint=True):
         if smells:
             hygiene.smell_queries += 1
     return HygieneReport(sorted(per_user.values(), key=lambda h: h.user))
+
+
+def runtime_error_rates(platform, entries=None):
+    """Observed (not predicted) error rates per user archetype.
+
+    Where :func:`analyze_hygiene` re-checks historical SQL against today's
+    catalog, this reads what actually happened at runtime: every log entry
+    written by the platform/scheduler carries the failure's taxonomy class
+    (:data:`repro.errors.ERROR_CLASSES`), so the rates here reflect real
+    outcomes — including timeouts and cancellations static analysis can
+    never see.  Returns one row per category plus ``"all"``, each with the
+    total queries, overall error rate, and a per-class breakdown.
+    """
+    categories = {
+        point.user: point.category
+        for point in user_analysis.user_points(platform)
+    }
+    buckets = collections.defaultdict(
+        lambda: {"queries": 0, "errors": 0,
+                 "by_class": collections.Counter()})
+    if entries is None:
+        entries = platform.log
+    for entry in entries:
+        category = categories.get(entry.owner, user_analysis.ONE_SHOT)
+        for key in (category, "all"):
+            bucket = buckets[key]
+            bucket["queries"] += 1
+            if entry.error is not None:
+                bucket["errors"] += 1
+                klass = entry.error_class or "other"
+                bucket["by_class"][klass] += 1
+    rows = []
+    for category in sorted(buckets):
+        bucket = buckets[category]
+        rows.append({
+            "category": category,
+            "queries": bucket["queries"],
+            "error_rate": bucket["errors"] / bucket["queries"],
+            "by_class": dict(bucket["by_class"]),
+        })
+    return rows

@@ -7,6 +7,8 @@ Commands:
 - ``serve``   — start the REST API over a freshly generated deployment.
 - ``export``  — write an anonymized corpus release to a directory.
 - ``lint``    — statically check SQL files (or stdin) without executing.
+- ``profile`` — EXPLAIN ANALYZE a statement (estimated vs actual rows per
+  operator), or report q-error over a generated workload.
 """
 
 import argparse
@@ -130,6 +132,62 @@ def _cmd_lint(args):
     return 1 if errors else 0
 
 
+def _cmd_profile(args):
+    from repro.analysis.estimation import analyze_estimation, render_estimation
+    from repro.engine.database import Database
+    from repro.lint import split_statements
+
+    if args.workload:
+        from repro.synth.driver import build_sqlshare_deployment
+
+        print("generating deployment at scale %.2f..." % args.scale)
+        platform, _generator = build_sqlshare_deployment(scale=args.scale)
+        report = analyze_estimation(platform, limit=args.limit)
+        print(render_estimation(report))
+        return 0
+
+    if args.sql is None:
+        print("error: provide a SQL statement (or --workload)", file=sys.stderr)
+        return 2
+    text = sys.stdin.read() if args.sql == "-" else args.sql
+
+    db = Database()
+    try:
+        if args.ddl:
+            with open(args.ddl) as handle:
+                for _offset, statement in split_statements(handle.read()):
+                    db.execute(statement)
+    except OSError as error:
+        print("error: cannot read %r: %s"
+              % (error.filename, error.strerror), file=sys.stderr)
+        return 2
+
+    from repro.errors import SQLError
+    from repro.obs.profiler import render_explain_analyze
+    from repro.obs.tracing import Trace
+
+    exit_code = 0
+    for _offset, statement in split_statements(text):
+        trace = Trace("cli")
+        try:
+            result = db.execute(statement, trace=trace, profile=True)
+        except SQLError as error:
+            print("error: %s" % error, file=sys.stderr)
+            exit_code = 1
+            continue
+        if result.profile is None:
+            print("-- %s: %d row(s), nothing to profile (not a SELECT)"
+                  % (statement.split(None, 1)[0].upper(), len(result.rows)))
+            continue
+        print(render_explain_analyze(result.profile))
+        phases = ", ".join(
+            "%s %.3fms" % (span.name, span.duration * 1000.0)
+            for span in trace.spans()
+        )
+        print("phases: %s" % phases)
+    return exit_code
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -164,6 +222,21 @@ def build_parser():
     lint.add_argument("--no-lint", action="store_true",
                       help="semantic errors only, skip the smell rules")
 
+    profile = commands.add_parser(
+        "profile",
+        help="EXPLAIN ANALYZE a statement: estimated vs actual rows per operator")
+    profile.add_argument("sql", nargs="?", default=None,
+                         help="SQL text to profile ('-' for stdin)")
+    profile.add_argument("--ddl", default=None,
+                         help="schema/data file executed first to populate the catalog")
+    profile.add_argument("--workload", action="store_true",
+                         help="profile a generated workload and report q-error "
+                              "per operator type instead of one statement")
+    profile.add_argument("--scale", type=float, default=0.05,
+                         help="workload scale for --workload (default 0.05)")
+    profile.add_argument("--limit", type=int, default=200,
+                         help="max replayed queries for --workload (default 200)")
+
     return parser
 
 
@@ -176,6 +249,7 @@ def main(argv=None):
         "serve": _cmd_serve,
         "export": _cmd_export,
         "lint": _cmd_lint,
+        "profile": _cmd_profile,
     }[args.command]
     return handler(args)
 

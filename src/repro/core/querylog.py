@@ -33,12 +33,13 @@ class QueryLogEntry(object):
         "queue_seconds",
         "exec_seconds",
         "cache_hit",
+        "error_class",
     )
 
     def __init__(self, query_id, owner, sql, timestamp, datasets=(), tables=(),
                  columns=(), views=(), runtime=0.0, row_count=0, error=None,
                  source="webui", outcome=None, queue_seconds=None,
-                 exec_seconds=None, cache_hit=False):
+                 exec_seconds=None, cache_hit=False, error_class=None):
         self.query_id = query_id
         self.owner = owner
         self.sql = sql
@@ -66,6 +67,9 @@ class QueryLogEntry(object):
         self.exec_seconds = exec_seconds
         #: True when the rows were served from the result cache.
         self.cache_hit = cache_hit
+        #: Taxonomy class of the failure (:data:`repro.errors.ERROR_CLASSES`);
+        #: None for successful queries.
+        self.error_class = error_class
 
     @property
     def succeeded(self):

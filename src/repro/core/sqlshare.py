@@ -23,9 +23,10 @@ from repro.engine import parser as sql_parser
 from repro.engine.catalog import Column
 from repro.engine.database import Database
 from repro.engine.types import unify_types
-from repro.errors import DatasetError, PermissionError_
+from repro.errors import DatasetError, PermissionError_, classify_error
 from repro.ingest.ingestor import Ingestor
 from repro.ingest.staging import StagingArea
+from repro.obs.metrics import MetricsRegistry
 
 _NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_ ]*$")
 
@@ -67,6 +68,11 @@ class SQLShare(object):
         #: When present, ``run_query`` consults it and every mutating
         #: operation eagerly invalidates the changed dataset's dependents.
         self.result_cache = None
+        #: Metrics registry shared by the platform, the engine and any
+        #: attached QueryRuntime (which may swap in a NullRegistry to
+        #: measure instrumentation overhead).
+        self.metrics = MetricsRegistry()
+        self.db.metrics = self.metrics
         #: Serializes dataset mutations (upload/append/delete/...) and the
         #: logical clock against the runtime's concurrent query workers.
         self._state_lock = threading.RLock()
@@ -301,7 +307,7 @@ class SQLShare(object):
     # -- querying ------------------------------------------------------------------
 
     def run_query(self, user, sql, timestamp=None, source="webui", log_errors=False,
-                  cancellation=None, log_extra=None):
+                  cancellation=None, log_extra=None, trace=None, profile=False):
         """Execute a read-only query as ``user``, enforcing permissions.
 
         Every successful execution is appended to the query log with its
@@ -312,7 +318,13 @@ class SQLShare(object):
         attached (``self.result_cache``) the query is served from it on a
         version-vector match; permission checks run either way.
         ``log_extra`` merges extra structured fields (scheduler outcome and
-        queue time) into the query-log record.
+        queue time) into the query-log record.  ``trace`` threads a
+        :class:`repro.obs.tracing.Trace` into the engine's phase spans;
+        ``profile=True`` records per-operator actuals
+        (``result.profile``), bypassing the cache.
+
+        Every failure — wherever it surfaces — is counted once in the
+        ``repro_queries_failed_total`` metric under its taxonomy class.
         """
         moment = self._now(timestamp)
         started = time.perf_counter()
@@ -326,10 +338,17 @@ class SQLShare(object):
                 self._referenced_names[sql] = names
             referenced = self._check_names_access(user, names)
             result = self.db.execute(
-                sql, cancellation=cancellation, cache=self.result_cache)
+                sql, cancellation=cancellation, cache=self.result_cache,
+                trace=trace, profile=profile)
         except Exception as exc:
+            error_class = classify_error(exc)
+            self.metrics.counter(
+                "repro_queries_failed_total",
+                "Failed queries by error taxonomy class.",
+            ).labels(error_class=error_class).inc()
             if log_errors:
-                self.log.record(user, sql, timestamp=moment, error=str(exc), source=source)
+                self.log.record(user, sql, timestamp=moment, error=str(exc),
+                                error_class=error_class, source=source)
             raise
         info = result.info
         extra = dict(log_extra or {})

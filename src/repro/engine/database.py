@@ -30,7 +30,7 @@ class QueryResult(object):
     """Result of an executed statement."""
 
     def __init__(self, columns, rows, plan=None, info=None, elapsed=0.0,
-                 cache_hit=False):
+                 cache_hit=False, profile=None):
         #: Output column names, in order.
         self.columns = columns
         #: Rows as tuples.
@@ -43,6 +43,9 @@ class QueryResult(object):
         self.elapsed = elapsed
         #: True when the rows came from the runtime's result cache.
         self.cache_hit = cache_hit
+        #: :class:`repro.obs.profiler.ExecutionProfile` when the statement
+        #: was executed with ``profile=True`` (per-operator actuals).
+        self.profile = profile
 
     def __len__(self):
         return len(self.rows)
@@ -80,10 +83,30 @@ class Database(object):
         self.name = name
         self.catalog = Catalog()
         self.planner = Planner(self.catalog)
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry`.  When set,
+        #: per-phase timings (parse/analyze/plan/execute) are recorded as
+        #: histograms; when None the engine pays only a handful of clock
+        #: reads per statement.
+        self.metrics = None
+        self._phase_histograms = None
+
+    def _phase_histogram(self, phase):
+        """The ``repro_engine_<phase>_seconds`` histogram (cached)."""
+        if self._phase_histograms is None:
+            self._phase_histograms = {}
+        histogram = self._phase_histograms.get(phase)
+        if histogram is None:
+            histogram = self.metrics.histogram(
+                "repro_engine_%s_seconds" % phase,
+                "Seconds spent in the engine's %s phase." % phase,
+            )
+            self._phase_histograms[phase] = histogram
+        return histogram
 
     # -- querying ---------------------------------------------------------------
 
-    def execute(self, sql, cancellation=None, cache=None):
+    def execute(self, sql, cancellation=None, cache=None, trace=None,
+                profile=False):
         """Parse, analyze, plan and run one statement; returns a QueryResult.
 
         The semantic analyzer runs between parsing and planning, so name and
@@ -100,40 +123,67 @@ class Database(object):
         carries the original plan and PlanInfo, which a version match
         guarantees are still accurate — so the caller's permission checks
         and log metadata behave identically at a fraction of the cost.
+
+        ``trace`` is an optional :class:`repro.obs.tracing.Trace`; the
+        engine appends one span per phase (cache probe, parse, analyze,
+        plan, execute).  ``profile=True`` wraps every physical operator to
+        record actual rows and per-operator wall time
+        (``QueryResult.profile``); profiled executions bypass the result
+        cache so the actuals reflect a real execution.
         """
+        metrics = self.metrics
         key = None
         probed = False
-        if cache is not None:
+        if cache is not None and not profile:
             # Fast path: raw text seen before -> normalized key known ->
             # probe without parsing.  Only select-like statements are ever
             # memoized, so a DDL string can't slip through here.
             key = cache.memoized_key(sql)
             if key is not None:
                 probed = True
-                entry = cache.lookup(key, self.catalog.version_of)
+                entry = self._probe(cache, key, trace)
                 if entry is not None:
                     return QueryResult(
                         entry.columns, list(entry.rows),
                         plan=entry.plan, info=entry.info, elapsed=0.0,
                         cache_hit=True,
                     )
+        started = time.monotonic()
         statement = parser.parse(sql)
+        ended = time.monotonic()
+        if metrics is not None:
+            self._phase_histogram("parse").observe(ended - started)
+        if trace is not None:
+            trace.add_span("parse", started, ended)
         if isinstance(statement, (ast.Select, ast.SetOperation, ast.WithQuery)):
-            if cache is not None:
+            if cache is not None and not profile:
                 if key is None:
                     key = cache.key_for(sql, statement)
                 if not probed:
-                    entry = cache.lookup(key, self.catalog.version_of)
+                    entry = self._probe(cache, key, trace)
                     if entry is not None:
                         return QueryResult(
                             entry.columns, list(entry.rows),
                             plan=entry.plan, info=entry.info, elapsed=0.0,
                             cache_hit=True,
                         )
+            started = time.monotonic()
             analysis = semantic.analyze(statement, self.catalog, source=sql)
+            ended = time.monotonic()
+            if metrics is not None:
+                self._phase_histogram("analyze").observe(ended - started)
+            if trace is not None:
+                trace.add_span("analyze", started, ended,
+                               diagnostics=len(analysis.diagnostics))
             if not analysis.ok:
                 raise semantic.error_from_diagnostics(analysis.diagnostics, sql)
+            started = time.monotonic()
             planned = self.planner.plan(statement)
+            ended = time.monotonic()
+            if metrics is not None:
+                self._phase_histogram("plan").observe(ended - started)
+            if trace is not None:
+                trace.add_span("plan", started, ended)
             info = planned.info
             columns = [column.name for column in planned.schema]
             # Stamp the vector BEFORE executing: if a concurrent writer
@@ -141,13 +191,28 @@ class Database(object):
             # carries the pre-write versions and fails validation later,
             # instead of blessing possibly-stale rows with new versions.
             vector = None
-            if cache is not None:
+            if cache is not None and not profile:
                 vector = self.catalog.version_vector(
                     set(info.tables) | set(info.views))
-            started = time.perf_counter()
-            rows = execute_plan(planned.root, cancellation=cancellation)
-            elapsed = time.perf_counter() - started
-            if cache is not None:
+            profiler = None
+            if profile:
+                from repro.obs.profiler import QueryProfiler
+
+                profiler = QueryProfiler(planned.root)
+                profiler.attach()
+            started = time.monotonic()
+            try:
+                rows = execute_plan(planned.root, cancellation=cancellation)
+            finally:
+                ended = time.monotonic()
+                if profiler is not None:
+                    profiler.detach()
+            elapsed = ended - started
+            if metrics is not None:
+                self._phase_histogram("execute").observe(elapsed)
+            if trace is not None:
+                trace.add_span("execute", started, ended, rows=len(rows))
+            if cache is not None and not profile:
                 cache.store(key, vector, columns, rows,
                             plan=planned.root, info=info)
             return QueryResult(
@@ -156,11 +221,32 @@ class Database(object):
                 plan=planned.root,
                 info=info,
                 elapsed=elapsed,
+                profile=(
+                    profiler.finish(elapsed=elapsed)
+                    if profiler is not None else None
+                ),
             )
+        started = time.monotonic()
         analysis = semantic.analyze(statement, self.catalog, source=sql)
+        ended = time.monotonic()
+        if metrics is not None:
+            self._phase_histogram("analyze").observe(ended - started)
+        if trace is not None:
+            trace.add_span("analyze", started, ended,
+                           diagnostics=len(analysis.diagnostics))
         if not analysis.ok:
             raise semantic.error_from_diagnostics(analysis.diagnostics, sql)
         return self._execute_statement(statement, sql)
+
+    def _probe(self, cache, key, trace):
+        """One result-cache probe (validation included), traced when asked."""
+        if trace is None:
+            return cache.lookup(key, self.catalog.version_of)
+        started = time.monotonic()
+        entry = cache.lookup(key, self.catalog.version_of)
+        trace.add_span("cache.probe", started, time.monotonic(),
+                       hit=entry is not None)
+        return entry
 
     def check(self, sql, lint=True):
         """Statically analyze one statement; nothing is planned or executed.

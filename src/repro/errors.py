@@ -214,3 +214,35 @@ class QuotaError(ReproError):
 
 class DatasetError(ReproError):
     """Invalid dataset operation (unknown dataset, bad append, name clash)."""
+
+
+#: Error taxonomy used by the metrics registry and the query log: every
+#: failure is counted under exactly one of these classes, so error rates
+#: can be reported per class (and per user archetype) from runtime data.
+ERROR_CLASSES = (
+    "parse", "semantic", "runtime", "timeout", "cancelled",
+    "permission", "admission", "other",
+)
+
+
+def classify_error(error):
+    """Map an exception to its taxonomy class (one of ERROR_CLASSES).
+
+    Order matters: ``QueryTimeout`` subclasses ``QueryCancelled`` which
+    subclasses ``ExecutionError``, so the most specific class wins.
+    """
+    if isinstance(error, QueryTimeout):
+        return "timeout"
+    if isinstance(error, QueryCancelled):
+        return "cancelled"
+    if isinstance(error, (LexError, ParseError)):
+        return "parse"
+    if isinstance(error, (BindError, TypeCheckError, CatalogError)):
+        return "semantic"
+    if isinstance(error, ExecutionError):
+        return "runtime"
+    if isinstance(error, (PermissionError_, QuotaError)):
+        return "permission"
+    if isinstance(error, AdmissionError):
+        return "admission"
+    return "other"

@@ -1,0 +1,50 @@
+"""Observability: the telemetry layer the deployed system delegated to Azure.
+
+The paper's analysis pipeline consumes *estimated* plans; this package
+records what actually happened when those plans run under the
+:mod:`repro.runtime` scheduler:
+
+- :mod:`repro.obs.metrics` — a thread-safe registry of counters, gauges
+  and histograms (with streaming quantile estimation), rendered as
+  Prometheus text exposition through ``GET /api/v1/metrics``;
+- :mod:`repro.obs.tracing` — per-query lifecycle traces (submit → admit →
+  parse → analyze → plan → execute → fetch), exportable as structured
+  JSON and as Chrome ``trace_event`` format;
+- :mod:`repro.obs.profiler` — per-operator runtime profiling for
+  ``EXPLAIN ANALYZE``-style estimated-vs-actual comparisons and the
+  q-error scoring in :mod:`repro.analysis.estimation`.
+
+Everything here is built to be always-cheap: registry updates are O(1),
+tracing appends a handful of spans per query, and operator wrapping only
+happens when profiling is explicitly requested
+(``benchmarks/bench_obs_overhead.py`` enforces the overhead contract).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.profiler import (
+    ExecutionProfile,
+    QueryProfiler,
+    q_error,
+    render_explain_analyze,
+)
+from repro.obs.tracing import Span, Trace
+
+__all__ = [
+    "Counter",
+    "ExecutionProfile",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "QueryProfiler",
+    "Span",
+    "Trace",
+    "q_error",
+    "render_explain_analyze",
+]

@@ -1,0 +1,182 @@
+"""Query-lifecycle tracing: timed spans from submit to fetch.
+
+Every :class:`~repro.runtime.job.QueryJob` carries a :class:`Trace`; the
+scheduler and the engine append :class:`Span` records as the query moves
+through submit → admit → parse → analyze → plan → execute → fetch (plus
+cache probe spans).  Span timestamps are offsets from the trace's origin,
+measured with ``time.monotonic()`` so durations survive wall-clock
+adjustment; the origin also remembers an epoch timestamp purely for
+display.
+
+Two export formats:
+
+- :meth:`Trace.to_dict` — structured JSON for ``GET /api/v1/query/<id>/trace``;
+- :meth:`Trace.to_chrome` — Chrome ``trace_event`` "X" (complete) events,
+  loadable in ``chrome://tracing`` / Perfetto for a flame view.
+"""
+
+import threading
+import time
+from contextlib import contextmanager
+
+
+class Span(object):
+    """One timed phase of a query's life.
+
+    ``start``/``end`` are seconds since the owning trace's origin.
+    ``attrs`` carries small structured annotations (cache hit flags, row
+    counts, outcome states).
+    """
+
+    __slots__ = ("name", "start", "end", "thread_id", "attrs")
+
+    def __init__(self, name, start, end, thread_id=0, attrs=None):
+        self.name = name
+        self.start = start
+        self.end = end
+        self.thread_id = thread_id
+        self.attrs = attrs or {}
+
+    @property
+    def duration(self):
+        return self.end - self.start
+
+    def to_dict(self):
+        payload = {
+            "name": self.name,
+            "start_ms": round(self.start * 1000.0, 3),
+            "duration_ms": round(self.duration * 1000.0, 3),
+        }
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        return payload
+
+    def __repr__(self):
+        return "Span(%s, %.3fms)" % (self.name, self.duration * 1000.0)
+
+
+class Trace(object):
+    """An append-only list of spans for one query (thread-safe).
+
+    Spans may be recorded from the submitting thread, the worker thread and
+    the fetching thread; the lock only guards the append, so tracing costs
+    one monotonic read per edge plus one small object per span.
+    """
+
+    __slots__ = ("trace_id", "origin", "origin_epoch", "_spans", "_lock")
+
+    def __init__(self, trace_id):
+        self.trace_id = trace_id
+        #: Monotonic zero point every span offset is relative to.
+        self.origin = time.monotonic()
+        #: Epoch timestamp of the origin (display only, never arithmetic).
+        self.origin_epoch = time.time()
+        self._spans = []
+        self._lock = threading.Lock()
+
+    # -- recording ------------------------------------------------------------
+
+    def add_span(self, name, start, end, **attrs):
+        """Record a finished span from absolute monotonic timestamps."""
+        span = Span(
+            name,
+            start - self.origin,
+            end - self.origin,
+            thread_id=threading.get_ident(),
+            attrs=attrs or None,
+        )
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name, **attrs):
+        """Context manager timing one phase; attrs may be added via the
+        yielded dict (e.g. ``payload["hit"] = True``)."""
+        start = time.monotonic()
+        payload = dict(attrs)
+        try:
+            yield payload
+        finally:
+            span = Span(
+                name,
+                start - self.origin,
+                time.monotonic() - self.origin,
+                thread_id=threading.get_ident(),
+                attrs=payload or None,
+            )
+            with self._lock:
+                self._spans.append(span)
+
+    # -- reading ---------------------------------------------------------------
+
+    def spans(self):
+        with self._lock:
+            return list(self._spans)
+
+    def find(self, name):
+        """All spans with the given name, in recording order."""
+        return [span for span in self.spans() if span.name == name]
+
+    @property
+    def duration(self):
+        spans = self.spans()
+        if not spans:
+            return 0.0
+        return max(span.end for span in spans) - min(span.start for span in spans)
+
+    # -- export ----------------------------------------------------------------
+
+    def to_dict(self):
+        spans = sorted(self.spans(), key=lambda span: (span.start, span.end))
+        return {
+            "trace_id": self.trace_id,
+            "origin_epoch": round(self.origin_epoch, 6),
+            "duration_ms": round(self.duration * 1000.0, 3),
+            "spans": [span.to_dict() for span in spans],
+        }
+
+    def to_chrome(self):
+        """Chrome ``trace_event`` complete events (microsecond units)."""
+        events = []
+        for span in sorted(self.spans(), key=lambda span: span.start):
+            events.append({
+                "name": span.name,
+                "ph": "X",
+                "ts": round(span.start * 1e6, 1),
+                "dur": round(span.duration * 1e6, 1),
+                "pid": 1,
+                "tid": span.thread_id,
+                "cat": "query",
+                "args": dict(span.attrs),
+            })
+        return events
+
+    def __repr__(self):
+        return "Trace(%s, %d spans)" % (self.trace_id, len(self.spans()))
+
+
+def maybe_span(trace, name, **attrs):
+    """``trace.span(...)`` when tracing is on, else a no-op context.
+
+    Lets hot paths write ``with maybe_span(trace, "parse"):`` without
+    branching on whether the caller attached a trace.
+    """
+    if trace is not None:
+        return trace.span(name, **attrs)
+    return _NULL_CONTEXT
+
+
+class _NullContext(object):
+    _payload = {}
+
+    def __enter__(self):
+        # A fresh dict per entry is avoided on purpose: callers only write
+        # keys when a trace is attached (the yielded dict is discarded).
+        return {}
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()

@@ -16,6 +16,7 @@ import threading
 import time
 
 from repro.errors import ReproError
+from repro.obs.tracing import Trace
 from repro.runtime.cancellation import CancellationToken
 
 QUEUED = "QUEUED"
@@ -54,7 +55,8 @@ class InvalidTransition(ReproError):
 class QueryJob(object):
     """One query's lifecycle through the scheduler."""
 
-    def __init__(self, job_id, user, sql, source="rest", timeout=None):
+    def __init__(self, job_id, user, sql, source="rest", timeout=None,
+                 profile=False, tracing=True):
         self.job_id = job_id
         self.user = user
         self.sql = sql
@@ -68,8 +70,17 @@ class QueryJob(object):
         #: QueryResult on success; error string otherwise.
         self.result = None
         self.error = None
+        #: Taxonomy class of the failure (repro.errors.ERROR_CLASSES).
+        self.error_class = None
         self.cache_hit = False
-        #: Monotonic clocks for the timing record.
+        #: When True, execution wraps every operator for per-operator
+        #: actuals; the ExecutionProfile lands in :attr:`profile_data`.
+        self.profile = profile
+        self.profile_data = None
+        #: Lifecycle trace (None when the runtime disables tracing).
+        self.trace = Trace(job_id) if tracing else None
+        #: Durations (queue/exec) are monotonic-clock deltas, immune to
+        #: wall-clock adjustment; only log records carry epoch timestamps.
         self.submitted_at = time.monotonic()
         self.started_at = None
         self.finished_at = None
@@ -77,8 +88,13 @@ class QueryJob(object):
 
     # -- state machine --------------------------------------------------------
 
-    def transition(self, new_state, error=None):
+    def transition(self, new_state, error=None, before_notify=None):
         """Move to ``new_state`` (validated); wakes any waiters on terminal.
+
+        ``before_notify`` (called with the job, inside the state lock, after
+        the terminal fields are set but before waiters wake) lets the
+        scheduler publish side effects — the query-log outcome record —
+        that must be visible to anyone returning from :meth:`wait`.
 
         Returns the job for chaining.  Raises :class:`InvalidTransition` on
         a forbidden move (e.g. resurrecting a terminal job).
@@ -93,14 +109,24 @@ class QueryJob(object):
             now = time.monotonic()
             if new_state == RUNNING:
                 self.started_at = now
+                if self.trace is not None:
+                    self.trace.add_span("queued", self.submitted_at, now)
             elif new_state in TERMINAL_STATES:
                 self.finished_at = now
                 if self.started_at is None:
                     # Cancelled straight out of the queue.
                     self.started_at = now
+                    if self.trace is not None:
+                        self.trace.add_span("queued", self.submitted_at, now,
+                                            state=new_state)
+                elif self.trace is not None:
+                    self.trace.add_span("run", self.started_at, now,
+                                        state=new_state)
             if error is not None:
                 self.error = error
             if new_state in TERMINAL_STATES:
+                if before_notify is not None:
+                    before_notify(self)
                 self._cond.notify_all()
         return self
 
@@ -138,12 +164,15 @@ class QueryJob(object):
 
     def timing_record(self):
         """The structured outcome/timing fields logged with this job."""
-        return {
+        record = {
             "outcome": self.state,
             "queue_seconds": round(self.queue_seconds, 6),
             "exec_seconds": round(self.exec_seconds, 6),
             "cache_hit": self.cache_hit,
         }
+        if self.error_class is not None:
+            record["error_class"] = self.error_class
+        return record
 
     def to_dict(self):
         payload = {
@@ -154,11 +183,14 @@ class QueryJob(object):
             "exec_seconds": round(self.exec_seconds, 6),
             "cache_hit": self.cache_hit,
             "diagnostics": self.diagnostics,
+            "profiled": self.profile,
         }
         if self.result is not None:
             payload["row_count"] = len(self.result.rows)
         if self.error is not None:
             payload["error"] = self.error
+        if self.error_class is not None:
+            payload["error_class"] = self.error_class
         return payload
 
     def __repr__(self):

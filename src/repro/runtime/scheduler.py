@@ -18,9 +18,11 @@ CasJobs/workload-management systems show a multi-tenant SQL service needs:
 
 import itertools
 import threading
+import time
 from collections import OrderedDict, deque
 
-from repro.errors import AdmissionError, QueryCancelled, QueryTimeout
+from repro.errors import AdmissionError, QueryCancelled, QueryTimeout, classify_error
+from repro.obs.metrics import MetricsRegistry, NullRegistry
 from repro.runtime import job as jobmod
 from repro.runtime.cache import ResultCache
 from repro.runtime.job import QueryJob
@@ -33,7 +35,8 @@ class RuntimeConfig(object):
                  per_user_queue_depth=16, statement_timeout=30.0,
                  cache_enabled=True, cache_entries=256,
                  cache_max_rows=50000, lint_submissions=True,
-                 completed_jobs_retained=10000):
+                 completed_jobs_retained=10000, tracing_enabled=True,
+                 metrics_enabled=True):
         #: Worker threads.  0 means no threads are ever spawned: submissions
         #: run inline in the caller (the tests' synchronous mode) or wait in
         #: the queue for explicit :meth:`QueryRuntime.step` calls.
@@ -50,6 +53,12 @@ class RuntimeConfig(object):
         self.lint_submissions = lint_submissions
         #: Terminal jobs kept for status polling before being forgotten.
         self.completed_jobs_retained = completed_jobs_retained
+        #: Record per-job lifecycle spans (queued / run / engine phases).
+        self.tracing_enabled = tracing_enabled
+        #: Register scheduler/cache/engine instruments on the platform's
+        #: metrics registry.  Disabling swaps in a NullRegistry — the
+        #: uninstrumented baseline the overhead benchmark compares against.
+        self.metrics_enabled = metrics_enabled
 
     def to_dict(self):
         return dict(self.__dict__)
@@ -83,6 +92,24 @@ class QueryRuntime(object):
         self._cond = threading.Condition()
         self._workers = []
         self._shutdown = False
+        # -- observability wiring.  The registry lives on the platform so
+        # the engine's phase histograms and run_query's failure taxonomy
+        # share it; a runtime configured with metrics_enabled=False swaps
+        # in a NullRegistry (every instrument call a no-op) and detaches
+        # the engine's histograms, giving the benchmark a true
+        # uninstrumented baseline.
+        if self.config.metrics_enabled:
+            registry = getattr(platform, "metrics", None)
+            if registry is None or isinstance(registry, NullRegistry):
+                registry = MetricsRegistry()
+            platform.metrics = registry
+            platform.db.metrics = registry
+            self.metrics = registry
+        else:
+            self.metrics = NullRegistry()
+            platform.metrics = self.metrics
+            platform.db.metrics = None
+        self._install_instruments()
         #: sql text -> lint diagnostics.  Linting parses the statement, so
         #: repeat submissions (the workload's dominant pattern, §6.3) would
         #: otherwise pay a full parse before even reaching the result
@@ -90,14 +117,87 @@ class QueryRuntime(object):
         #: keyed on text alone is acceptable.
         self._lint_memo = {}
 
+    def _install_instruments(self):
+        """Register the scheduler's named instruments.
+
+        Counters/histograms are get-or-create (shared with a previous
+        runtime on the same platform); callback-backed instruments read
+        live state at scrape time and are re-pointed at this runtime.
+        """
+        metrics = self.metrics
+        self._jobs_submitted = metrics.counter(
+            "repro_scheduler_jobs_submitted_total",
+            "Queries admitted to the runtime (queued or inline).")
+        self._admission_rejections = metrics.counter(
+            "repro_scheduler_admission_rejections_total",
+            "Submissions refused by per-user admission control.")
+        self._jobs_finished = metrics.counter(
+            "repro_scheduler_jobs_finished_total",
+            "Jobs reaching a terminal state, labelled by outcome.")
+        self._worker_busy = metrics.counter(
+            "repro_scheduler_worker_busy_seconds_total",
+            "Total seconds workers spent executing jobs.")
+        self._queue_hist = metrics.histogram(
+            "repro_scheduler_queue_seconds",
+            "Time from submission to dispatch.")
+        self._exec_hist = metrics.histogram(
+            "repro_scheduler_exec_seconds",
+            "Time from dispatch to terminal state.")
+        metrics.gauge_callback(
+            "repro_scheduler_queue_depth",
+            "Jobs currently waiting in per-user queues.",
+            lambda: sum(self._queued.values()))
+        metrics.gauge_callback(
+            "repro_scheduler_running",
+            "Jobs currently executing on workers.",
+            lambda: sum(self._running.values()))
+        metrics.gauge_callback(
+            "repro_scheduler_workers",
+            "Worker threads started.",
+            lambda: len(self._workers))
+        metrics.gauge_callback(
+            "repro_scheduler_worker_utilization",
+            "Fraction of the worker pool currently busy.",
+            lambda: (sum(self._running.values())
+                     / float(max(len(self._workers), 1))))
+        if self.cache is not None:
+            stats = self.cache.stats
+            metrics.counter_callback(
+                "repro_cache_hits_total",
+                "Result-cache probes served without execution.",
+                lambda: stats.hits)
+            metrics.counter_callback(
+                "repro_cache_misses_total",
+                "Result-cache probes that fell through to execution.",
+                lambda: stats.misses)
+            metrics.counter_callback(
+                "repro_cache_stale_evictions_total",
+                "Entries evicted at probe time on version-vector mismatch.",
+                lambda: stats.stale_evictions)
+            metrics.counter_callback(
+                "repro_cache_invalidations_total",
+                "Entries dropped eagerly by catalog mutations.",
+                lambda: stats.invalidations)
+            metrics.counter_callback(
+                "repro_cache_stores_total",
+                "Results admitted into the cache after execution.",
+                lambda: stats.stores)
+            metrics.gauge_callback(
+                "repro_cache_entries",
+                "Live entries in the result cache.",
+                lambda: len(self.cache))
+
     # -- submission -----------------------------------------------------------
 
-    def submit(self, user, sql, source="rest", timeout=None, inline=None):
+    def submit(self, user, sql, source="rest", timeout=None, inline=None,
+               profile=False):
         """Admit a query; returns its :class:`QueryJob` immediately.
 
         ``inline=True`` executes synchronously in the caller's thread
         (bypassing the queue but not the timeout/cache machinery); the
-        default is inline when the pool has no workers.  Raises
+        default is inline when the pool has no workers.  ``profile=True``
+        records per-operator actuals into ``job.profile_data`` (the
+        execution bypasses the result cache so actuals are real).  Raises
         :class:`AdmissionError` when the user's queue is full.
         """
         if inline is None:
@@ -106,14 +206,21 @@ class QueryRuntime(object):
             if self._shutdown:
                 raise AdmissionError("runtime is shut down")
             if not inline and self._queued.get(user, 0) >= self.config.per_user_queue_depth:
+                self._admission_rejections.inc()
                 raise AdmissionError(
                     "user %r already has %d queries queued (limit %d)"
                     % (user, self._queued[user], self.config.per_user_queue_depth)
                 )
             job = QueryJob("q%06d" % next(self._ids), user, sql,
-                           source=source, timeout=timeout)
+                           source=source, timeout=timeout, profile=profile,
+                           tracing=self.config.tracing_enabled)
+            self._jobs_submitted.inc()
             if self.config.lint_submissions:
+                lint_started = time.monotonic()
                 job.diagnostics = self._lint(sql)
+                if job.trace is not None:
+                    job.trace.add_span("lint", lint_started, time.monotonic(),
+                                       findings=len(job.diagnostics))
             self._jobs[job.job_id] = job
             self._prune_terminal_locked()
             if not inline:
@@ -168,9 +275,17 @@ class QueryRuntime(object):
                         del self._queues[job.user]
                         self._rr.remove(job.user)
                 job.token.cancel(reason)
-                job.transition(jobmod.CANCELLED, error=reason)
+                job.error_class = "cancelled"
+                job.transition(jobmod.CANCELLED, error=reason,
+                               before_notify=self._log_outcome)
                 self._finished[job.state] = self._finished.get(job.state, 0) + 1
-                self._log_outcome(job)
+                # Queue cancellations never reach run_query, so count the
+                # terminal outcome (and taxonomy class) here.
+                self._jobs_finished.labels(outcome=job.state).inc()
+                self.metrics.counter(
+                    "repro_queries_failed_total",
+                    "Failed queries by error taxonomy class.",
+                ).labels(error_class="cancelled").inc()
             elif job.state == jobmod.RUNNING:
                 job.token.cancel(reason)
             return job
@@ -258,20 +373,33 @@ class QueryRuntime(object):
                     "outcome": jobmod.SUCCEEDED,
                     "queue_seconds": round(job.queue_seconds, 6),
                 },
+                trace=job.trace, profile=job.profile,
             )
         except QueryTimeout as exc:
-            job.transition(jobmod.TIMED_OUT, error=str(exc))
+            job.error_class = classify_error(exc)
+            job.transition(jobmod.TIMED_OUT, error=str(exc),
+                           before_notify=self._log_outcome)
         except QueryCancelled as exc:
-            job.transition(jobmod.CANCELLED, error=str(exc))
+            job.error_class = classify_error(exc)
+            job.transition(jobmod.CANCELLED, error=str(exc),
+                           before_notify=self._log_outcome)
         except Exception as exc:
-            job.transition(jobmod.FAILED, error=str(exc))
+            job.error_class = classify_error(exc)
+            job.transition(jobmod.FAILED, error=str(exc),
+                           before_notify=self._log_outcome)
         else:
             job.result = result
             job.cache_hit = result.cache_hit
+            job.profile_data = result.profile
             job.transition(jobmod.SUCCEEDED)
         finally:
-            if job.state in (jobmod.TIMED_OUT, jobmod.CANCELLED, jobmod.FAILED):
-                self._log_outcome(job)
+            # Failure/cancel outcomes are logged by the ``before_notify``
+            # hook inside the terminal transition, so waiters released by
+            # ``job.wait()`` always observe the query-log record.
+            self._queue_hist.observe(job.queue_seconds)
+            self._exec_hist.observe(job.exec_seconds)
+            self._worker_busy.inc(job.exec_seconds)
+            self._jobs_finished.labels(outcome=job.state).inc()
             with self._cond:
                 self._running[job.user] = self._running.get(job.user, 1) - 1
                 self._finished[job.state] = self._finished.get(job.state, 0) + 1
@@ -324,6 +452,10 @@ class QueryRuntime(object):
     # -- introspection --------------------------------------------------------
 
     def stats(self):
+        # One consistent snapshot: queue/running/finished counts and the
+        # cache's counters are all read under the scheduler lock, so a
+        # concurrent job finishing cannot skew e.g. "running" against
+        # "finished" within a single payload.
         with self._cond:
             per_user = {}
             for user, count in self._queued.items():
@@ -340,10 +472,22 @@ class QueryRuntime(object):
                 "per_user": per_user,
                 "config": self.config.to_dict(),
             }
-        if self.cache is not None:
-            cache_stats = self.cache.stats.to_dict()
-            cache_stats["entries"] = len(self.cache)
-            payload["cache"] = cache_stats
-        else:
-            payload["cache"] = None
+            if self.cache is not None:
+                cache_stats = self.cache.stats.to_dict()
+                cache_stats["entries"] = len(self.cache)
+                payload["cache"] = cache_stats
+            else:
+                payload["cache"] = None
+        if self.config.metrics_enabled:
+            latency = {}
+            for key, hist in (("queue_seconds", self._queue_hist),
+                              ("exec_seconds", self._exec_hist)):
+                summary = hist.to_dict()
+                latency[key] = {
+                    "count": summary["count"],
+                    "p50": summary["p50"],
+                    "p90": summary["p90"],
+                    "p99": summary["p99"],
+                }
+            payload["latency"] = latency
         return payload

@@ -42,12 +42,16 @@ class _WSGITransport(object):
             environ["HTTP_" + key.upper().replace("-", "_")] = value
         captured = {}
 
-        def start_response(status, _headers):
+        def start_response(status, response_headers):
             captured["status"] = int(status.split()[0])
+            captured["headers"] = dict(response_headers)
 
         chunks = self.app(environ, start_response)
-        payload = json.loads(b"".join(chunks).decode("utf-8"))
-        return captured["status"], payload
+        text = b"".join(chunks).decode("utf-8")
+        content_type = captured["headers"].get("Content-Type", "application/json")
+        if content_type.startswith("application/json"):
+            return captured["status"], json.loads(text)
+        return captured["status"], text
 
 
 class _HTTPTransport(object):
@@ -67,7 +71,11 @@ class _HTTPTransport(object):
             request.add_header("Content-Type", "application/json")
         try:
             with urllib.request.urlopen(request) as response:
-                return response.status, json.loads(response.read().decode("utf-8"))
+                text = response.read().decode("utf-8")
+                content_type = response.headers.get("Content-Type", "application/json")
+                if content_type.startswith("application/json"):
+                    return response.status, json.loads(text)
+                return response.status, text
         except urllib.error.HTTPError as exc:
             return exc.code, json.loads(exc.read().decode("utf-8"))
 
@@ -141,16 +149,20 @@ class SQLShareClient(object):
 
     # -- queries ----------------------------------------------------------------------
 
-    def submit_query(self, sql, timeout=None):
+    def submit_query(self, sql, timeout=None, profile=False):
         """Submit a query; returns its identifier immediately.
 
         ``timeout`` (seconds) overrides the server's statement timeout for
-        this query.  Raises :class:`ClientError` with status 429 when the
-        server's per-user admission limit rejects the submission.
+        this query.  ``profile=True`` asks the server to record
+        per-operator actuals; they come back under ``"profile"`` in the
+        results payload.  Raises :class:`ClientError` with status 429 when
+        the server's per-user admission limit rejects the submission.
         """
         body = {"sql": sql}
         if timeout is not None:
             body["timeout"] = timeout
+        if profile:
+            body["profile"] = True
         return self._call("POST", "/api/v1/query", body)["id"]
 
     def cancel_query(self, query_id):
@@ -160,6 +172,14 @@ class SQLShareClient(object):
     def runtime_stats(self):
         """The scheduler's live counters (workers, queues, cache)."""
         return self._call("GET", "/api/v1/runtime/stats")
+
+    def metrics_text(self):
+        """The /metrics endpoint's raw Prometheus exposition text."""
+        return self._call("GET", "/api/v1/metrics")
+
+    def query_trace(self, query_id):
+        """The lifecycle trace (spans + Chrome trace_event) for a query."""
+        return self._call("GET", "/api/v1/query/%s/trace" % query_id)
 
     def check(self, sql, lint=True):
         """Static analysis without execution; returns the /check payload."""
@@ -177,12 +197,14 @@ class SQLShareClient(object):
     def run_query(self, sql, timeout=30.0, poll_interval=0.02):
         """Submit and poll until complete; returns (columns, rows)."""
         query_id = self.submit_query(sql)
-        deadline = time.time() + timeout
+        # Monotonic clock: a wall-clock (NTP) step must not fire or defer
+        # the client-side timeout.
+        deadline = time.monotonic() + timeout
         while True:
             payload = self.fetch_results(query_id)
             if payload["status"] == "complete":
                 rows = [tuple(row) for row in payload["rows"]]
                 return payload["columns"], rows
-            if time.time() > deadline:
+            if time.monotonic() > deadline:
                 raise ClientError(408, "query %s timed out" % query_id)
             time.sleep(poll_interval)

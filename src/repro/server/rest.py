@@ -13,12 +13,20 @@ versioned result cache, and cooperative cancellation exposed as
 ``DELETE /api/v1/query/<id>``.  ``GET /api/v1/runtime/stats`` reports the
 scheduler's live counters.
 
+Observability: ``GET /api/v1/metrics`` serves the platform's metrics
+registry in Prometheus text exposition format (unauthenticated, like a
+production scrape target); ``GET /api/v1/query/<id>/trace`` returns the
+job's lifecycle spans (JSON plus Chrome ``trace_event`` form); submitting
+with ``"profile": true`` attaches per-operator actuals to the results
+payload.
+
 Authentication is a trusted ``X-SQLShare-User`` header (the deployed system
 used university SSO; the identity plumbing is identical downstream).
 """
 
 import json
 import re
+import time
 
 from repro.core.sqlshare import SQLShare
 from repro.errors import (
@@ -35,11 +43,11 @@ from repro.runtime import QueryRuntime, RuntimeConfig
 _ROUTES = []
 
 
-def route(method, pattern):
+def route(method, pattern, auth=True):
     compiled = re.compile("^%s$" % pattern)
 
     def decorator(func):
-        _ROUTES.append((method, compiled, func))
+        _ROUTES.append((method, compiled, func, auth))
         return func
 
     return decorator
@@ -88,9 +96,16 @@ class SQLShareApp(object):
         method = environ["REQUEST_METHOD"]
         path = environ.get("PATH_INFO", "/")
         user = environ.get("HTTP_X_SQLSHARE_USER")
+        content_type = "application/json"
         try:
             body = self._read_body(environ)
-            status, payload = self._dispatch(method, path, user, body)
+            response = self._dispatch(method, path, user, body)
+            # Handlers normally return (status, payload); text endpoints
+            # (Prometheus exposition) return (status, text, content_type).
+            if len(response) == 3:
+                status, payload, content_type = response
+            else:
+                status, payload = response
         except _HTTPError as exc:
             status, payload = exc.status, {"error": exc.message}
         except PermissionError_ as exc:
@@ -103,10 +118,13 @@ class SQLShareApp(object):
             status, payload = 400, {"error": str(exc)}
         except ReproError as exc:
             status, payload = 400, {"error": str(exc)}
-        data = json.dumps(payload, default=str).encode("utf-8")
+        if content_type == "application/json":
+            data = json.dumps(payload, default=str).encode("utf-8")
+        else:
+            data = payload.encode("utf-8")
         start_response(
             _STATUS_TEXT[status],
-            [("Content-Type", "application/json"), ("Content-Length", str(len(data)))],
+            [("Content-Type", content_type), ("Content-Length", str(len(data)))],
         )
         return [data]
 
@@ -127,15 +145,15 @@ class SQLShareApp(object):
             raise _HTTPError(400, "request body is not valid JSON")
 
     def _dispatch(self, method, path, user, body):
-        for route_method, pattern, handler in _ROUTES:
+        for route_method, pattern, handler, auth in _ROUTES:
             if route_method != method:
                 continue
             match = pattern.match(path)
             if match:
-                if user is None:
+                if auth and user is None:
                     raise _HTTPError(401, "missing X-SQLShare-User header")
                 return handler(self, user, body, **match.groupdict())
-        for route_method, pattern, _handler in _ROUTES:
+        for route_method, pattern, _handler, _auth in _ROUTES:
             if pattern.match(path):
                 raise _HTTPError(405, "method %s not allowed on %s" % (method, path))
         raise _HTTPError(404, "no such endpoint: %s" % path)
@@ -223,6 +241,7 @@ class SQLShareApp(object):
             job = self.runtime.submit(
                 user, sql, source="rest", timeout=timeout,
                 inline=not self.run_async,
+                profile=bool(body.get("profile", False)),
             )
         except AdmissionError as exc:
             raise _HTTPError(429, str(exc))
@@ -259,13 +278,21 @@ class SQLShareApp(object):
         if status in ("cancelled", "timeout"):
             return 409, {"id": query_id, "status": status, "error": job.error}
         result = job.result
-        return 200, {
+        fetch_started = time.monotonic()
+        rows = [list(row) for row in result.rows]
+        if job.trace is not None:
+            job.trace.add_span("fetch", fetch_started, time.monotonic(),
+                               rows=len(rows))
+        payload = {
             "id": query_id,
             "status": "complete",
             "columns": result.columns,
-            "rows": [list(row) for row in result.rows],
+            "rows": rows,
             "cache_hit": job.cache_hit,
         }
+        if job.profile_data is not None:
+            payload["profile"] = job.profile_data.to_dict()
+        return 200, payload
 
     @route("DELETE", "/api/v1/query/(?P<query_id>[^/]+)")
     def cancel_query(self, user, body, query_id):
@@ -276,6 +303,27 @@ class SQLShareApp(object):
     @route("GET", "/api/v1/runtime/stats")
     def runtime_stats(self, user, body):
         return 200, self.runtime.stats()
+
+    # -- observability endpoints ----------------------------------------------------------
+
+    @route("GET", "/api/v1/metrics", auth=False)
+    def metrics(self, user, body):
+        """Prometheus text exposition (format 0.0.4); no auth, like a
+        production scrape target."""
+        text = self.platform.metrics.render_prometheus()
+        return 200, text, "text/plain; version=0.0.4; charset=utf-8"
+
+    @route("GET", "/api/v1/query/(?P<query_id>[^/]+)/trace")
+    def query_trace(self, user, body, query_id):
+        job = self._get_query(user, query_id)
+        if job.trace is None:
+            raise _HTTPError(404, "tracing is disabled on this runtime")
+        payload = job.trace.to_dict()
+        payload["status"] = job.protocol_status
+        payload["chrome_trace"] = job.trace.to_chrome()
+        if job.profile_data is not None:
+            payload["profile"] = job.profile_data.summary()
+        return 200, payload
 
     def _get_query(self, user, query_id):
         job = self.runtime.get(query_id)

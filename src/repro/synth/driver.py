@@ -72,13 +72,22 @@ def replayable_queries(platform, limit=None):
 
 def replay_workload(platform, queries, workers=0, runtime=None,
                     statement_timeout=30.0, cache_enabled=True,
-                    cache_entries=None, cache_max_rows=2000000):
+                    cache_entries=None, cache_max_rows=2000000,
+                    profile=False, metrics_enabled=True,
+                    tracing_enabled=True):
     """Re-run ``queries`` (``(user, sql)`` pairs) through a QueryRuntime.
 
     ``workers=0`` executes serially inline in the calling thread;
     ``workers>0`` submits everything to a bounded worker pool and drains.
     Returns a stats dict (qps, outcome counts, cache counters) plus the
     runtime used, so callers can rerun against a warm cache.
+
+    Outcome and cache-hit counts come from the metrics registry — deltas
+    of the scheduler's own counters over the replay — rather than a second
+    per-job tally here (``metrics_enabled=False`` falls back to counting
+    jobs directly; that is the overhead benchmark's uninstrumented
+    baseline).  ``profile=True`` turns on per-operator profiling for every
+    replayed query.
     """
     from repro.runtime import QueryRuntime, RuntimeConfig, TERMINAL_STATES
 
@@ -98,28 +107,45 @@ def replay_workload(platform, queries, workers=0, runtime=None,
             # exactly the ones worth not re-executing.
             cache_entries=cache_entries or max(1024, 2 * len(queries)),
             cache_max_rows=cache_max_rows,
+            metrics_enabled=metrics_enabled,
+            tracing_enabled=tracing_enabled,
         )
         runtime = QueryRuntime(platform, config)
     else:
         # An existing runtime dictates the mode: queueing work at a pool
         # with no workers would make drain() block forever.
         workers = runtime.config.max_workers
+    before = platform.metrics.snapshot()
     jobs = []
     start = time.perf_counter()
     if workers <= 0:
         for user, sql in queries:
-            jobs.append(runtime.submit(user, sql, source="replay", inline=True))
+            jobs.append(runtime.submit(user, sql, source="replay",
+                                       inline=True, profile=profile))
     else:
         for user, sql in queries:
-            jobs.append(runtime.submit(user, sql, source="replay", inline=False))
+            jobs.append(runtime.submit(user, sql, source="replay",
+                                       inline=False, profile=profile))
         runtime.drain(jobs)
     elapsed = time.perf_counter() - start
-    outcomes = {state: 0 for state in TERMINAL_STATES}
-    cache_hits = 0
-    for job in jobs:
-        outcomes[job.state] = outcomes.get(job.state, 0) + 1
-        if job.cache_hit:
-            cache_hits += 1
+    if runtime.config.metrics_enabled:
+        # Single source of truth: this phase's outcomes/hits are deltas of
+        # the scheduler's and cache's own (cumulative) counters.
+        after = platform.metrics.snapshot()
+        delta = lambda key: after.get(key, 0) - before.get(key, 0)  # noqa: E731
+        outcomes = {
+            state: int(delta(
+                'repro_scheduler_jobs_finished_total{outcome="%s"}' % state))
+            for state in TERMINAL_STATES
+        }
+        cache_hits = int(delta("repro_cache_hits_total"))
+    else:
+        outcomes = {state: 0 for state in TERMINAL_STATES}
+        cache_hits = 0
+        for job in jobs:
+            outcomes[job.state] = outcomes.get(job.state, 0) + 1
+            if job.cache_hit:
+                cache_hits += 1
     stats = {
         "queries": len(jobs),
         "workers": workers,

@@ -1,0 +1,88 @@
+"""Estimation-quality analysis: q-error over a profiled replay."""
+
+import pytest
+
+from repro.analysis.estimation import (
+    EstimationReport,
+    analyze_estimation,
+    render_estimation,
+)
+from repro.core.sqlshare import SQLShare
+
+
+@pytest.fixture(scope="module")
+def platform():
+    share = SQLShare()
+    rows = "".join("%d,%s\n" % (i, "ABC"[i % 3]) for i in range(60))
+    share.upload("alice", "events", "n,tag\n" + rows)
+    share.make_public("alice", "events")
+    for sql in (
+        "SELECT tag, COUNT(*) AS c FROM events GROUP BY tag",
+        "SELECT * FROM events WHERE n > 30",
+        "SELECT tag FROM events ORDER BY n DESC",
+        "SELECT tag, COUNT(*) AS c FROM events GROUP BY tag",
+    ):
+        share.run_query("alice", sql)
+    return share
+
+
+class TestAnalyzeEstimation:
+    def test_profiles_replayable_queries(self, platform):
+        report = analyze_estimation(platform)
+        assert report.queries_profiled == 4
+        assert report.q_errors, "no operator q-errors collected"
+        summary = report.summary()
+        assert summary["median_q_error"] >= 1.0
+        assert summary["p90_q_error"] >= summary["median_q_error"]
+        assert summary["max_q_error"] >= summary["p90_q_error"]
+
+    def test_per_operator_breakdown(self, platform):
+        report = analyze_estimation(platform)
+        rows = report.operator_rows()
+        names = {row["operator"] for row in rows}
+        assert "Clustered Index Scan" in names
+        for row in rows:
+            assert row["count"] >= 1
+            assert row["median_q_error"] >= 1.0
+
+    def test_limit_respected(self, platform):
+        report = analyze_estimation(platform, limit=2)
+        assert report.queries_profiled == 2
+
+    def test_replay_leaves_log_and_cache_untouched(self, platform):
+        entries_before = len(platform.log)
+        analyze_estimation(platform)
+        assert len(platform.log) == entries_before
+
+    def test_to_dict_and_render(self, platform):
+        report = analyze_estimation(platform)
+        payload = report.to_dict()
+        assert payload["summary"]["queries_profiled"] == 4
+        assert payload["worst_estimates"]
+        text = render_estimation(report)
+        assert "overall q-error" in text
+        assert "Median Q" in text
+
+    def test_empty_platform(self):
+        report = analyze_estimation(SQLShare())
+        assert report.queries_profiled == 0
+        assert report.summary()["median_q_error"] == 0.0
+        assert isinstance(report, EstimationReport)
+
+
+class TestRuntimeErrorRates:
+    def test_rates_by_class_from_log(self):
+        from repro.analysis.hygiene import runtime_error_rates
+        from repro.runtime import QueryRuntime, RuntimeConfig
+
+        share = SQLShare()
+        share.upload("alice", "obs", "site,temp\nA,10.5\nB,11.0\n")
+        runtime = QueryRuntime(share, RuntimeConfig(max_workers=0))
+        runtime.submit("alice", "SELECT site FROM obs")
+        runtime.submit("alice", "SELECT nope FROM obs")
+        runtime.submit("alice", "SELEC site FROM obs")
+        rows = {row["category"]: row for row in runtime_error_rates(share)}
+        overall = rows["all"]
+        assert overall["queries"] == 3
+        assert overall["error_rate"] == pytest.approx(2 / 3)
+        assert overall["by_class"] == {"semantic": 1, "parse": 1}

@@ -1,0 +1,91 @@
+"""Query-lifecycle tracing: spans, JSON export, Chrome trace_event."""
+
+import threading
+import time
+
+from repro.obs.tracing import Span, Trace, maybe_span
+
+
+class TestTrace:
+    def test_add_span_from_absolute_monotonic(self):
+        trace = Trace("q1")
+        start = time.monotonic()
+        end = start + 0.25
+        trace.add_span("parse", start, end, tokens=12)
+        (span,) = trace.spans()
+        assert span.name == "parse"
+        assert span.duration == 0.25
+        assert span.attrs["tokens"] == 12
+        # Offsets are relative to the trace origin, so they are small.
+        assert span.start >= 0.0
+
+    def test_context_manager_records_and_attrs(self):
+        trace = Trace("q2")
+        with trace.span("execute") as attrs:
+            attrs["rows"] = 3
+        (span,) = trace.spans()
+        assert span.name == "execute"
+        assert span.duration >= 0.0
+        assert span.attrs == {"rows": 3}
+
+    def test_to_dict_sorted_by_start(self):
+        trace = Trace("q3")
+        origin = time.monotonic()
+        trace.add_span("later", origin + 1.0, origin + 2.0)
+        trace.add_span("earlier", origin, origin + 0.5)
+        payload = trace.to_dict()
+        assert payload["trace_id"] == "q3"
+        assert [s["name"] for s in payload["spans"]] == ["earlier", "later"]
+        assert payload["spans"][0]["duration_ms"] == 500.0
+
+    def test_chrome_export_shape(self):
+        trace = Trace("q4")
+        start = time.monotonic()
+        trace.add_span("plan", start, start + 0.001, nodes=4)
+        (event,) = trace.to_chrome()
+        assert event["ph"] == "X"
+        assert event["name"] == "plan"
+        assert event["dur"] == 1000.0  # microseconds
+        assert event["args"] == {"nodes": 4}
+        assert event["tid"] == threading.get_ident()
+
+    def test_find(self):
+        trace = Trace("q5")
+        start = time.monotonic()
+        trace.add_span("a", start, start)
+        trace.add_span("b", start, start)
+        assert [span.name for span in trace.find("b")] == ["b"]
+        assert trace.find("zzz") == []
+
+    def test_thread_safety(self):
+        trace = Trace("q6")
+
+        def add_many():
+            start = time.monotonic()
+            for _ in range(500):
+                trace.add_span("s", start, start)
+
+        threads = [threading.Thread(target=add_many) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(trace.spans()) == 2000
+
+
+class TestMaybeSpan:
+    def test_none_trace_is_noop(self):
+        with maybe_span(None, "x") as attrs:
+            attrs["ignored"] = 1  # must not raise
+
+    def test_real_trace_records(self):
+        trace = Trace("q7")
+        with maybe_span(trace, "x"):
+            pass
+        assert len(trace.find("x")) == 1
+
+
+class TestSpanSlots:
+    def test_span_is_slotted(self):
+        span = Span("n", 0.0, 1.0, 1, {})
+        assert not hasattr(span, "__dict__")

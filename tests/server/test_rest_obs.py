@@ -1,0 +1,147 @@
+"""REST observability surfaces: /metrics, /trace, profile=true."""
+
+import pytest
+
+from repro.core.sqlshare import SQLShare
+from repro.server.client import ClientError, SQLShareClient
+from repro.server.rest import SQLShareApp
+
+CSV = "site,temp\nA,10.5\nB,11.0\nC,12.5\n"
+
+
+@pytest.fixture
+def app():
+    share = SQLShare()
+    return SQLShareApp(share, run_async=False)
+
+
+@pytest.fixture
+def alice(app):
+    client = SQLShareClient("alice", app=app)
+    client.upload("obs", CSV)
+    return client
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_exposition(self, app, alice):
+        alice.run_query("SELECT site FROM obs")
+        text = alice.metrics_text()
+        assert isinstance(text, str)
+        lines = text.splitlines()
+        # Well-formed exposition: every series line's metric was declared
+        # with a TYPE comment, values parse as floats.
+        declared = set()
+        for line in lines:
+            if line.startswith("# TYPE"):
+                declared.add(line.split()[2])
+            elif line and not line.startswith("#"):
+                name, value = line.rsplit(None, 1)
+                float(value)
+                base = name.split("{")[0]
+                for suffix in ("_bucket", "_sum", "_count"):
+                    if base.endswith(suffix):
+                        base = base[: -len(suffix)]
+                        break
+                assert base in declared, line
+
+    def test_covers_scheduler_cache_and_engine(self, app, alice):
+        alice.run_query("SELECT site FROM obs")
+        alice.run_query("SELECT site FROM obs")
+        text = alice.metrics_text()
+        assert "repro_scheduler_jobs_submitted_total" in text
+        assert "repro_cache_hits_total 1" in text
+        assert "repro_engine_execute_seconds_count" in text
+        assert 'repro_scheduler_jobs_finished_total{outcome="SUCCEEDED"}' in text
+
+    def test_no_auth_required(self, app):
+        # A scrape has no user header; every other endpoint requires one.
+        from repro.server.client import _WSGITransport
+
+        transport = _WSGITransport(app)
+        status, text = transport.request("GET", "/api/v1/metrics", {}, None)
+        assert status == 200
+        assert "# HELP" in text
+        status, _payload = transport.request("GET", "/api/v1/datasets", {}, None)
+        assert status == 401
+
+    def test_content_type_is_prometheus_text(self, app):
+        environ = {
+            "REQUEST_METHOD": "GET",
+            "PATH_INFO": "/api/v1/metrics",
+            "CONTENT_LENGTH": "0",
+        }
+        captured = {}
+
+        def start_response(status, headers):
+            captured["headers"] = dict(headers)
+
+        body = b"".join(app(environ, start_response))
+        assert captured["headers"]["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in captured["headers"]["Content-Type"]
+        assert body.decode("utf-8").endswith("\n")
+
+
+class TestTraceEndpoint:
+    def test_trace_round_trip(self, app, alice):
+        query_id = alice.submit_query("SELECT site FROM obs")
+        alice.fetch_results(query_id)
+        payload = alice.query_trace(query_id)
+        names = [span["name"] for span in payload["spans"]]
+        for expected in ("queued", "parse", "plan", "execute", "run", "fetch"):
+            assert expected in names, names
+        assert payload["status"] == "complete"
+        assert all(event["ph"] == "X" for event in payload["chrome_trace"])
+
+    def test_trace_404_unknown_query(self, alice):
+        with pytest.raises(ClientError) as excinfo:
+            alice.query_trace("q999999")
+        assert excinfo.value.status == 404
+
+    def test_trace_403_other_users_query(self, app, alice):
+        query_id = alice.submit_query("SELECT site FROM obs")
+        bob = SQLShareClient("bob", app=app)
+        with pytest.raises(ClientError) as excinfo:
+            bob.query_trace(query_id)
+        assert excinfo.value.status == 403
+
+    def test_trace_404_when_tracing_disabled(self):
+        from repro.runtime import RuntimeConfig
+
+        share = SQLShare()
+        app = SQLShareApp(share, run_async=False,
+                          runtime_config=RuntimeConfig(
+                              max_workers=0, tracing_enabled=False))
+        client = SQLShareClient("alice", app=app)
+        client.upload("obs", CSV)
+        query_id = client.submit_query("SELECT site FROM obs")
+        with pytest.raises(ClientError) as excinfo:
+            client.query_trace(query_id)
+        assert excinfo.value.status == 404
+
+
+class TestProfileFlag:
+    def test_profile_round_trip(self, app, alice):
+        query_id = alice.submit_query(
+            "SELECT site, COUNT(*) AS n FROM obs GROUP BY site", profile=True)
+        payload = alice.fetch_results(query_id)
+        assert payload["status"] == "complete"
+        profile = payload["profile"]
+        assert profile["summary"]["executed"] >= 1
+        root = profile["operators"][0]
+        assert root["actual_rows"] == len(payload["rows"])
+        assert all("q_error" in op for op in profile["operators"])
+
+    def test_unprofiled_has_no_profile_key(self, app, alice):
+        query_id = alice.submit_query("SELECT site FROM obs")
+        payload = alice.fetch_results(query_id)
+        assert "profile" not in payload
+
+    def test_profile_summary_in_trace(self, app, alice):
+        query_id = alice.submit_query("SELECT site FROM obs", profile=True)
+        alice.fetch_results(query_id)
+        trace = alice.query_trace(query_id)
+        assert trace["profile"]["executed"] >= 1
+
+    def test_status_payload_reports_profiled(self, app, alice):
+        query_id = alice.submit_query("SELECT site FROM obs", profile=True)
+        assert alice.query_status(query_id)["profiled"] is True

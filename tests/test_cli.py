@@ -90,3 +90,44 @@ class TestLintCommand:
         code = main(["lint", "-"])
         assert code == 1
         assert "SEM003" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_profile_parser_defaults(self):
+        args = build_parser().parse_args(["profile", "SELECT 1"])
+        assert args.command == "profile"
+        assert args.sql == "SELECT 1"
+        assert args.ddl is None
+        assert args.workload is False
+
+    def test_explain_analyze_output(self, tmp_path, capsys):
+        schema = tmp_path / "s.sql"
+        schema.write_text(
+            "CREATE TABLE t (a INT, b VARCHAR);\n"
+            "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'x');\n")
+        code = main(["profile", "--ddl", str(schema),
+                     "SELECT b, COUNT(*) AS c FROM t GROUP BY b"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Est. Rows" in out and "Actual Rows" in out
+        assert "Stream Aggregate" in out
+        assert "q-error:" in out
+        assert "phases:" in out and "execute" in out
+
+    def test_profile_error_exit_one(self, tmp_path, capsys):
+        code = main(["profile", "SELECT x FROM missing"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_profile_requires_sql_or_workload(self, capsys):
+        code = main(["profile"])
+        assert code == 2
+
+    def test_profile_stdin(self, tmp_path, monkeypatch, capsys):
+        import io
+        schema = tmp_path / "s.sql"
+        schema.write_text("CREATE TABLE t (a INT);\nINSERT INTO t VALUES (1);\n")
+        monkeypatch.setattr("sys.stdin", io.StringIO("SELECT a FROM t;"))
+        code = main(["profile", "--ddl", str(schema), "-"])
+        assert code == 0
+        assert "Q-Error" in capsys.readouterr().out

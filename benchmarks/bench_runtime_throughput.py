@@ -12,9 +12,11 @@ the :mod:`repro.runtime` scheduler three ways:
    now-populated cache.
 
 Reports queries/sec and cache hit rate for each phase, then proves the
-zero-stale property two ways: re-executing a sample of cached queries
-with the cache bypassed and diffing the rows, and bumping a referenced
-table's catalog version to show the entry stops being served.
+zero-stale property three ways: re-executing a sample of cached queries
+with the cache bypassed and diffing the rows, bumping a referenced
+table's catalog version to show the entry stops being served, and a full
+crash/recover cycle through :mod:`repro.storage` confirming that zero
+pre-crash cache entries validate against the recovered catalog.
 
 Standalone (this is what CI's smoke step runs)::
 
@@ -79,6 +81,41 @@ def _stale_served_count(platform, queries):
     return stale
 
 
+def _crash_recovery_audit(platform, queries):
+    """Checkpoint, "crash", recover — then prove zero pre-crash cache
+    entries survive.
+
+    The warm cache from the replay phases plays the adversary: it is
+    grafted unchanged onto the *recovered* platform, and because recovery
+    regenerates every catalog version (epoch bump), each pre-crash vector
+    must fail validation.  A sample of queries is then re-run with and
+    without the grafted cache to confirm no stale rows are served.
+    """
+    import tempfile
+
+    from repro.storage import StorageManager
+
+    cache = platform.result_cache
+    with tempfile.TemporaryDirectory() as data_dir:
+        manager = StorageManager(data_dir)
+        manager.adopt(platform)
+        manager.close()  # the "crash": nothing else reaches the log
+        recovery_manager = StorageManager(data_dir)
+        recovered, report = recovery_manager.recover()
+        pre_entries = len(cache)
+        stale = cache.audit(recovered.db.catalog.version_of)
+        recovered.result_cache = cache  # adversarial graft
+        served_stale = _stale_served_count(recovered, queries)
+        recovery_manager.close()
+    return {
+        "pre_crash_entries": pre_entries,
+        "pre_crash_entries_still_valid": pre_entries - stale,
+        "stale_served_post_recovery": served_stale,
+        "records_replayed": report.records_replayed,
+        "recovery_seconds": round(report.elapsed_seconds, 4),
+    }
+
+
 def _invalidation_demo(platform, queries):
     """Bump a referenced table's version; the cached entry must stop serving."""
     for user, sql in queries:
@@ -117,6 +154,7 @@ def run(scale=0.1, workers=4, limit=None, timeout=30.0):
     stale_served = _stale_served_count(platform, queries)
     stale_sitting = runtime.cache.audit(platform.db.catalog.version_of)
     invalidation = _invalidation_demo(platform, queries)
+    crash_recovery = _crash_recovery_audit(platform, queries)
 
     results = {
         "scale": scale,
@@ -135,6 +173,7 @@ def run(scale=0.1, workers=4, limit=None, timeout=30.0):
         "stale_results_served": stale_served,
         "stale_entries_sitting_unserved": stale_sitting,
         "invalidation_demo": invalidation,
+        "crash_recovery": crash_recovery,
         "cache": runtime.cache.stats.to_dict(),
         # Queue/exec latency quantiles straight from the scheduler's
         # histograms (cumulative over the concurrent phases).
@@ -165,6 +204,14 @@ def check(results):
     assert results["stale_results_served"] == 0, "cache served stale rows"
     assert results["invalidation_demo"]["served_after_version_bump"] is False, (
         "cache served an entry after its table's version was bumped"
+    )
+    crash = results["crash_recovery"]
+    assert crash["pre_crash_entries_still_valid"] == 0, (
+        "%d pre-crash cache entries still validate after recovery"
+        % crash["pre_crash_entries_still_valid"]
+    )
+    assert crash["stale_served_post_recovery"] == 0, (
+        "recovered server served stale pre-crash rows"
     )
 
 
@@ -198,6 +245,13 @@ def main(argv=None):
     print("  stale served: %d (sitting unserved: %d)" % (
         results["stale_results_served"],
         results["stale_entries_sitting_unserved"]))
+    crash = results["crash_recovery"]
+    print("  crash/recover: %d pre-crash entries, %d still valid, "
+          "%d stale served (recovered in %.3fs)" % (
+              crash["pre_crash_entries"],
+              crash["pre_crash_entries_still_valid"],
+              crash["stale_served_post_recovery"],
+              crash["recovery_seconds"]))
     print("  results -> %s" % out)
     if args.smoke:
         check(results)

@@ -1,0 +1,206 @@
+"""Durability tax: mutation throughput with the WAL off / buffered / fsync,
+plus recovery time as a function of WAL length.
+
+The write-ahead log sits on every committed mutation's critical path, so
+its cost is the price of crash safety.  This bench runs the same mixed
+mutation workload (uploads, appends, derived views, shares, queries) three
+ways:
+
+1. **off** — a bare :class:`~repro.core.sqlshare.SQLShare`, no durability;
+2. **buffered** — WAL appends flushed to the OS page cache (survives
+   SIGKILL, the container-orchestration failure mode SQLShare actually
+   saw);
+3. **fsync** — ``os.fsync`` per commit (survives power loss).
+
+and then measures cold recovery time against WAL tails of increasing
+length, with and without a snapshot in front.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_wal_overhead.py --ops 300 --smoke
+
+or via pytest alongside the other benches (``pytest benchmarks/``), which
+writes ``bench_results/wal_overhead.json``.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro.core.sqlshare import SQLShare
+from repro.storage import StorageManager
+
+RESULTS_PATH = (
+    pathlib.Path(__file__).resolve().parent
+    / "bench_results"
+    / "wal_overhead.json"
+)
+
+CSV = "id,species,count\n1,coho,14\n2,chinook,3\n3,chum,25\n"
+MORE = "id,species,count\n4,sockeye,9\n5,pink,40\n"
+
+
+def _mutate(platform, index):
+    """One workload op; cycles through the mutation mix by index."""
+    slot = index % 5
+    if slot == 0:
+        platform.upload("user%d" % (index % 7), "Set %d" % index, CSV)
+    elif slot == 1:
+        platform.append("user%d" % ((index - 1) % 7), "Set %d" % (index - 1),
+                        MORE)
+    elif slot == 2:
+        platform.create_dataset(
+            "user%d" % ((index - 2) % 7), "Big %d" % index,
+            "SELECT * FROM [Set %d] WHERE count > 10" % (index - 2))
+    elif slot == 3:
+        platform.share("user%d" % ((index - 3) % 7), "Set %d" % (index - 3),
+                       "user%d" % ((index + 1) % 7))
+    else:
+        platform.run_query("user%d" % ((index - 4) % 7),
+                           "SELECT COUNT(*) AS n FROM [Set %d]" % (index - 4))
+
+
+def _run_workload(platform, ops):
+    start = time.perf_counter()
+    for index in range(ops):
+        _mutate(platform, index)
+    return time.perf_counter() - start
+
+
+def _throughput(mode, ops):
+    """Ops/sec for one durability mode ("off", "buffered" or "fsync")."""
+    if mode == "off":
+        elapsed = _run_workload(SQLShare(), ops)
+        wal_bytes = 0
+    else:
+        with tempfile.TemporaryDirectory() as data_dir:
+            manager = StorageManager(data_dir, sync=mode)
+            platform = manager.attach(SQLShare())
+            elapsed = _run_workload(platform, ops)
+            wal_bytes = manager.wal.size_bytes()
+            manager.close()
+    return {
+        "ops": ops,
+        "elapsed_seconds": round(elapsed, 4),
+        "ops_per_second": round(ops / elapsed, 1) if elapsed else None,
+        "wal_bytes": wal_bytes,
+    }
+
+
+def _recovery_time(ops, checkpoint_halfway):
+    """Cold recovery time from a directory holding ``ops`` mutations."""
+    with tempfile.TemporaryDirectory() as data_dir:
+        manager = StorageManager(data_dir)
+        platform = manager.attach(SQLShare())
+        for index in range(ops):
+            _mutate(platform, index)
+            if checkpoint_halfway and index == ops // 2:
+                manager.checkpoint()
+        wal_bytes = manager.wal.size_bytes()
+        manager.close()  # buffered flushes reached the OS; a SIGKILL-alike
+        recovery = StorageManager(data_dir)
+        start = time.perf_counter()
+        _recovered, report = recovery.recover()
+        elapsed = time.perf_counter() - start
+        recovery.close()
+    return {
+        "ops": ops,
+        "snapshot": checkpoint_halfway,
+        "wal_bytes": wal_bytes,
+        "records_replayed": report.records_replayed,
+        "recovery_seconds": round(elapsed, 4),
+    }
+
+
+def run(ops=300, recovery_lengths=(50, 150, 300)):
+    modes = {mode: _throughput(mode, ops)
+             for mode in ("off", "buffered", "fsync")}
+    baseline = modes["off"]["ops_per_second"]
+    for mode in ("buffered", "fsync"):
+        rate = modes[mode]["ops_per_second"]
+        modes[mode]["slowdown_vs_off"] = (
+            round(baseline / rate, 3) if rate else None)
+    recovery = [_recovery_time(n, checkpoint_halfway=False)
+                for n in recovery_lengths]
+    recovery.append(_recovery_time(max(recovery_lengths),
+                                   checkpoint_halfway=True))
+    return {
+        "ops": ops,
+        "throughput": modes,
+        "recovery": recovery,
+    }
+
+
+def check(results):
+    """Smoke assertions (generous bounds: shared CI runners are noisy)."""
+    modes = results["throughput"]
+    for mode in ("off", "buffered", "fsync"):
+        assert modes[mode]["ops_per_second"] > 0, "%s produced no ops" % mode
+    assert modes["buffered"]["wal_bytes"] > 0, "buffered mode never logged"
+    # The buffered WAL must not dominate the workload: its tax is one
+    # framed JSON write + flush per commit.
+    assert modes["buffered"]["slowdown_vs_off"] < 3.0, (
+        "buffered WAL slowdown %sx is out of bounds"
+        % modes["buffered"]["slowdown_vs_off"])
+    for point in results["recovery"]:
+        assert point["recovery_seconds"] < 60, "recovery took implausibly long"
+    with_snapshot = [p for p in results["recovery"] if p["snapshot"]]
+    without = [p for p in results["recovery"]
+               if not p["snapshot"] and p["ops"] == with_snapshot[0]["ops"]]
+    # A snapshot halfway through means strictly fewer records to replay.
+    assert (with_snapshot[0]["records_replayed"]
+            < without[0]["records_replayed"]), (
+        "checkpoint did not shorten replay")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ops", type=int, default=300)
+    parser.add_argument("--recovery-lengths", type=int, nargs="+",
+                        default=[50, 150, 300])
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the CI correctness assertions")
+    parser.add_argument("--output", default=str(RESULTS_PATH))
+    args = parser.parse_args(argv)
+
+    results = run(ops=args.ops, recovery_lengths=tuple(args.recovery_lengths))
+    out = pathlib.Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    print("WAL overhead over %d mutations:" % args.ops)
+    for mode in ("off", "buffered", "fsync"):
+        summary = results["throughput"][mode]
+        slow = summary.get("slowdown_vs_off")
+        print("  %-9s %10.1f ops/s%s" % (
+            mode, summary["ops_per_second"],
+            "  (%.2fx slower than off)" % slow if slow else ""))
+    print("recovery time vs WAL length:")
+    for point in results["recovery"]:
+        print("  %4d ops%s: %d records replayed in %.3fs (%d WAL bytes)" % (
+            point["ops"], " +snapshot" if point["snapshot"] else "",
+            point["records_replayed"], point["recovery_seconds"],
+            point["wal_bytes"]))
+    print("  results -> %s" % out)
+    if args.smoke:
+        check(results)
+        print("  smoke assertions passed")
+    return results
+
+
+def test_wal_overhead_smoke(report):
+    """Pytest entry point so ``pytest benchmarks/`` covers durability."""
+    results = run(ops=120, recovery_lengths=(40, 120))
+    check(results)
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    report("wal_overhead", json.dumps(
+        {"throughput": results["throughput"],
+         "recovery": results["recovery"]}, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -9,6 +9,9 @@ Commands:
 - ``lint``    — statically check SQL files (or stdin) without executing.
 - ``profile`` — EXPLAIN ANALYZE a statement (estimated vs actual rows per
   operator), or report q-error over a generated workload.
+- ``checkpoint`` — force a snapshot checkpoint on a data directory.
+- ``recover``    — rebuild a platform from a data directory and report (or
+  ``--verify`` round-trip) the recovered state.
 """
 
 import argparse
@@ -30,15 +33,43 @@ def _cmd_analyze(args):
     return 0
 
 
-def _cmd_serve(args):
-    from repro.server.rest import serve
+def _generate(scale):
     from repro.synth.driver import build_sqlshare_deployment
 
+    print("generating deployment at scale %.2f..." % scale)
+    platform, generator = build_sqlshare_deployment(scale=scale)
+    print("  %(uploads)d uploads, %(queries)d logged queries" % generator.stats)
+    return platform
+
+
+def _cmd_serve(args):
+    from repro.server.rest import serve
+
     platform = None
-    if args.scale > 0:
-        print("generating deployment at scale %.2f..." % args.scale)
-        platform, generator = build_sqlshare_deployment(scale=args.scale)
-        print("  %(uploads)d uploads, %(queries)d logged queries" % generator.stats)
+    if args.data_dir:
+        from repro.storage import StorageManager
+
+        manager = StorageManager(
+            args.data_dir, sync=args.wal_sync,
+            auto_checkpoint_records=args.checkpoint_every or None)
+        if manager.has_state():
+            print("recovering from %s..." % args.data_dir)
+            platform, report = manager.recover()
+            print("  snapshot %s + %d replayed record(s)"
+                  " (%d torn dropped) in %.3fs"
+                  % (report.to_dict()["snapshot"], report.records_replayed,
+                     report.torn_records_dropped, report.elapsed_seconds))
+        else:
+            platform = _generate(args.scale) if args.scale > 0 else None
+            if platform is not None:
+                manager.adopt(platform)
+                print("  checkpointed into %s" % args.data_dir)
+            else:
+                from repro.core.sqlshare import SQLShare
+
+                platform = manager.attach(SQLShare())
+    elif args.scale > 0:
+        platform = _generate(args.scale)
     server = serve(platform, host=args.host, port=args.port)
     print("SQLShare REST API listening on http://%s:%d "
           "(X-SQLShare-User header selects the identity)"
@@ -188,6 +219,63 @@ def _cmd_profile(args):
     return exit_code
 
 
+def _cmd_checkpoint(args):
+    import json
+
+    from repro.storage import StorageManager
+
+    manager = StorageManager(args.data_dir, sync=args.wal_sync)
+    if not manager.has_state():
+        print("error: %s holds no recoverable state" % args.data_dir,
+              file=sys.stderr)
+        return 2
+    manager.recover()
+    stats = manager.checkpoint()
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_recover(args):
+    import json
+
+    from repro.storage import StorageManager, state_digest
+
+    manager = StorageManager(args.data_dir, sync=args.wal_sync)
+    if not manager.has_state():
+        print("error: %s holds no recoverable state" % args.data_dir,
+              file=sys.stderr)
+        return 2
+    platform, report = manager.recover(strict=not args.lenient)
+    payload = {
+        "report": report.to_dict(),
+        "summary": platform.summary(),
+        "digest": state_digest(platform),
+    }
+    if args.verify:
+        # Round-trip: checkpoint the recovered platform into a scratch
+        # directory, recover *that*, and require digest equality — proof
+        # the recovered state serializes losslessly.
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as scratch:
+            probe = StorageManager(scratch)
+            probe.attach(platform)
+            probe.checkpoint()
+            manager.attach(platform)  # re-point the hooks at the real WAL
+            replica, _ = probe.recover()
+            payload["verify"] = {
+                "digest": state_digest(replica),
+                "ok": state_digest(replica) == payload["digest"],
+            }
+        if not payload["verify"]["ok"]:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            print("error: recovered state failed round-trip verification",
+                  file=sys.stderr)
+            return 1
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -206,6 +294,17 @@ def build_parser():
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--scale", type=float, default=0.0,
                        help="pre-populate with a generated deployment (0 = empty)")
+    serve.add_argument("--data-dir", default=None,
+                       help="durable data directory: recover from it on start, "
+                            "write-ahead log every mutation into it")
+    serve.add_argument("--wal-sync", choices=["buffered", "fsync"],
+                       default="buffered",
+                       help="WAL durability: 'buffered' survives a killed "
+                            "process, 'fsync' survives power loss (default "
+                            "buffered)")
+    serve.add_argument("--checkpoint-every", type=int, default=0,
+                       help="auto-checkpoint after this many WAL records "
+                            "(0 = only on POST /api/v1/checkpoint)")
 
     export = commands.add_parser("export", help="write a corpus release")
     export.add_argument("--out", required=True, help="output directory")
@@ -237,6 +336,27 @@ def build_parser():
     profile.add_argument("--limit", type=int, default=200,
                          help="max replayed queries for --workload (default 200)")
 
+    checkpoint = commands.add_parser(
+        "checkpoint",
+        help="recover a data directory, then snapshot it and truncate the WAL")
+    checkpoint.add_argument("--data-dir", required=True)
+    checkpoint.add_argument("--wal-sync", choices=["buffered", "fsync"],
+                            default="buffered")
+
+    recover = commands.add_parser(
+        "recover",
+        help="rebuild a platform from a data directory and report what "
+             "recovery did")
+    recover.add_argument("--data-dir", required=True)
+    recover.add_argument("--wal-sync", choices=["buffered", "fsync"],
+                         default="buffered")
+    recover.add_argument("--verify", action="store_true",
+                         help="also round-trip the recovered state through a "
+                              "scratch checkpoint and require digest equality")
+    recover.add_argument("--lenient", action="store_true",
+                         help="collect replay errors instead of failing on the "
+                              "first one")
+
     return parser
 
 
@@ -250,6 +370,8 @@ def main(argv=None):
         "export": _cmd_export,
         "lint": _cmd_lint,
         "profile": _cmd_profile,
+        "checkpoint": _cmd_checkpoint,
+        "recover": _cmd_recover,
     }[args.command]
     return handler(args)
 

@@ -91,6 +91,8 @@ class MacroManager(object):
             raise DatasetError("a macro named %r already exists" % name)
         macro = Macro(name, owner, template, description)
         self._macros[key] = macro
+        self.platform._durable("macro_define", owner=owner, name=name,
+                               template=template, description=description)
         return macro
 
     def get(self, name):
@@ -104,6 +106,15 @@ class MacroManager(object):
         if macro.owner != owner:
             raise PermissionError_("only the owner may publish macro %r" % name)
         macro.public = True
+        self.platform._durable("macro_public", owner=owner, name=name)
+
+    def all_macros(self):
+        """Every macro, name-ordered (snapshot serialization)."""
+        return [self._macros[key] for key in sorted(self._macros)]
+
+    def adopt(self, macro):
+        """Install an already-built macro during state restore."""
+        self._macros[macro.name.lower()] = macro
 
     def visible_to(self, user):
         return sorted(

@@ -46,6 +46,23 @@ class PermissionManager(object):
         self._public.discard(name.lower())
         self._grants.pop(name.lower(), None)
 
+    # -- durability ------------------------------------------------------------
+
+    def dump_state(self):
+        return {
+            "public": sorted(self._public),
+            "grants": {
+                name: sorted(users)
+                for name, users in self._grants.items() if users
+            },
+        }
+
+    def restore_state(self, state):
+        self._public = set(state["public"])
+        self._grants = {
+            name: set(users) for name, users in state["grants"].items()
+        }
+
     # -- inspection -----------------------------------------------------------
 
     def is_public(self, name):

@@ -8,7 +8,6 @@ the analysis later attaches a JSON plan to each entry.
 """
 
 import datetime as _dt
-import itertools
 import threading
 
 
@@ -75,6 +74,63 @@ class QueryLogEntry(object):
     def succeeded(self):
         return self.error is None
 
+    def to_record(self):
+        """JSON-safe dict capturing the entry verbatim (durability format).
+
+        Timestamps become ISO strings; the tuple-of-pairs ``columns`` field
+        becomes a list of 2-lists.  ``plan_json`` rides along when the
+        workload framework has attached one.
+        """
+        return {
+            "query_id": self.query_id,
+            "owner": self.owner,
+            "sql": self.sql,
+            "timestamp": (self.timestamp.isoformat()
+                          if self.timestamp is not None else None),
+            "datasets": list(self.datasets),
+            "tables": list(self.tables),
+            "columns": [list(pair) for pair in self.columns],
+            "views": list(self.views),
+            "runtime": self.runtime,
+            "row_count": self.row_count,
+            "error": self.error,
+            "plan_json": self.plan_json,
+            "source": self.source,
+            "outcome": self.outcome,
+            "queue_seconds": self.queue_seconds,
+            "exec_seconds": self.exec_seconds,
+            "cache_hit": self.cache_hit,
+            "error_class": self.error_class,
+        }
+
+    @classmethod
+    def from_record(cls, record):
+        """Rebuild an entry exactly as recorded — recovery never re-executes
+        logged queries, so nondeterministic fields (``exec_seconds``,
+        ``cache_hit``) survive byte-for-byte."""
+        entry = cls(
+            record["query_id"],
+            record["owner"],
+            record["sql"],
+            (_dt.datetime.fromisoformat(record["timestamp"])
+             if record["timestamp"] else None),
+            datasets=record["datasets"],
+            tables=record["tables"],
+            columns=[tuple(pair) for pair in record["columns"]],
+            views=record["views"],
+            runtime=record["runtime"],
+            row_count=record["row_count"],
+            error=record["error"],
+            source=record["source"],
+            outcome=record["outcome"],
+            queue_seconds=record["queue_seconds"],
+            exec_seconds=record["exec_seconds"],
+            cache_hit=record["cache_hit"],
+            error_class=record["error_class"],
+        )
+        entry.plan_json = record.get("plan_json")
+        return entry
+
     @property
     def length(self):
         """ASCII character length — the paper's simplest complexity proxy."""
@@ -89,10 +145,13 @@ class QueryLog(object):
 
     def __init__(self):
         self.entries = []
-        self._ids = itertools.count(1)
+        self._next_id = 1
         # Concurrent workers all append here; the lock keeps id assignment
         # and the entries list consistent.
         self._lock = threading.Lock()
+        #: Durability hook: called with each newly recorded entry, *outside*
+        #: the log lock (the storage manager may checkpoint from inside it).
+        self.listener = None
 
     def record(self, owner, sql, timestamp=None, **kwargs):
         with self._lock:
@@ -100,9 +159,58 @@ class QueryLog(object):
                 timestamp = _dt.datetime(2011, 1, 1) + _dt.timedelta(
                     seconds=len(self.entries)
                 )
-            entry = QueryLogEntry(next(self._ids), owner, sql, timestamp, **kwargs)
+            entry = QueryLogEntry(self._next_id, owner, sql, timestamp, **kwargs)
+            self._next_id += 1
             self.entries.append(entry)
-            return entry
+        listener = self.listener
+        if listener is not None:
+            listener(entry)
+        return entry
+
+    # -- durability ------------------------------------------------------------
+
+    def max_id(self):
+        with self._lock:
+            return self._next_id - 1
+
+    def dump_state(self):
+        """Serialize every entry (call under the platform's state lock)."""
+        with self._lock:
+            return {
+                "next_id": self._next_id,
+                "entries": [entry.to_record() for entry in self.entries],
+            }
+
+    def restore_state(self, state):
+        with self._lock:
+            self.entries = [
+                QueryLogEntry.from_record(record) for record in state["entries"]
+            ]
+            self._next_id = state["next_id"]
+
+    def restore_entry(self, record):
+        """Re-admit one WAL-logged entry during recovery (no listener —
+        the record is already durable)."""
+        entry = QueryLogEntry.from_record(record)
+        with self._lock:
+            self.entries.append(entry)
+            self._next_id = max(self._next_id, entry.query_id + 1)
+        return entry
+
+    def finalize_restore(self):
+        """Seal a restore: recompute ``_next_id`` past every admitted entry.
+
+        Entry *order* is left exactly as restored — the snapshot preserves
+        the live list order (which need not be id order: workload drivers
+        re-sort by timestamp) and replayed WAL tail records append in
+        commit order, which is the order a live log would have given them.
+        """
+        with self._lock:
+            if self.entries:
+                self._next_id = max(
+                    self._next_id,
+                    max(entry.query_id for entry in self.entries) + 1,
+                )
 
     def __len__(self):
         return len(self.entries)

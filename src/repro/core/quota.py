@@ -14,9 +14,16 @@ class QuotaManager(object):
         self.default_quota = default_quota
         self._limits = {}
         self._usage = {}
+        #: Durability hook: called as ``listener(user, quota_bytes)`` after
+        #: each admin limit change (usage itself is derived from the
+        #: replayed upload/append operations, so it is never logged).
+        self.listener = None
 
     def set_limit(self, user, quota_bytes):
         self._limits[user] = quota_bytes
+        listener = self.listener
+        if listener is not None:
+            listener(user, quota_bytes)
 
     def limit(self, user):
         return self._limits.get(user, self.default_quota)
@@ -36,3 +43,17 @@ class QuotaManager(object):
 
     def refund(self, user, byte_count):
         self._usage[user] = max(0, self.usage(user) - byte_count)
+
+    # -- durability ------------------------------------------------------------
+
+    def dump_state(self):
+        return {
+            "default_quota": self.default_quota,
+            "limits": dict(self._limits),
+            "usage": dict(self._usage),
+        }
+
+    def restore_state(self, state):
+        self.default_quota = state["default_quota"]
+        self._limits = dict(state["limits"])
+        self._usage = dict(state["usage"])

@@ -8,7 +8,6 @@ quotas and the query log.
 """
 
 import datetime as _dt
-import itertools
 import re
 import threading
 import time
@@ -62,8 +61,13 @@ class SQLShare(object):
         self.datasets = {}  # lower-case name -> Dataset
         self.permissions = PermissionManager(self.dataset)
         self.views = ViewGraph(self.dataset, lambda: list(self.datasets.values()))
-        self._table_ids = itertools.count(1)
+        # Plain int (not itertools.count) so snapshots can serialize it and
+        # recovery can resume base-table numbering deterministically.
+        self._table_seq = 0
         self._clock = start_time or _dt.datetime(2011, 6, 1, 9, 0, 0)
+        #: Durable StorageManager, attached by repro.storage (None = the
+        #: platform is ephemeral; every mutator logs through ``_durable``).
+        self.storage = None
         #: Versioned result cache, attached by a QueryRuntime (or directly).
         #: When present, ``run_query`` consults it and every mutating
         #: operation eagerly invalidates the changed dataset's dependents.
@@ -86,6 +90,21 @@ class SQLShare(object):
         from repro.core.macros import MacroManager
 
         self.macros = MacroManager(self)
+
+    # -- durability ------------------------------------------------------------
+
+    def _durable(self, op, **data):
+        """Log one committed mutation to the attached WAL (no-op when the
+        platform is ephemeral or the record is itself being replayed).
+        Called with the mutation's state lock still held, so WAL order
+        matches commit order."""
+        storage = self.storage
+        if storage is not None:
+            storage.log_operation(op, data)
+
+    def _next_table_id(self):
+        self._table_seq += 1
+        return self._table_seq
 
     # -- time -----------------------------------------------------------------
 
@@ -163,7 +182,7 @@ class SQLShare(object):
             staging_id = self.staging.stage(name, text, owner)
             self.staging.record_attempt(staging_id)
             self.quotas.charge(owner, len(text))
-            base_table = "t_%05d_%s" % (next(self._table_ids), _safe(name))
+            base_table = "t_%05d_%s" % (self._next_table_id(), _safe(name))
             try:
                 report = self.ingestor.ingest_text(base_table, text)
             except Exception:
@@ -181,6 +200,10 @@ class SQLShare(object):
             self.ingest_reports[name.lower()] = report
             self._invalidate_cache(name, dataset)
             self._refresh_preview(dataset)
+            self._durable("upload", owner=owner, name=name, text=text,
+                          description=description,
+                          tags=sorted(tags) if tags else [],
+                          timestamp=moment)
             return dataset
 
     def _validate_name(self, name):
@@ -212,6 +235,10 @@ class SQLShare(object):
             self.datasets[name.lower()] = dataset
             self._invalidate_cache(name, dataset)
             self._refresh_preview(dataset)
+            self._durable("create_dataset", owner=owner, name=name, sql=sql,
+                          description=description,
+                          tags=sorted(tags) if tags else [],
+                          timestamp=moment)
             return dataset
 
     def append(self, owner, name, text, timestamp=None):
@@ -224,8 +251,8 @@ class SQLShare(object):
             dataset = self.dataset(name)
             if dataset.owner != owner:
                 raise PermissionError_("only the owner may append to %r" % name)
-            self._now(timestamp)
-            base_table = "t_%05d_%s" % (next(self._table_ids), _safe(name + "_batch"))
+            moment = self._now(timestamp)
+            base_table = "t_%05d_%s" % (self._next_table_id(), _safe(name + "_batch"))
             self.quotas.charge(owner, len(text))
             try:
                 self.ingestor.ingest_text(base_table, text)
@@ -243,6 +270,8 @@ class SQLShare(object):
             dataset.sql = new_sql
             self._invalidate_cache(name, dataset)
             self._refresh_preview(dataset)
+            self._durable("append", owner=owner, name=name, text=text,
+                          timestamp=moment)
             return dataset
 
     def _check_append_compatible(self, dataset, base_table):
@@ -273,7 +302,7 @@ class SQLShare(object):
             moment = self._now(timestamp)
             result = self.db.execute("SELECT * FROM %s" % quote_ident(source_name))
             schema = self.db.query_schema("SELECT * FROM %s" % quote_ident(source_name))
-            base_table = "t_%05d_%s" % (next(self._table_ids), _safe(name))
+            base_table = "t_%05d_%s" % (self._next_table_id(), _safe(name))
             columns = [Column(col_name, col_type) for col_name, col_type in schema]
             self.db.create_table_from_rows(base_table, columns, result.rows)
             wrapper_sql = "SELECT * FROM %s" % base_table
@@ -285,6 +314,8 @@ class SQLShare(object):
             self.datasets[name.lower()] = dataset
             self._invalidate_cache(name, dataset)
             self._refresh_preview(dataset)
+            self._durable("materialize", owner=owner, name=name,
+                          source=source_name, timestamp=moment)
             return dataset
 
     def delete_dataset(self, owner, name):
@@ -303,6 +334,7 @@ class SQLShare(object):
                 self.db.catalog.drop_table(dataset.base_table, if_exists=True)
             self.permissions.forget(name)
             del self.datasets[name.lower()]
+            self._durable("delete_dataset", owner=owner, name=name)
 
     # -- querying ------------------------------------------------------------------
 
@@ -431,20 +463,28 @@ class SQLShare(object):
     # -- sharing ----------------------------------------------------------------------
 
     def make_public(self, owner, name):
-        self._require_owner(owner, name)
-        self.permissions.make_public(name)
+        with self._state_lock:
+            self._require_owner(owner, name)
+            self.permissions.make_public(name)
+            self._durable("make_public", owner=owner, name=name)
 
     def make_private(self, owner, name):
-        self._require_owner(owner, name)
-        self.permissions.make_private(name)
+        with self._state_lock:
+            self._require_owner(owner, name)
+            self.permissions.make_private(name)
+            self._durable("make_private", owner=owner, name=name)
 
     def share(self, owner, name, user):
-        self._require_owner(owner, name)
-        self.permissions.share(name, user)
+        with self._state_lock:
+            self._require_owner(owner, name)
+            self.permissions.share(name, user)
+            self._durable("share", owner=owner, name=name, user=user)
 
     def unshare(self, owner, name, user):
-        self._require_owner(owner, name)
-        self.permissions.unshare(name, user)
+        with self._state_lock:
+            self._require_owner(owner, name)
+            self.permissions.unshare(name, user)
+            self._durable("unshare", owner=owner, name=name, user=user)
 
     def visibility(self, name):
         self.dataset(name)
@@ -460,12 +500,17 @@ class SQLShare(object):
     # -- metadata ------------------------------------------------------------------------
 
     def set_description(self, owner, name, description):
-        self._require_owner(owner, name)
-        self.dataset(name).metadata.description = description
+        with self._state_lock:
+            self._require_owner(owner, name)
+            self.dataset(name).metadata.description = description
+            self._durable("set_description", owner=owner, name=name,
+                          description=description)
 
     def add_tags(self, owner, name, tags):
-        self._require_owner(owner, name)
-        self.dataset(name).metadata.tags.update(tags)
+        with self._state_lock:
+            self._require_owner(owner, name)
+            self.dataset(name).metadata.tags.update(tags)
+            self._durable("add_tags", owner=owner, name=name, tags=sorted(tags))
 
     def find_by_tag(self, tag):
         return [
@@ -475,11 +520,13 @@ class SQLShare(object):
 
     def mint_doi(self, owner, name):
         """Assign a DOI-like identifier (the data-publishing use case, §5.2)."""
-        self._require_owner(owner, name)
-        dataset = self.dataset(name)
-        if dataset.doi is None:
-            dataset.doi = "10.5072/sqlshare.%s" % _safe(name).lower()
-        return dataset.doi
+        with self._state_lock:
+            self._require_owner(owner, name)
+            dataset = self.dataset(name)
+            if dataset.doi is None:
+                dataset.doi = "10.5072/sqlshare.%s" % _safe(name).lower()
+                self._durable("mint_doi", owner=owner, name=name)
+            return dataset.doi
 
     # -- statistics used throughout Sections 5/6 -----------------------------------------
 

@@ -254,6 +254,33 @@ class Catalog(object):
                 for name in names
             ))
 
+    def all_versions(self):
+        """Snapshot of the whole version map (durability serialization)."""
+        with self._lock:
+            return dict(self._versions)
+
+    def restore_versions(self, mapping):
+        """Merge a persisted version map, keeping whichever is higher —
+        adoption during restore already bumped once per object, and a
+        version must never move backwards."""
+        with self._lock:
+            for key, version in mapping.items():
+                if version > self._versions.get(key, 0):
+                    self._versions[key] = version
+
+    def bump_all_versions(self):
+        """Advance *every* known version by one (the recovery epoch bump).
+
+        Any version vector stamped before the bump — e.g. by a result
+        cache that survived the crash in some form — can no longer match,
+        so recovered deployments are structurally unable to serve
+        pre-crash cached results.  Returns the number of versions bumped.
+        """
+        with self._lock:
+            for key in self._versions:
+                self._versions[key] += 1
+            return len(self._versions)
+
     # -- tables ---------------------------------------------------------------
 
     def create_table(self, name, columns):
@@ -290,6 +317,18 @@ class Catalog(object):
     def tables(self):
         with self._lock:
             return list(self._tables.values())
+
+    def adopt_table(self, table):
+        """Install an already-built Table during state restore.
+
+        Unlike :meth:`create_table` this neither re-checks existence (the
+        restoring catalog is empty by construction) nor leaves the version
+        at the insert default — the caller restores the persisted version
+        map afterwards."""
+        with self._lock:
+            self._tables[table.name.lower()] = table
+            self.bump_version(table.name)
+            return table
 
     # -- views ----------------------------------------------------------------
 
@@ -329,6 +368,14 @@ class Catalog(object):
     def views(self):
         with self._lock:
             return list(self._views.values())
+
+    def adopt_view(self, view):
+        """Install an already-built View during state restore (see
+        :meth:`adopt_table`)."""
+        with self._lock:
+            self._views[view.name.lower()] = view
+            self.bump_version(view.name)
+            return view
 
     # -- generic --------------------------------------------------------------
 

@@ -89,6 +89,16 @@ class Database(object):
         #: reads per statement.
         self.metrics = None
         self._phase_histograms = None
+        #: Durability hook: called as ``listener(sql, kind)`` after a DDL or
+        #: DML statement submitted through :meth:`execute` commits.  The
+        #: platform's own mutators never route DDL through ``execute`` (they
+        #: use the python-level catalog APIs), so everything arriving here
+        #: is a direct engine-level commit that the WAL must replay as SQL.
+        self.mutation_listener = None
+        #: Lock held across a DDL/DML statement's mutation + listener call
+        #: (the storage manager points this at the platform's state lock so
+        #: a checkpoint's serialization pass is a consistent cut).
+        self.commit_lock = None
 
     def _phase_histogram(self, phase):
         """The ``repro_engine_<phase>_seconds`` histogram (cached)."""
@@ -297,6 +307,20 @@ class Database(object):
     # -- DDL / DML ----------------------------------------------------------------
 
     def _execute_statement(self, statement, sql):
+        lock = self.commit_lock
+        if lock is not None:
+            with lock:
+                return self._execute_statement_locked(statement, sql)
+        return self._execute_statement_locked(statement, sql)
+
+    def _execute_statement_locked(self, statement, sql):
+        result = self._apply_statement(statement, sql)
+        listener = self.mutation_listener
+        if listener is not None:
+            listener(sql, type(statement).__name__)
+        return result
+
+    def _apply_statement(self, statement, sql):
         if isinstance(statement, ast.CreateTable):
             columns = [
                 Column(definition.name, resolve_type_name(definition.type_name))

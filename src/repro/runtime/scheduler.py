@@ -490,4 +490,6 @@ class QueryRuntime(object):
                     "p99": summary["p99"],
                 }
             payload["latency"] = latency
+        storage = getattr(self.platform, "storage", None)
+        payload["storage"] = storage.stats() if storage is not None else None
         return payload

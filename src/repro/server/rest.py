@@ -304,6 +304,16 @@ class SQLShareApp(object):
     def runtime_stats(self, user, body):
         return 200, self.runtime.stats()
 
+    # -- durability endpoints ---------------------------------------------------------------
+
+    @route("POST", "/api/v1/checkpoint")
+    def checkpoint(self, user, body):
+        """Force a snapshot checkpoint (truncates the WAL on success)."""
+        storage = getattr(self.platform, "storage", None)
+        if storage is None:
+            raise _HTTPError(409, "server is running without a data directory")
+        return 200, {"checkpoint": storage.checkpoint()}
+
     # -- observability endpoints ----------------------------------------------------------
 
     @route("GET", "/api/v1/metrics", auth=False)

@@ -1,0 +1,66 @@
+"""Durable storage: write-ahead log, snapshot checkpoints, crash recovery.
+
+See DESIGN.md's "Durability" section for the record format, the checkpoint
+protocol and the recovery invariants.  The short version:
+
+- every committed mutation is framed into ``wal.log`` before the caller is
+  acknowledged (:mod:`repro.storage.wal`);
+- a checkpoint serializes the whole platform into a ``snapshot-*.snap``
+  file and compacts the WAL (:mod:`repro.storage.snapshot`,
+  :mod:`repro.storage.serialize`);
+- recovery = newest valid snapshot + WAL-tail replay, tolerant of torn
+  tails and truncated snapshots, followed by a catalog version epoch bump
+  so pre-crash cache entries can never validate
+  (:mod:`repro.storage.manager`).
+"""
+
+from repro.storage.faults import (
+    FaultyFile,
+    FaultyOpener,
+    InjectedCrash,
+    corrupt_tail,
+    flip_byte,
+)
+from repro.storage.manager import (
+    RecoveryError,
+    RecoveryReport,
+    StorageManager,
+    open_storage,
+)
+from repro.storage.serialize import (
+    FORMAT_VERSION,
+    platform_to_state,
+    restore_platform_state,
+    state_digest,
+)
+from repro.storage.snapshot import SnapshotError, SnapshotStore
+from repro.storage.wal import (
+    ReplaySummary,
+    SYNC_MODES,
+    WalCorruptionError,
+    WriteAheadLog,
+    replay,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "FaultyFile",
+    "FaultyOpener",
+    "InjectedCrash",
+    "RecoveryError",
+    "RecoveryReport",
+    "ReplaySummary",
+    "SYNC_MODES",
+    "SnapshotError",
+    "SnapshotStore",
+    "StorageManager",
+    "WalCorruptionError",
+    "WriteAheadLog",
+    "corrupt_tail",
+    "flip_byte",
+    "open_storage",
+    "platform_to_state",
+    "replay",
+    "restore_platform_state",
+    "state_digest",
+]

@@ -1,0 +1,117 @@
+"""Fault injection for the durability tests.
+
+:class:`FaultyFile` wraps a real file object and kills the process-visible
+write stream after a byte budget: the first ``write`` that would exceed the
+budget writes only the bytes that fit, then raises :class:`InjectedCrash`.
+That reproduces exactly what ``kill -9`` mid-``write`` leaves on disk — a
+torn tail — without needing a subprocess.  :class:`FaultyOpener` is the
+matching ``open`` substitute the WAL and snapshot store accept.
+
+``corrupt_tail``/``flip_byte`` model media-level damage (a snapshot whose
+tail was lost after rename, a flipped bit) for the fallback paths.
+"""
+
+import os
+
+
+class InjectedCrash(Exception):
+    """The injected fault fired; everything after this write is lost."""
+
+
+class FaultyFile(object):
+    """File wrapper that dies after ``fail_after_bytes`` written bytes.
+
+    ``fail_on_fsync=True`` instead lets every write through and raises at
+    the first fsync — the crash-after-write-before-durable window.
+    """
+
+    def __init__(self, handle, fail_after_bytes=None, fail_on_fsync=False):
+        self._handle = handle
+        self.remaining = fail_after_bytes
+        self.fail_on_fsync = fail_on_fsync
+        self.crashed = False
+
+    def write(self, data):
+        if self.crashed:
+            raise InjectedCrash("write after injected crash")
+        if self.remaining is not None and len(data) > self.remaining:
+            torn = data[:self.remaining]
+            if torn:
+                self._handle.write(torn)
+            self._handle.flush()
+            self.remaining = 0
+            self.crashed = True
+            raise InjectedCrash(
+                "injected crash after %d torn byte(s)" % len(torn))
+        if self.remaining is not None:
+            self.remaining -= len(data)
+        return self._handle.write(data)
+
+    def flush(self):
+        return self._handle.flush()
+
+    def fileno(self):
+        if self.fail_on_fsync:
+            # os.fsync goes through fileno(); failing here models the
+            # crash in the write-acknowledged-but-not-durable window.
+            self.crashed = True
+            raise InjectedCrash("injected crash at fsync")
+        return self._handle.fileno()
+
+    def close(self):
+        return self._handle.close()
+
+    def tell(self):
+        return self._handle.tell()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+
+class FaultyOpener(object):
+    """Drop-in ``open`` that wraps the Nth opened file in a FaultyFile.
+
+    ``fail_after_bytes`` budgets that file's writes; earlier and later
+    opens pass through untouched, so a test can, say, let the WAL work and
+    kill only the snapshot's temp file.
+    """
+
+    def __init__(self, fail_after_bytes, nth_open=1, fail_on_fsync=False):
+        self.fail_after_bytes = fail_after_bytes
+        self.nth_open = nth_open
+        self.fail_on_fsync = fail_on_fsync
+        self.opens = 0
+        self.armed = True
+
+    def __call__(self, path, mode="r", **kwargs):
+        handle = open(path, mode, **kwargs)
+        if not self.armed or "r" in mode:
+            return handle
+        self.opens += 1
+        if self.opens != self.nth_open:
+            return handle
+        return FaultyFile(handle, fail_after_bytes=self.fail_after_bytes,
+                          fail_on_fsync=self.fail_on_fsync)
+
+
+def corrupt_tail(path, byte_count):
+    """Drop the last ``byte_count`` bytes of a file (post-rename media loss)."""
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(max(0, size - byte_count))
+
+
+def flip_byte(path, offset):
+    """XOR one byte at ``offset`` (negative offsets count from the end)."""
+    with open(path, "r+b") as handle:
+        handle.seek(0, os.SEEK_END)
+        size = handle.tell()
+        position = offset if offset >= 0 else size + offset
+        handle.seek(position)
+        value = handle.read(1)
+        handle.seek(position)
+        handle.write(bytes([value[0] ^ 0xFF]))

@@ -1,0 +1,430 @@
+"""The durability subsystem's front door: logging, checkpoint, recovery.
+
+A :class:`StorageManager` owns one data directory::
+
+    data_dir/
+        wal.log             append-only CRC-framed operation log
+        snapshot-000001.snap  full-state checkpoints (newest wins)
+
+**Logging.**  The platform's mutators call :meth:`log_operation` with a
+logical redo record (operation name + the inputs needed to re-run it);
+the query log and quota manager feed records through listeners this
+manager installs at :meth:`attach` time; direct engine DDL/DML through
+``Database.execute`` arrives via the engine's mutation listener.  An
+operation is acknowledged to the caller only after its WAL record is
+written (and, in ``fsync`` mode, durable), so a crash at any instant
+loses only never-acknowledged work.
+
+**Checkpoint.**  :meth:`checkpoint` captures the WAL position, serializes
+the whole platform under the state lock (which every mutator and —
+via ``Database.commit_lock`` — every direct engine mutation holds), writes
+a framed snapshot atomically, then truncates the WAL keeping any records
+past the captured position.  Query-log records raced past the capture
+point may land in both the snapshot and the surviving WAL tail; replay
+dedupes them by ``query_id``.
+
+**Recovery.**  :meth:`recover` loads the newest snapshot that validates
+(falling back across truncated/corrupt ones), replays the WAL tail —
+skipping records the snapshot already covers and dropping a torn tail
+with a warning — then *regenerates* every catalog version with an epoch
+bump so no version vector stamped before the crash can ever validate
+again: a result cache surviving in-process, or restored by any future
+cache persistence, is structurally unable to serve pre-crash rows.
+"""
+
+import os
+import time
+
+from repro.storage import wal as walmod
+from repro.storage.serialize import (
+    platform_to_state,
+    restore_platform_state,
+    state_digest,
+)
+from repro.storage.snapshot import SnapshotStore
+from repro.storage.wal import ReplaySummary, WriteAheadLog
+
+WAL_FILENAME = "wal.log"
+
+
+class RecoveryError(Exception):
+    """A WAL record failed to replay under strict recovery."""
+
+
+class RecoveryReport(object):
+    """What one recovery pass did — surfaced in ``/api/v1/runtime/stats``."""
+
+    def __init__(self):
+        self.snapshot_path = None
+        self.snapshot_lsn = 0
+        self.snapshots_skipped = []
+        self.records_replayed = 0
+        self.records_skipped = 0
+        self.records_beyond_limit = 0
+        self.log_records_deduped = 0
+        self.torn_records_dropped = 0
+        self.torn_bytes_dropped = 0
+        self.version_epoch_bumps = 0
+        self.replay_errors = []
+        self.elapsed_seconds = 0.0
+        self.recovered_lsn = 0
+
+    def to_dict(self):
+        return {
+            "snapshot": (os.path.basename(self.snapshot_path)
+                         if self.snapshot_path else None),
+            "snapshot_lsn": self.snapshot_lsn,
+            "snapshots_skipped": [os.path.basename(p)
+                                  for p in self.snapshots_skipped],
+            "records_replayed": self.records_replayed,
+            "records_skipped": self.records_skipped,
+            "records_beyond_limit": self.records_beyond_limit,
+            "log_records_deduped": self.log_records_deduped,
+            "torn_records_dropped": self.torn_records_dropped,
+            "torn_bytes_dropped": self.torn_bytes_dropped,
+            "version_epoch_bumps": self.version_epoch_bumps,
+            "replay_errors": list(self.replay_errors),
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "recovered_lsn": self.recovered_lsn,
+        }
+
+
+class StorageManager(object):
+    """Durability for one platform instance over one data directory."""
+
+    def __init__(self, data_dir, sync="buffered", keep_snapshots=2,
+                 auto_checkpoint_records=None, opener=open):
+        self.data_dir = str(data_dir)
+        os.makedirs(self.data_dir, exist_ok=True)
+        self.wal = WriteAheadLog(
+            os.path.join(self.data_dir, WAL_FILENAME), sync=sync, opener=opener)
+        self.snapshots = SnapshotStore(self.data_dir, keep=keep_snapshots,
+                                       opener=opener)
+        #: Checkpoint automatically once this many records accumulate
+        #: (None disables; checkpoints are then explicit only).
+        self.auto_checkpoint_records = auto_checkpoint_records
+        self.platform = None
+        self.replaying = False
+        self.records_since_checkpoint = 0
+        self.checkpoints_taken = 0
+        self.last_checkpoint = None
+        self.last_recovery = None
+        self._in_checkpoint = False
+        self._append_hist = None
+        self._checkpoint_hist = None
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach(self, platform):
+        """Install the durability hooks on a live platform."""
+        self.platform = platform
+        platform.storage = self
+        platform.log.listener = self._on_log_record
+        platform.quotas.listener = self._on_quota_limit
+        platform.db.mutation_listener = self._on_engine_mutation
+        # Direct engine DDL/DML commits under the platform's state lock, so
+        # a checkpoint's serialization pass is a consistent cut.
+        platform.db.commit_lock = platform._state_lock
+        self._install_metrics(platform.metrics)
+        return platform
+
+    def adopt(self, platform):
+        """Attach to a platform whose history predates this manager (e.g. a
+        generated deployment) and immediately checkpoint, so the adopted
+        state is durable even though no WAL records describe it."""
+        self.attach(platform)
+        self.checkpoint()
+        return platform
+
+    def _install_metrics(self, registry):
+        if registry is None:
+            return
+        self._append_hist = registry.histogram(
+            "repro_wal_append_seconds",
+            "Seconds per WAL append (includes flush/fsync).")
+        self._checkpoint_hist = registry.histogram(
+            "repro_checkpoint_seconds",
+            "Seconds per snapshot checkpoint.")
+        registry.counter_callback(
+            "repro_wal_appends_total",
+            "Records appended to the write-ahead log.",
+            lambda: self.wal.appends)
+        registry.counter_callback(
+            "repro_wal_bytes_total",
+            "Bytes written to the write-ahead log.",
+            lambda: self.wal.bytes_written)
+        registry.gauge_callback(
+            "repro_wal_size_bytes",
+            "Current on-disk size of the write-ahead log.",
+            self.wal.size_bytes)
+        registry.gauge_callback(
+            "repro_wal_records_since_checkpoint",
+            "WAL records accumulated since the last checkpoint.",
+            lambda: self.records_since_checkpoint)
+        registry.counter_callback(
+            "repro_checkpoints_total",
+            "Snapshot checkpoints taken.",
+            lambda: self.checkpoints_taken)
+        registry.gauge_callback(
+            "repro_checkpoint_bytes",
+            "Size of the most recent snapshot.",
+            lambda: (self.last_checkpoint or {}).get("bytes", 0))
+        registry.gauge_callback(
+            "repro_recovery_seconds",
+            "Duration of the most recent recovery (0 when never recovered).",
+            lambda: (self.last_recovery.elapsed_seconds
+                     if self.last_recovery else 0.0))
+        registry.counter_callback(
+            "repro_wal_torn_records_total",
+            "Torn WAL tail records dropped during recovery.",
+            lambda: (self.last_recovery.torn_records_dropped
+                     if self.last_recovery else 0))
+
+    # -- logging ---------------------------------------------------------------
+
+    def log_operation(self, op, data):
+        """Append one logical redo record; returns its LSN (None while
+        replaying — replayed operations must not re-log themselves)."""
+        if self.replaying:
+            return None
+        started = time.perf_counter()
+        lsn = self.wal.append({"op": op, "data": data})
+        if self._append_hist is not None:
+            self._append_hist.observe(time.perf_counter() - started)
+        self.records_since_checkpoint += 1
+        if (self.auto_checkpoint_records
+                and self.records_since_checkpoint >= self.auto_checkpoint_records
+                and not self._in_checkpoint):
+            self.checkpoint()
+        return lsn
+
+    def _on_log_record(self, entry):
+        self.log_operation("log", entry.to_record())
+
+    def _on_quota_limit(self, user, limit):
+        self.log_operation("quota_limit", {"user": user, "limit": limit})
+
+    def _on_engine_mutation(self, sql, statement_kind):
+        # Platform mutators never route DDL/DML through Database.execute
+        # (they use the python-level catalog APIs), so anything arriving
+        # here is a direct engine-level commit: log it as replayable SQL.
+        self.log_operation("engine_sql", {"sql": sql, "kind": statement_kind})
+
+    # -- checkpoint ------------------------------------------------------------
+
+    def checkpoint(self):
+        """Serialize the platform, write a snapshot, truncate the WAL.
+
+        Returns a stats dict.  Safe to call from any thread; mutators are
+        excluded for the duration via the platform's state lock.
+        """
+        platform = self.platform
+        if platform is None:
+            raise RuntimeError("no platform attached")
+        started = time.perf_counter()
+        self._in_checkpoint = True
+        try:
+            with platform._state_lock:
+                # Capture the WAL position BEFORE serializing: any record
+                # appended during serialization has a higher LSN, survives
+                # the truncation below, and is replayed on top of the
+                # snapshot at recovery (idempotently / deduped).
+                last_lsn = self.wal.last_lsn
+                state = platform_to_state(platform)
+                state["last_lsn"] = last_lsn
+                path, nbytes = self.snapshots.write(state)
+                self.wal.truncate(keep_after_lsn=last_lsn)
+        finally:
+            self._in_checkpoint = False
+        elapsed = time.perf_counter() - started
+        if self._checkpoint_hist is not None:
+            self._checkpoint_hist.observe(elapsed)
+        self.records_since_checkpoint = 0
+        self.checkpoints_taken += 1
+        stats = {
+            "snapshot": os.path.basename(path),
+            "bytes": nbytes,
+            "last_lsn": last_lsn,
+            "seconds": round(elapsed, 6),
+        }
+        self.last_checkpoint = stats
+        return stats
+
+    # -- recovery --------------------------------------------------------------
+
+    def has_state(self):
+        """True when the data directory holds anything to recover."""
+        if self.snapshots.snapshot_files():
+            return True
+        return self.wal.size_bytes() > len(walmod.MAGIC)
+
+    def recover(self, platform_factory=None, up_to_lsn=None, strict=True):
+        """Rebuild a platform from the data directory.
+
+        Returns ``(platform, RecoveryReport)``.  ``up_to_lsn`` stops the
+        replay early (the crash harness uses it to compare digests at a
+        known point).  ``strict=False`` records replay failures in the
+        report instead of raising.
+        """
+        started = time.perf_counter()
+        report = RecoveryReport()
+        if platform_factory is None:
+            from repro.core.sqlshare import SQLShare
+
+            platform_factory = SQLShare
+        platform = platform_factory()
+        state, snapshot_path, skipped = self.snapshots.load_latest()
+        report.snapshot_path = snapshot_path
+        report.snapshots_skipped = skipped
+        snapshot_lsn = 0
+        self.replaying = True
+        try:
+            if state is not None:
+                snapshot_lsn = state.get("last_lsn", 0)
+                restore_platform_state(platform, state)
+            report.snapshot_lsn = snapshot_lsn
+            max_restored_log_id = platform.log.max_id()
+            summary = ReplaySummary()
+            for record in walmod.replay(self.wal.path, summary):
+                lsn = record.get("lsn", 0)
+                if lsn <= snapshot_lsn:
+                    report.records_skipped += 1
+                    continue
+                if up_to_lsn is not None and lsn > up_to_lsn:
+                    report.records_beyond_limit += 1
+                    continue
+                if (record["op"] == "log"
+                        and record["data"].get("query_id", 0) <= max_restored_log_id):
+                    report.log_records_deduped += 1
+                    continue
+                try:
+                    self._apply(platform, record["op"], record["data"])
+                except Exception as error:
+                    if strict:
+                        raise RecoveryError(
+                            "replay of lsn %d (%s) failed: %s"
+                            % (lsn, record["op"], error)) from error
+                    report.replay_errors.append(
+                        {"lsn": lsn, "op": record["op"], "error": str(error)})
+                else:
+                    report.records_replayed += 1
+            report.torn_records_dropped = (summary.torn_records
+                                           + self.wal.torn_records_trimmed)
+            report.torn_bytes_dropped = (summary.torn_bytes
+                                         + self.wal.torn_bytes_trimmed)
+            report.recovered_lsn = max(snapshot_lsn, summary.last_lsn)
+        finally:
+            self.replaying = False
+        platform.log.finalize_restore()
+        # Regenerate — never naively reload — version vectors: one epoch
+        # bump per known object makes every pre-crash vector unservable.
+        report.version_epoch_bumps = platform.db.catalog.bump_all_versions()
+        if platform.result_cache is not None:
+            platform.result_cache.clear()
+        self.wal.set_lsn_floor(report.recovered_lsn)
+        self.attach(platform)
+        report.elapsed_seconds = time.perf_counter() - started
+        self.last_recovery = report
+        return platform, report
+
+    def _apply(self, platform, op, data):
+        """Re-run one logical redo record against the recovering platform."""
+        if op == "upload":
+            platform.upload(data["owner"], data["name"], data["text"],
+                            description=data["description"], tags=data["tags"],
+                            timestamp=data["timestamp"])
+        elif op == "create_dataset":
+            platform.create_dataset(data["owner"], data["name"], data["sql"],
+                                    description=data["description"],
+                                    tags=data["tags"],
+                                    timestamp=data["timestamp"])
+        elif op == "append":
+            platform.append(data["owner"], data["name"], data["text"],
+                            timestamp=data["timestamp"])
+        elif op == "materialize":
+            platform.materialize(data["owner"], data["name"], data["source"],
+                                 timestamp=data["timestamp"])
+        elif op == "delete_dataset":
+            platform.delete_dataset(data["owner"], data["name"])
+        elif op == "make_public":
+            platform.make_public(data["owner"], data["name"])
+        elif op == "make_private":
+            platform.make_private(data["owner"], data["name"])
+        elif op == "share":
+            platform.share(data["owner"], data["name"], data["user"])
+        elif op == "unshare":
+            platform.unshare(data["owner"], data["name"], data["user"])
+        elif op == "set_description":
+            platform.set_description(data["owner"], data["name"],
+                                     data["description"])
+        elif op == "add_tags":
+            platform.add_tags(data["owner"], data["name"], data["tags"])
+        elif op == "mint_doi":
+            platform.mint_doi(data["owner"], data["name"])
+        elif op == "quota_limit":
+            platform.quotas.set_limit(data["user"], data["limit"])
+        elif op == "macro_define":
+            platform.macros.define(data["owner"], data["name"],
+                                   data["template"], data["description"])
+        elif op == "macro_public":
+            platform.macros.make_public(data["owner"], data["name"])
+        elif op == "engine_sql":
+            platform.db.execute(data["sql"])
+        elif op == "log":
+            entry = platform.log.restore_entry(data)
+            with platform._state_lock:
+                if entry.timestamp is not None:
+                    platform._clock = max(platform._clock, entry.timestamp)
+        else:
+            raise RecoveryError("unknown WAL operation %r" % op)
+
+    # -- introspection ---------------------------------------------------------
+
+    def digest(self):
+        """Canonical digest of the attached platform's logical state."""
+        return state_digest(self.platform)
+
+    def stats(self):
+        payload = {
+            "data_dir": self.data_dir,
+            "wal": {
+                "sync": self.wal.sync,
+                "last_lsn": self.wal.last_lsn,
+                "appends": self.wal.appends,
+                "bytes_written": self.wal.bytes_written,
+                "size_bytes": self.wal.size_bytes(),
+                "records_since_checkpoint": self.records_since_checkpoint,
+            },
+            "auto_checkpoint_records": self.auto_checkpoint_records,
+            "checkpoints": {
+                "count": self.checkpoints_taken,
+                "last": self.last_checkpoint,
+            },
+            "recovery": (self.last_recovery.to_dict()
+                         if self.last_recovery else None),
+        }
+        return payload
+
+    def close(self):
+        self.wal.close()
+
+
+def open_storage(data_dir, sync="buffered", keep_snapshots=2,
+                 auto_checkpoint_records=None, platform_factory=None):
+    """Open a data directory: recover if it holds state, else start fresh.
+
+    Returns ``(platform, manager, report)`` where ``report`` is None for a
+    fresh directory.
+    """
+    manager = StorageManager(data_dir, sync=sync, keep_snapshots=keep_snapshots,
+                             auto_checkpoint_records=auto_checkpoint_records)
+    if manager.has_state():
+        platform, report = manager.recover(platform_factory=platform_factory)
+        return platform, manager, report
+    if platform_factory is None:
+        from repro.core.sqlshare import SQLShare
+
+        platform_factory = SQLShare
+    platform = platform_factory()
+    manager.attach(platform)
+    return platform, manager, None

@@ -1,0 +1,175 @@
+"""Snapshot checkpoints: the full platform state as one framed file.
+
+A checkpoint writes ``snapshot-NNNNNN.snap`` into the data directory:
+
+``file := magic length:u32 crc:u32 payload``
+
+where ``payload`` is the JSON state document from
+:mod:`repro.storage.serialize` plus the WAL position it covers
+(``last_lsn``).  The write is crash-safe by construction: payload goes to
+a ``.tmp`` file, is fsynced, and only then renamed into place (with a
+directory fsync), so a crash mid-checkpoint leaves at most a stray ``.tmp``
+that recovery ignores.
+
+Recovery scans snapshots newest-first and loads the first one whose frame
+validates; a truncated or bit-flipped snapshot (bad length or CRC) is
+skipped with a warning and the previous checkpoint is used instead — the
+WAL was only truncated *after* that newer snapshot succeeded, so falling
+back never loses committed state.
+"""
+
+import json
+import logging
+import os
+import re
+import struct
+import zlib
+
+from repro.storage.serialize import json_default, json_object_hook
+
+logger = logging.getLogger("repro.storage")
+
+MAGIC = b"RPSNAP01"
+_HEADER = struct.Struct("<II")
+_NAME_RE = re.compile(r"^snapshot-(\d{6})\.snap$")
+
+
+class SnapshotError(Exception):
+    """No usable snapshot could be loaded (when one was required)."""
+
+
+class SnapshotStore(object):
+    """Reads and writes the data directory's checkpoint files.
+
+    ``opener`` is the fault-injection point: the test harness substitutes
+    a :class:`repro.storage.faults.FaultyOpener` to kill writes mid-file.
+    """
+
+    def __init__(self, directory, keep=2, opener=open):
+        self.directory = str(directory)
+        self.keep = keep
+        self._opener = opener
+
+    # -- enumeration -----------------------------------------------------------
+
+    def snapshot_files(self):
+        """(sequence, path) pairs, newest first."""
+        found = []
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return []
+        for name in names:
+            match = _NAME_RE.match(name)
+            if match:
+                found.append((int(match.group(1)), os.path.join(self.directory, name)))
+        found.sort(reverse=True)
+        return found
+
+    def next_sequence(self):
+        files = self.snapshot_files()
+        return (files[0][0] + 1) if files else 1
+
+    # -- writing ---------------------------------------------------------------
+
+    def write(self, state):
+        """Persist one state document; returns (path, bytes_written).
+
+        The caller stamps ``state["last_lsn"]`` before calling.  Old
+        snapshots beyond the retention count are pruned *after* the new one
+        is durable.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        payload = json.dumps(state, default=json_default, sort_keys=True,
+                             separators=(",", ":")).encode("utf-8")
+        framed = MAGIC + _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        sequence = self.next_sequence()
+        final_path = os.path.join(self.directory, "snapshot-%06d.snap" % sequence)
+        tmp_path = final_path + ".tmp"
+        handle = self._opener(tmp_path, "wb")
+        try:
+            handle.write(framed)
+            handle.flush()
+            os.fsync(handle.fileno())
+        finally:
+            handle.close()
+        os.rename(tmp_path, final_path)
+        self._fsync_directory()
+        self._prune()
+        return final_path, len(framed)
+
+    def _fsync_directory(self):
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def _prune(self):
+        for _sequence, path in self.snapshot_files()[self.keep:]:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        # Stray .tmp files are failed checkpoints; clear them too.
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return
+        for name in names:
+            if name.endswith(".snap.tmp"):
+                try:
+                    os.remove(os.path.join(self.directory, name))
+                except OSError:
+                    pass
+
+    # -- loading ---------------------------------------------------------------
+
+    def load_latest(self):
+        """(state, path, skipped) for the newest valid snapshot.
+
+        ``skipped`` lists paths that failed validation (truncated tail,
+        CRC mismatch, bad magic) and were passed over.  Returns
+        ``(None, None, skipped)`` when no snapshot validates — recovery
+        then replays the WAL from genesis.
+        """
+        skipped = []
+        for _sequence, path in self.snapshot_files():
+            state = self._load_one(path)
+            if state is not None:
+                return state, path, skipped
+            skipped.append(path)
+        return None, None, skipped
+
+    def _load_one(self, path):
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError as error:
+            logger.warning("%s: unreadable snapshot (%s)", path, error)
+            return None
+        prefix = len(MAGIC) + _HEADER.size
+        if len(blob) < prefix or blob[:len(MAGIC)] != MAGIC:
+            logger.warning("%s: bad snapshot magic/header; skipping", path)
+            return None
+        length, crc = _HEADER.unpack(blob[len(MAGIC):prefix])
+        payload = blob[prefix:prefix + length]
+        if len(payload) < length:
+            logger.warning("%s: truncated snapshot (%d of %d payload bytes); "
+                           "falling back", path, len(payload), length)
+            return None
+        if zlib.crc32(payload) != crc:
+            logger.warning("%s: snapshot CRC mismatch; falling back", path)
+            return None
+        try:
+            return json.loads(payload.decode("utf-8"),
+                              object_hook=json_object_hook)
+        except ValueError:
+            logger.warning("%s: snapshot payload is not valid JSON; "
+                           "falling back", path)
+            return None

@@ -1,0 +1,148 @@
+"""Fault injection: torn WAL writes, killed checkpoints, fsync-window crashes.
+
+Each test kills a write mid-stream with the :mod:`repro.storage.faults`
+harness, then proves recovery lands on the last *committed* state — the
+acceptance criterion for the durability subsystem.
+"""
+
+import pytest
+
+from repro.core.sqlshare import SQLShare
+from repro.storage import (
+    FaultyFile,
+    FaultyOpener,
+    InjectedCrash,
+    StorageManager,
+    state_digest,
+)
+
+CSV = "id,n\n1,5\n2,20\n3,7\n"
+
+
+def _fresh(data_dir, **kwargs):
+    manager = StorageManager(str(data_dir), **kwargs)
+    platform = manager.attach(SQLShare())
+    return manager, platform
+
+
+class TestFaultyFile:
+    def test_partial_write_then_crash(self, tmp_path):
+        path = tmp_path / "f"
+        with open(path, "wb") as handle:
+            faulty = FaultyFile(handle, fail_after_bytes=5)
+            faulty.write(b"ab")
+            with pytest.raises(InjectedCrash):
+                faulty.write(b"cdefgh")
+        assert path.read_bytes() == b"abcde"  # torn: only the fitting prefix
+
+    def test_writes_after_crash_rejected(self, tmp_path):
+        with open(tmp_path / "f", "wb") as handle:
+            faulty = FaultyFile(handle, fail_after_bytes=0)
+            with pytest.raises(InjectedCrash):
+                faulty.write(b"x")
+            with pytest.raises(InjectedCrash):
+                faulty.write(b"y")
+
+    def test_fail_on_fsync(self, tmp_path):
+        import os
+
+        with open(tmp_path / "f", "wb") as handle:
+            faulty = FaultyFile(handle, fail_on_fsync=True)
+            faulty.write(b"data reaches the OS")
+            with pytest.raises(InjectedCrash):
+                os.fsync(faulty.fileno())
+
+    def test_opener_targets_nth_write_open(self, tmp_path):
+        opener = FaultyOpener(fail_after_bytes=0, nth_open=2)
+        first = opener(str(tmp_path / "a"), "wb")
+        assert isinstance(first, FaultyFile) is False
+        second = opener(str(tmp_path / "b"), "wb")
+        assert isinstance(second, FaultyFile)
+        first.close()
+        second.close()
+        # Read opens never count.
+        reader = opener(str(tmp_path / "a"), "rb")
+        reader.close()
+        assert opener.opens == 2
+
+
+class TestTornWalRecovery:
+    def test_crash_mid_append_recovers_prior_commits(self, tmp_path):
+        manager, platform = _fresh(tmp_path)
+        platform.upload("alice", "Fish", CSV)
+        platform.share("alice", "Fish", "bob")
+        committed = state_digest(platform)
+        # Re-point the WAL at a file object that tears partway through the
+        # next record, then attempt a mutation: the caller sees the crash,
+        # the WAL keeps only a torn tail.
+        wal = manager.wal
+        wal.close()
+        real_handle = open(wal.path, "ab")
+        wal._handle = FaultyFile(real_handle, fail_after_bytes=11)
+        with pytest.raises(InjectedCrash):
+            platform.make_public("alice", "Fish")
+        recovered_manager = StorageManager(str(tmp_path))
+        recovered, report = recovered_manager.recover()
+        assert report.torn_records_dropped == 1
+        assert state_digest(recovered) == committed
+        # The torn operation was never acknowledged, so it is simply absent.
+        assert recovered.permissions.is_public("Fish") is False
+        recovered_manager.close()
+
+    def test_recovered_platform_keeps_working(self, tmp_path):
+        manager, platform = _fresh(tmp_path)
+        platform.upload("alice", "Fish", CSV)
+        wal = manager.wal
+        wal.close()
+        wal._handle = FaultyFile(open(wal.path, "ab"), fail_after_bytes=3)
+        with pytest.raises(InjectedCrash):
+            platform.upload("alice", "Other", CSV)
+        recovered_manager = StorageManager(str(tmp_path))
+        recovered, _report = recovered_manager.recover()
+        # The same mutation now succeeds and is WAL-logged again.
+        recovered.upload("alice", "Other", CSV)
+        third = StorageManager(str(tmp_path)).recover()[0]
+        assert third.has_dataset("Other")
+        recovered_manager.close()
+
+
+class TestCrashDuringCheckpoint:
+    def test_killed_snapshot_write_falls_back(self, tmp_path):
+        manager, platform = _fresh(tmp_path)
+        platform.upload("alice", "Fish", CSV)
+        manager.checkpoint()  # snapshot 1: good
+        platform.upload("alice", "More", CSV)
+        committed = state_digest(platform)
+        # Kill the *next* file the snapshot store opens (its .tmp) after a
+        # few bytes: the checkpoint dies, the WAL is left untruncated.
+        manager.snapshots._opener = FaultyOpener(fail_after_bytes=64)
+        with pytest.raises(InjectedCrash):
+            manager.checkpoint()
+        recovered_manager = StorageManager(str(tmp_path))
+        recovered, report = recovered_manager.recover()
+        assert state_digest(recovered) == committed
+        # Recovery used the older intact snapshot plus the WAL tail.
+        assert report.to_dict()["snapshot"] == "snapshot-000001.snap"
+        assert report.records_replayed >= 1
+        recovered_manager.close()
+
+    def test_crash_between_snapshot_and_truncate(self, tmp_path):
+        manager, platform = _fresh(tmp_path)
+        platform.upload("alice", "Fish", CSV)
+        committed = state_digest(platform)
+        # Simulate dying after the snapshot renamed but before the WAL
+        # truncated: take a full checkpoint, then restore the pre-truncate
+        # WAL contents alongside it.
+        import shutil
+
+        shutil.copy(manager.wal.path, str(tmp_path / "wal.copy"))
+        manager.checkpoint()
+        manager.wal.close()
+        shutil.copy(str(tmp_path / "wal.copy"), manager.wal.path)
+        recovered_manager = StorageManager(str(tmp_path))
+        recovered, report = recovered_manager.recover()
+        # Covered records are skipped by LSN, not replayed twice.
+        assert report.records_skipped >= 1
+        assert report.records_replayed == 0
+        assert state_digest(recovered) == committed
+        recovered_manager.close()

@@ -1,0 +1,87 @@
+"""Snapshot store: atomic writes, retention, validated newest-first fallback."""
+
+import os
+
+import pytest
+
+from repro.storage import SnapshotStore, corrupt_tail, flip_byte
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SnapshotStore(str(tmp_path), keep=2)
+
+
+def _state(n):
+    return {"format": 1, "n": n, "last_lsn": n * 10}
+
+
+class TestWriteLoad:
+    def test_round_trip(self, store):
+        path, nbytes = store.write(_state(1))
+        assert os.path.exists(path)
+        assert nbytes == os.path.getsize(path)
+        state, loaded_path, skipped = store.load_latest()
+        assert state["n"] == 1
+        assert loaded_path == path
+        assert skipped == []
+
+    def test_newest_wins(self, store):
+        store.write(_state(1))
+        store.write(_state(2))
+        state, _path, _skipped = store.load_latest()
+        assert state["n"] == 2
+
+    def test_empty_directory(self, store):
+        assert store.load_latest() == (None, None, [])
+
+    def test_retention_prunes_oldest(self, store):
+        for n in range(1, 5):
+            store.write(_state(n))
+        files = store.snapshot_files()
+        assert len(files) == 2
+        assert [seq for seq, _ in files] == [4, 3]
+
+    def test_stray_tmp_files_are_pruned(self, store, tmp_path):
+        stray = tmp_path / "snapshot-000009.snap.tmp"
+        stray.write_bytes(b"half-written checkpoint")
+        store.write(_state(1))
+        assert not stray.exists()
+
+    def test_sequence_continues_past_pruned(self, store):
+        for n in range(1, 5):
+            store.write(_state(n))
+        assert store.next_sequence() == 5
+
+
+class TestFallback:
+    def test_truncated_newest_falls_back(self, store):
+        store.write(_state(1))
+        newest, _ = store.write(_state(2))
+        corrupt_tail(newest, 20)
+        state, path, skipped = store.load_latest()
+        assert state["n"] == 1
+        assert skipped == [newest]
+        assert path != newest
+
+    def test_bit_flip_falls_back(self, store):
+        store.write(_state(1))
+        newest, _ = store.write(_state(2))
+        flip_byte(newest, -5)
+        state, _path, skipped = store.load_latest()
+        assert state["n"] == 1
+        assert skipped == [newest]
+
+    def test_bad_magic_falls_back(self, store):
+        store.write(_state(1))
+        newest, _ = store.write(_state(2))
+        flip_byte(newest, 0)
+        state, _path, _skipped = store.load_latest()
+        assert state["n"] == 1
+
+    def test_no_valid_snapshot_returns_none(self, store):
+        only, _ = store.write(_state(1))
+        corrupt_tail(only, 10)
+        state, path, skipped = store.load_latest()
+        assert state is None and path is None
+        assert skipped == [only]

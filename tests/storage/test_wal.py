@@ -1,0 +1,159 @@
+"""WAL framing, torn-tail tolerance, LSN management, truncation."""
+
+import os
+
+import pytest
+
+from repro.storage import (
+    ReplaySummary,
+    WalCorruptionError,
+    WriteAheadLog,
+    corrupt_tail,
+    flip_byte,
+    replay,
+)
+from repro.storage.wal import MAGIC
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return str(tmp_path / "wal.log")
+
+
+def _records(path, summary=None):
+    return list(replay(path, summary))
+
+
+class TestAppendReplay:
+    def test_round_trip(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append({"op": "a", "data": {"x": 1}})
+        wal.append({"op": "b", "data": {"y": [1, 2, 3]}})
+        wal.close()
+        records = _records(wal_path)
+        assert [r["op"] for r in records] == ["a", "b"]
+        assert [r["lsn"] for r in records] == [1, 2]
+        assert records[1]["data"]["y"] == [1, 2, 3]
+
+    def test_missing_file_replays_empty(self, wal_path):
+        assert _records(wal_path) == []
+
+    def test_lsn_resumes_after_reopen(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append({"op": "a", "data": {}})
+        wal.close()
+        wal2 = WriteAheadLog(wal_path)
+        assert wal2.append({"op": "b", "data": {}}) == 2
+        wal2.close()
+        assert [r["lsn"] for r in _records(wal_path)] == [1, 2]
+
+    def test_lsn_floor(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.set_lsn_floor(100)
+        assert wal.append({"op": "a", "data": {}}) == 101
+        wal.close()
+
+    def test_datetime_payload_round_trips(self, wal_path):
+        import datetime
+
+        moment = datetime.datetime(2012, 3, 4, 5, 6, 7)
+        wal = WriteAheadLog(wal_path)
+        wal.append({"op": "a", "data": {"timestamp": moment}})
+        wal.close()
+        (record,) = _records(wal_path)
+        assert record["data"]["timestamp"] == moment
+
+    def test_fsync_mode_appends(self, wal_path):
+        wal = WriteAheadLog(wal_path, sync="fsync")
+        wal.append({"op": "a", "data": {}})
+        wal.close()
+        assert len(_records(wal_path)) == 1
+
+    def test_bad_sync_mode_rejected(self, wal_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(wal_path, sync="none")
+
+
+class TestTornTails:
+    def _write_two(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append({"op": "a", "data": {"payload": "x" * 100}})
+        wal.append({"op": "b", "data": {"payload": "y" * 100}})
+        wal.close()
+
+    def test_truncated_payload_drops_only_tail(self, wal_path):
+        self._write_two(wal_path)
+        corrupt_tail(wal_path, 10)
+        summary = ReplaySummary()
+        records = _records(wal_path, summary)
+        assert [r["op"] for r in records] == ["a"]
+        assert summary.torn_records == 1
+        assert summary.torn_bytes > 0
+
+    def test_truncated_header_drops_only_tail(self, wal_path):
+        self._write_two(wal_path)
+        size = os.path.getsize(wal_path)
+        # Leave 3 bytes of the second record's 8-byte header.
+        second_len = 0
+        with open(wal_path, "rb") as handle:
+            handle.read(len(MAGIC))
+            import struct
+
+            length = struct.unpack("<I", handle.read(4))[0]
+            first_total = 8 + length
+        corrupt_tail(wal_path, size - len(MAGIC) - first_total - 3)
+        summary = ReplaySummary()
+        assert [r["op"] for r in _records(wal_path, summary)] == ["a"]
+        assert summary.torn_records == 1
+
+    def test_crc_mismatch_drops_tail(self, wal_path):
+        self._write_two(wal_path)
+        flip_byte(wal_path, -1)  # inside the second record's payload
+        summary = ReplaySummary()
+        assert [r["op"] for r in _records(wal_path, summary)] == ["a"]
+        assert summary.torn_records == 1
+
+    def test_bad_magic_is_corruption_not_tearing(self, wal_path):
+        self._write_two(wal_path)
+        flip_byte(wal_path, 0)
+        with pytest.raises(WalCorruptionError):
+            _records(wal_path)
+
+    def test_append_after_torn_tail_resumes_from_valid_prefix(self, wal_path):
+        self._write_two(wal_path)
+        corrupt_tail(wal_path, 10)
+        wal = WriteAheadLog(wal_path)
+        # Resumed LSN counts only the valid prefix (record 1).
+        assert wal.append({"op": "c", "data": {}}) == 2
+        wal.close()
+
+
+class TestTruncate:
+    def test_truncate_drops_everything(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append({"op": "a", "data": {}})
+        wal.truncate()
+        assert _records(wal_path) == []
+        # LSNs keep counting across truncation.
+        assert wal.append({"op": "b", "data": {}}) == 2
+        wal.close()
+        assert [r["lsn"] for r in _records(wal_path)] == [2]
+
+    def test_truncate_keeps_records_past_the_checkpoint(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append({"op": "a", "data": {}})
+        wal.append({"op": "b", "data": {}})
+        wal.append({"op": "c", "data": {}})
+        wal.truncate(keep_after_lsn=2)
+        wal.close()
+        records = _records(wal_path)
+        assert [(r["lsn"], r["op"]) for r in records] == [(3, "c")]
+
+    def test_size_shrinks_after_truncate(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        for index in range(20):
+            wal.append({"op": "a", "data": {"i": index}})
+        before = wal.size_bytes()
+        wal.truncate()
+        assert wal.size_bytes() < before
+        wal.close()

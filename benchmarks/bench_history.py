@@ -1,0 +1,269 @@
+"""Benchmark trajectory: per-run history and a regression compare gate.
+
+The performance benches (``bench_runtime_throughput.py``,
+``bench_obs_overhead.py``, ``bench_wal_overhead.py``) each overwrite one
+JSON results file — good for "what is it now", useless for "when did it
+get slow".  This module keeps the longitudinal view the paper itself
+models:
+
+- every bench run appends its key metrics to
+  ``bench_results/history.jsonl`` (one JSON object per line, newest
+  last) via :func:`record_run`;
+- ``bench_results/baseline.json`` holds the last *committed* baseline;
+  :func:`compare` flags current results whose key metrics moved beyond a
+  noise threshold against it — the CI gate;
+- ``--rebaseline`` promotes the current results files to the new
+  baseline (done deliberately, in a commit, when a perf change is real
+  and accepted).
+
+Throughput-style metrics (qps, ops/s) compare *relatively* (default
+±30% — shared CI runners are noisy); fraction-style metrics (overhead
+ratios) compare *absolutely* (±8 points — below the benches' own hard
+gates, above observed runner noise), because their baselines sit near
+zero where relative deltas explode.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_history.py --compare
+    PYTHONPATH=src python benchmarks/bench_history.py --rebaseline
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "bench_results"
+HISTORY_PATH = RESULTS_DIR / "history.jsonl"
+BASELINE_PATH = RESULTS_DIR / "baseline.json"
+
+#: Relative noise threshold for throughput metrics (fraction of baseline).
+RELATIVE_THRESHOLD = 0.30
+#: Absolute noise threshold for fraction metrics (percentage points / 100).
+ABSOLUTE_THRESHOLD = 0.08
+
+#: bench name -> (results file, {metric path: (kind, direction)}).
+#: kind: "rate" compares relatively, "fraction" absolutely.
+#: direction: "higher" / "lower" is better (regressions only flag the
+#: bad direction; getting faster never fails the gate).
+BENCHES = {
+    "obs_overhead": ("obs_overhead.json", {
+        "qps.uninstrumented": ("rate", "higher"),
+        "qps.instrumented": ("rate", "higher"),
+        "instrumented_overhead": ("fraction", "lower"),
+    }),
+    "runtime_throughput": ("runtime_throughput.json", {
+        "serial_no_cache.qps": ("rate", "higher"),
+        "concurrent_cold.qps": ("rate", "higher"),
+        "concurrent_warm.qps": ("rate", "higher"),
+    }),
+    "wal_overhead": ("wal_overhead.json", {
+        "throughput.buffered.ops_per_second": ("rate", "higher"),
+        "throughput.fsync.ops_per_second": ("rate", "higher"),
+    }),
+}
+
+
+def _lookup(results, path):
+    value = results
+    for part in path.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return value if isinstance(value, (int, float)) else None
+
+
+def key_metrics(bench, results):
+    """The tracked metric values for one bench's results dict."""
+    _file, specs = BENCHES[bench]
+    return {
+        path: _lookup(results, path)
+        for path in specs
+        if _lookup(results, path) is not None
+    }
+
+
+def record_run(bench, results, history_path=None, now=None):
+    """Append one bench run's key metrics to the trajectory file."""
+    if bench not in BENCHES:
+        raise ValueError("unknown bench %r (tracked: %s)"
+                         % (bench, ", ".join(sorted(BENCHES))))
+    path = pathlib.Path(history_path) if history_path else HISTORY_PATH
+    entry = {
+        "bench": bench,
+        "recorded_at": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ",
+            time.gmtime(now if now is not None else time.time())),
+        "metrics": key_metrics(bench, results),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_history(bench=None, history_path=None):
+    """All trajectory entries (optionally one bench's), oldest first."""
+    path = pathlib.Path(history_path) if history_path else HISTORY_PATH
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        entry = json.loads(line)
+        if bench is None or entry.get("bench") == bench:
+            entries.append(entry)
+    return entries
+
+
+def compare(bench, results, baseline, relative_threshold=RELATIVE_THRESHOLD,
+            absolute_threshold=ABSOLUTE_THRESHOLD):
+    """Flag key metrics that moved beyond noise against a baseline.
+
+    ``baseline`` is the per-metric dict for this bench (as stored in
+    ``baseline.json``).  Returns finding dicts; ``regressed`` is True only
+    for moves in the *bad* direction beyond the threshold.
+    """
+    _file, specs = BENCHES[bench]
+    findings = []
+    current = key_metrics(bench, results)
+    for path, (kind, direction) in specs.items():
+        base = baseline.get(path)
+        value = current.get(path)
+        if base is None or value is None:
+            continue
+        if kind == "fraction":
+            if direction == "lower" and base < 0.0:
+                # A negative overhead baseline means the instrumented run
+                # got lucky; holding future runs to "below zero" just
+                # flags noise.  Zero is the real standard.
+                base = 0.0
+            delta = value - base
+            beyond = abs(delta) > absolute_threshold
+        else:
+            if base == 0:
+                continue
+            delta = (value - base) / abs(base)
+            beyond = abs(delta) > relative_threshold
+        worse = delta < 0 if direction == "higher" else delta > 0
+        findings.append({
+            "bench": bench,
+            "metric": path,
+            "kind": kind,
+            "baseline": base,
+            "current": value,
+            "delta": round(delta, 4),
+            "regressed": beyond and worse,
+            "improved": beyond and not worse,
+        })
+    return findings
+
+
+def _load_results(bench):
+    path = RESULTS_DIR / BENCHES[bench][0]
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def compare_all(relative_threshold=RELATIVE_THRESHOLD,
+                absolute_threshold=ABSOLUTE_THRESHOLD):
+    """Compare every bench's committed results file against the baseline."""
+    if not BASELINE_PATH.exists():
+        return [], ["no baseline at %s (run --rebaseline first)" % BASELINE_PATH]
+    baseline = json.loads(BASELINE_PATH.read_text())
+    findings, notes = [], []
+    for bench in sorted(BENCHES):
+        results = _load_results(bench)
+        if results is None:
+            notes.append("%s: no results file, skipped" % bench)
+            continue
+        if bench not in baseline:
+            notes.append("%s: not in baseline, skipped" % bench)
+            continue
+        findings.extend(compare(bench, results, baseline[bench],
+                                relative_threshold, absolute_threshold))
+    return findings, notes
+
+
+def rebaseline():
+    """Promote the current committed results files to the new baseline."""
+    baseline = {}
+    for bench in sorted(BENCHES):
+        results = _load_results(bench)
+        if results is not None:
+            baseline[bench] = key_metrics(bench, results)
+    BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    BASELINE_PATH.write_text(
+        json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    return baseline
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--compare", action="store_true",
+                        help="gate: compare current results vs the committed "
+                             "baseline; exit 1 on regression beyond noise")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="write baseline.json from the current results")
+    parser.add_argument("--record", action="store_true",
+                        help="append every current results file to the "
+                             "trajectory")
+    parser.add_argument("--history", action="store_true",
+                        help="print the recorded trajectory")
+    parser.add_argument("--relative-threshold", type=float,
+                        default=RELATIVE_THRESHOLD)
+    parser.add_argument("--absolute-threshold", type=float,
+                        default=ABSOLUTE_THRESHOLD)
+    args = parser.parse_args(argv)
+
+    if args.rebaseline:
+        baseline = rebaseline()
+        print("baseline.json <- %s" % ", ".join(sorted(baseline)))
+        return 0
+
+    if args.record:
+        for bench in sorted(BENCHES):
+            results = _load_results(bench)
+            if results is not None:
+                entry = record_run(bench, results)
+                print("recorded %s: %s" % (bench, entry["metrics"]))
+        return 0
+
+    if args.history:
+        for entry in load_history():
+            print("%s  %-20s %s" % (entry["recorded_at"], entry["bench"],
+                                    json.dumps(entry["metrics"],
+                                               sort_keys=True)))
+        return 0
+
+    if args.compare:
+        findings, notes = compare_all(args.relative_threshold,
+                                      args.absolute_threshold)
+        for note in notes:
+            print("note: %s" % note)
+        regressed = [f for f in findings if f["regressed"]]
+        for finding in findings:
+            mark = ("REGRESSED" if finding["regressed"]
+                    else "improved" if finding["improved"] else "ok")
+            unit = "" if finding["kind"] == "fraction" else "%"
+            delta = (finding["delta"] * (100 if unit else 1))
+            print("  %-9s %s/%s: %.4g -> %.4g (%+.2f%s)" % (
+                mark, finding["bench"], finding["metric"],
+                finding["baseline"], finding["current"], delta, unit))
+        if regressed:
+            print("%d metric(s) regressed beyond the noise threshold"
+                  % len(regressed))
+            return 1
+        print("bench history gate: %d metric(s) within noise" % len(findings))
+        return 0
+
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -43,6 +43,13 @@ RESULTS_PATH = (
 #: CI failure threshold for always-on instrumentation overhead.
 OVERHEAD_LIMIT = 0.10
 
+
+def _record_history(results):
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from bench_history import record_run
+
+    record_run("obs_overhead", results)
+
 MODES = (
     # name, metrics, tracing, profile
     ("uninstrumented", False, False, False),
@@ -117,6 +124,7 @@ def main(argv=None):
     out = pathlib.Path(args.output)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    _record_history(results)
 
     print("replayed %d queries x %d reps per mode" % (results["queries"],
                                                       results["reps"]))
@@ -138,6 +146,7 @@ def test_obs_overhead_smoke(report):
     check(results)
     RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    _record_history(results)
     report("obs_overhead", json.dumps(results, indent=2, sort_keys=True))
 
 

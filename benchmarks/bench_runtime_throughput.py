@@ -49,6 +49,13 @@ RESULTS_PATH = (
 STALE_SAMPLE = 25
 
 
+def _record_history(results):
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from bench_history import record_run
+
+    record_run("runtime_throughput", results)
+
+
 def _phase_summary(stats):
     return {
         "queries": stats["queries"],
@@ -232,6 +239,7 @@ def main(argv=None):
     out = pathlib.Path(args.output)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    _record_history(results)
 
     print("replayed %d queries at scale %s" % (results["replayed_queries"],
                                                results["scale"]))
@@ -265,6 +273,7 @@ def test_runtime_throughput_smoke(report):
     check(results)
     RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    _record_history(results)
     report("runtime_throughput", json.dumps(
         {k: results[k] for k in ("serial_no_cache", "concurrent_cold",
                                  "concurrent_warm",

@@ -43,6 +43,13 @@ CSV = "id,species,count\n1,coho,14\n2,chinook,3\n3,chum,25\n"
 MORE = "id,species,count\n4,sockeye,9\n5,pink,40\n"
 
 
+def _record_history(results):
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from bench_history import record_run
+
+    record_run("wal_overhead", results)
+
+
 def _mutate(platform, index):
     """One workload op; cycles through the mutation mix by index."""
     slot = index % 5
@@ -170,6 +177,7 @@ def main(argv=None):
     out = pathlib.Path(args.output)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    _record_history(results)
 
     print("WAL overhead over %d mutations:" % args.ops)
     for mode in ("off", "buffered", "fsync"):
@@ -197,6 +205,7 @@ def test_wal_overhead_smoke(report):
     check(results)
     RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    _record_history(results)
     report("wal_overhead", json.dumps(
         {"throughput": results["throughput"],
          "recovery": results["recovery"]}, indent=2, sort_keys=True))

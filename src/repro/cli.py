@@ -12,6 +12,11 @@ Commands:
 - ``checkpoint`` — force a snapshot checkpoint on a data directory.
 - ``recover``    — rebuild a platform from a data directory and report (or
   ``--verify`` round-trip) the recovered state.
+- ``top``        — live terminal dashboard over a running server's
+  scheduler stats, alerts and health.
+- ``querystore`` — per-fingerprint runtime history and plan regressions,
+  from a running server (``--url``) or a local replay/grow/replay
+  experiment.
 """
 
 import argparse
@@ -43,6 +48,7 @@ def _generate(scale):
 
 
 def _cmd_serve(args):
+    from repro.runtime import RuntimeConfig
     from repro.server.rest import serve
 
     platform = None
@@ -70,10 +76,21 @@ def _cmd_serve(args):
                 platform = manager.attach(SQLShare())
     elif args.scale > 0:
         platform = _generate(args.scale)
-    server = serve(platform, host=args.host, port=args.port)
+    config = RuntimeConfig(
+        max_workers=4,
+        monitor_enabled=not args.no_monitor,
+        monitor_interval=args.monitor_interval,
+        histogram_max_seconds=args.histogram_max or None,
+    )
+    server = serve(platform, host=args.host, port=args.port,
+                   runtime_config=config)
     print("SQLShare REST API listening on http://%s:%d "
           "(X-SQLShare-User header selects the identity)"
           % (args.host, server.server_address[1]))
+    if config.monitor_enabled:
+        print("continuous monitoring on: /api/v1/health, /api/v1/timeseries,"
+              " /api/v1/querystore, /api/v1/alerts (sample every %.1fs)"
+              % config.monitor_interval)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -219,6 +236,71 @@ def _cmd_profile(args):
     return exit_code
 
 
+def _cmd_top(args):
+    import time as _time
+
+    from repro.reporting.dashboard import render_dashboard
+    from repro.server.client import ClientError, SQLShareClient
+
+    client = SQLShareClient(args.user, base_url=args.url)
+
+    def fetch():
+        stats = client.runtime_stats()
+        health = client.health()
+        try:
+            alerts = client.alerts()
+        except ClientError:
+            alerts = None  # monitoring disabled on the server
+        return render_dashboard(stats, health=health, alerts=alerts)
+
+    try:
+        if args.once:
+            print(fetch())
+            return 0
+        while True:
+            # ANSI clear + home; plain reprint keeps dumb terminals usable.
+            print("\033[2J\033[H" + fetch(), flush=True)
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+    except ClientError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+
+
+def _cmd_querystore(args):
+    from repro.reporting.dashboard import render_querystore
+
+    if args.url:
+        from repro.server.client import ClientError, SQLShareClient
+
+        client = SQLShareClient(args.user, base_url=args.url)
+        try:
+            if args.fingerprint:
+                payload = client.querystore(fingerprint=args.fingerprint)
+                import json
+
+                print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+                return 0
+            payload = client.querystore(regressions=args.regressions,
+                                        limit=args.limit)
+        except ClientError as error:
+            print("error: %s" % error, file=sys.stderr)
+            return 1
+        print(render_querystore(payload, regressions_only=args.regressions))
+        return 0 if not (args.regressions and payload["queries"]) else 3
+
+    # No server: run the replay/grow/replay regression experiment locally.
+    from repro.analysis.regressions import analyze_regressions, render_regressions
+
+    report = analyze_regressions(limit=args.limit, scale=args.scale)
+    print(render_regressions(report))
+    if args.regressions:
+        return 3 if report["regressions"] else 0
+    return 0
+
+
 def _cmd_checkpoint(args):
     import json
 
@@ -305,6 +387,44 @@ def build_parser():
     serve.add_argument("--checkpoint-every", type=int, default=0,
                        help="auto-checkpoint after this many WAL records "
                             "(0 = only on POST /api/v1/checkpoint)")
+    serve.add_argument("--no-monitor", action="store_true",
+                       help="disable the continuous monitor (sampler + alerts)")
+    serve.add_argument("--monitor-interval", type=float, default=5.0,
+                       help="seconds between metrics samples (default 5)")
+    serve.add_argument("--histogram-max", type=float, default=0.0,
+                       help="extend latency histogram buckets up to this many "
+                            "seconds (default keeps the 10s ceiling)")
+
+    top = commands.add_parser(
+        "top", help="live terminal dashboard over a running server")
+    top.add_argument("--url", default="http://127.0.0.1:8080",
+                     help="server base URL (default http://127.0.0.1:8080)")
+    top.add_argument("--user", default="operator",
+                     help="identity for the X-SQLShare-User header")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh interval in seconds (default 2)")
+    top.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit (no screen clearing)")
+
+    querystore = commands.add_parser(
+        "querystore",
+        help="per-fingerprint runtime history and plan regressions "
+             "(from a server with --url, or a local replay experiment)")
+    querystore.add_argument("--url", default=None,
+                            help="read a running server's query store "
+                                 "instead of replaying locally")
+    querystore.add_argument("--user", default="operator")
+    querystore.add_argument("--fingerprint", default=None,
+                            help="dump one entry's full history as JSON "
+                                 "(requires --url)")
+    querystore.add_argument("--regressions", action="store_true",
+                            help="only regressed queries; exit 3 when any "
+                                 "are found")
+    querystore.add_argument("--limit", type=int, default=50,
+                            help="max queries listed / replayed (default 50)")
+    querystore.add_argument("--scale", type=float, default=0.05,
+                            help="deployment scale for the local experiment "
+                                 "(default 0.05)")
 
     export = commands.add_parser("export", help="write a corpus release")
     export.add_argument("--out", required=True, help="output directory")
@@ -372,6 +492,8 @@ def main(argv=None):
         "profile": _cmd_profile,
         "checkpoint": _cmd_checkpoint,
         "recover": _cmd_recover,
+        "top": _cmd_top,
+        "querystore": _cmd_querystore,
     }[args.command]
     return handler(args)
 

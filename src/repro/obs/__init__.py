@@ -12,7 +12,17 @@ records what actually happened when those plans run under the
   JSON and as Chrome ``trace_event`` format;
 - :mod:`repro.obs.profiler` — per-operator runtime profiling for
   ``EXPLAIN ANALYZE``-style estimated-vs-actual comparisons and the
-  q-error scoring in :mod:`repro.analysis.estimation`.
+  q-error scoring in :mod:`repro.analysis.estimation`;
+- :mod:`repro.obs.timeseries` — bounded ring-buffer history over the
+  registry with windowed queries (rate/delta/mean/quantile) and a
+  background sampler;
+- :mod:`repro.obs.querystore` — per-fingerprint runtime baselines with
+  plan-change detection and regression verdicts (SQL Server Query Store
+  style);
+- :mod:`repro.obs.alerts` — declarative threshold rules over the
+  time-series with ok→pending→firing state machines;
+- :mod:`repro.obs.monitor` — the sampler + store + alerts bundle the
+  runtime owns and ``GET /api/v1/health`` reports on.
 
 Everything here is built to be always-cheap: registry updates are O(1),
 tracing appends a handful of spans per query, and operator wrapping only
@@ -20,31 +30,46 @@ happens when profiling is explicitly requested
 (``benchmarks/bench_obs_overhead.py`` enforces the overhead contract).
 """
 
+from repro.obs.alerts import AlertManager, AlertRule, default_rules
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    buckets_up_to,
 )
+from repro.obs.monitor import ContinuousMonitor
 from repro.obs.profiler import (
     ExecutionProfile,
     QueryProfiler,
     q_error,
     render_explain_analyze,
 )
+from repro.obs.querystore import QueryStore, plan_fingerprint, query_fingerprint
+from repro.obs.timeseries import MetricsSampler, TimeSeriesStore
 from repro.obs.tracing import Span, Trace
 
 __all__ = [
+    "AlertManager",
+    "AlertRule",
+    "ContinuousMonitor",
     "Counter",
     "ExecutionProfile",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsSampler",
     "NullRegistry",
     "QueryProfiler",
+    "QueryStore",
     "Span",
+    "TimeSeriesStore",
     "Trace",
+    "buckets_up_to",
+    "default_rules",
+    "plan_fingerprint",
     "q_error",
+    "query_fingerprint",
     "render_explain_analyze",
 ]

@@ -1,0 +1,257 @@
+"""Declarative alerting over the metrics time-series.
+
+Rules are small expressions evaluated against a :class:`TimeSeriesStore`
+after every sampler tick, with Prometheus-style ok → pending → firing
+state machines.  The grammar is deliberately tiny — one aggregate, an
+optional divisor, a comparison, an optional ``for`` duration::
+
+    rule      := term [ "/" term ] op threshold [ "for" seconds ]
+    term      := agg "(" series "[" window "]" ")"
+    agg       := rate | delta | mean | latest | p50 | p90 | p95 | p99
+    op        := ">" | ">=" | "<" | "<="
+
+Examples (the defaults shipped by :func:`default_rules`)::
+
+    rate(repro_queries_failed_total[60]) > 0.5 for 10
+    p99(repro_scheduler_exec_seconds[60]) > 1.0 for 10
+    rate(repro_cache_hits_total[120]) / rate(repro_cache_probes_total[120]) < 0.1 for 30
+
+``for 0`` (or omitting ``for``) fires on the first breaching evaluation;
+otherwise the rule sits *pending* until the condition has held
+continuously for the duration.  The quantile aggregates expect a
+histogram base name and use the store's bucket-delta interpolation.
+A rule whose series has no data yet evaluates to "no data" and resets
+toward ok rather than firing — monitoring a cold service must not page.
+"""
+
+import re
+import threading
+import time
+from collections import deque
+
+# States, in escalation order.
+OK = "ok"
+PENDING = "pending"
+FIRING = "firing"
+
+_TERM = r"(?P<{p}agg>[a-z0-9]+)\(\s*(?P<{p}series>[A-Za-z0-9_:]+)\s*\[\s*(?P<{p}window>\d+(?:\.\d+)?)\s*\]\s*\)"
+_RULE_RE = re.compile(
+    r"^\s*" + _TERM.format(p="") +
+    r"(?:\s*/\s*" + _TERM.format(p="div_") + r")?" +
+    r"\s*(?P<op>>=|<=|>|<)\s*(?P<threshold>-?\d+(?:\.\d+)?)" +
+    r"(?:\s+for\s+(?P<for>\d+(?:\.\d+)?))?\s*$"
+)
+
+_QUANTILE_AGGS = {"p50": 0.50, "p90": 0.90, "p95": 0.95, "p99": 0.99}
+_PLAIN_AGGS = ("rate", "delta", "mean", "latest")
+
+_OPS = {
+    ">": lambda value, threshold: value > threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "<": lambda value, threshold: value < threshold,
+    "<=": lambda value, threshold: value <= threshold,
+}
+
+
+class RuleSyntaxError(ValueError):
+    """The rule expression does not match the grammar."""
+
+
+def _evaluate_term(store, agg, series, window, now=None):
+    if agg in _QUANTILE_AGGS:
+        return store.quantile(series, _QUANTILE_AGGS[agg], window, now=now)
+    if agg == "rate":
+        return store.rate(series, window, now=now)
+    if agg == "delta":
+        return store.delta(series, window, now=now)
+    if agg == "mean":
+        return store.mean(series, window, now=now)
+    if agg == "latest":
+        return store.latest(series)
+    raise RuleSyntaxError("unknown aggregate %r" % agg)
+
+
+class AlertRule(object):
+    """One parsed rule plus its ok → pending → firing state machine."""
+
+    def __init__(self, name, expr, severity="warning", description=""):
+        match = _RULE_RE.match(expr)
+        if match is None:
+            raise RuleSyntaxError("cannot parse rule %r" % expr)
+        groups = match.groupdict()
+        for key in ("agg", "div_agg"):
+            agg = groups[key]
+            if agg is not None and agg not in _QUANTILE_AGGS and agg not in _PLAIN_AGGS:
+                raise RuleSyntaxError("unknown aggregate %r in %r" % (agg, expr))
+        self.name = name
+        self.expr = expr
+        self.severity = severity
+        self.description = description
+        self.agg = groups["agg"]
+        self.series = groups["series"]
+        self.window = float(groups["window"])
+        self.div_agg = groups["div_agg"]
+        self.div_series = groups["div_series"]
+        self.div_window = float(groups["div_window"]) if groups["div_window"] else None
+        self.op = groups["op"]
+        self.threshold = float(groups["threshold"])
+        self.for_seconds = float(groups["for"]) if groups["for"] else 0.0
+        # State machine.
+        self.state = OK
+        self.value = None
+        self.pending_since = None  # monotonic
+        self.fired_at = None  # epoch, display only
+        self.transitions = 0
+
+    def evaluate(self, store, now=None):
+        """One evaluation tick; returns the (possibly new) state."""
+        value = _evaluate_term(store, self.agg, self.series, self.window, now=now)
+        if value is not None and self.div_series is not None:
+            divisor = _evaluate_term(
+                store, self.div_agg, self.div_series, self.div_window, now=now)
+            if divisor is None or divisor == 0:
+                value = None
+            else:
+                value = value / divisor
+        self.value = value
+        breached = value is not None and _OPS[self.op](value, self.threshold)
+        mono = time.monotonic() if now is None else now
+        if not breached:
+            # No data counts as recovery: a cold series must not page.
+            self.pending_since = None
+            if self.state != OK:
+                self.state = OK
+                self.transitions += 1
+            return self.state
+        if self.pending_since is None:
+            self.pending_since = mono
+        held = mono - self.pending_since
+        if held >= self.for_seconds:
+            if self.state != FIRING:
+                self.state = FIRING
+                self.fired_at = time.time()
+                self.transitions += 1
+        elif self.state != FIRING:
+            if self.state != PENDING:
+                self.state = PENDING
+                self.transitions += 1
+        return self.state
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "expr": self.expr,
+            "severity": self.severity,
+            "description": self.description,
+            "state": self.state,
+            "value": None if self.value is None else round(self.value, 6),
+            "threshold": self.threshold,
+            "for_seconds": self.for_seconds,
+            "fired_at": self.fired_at,
+            "transitions": self.transitions,
+        }
+
+
+class AlertManager(object):
+    """Evaluates a rule set on every sampler tick; keeps a notification log."""
+
+    MAX_NOTIFICATIONS = 256
+
+    def __init__(self, store, rules=None):
+        self.store = store
+        self._rules = []
+        self._lock = threading.Lock()
+        self.evaluations = 0
+        self.notifications = deque(maxlen=self.MAX_NOTIFICATIONS)
+        for rule in (rules if rules is not None else ()):
+            self.add_rule(rule)
+
+    def add_rule(self, rule):
+        if not isinstance(rule, AlertRule):
+            rule = AlertRule(**rule)
+        with self._lock:
+            self._rules.append(rule)
+        return rule
+
+    @property
+    def rules(self):
+        with self._lock:
+            return list(self._rules)
+
+    def evaluate(self, store=None, now=None):
+        """Evaluate every rule once; log state transitions. Returns states."""
+        store = store if store is not None else self.store
+        states = {}
+        with self._lock:
+            rules = list(self._rules)
+            self.evaluations += 1
+        for rule in rules:
+            before = rule.state
+            after = rule.evaluate(store, now=now)
+            states[rule.name] = after
+            if after != before:
+                with self._lock:
+                    self.notifications.append({
+                        "epoch": time.time(),
+                        "rule": rule.name,
+                        "severity": rule.severity,
+                        "from_state": before,
+                        "to_state": after,
+                        "value": None if rule.value is None else round(rule.value, 6),
+                        "expr": rule.expr,
+                    })
+        return states
+
+    def firing(self):
+        return [rule for rule in self.rules if rule.state == FIRING]
+
+    def health(self):
+        """Aggregate health verdict: ok | degraded (anything pending/firing)."""
+        rules = self.rules
+        firing = [rule.name for rule in rules if rule.state == FIRING]
+        pending = [rule.name for rule in rules if rule.state == PENDING]
+        return {
+            "status": "degraded" if firing else "ok",
+            "firing": firing,
+            "pending": pending,
+            "rules": len(rules),
+            "evaluations": self.evaluations,
+        }
+
+    def to_dict(self):
+        with self._lock:
+            notifications = list(self.notifications)
+        payload = self.health()
+        payload["alerts"] = [rule.to_dict() for rule in self.rules]
+        payload["notifications"] = notifications
+        return payload
+
+
+def default_rules():
+    """The rule set `repro serve` installs when monitoring is enabled."""
+    return [
+        AlertRule(
+            "HighErrorRate",
+            "rate(repro_queries_failed_total[60]) > 0.5 for 10",
+            severity="critical",
+            description="More than 0.5 failed queries/s over the last minute.",
+        ),
+        AlertRule(
+            "AdmissionRejections",
+            "rate(repro_scheduler_admission_rejections_total[60]) > 1 for 10",
+            severity="warning",
+            description="Scheduler is rejecting more than 1 job/s at admission.",
+        ),
+        AlertRule(
+            "CacheHitRateLow",
+            "rate(repro_cache_hits_total[120]) / rate(repro_cache_probes_total[120]) < 0.1 for 30",
+            severity="info",
+            description="Result-cache hit rate dropped below 10% over 2 minutes.",
+        ),
+        AlertRule(
+            "HighQueryLatency",
+            "p99(repro_scheduler_exec_seconds[60]) > 1.0 for 10",
+            severity="critical",
+            description="p99 query execution latency exceeded 1s over the last minute.",
+        ),
+    ]

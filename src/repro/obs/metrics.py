@@ -33,6 +33,29 @@ DEFAULT_BUCKETS = (
 DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
 
 
+def buckets_up_to(max_seconds, base=DEFAULT_BUCKETS):
+    """Extend the default bucket ladder geometrically to cover ``max_seconds``.
+
+    ``DEFAULT_BUCKETS`` tops out at 10 s, which under-resolves queries that
+    run up to a statement timeout of, say, 60 s — everything lands in +Inf.
+    This returns the default ladder plus 10-25-50-style decades until the
+    last bound is >= ``max_seconds``, so registration sites (and ``repro
+    serve --histogram-max``) can match bucket resolution to the timeout.
+    """
+    buckets = list(base)
+    steps = (1.0, 2.5, 5.0)
+    decade = 10.0
+    while buckets[-1] < max_seconds:
+        for step in steps:
+            bound = decade * step
+            if bound > buckets[-1]:
+                buckets.append(bound)
+                if bound >= max_seconds:
+                    break
+        decade *= 10.0
+    return tuple(buckets)
+
+
 def _format_value(value):
     if value == float("inf"):
         return "+Inf"
@@ -143,6 +166,27 @@ class P2Quantile(object):
                               int(math.ceil(self.q * len(self._heights))) - 1))
             return self._heights[rank]
         return self._heights[2]
+
+    # -- persistence (the Query Store checkpoints its estimators) ---------------
+
+    def to_state(self):
+        """JSON-safe marker state; :meth:`from_state` round-trips exactly."""
+        return {
+            "q": self.q,
+            "count": self._count,
+            "heights": list(self._heights),
+            "pos": list(self._pos),
+            "desired": list(self._desired),
+        }
+
+    @classmethod
+    def from_state(cls, state):
+        estimator = cls(state["q"])
+        estimator._count = state["count"]
+        estimator._heights = list(state["heights"])
+        estimator._pos = list(state["pos"])
+        estimator._desired = list(state["desired"])
+        return estimator
 
 
 class _Instrument(object):
@@ -256,10 +300,11 @@ class Histogram(_Instrument):
 
     kind = "histogram"
 
-    def __init__(self, name, help_text="", buckets=DEFAULT_BUCKETS,
+    def __init__(self, name, help_text="", buckets=None,
                  quantiles=DEFAULT_QUANTILES):
         super(Histogram, self).__init__(name, help_text)
-        self._bounds = tuple(sorted(buckets))
+        self._bounds = tuple(sorted(buckets if buckets is not None
+                                    else DEFAULT_BUCKETS))
         self._bucket_counts = [0] * (len(self._bounds) + 1)  # +Inf last
         self._sum = 0.0
         self._count = 0
@@ -357,9 +402,16 @@ class _CallbackCounter(_Instrument):
 class MetricsRegistry(object):
     """One namespace of instruments; renders Prometheus text exposition."""
 
-    def __init__(self):
+    def __init__(self, default_buckets=None):
         self._instruments = OrderedDict()  # name -> instrument
         self._lock = threading.Lock()
+        #: Bucket bounds used when a histogram is registered without
+        #: explicit ``buckets``.  Settable at construction or later (e.g.
+        #: ``repro serve --histogram-max``) — but only *before* the first
+        #: registration of a histogram takes effect for it, because
+        #: registration is idempotent by name.
+        self.default_buckets = (tuple(default_buckets)
+                                if default_buckets is not None else None)
 
     # -- registration (idempotent by name) --------------------------------------
 
@@ -384,8 +436,10 @@ class MetricsRegistry(object):
     def gauge(self, name, help_text=""):
         return self._get_or_create(name, lambda: Gauge(name, help_text), "gauge")
 
-    def histogram(self, name, help_text="", buckets=DEFAULT_BUCKETS,
+    def histogram(self, name, help_text="", buckets=None,
                   quantiles=DEFAULT_QUANTILES):
+        if buckets is None:
+            buckets = self.default_buckets
         return self._get_or_create(
             name,
             lambda: Histogram(name, help_text, buckets=buckets,
@@ -492,13 +546,15 @@ _NULL = _NullInstrument()
 class NullRegistry(object):
     """API-compatible no-op registry: the uninstrumented baseline."""
 
+    default_buckets = None
+
     def counter(self, name, help_text=""):
         return _NULL
 
     def gauge(self, name, help_text=""):
         return _NULL
 
-    def histogram(self, name, help_text="", buckets=DEFAULT_BUCKETS,
+    def histogram(self, name, help_text="", buckets=None,
                   quantiles=DEFAULT_QUANTILES):
         return _NULL
 

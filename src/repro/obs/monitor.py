@@ -1,0 +1,62 @@
+"""Continuous monitor: sampler + time-series + alerts as one unit.
+
+The runtime owns exactly one of these.  It wires the pieces the obvious
+way — a :class:`MetricsSampler` snapshots the registry into a
+:class:`TimeSeriesStore`, and every sample triggers one
+:class:`AlertManager` evaluation — and exposes the combined health
+verdict that ``GET /api/v1/health`` serves.
+"""
+
+from repro.obs.alerts import AlertManager, default_rules
+from repro.obs.timeseries import DEFAULT_SAMPLES, MetricsSampler, TimeSeriesStore
+
+
+class ContinuousMonitor(object):
+    """One registry's sampler, history and alert evaluator."""
+
+    def __init__(self, registry, interval=5.0, capacity=DEFAULT_SAMPLES,
+                 rules=None):
+        self.registry = registry
+        self.store = TimeSeriesStore(capacity=capacity)
+        self.alerts = AlertManager(
+            self.store, rules if rules is not None else default_rules())
+        self.sampler = MetricsSampler(
+            registry, self.store, interval=interval,
+            on_sample=self._on_sample)
+
+    def _on_sample(self, store):
+        self.alerts.evaluate(store)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self):
+        self.sampler.start()
+        return self
+
+    def stop(self):
+        self.sampler.stop()
+
+    @property
+    def running(self):
+        return self.sampler.running
+
+    def tick(self):
+        """One synchronous sample+evaluate (tests and `repro top --once`)."""
+        return self.sampler.sample_once()
+
+    # -- verdicts -------------------------------------------------------------
+
+    def health(self):
+        payload = self.alerts.health()
+        payload["sampler_running"] = self.running
+        payload["samples_taken"] = self.store.samples_taken
+        payload["last_sample_epoch"] = self.store.last_sample_epoch
+        return payload
+
+    def stats(self):
+        return {
+            "interval": self.sampler.interval,
+            "running": self.running,
+            "store": self.store.stats(),
+            "health": self.alerts.health(),
+        }

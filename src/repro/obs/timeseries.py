@@ -1,0 +1,342 @@
+"""Metrics time-series: bounded history over the live registry.
+
+A :class:`MetricsRegistry` answers point-in-time questions — the value of
+every instrument *now*.  Operating a long-running service needs history:
+was the error rate climbing before the page, did the cache hit rate drop
+when the new workload arrived, what was p99 over the last minute?  This
+module adds that layer without touching the hot path:
+
+- :class:`TimeSeriesStore` — one bounded ring buffer per series (a series
+  is a fully-labelled sample name exactly as ``registry.snapshot()``
+  renders it, e.g. ``repro_scheduler_exec_seconds_bucket{le="0.1"}``),
+  with windowed queries: ``rate`` (counter increase per second), ``delta``,
+  ``mean``, and ``quantile`` (Prometheus-style interpolation over
+  histogram bucket deltas).  Label children of one metric form a *family*;
+  family queries sum over the children.
+- :class:`MetricsSampler` — a daemon thread that snapshots a registry into
+  the store at a fixed interval and invokes an optional callback (the
+  alert evaluator) after every sample.
+
+Samples carry both a monotonic timestamp (all window arithmetic) and an
+epoch timestamp (display/export only), following the repo-wide rule that
+durations never cross a wall clock.
+"""
+
+import threading
+import time
+from collections import deque
+
+#: Default ring-buffer capacity per series: at the default 5 s interval
+#: this keeps 30 minutes of history in ~8 KB per series.
+DEFAULT_SAMPLES = 360
+
+
+def _family_of(series):
+    """The metric name part of a series key (labels stripped)."""
+    brace = series.find("{")
+    return series if brace < 0 else series[:brace]
+
+
+def _parse_le(series):
+    """The ``le`` bound of a histogram bucket series, as a float."""
+    marker = 'le="'
+    start = series.find(marker)
+    if start < 0:
+        return None
+    end = series.find('"', start + len(marker))
+    raw = series[start + len(marker):end]
+    if raw == "+Inf":
+        return float("inf")
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+class Series(object):
+    """One metric series: a bounded ring of (monotonic, epoch, value)."""
+
+    __slots__ = ("name", "_samples",)
+
+    def __init__(self, name, capacity=DEFAULT_SAMPLES):
+        self.name = name
+        self._samples = deque(maxlen=capacity)
+
+    def append(self, mono, epoch, value):
+        self._samples.append((mono, epoch, value))
+
+    def __len__(self):
+        return len(self._samples)
+
+    def samples(self):
+        return list(self._samples)
+
+    def latest(self):
+        return self._samples[-1] if self._samples else None
+
+    def window(self, seconds, now=None):
+        """Samples whose monotonic timestamp falls in the last ``seconds``."""
+        if not self._samples:
+            return []
+        if now is None:
+            now = self._samples[-1][0]
+        cutoff = now - seconds
+        # Ring buffers are short (<= capacity); a reverse scan beats
+        # building a list for bisect on every query.
+        out = []
+        for sample in reversed(self._samples):
+            if sample[0] < cutoff:
+                break
+            out.append(sample)
+        out.reverse()
+        return out
+
+
+class TimeSeriesStore(object):
+    """Bounded per-series history with windowed queries (thread-safe)."""
+
+    def __init__(self, capacity=DEFAULT_SAMPLES, max_series=4096):
+        self.capacity = capacity
+        #: Hard cap on distinct series (labels are unbounded in principle;
+        #: the store must not be).  Excess series are dropped, counted.
+        self.max_series = max_series
+        self._series = {}  # series key -> Series
+        self._families = {}  # family name -> [series keys]
+        self._lock = threading.Lock()
+        self.samples_taken = 0
+        self.series_dropped = 0
+        self.last_sample_epoch = None
+        self.last_sample_seconds = 0.0
+
+    # -- recording ------------------------------------------------------------
+
+    def record(self, snapshot, mono=None, epoch=None):
+        """Append one registry snapshot (``{series: value}``) to every ring."""
+        started = time.perf_counter()
+        if mono is None:
+            mono = time.monotonic()
+        if epoch is None:
+            epoch = time.time()
+        with self._lock:
+            for key, value in snapshot.items():
+                series = self._series.get(key)
+                if series is None:
+                    if len(self._series) >= self.max_series:
+                        self.series_dropped += 1
+                        continue
+                    series = self._series[key] = Series(key, self.capacity)
+                    self._families.setdefault(_family_of(key), []).append(key)
+                series.append(mono, epoch, float(value))
+            self.samples_taken += 1
+            self.last_sample_epoch = epoch
+            self.last_sample_seconds = time.perf_counter() - started
+
+    # -- lookup ---------------------------------------------------------------
+
+    def series_names(self):
+        with self._lock:
+            return sorted(self._series)
+
+    def family(self, name):
+        """All series keys belonging to one metric name."""
+        with self._lock:
+            if name in self._series:
+                return [name]
+            return list(self._families.get(name, ()))
+
+    def _get(self, key):
+        with self._lock:
+            return self._series.get(key)
+
+    def latest(self, name):
+        """Most recent value; family queries sum the children."""
+        total = None
+        for key in self.family(name):
+            series = self._get(key)
+            sample = series.latest() if series is not None else None
+            if sample is not None:
+                total = (total or 0.0) + sample[2]
+        return total
+
+    def delta(self, name, seconds, now=None):
+        """Increase over the window (counter semantics: resets clamp to 0)."""
+        total = None
+        for key in self.family(name):
+            series = self._get(key)
+            if series is None:
+                continue
+            window = series.window(seconds, now=now)
+            if len(window) < 2:
+                continue
+            increase = 0.0
+            previous = window[0][2]
+            for _mono, _epoch, value in window[1:]:
+                if value >= previous:
+                    increase += value - previous
+                else:  # counter reset: the new value is all new increase
+                    increase += value
+                previous = value
+            total = (total or 0.0) + increase
+        return total
+
+    def rate(self, name, seconds, now=None):
+        """Per-second increase over the window (None without two samples)."""
+        elapsed = None
+        for key in self.family(name):
+            series = self._get(key)
+            if series is None:
+                continue
+            window = series.window(seconds, now=now)
+            if len(window) >= 2:
+                span = window[-1][0] - window[0][0]
+                if span > 0:
+                    elapsed = max(elapsed or 0.0, span)
+        if not elapsed:
+            return None
+        increase = self.delta(name, seconds, now=now)
+        return None if increase is None else increase / elapsed
+
+    def mean(self, name, seconds, now=None):
+        """Average of the sampled values over the window (gauge semantics)."""
+        values = []
+        for key in self.family(name):
+            series = self._get(key)
+            if series is None:
+                continue
+            values.extend(sample[2] for sample in series.window(seconds, now=now))
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def quantile(self, name, q, seconds, now=None):
+        """Quantile of a histogram over the window, from bucket deltas.
+
+        ``name`` is the histogram's base name; the store looks up every
+        ``<name>_bucket{le=...}`` series, takes each bucket's increase over
+        the window, and linearly interpolates inside the bucket containing
+        the target rank — ``histogram_quantile`` semantics.  Returns None
+        when the window saw no observations.
+        """
+        buckets = []
+        for key in self.family(name + "_bucket"):
+            bound = _parse_le(key)
+            if bound is None:
+                continue
+            increase = self.delta(key, seconds, now=now)
+            if increase is not None:
+                buckets.append((bound, increase))
+        buckets.sort()
+        if not buckets:
+            return None
+        # Bucket series are cumulative; deltas of cumulative counts are
+        # cumulative too, so the last (+Inf) entry is the total count.
+        total = buckets[-1][1]
+        if total <= 0:
+            return None
+        rank = q * total
+        previous_bound, previous_count = 0.0, 0.0
+        for bound, count in buckets:
+            if count >= rank:
+                if bound == float("inf"):
+                    return previous_bound
+                span = count - previous_count
+                if span <= 0:
+                    return bound
+                fraction = (rank - previous_count) / span
+                return previous_bound + (bound - previous_bound) * fraction
+            previous_bound, previous_count = bound, count
+        return previous_bound
+
+    # -- export ---------------------------------------------------------------
+
+    def to_dict(self, prefix=None, window=None, max_points=None):
+        """JSON export: every series (optionally name-prefix filtered) with
+        its (epoch, value) points, newest last."""
+        with self._lock:
+            names = sorted(self._series)
+        payload = {}
+        for key in names:
+            if prefix and not key.startswith(prefix):
+                continue
+            series = self._get(key)
+            if series is None:
+                continue
+            samples = (series.window(window) if window is not None
+                       else series.samples())
+            if max_points is not None:
+                samples = samples[-max_points:]
+            payload[key] = [
+                [round(epoch, 3), value] for _mono, epoch, value in samples
+            ]
+        return {
+            "samples_taken": self.samples_taken,
+            "series_count": len(names),
+            "series_dropped": self.series_dropped,
+            "last_sample_epoch": self.last_sample_epoch,
+            "series": payload,
+        }
+
+    def stats(self):
+        with self._lock:
+            return {
+                "samples_taken": self.samples_taken,
+                "series_count": len(self._series),
+                "series_dropped": self.series_dropped,
+                "capacity": self.capacity,
+                "last_sample_epoch": self.last_sample_epoch,
+                "last_sample_seconds": round(self.last_sample_seconds, 6),
+            }
+
+
+class MetricsSampler(object):
+    """Background thread snapshotting a registry into a store.
+
+    ``on_sample`` (called after every snapshot, with the store) is where the
+    alert evaluator hooks in.  The thread is a daemon and wakes on ``stop``
+    immediately, so shutting a runtime down never blocks on the interval.
+    """
+
+    def __init__(self, registry, store, interval=5.0, on_sample=None):
+        self.registry = registry
+        self.store = store
+        self.interval = interval
+        self.on_sample = on_sample
+        self._stop = threading.Event()
+        self._thread = None
+
+    @property
+    def running(self):
+        return self._thread is not None and self._thread.is_alive()
+
+    def sample_once(self):
+        """One synchronous sample + callback (the tests' manual crank)."""
+        self.store.record(self.registry.snapshot())
+        if self.on_sample is not None:
+            try:
+                self.on_sample(self.store)
+            except Exception:
+                pass  # monitoring must never take the service down
+        return self.store.samples_taken
+
+    def start(self):
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="metrics-sampler", daemon=True)
+        self._thread.start()
+        return self
+
+    def _loop(self):
+        while not self._stop.wait(self.interval):
+            try:
+                self.sample_once()
+            except Exception:
+                pass  # a failed sample must not kill the sampler
+
+    def stop(self):
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=1.0)
+            self._thread = None

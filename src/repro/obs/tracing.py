@@ -28,13 +28,17 @@ class Span(object):
     counts, outcome states).
     """
 
-    __slots__ = ("name", "start", "end", "thread_id", "attrs")
+    __slots__ = ("name", "start", "end", "thread_id", "thread_name", "attrs")
 
-    def __init__(self, name, start, end, thread_id=0, attrs=None):
+    def __init__(self, name, start, end, thread_id=0, thread_name=None,
+                 attrs=None):
         self.name = name
         self.start = start
         self.end = end
         self.thread_id = thread_id
+        #: The recording thread's name ("query-runtime-0", "MainThread"),
+        #: carried so the Chrome export can label lanes.
+        self.thread_name = thread_name
         self.attrs = attrs or {}
 
     @property
@@ -83,6 +87,7 @@ class Trace(object):
             start - self.origin,
             end - self.origin,
             thread_id=threading.get_ident(),
+            thread_name=threading.current_thread().name,
             attrs=attrs or None,
         )
         with self._lock:
@@ -103,6 +108,7 @@ class Trace(object):
                 start - self.origin,
                 time.monotonic() - self.origin,
                 thread_id=threading.get_ident(),
+                thread_name=threading.current_thread().name,
                 attrs=payload or None,
             )
             with self._lock:
@@ -137,16 +143,45 @@ class Trace(object):
         }
 
     def to_chrome(self):
-        """Chrome ``trace_event`` complete events (microsecond units)."""
-        events = []
-        for span in sorted(self.spans(), key=lambda span: span.start):
+        """Chrome ``trace_event`` complete events (microsecond units).
+
+        Raw ``threading.get_ident()`` values are huge and vary run to run;
+        they are remapped to small stable tids (0, 1, 2, ... in order of
+        first span start), and ``process_name``/``thread_name`` metadata
+        events are emitted so ``chrome://tracing``/Perfetto render labeled
+        per-worker lanes instead of anonymous numbers.
+        """
+        spans = sorted(self.spans(), key=lambda span: (span.start, span.end))
+        tids = {}
+        names = {}
+        for span in spans:
+            if span.thread_id not in tids:
+                tids[span.thread_id] = len(tids)
+                names[tids[span.thread_id]] = (
+                    span.thread_name or "thread-%d" % tids[span.thread_id])
+        events = [{
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "repro query %s" % self.trace_id},
+        }]
+        for tid in sorted(names):
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": names[tid]},
+            })
+        for span in spans:
             events.append({
                 "name": span.name,
                 "ph": "X",
                 "ts": round(span.start * 1e6, 1),
                 "dur": round(span.duration * 1e6, 1),
                 "pid": 1,
-                "tid": span.thread_id,
+                "tid": tids[span.thread_id],
                 "cat": "query",
                 "args": dict(span.attrs),
             })

@@ -1,0 +1,140 @@
+"""`repro top`: a plain-text operations dashboard.
+
+Pure rendering — the CLI fetches the REST payloads (runtime stats, health,
+alerts, query store) and this module turns them into one screenful of
+text.  Keeping rendering free of I/O makes the dashboard testable without
+a server and reusable for one-shot (``--once``) snapshots in scripts.
+"""
+
+import time
+
+from repro.reporting.tables import format_table
+
+_STATE_MARKS = {"ok": " ", "pending": "~", "firing": "!"}
+
+
+def _fmt_seconds(value):
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return "%.2fs" % value
+    return "%.1fms" % (value * 1000.0)
+
+
+def _fmt_rate(value):
+    return "-" if value is None else "%.2f/s" % value
+
+
+def render_dashboard(stats, health=None, alerts=None, querystore=None,
+                     now=None):
+    """One screenful of operational state from the REST payloads."""
+    lines = []
+    stamp = time.strftime(
+        "%H:%M:%S", time.localtime(now if now is not None else time.time()))
+    status = (health or {}).get("status", "unknown")
+    lines.append("repro top — %s — health: %s" % (stamp, status.upper()))
+    lines.append("")
+
+    lines.append("scheduler  workers=%d  queued=%d  running=%d" % (
+        stats.get("workers", 0), stats.get("queued", 0),
+        stats.get("running", 0)))
+    finished = stats.get("finished") or {}
+    if finished:
+        lines.append("finished   " + "  ".join(
+            "%s=%d" % (state.lower(), count)
+            for state, count in sorted(finished.items())))
+    latency = stats.get("latency") or {}
+    exec_latency = latency.get("exec_seconds")
+    if exec_latency:
+        lines.append("latency    p50=%s  p90=%s  p99=%s  (n=%d)" % (
+            _fmt_seconds(exec_latency.get("p50")),
+            _fmt_seconds(exec_latency.get("p90")),
+            _fmt_seconds(exec_latency.get("p99")),
+            exec_latency.get("count", 0)))
+    cache = stats.get("cache")
+    if cache:
+        lines.append("cache      entries=%d  hit_rate=%.1f%%  hits=%d  misses=%d" % (
+            cache.get("entries", 0), 100.0 * cache.get("hit_rate", 0.0),
+            cache.get("hits", 0), cache.get("misses", 0)))
+    qs = querystore or stats.get("querystore")
+    if qs:
+        lines.append(
+            "querystore entries=%d  plan_changes=%d  regressions=%d" % (
+                qs.get("entries", 0), qs.get("plan_changes", 0),
+                qs.get("regressions", 0)))
+
+    if alerts:
+        lines.append("")
+        rows = [
+            ("%s%s" % (_STATE_MARKS.get(rule["state"], "?"), rule["name"]),
+             rule["state"], rule["severity"],
+             "-" if rule["value"] is None else "%.4g" % rule["value"],
+             "%.4g" % rule["threshold"])
+            for rule in alerts.get("alerts", [])
+        ]
+        if rows:
+            lines.append(format_table(
+                ["alert", "state", "severity", "value", "threshold"], rows))
+        for note in alerts.get("notifications", [])[-5:]:
+            lines.append("  %s %s: %s -> %s" % (
+                time.strftime("%H:%M:%S", time.localtime(note["epoch"])),
+                note["rule"], note["from_state"], note["to_state"]))
+    return "\n".join(lines)
+
+
+def render_querystore(payload, regressions_only=False):
+    """The query store listing `repro querystore` prints."""
+    lines = [
+        "query store: %d entr%s (%d recorded, %d evicted, "
+        "%d plan change%s, %d regression%s)" % (
+            payload.get("entries", 0),
+            "y" if payload.get("entries") == 1 else "ies",
+            payload.get("recorded", 0), payload.get("evictions", 0),
+            payload.get("plan_changes", 0),
+            "" if payload.get("plan_changes") == 1 else "s",
+            payload.get("regressions", 0),
+            "" if payload.get("regressions") == 1 else "s"),
+    ]
+    queries = payload.get("queries", [])
+    if not queries:
+        lines.append("  (no %s)" % (
+            "regressions" if regressions_only else "queries recorded"))
+        return "\n".join(lines)
+    rows = []
+    for entry in queries:
+        sql = entry["sql"]
+        rows.append((
+            entry["fingerprint"],
+            entry["executions"],
+            entry["errors"],
+            entry["cache_hits"],
+            len(entry["plans"]),
+            "yes" if entry.get("regression") else "",
+            sql[:48] + ("..." if len(sql) > 48 else ""),
+        ))
+    lines.append(format_table(
+        ["fingerprint", "execs", "errors", "hits", "plans", "regressed", "sql"],
+        rows))
+    for entry in queries:
+        verdict = entry.get("regression")
+        if verdict:
+            lines.append(render_regression_verdict(verdict))
+    return "\n".join(lines)
+
+
+def render_regression_verdict(verdict):
+    """One regression verdict as a readable block."""
+    return (
+        "regression %(fingerprint)s: plan %(baseline_plan)s -> "
+        "%(regressed_plan)s, mean %(baseline)s -> %(regressed)s "
+        "(%(slowdown).1fx over %(n)d vs %(m)d executions)\n  %(sql)s" % {
+            "fingerprint": verdict["fingerprint"],
+            "baseline_plan": verdict["baseline_plan"],
+            "regressed_plan": verdict["regressed_plan"],
+            "baseline": _fmt_seconds(verdict["baseline_mean_seconds"]),
+            "regressed": _fmt_seconds(verdict["regressed_mean_seconds"]),
+            "slowdown": verdict["slowdown"],
+            "n": verdict["baseline_executions"],
+            "m": verdict["regressed_executions"],
+            "sql": verdict["sql"][:100],
+        })

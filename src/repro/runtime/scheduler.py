@@ -22,7 +22,9 @@ import time
 from collections import OrderedDict, deque
 
 from repro.errors import AdmissionError, QueryCancelled, QueryTimeout, classify_error
-from repro.obs.metrics import MetricsRegistry, NullRegistry
+from repro.obs.metrics import MetricsRegistry, NullRegistry, buckets_up_to
+from repro.obs.monitor import ContinuousMonitor
+from repro.obs.querystore import QueryStore
 from repro.runtime import job as jobmod
 from repro.runtime.cache import ResultCache
 from repro.runtime.job import QueryJob
@@ -36,7 +38,9 @@ class RuntimeConfig(object):
                  cache_enabled=True, cache_entries=256,
                  cache_max_rows=50000, lint_submissions=True,
                  completed_jobs_retained=10000, tracing_enabled=True,
-                 metrics_enabled=True):
+                 metrics_enabled=True, querystore_enabled=True,
+                 querystore_entries=512, monitor_enabled=False,
+                 monitor_interval=5.0, histogram_max_seconds=None):
         #: Worker threads.  0 means no threads are ever spawned: submissions
         #: run inline in the caller (the tests' synchronous mode) or wait in
         #: the queue for explicit :meth:`QueryRuntime.step` calls.
@@ -59,6 +63,19 @@ class RuntimeConfig(object):
         #: metrics registry.  Disabling swaps in a NullRegistry — the
         #: uninstrumented baseline the overhead benchmark compares against.
         self.metrics_enabled = metrics_enabled
+        #: Record per-fingerprint runtime history (Query Store) from job
+        #: completions.  Follows metrics_enabled: the uninstrumented
+        #: baseline must not pay for it either.
+        self.querystore_enabled = querystore_enabled
+        self.querystore_entries = querystore_entries
+        #: Run the continuous monitor (metrics sampler + alert rules).
+        #: Off by default for library use; ``repro serve`` turns it on.
+        self.monitor_enabled = monitor_enabled
+        self.monitor_interval = monitor_interval
+        #: Extend histogram buckets up to this bound (seconds).  None keeps
+        #: DEFAULT_BUCKETS (tops out at 10 s — under-resolves statement-
+        #: timeout-bound queries when the timeout is raised).
+        self.histogram_max_seconds = histogram_max_seconds
 
     def to_dict(self):
         return dict(self.__dict__)
@@ -102,6 +119,9 @@ class QueryRuntime(object):
             registry = getattr(platform, "metrics", None)
             if registry is None or isinstance(registry, NullRegistry):
                 registry = MetricsRegistry()
+            if self.config.histogram_max_seconds:
+                registry.default_buckets = buckets_up_to(
+                    self.config.histogram_max_seconds)
             platform.metrics = registry
             platform.db.metrics = registry
             self.metrics = registry
@@ -110,6 +130,27 @@ class QueryRuntime(object):
             platform.metrics = self.metrics
             platform.db.metrics = None
         self._install_instruments()
+        # -- continuous monitoring.  The Query Store lives on the platform
+        # (like the result cache) so checkpoints can persist it and a
+        # successor runtime inherits the accumulated baselines; the monitor
+        # (sampler + alerts) belongs to this runtime and follows its
+        # lifecycle.  Both follow metrics_enabled so the uninstrumented
+        # benchmark baseline pays for neither.
+        if self.config.querystore_enabled and self.config.metrics_enabled:
+            store = getattr(platform, "query_store", None)
+            if store is None:
+                store = QueryStore(capacity=self.config.querystore_entries)
+                platform.query_store = store
+            self.query_store = store
+        else:
+            self.query_store = None
+        if self.config.monitor_enabled and self.config.metrics_enabled:
+            self.monitor = ContinuousMonitor(
+                self.metrics, interval=self.config.monitor_interval)
+            if self.config.max_workers > 0:
+                self.monitor.start()
+        else:
+            self.monitor = None
         #: sql text -> lint diagnostics.  Linting parses the statement, so
         #: repeat submissions (the workload's dominant pattern, §6.3) would
         #: otherwise pay a full parse before even reaching the result
@@ -170,6 +211,12 @@ class QueryRuntime(object):
                 "repro_cache_misses_total",
                 "Result-cache probes that fell through to execution.",
                 lambda: stats.misses)
+            # hits + misses as one series, so the hit-rate alert rule can be
+            # a single division over family sums.
+            metrics.counter_callback(
+                "repro_cache_probes_total",
+                "Result-cache probes (hits + misses).",
+                lambda: stats.hits + stats.misses)
             metrics.counter_callback(
                 "repro_cache_stale_evictions_total",
                 "Entries evicted at probe time on version-vector mismatch.",
@@ -286,6 +333,7 @@ class QueryRuntime(object):
                     "repro_queries_failed_total",
                     "Failed queries by error taxonomy class.",
                 ).labels(error_class="cancelled").inc()
+                self._record_querystore(job)
             elif job.state == jobmod.RUNNING:
                 job.token.cancel(reason)
             return job
@@ -400,10 +448,35 @@ class QueryRuntime(object):
             self._exec_hist.observe(job.exec_seconds)
             self._worker_busy.inc(job.exec_seconds)
             self._jobs_finished.labels(outcome=job.state).inc()
+            self._record_querystore(job)
             with self._cond:
                 self._running[job.user] = self._running.get(job.user, 1) - 1
                 self._finished[job.state] = self._finished.get(job.state, 0) + 1
                 self._cond.notify_all()
+
+    def _record_querystore(self, job):
+        """Fold one terminal job into the per-fingerprint Query Store."""
+        store = self.query_store
+        if store is None:
+            return
+        try:
+            normalized = None
+            if self.cache is not None:
+                # Reuse the cache's memoized parser-rendered key so repeat
+                # submissions never re-normalize on the completion path.
+                normalized = self.cache.memoized_key(job.sql)
+            result = job.result
+            store.record(
+                job.sql,
+                plan=result.plan if result is not None else None,
+                seconds=job.exec_seconds,
+                rows=len(result.rows) if result is not None else 0,
+                error=job.state != jobmod.SUCCEEDED,
+                cache_hit=bool(job.cache_hit),
+                normalized=normalized,
+            )
+        except Exception:
+            pass  # history is advisory; never take the scheduler down
 
     def _log_outcome(self, job):
         """Append the structured failure/cancel record to the query log
@@ -428,6 +501,8 @@ class QueryRuntime(object):
         return jobs
 
     def shutdown(self):
+        if self.monitor is not None:
+            self.monitor.stop()
         with self._cond:
             self._shutdown = True
             self._cond.notify_all()
@@ -492,4 +567,8 @@ class QueryRuntime(object):
             payload["latency"] = latency
         storage = getattr(self.platform, "storage", None)
         payload["storage"] = storage.stats() if storage is not None else None
+        payload["querystore"] = (self.query_store.summary()
+                                 if self.query_store is not None else None)
+        payload["monitor"] = (self.monitor.stats()
+                              if self.monitor is not None else None)
         return payload

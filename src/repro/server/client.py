@@ -32,9 +32,11 @@ class _WSGITransport(object):
 
     def request(self, method, path, headers, body):
         raw = json.dumps(body).encode("utf-8") if body is not None else b""
+        path, _, query = path.partition("?")
         environ = {
             "REQUEST_METHOD": method,
             "PATH_INFO": path,
+            "QUERY_STRING": query,
             "CONTENT_LENGTH": str(len(raw)),
             "wsgi.input": io.BytesIO(raw),
         }
@@ -180,6 +182,38 @@ class SQLShareClient(object):
     def query_trace(self, query_id):
         """The lifecycle trace (spans + Chrome trace_event) for a query."""
         return self._call("GET", "/api/v1/query/%s/trace" % query_id)
+
+    # -- continuous monitoring ---------------------------------------------------------
+
+    def timeseries(self, prefix=None, window=None, max_points=None):
+        """Sampled metrics history (optionally prefix/window-narrowed)."""
+        body = {}
+        if prefix is not None:
+            body["prefix"] = prefix
+        if window is not None:
+            body["window"] = window
+        if max_points is not None:
+            body["max_points"] = max_points
+        return self._call("GET", "/api/v1/timeseries", body or None)
+
+    def querystore(self, fingerprint=None, regressions=False, limit=None):
+        """Per-fingerprint runtime history, or one entry by fingerprint."""
+        if fingerprint is not None:
+            return self._call("GET", "/api/v1/querystore/%s" % fingerprint)
+        body = {}
+        if regressions:
+            body["regressions"] = True
+        if limit is not None:
+            body["limit"] = limit
+        return self._call("GET", "/api/v1/querystore", body or None)
+
+    def alerts(self):
+        """Alert rules with live state plus the notification log."""
+        return self._call("GET", "/api/v1/alerts")
+
+    def health(self):
+        """Aggregate health; 503 (degraded) is a valid, returned state."""
+        return self._call("GET", "/api/v1/health", expect=(200, 503))
 
     def check(self, sql, lint=True):
         """Static analysis without execution; returns the /check payload."""

@@ -27,6 +27,7 @@ used university SSO; the identity plumbing is identical downstream).
 import json
 import re
 import time
+from urllib.parse import parse_qsl as _parse_qsl
 
 from repro.core.sqlshare import SQLShare
 from repro.errors import (
@@ -71,6 +72,7 @@ _STATUS_TEXT = {
     405: "405 Method Not Allowed",
     409: "409 Conflict",
     429: "429 Too Many Requests",
+    503: "503 Service Unavailable",
 }
 
 
@@ -99,6 +101,12 @@ class SQLShareApp(object):
         content_type = "application/json"
         try:
             body = self._read_body(environ)
+            query = environ.get("QUERY_STRING")
+            if query:
+                # URL parameters back JSON-body fields for GET endpoints
+                # (?window=60&prefix=repro_cache); an explicit body wins.
+                for key, value in _parse_qsl(query):
+                    body.setdefault(key, value)
             response = self._dispatch(method, path, user, body)
             # Handlers normally return (status, payload); text endpoints
             # (Prometheus exposition) return (status, text, content_type).
@@ -335,6 +343,67 @@ class SQLShareApp(object):
             payload["profile"] = job.profile_data.summary()
         return 200, payload
 
+    # -- continuous-monitoring endpoints ----------------------------------------------------
+
+    def _monitor(self):
+        monitor = getattr(self.runtime, "monitor", None)
+        if monitor is None:
+            raise _HTTPError(409, "continuous monitoring is disabled "
+                                  "(start the runtime with monitor_enabled)")
+        return monitor
+
+    @route("GET", "/api/v1/timeseries")
+    def timeseries(self, user, body):
+        """Sampled metrics history; ``?prefix=``, ``?window=`` (seconds) and
+        ``?max_points=`` narrow the export."""
+        monitor = self._monitor()
+        window = body.get("window")
+        max_points = body.get("max_points")
+        return 200, monitor.store.to_dict(
+            prefix=body.get("prefix"),
+            window=float(window) if window is not None else None,
+            max_points=int(max_points) if max_points is not None else None,
+        )
+
+    @route("GET", "/api/v1/querystore")
+    def querystore(self, user, body):
+        """Per-fingerprint runtime history; ``?regressions=1`` filters to
+        regressed queries, ``?limit=`` bounds the listing."""
+        store = getattr(self.runtime, "query_store", None)
+        if store is None:
+            raise _HTTPError(409, "the query store is disabled on this runtime")
+        limit = body.get("limit")
+        return 200, store.to_dict(
+            limit=int(limit) if limit is not None else 50,
+            regressions_only=_truthy(body.get("regressions")),
+        )
+
+    @route("GET", "/api/v1/querystore/(?P<fingerprint>[0-9a-f]+)")
+    def querystore_entry(self, user, body, fingerprint):
+        store = getattr(self.runtime, "query_store", None)
+        if store is None:
+            raise _HTTPError(409, "the query store is disabled on this runtime")
+        entry = store.get(fingerprint)
+        if entry is None:
+            raise _HTTPError(404, "no query store entry %r" % fingerprint)
+        return 200, entry.to_dict(store.min_executions, store.regression_factor)
+
+    @route("GET", "/api/v1/alerts")
+    def alerts(self, user, body):
+        """Alert rules with live state, plus the notification log."""
+        return 200, self._monitor().alerts.to_dict()
+
+    @route("GET", "/api/v1/health", auth=False)
+    def health(self, user, body):
+        """Aggregate health; no auth so load balancers can probe it.  503
+        while any alert is firing, 200 otherwise."""
+        monitor = getattr(self.runtime, "monitor", None)
+        if monitor is None:
+            return 200, {"status": "ok", "monitoring": False}
+        payload = monitor.health()
+        payload["monitoring"] = True
+        return (503 if payload["status"] == "degraded" else 200), payload
+
     def _get_query(self, user, query_id):
         job = self.runtime.get(query_id)
         if job is None:
@@ -367,10 +436,19 @@ def _require(body, key):
     return value
 
 
-def serve(platform=None, host="127.0.0.1", port=8080):
+def _truthy(value):
+    """Query-string booleans: ``?regressions=1`` / ``true`` / ``yes``."""
+    if isinstance(value, bool):
+        return value
+    if value is None:
+        return False
+    return str(value).strip().lower() in ("1", "true", "yes", "on")
+
+
+def serve(platform=None, host="127.0.0.1", port=8080, runtime_config=None):
     """Run the app on wsgiref's simple server (for the examples/demo)."""
     from wsgiref.simple_server import make_server
 
-    app = SQLShareApp(platform)
+    app = SQLShareApp(platform, runtime_config=runtime_config)
     server = make_server(host, port, app)
     return server

@@ -18,6 +18,8 @@ from repro.storage.faults import (
     FaultyFile,
     FaultyOpener,
     InjectedCrash,
+    SlowFile,
+    SlowOpener,
     corrupt_tail,
     flip_byte,
 )
@@ -51,6 +53,8 @@ __all__ = [
     "RecoveryReport",
     "ReplaySummary",
     "SYNC_MODES",
+    "SlowFile",
+    "SlowOpener",
     "SnapshotError",
     "SnapshotStore",
     "StorageManager",

@@ -9,9 +9,16 @@ matching ``open`` substitute the WAL and snapshot store accept.
 
 ``corrupt_tail``/``flip_byte`` model media-level damage (a snapshot whose
 tail was lost after rename, a flipped bit) for the fallback paths.
+
+:class:`SlowFile`/:class:`SlowOpener` are the *timing* hooks: every write
+sleeps, modelling a saturated or degraded disk.  The WAL append sits on
+the query execution path (run_query logs before returning), so a slowed
+WAL inflates observed query latency — which is how the monitoring smoke
+test drives the p99 latency alert to firing without touching the engine.
 """
 
 import os
+import time
 
 
 class InjectedCrash(Exception):
@@ -96,6 +103,86 @@ class FaultyOpener(object):
             return handle
         return FaultyFile(handle, fail_after_bytes=self.fail_after_bytes,
                           fail_on_fsync=self.fail_on_fsync)
+
+
+class SlowFile(object):
+    """File wrapper that sleeps before every write (a degraded disk).
+
+    Unlike :class:`FaultyFile` nothing is ever lost or torn — only late.
+    ``delay_writes`` bounds how many writes pay the penalty (None = all),
+    so a test can inject a bounded spike and then let the service recover.
+
+    ``gate`` (a callable returning the delay to apply *right now*, 0 for
+    none) overrides the fixed delay; it is re-read on every write, which
+    is what lets :class:`SlowOpener` arm/disarm live file handles.
+    """
+
+    def __init__(self, handle, delay_seconds=0.05, delay_writes=None,
+                 gate=None):
+        self._handle = handle
+        self.delay_seconds = delay_seconds
+        self.remaining_delays = delay_writes
+        self.gate = gate
+        self.delayed_writes = 0
+
+    def write(self, data):
+        if self.gate is not None:
+            delay = self.gate()
+        elif self.remaining_delays is None or self.remaining_delays > 0:
+            delay = self.delay_seconds
+            if self.remaining_delays is not None:
+                self.remaining_delays -= 1
+        else:
+            delay = 0
+        if delay:
+            time.sleep(delay)
+            self.delayed_writes += 1
+        return self._handle.write(data)
+
+    def flush(self):
+        return self._handle.flush()
+
+    def fileno(self):
+        return self._handle.fileno()
+
+    def close(self):
+        return self._handle.close()
+
+    def tell(self):
+        return self._handle.tell()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+
+class SlowOpener(object):
+    """Drop-in ``open`` that wraps writable files in :class:`SlowFile`.
+
+    ``armed`` can be flipped at runtime: the monitoring smoke test arms it
+    mid-workload to create a latency spike, then disarms it and watches
+    the alert recover.  The armed flag is consulted per write (via the
+    :class:`SlowFile` gate), so disarming takes effect immediately even
+    for the long-lived WAL handle.
+    """
+
+    def __init__(self, delay_seconds=0.05):
+        self.delay_seconds = delay_seconds
+        self.armed = False
+        self.wrapped = 0
+
+    def _gate(self):
+        return self.delay_seconds if self.armed else 0
+
+    def __call__(self, path, mode="r", **kwargs):
+        handle = open(path, mode, **kwargs)
+        if "r" in mode and "+" not in mode:
+            return handle
+        self.wrapped += 1
+        return SlowFile(handle, gate=self._gate)
 
 
 def corrupt_tail(path, byte_count):

@@ -149,6 +149,13 @@ def platform_to_state(platform):
             for key, report in platform.ingest_reports.items()
         },
     }
+    # Monitoring history rides along when present: per-fingerprint runtime
+    # baselines (the Query Store) are only useful for regression detection
+    # if they survive a restart.  Attached by the runtime; absent on a bare
+    # platform.
+    query_store = getattr(platform, "query_store", None)
+    if query_store is not None:
+        state["querystore"] = query_store.dump_state()
     return state
 
 
@@ -283,6 +290,14 @@ def restore_platform_state(platform, state):
                 fmt["column_count"], fmt["has_header"],
             )
         platform.ingest_reports[key] = report
+
+    if state.get("querystore") is not None:
+        from repro.obs.querystore import QueryStore
+
+        store = getattr(platform, "query_store", None)
+        if store is None:
+            store = platform.query_store = QueryStore()
+        store.restore_state(state["querystore"])
     return platform
 
 
@@ -294,14 +309,18 @@ def state_digest(platform):
 
     Excludes what recovery deliberately does not round-trip: catalog
     versions (regenerated with an epoch bump so pre-crash cache vectors can
-    never validate) and per-entry ``plan_json`` (an analysis artifact the
-    workload framework re-attaches).  Everything else — tables, rows,
-    views, datasets, permissions, quotas, the query log — must match
-    exactly, which is the crash harness's equality criterion.
+    never validate), per-entry ``plan_json`` (an analysis artifact the
+    workload framework re-attaches), and the Query Store (monitoring
+    history is checkpoint-only — the WAL does not log it, so post-
+    checkpoint executions are legitimately lost on crash).  Everything
+    else — tables, rows, views, datasets, permissions, quotas, the query
+    log — must match exactly, which is the crash harness's equality
+    criterion.
     """
     with platform._state_lock:
         state = platform_to_state(platform)
     state["engine"].pop("versions")
+    state.pop("querystore", None)
     for entry in state["querylog"]["entries"]:
         entry.pop("plan_json", None)
     payload = json.dumps(state, default=json_default, sort_keys=True,

@@ -1,0 +1,65 @@
+"""Plan-regression analysis: replay / grow / replay over the synthetic
+deployment plants a real plan change and the Query Store must catch it."""
+
+import pytest
+
+from repro.analysis.regressions import (
+    analyze_regressions,
+    grow_tables,
+    render_regressions,
+)
+from repro.core.sqlshare import SQLShare
+
+CSV = "id,species,count\n1,coho,14\n2,chinook,3\n3,chum,25\n"
+
+
+class TestGrowTables:
+    def test_grows_by_self_insert_through_the_engine(self):
+        platform = SQLShare()
+        platform.upload("alice", "Fish", CSV)
+        table = next(iter(platform.db.catalog.tables()))
+        version_before = platform.db.catalog.version_of(table.name)
+        grown = grow_tables(platform, [table.name], doublings=2)
+        assert grown == [{"table": table.name, "rows_before": 3,
+                          "rows_after": 12}]
+        # Real engine mutations: catalog versions move, so cached results
+        # over the grown table stop validating.
+        assert platform.db.catalog.version_of(table.name) != version_before
+
+    def test_max_rows_caps_growth(self):
+        platform = SQLShare()
+        platform.upload("alice", "Fish", CSV)
+        table = next(iter(platform.db.catalog.tables()))
+        grown = grow_tables(platform, [table.name], doublings=10, max_rows=20)
+        assert grown[0]["rows_after"] <= 20
+
+    def test_missing_and_empty_tables_skipped(self):
+        platform = SQLShare()
+        platform.upload("alice", "Fish", CSV)
+        assert grow_tables(platform, ["no_such_table"]) == []
+
+
+@pytest.mark.slow
+class TestAnalyzeRegressions:
+    def test_growth_plants_a_detected_regression(self):
+        report = analyze_regressions(scale=0.05, limit=25, rounds=2,
+                                     doublings=3)
+        assert report["queries_replayed"] == 25
+        assert report["grown_tables"], "perturbation grew nothing"
+        assert report["plan_changes"] >= 1, (
+            "table growth never flipped a plan")
+        assert report["changed_queries"]
+        # At least one change must be a verdict with both baselines
+        # established and the before/after plan fingerprints on it.
+        assert report["regressions"], "no plan change was flagged regressed"
+        verdict = report["regressions"][0]
+        assert verdict["regressed_plan"] != verdict["baseline_plan"]
+        assert verdict["regressed_mean_seconds"] > verdict["baseline_mean_seconds"]
+        assert verdict["slowdown"] > 1.5
+        assert verdict["baseline_executions"] >= 2
+        assert report["store"]["regressions"] == len(report["regressions"])
+
+        text = render_regressions(report)
+        assert "plan-regression detection" in text
+        assert verdict["fingerprint"] in text
+        assert verdict["regressed_plan"] in text

@@ -1,0 +1,182 @@
+"""Alert rules: grammar, ok/pending/firing state machines, ratio rules,
+no-data semantics, notifications, and the health verdict."""
+
+import pytest
+
+from repro.obs.alerts import (
+    FIRING,
+    OK,
+    PENDING,
+    AlertManager,
+    AlertRule,
+    RuleSyntaxError,
+    default_rules,
+)
+from repro.obs.timeseries import TimeSeriesStore
+
+
+def _counter_store(values, step=1.0):
+    """A store holding one counter series sampled every ``step`` seconds."""
+    store = TimeSeriesStore()
+    for tick, value in enumerate(values):
+        store.record({"errs_total": float(value)}, mono=tick * step,
+                     epoch=1000.0 + tick * step)
+    return store
+
+
+class TestGrammar:
+    def test_parses_full_form(self):
+        rule = AlertRule("r", "rate(errs_total[60]) > 0.5 for 10")
+        assert rule.agg == "rate"
+        assert rule.series == "errs_total"
+        assert rule.window == 60.0
+        assert rule.op == ">"
+        assert rule.threshold == 0.5
+        assert rule.for_seconds == 10.0
+        assert rule.div_series is None
+
+    def test_parses_ratio_form(self):
+        rule = AlertRule(
+            "r", "rate(hits_total[120]) / rate(probes_total[120]) < 0.1")
+        assert rule.div_agg == "rate"
+        assert rule.div_series == "probes_total"
+        assert rule.div_window == 120.0
+        assert rule.for_seconds == 0.0
+
+    def test_parses_quantile_and_all_ops(self):
+        for expr in ("p99(lat_seconds[60]) > 1.0",
+                     "p50(lat_seconds[60]) >= 0.1",
+                     "mean(depth[30]) <= 4",
+                     "latest(depth[1]) < -1"):
+            AlertRule("r", expr)
+
+    def test_rejects_bad_expressions(self):
+        for expr in ("rate(errs_total) > 1",        # no window
+                     "rate(errs_total[60]) >> 1",   # bad op
+                     "frobnicate(errs_total[60]) > 1",  # unknown agg
+                     "rate(errs_total[60])",        # no comparison
+                     "rate(a[60]) / rate(b[60]) / rate(c[60]) > 1"):
+            with pytest.raises(RuleSyntaxError):
+                AlertRule("r", expr)
+
+    def test_default_rules_all_parse(self):
+        rules = default_rules()
+        assert len(rules) == 4
+        assert {rule.state for rule in rules} == {OK}
+
+
+class TestStateMachine:
+    def test_fires_immediately_without_for(self):
+        store = _counter_store([0, 2, 4, 6])  # 2 errs/s
+        rule = AlertRule("r", "rate(errs_total[60]) > 0.5")
+        assert rule.evaluate(store, now=3.0) == FIRING
+        assert rule.value == pytest.approx(2.0)
+        assert rule.fired_at is not None
+
+    def test_pending_until_held_for_duration(self):
+        store = _counter_store([0, 2, 4, 6, 8, 10])
+        rule = AlertRule("r", "rate(errs_total[60]) > 0.5 for 2")
+        assert rule.evaluate(store, now=3.0) == PENDING
+        assert rule.evaluate(store, now=4.0) == PENDING
+        assert rule.evaluate(store, now=5.0) == FIRING  # held 2s
+        # Once firing, a still-breaching tick stays firing.
+        assert rule.evaluate(store, now=5.5) == FIRING
+
+    def test_recovery_resets_pending_clock(self):
+        rule = AlertRule("r", "latest(errs_total[1]) > 5 for 2")
+        hot = _counter_store([9])
+        cold = _counter_store([1])
+        assert rule.evaluate(hot, now=0.0) == PENDING
+        assert rule.evaluate(cold, now=1.0) == OK
+        # Breach again: the pending clock starts over.
+        assert rule.evaluate(hot, now=10.0) == PENDING
+        assert rule.evaluate(hot, now=11.0) == PENDING
+        assert rule.evaluate(hot, now=12.0) == FIRING
+
+    def test_no_data_counts_as_recovery(self):
+        rule = AlertRule("r", "rate(missing_total[60]) > 0.1")
+        empty = TimeSeriesStore()
+        assert rule.evaluate(empty, now=0.0) == OK
+        hot = _counter_store([0, 100])
+        rule2 = AlertRule("r2", "rate(errs_total[60]) > 0.1")
+        assert rule2.evaluate(hot, now=1.0) == FIRING
+        assert rule2.evaluate(empty, now=2.0) == OK
+
+    def test_ratio_rule_divides_and_skips_zero_divisor(self):
+        store = TimeSeriesStore()
+        for tick, (hits, probes) in enumerate([(0, 0), (1, 20)]):
+            store.record({"hits_total": float(hits),
+                          "probes_total": float(probes)},
+                         mono=float(tick), epoch=0.0)
+        rule = AlertRule(
+            "r", "rate(hits_total[60]) / rate(probes_total[60]) < 0.1")
+        assert rule.evaluate(store, now=1.0) == FIRING
+        assert rule.value == pytest.approx(0.05)
+        # Zero divisor -> no data -> recovery, not a division error.
+        flat = TimeSeriesStore()
+        for tick in range(2):
+            flat.record({"hits_total": 5.0, "probes_total": 3.0},
+                        mono=float(tick), epoch=0.0)
+        assert rule.evaluate(flat, now=1.0) == OK
+
+
+class TestAlertManager:
+    def test_evaluate_logs_transitions(self):
+        store = _counter_store([0, 10])
+        manager = AlertManager(store, [
+            AlertRule("Hot", "rate(errs_total[60]) > 1"),
+            AlertRule("Cold", "rate(errs_total[60]) > 1000"),
+        ])
+        states = manager.evaluate(now=1.0)
+        assert states == {"Hot": FIRING, "Cold": OK}
+        assert [n["rule"] for n in manager.notifications] == ["Hot"]
+        note = manager.notifications[0]
+        assert note["from_state"] == OK
+        assert note["to_state"] == FIRING
+        # A steady state produces no new notification.
+        manager.evaluate(now=1.5)
+        assert len(manager.notifications) == 1
+        assert manager.evaluations == 2
+
+    def test_add_rule_accepts_dicts(self):
+        manager = AlertManager(TimeSeriesStore())
+        rule = manager.add_rule({"name": "R",
+                                 "expr": "latest(x[1]) > 1",
+                                 "severity": "info"})
+        assert isinstance(rule, AlertRule)
+        assert [r.name for r in manager.rules] == ["R"]
+
+    def test_health_degraded_only_when_firing(self):
+        store = _counter_store([0, 10])
+        manager = AlertManager(store, [
+            AlertRule("Now", "rate(errs_total[60]) > 1"),
+            AlertRule("Later", "rate(errs_total[60]) > 1 for 3600"),
+        ])
+        manager.evaluate(now=1.0)
+        health = manager.health()
+        assert health["status"] == "degraded"
+        assert health["firing"] == ["Now"]
+        assert health["pending"] == ["Later"]
+        assert [r.name for r in manager.firing()] == ["Now"]
+
+    def test_health_ok_when_quiet(self):
+        manager = AlertManager(TimeSeriesStore(), default_rules())
+        manager.evaluate(now=0.0)
+        health = manager.health()
+        assert health["status"] == "ok"
+        assert health["firing"] == []
+        assert health["rules"] == 4
+
+    def test_to_dict_payload(self):
+        store = _counter_store([0, 10])
+        manager = AlertManager(store, [AlertRule(
+            "Hot", "rate(errs_total[60]) > 1", severity="critical",
+            description="too hot")])
+        manager.evaluate(now=1.0)
+        payload = manager.to_dict()
+        assert payload["status"] == "degraded"
+        alert = payload["alerts"][0]
+        assert alert["name"] == "Hot"
+        assert alert["state"] == FIRING
+        assert alert["severity"] == "critical"
+        assert payload["notifications"][0]["to_state"] == FIRING

@@ -6,12 +6,14 @@ import threading
 import pytest
 
 from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     NullRegistry,
     P2Quantile,
+    buckets_up_to,
 )
 
 
@@ -184,3 +186,48 @@ class TestNullRegistry:
         registry.gauge_callback("d", "h", lambda: 1)
         assert registry.snapshot() == {}
         assert registry.render_prometheus() == ""
+
+
+class TestConfigurableBuckets:
+    def test_buckets_up_to_extends_by_decades(self):
+        extended = buckets_up_to(60.0)
+        assert extended[:len(DEFAULT_BUCKETS)] == DEFAULT_BUCKETS
+        assert extended[len(DEFAULT_BUCKETS):] == (25.0, 50.0, 100.0)
+        assert extended[-1] >= 60.0
+        # Strictly increasing: registration order is the exposition order.
+        assert list(extended) == sorted(set(extended))
+
+    def test_buckets_up_to_within_default_is_identity(self):
+        assert buckets_up_to(5.0) == DEFAULT_BUCKETS
+
+    def test_histogram_accepts_custom_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", "", buckets=(1.0, 2.0))
+        hist.observe(1.5)
+        snap = registry.snapshot()
+        assert snap['h_seconds_bucket{le="1"}'] == 0.0
+        assert snap['h_seconds_bucket{le="2"}'] == 1.0
+        assert snap['h_seconds_bucket{le="+Inf"}'] == 1.0
+
+    def test_registry_default_buckets_apply_to_new_histograms(self):
+        registry = MetricsRegistry(default_buckets=buckets_up_to(60.0))
+        hist = registry.histogram("h_seconds")
+        hist.observe(42.0)
+        snap = registry.snapshot()
+        assert snap['h_seconds_bucket{le="50"}'] == 1.0
+        assert snap['h_seconds_bucket{le="25"}'] == 0.0
+        # Explicit buckets at the registration site still win.
+        other = registry.histogram("i_seconds", buckets=(0.5,))
+        other.observe(0.1)
+        assert registry.snapshot()['i_seconds_bucket{le="0.5"}'] == 1.0
+
+    def test_runtime_config_extends_scheduler_histograms(self):
+        from repro.core.sqlshare import SQLShare
+        from repro.runtime import QueryRuntime, RuntimeConfig
+
+        platform = SQLShare()
+        platform.upload("alice", "obs", "a,b\n1,2\n")
+        QueryRuntime(platform, RuntimeConfig(max_workers=0,
+                                             histogram_max_seconds=60.0))
+        snap = platform.metrics.snapshot()
+        assert 'repro_scheduler_exec_seconds_bucket{le="50"}' in snap

@@ -1,0 +1,222 @@
+"""Time-series store: ring buffers, windowed queries, sampler, and the
+registry-under-load concurrency contract."""
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (
+    DEFAULT_SAMPLES,
+    MetricsSampler,
+    Series,
+    TimeSeriesStore,
+    _family_of,
+    _parse_le,
+)
+
+
+class TestSeries:
+    def test_ring_buffer_is_bounded(self):
+        series = Series("x", capacity=5)
+        for index in range(20):
+            series.append(float(index), 1000.0 + index, index * 2.0)
+        assert len(series) == 5
+        assert [value for _m, _e, value in series.samples()] == [
+            30.0, 32.0, 34.0, 36.0, 38.0]
+
+    def test_window_selects_by_monotonic_time(self):
+        series = Series("x")
+        for index in range(10):
+            series.append(float(index), 0.0, float(index))
+        window = series.window(3.0, now=9.0)
+        assert [sample[0] for sample in window] == [6.0, 7.0, 8.0, 9.0]
+        assert series.window(100.0, now=9.0) == series.samples()
+
+
+class TestHelpers:
+    def test_family_of_strips_labels(self):
+        assert _family_of('a_total{x="1"}') == "a_total"
+        assert _family_of("a_total") == "a_total"
+
+    def test_parse_le(self):
+        assert _parse_le('h_bucket{le="0.5"}') == 0.5
+        assert _parse_le('h_bucket{le="+Inf"}') == float("inf")
+        assert _parse_le("h_count") is None
+
+
+class TestWindowedQueries:
+    def _store(self):
+        store = TimeSeriesStore()
+        # A counter at 1/s, sampled every second for 10 seconds.
+        for tick in range(10):
+            store.record({"jobs_total": float(tick),
+                          'out{state="a"}': float(tick),
+                          'out{state="b"}': float(2 * tick),
+                          "depth": float(tick % 3)},
+                         mono=float(tick), epoch=1000.0 + tick)
+        return store
+
+    def test_latest_and_family_sum(self):
+        store = self._store()
+        assert store.latest("jobs_total") == 9.0
+        assert store.latest("out") == 9.0 + 18.0
+        assert store.latest("missing") is None
+
+    def test_delta_and_rate(self):
+        store = self._store()
+        assert store.delta("jobs_total", 5.0, now=9.0) == 5.0
+        assert abs(store.rate("jobs_total", 5.0, now=9.0) - 1.0) < 1e-9
+        # Family rate sums label children: a grows 1/s, b grows 2/s.
+        assert abs(store.rate("out", 5.0, now=9.0) - 3.0) < 1e-9
+
+    def test_delta_handles_counter_reset(self):
+        store = TimeSeriesStore()
+        for tick, value in enumerate([5.0, 8.0, 2.0, 4.0]):
+            store.record({"c": value}, mono=float(tick), epoch=0.0)
+        # 5->8 (+3), reset to 2 (+2 new), 2->4 (+2) = 7.
+        assert store.delta("c", 10.0, now=3.0) == 7.0
+
+    def test_mean_over_window(self):
+        store = self._store()
+        # Window [5, 9]: depth cycles through 2, 0, 1, 2, 0.
+        assert store.mean("depth", 4.0, now=9.0) == (2.0 + 0.0 + 1.0 + 2.0 + 0.0) / 5
+
+    def test_rate_needs_two_samples(self):
+        store = TimeSeriesStore()
+        store.record({"c": 1.0}, mono=0.0, epoch=0.0)
+        assert store.rate("c", 60.0, now=0.0) is None
+
+    def test_quantile_interpolates_bucket_deltas(self):
+        store = TimeSeriesStore()
+        # 100 observations land in (0.1, 0.5]; cumulative buckets.
+        store.record({'h_bucket{le="0.1"}': 0.0,
+                      'h_bucket{le="0.5"}': 0.0,
+                      'h_bucket{le="+Inf"}': 0.0}, mono=0.0, epoch=0.0)
+        store.record({'h_bucket{le="0.1"}': 0.0,
+                      'h_bucket{le="0.5"}': 100.0,
+                      'h_bucket{le="+Inf"}': 100.0}, mono=10.0, epoch=10.0)
+        p50 = store.quantile("h", 0.5, 60.0, now=10.0)
+        assert abs(p50 - 0.3) < 1e-9  # midpoint of (0.1, 0.5]
+        # Mass in the +Inf bucket degrades to the previous bound.
+        store.record({'h_bucket{le="0.1"}': 0.0,
+                      'h_bucket{le="0.5"}': 100.0,
+                      'h_bucket{le="+Inf"}': 300.0}, mono=20.0, epoch=20.0)
+        assert store.quantile("h", 0.99, 60.0, now=20.0) == 0.5
+
+    def test_quantile_empty_window_is_none(self):
+        store = TimeSeriesStore()
+        assert store.quantile("h", 0.5, 60.0) is None
+
+    def test_max_series_bound(self):
+        store = TimeSeriesStore(max_series=3)
+        store.record({"s%d" % index: 1.0 for index in range(10)},
+                     mono=0.0, epoch=0.0)
+        assert store.stats()["series_count"] == 3
+        assert store.series_dropped == 7
+
+    def test_to_dict_export(self):
+        store = self._store()
+        payload = store.to_dict(prefix="jobs", max_points=3)
+        assert list(payload["series"]) == ["jobs_total"]
+        points = payload["series"]["jobs_total"]
+        assert len(points) == 3
+        assert points[-1] == [1009.0, 9.0]
+        assert payload["samples_taken"] == 10
+
+
+class TestSampler:
+    def test_sample_once_records_snapshot(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("test_total", "")
+        store = TimeSeriesStore()
+        sampler = MetricsSampler(registry, store, interval=60.0)
+        counter.inc()
+        assert sampler.sample_once() == 1
+        counter.inc(2.0)
+        sampler.sample_once()
+        assert store.delta("test_total", 1e9, now=None) is not None
+        assert store.latest("test_total") == 3.0
+
+    def test_on_sample_callback_and_exception_isolation(self):
+        registry = MetricsRegistry()
+        store = TimeSeriesStore()
+        calls = []
+
+        def boom(s):
+            calls.append(s.samples_taken)
+            raise RuntimeError("callback bug")
+
+        sampler = MetricsSampler(registry, store, on_sample=boom)
+        sampler.sample_once()  # must not raise
+        assert calls == [1]
+
+    def test_thread_lifecycle(self):
+        registry = MetricsRegistry()
+        store = TimeSeriesStore()
+        sampler = MetricsSampler(registry, store, interval=0.01)
+        sampler.start()
+        assert sampler.running
+        deadline = threading.Event()
+        for _ in range(200):
+            if store.samples_taken >= 2:
+                break
+            deadline.wait(0.01)
+        sampler.stop()
+        assert not sampler.running
+        assert store.samples_taken >= 2
+        taken = store.samples_taken
+        deadline.wait(0.05)
+        assert store.samples_taken == taken  # really stopped
+
+
+class TestRegistryUnderLoad:
+    """N threads hammer instruments while a sampler snapshots concurrently:
+    no torn reads, counters monotone across samples, rings stay bounded."""
+
+    def test_concurrent_hammer_and_sample(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("load_total", "")
+        labelled = registry.counter("load_labelled_total", "")
+        hist = registry.histogram("load_seconds", "")
+        store = TimeSeriesStore(capacity=50)
+        sampler = MetricsSampler(registry, store, interval=60.0)
+        stop = threading.Event()
+        per_thread = 2000
+        threads = 8
+
+        def hammer(worker):
+            for index in range(per_thread):
+                counter.inc()
+                labelled.labels(worker=str(worker % 4)).inc()
+                hist.observe(0.001 * (index % 50))
+
+        workers = [threading.Thread(target=hammer, args=(n,))
+                   for n in range(threads)]
+        for worker in workers:
+            worker.start()
+        samples = 0
+        while any(worker.is_alive() for worker in workers):
+            sampler.sample_once()
+            samples += 1
+            stop.wait(0.001)
+        for worker in workers:
+            worker.join()
+        sampler.sample_once()  # final, quiescent sample
+
+        # Monotone counters in every sampled series (no torn reads).
+        for key in store.series_names():
+            if not key.split("{")[0].endswith(("_total", "_count", "_sum",
+                                               "_bucket")):
+                continue
+            values = [v for _m, _e, v in store._series[key].samples()]
+            assert values == sorted(values), "counter went backwards: %s" % key
+
+        # The quiescent totals are exact.
+        assert store.latest("load_total") == threads * per_thread
+        assert store.latest("load_labelled_total") == threads * per_thread
+        snapshot = registry.snapshot()
+        assert snapshot["load_seconds_count"] == threads * per_thread
+
+        # Ring buffers stayed bounded no matter how many samples ran.
+        for key in store.series_names():
+            assert len(store._series[key]) <= 50
+        assert samples + 1 == store.samples_taken

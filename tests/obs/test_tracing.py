@@ -42,12 +42,37 @@ class TestTrace:
         trace = Trace("q4")
         start = time.monotonic()
         trace.add_span("plan", start, start + 0.001, nodes=4)
-        (event,) = trace.to_chrome()
+        process_meta, thread_meta, event = trace.to_chrome()
+        assert process_meta["ph"] == "M"
+        assert process_meta["name"] == "process_name"
+        assert process_meta["args"] == {"name": "repro query q4"}
+        assert thread_meta["name"] == "thread_name"
+        assert thread_meta["args"]["name"] == threading.current_thread().name
         assert event["ph"] == "X"
         assert event["name"] == "plan"
         assert event["dur"] == 1000.0  # microseconds
         assert event["args"] == {"nodes": 4}
-        assert event["tid"] == threading.get_ident()
+        # Raw thread idents are remapped to small stable lane ids.
+        assert event["tid"] == 0
+        assert thread_meta["tid"] == 0
+
+    def test_chrome_export_stable_tids_across_threads(self):
+        trace = Trace("q4b")
+        start = time.monotonic()
+        trace.add_span("queued", start, start + 0.001)
+        worker = threading.Thread(
+            target=lambda: trace.add_span("execute", start + 0.001,
+                                          start + 0.002),
+            name="query-runtime-0")
+        worker.start()
+        worker.join()
+        events = trace.to_chrome()
+        lanes = {e["args"]["name"]: e["tid"] for e in events
+                 if e["name"] == "thread_name"}
+        assert lanes[threading.current_thread().name] == 0
+        assert lanes["query-runtime-0"] == 1
+        spans = {e["name"]: e["tid"] for e in events if e["ph"] == "X"}
+        assert spans == {"queued": 0, "execute": 1}
 
     def test_find(self):
         trace = Trace("q5")

@@ -1,0 +1,97 @@
+"""Dashboard rendering: pure text from REST payloads, no I/O."""
+
+from repro.reporting.dashboard import (
+    render_dashboard,
+    render_querystore,
+    render_regression_verdict,
+)
+
+STATS = {
+    "workers": 4,
+    "queued": 1,
+    "running": 2,
+    "finished": {"SUCCEEDED": 10, "FAILED": 1},
+    "latency": {"exec_seconds": {"p50": 0.002, "p90": 0.01, "p99": 1.5,
+                                 "count": 11}},
+    "cache": {"entries": 3, "hit_rate": 0.5, "hits": 5, "misses": 5},
+    "querystore": {"entries": 7, "plan_changes": 2, "regressions": 1},
+}
+
+ALERTS = {
+    "alerts": [
+        {"name": "HighQueryLatency", "state": "firing",
+         "severity": "critical", "value": 1.5, "threshold": 1.0},
+        {"name": "HighErrorRate", "state": "ok",
+         "severity": "critical", "value": 0.0, "threshold": 0.5},
+    ],
+    "notifications": [
+        {"epoch": 1700000000.0, "rule": "HighQueryLatency",
+         "from_state": "pending", "to_state": "firing"},
+    ],
+}
+
+VERDICT = {
+    "fingerprint": "2feccacb7a62",
+    "sql": "select a from t",
+    "baseline_plan": "c1f0ae80e149",
+    "regressed_plan": "92a531154a0f",
+    "baseline_mean_seconds": 0.001,
+    "regressed_mean_seconds": 0.013,
+    "slowdown": 13.0,
+    "baseline_executions": 4,
+    "regressed_executions": 6,
+}
+
+
+class TestRenderDashboard:
+    def test_full_screen(self):
+        text = render_dashboard(STATS, health={"status": "degraded"},
+                                alerts=ALERTS, now=1700000000.0)
+        assert "health: DEGRADED" in text
+        assert "scheduler  workers=4  queued=1  running=2" in text
+        assert "failed=1" in text and "succeeded=10" in text
+        assert "p50=2.0ms" in text and "p99=1.50s" in text
+        assert "hit_rate=50.0%" in text
+        assert "querystore entries=7  plan_changes=2  regressions=1" in text
+        assert "!HighQueryLatency" in text  # firing mark
+        assert " HighErrorRate" in text
+        assert "pending -> firing" in text
+
+    def test_minimal_payload(self):
+        text = render_dashboard({}, now=1700000000.0)
+        assert "health: UNKNOWN" in text
+        assert "workers=0" in text
+
+
+class TestRenderQuerystore:
+    def test_listing_with_verdict(self):
+        payload = {
+            "entries": 1, "recorded": 10, "evictions": 0,
+            "plan_changes": 1, "regressions": 1,
+            "queries": [{
+                "fingerprint": VERDICT["fingerprint"],
+                "sql": VERDICT["sql"],
+                "executions": 10, "errors": 0, "cache_hits": 2,
+                "plans": [{"plan": "a"}, {"plan": "b"}],
+                "regression": VERDICT,
+            }],
+        }
+        text = render_querystore(payload)
+        assert "query store: 1 entry" in text
+        assert "1 plan change, 1 regression)" in text
+        assert VERDICT["fingerprint"] in text
+        assert "regression 2feccacb7a62: plan c1f0ae80e149 -> 92a531154a0f" in text
+        assert "13.0x over 4 vs 6 executions" in text
+
+    def test_empty_store(self):
+        text = render_querystore({"entries": 0, "queries": []})
+        assert "(no queries recorded)" in text
+        assert "(no regressions)" in render_querystore(
+            {"entries": 0, "queries": []}, regressions_only=True)
+
+
+class TestRenderVerdict:
+    def test_block_shape(self):
+        text = render_regression_verdict(VERDICT)
+        assert text.splitlines()[1].strip() == VERDICT["sql"]
+        assert "mean 1.0ms -> 13.0ms" in text

@@ -90,7 +90,10 @@ class TestTraceEndpoint:
         for expected in ("queued", "parse", "plan", "execute", "run", "fetch"):
             assert expected in names, names
         assert payload["status"] == "complete"
-        assert all(event["ph"] == "X" for event in payload["chrome_trace"])
+        chrome = payload["chrome_trace"]
+        assert chrome[0]["name"] == "process_name"
+        assert {event["ph"] for event in chrome} == {"M", "X"}
+        assert any(event["name"] == "thread_name" for event in chrome)
 
     def test_trace_404_unknown_query(self, alice):
         with pytest.raises(ClientError) as excinfo:

@@ -1,0 +1,87 @@
+"""Query Store persistence: baselines ride in snapshot checkpoints and
+survive recovery; the crash digest deliberately ignores them."""
+
+import pytest
+
+from repro.core.sqlshare import SQLShare
+from repro.obs.querystore import QueryStore
+from repro.runtime import QueryRuntime, RuntimeConfig
+from repro.storage import StorageManager
+from repro.storage.serialize import state_digest
+
+CSV = "id,species,count\n1,coho,14\n2,chinook,3\n3,chum,25\n"
+
+
+@pytest.fixture
+def populated(tmp_path):
+    """A durable platform whose query store holds real runtime history."""
+    manager = StorageManager(str(tmp_path))
+    platform = manager.attach(SQLShare())
+    platform.upload("alice", "Fish", CSV)
+    runtime = QueryRuntime(platform, RuntimeConfig(max_workers=0,
+                                                   cache_enabled=False))
+    for _ in range(3):
+        runtime.submit("alice", "SELECT species FROM [Fish] WHERE count > 5")
+        runtime.submit("alice", "SELECT COUNT(*) AS n FROM [Fish]")
+    runtime.submit("alice", "SELECT broken FROM [Fish]")
+    return manager, platform
+
+
+class TestCheckpointRoundTrip:
+    def test_store_survives_checkpoint_and_recover(self, tmp_path, populated):
+        manager, platform = populated
+        before = platform.query_store.dump_state()
+        assert before["entries"], "fixture produced an empty store"
+        manager.checkpoint()
+        manager.close()
+
+        recovery = StorageManager(str(tmp_path))
+        recovered, _report = recovery.recover()
+        store = recovered.query_store
+        assert isinstance(store, QueryStore)
+        assert store.dump_state() == before
+        # The restored baselines keep accumulating under a fresh runtime.
+        runtime = QueryRuntime(recovered, RuntimeConfig(max_workers=0,
+                                                        cache_enabled=False))
+        assert runtime.query_store is store
+        runtime.submit("alice", "SELECT COUNT(*) AS n FROM [Fish]")
+        assert store.recorded == before["recorded"] + 1
+        recovery.close()
+
+    def test_post_checkpoint_stats_lost_on_crash(self, tmp_path, populated):
+        # The WAL does not log query-store updates: stats recorded after
+        # the last checkpoint legitimately do not survive a crash.
+        manager, platform = populated
+        manager.checkpoint()
+        runtime = QueryRuntime(platform, RuntimeConfig(max_workers=0,
+                                                       cache_enabled=False))
+        runtime.submit("alice", "SELECT species FROM [Fish]")
+        checkpointed = len(platform.query_store.dump_state()["entries"])
+        manager.close()
+
+        recovery = StorageManager(str(tmp_path))
+        recovered, _report = recovery.recover()
+        assert len(recovered.query_store.dump_state()["entries"]) < checkpointed + 1
+        recovery.close()
+
+    def test_digest_ignores_querystore(self, populated):
+        _manager, platform = populated
+        with_store = state_digest(platform)
+        store = platform.query_store
+        platform.query_store = None
+        try:
+            without_store = state_digest(platform)
+        finally:
+            platform.query_store = store
+        assert with_store == without_store
+
+    def test_bare_platform_checkpoint_has_no_store(self, tmp_path):
+        manager = StorageManager(str(tmp_path))
+        platform = manager.attach(SQLShare())
+        platform.upload("alice", "Fish", CSV)
+        manager.checkpoint()
+        manager.close()
+        recovery = StorageManager(str(tmp_path))
+        recovered, _report = recovery.recover()
+        assert getattr(recovered, "query_store", None) is None
+        recovery.close()

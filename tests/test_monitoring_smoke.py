@@ -1,0 +1,105 @@
+"""End-to-end monitoring smoke: a latency spike injected at the storage
+layer must drive the latency alert to firing and /api/v1/health to 503.
+
+This is the CI monitoring-smoke scenario: a durable platform serves a
+short workload over REST while the continuous monitor samples; then the
+disk "degrades" (every WAL write sleeps, via the storage fault hooks),
+queries slow down, and the pipeline — histogram -> sampler -> time-series
+-> alert rule -> health verdict — has to notice end to end.
+"""
+
+import pytest
+
+from repro.core.sqlshare import SQLShare
+from repro.obs.alerts import AlertManager, AlertRule
+from repro.runtime import RuntimeConfig
+from repro.server.client import SQLShareClient, _WSGITransport
+from repro.server.rest import SQLShareApp
+from repro.storage import SlowOpener, StorageManager
+
+CSV = "id,species,count\n1,coho,14\n2,chinook,3\n3,chum,25\n"
+
+#: The injected per-write disk delay and the alert threshold it must trip.
+DISK_DELAY = 0.08
+LATENCY_THRESHOLD = 0.04
+
+
+@pytest.fixture
+def harness(tmp_path):
+    opener = SlowOpener(delay_seconds=DISK_DELAY)
+    manager = StorageManager(str(tmp_path), opener=opener)
+    platform = manager.attach(SQLShare())
+    app = SQLShareApp(platform, run_async=False,
+                      runtime_config=RuntimeConfig(
+                          max_workers=0, cache_enabled=False,
+                          monitor_enabled=True))
+    monitor = app.runtime.monitor
+    # CI-speed variant of HighQueryLatency: same series, same shape, a
+    # threshold the injected delay clearly exceeds and healthy queries
+    # clearly do not.
+    monitor.alerts = AlertManager(monitor.store, [AlertRule(
+        "HighQueryLatency",
+        "p99(repro_scheduler_exec_seconds[300]) > %s" % LATENCY_THRESHOLD,
+        severity="critical",
+        description="p99 execution latency over the injected-fault limit.")])
+    client = SQLShareClient("alice", app=app)
+    client.upload("obs", CSV)
+    yield manager, opener, monitor, client, app
+    manager.close()
+
+
+def _health(app):
+    return _WSGITransport(app).request("GET", "/api/v1/health", {}, None)
+
+
+def test_latency_spike_fires_alert_and_degrades_health(harness):
+    manager, opener, monitor, client, app = harness
+
+    # Phase 1: healthy workload. Two ticks so the windowed bucket deltas
+    # have a baseline; the alert must stay quiet.
+    for index in range(4):
+        client.run_query("SELECT species FROM obs WHERE count > %d" % index)
+    monitor.tick()
+    client.run_query("SELECT COUNT(*) AS n FROM obs")
+    monitor.tick()
+    status, payload = _health(app)
+    assert status == 200
+    assert payload["status"] == "ok"
+    assert payload["monitoring"] is True
+
+    # Phase 2: the disk degrades mid-flight. Every WAL append now sleeps,
+    # which inflates the observed execution latency of queries (run_query
+    # logs to the WAL before returning).
+    opener.armed = True
+    for index in range(4):
+        client.run_query("SELECT species FROM obs WHERE count > %d" % (10 + index))
+    assert opener.wrapped > 0, "the slow opener never saw the WAL"
+    monitor.tick()
+
+    health = monitor.health()
+    assert health["status"] == "degraded"
+    assert health["firing"] == ["HighQueryLatency"]
+    rule = monitor.alerts.rules[0]
+    assert rule.value is not None and rule.value > LATENCY_THRESHOLD
+
+    status, payload = _health(app)
+    assert status == 503
+    assert payload["status"] == "degraded"
+    assert payload["firing"] == ["HighQueryLatency"]
+
+    # The alert transition is on the notification log for `repro top`.
+    notes = [note for note in monitor.alerts.notifications
+             if note["rule"] == "HighQueryLatency"]
+    assert notes and notes[-1]["to_state"] == "firing"
+
+    # Phase 3: recovery. Once the spike samples age out of the window the
+    # alert must clear without operator action; evaluating at a future
+    # monotonic instant models exactly that.
+    opener.armed = False
+    import time
+
+    states = monitor.alerts.evaluate(now=time.monotonic() + 1000.0)
+    assert states["HighQueryLatency"] == "ok"
+    status, payload = _health(app)
+    assert status == 200
+    assert payload["status"] == "ok"

@@ -22,8 +22,8 @@ class UserHygiene(object):
     """Per-user tallies of static-analysis findings."""
 
     __slots__ = ("user", "category", "queries", "error_queries",
-                 "smell_queries", "stale_queries", "diagnostics",
-                 "code_counts")
+                 "smell_queries", "stale_queries", "ordinal_queries",
+                 "diagnostics", "code_counts")
 
     def __init__(self, user, category):
         self.user = user
@@ -36,6 +36,9 @@ class UserHygiene(object):
         #: Successful queries whose only errors are catalog lookups —
         #: dataset churn, not user mistakes.
         self.stale_queries = 0
+        #: Queries sorting by output position or ambiguous alias (LINT012)
+        #: — the hand-edited-SQL signature tracked as its own rate.
+        self.ordinal_queries = 0
         self.diagnostics = 0
         self.code_counts = collections.Counter()
 
@@ -69,6 +72,8 @@ class HygieneReport(object):
                 "error_rate": sum(h.error_queries for h in members) / queries,
                 "smell_rate": sum(h.smell_queries for h in members) / queries,
                 "stale_rate": sum(h.stale_queries for h in members) / queries,
+                "ordinal_rate":
+                    sum(h.ordinal_queries for h in members) / queries,
                 "diagnostics_per_query":
                     sum(h.diagnostics for h in members) / queries,
             })
@@ -108,6 +113,8 @@ def analyze_hygiene(platform, entries=None, check=None, lint=True):
         hygiene.diagnostics += len(diagnostics)
         for diagnostic in diagnostics:
             hygiene.code_counts[diagnostic.code] += 1
+        if any(d.code == "LINT012" for d in diagnostics):
+            hygiene.ordinal_queries += 1
         errors = [d for d in diagnostics if d.severity == ERROR]
         smells = [d for d in diagnostics if d.severity != ERROR]
         hard_errors = [d for d in errors if d.category != "catalog"]

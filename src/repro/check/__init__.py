@@ -1,0 +1,32 @@
+"""Static analysis of the engine's own artifacts.
+
+Two analyzers live here, both pure (no execution, no imports of the
+analyzed code):
+
+- :mod:`repro.check.plancheck` — typed schema-propagation verification of
+  physical plans (PLAN001+), run on every planned statement;
+- :mod:`repro.check.selfcheck` — AST-based concurrency lint over
+  ``src/repro`` itself (SELFCHECK001+), run in CI via ``repro selfcheck``.
+"""
+
+from repro.check.plancheck import PLAN_CODES, PlanViolation, verify_plan
+from repro.check.selfcheck import (
+    SELFCHECK_CODES,
+    Finding,
+    analyze_paths,
+    analyze_source,
+    format_baseline,
+    load_baseline,
+)
+
+__all__ = [
+    "PLAN_CODES",
+    "PlanViolation",
+    "verify_plan",
+    "SELFCHECK_CODES",
+    "Finding",
+    "analyze_paths",
+    "analyze_source",
+    "format_baseline",
+    "load_baseline",
+]

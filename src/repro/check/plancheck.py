@@ -1,0 +1,504 @@
+"""Static verification of physical plans: the engine's own type checker.
+
+The planner emits pull-based operator trees whose correctness rests on a
+set of unwritten invariants — every ``BoundColumn`` slot indexes into the
+child's row, join key lists line up side to side, a projection produces
+exactly as many values as its declared schema, estimates are finite.  The
+executor trusts all of it; a planner bug surfaces (at best) as an
+``IndexError`` deep inside an iterator, or (at worst) as silently wrong
+rows.  With the engine about to be rewritten around columnar batches
+(ROADMAP item 1), those invariants need to be *checked*, not trusted.
+
+:func:`verify_plan` is a single typed schema-propagation pass over a plan
+tree.  It walks every operator (subquery plans included, with the outer
+row widths tracked so correlated references are bounds-checked too) and
+reports structured :class:`PlanViolation` findings:
+
+========  =================================================================
+Code      Invariant
+========  =================================================================
+PLAN001   every column reference resolves: ``BoundColumn.slot`` is within
+          the operator's input row width
+PLAN002   join key contract: left/right key lists have equal arity and
+          pairwise comparable types (hash buckets and merge ordering both
+          break on incomparable keys)
+PLAN003   operator arity: projections produce ``len(schema)`` values,
+          concatenation children agree on width, aggregates emit
+          ``keys + aggregates`` columns, pass-through operators preserve
+          the child width
+PLAN004   predicates are boolean-typed (filters, join residuals, seeks)
+PLAN005   sort contract: one direction flag per key, orderable key types,
+          ``output_width`` within the child row
+PLAN006   aggregate contract: every aggregate spec names a known function
+PLAN007   estimate sanity: ``est_rows`` finite and non-negative,
+          ``row_size`` at least one byte
+PLAN008   declared output types are consistent with the expressions that
+          produce them (a projection declaring INT while computing
+          VARCHAR would poison everything downstream)
+PLAN009   the root's schema matches the planner's declared query schema
+PLAN010   correlated (outer) references point at a real enclosing row
+========  =================================================================
+
+The pass is deliberately allocation-light — it runs on every statement the
+engine executes (``Database.execute``, fail-closed by default), so its
+cost must disappear next to planning itself.
+"""
+
+from repro.engine import expressions as ex
+from repro.engine import operators as ops
+from repro.engine.aggregates import is_aggregate_name
+from repro.engine.types import SQLType, is_numeric, is_temporal
+
+__all__ = ["PlanViolation", "verify_plan", "PLAN_CODES"]
+
+#: code -> short rule name (the DESIGN.md table is generated from this).
+PLAN_CODES = {
+    "PLAN001": "column-slot-out-of-range",
+    "PLAN002": "join-key-contract",
+    "PLAN003": "operator-arity",
+    "PLAN004": "predicate-not-boolean",
+    "PLAN005": "sort-contract",
+    "PLAN006": "aggregate-contract",
+    "PLAN007": "estimate-sanity",
+    "PLAN008": "output-type-mismatch",
+    "PLAN009": "root-schema-mismatch",
+    "PLAN010": "outer-reference-contract",
+}
+
+_BOOLEAN_OK = (SQLType.BIT, SQLType.UNKNOWN)
+
+
+class PlanViolation(object):
+    """One static-analysis finding against a physical plan."""
+
+    __slots__ = ("code", "operator", "path", "message")
+
+    def __init__(self, code, operator, path, message):
+        self.code = code
+        #: Physical operator name the violation anchors to.
+        self.operator = operator
+        #: Slash-separated child indexes from the root (``s`` = subplan),
+        #: e.g. ``0/s0/1`` — stable across renders, unlike object ids.
+        self.path = path
+        self.message = message
+
+    @property
+    def name(self):
+        return PLAN_CODES.get(self.code, "unknown")
+
+    def to_dict(self):
+        return {
+            "code": self.code,
+            "name": self.name,
+            "operator": self.operator,
+            "path": self.path,
+            "message": self.message,
+        }
+
+    def __repr__(self):
+        return "PlanViolation(%s @ %s [%s]: %s)" % (
+            self.code, self.operator, self.path, self.message)
+
+
+def _comparable(left, right):
+    """Whether the executor can compare two value types meaningfully.
+
+    Mirrors :func:`repro.engine.expressions.compare_values`: equal types,
+    numeric pairs and temporal pairs compare directly; VARCHAR coerces
+    against anything (the engine's dirty-data posture); UNKNOWN (NULL)
+    compares with everything.  The one incomparable mix is numeric vs
+    temporal — exactly the corruption a swapped join key produces.
+    """
+    if left is right:
+        return True
+    if SQLType.UNKNOWN in (left, right) or SQLType.VARCHAR in (left, right):
+        return True
+    if is_numeric(left) and is_numeric(right):
+        return True
+    return is_temporal(left) and is_temporal(right)
+
+
+def _type_consistent(produced, declared):
+    """Whether a declared output type can carry the produced values.
+
+    Equal types always; UNKNOWN on either side (NULL literals, untyped
+    schemas) always; otherwise the declared type must be at least as wide
+    as the produced one under the engine's widening order — declaring
+    VARCHAR over an INT expression is harmless, declaring INT over a
+    VARCHAR expression is a lie the executor cannot honour.
+    """
+    if produced is declared:
+        return True
+    if produced is SQLType.UNKNOWN or declared is SQLType.UNKNOWN:
+        return True
+    from repro.engine.types import unify_types
+
+    return unify_types(produced, declared) is declared
+
+
+class _Verifier(object):
+    """One verification pass; collects violations, never raises."""
+
+    __slots__ = ("violations", "outer_widths")
+
+    def __init__(self):
+        self.violations = []
+        #: Row widths of enclosing expression contexts, innermost last —
+        #: what a ``BoundOuterColumn(levels=L)`` indexes into.
+        self.outer_widths = []
+
+    def add(self, code, operator, path, message):
+        self.violations.append(
+            PlanViolation(code, operator.physical_name, path, message))
+
+    # -- expressions ----------------------------------------------------------
+
+    def check_expr(self, expr, width, operator, path, role):
+        """Bounds/outer checks for every column reference in one expression.
+
+        Hot path: inlined iterative walk (no generator) and the common
+        case — an in-range ``BoundColumn`` — decided with two comparisons.
+        """
+        bound_column = ex.BoundColumn
+        bound_outer = ex.BoundOuterColumn
+        outer_widths = self.outer_widths
+        stack = [expr]
+        pop = stack.pop
+        extend = stack.extend
+        while stack:
+            node = pop()
+            cls = type(node)
+            if cls is bound_column:
+                slot = node.slot
+                if not (isinstance(slot, int) and 0 <= slot < width):
+                    self.add(
+                        "PLAN001", operator, path,
+                        "%s references slot %r of a %d-column input (%r)"
+                        % (role, slot, width, node.name))
+            elif cls is bound_outer:
+                levels, slot = node.levels, node.slot
+                if not 1 <= levels <= len(outer_widths):
+                    self.add(
+                        "PLAN010", operator, path,
+                        "%s outer reference %r climbs %d level(s) but only "
+                        "%d enclosing row(s) exist"
+                        % (role, node.name, levels, len(outer_widths)))
+                elif not 0 <= slot < outer_widths[-levels]:
+                    self.add(
+                        "PLAN010", operator, path,
+                        "%s outer reference %r uses slot %d of a %d-column "
+                        "enclosing row"
+                        % (role, node.name, slot, outer_widths[-levels]))
+            else:
+                children = node.children()
+                if children:
+                    extend(children)
+
+    def check_predicate(self, predicate, width, operator, path, role):
+        self.check_expr(predicate, width, operator, path, role)
+        sql_type = getattr(predicate, "sql_type", None)
+        if sql_type not in _BOOLEAN_OK:
+            self.add(
+                "PLAN004", operator, path,
+                "%s has type %s, expected a boolean condition"
+                % (role, getattr(sql_type, "value", sql_type)))
+
+    # -- operators ------------------------------------------------------------
+
+    def check_operator(self, operator, path):
+        self._check_estimates(operator, path)
+        # Dispatch on concrete class (the hierarchy is flat); the handler
+        # decides the width of the row the operator's expressions see, per
+        # operator contract.  Unknown classes get only the generic checks.
+        handler = _CONTRACTS.get(type(operator))
+        if handler is not None:
+            width = handler(self, operator, path)
+        else:
+            width = len(operator.schema)
+
+        # Subquery plans evaluate with this operator's row pushed onto the
+        # outer-row stack; verify them in that context.
+        if operator.subplans:
+            self.outer_widths.append(width)
+            for index, subplan in enumerate(operator.subplans):
+                self.check_tree(subplan, "%s/s%d" % (path, index))
+            self.outer_widths.pop()
+        for index, child in enumerate(operator.children):
+            self.check_operator(child, "%s/%d" % (path, index))
+
+    def check_tree(self, root, path):
+        self.check_operator(root, path)
+
+    # -- per-operator contracts ----------------------------------------------
+
+    def _check_estimates(self, operator, path):
+        est = operator.est_rows
+        size = operator.row_size
+        # NaN fails every comparison, including est == est.
+        if not (isinstance(est, (int, float)) and est == est
+                and 0.0 <= est < float("inf")):
+            self.add("PLAN007", operator, path,
+                     "estimated rows %r is not a finite non-negative number"
+                     % (est,))
+        if not (isinstance(size, (int, float)) and size == size
+                and 1.0 <= size < float("inf")):
+            self.add("PLAN007", operator, path,
+                     "estimated row size %r is below the 1-byte floor"
+                     % (size,))
+
+    def _require_width(self, operator, path, declared, expected, contract):
+        if declared != expected:
+            self.add(
+                "PLAN003", operator, path,
+                "%s operator declares %d output column(s) but its contract "
+                "produces %d" % (contract, declared, expected))
+
+    def _check_filter(self, operator, path):
+        width = len(operator.children[0].schema)
+        self._require_width(operator, path, len(operator.schema), width,
+                            "pass-through")
+        self.check_predicate(operator.predicate, width, operator, path,
+                             "filter predicate")
+        return width
+
+    def _check_passthrough(self, operator, path):
+        width = len(operator.children[0].schema)
+        self._require_width(operator, path, len(operator.schema), width,
+                            "pass-through")
+        return width
+
+    def _check_table_scan(self, operator, path):
+        return len(operator.schema)
+
+    def _check_scan(self, operator, path):
+        table = operator.table
+        width = len(table.columns) if table is not None else len(operator.schema)
+        self._require_width(operator, path, len(operator.schema), width,
+                            "base-table scan")
+        predicate = getattr(operator, "predicate", None)
+        if predicate is not None:
+            self.check_predicate(predicate, width, operator, path,
+                                 "seek predicate")
+        for residual in operator.residual_predicates:
+            self.check_predicate(residual, width, operator, path,
+                                 "residual predicate")
+        return width
+
+    def _check_compute_scalar(self, operator, path):
+        width = len(operator.children[0].schema)
+        exprs = operator.exprs
+        schema = operator.schema
+        schema_len = len(schema)
+        check_expr = self.check_expr
+        self._require_width(operator, path, schema_len, len(exprs),
+                            "projection")
+        for slot, expr in enumerate(exprs):
+            check_expr(expr, width, operator, path, "projection expression")
+            if slot < schema_len:
+                declared = schema[slot].sql_type
+                produced = getattr(expr, "sql_type", SQLType.UNKNOWN)
+                if not _type_consistent(produced, declared):
+                    self.add(
+                        "PLAN008", operator, path,
+                        "projection column %r declares %s but its expression "
+                        "produces %s"
+                        % (schema[slot].name, declared.value, produced.value))
+        return width
+
+    def _check_join(self, operator, path):
+        left_width = len(operator.children[0].schema)
+        right_width = len(operator.children[1].schema)
+        joined = left_width + right_width
+        kind = getattr(operator, "kind", "inner")
+        # Semi/anti joins yield only the probe side's rows.
+        expected = left_width if kind in ("semi", "anti") else joined
+        self._require_width(operator, path, len(operator.schema), expected,
+                            "%s join" % kind)
+        left_keys = getattr(operator, "left_keys", None)
+        right_keys = getattr(operator, "right_keys", None)
+        if left_keys is not None and right_keys is not None:
+            if len(left_keys) != len(right_keys):
+                self.add(
+                    "PLAN002", operator, path,
+                    "join keys are lopsided: %d left vs %d right"
+                    % (len(left_keys), len(right_keys)))
+            for index, (left, right) in enumerate(zip(left_keys, right_keys)):
+                self.check_expr(left, left_width, operator, path,
+                                "left join key")
+                self.check_expr(right, right_width, operator, path,
+                                "right join key")
+                if not _comparable(left.sql_type, right.sql_type):
+                    self.add(
+                        "PLAN002", operator, path,
+                        "join key %d compares %s with %s, which never match"
+                        % (index, left.sql_type.value, right.sql_type.value))
+        for name in ("predicate", "residual"):
+            predicate = getattr(operator, name, None)
+            if predicate is not None:
+                self.check_predicate(predicate, joined, operator, path,
+                                     "join %s" % name)
+        return joined
+
+    def _check_sort(self, operator, path):
+        width = len(operator.children[0].schema)
+        if len(operator.key_exprs) != len(operator.descendings):
+            self.add(
+                "PLAN005", operator, path,
+                "%d sort key(s) but %d direction flag(s)"
+                % (len(operator.key_exprs), len(operator.descendings)))
+        for index, key in enumerate(operator.key_exprs):
+            self.check_expr(key, width, operator, path, "sort key")
+            if not isinstance(getattr(key, "sql_type", None), SQLType):
+                self.add(
+                    "PLAN005", operator, path,
+                    "sort key %d has no orderable SQL type" % index)
+        output_width = operator.output_width
+        if output_width is None:
+            self._require_width(operator, path, len(operator.schema), width,
+                                "sort")
+        else:
+            if not 0 < output_width <= width:
+                self.add(
+                    "PLAN005", operator, path,
+                    "sort trims to %r column(s) of a %d-column input"
+                    % (output_width, width))
+            self._require_width(operator, path, len(operator.schema),
+                                output_width, "trimming sort")
+        return width
+
+    def _check_aggregate(self, operator, path):
+        width = len(operator.children[0].schema)
+        expected = len(operator.key_exprs) + len(operator.agg_specs)
+        self._require_width(operator, path, len(operator.schema), expected,
+                            "aggregate")
+        for index, key in enumerate(operator.key_exprs):
+            self.check_expr(key, width, operator, path, "grouping key")
+            if index < len(operator.schema):
+                declared = operator.schema[index].sql_type
+                if not _type_consistent(key.sql_type, declared):
+                    self.add(
+                        "PLAN008", operator, path,
+                        "grouping column %r declares %s but the key "
+                        "expression produces %s"
+                        % (operator.schema[index].name, declared.value,
+                           key.sql_type.value))
+        for name, arg_expr, _distinct in operator.agg_specs:
+            if not is_aggregate_name(name):
+                self.add(
+                    "PLAN006", operator, path,
+                    "aggregate spec names unknown function %r" % (name,))
+            if arg_expr is not None:
+                self.check_expr(arg_expr, width, operator, path,
+                                "argument of %s()" % name)
+        return width
+
+    def _check_concatenation(self, operator, path):
+        declared = len(operator.schema)
+        for index, child in enumerate(operator.children):
+            child_width = len(child.schema)
+            if child_width != declared:
+                self.add(
+                    "PLAN003", operator, path,
+                    "concatenation input %d is %d column(s) wide, "
+                    "schema declares %d" % (index, child_width, declared))
+            else:
+                for slot, (column, branch) in enumerate(
+                        zip(operator.schema, child.schema)):
+                    if not _type_consistent(branch.sql_type, column.sql_type):
+                        self.add(
+                            "PLAN008", operator, path,
+                            "concatenation column %r declares %s but input "
+                            "%d supplies %s"
+                            % (column.name, column.sql_type.value, index,
+                               branch.sql_type.value))
+                        break
+        return declared
+
+    def _check_sequence_project(self, operator, path):
+        width = len(operator.children[0].schema)
+        expected = width + len(operator.window_specs)
+        self._require_width(operator, path, len(operator.schema), expected,
+                            "window projection")
+        for index, spec in enumerate(operator.window_specs):
+            role = "window %d (%s)" % (index, spec.func_name)
+            for expr in spec.partition_exprs:
+                self.check_expr(expr, width, operator, path,
+                                role + " partition key")
+            for expr in spec.order_exprs:
+                self.check_expr(expr, width, operator, path,
+                                role + " order key")
+            if spec.arg_expr is not None:
+                self.check_expr(spec.arg_expr, width, operator, path,
+                                role + " argument")
+            if spec.default_expr is not None:
+                self.check_expr(spec.default_expr, width, operator, path,
+                                role + " default")
+        return width
+
+    def _check_constant_scan(self, operator, path):
+        declared = len(operator.schema)
+        for index, row_exprs in enumerate(operator.exprs_rows):
+            if len(row_exprs) != declared:
+                self.add(
+                    "PLAN003", operator, path,
+                    "constant row %d supplies %d value(s) for %d column(s)"
+                    % (index, len(row_exprs), declared))
+            for expr in row_exprs:
+                # Constant rows evaluate against an empty input row; any
+                # column reference is out of range by construction.
+                self.check_expr(expr, 0, operator, path,
+                                "constant row %d" % index)
+        return 0
+
+
+#: Concrete operator class -> contract checker (exact-type dispatch; the
+#: operator hierarchy is flat, so no subclass can slip past a handler).
+_CONTRACTS = {
+    ops.ClusteredIndexScan: _Verifier._check_scan,
+    ops.ClusteredIndexSeek: _Verifier._check_scan,
+    ops.TableScan: _Verifier._check_table_scan,
+    ops.ConstantScan: _Verifier._check_constant_scan,
+    ops.Filter: _Verifier._check_filter,
+    ops.ComputeScalar: _Verifier._check_compute_scalar,
+    ops.NestedLoops: _Verifier._check_join,
+    ops.HashMatch: _Verifier._check_join,
+    ops.MergeJoin: _Verifier._check_join,
+    ops.Sort: _Verifier._check_sort,
+    ops.Top: _Verifier._check_passthrough,
+    ops.Segment: _Verifier._check_passthrough,
+    ops.StreamAggregate: _Verifier._check_aggregate,
+    ops.Concatenation: _Verifier._check_concatenation,
+    ops.SequenceProject: _Verifier._check_sequence_project,
+}
+
+
+def verify_plan(root, expected_schema=None):
+    """Statically verify one physical plan tree.
+
+    Returns a list of :class:`PlanViolation` (empty when the plan honours
+    every checked invariant).  ``expected_schema`` is the planner's
+    declared output schema for the whole query; when given, the root
+    operator must agree with it (PLAN009).  The pass never raises and
+    never mutates the plan.
+    """
+    verifier = _Verifier()
+    verifier.check_tree(root, "0")
+    if expected_schema is not None:
+        declared = len(expected_schema)
+        actual = len(root.schema)
+        if actual != declared:
+            verifier.add(
+                "PLAN009", root, "0",
+                "query schema declares %d column(s), the root operator "
+                "produces %d" % (declared, actual))
+        else:
+            for column, produced in zip(expected_schema, root.schema):
+                if not _type_consistent(produced.sql_type, column.sql_type):
+                    verifier.add(
+                        "PLAN009", root, "0",
+                        "query column %r declares %s, the root operator "
+                        "produces %s"
+                        % (column.name, column.sql_type.value,
+                           produced.sql_type.value))
+                    break
+    return verifier.violations

@@ -1,0 +1,536 @@
+"""Concurrency self-analysis: an AST lint over this codebase's own locking.
+
+The repo lints every user query (LINT001+) and statically verifies every
+physical plan (:mod:`repro.check.plancheck`); this module turns the same
+posture on ``src/repro`` itself.  The runtime, cache, WAL, metrics and
+query store all share mutable state across threads behind ad-hoc
+``threading.Lock``/``Condition`` discipline, and nothing checks that the
+discipline is actually followed.  :func:`analyze_paths` parses each module
+with :mod:`ast` (never imports it), reconstructs each class's locking
+structure, and reports:
+
+==============  ===========================================================
+Code            Finding
+==============  ===========================================================
+SELFCHECK001    an attribute is mutated both inside and outside a
+                ``with self.<lock>`` scope — the unguarded write races
+                with every guarded reader
+SELFCHECK002    two locks are acquired in opposite orders on different
+                code paths (a cycle in the acquisition graph): classic
+                deadlock geometry
+SELFCHECK003    a known-expensive call (fsync, sleep, file open, full
+                query parse/execute) runs while a lock is held, stalling
+                every thread queued on that lock
+==============  ===========================================================
+
+Conventions understood:
+
+- an attribute counts as a lock if it is assigned from
+  ``threading.Lock/RLock/Condition/Semaphore`` (or its name looks like
+  one: ``_lock``, ``_cond``, ``_mutex``, ...);
+- methods whose names end in ``_locked`` are, per repo convention, only
+  called with the instance's lock already held — their bodies are
+  analyzed as if inside a ``with`` scope;
+- ``__init__`` runs before the object is shared, so its writes never
+  count as unguarded;
+- a finding is silenced by ``# selfcheck: ok[CODE]`` (or a blanket
+  ``# selfcheck: ok``) on the offending line, its ``with`` statement, or
+  the enclosing ``def``.
+
+Findings carry a stable ``key`` (code, file, scope, subject — no line
+numbers) so a committed baseline survives unrelated edits; the CLI
+(``repro selfcheck``) compares against ``selfcheck-baseline.txt`` in CI.
+"""
+
+import ast
+import os
+import re
+
+from repro.errors import ERROR, WARNING
+
+__all__ = ["Finding", "analyze_source", "analyze_paths", "SELFCHECK_CODES",
+           "load_baseline", "format_baseline"]
+
+SELFCHECK_CODES = {
+    "SELFCHECK001": "unguarded-shared-mutation",
+    "SELFCHECK002": "lock-order-cycle",
+    "SELFCHECK003": "expensive-call-under-lock",
+}
+
+#: Attribute names that denote locks even without a visible assignment.
+_LOCK_NAME = re.compile(r"(^|_)(lock|cond|condition|mutex|sem|semaphore)s?$")
+
+#: threading factories whose result makes an attribute a lock.
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore",
+                   "BoundedSemaphore"}
+
+#: Method names that mutate their receiver in place: ``self.x.append(...)``
+#: is a write to ``x`` just as surely as ``self.x = ...``.
+_MUTATOR_METHODS = {
+    "append", "add", "update", "pop", "popleft", "popitem", "remove",
+    "clear", "setdefault", "extend", "insert", "discard", "rotate",
+    "appendleft", "sort",
+}
+
+#: Call patterns that are expensive enough to never hold a lock across.
+#: Bare names match builtins/attribute tails; dotted entries match the
+#: trailing attribute path of the call target.
+_EXPENSIVE_CALLS = {
+    "sleep": "blocks the thread",
+    "fsync": "waits on the disk",
+    "open": "touches the filesystem",
+    "check": "parses and analyzes a full statement",
+    "execute": "runs a full query",
+    "run_query": "runs a full query",
+    "parse": "parses a statement",
+    "analyze": "runs semantic analysis",
+}
+#: Receivers that make the bare names above meaningful — ``self._jobs.pop``
+#: is cheap, ``self.platform.db.check`` is not.
+_EXPENSIVE_RECEIVERS = {"time", "os", "db", "database", "platform",
+                        "parser", "semantic"}
+#: Names expensive regardless of receiver.
+_ALWAYS_EXPENSIVE = {"sleep", "fsync"}
+
+_SUPPRESS = re.compile(r"#\s*selfcheck:\s*ok(?:\[([A-Z0-9, ]+)\])?")
+
+
+class Finding(object):
+    """One selfcheck diagnostic."""
+
+    __slots__ = ("code", "path", "line", "scope", "subject", "message",
+                 "severity")
+
+    def __init__(self, code, path, line, scope, subject, message,
+                 severity=WARNING):
+        self.code = code
+        self.path = path
+        self.line = line
+        #: Qualified name of the enclosing scope, e.g. ``QueryRuntime.submit``.
+        self.scope = scope
+        #: The attribute/callee the finding is about — part of the stable key.
+        self.subject = subject
+        self.message = message
+        self.severity = severity
+
+    @property
+    def key(self):
+        """Stable identity for baseline matching; deliberately line-free."""
+        return "%s:%s:%s:%s" % (self.code, self.path, self.scope, self.subject)
+
+    def to_dict(self):
+        return {
+            "code": self.code, "path": self.path, "line": self.line,
+            "scope": self.scope, "subject": self.subject,
+            "message": self.message, "severity": self.severity,
+        }
+
+    def __repr__(self):
+        return "Finding(%s @ %s:%d %s)" % (self.code, self.path, self.line,
+                                           self.scope)
+
+
+def _suppressions(source):
+    """line number -> set of suppressed codes (empty set = all codes)."""
+    table = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS.search(text)
+        if match:
+            codes = match.group(1)
+            table[number] = (set(part.strip() for part in codes.split(","))
+                             if codes else set())
+    return table
+
+
+class _MethodFacts(object):
+    """Everything the analyzer learned about one method body."""
+
+    __slots__ = ("name", "line", "guarded_writes", "unguarded_writes",
+                 "acquisitions", "expensive", "expensive_any",
+                 "calls_under_lock", "plain_calls")
+
+    def __init__(self, name, line):
+        self.name = name
+        self.line = line
+        #: attr -> first line mutated with a lock held
+        self.guarded_writes = {}
+        #: attr -> first line mutated with no lock held
+        self.unguarded_writes = {}
+        #: (outer_lock, inner_lock) -> line of the inner ``with``
+        self.acquisitions = {}
+        #: (callee, reason, line, lock) for expensive calls under a lock
+        self.expensive = []
+        #: every expensive-pattern call, locked or not — what a caller
+        #: holding a lock inherits through one-level propagation
+        self.expensive_any = []
+        #: self-method names invoked while holding a lock -> (line, lock)
+        self.calls_under_lock = {}
+        #: self-method names invoked with no lock held
+        self.plain_calls = set()
+
+
+class _ClassAnalysis(ast.NodeVisitor):
+    """Walk one class body, collecting per-method lock facts."""
+
+    def __init__(self, class_name, path):
+        self.class_name = class_name
+        self.path = path
+        self.locks = set()
+        self.methods = {}
+        self._current = None
+        self._held = []  # stack of lock names currently held
+
+    # -- lock discovery -------------------------------------------------------
+
+    def _note_lock_assignment(self, target, value):
+        if not (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            return
+        call = value
+        if isinstance(call, ast.Call):
+            func = call.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None)
+            if name in _LOCK_FACTORIES:
+                self.locks.add(target.attr)
+
+    # -- traversal ------------------------------------------------------------
+
+    def visit_FunctionDef(self, node):
+        if self._current is not None:
+            # Nested function: analyze within the same method context.
+            self.generic_visit(node)
+            return
+        facts = _MethodFacts(node.name, node.lineno)
+        self.methods[node.name] = facts
+        self._current = facts
+        # Convention: *_locked methods run with the instance lock held.
+        self._held = ["<caller>"] if node.name.endswith("_locked") else []
+        self.generic_visit(node)
+        self._current = None
+        self._held = []
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_With(self, node):
+        acquired = []
+        for item in node.items:
+            lock = self._lock_name(item.context_expr)
+            if lock is not None:
+                for held in self._held:
+                    self._current.acquisitions.setdefault(
+                        (held, lock), item.context_expr.lineno)
+                acquired.append(lock)
+                self._held.append(lock)
+        for statement in node.body:
+            self.visit(statement)
+        for _ in acquired:
+            self._held.pop()
+        # Re-visit the context expressions themselves (e.g. open() calls).
+        for item in node.items:
+            if self._lock_name(item.context_expr) is None:
+                self.visit(item.context_expr)
+
+    def _lock_name(self, expr):
+        """``self._lock`` / ``self._cond`` (possibly via acquire-style use)."""
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"):
+            attr = expr.attr
+            if attr in self.locks or _LOCK_NAME.search(attr):
+                self.locks.add(attr)
+                return attr
+        return None
+
+    # -- mutations ------------------------------------------------------------
+
+    def _record_write(self, attr, line):
+        if self._current is None or attr in self.locks:
+            return
+        bucket = (self._current.guarded_writes if self._held
+                  else self._current.unguarded_writes)
+        bucket.setdefault(attr, line)
+
+    def _self_attr(self, node):
+        """Peel ``self.<attr>`` out of attribute/subscript targets."""
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            return node.attr
+        return None
+
+    def visit_Assign(self, node):
+        for target in node.targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                elements = target.elts
+            else:
+                elements = [target]
+            for element in elements:
+                attr = self._self_attr(element)
+                if attr is not None:
+                    if isinstance(node.value, ast.Call):
+                        self._note_lock_assignment(element, node.value)
+                    self._record_write(attr, element.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node):
+        attr = self._self_attr(node.target)
+        if attr is not None:
+            self._record_write(attr, node.target.lineno)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node):
+        for target in node.targets:
+            attr = self._self_attr(target)
+            if attr is not None:
+                self._record_write(attr, target.lineno)
+        self.generic_visit(node)
+
+    # -- calls ----------------------------------------------------------------
+
+    def visit_Call(self, node):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            # self.<attr>.mutator(...) is a write to <attr>.
+            attr = self._self_attr(receiver)
+            if attr is not None and func.attr in _MUTATOR_METHODS:
+                self._record_write(attr, node.lineno)
+            # self.helper(...) — track for one-level lock propagation.
+            if (isinstance(receiver, ast.Name) and receiver.id == "self"
+                    and self._current is not None):
+                if self._held:
+                    self._current.calls_under_lock.setdefault(
+                        func.attr, (node.lineno, self._held[-1]))
+                else:
+                    self._current.plain_calls.add(func.attr)
+            self._check_expensive(func, node.lineno)
+        elif isinstance(func, ast.Name):
+            if (func.id in _ALWAYS_EXPENSIVE or func.id == "open") \
+                    and self._current is not None:
+                reason = _EXPENSIVE_CALLS.get(func.id, "is expensive")
+                self._record_expensive(func.id, reason, node.lineno)
+        self.generic_visit(node)
+
+    def _record_expensive(self, dotted, reason, line):
+        held = self._held[-1] if self._held else None
+        self._current.expensive_any.append((dotted, reason, line, held))
+        if held is not None:
+            self._current.expensive.append((dotted, reason, line, held))
+
+    def _check_expensive(self, func, line):
+        if self._current is None:
+            return
+        name = func.attr
+        if name not in _EXPENSIVE_CALLS:
+            return
+        receiver = func.value
+        tail = None
+        if isinstance(receiver, ast.Attribute):
+            tail = receiver.attr
+        elif isinstance(receiver, ast.Name):
+            tail = receiver.id
+        if name in _ALWAYS_EXPENSIVE or tail in _EXPENSIVE_RECEIVERS:
+            dotted = "%s.%s" % (tail, name) if tail else name
+            self._record_expensive(dotted, _EXPENSIVE_CALLS[name], line)
+
+
+def _analyze_class(node, path, relpath, suppressed, findings):
+    analysis = _ClassAnalysis(node.name, relpath)
+    # First pass: find lock attributes assigned anywhere in the class (so a
+    # lock created in __init__ is known when a later method is visited).
+    for child in ast.walk(node):
+        if isinstance(child, ast.Assign) and isinstance(child.value, ast.Call):
+            for target in child.targets:
+                analysis._note_lock_assignment(target, child.value)
+    for child in node.body:
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            analysis.visit(child)
+    if not analysis.locks:
+        return
+
+    methods = analysis.methods
+
+    def emit(code, line, scope_name, subject, message):
+        codes = _line_suppressions(line, scope_name, methods, suppressed)
+        if codes is not None and (not codes or code in codes):
+            return
+        findings.append(Finding(
+            code, relpath, line, "%s.%s" % (node.name, scope_name), subject,
+            message))
+
+    # SELFCHECK003 first (per-method, no cross-method state), with one
+    # level of propagation: calling self.helper() under a lock inherits
+    # helper's expensive calls.
+    for name, facts in methods.items():
+        for callee, reason, line, lock in facts.expensive:
+            emit("SELFCHECK003", line, name, callee,
+                 "%s() %s while holding self.%s" % (callee, reason, lock))
+        for helper, (line, lock) in facts.calls_under_lock.items():
+            inner = methods.get(helper)
+            if inner is None or helper.endswith("_locked"):
+                continue
+            for callee, reason, _inner_line, _inner_lock in inner.expensive_any:
+                emit("SELFCHECK003", line, name, "%s>%s" % (helper, callee),
+                     "%s() calls %s(), whose %s() %s, while holding self.%s"
+                     % (name, helper, callee, reason, lock))
+
+    # SELFCHECK001: attribute guarded somewhere, mutated bare elsewhere.
+    guarded = {}
+    unguarded = {}
+    for name, facts in methods.items():
+        if name == "__init__":
+            continue  # pre-publication writes are safe by construction
+        for attr, line in facts.guarded_writes.items():
+            guarded.setdefault(attr, (name, line))
+        for attr, line in facts.unguarded_writes.items():
+            unguarded.setdefault(attr, (name, line))
+        # A helper called both under and outside a lock makes its writes
+        # ambiguous; treat its unguarded writes as guarded when every call
+        # site holds a lock.
+    for attr in sorted(set(guarded) & set(unguarded)):
+        bare_method, bare_line = unguarded[attr]
+        facts = methods[bare_method]
+        # If every caller of this method holds a lock, the write is
+        # effectively guarded (common for private helpers).
+        callers_locked = any(
+            bare_method in other.calls_under_lock
+            for other in methods.values())
+        callers_plain = any(
+            bare_method in other.plain_calls for other in methods.values())
+        if callers_locked and not callers_plain \
+                and not _is_public_entry(bare_method):
+            continue
+        lock_method, _lock_line = guarded[attr]
+        emit("SELFCHECK001", bare_line, bare_method, attr,
+             "self.%s is mutated without a lock here but under a lock in "
+             "%s.%s()" % (attr, node.name, lock_method))
+
+    # SELFCHECK002: cycles in the per-class lock acquisition graph.
+    edges = {}
+    for facts in methods.values():
+        for (outer, inner), line in facts.acquisitions.items():
+            if outer == "<caller>" or outer == inner:
+                continue
+            edges.setdefault(outer, {}).setdefault(inner, (facts.name, line))
+    for cycle in _find_cycles(edges):
+        # Anchor the finding at the edge that closes the cycle.
+        closer = edges[cycle[-1]][cycle[0]]
+        emit("SELFCHECK002", closer[1], closer[0], "->".join(cycle),
+             "locks %s are acquired in conflicting orders (cycle: %s)"
+             % (", ".join("self.%s" % name for name in sorted(set(cycle))),
+                " -> ".join(cycle + [cycle[0]])))
+
+
+def _is_public_entry(name):
+    return not name.startswith("_")
+
+
+def _line_suppressions(line, scope_name, methods, suppressed):
+    """Suppression codes applying to ``line`` (None = not suppressed)."""
+    if line in suppressed:
+        return suppressed[line]
+    facts = methods.get(scope_name)
+    if facts is not None and facts.line in suppressed:
+        return suppressed[facts.line]
+    # A ``with self._lock:`` line between the def and the finding may carry
+    # the comment; approximate by accepting any suppression on a line
+    # between the def and the finding that is closer than any other def.
+    candidates = [number for number in suppressed
+                  if facts is not None and facts.line < number <= line]
+    if candidates:
+        return suppressed[max(candidates)]
+    return None
+
+
+def _find_cycles(edges):
+    """Minimal cycle enumeration over a small lock graph (DFS)."""
+    cycles = []
+    seen_cycles = set()
+    for start in edges:
+        stack = [(start, [start])]
+        while stack:
+            current, trail = stack.pop()
+            for neighbor in edges.get(current, ()):
+                if neighbor == start and len(trail) > 1:
+                    canonical = frozenset(trail)
+                    if canonical not in seen_cycles:
+                        seen_cycles.add(canonical)
+                        cycles.append(trail)
+                elif neighbor not in trail:
+                    stack.append((neighbor, trail + [neighbor]))
+    return cycles
+
+
+def analyze_source(source, relpath):
+    """Analyze one module's source text; returns a list of Findings."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [Finding("SELFCHECK000", relpath, error.lineno or 1,
+                        "<module>", "syntax",
+                        "could not parse: %s" % error.msg,
+                        severity=ERROR)]
+    suppressed = _suppressions(source)
+    findings = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            _analyze_class(node, relpath, relpath, suppressed, findings)
+    findings.sort(key=lambda finding: (finding.path, finding.line,
+                                       finding.code))
+    return findings
+
+
+def analyze_paths(paths, root=None):
+    """Analyze ``.py`` files under the given files/directories.
+
+    ``root`` anchors the relative paths used in finding keys (defaults to
+    the current directory), keeping baselines machine-independent.
+    """
+    root = os.path.abspath(root or os.getcwd())
+    files = []
+    for path in paths:
+        path = os.path.abspath(path)
+        if os.path.isdir(path):
+            for directory, _subdirs, names in sorted(os.walk(path)):
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(directory, name))
+        elif path.endswith(".py"):
+            files.append(path)
+    findings = []
+    for filename in files:
+        relpath = os.path.relpath(filename, root).replace(os.sep, "/")
+        with open(filename, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(analyze_source(source, relpath))
+    return findings
+
+
+def load_baseline(path):
+    """Read a baseline file: one finding key per line, ``#`` comments."""
+    keys = set()
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except FileNotFoundError:
+        return keys
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                keys.add(line)
+    return keys
+
+
+def format_baseline(findings):
+    """Render findings as baseline file content (sorted, deduplicated)."""
+    lines = [
+        "# repro selfcheck baseline — accepted findings, one stable key per line.",
+        "# Regenerate with: repro selfcheck src/repro --write-baseline "
+        "selfcheck-baseline.txt",
+    ]
+    lines.extend(sorted(set(finding.key for finding in findings)))
+    return "\n".join(lines) + "\n"

@@ -7,6 +7,7 @@ Commands:
 - ``serve``   — start the REST API over a freshly generated deployment.
 - ``export``  — write an anonymized corpus release to a directory.
 - ``lint``    — statically check SQL files (or stdin) without executing.
+- ``selfcheck`` — concurrency lint (lock discipline) over this codebase.
 - ``profile`` — EXPLAIN ANALYZE a statement (estimated vs actual rows per
   operator), or report q-error over a generated workload.
 - ``checkpoint`` — force a snapshot checkpoint on a data directory.
@@ -174,10 +175,54 @@ def _cmd_lint(args):
             if diagnostic.severity == "error":
                 errors += 1
             print(_render_diagnostic(diagnostic, text, path))
+        if args.explain and not ddl_only:
+            # Static plan verdict per query (lint_text above already
+            # applied the script's DDL, so queries plan against it).
+            from repro.lint import split_statements
+
+            for offset, stmt_text in split_statements(text):
+                violations = db.check_plan(stmt_text.strip())
+                if violations is None:
+                    continue
+                line = text.count("\n", 0, offset) + 1
+                if not violations:
+                    print("%s:%d: plan check ok" % (path, line))
+                    continue
+                for violation in violations:
+                    total += 1
+                    errors += 1
+                    print("%s:%d: [%s] error: %s at %s (path %s)"
+                          % (path, line, violation.code, violation.message,
+                             violation.operator, violation.path))
     print("%d finding%s (%d error%s)"
           % (total, "" if total == 1 else "s",
              errors, "" if errors == 1 else "s"))
     return 1 if errors else 0
+
+
+def _cmd_selfcheck(args):
+    import os
+
+    from repro.check import analyze_paths, format_baseline, load_baseline
+
+    root = os.path.abspath(args.root) if args.root else os.getcwd()
+    findings = analyze_paths(args.paths, root=root)
+    if args.write_baseline:
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            handle.write(format_baseline(findings))
+        print("wrote %d accepted finding key(s) to %s"
+              % (len(set(f.key for f in findings)), args.write_baseline))
+        return 0
+    baseline = load_baseline(args.baseline) if args.baseline else set()
+    fresh = [f for f in findings if f.key not in baseline]
+    for finding in fresh:
+        print("%s:%d: [%s] %s: %s  (%s)"
+              % (finding.path, finding.line, finding.code, finding.severity,
+                 finding.message, finding.scope))
+    accepted = len(findings) - len(fresh)
+    print("%d finding%s (%d accepted by baseline)"
+          % (len(fresh), "" if len(fresh) == 1 else "s", accepted))
+    return 1 if fresh else 0
 
 
 def _cmd_profile(args):
@@ -440,6 +485,26 @@ def build_parser():
                       help="schema file executed first to populate the catalog")
     lint.add_argument("--no-lint", action="store_true",
                       help="semantic errors only, skip the smell rules")
+    lint.add_argument("--explain", action="store_true",
+                      help="also plan each query and report the static "
+                           "plan verifier's verdict (PLAN codes)")
+
+    selfcheck = commands.add_parser(
+        "selfcheck",
+        help="concurrency lint over this codebase's own lock discipline")
+    selfcheck.add_argument("paths", nargs="*", default=["src/repro"],
+                           help="python files/directories to analyze "
+                                "(default src/repro)")
+    selfcheck.add_argument("--root", default=None,
+                           help="directory finding paths are made relative "
+                                "to (default: cwd), keeping baselines "
+                                "machine-independent")
+    selfcheck.add_argument("--baseline", default=None,
+                           help="accepted-findings file; only findings not "
+                                "listed in it are reported (exit 1)")
+    selfcheck.add_argument("--write-baseline", default=None,
+                           help="write current finding keys to this file "
+                                "and exit 0")
 
     profile = commands.add_parser(
         "profile",
@@ -489,6 +554,7 @@ def main(argv=None):
         "serve": _cmd_serve,
         "export": _cmd_export,
         "lint": _cmd_lint,
+        "selfcheck": _cmd_selfcheck,
         "profile": _cmd_profile,
         "checkpoint": _cmd_checkpoint,
         "recover": _cmd_recover,

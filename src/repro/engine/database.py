@@ -5,8 +5,10 @@ SQL, explains queries (SHOWPLAN-style XML), runs DDL (the platform — never
 users — issues CREATE/DROP/ALTER), and exposes the catalog.
 """
 
+import logging
 import time
 
+from repro.check.plancheck import verify_plan
 from repro.engine import ast_nodes as ast
 from repro.engine import parser
 from repro.engine import semantic
@@ -22,8 +24,11 @@ from repro.errors import (
     ExecutionError,
     LexError,
     ParseError,
+    PlanCheckError,
     SQLError,
 )
+
+logger = logging.getLogger("repro.engine")
 
 
 class QueryResult(object):
@@ -61,11 +66,14 @@ class QueryResult(object):
 class ExplainedQuery(object):
     """Result of explaining a statement without executing it."""
 
-    def __init__(self, plan, schema, info, xml):
+    def __init__(self, plan, schema, info, xml, plan_check=None):
         self.plan = plan
         self.schema = schema
         self.info = info
         self.xml = xml
+        #: Plan-verifier findings (:class:`repro.check.plancheck.PlanViolation`,
+        #: empty list = statically clean; None = verifier disabled).
+        self.plan_check = plan_check
 
     @property
     def total_cost(self):
@@ -99,6 +107,15 @@ class Database(object):
         #: (the storage manager points this at the platform's state lock so
         #: a checkpoint's serialization pass is a consistent cut).
         self.commit_lock = None
+        #: Plan-verifier posture for :meth:`execute`:
+        #: ``"strict"`` (default — a violating plan raises
+        #: :class:`repro.errors.PlanCheckError` before execution, the
+        #: fail-closed setting tests and CI run under), ``"warn"`` (serve
+        #: mode — log + bump ``check_plan_violations_total`` and run the
+        #: plan anyway) or ``"off"``.  Cache hits never re-plan and are
+        #: therefore never re-verified, whatever the mode.
+        self.plan_check_mode = "strict"
+        self._plan_violation_counter = None
 
     def _phase_histogram(self, phase):
         """The ``repro_engine_<phase>_seconds`` histogram (cached)."""
@@ -194,6 +211,7 @@ class Database(object):
                 self._phase_histogram("plan").observe(ended - started)
             if trace is not None:
                 trace.add_span("plan", started, ended)
+            violations = self._verify_planned(planned, sql, metrics, trace)
             info = planned.info
             columns = [column.name for column in planned.schema]
             # Stamp the vector BEFORE executing: if a concurrent writer
@@ -232,7 +250,7 @@ class Database(object):
                 info=info,
                 elapsed=elapsed,
                 profile=(
-                    profiler.finish(elapsed=elapsed)
+                    profiler.finish(elapsed=elapsed, plan_check=violations)
                     if profiler is not None else None
                 ),
             )
@@ -247,6 +265,71 @@ class Database(object):
         if not analysis.ok:
             raise semantic.error_from_diagnostics(analysis.diagnostics, sql)
         return self._execute_statement(statement, sql)
+
+    def _verify_planned(self, planned, sql, metrics, trace):
+        """Run the static plan verifier per :attr:`plan_check_mode`.
+
+        Returns the violation list (None when the verifier is off).
+        Strict mode raises on any violation — a plan that fails its own
+        type check must not reach the executor; warn mode logs, counts
+        (``check_plan_violations_total``) and lets the plan run, which is
+        the right posture for a long-lived service.
+        """
+        if self.plan_check_mode == "off":
+            return None
+        started = time.monotonic()
+        violations = verify_plan(planned.root, planned.schema)
+        ended = time.monotonic()
+        if metrics is not None:
+            self._phase_histogram("check").observe(ended - started)
+        if trace is not None:
+            trace.add_span("check", started, ended,
+                           violations=len(violations))
+        if violations:
+            if metrics is not None:
+                counter = self._plan_violation_counter
+                if counter is None:
+                    counter = metrics.counter(
+                        "check_plan_violations_total",
+                        "Plans rejected or flagged by the static plan "
+                        "verifier.",
+                    )
+                    self._plan_violation_counter = counter
+                counter.inc(len(violations))
+            summary = "; ".join(
+                "%s %s" % (violation.code, violation.message)
+                for violation in violations[:3])
+            if self.plan_check_mode == "strict":
+                raise PlanCheckError(
+                    "plan verification failed (%d violation(s)): %s"
+                    % (len(violations), summary),
+                    violations=violations,
+                )
+            logger.warning("plan verification flagged %d violation(s) for "
+                           "%.80r: %s", len(violations), sql, summary)
+        return violations
+
+    def check_plan(self, sql):
+        """Statically verify the plan a query would get, without running it.
+
+        Returns the list of :class:`repro.check.plancheck.PlanViolation`
+        (empty = the plan honours every checked invariant), or None when
+        the statement is not a plannable, semantically valid query — the
+        REST ``/check`` endpoint and ``repro lint --explain`` surface that
+        as the absence of a verdict rather than an error.
+        """
+        try:
+            statement = parser.parse(sql)
+            if not isinstance(statement,
+                              (ast.Select, ast.SetOperation, ast.WithQuery)):
+                return None
+            analysis = semantic.analyze(statement, self.catalog, source=sql)
+            if not analysis.ok:
+                return None
+            planned = self.planner.plan(statement)
+        except SQLError:
+            return None
+        return verify_plan(planned.root, planned.schema)
 
     def _probe(self, cache, key, trace):
         """One result-cache probe (validation included), traced when asked."""
@@ -289,12 +372,16 @@ class Database(object):
         if not isinstance(statement, (ast.Select, ast.SetOperation, ast.WithQuery)):
             raise SQLError("only queries can be explained")
         planned = self.planner.plan(statement)
+        plan_check = (verify_plan(planned.root, planned.schema)
+                      if self.plan_check_mode != "off" else None)
         xml = plan_to_xml(
             planned.root, statement_text=sql,
             expression_ops=planned.info.expression_ops,
             referenced_columns=planned.info.columns,
+            plan_check=plan_check,
         )
-        return ExplainedQuery(planned.root, planned.schema, planned.info, xml)
+        return ExplainedQuery(planned.root, planned.schema, planned.info, xml,
+                              plan_check=plan_check)
 
     def query_schema(self, sql):
         """Output columns (name, SQLType) a query would produce."""

@@ -14,13 +14,18 @@ NAMESPACE = "http://schemas.microsoft.com/sqlserver/2004/07/showplan"
 
 
 def plan_to_xml(root_operator, statement_text="", expression_ops=None,
-                referenced_columns=None):
+                referenced_columns=None, plan_check=None):
     """Render a physical plan as a SHOWPLAN-style XML string.
 
     ``expression_ops`` lists the intrinsic/arithmetic expression operators
     the optimizer saw in the statement (``like``, ``ADD``, ``patindex``,
     ...); they are emitted under ``<ExpressionList>`` so Phase 1 can pull
     them out with XPath, as the paper describes.
+
+    ``plan_check`` carries the static plan verifier's findings
+    (:mod:`repro.check.plancheck`): a ``<PlanCheck>`` element records the
+    verdict (``Result="ok"`` or one ``<Violation>`` per finding) so a plan
+    archive is self-describing about which plans were statically suspect.
     """
     showplan = ET.Element("ShowPlanXML", {"xmlns": NAMESPACE, "Version": "1.2"})
     statements = ET.SubElement(showplan, "BatchSequence")
@@ -46,6 +51,18 @@ def plan_to_xml(root_operator, statement_text="", expression_ops=None,
             ET.SubElement(
                 referenced, "ColumnReference", {"Table": table, "Column": column}
             )
+    if plan_check is not None:
+        check = ET.SubElement(
+            stmt, "PlanCheck",
+            {"Result": "ok" if not plan_check else "violations"})
+        for violation in plan_check:
+            ET.SubElement(check, "Violation", {
+                "Code": violation.code,
+                "Rule": violation.name,
+                "Operator": violation.operator,
+                "Path": violation.path,
+                "Message": violation.message,
+            })
     query_plan = ET.SubElement(stmt, "QueryPlan")
     _emit_relop(query_plan, root_operator)
     return ET.tostring(showplan, encoding="unicode")

@@ -184,6 +184,21 @@ class ExecutionError(SQLError):
     """A runtime failure while evaluating a query (cast failure, div by zero)."""
 
 
+class PlanCheckError(SQLError):
+    """The plan verifier rejected a physical plan before execution.
+
+    Raised only in strict mode (``Database.plan_check_mode = "strict"``,
+    the default under tests/CI); serve mode downgrades to a warning plus
+    the ``check_plan_violations_total`` metric.  Carries the structured
+    findings (``.violations`` — :class:`repro.check.plancheck.PlanViolation`)
+    so callers can render codes rather than parse the message.
+    """
+
+    def __init__(self, message, violations=None):
+        super().__init__(message)
+        self.violations = list(violations or [])
+
+
 class QueryCancelled(ExecutionError):
     """The query was cancelled while executing (cooperative cancellation)."""
 

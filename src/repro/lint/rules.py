@@ -1,4 +1,4 @@
-"""Built-in lint rules (LINT001-LINT011).
+"""Built-in lint rules (LINT001-LINT012).
 
 Each rule consumes the semantic analyzer's :class:`AnalysisResult` — the
 per-SELECT source lists, the inferred type of every expression and the
@@ -343,3 +343,56 @@ def cartesian_growth(result, catalog):
                    "cross product would produce on the order of %d rows "
                    "(%d base tables)" % (estimate, known),
                    span_of(info.select))
+
+
+@rule("LINT012", "order-by-ordinal",
+      "ORDER BY by output position, or by an alias shared by several "
+      "output columns", WARNING)
+def order_by_ordinal(result, catalog):
+    """Fragile top-level ORDER BY targets.
+
+    ``ORDER BY 2`` is legal (SEM011 only rejects out-of-range ordinals) but
+    silently re-sorts by a different column the moment someone edits the
+    select list; an unqualified name matching two output aliases sorts by
+    whichever one the binder happens to pick.  Both are paper-grade query
+    smells: hand-edited ad-hoc SQL where the ORDER BY stopped meaning what
+    it says.  Subquery ORDER BY is LINT007's business, so only the
+    statement's outermost query is checked here.
+    """
+
+    def check(order_items, output_names):
+        for order in order_items:
+            expr = order.expr
+            if (isinstance(expr, ast.Literal)
+                    and isinstance(expr.value, int)
+                    and not isinstance(expr.value, bool)
+                    and 1 <= expr.value <= len(output_names)):
+                yield (None,
+                       "ORDER BY %d sorts by position (currently column %r); "
+                       "name the column instead"
+                       % (expr.value, output_names[expr.value - 1]),
+                       span_of(expr))
+            elif isinstance(expr, ast.ColumnRef) and expr.table is None:
+                matches = sum(
+                    1 for name in output_names
+                    if name and name.lower() == expr.name.lower())
+                if matches > 1:
+                    yield (None,
+                           "ORDER BY %r is ambiguous: %d output columns "
+                           "share that name" % (expr.name, matches),
+                           span_of(expr))
+
+    for info in result.selects:
+        if info.depth or not info.select.order_by:
+            continue
+        names = [column.name for column in info.output]
+        for finding in check(info.select.order_by, names):
+            yield finding
+    statement = result.statement
+    if isinstance(statement, ast.WithQuery):
+        statement = statement.body
+    if (isinstance(statement, ast.SetOperation)
+            and getattr(statement, "order_by", None) and result.schema):
+        names = [column.name for column in result.schema]
+        for finding in check(statement.order_by, names):
+            yield finding

@@ -205,18 +205,24 @@ class QueryProfiler(object):
         self.detach()
         return False
 
-    def finish(self, elapsed=None):
+    def finish(self, elapsed=None, plan_check=None):
         self.detach()
-        return ExecutionProfile(self.stats, elapsed=elapsed)
+        return ExecutionProfile(self.stats, elapsed=elapsed,
+                                plan_check=plan_check)
 
 
 class ExecutionProfile(object):
     """The result of one profiled execution: per-operator actuals."""
 
-    def __init__(self, operator_stats, elapsed=None):
+    def __init__(self, operator_stats, elapsed=None, plan_check=None):
         self.operators = list(operator_stats)
         #: End-to-end execution seconds (the engine's measurement), when known.
         self.elapsed = elapsed
+        #: Static plan-verifier findings for the executed plan
+        #: (:mod:`repro.check.plancheck`): [] = verified clean, None =
+        #: verifier off.  Lets q-error reports distinguish "the estimate
+        #: was wrong" from "the plan was already statically suspect".
+        self.plan_check = plan_check
 
     def q_errors(self):
         """Per-operator q-errors, pre-order (executed operators only)."""
@@ -234,13 +240,20 @@ class ExecutionProfile(object):
         if errors:
             payload["median_q_error"] = round(errors[len(errors) // 2], 3)
             payload["max_q_error"] = round(errors[-1], 3)
+        if self.plan_check is not None:
+            payload["plan_check"] = (
+                "ok" if not self.plan_check
+                else sorted(set(v.code for v in self.plan_check)))
         return payload
 
     def to_dict(self):
-        return {
+        payload = {
             "summary": self.summary(),
             "operators": [stats.to_dict() for stats in self.operators],
         }
+        if self.plan_check is not None:
+            payload["plan_check"] = [v.to_dict() for v in self.plan_check]
+        return payload
 
 
 def render_explain_analyze(profile):
@@ -295,4 +308,11 @@ def render_explain_analyze(profile):
         )
     if profile.elapsed is not None:
         lines.append("execution time: %.3f ms" % (profile.elapsed * 1000.0))
+    if profile.plan_check:
+        # Statically suspect plan: flag it so a bad q-error row is read in
+        # context.  Clean plans add no footer (the common case stays quiet).
+        lines.append("plan check: %d static violation(s): %s"
+                     % (len(profile.plan_check),
+                        ", ".join(sorted(set(v.code
+                                             for v in profile.plan_check)))))
     return "\n".join(lines)

@@ -155,8 +155,11 @@ class QueryRuntime(object):
         #: repeat submissions (the workload's dominant pattern, §6.3) would
         #: otherwise pay a full parse before even reaching the result
         #: cache's no-parse fast path.  Diagnostics are advisory, so a memo
-        #: keyed on text alone is acceptable.
+        #: keyed on text alone is acceptable.  Guarded by its own lock —
+        #: never by ``_cond`` — so a memo miss's full parse+analyze cannot
+        #: stall dispatch (selfcheck SELFCHECK003 found exactly that).
         self._lint_memo = {}
+        self._lint_lock = threading.Lock()
 
     def _install_instruments(self):
         """Register the scheduler's named instruments.
@@ -184,6 +187,13 @@ class QueryRuntime(object):
         self._exec_hist = metrics.histogram(
             "repro_scheduler_exec_seconds",
             "Time from dispatch to terminal state.")
+        # Registering the plan verifier's counter up front (get-or-create
+        # shares it with the engine's increments) puts it in every registry
+        # snapshot at 0, so the monitor's sampler has the series from the
+        # first tick instead of from the first violation.
+        metrics.counter(
+            "check_plan_violations_total",
+            "Plans rejected or flagged by the static plan verifier.")
         metrics.gauge_callback(
             "repro_scheduler_queue_depth",
             "Jobs currently waiting in per-user queues.",
@@ -249,6 +259,17 @@ class QueryRuntime(object):
         """
         if inline is None:
             inline = self.config.max_workers <= 0
+        # Lint BEFORE taking the scheduler lock: a memo miss runs a full
+        # parse + semantic pass, and holding _cond across it would stall
+        # every worker wake-up and dispatch for the duration.  Diagnostics
+        # are advisory, so computing them pre-admission is harmless even if
+        # the submission is then refused.
+        diagnostics = None
+        lint_span = None
+        if self.config.lint_submissions:
+            lint_started = time.monotonic()
+            diagnostics = self._lint(sql)
+            lint_span = (lint_started, time.monotonic())
         with self._cond:
             if self._shutdown:
                 raise AdmissionError("runtime is shut down")
@@ -262,12 +283,11 @@ class QueryRuntime(object):
                            source=source, timeout=timeout, profile=profile,
                            tracing=self.config.tracing_enabled)
             self._jobs_submitted.inc()
-            if self.config.lint_submissions:
-                lint_started = time.monotonic()
-                job.diagnostics = self._lint(sql)
+            if diagnostics is not None:
+                job.diagnostics = diagnostics
                 if job.trace is not None:
-                    job.trace.add_span("lint", lint_started, time.monotonic(),
-                                       findings=len(job.diagnostics))
+                    job.trace.add_span("lint", lint_span[0], lint_span[1],
+                                       findings=len(diagnostics))
             self._jobs[job.job_id] = job
             self._prune_terminal_locked()
             if not inline:
@@ -285,17 +305,22 @@ class QueryRuntime(object):
         return job
 
     def _lint(self, sql):
-        diagnostics = self._lint_memo.get(sql)
+        with self._lint_lock:
+            diagnostics = self._lint_memo.get(sql)
         if diagnostics is None:
+            # The expensive part (full parse + analyze) runs unlocked;
+            # concurrent misses on the same text do duplicate work at
+            # worst, never block each other.
             try:
                 diagnostics = [
                     d.to_dict() for d in self.platform.db.check(sql, lint=True)
                 ]
             except Exception:
                 diagnostics = []  # advisory; never block submission
-            if len(self._lint_memo) > 4096:
-                self._lint_memo.clear()
-            self._lint_memo[sql] = diagnostics
+            with self._lint_lock:
+                if len(self._lint_memo) > 4096:
+                    self._lint_memo.clear()
+                self._lint_memo[sql] = diagnostics
         return diagnostics
 
     # -- lookup / cancellation ------------------------------------------------

@@ -265,10 +265,18 @@ class SQLShareApp(object):
         sql = _require(body, "sql")
         lint = body.get("lint", True)
         diagnostics = self.platform.db.check(sql, lint=bool(lint))
-        return 200, {
+        payload = {
             "diagnostics": [d.to_dict() for d in diagnostics],
             "ok": all(d.severity != "error" for d in diagnostics),
         }
+        # Static plan verdict: "ok", a list of violations, or absent when
+        # the statement is not a plannable, semantically valid query.
+        violations = self.platform.db.check_plan(sql)
+        if violations is not None:
+            payload["plan_check"] = (
+                "ok" if not violations
+                else [violation.to_dict() for violation in violations])
+        return 200, payload
 
     @route("GET", "/api/v1/query/(?P<query_id>[^/]+)")
     def query_status(self, user, body, query_id):
@@ -450,5 +458,9 @@ def serve(platform=None, host="127.0.0.1", port=8080, runtime_config=None):
     from wsgiref.simple_server import make_server
 
     app = SQLShareApp(platform, runtime_config=runtime_config)
+    # A long-lived service should flag statically suspect plans (log +
+    # check_plan_violations_total) but keep serving; strict fail-closed is
+    # for tests and CI, where the default stands.
+    app.platform.db.plan_check_mode = "warn"
     server = make_server(host, port, app)
     return server

@@ -1,0 +1,362 @@
+"""Concurrency selfcheck tests: synthetic lock-discipline bugs + the gate.
+
+The synthetic sources reproduce the exact shapes the analyzer hunts —
+unguarded shared mutation, opposite lock orders, expensive work under a
+lock (directly and through a helper, the shape of the scheduler bug this
+PR fixed) — and the gate tests pin the repo-level contract: ``src/repro``
+analyzes clean against the committed baseline.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.check import (
+    analyze_paths,
+    analyze_source,
+    format_baseline,
+    load_baseline,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def findings_for(source, path="mod.py"):
+    return analyze_source(textwrap.dedent(source), path)
+
+
+def codes(source):
+    return [finding.code for finding in findings_for(source)]
+
+
+class TestUnguardedMutation:
+    def test_mixed_guarded_and_bare_write(self):
+        source = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def add(self, item):
+                with self._lock:
+                    self._items.append(item)
+
+            def reset(self):
+                self._items = []
+        """
+        found = findings_for(source)
+        assert [f.code for f in found] == ["SELFCHECK001"]
+        assert found[0].subject == "_items"
+        assert found[0].scope == "Box.reset"
+
+    def test_init_writes_do_not_count(self):
+        source = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def add(self, item):
+                with self._lock:
+                    self._items.append(item)
+        """
+        assert codes(source) == []
+
+    def test_locked_suffix_methods_count_as_guarded(self):
+        source = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def add(self, item):
+                with self._lock:
+                    self._add_locked(item)
+
+            def _add_locked(self, item):
+                self._items.append(item)
+        """
+        assert codes(source) == []
+
+    def test_private_helper_only_called_under_lock_is_clean(self):
+        source = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._cond = threading.Condition()
+                self._jobs = {}
+
+            def submit(self, job):
+                with self._cond:
+                    self._jobs[job.id] = job
+                    self._prune()
+
+            def _prune(self):
+                self._jobs.clear()
+        """
+        assert codes(source) == []
+
+    def test_subscript_and_augmented_writes_detected(self):
+        source = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count = 0
+
+            def bump(self):
+                with self._lock:
+                    self._count += 1
+
+            def cheat(self):
+                self._count += 10
+        """
+        assert codes(source) == ["SELFCHECK001"]
+
+
+class TestLockOrderCycles:
+    def test_opposite_acquisition_orders(self):
+        source = """
+        import threading
+
+        class Transfer:
+            def __init__(self):
+                self._a_lock = threading.Lock()
+                self._b_lock = threading.Lock()
+
+            def forward(self):
+                with self._a_lock:
+                    with self._b_lock:
+                        pass
+
+            def backward(self):
+                with self._b_lock:
+                    with self._a_lock:
+                        pass
+        """
+        found = [f for f in findings_for(source) if f.code == "SELFCHECK002"]
+        assert len(found) == 1
+        assert "_a_lock" in found[0].message and "_b_lock" in found[0].message
+
+    def test_consistent_order_is_clean(self):
+        source = """
+        import threading
+
+        class Transfer:
+            def __init__(self):
+                self._a_lock = threading.Lock()
+                self._b_lock = threading.Lock()
+
+            def forward(self):
+                with self._a_lock:
+                    with self._b_lock:
+                        pass
+
+            def also_forward(self):
+                with self._a_lock:
+                    with self._b_lock:
+                        pass
+        """
+        assert "SELFCHECK002" not in codes(source)
+
+
+class TestExpensiveUnderLock:
+    def test_fsync_under_lock(self):
+        source = """
+        import os
+        import threading
+
+        class Log:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def append(self, handle):
+                with self._lock:
+                    os.fsync(handle.fileno())
+        """
+        assert codes(source) == ["SELFCHECK003"]
+
+    def test_scheduler_shape_caught_through_helper(self):
+        # The exact geometry of the bug this PR fixed in QueryRuntime:
+        # submit() held the dispatch condition across a helper whose body
+        # runs a full parse + analyze.
+        source = """
+        import threading
+
+        class Runtime:
+            def __init__(self, platform):
+                self.platform = platform
+                self._cond = threading.Condition()
+                self._memo = {}
+
+            def submit(self, sql):
+                with self._cond:
+                    return self._lint(sql)
+
+            def _lint(self, sql):
+                return self.platform.db.check(sql, lint=True)
+        """
+        found = [f for f in findings_for(source) if f.code == "SELFCHECK003"]
+        assert len(found) == 1
+        assert found[0].subject == "_lint>db.check"
+        assert found[0].scope == "Runtime.submit"
+
+    def test_lint_outside_lock_is_clean(self):
+        source = """
+        import threading
+
+        class Runtime:
+            def __init__(self, platform):
+                self.platform = platform
+                self._cond = threading.Condition()
+
+            def submit(self, sql):
+                diagnostics = self._lint(sql)
+                with self._cond:
+                    return diagnostics
+
+            def _lint(self, sql):
+                return self.platform.db.check(sql, lint=True)
+        """
+        assert "SELFCHECK003" not in codes(source)
+
+    def test_suppression_comment_on_line(self):
+        source = """
+        import os
+        import threading
+
+        class Log:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def append(self, handle):
+                with self._lock:
+                    os.fsync(handle.fileno())  # selfcheck: ok[SELFCHECK003]
+        """
+        assert codes(source) == []
+
+    def test_suppression_scoped_to_code(self):
+        source = """
+        import os
+        import threading
+
+        class Log:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def append(self, handle):
+                with self._lock:
+                    os.fsync(handle.fileno())  # selfcheck: ok[SELFCHECK001]
+        """
+        # Wrong code in the bracket: the finding stands.
+        assert codes(source) == ["SELFCHECK003"]
+
+    def test_blanket_suppression_on_def(self):
+        source = """
+        import os
+        import threading
+
+        class Log:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def append(self, handle):  # selfcheck: ok
+                with self._lock:
+                    os.fsync(handle.fileno())
+        """
+        assert codes(source) == []
+
+
+class TestBaseline:
+    def test_round_trip_and_stability(self):
+        source = """
+        import os
+        import threading
+
+        class Log:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def append(self, handle):
+                with self._lock:
+                    os.fsync(handle.fileno())
+        """
+        found = findings_for(source, "pkg/log.py")
+        content = format_baseline(found)
+        assert found[0].key in content
+        # Keys carry no line numbers, so unrelated edits above the finding
+        # leave the baseline valid.
+        shifted = findings_for("\n\n\n" + textwrap.dedent(source),
+                               "pkg/log.py")
+        assert shifted[0].key == found[0].key
+        assert shifted[0].line != found[0].line
+
+    def test_load_baseline(self, tmp_path):
+        path = tmp_path / "baseline.txt"
+        path.write_text("# comment\nSELFCHECK003:a.py:C.m:os.fsync\n\n")
+        assert load_baseline(str(path)) == {"SELFCHECK003:a.py:C.m:os.fsync"}
+        assert load_baseline(str(tmp_path / "missing.txt")) == set()
+
+    def test_analyze_paths_walks_directories(self, tmp_path):
+        module = tmp_path / "pkg" / "mod.py"
+        module.parent.mkdir()
+        module.write_text(textwrap.dedent("""
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def inc(self):
+                    with self._lock:
+                        self._n += 1
+
+                def sneak(self):
+                    self._n = 0
+        """))
+        found = analyze_paths([str(tmp_path)], root=str(tmp_path))
+        assert [f.code for f in found] == ["SELFCHECK001"]
+        assert found[0].path == "pkg/mod.py"
+
+    def test_syntax_error_reported_not_raised(self):
+        found = findings_for("def broken(:\n    pass\n")
+        assert found[0].code == "SELFCHECK000"
+
+
+class TestRepoGate:
+    """The repo-level contract CI enforces."""
+
+    def test_src_repro_clean_against_committed_baseline(self):
+        baseline = load_baseline(
+            os.path.join(REPO_ROOT, "selfcheck-baseline.txt"))
+        findings = analyze_paths(
+            [os.path.join(REPO_ROOT, "src", "repro")], root=REPO_ROOT)
+        fresh = [f for f in findings if f.key not in baseline]
+        assert fresh == [], (
+            "new selfcheck findings (fix them or, if intentional, add a "
+            "suppression comment / regenerate the baseline): %s"
+            % [(f.code, f.path, f.scope, f.subject) for f in fresh])
+
+    def test_cli_exit_codes(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        gate = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "selfcheck", "src/repro",
+             "--baseline", "selfcheck-baseline.txt"],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+        assert gate.returncode == 0, gate.stdout + gate.stderr
+        assert "accepted by baseline" in gate.stdout

@@ -131,6 +131,44 @@ class TestRuleTriggers:
         # Same shape over tiny tables: only the missing-predicate warning.
         assert "LINT011" not in lint_codes(db, "SELECT o.id FROM orders o, customers c")
 
+    def test_order_by_ordinal(self, db):
+        assert "LINT012" in lint_codes(
+            db, "SELECT id, total FROM orders ORDER BY 2")
+        assert "LINT012" in lint_codes(
+            db, "SELECT id, total FROM orders ORDER BY 1 DESC, total")
+        # Named columns are the fix; no finding.
+        assert "LINT012" not in lint_codes(
+            db, "SELECT id, total FROM orders ORDER BY total")
+        # Out-of-range ordinals are the analyzer's error, not a style nit.
+        assert "LINT012" not in lint_codes(
+            db, "SELECT id FROM orders ORDER BY id")
+
+    def test_order_by_ordinal_in_set_operation(self, db):
+        assert "LINT012" in lint_codes(
+            db,
+            "SELECT id FROM orders UNION SELECT id FROM customers ORDER BY 1")
+        assert "LINT012" not in lint_codes(
+            db,
+            "SELECT id FROM orders UNION SELECT id FROM customers ORDER BY id")
+
+    def test_order_by_ambiguous_alias(self, db):
+        assert "LINT012" in lint_codes(
+            db,
+            "SELECT o.id AS k, c.id AS k FROM orders o "
+            "JOIN customers c ON o.id = c.id ORDER BY k")
+        assert "LINT012" not in lint_codes(
+            db,
+            "SELECT o.id AS k, c.id AS other FROM orders o "
+            "JOIN customers c ON o.id = c.id ORDER BY k")
+
+    def test_order_by_ordinal_subquery_exempt(self, db):
+        # Only top-level ORDER BY determines result order the user sees;
+        # ordinals inside subqueries are a different rule's concern (none).
+        assert "LINT012" not in lint_codes(
+            db,
+            "SELECT x.id FROM (SELECT TOP 2 id, total FROM orders "
+            "ORDER BY 2) x")
+
     def test_clean_query_has_no_findings(self, db):
         assert lint_codes(
             db,

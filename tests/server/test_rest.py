@@ -239,7 +239,7 @@ class TestCheckEndpoint:
     def test_check_clean_statement(self, alice):
         alice.upload("obs", CSV)
         payload = alice.check("SELECT site, temp FROM obs WHERE temp > 11.0")
-        assert payload == {"diagnostics": [], "ok": True}
+        assert payload == {"diagnostics": [], "ok": True, "plan_check": "ok"}
 
     def test_check_semantic_only(self, alice):
         alice.upload("obs", CSV)
@@ -247,6 +247,34 @@ class TestCheckEndpoint:
             "SELECT o.site FROM obs o, obs b", lint=False)
         assert payload["ok"] is True
         assert payload["diagnostics"] == []
+
+    def test_check_includes_plan_verdict(self, alice):
+        alice.upload("obs", CSV)
+        payload = alice.check("SELECT site FROM obs WHERE temp > 11.0")
+        assert payload["plan_check"] == "ok"
+
+    def test_check_omits_plan_verdict_when_unplannable(self, alice):
+        alice.upload("obs", CSV)
+        # A statement with semantic errors never reaches the planner, so
+        # there is no plan verdict to report.
+        payload = alice.check("SELECT frobz FROM obs")
+        assert payload["ok"] is False
+        assert "plan_check" not in payload
+
+    def test_check_reports_plan_violations(self, alice, monkeypatch):
+        from repro.check.plancheck import PlanViolation
+
+        alice.upload("obs", CSV)
+        db = alice._transport.app.platform.db
+        monkeypatch.setattr(
+            type(db), "check_plan",
+            lambda self, sql: [PlanViolation(
+                "PLAN007", "Sort", "0", "negative row estimate")])
+        payload = alice.check("SELECT site FROM obs")
+        assert payload["plan_check"] == [{
+            "code": "PLAN007", "name": "estimate-sanity",
+            "operator": "Sort", "path": "0",
+            "message": "negative row estimate"}]
 
 
 class TestRuntimeEndpoints:

@@ -62,6 +62,15 @@ BENCHES = {
         "throughput.buffered.ops_per_second": ("rate", "higher"),
         "throughput.fsync.ops_per_second": ("rate", "higher"),
     }),
+    "cluster_throughput": ("cluster_throughput.json", {
+        "local_concurrent_cold.qps": ("rate", "higher"),
+        "cluster_cold.qps": ("rate", "higher"),
+        # Relative scaling of cluster vs one process: hardware-dependent
+        # (cores >= shards or not), so it is tracked as a rate with the
+        # usual relative threshold rather than hard-gated here; the bench's
+        # own --smoke assertions apply the cores-aware floor.
+        "scaling_vs_local": ("rate", "higher"),
+    }),
 }
 
 

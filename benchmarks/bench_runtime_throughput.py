@@ -29,9 +29,12 @@ which writes ``bench_results/runtime_throughput.json``.
 
 import argparse
 import json
+import os
 import pathlib
 import sys
-from collections import Counter
+import threading
+import time
+from collections import Counter, defaultdict
 
 from repro.synth.driver import (
     build_sqlshare_deployment,
@@ -44,16 +47,21 @@ RESULTS_PATH = (
     / "bench_results"
     / "runtime_throughput.json"
 )
+CLUSTER_RESULTS_PATH = RESULTS_PATH.parent / "cluster_throughput.json"
 
 #: Cached queries re-executed with the cache bypassed to diff rows.
 STALE_SAMPLE = 25
 
 
-def _record_history(results):
+def _record_history_named(bench, results):
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
     from bench_history import record_run
 
-    record_run("runtime_throughput", results)
+    record_run(bench, results)
+
+
+def _record_history(results):
+    _record_history_named("runtime_throughput", results)
 
 
 def _phase_summary(stats):
@@ -222,6 +230,136 @@ def check(results):
     )
 
 
+def run_cluster(scale=0.1, shards=2, workers=4, limit=None, timeout=30.0):
+    """The ``--shards`` mode: single-process concurrent-cold baseline vs
+    the same workload fanned across N worker processes.
+
+    Each worker runs ephemerally with ``--no-partition`` (the full
+    deployment, read-only workload), so every replayed query executes
+    shard-locally and the measurement isolates process-level scaling —
+    no cross-shard fetches, no WAL.  Queries route to their user's home
+    shard over per-thread protocol connections (``workers`` connections
+    per shard), mirroring the local phase's concurrency per process.
+
+    Scaling is hardware-bound: on a single-core host the shards time-slice
+    one CPU and near-linear scaling is physically unavailable, so the
+    recorded ``cpu_count`` is part of the result, and :func:`check_cluster`
+    scales its expectations to the cores actually present.
+    """
+    import tempfile
+
+    from repro.cluster.coordinator import ClusterCoordinator
+    from repro.cluster.protocol import ShardConnection
+    from repro.cluster.router import shard_for_user
+
+    platform, generator = build_sqlshare_deployment(scale=scale, seed=42)
+    queries = replayable_queries(platform, limit=limit)
+    if not queries:
+        raise SystemExit("no replayable queries at scale %s" % scale)
+
+    local_cold, runtime = replay_workload(
+        platform, queries, workers=workers, statement_timeout=timeout)
+    runtime.shutdown()
+
+    by_shard = defaultdict(list)
+    for user, sql in queries:
+        by_shard[shard_for_user(user, shards)].append((user, sql))
+
+    outcomes = Counter()
+    outcomes_lock = threading.Lock()
+
+    def _drain(port, work, cursor_lock, cursor):
+        connection = ShardConnection(port, timeout=timeout + 30.0)
+        connection.connect()
+        try:
+            while True:
+                with cursor_lock:
+                    if cursor[0] >= len(work):
+                        return
+                    user, sql = work[cursor[0]]
+                    cursor[0] += 1
+                reply = connection.call(
+                    {"op": "run", "user": user, "sql": sql})
+                with outcomes_lock:
+                    outcomes[reply.get("state", "ERROR")
+                             if not reply.get("ok")
+                             else "SUCCEEDED"] += 1
+        finally:
+            connection.close()
+
+    with tempfile.TemporaryDirectory(prefix="bench-cluster-") as base:
+        coordinator = ClusterCoordinator(
+            shards, base, scale=scale, ephemeral=True, partition=False,
+            workers=workers, statement_timeout=timeout)
+        coordinator.start()
+        try:
+            threads = []
+            for shard, work in by_shard.items():
+                port = coordinator.handles[shard].port
+                cursor, cursor_lock = [0], threading.Lock()
+                for _ in range(workers):
+                    threads.append(threading.Thread(
+                        target=_drain,
+                        args=(port, work, cursor_lock, cursor)))
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - started
+        finally:
+            coordinator.stop()
+
+    cluster_qps = len(queries) / elapsed if elapsed else 0.0
+    return {
+        "scale": scale,
+        "shards": shards,
+        "workers_per_shard": workers,
+        "cpu_count": os.cpu_count() or 1,
+        "replayed_queries": len(queries),
+        "workload": dict(generator.stats),
+        "queries_per_shard": {str(s): len(w) for s, w in by_shard.items()},
+        "local_concurrent_cold": _phase_summary(local_cold),
+        "cluster_cold": {
+            "queries": len(queries),
+            "elapsed_seconds": round(elapsed, 4),
+            "qps": round(cluster_qps, 2),
+            "outcomes": dict(outcomes),
+        },
+        "scaling_vs_local": (
+            round(cluster_qps / local_cold["qps"], 3)
+            if local_cold["qps"] else None),
+    }
+
+
+def check_cluster(results):
+    """Smoke assertions for the ``--shards`` mode, scaled to the host.
+
+    With at least as many cores as shards the cluster must clearly beat
+    one process; on fewer cores (shards time-slicing CPUs) it only has to
+    stay within protocol-overhead range of the local baseline.
+    """
+    total = results["replayed_queries"]
+    outcomes = results["cluster_cold"]["outcomes"]
+    accounted = sum(outcomes.values())
+    assert accounted == total, (
+        "cluster lost queries: %d of %d accounted" % (accounted, total))
+    assert outcomes.get("SUCCEEDED", 0) == total, (
+        "cluster phase had failures: %s" % outcomes)
+    scaling = results["scaling_vs_local"]
+    assert scaling is not None, "no local baseline qps"
+    cores = results["cpu_count"]
+    if cores >= 2 * results["shards"]:
+        floor = 1.2
+    elif cores >= results["shards"]:
+        floor = 1.0
+    else:
+        floor = 0.3
+    assert scaling >= floor, (
+        "cluster scaling %.2fx below floor %.2fx (%d shards on %d cores)"
+        % (scaling, floor, results["shards"], cores))
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", type=float, default=0.1)
@@ -231,12 +369,36 @@ def main(argv=None):
     parser.add_argument("--timeout", type=float, default=30.0)
     parser.add_argument("--smoke", action="store_true",
                         help="run the CI correctness assertions")
-    parser.add_argument("--output", default=str(RESULTS_PATH))
+    parser.add_argument("--shards", type=int, default=0,
+                        help="instead of the cache phases, compare one "
+                             "process against this many shard workers")
+    parser.add_argument("--output", default=None)
     args = parser.parse_args(argv)
+
+    if args.shards > 0:
+        results = run_cluster(scale=args.scale, shards=args.shards,
+                              workers=args.workers, limit=args.limit,
+                              timeout=args.timeout)
+        out = pathlib.Path(args.output or str(CLUSTER_RESULTS_PATH))
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+        _record_history_named("cluster_throughput", results)
+        print("replayed %d queries at scale %s over %d shard(s) "
+              "(%d cores)" % (results["replayed_queries"], results["scale"],
+                              results["shards"], results["cpu_count"]))
+        print("  local concurrent cold: %8.1f qps"
+              % results["local_concurrent_cold"]["qps"])
+        print("  cluster cold:          %8.1f qps  (%.2fx local)"
+              % (results["cluster_cold"]["qps"], results["scaling_vs_local"]))
+        print("  results -> %s" % out)
+        if args.smoke:
+            check_cluster(results)
+            print("  smoke assertions passed")
+        return results
 
     results = run(scale=args.scale, workers=args.workers,
                   limit=args.limit, timeout=args.timeout)
-    out = pathlib.Path(args.output)
+    out = pathlib.Path(args.output or str(RESULTS_PATH))
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     _record_history(results)

@@ -4,7 +4,10 @@ Commands:
 
 - ``demo``    — run the quickstart workflow and print the results.
 - ``analyze`` — generate a deployment and print the paper's tables/figures.
-- ``serve``   — start the REST API over a freshly generated deployment.
+- ``serve``   — start the REST API over a freshly generated deployment
+  (``--shards N`` scales out across N worker processes behind a
+  coordinator).
+- ``cluster`` — inspect a running cluster (``cluster status``).
 - ``export``  — write an anonymized corpus release to a directory.
 - ``lint``    — statically check SQL files (or stdin) without executing.
 - ``selfcheck`` — concurrency lint (lock discipline) over this codebase.
@@ -52,6 +55,8 @@ def _cmd_serve(args):
     from repro.runtime import RuntimeConfig
     from repro.server.rest import serve
 
+    if args.shards > 1:
+        return _serve_cluster(args)
     platform = None
     if args.data_dir:
         from repro.storage import StorageManager
@@ -97,6 +102,78 @@ def _cmd_serve(args):
     except KeyboardInterrupt:
         print("\nshutting down")
     return 0
+
+
+def _serve_cluster(args):
+    """``repro serve --shards N``: coordinator + N worker processes."""
+    import signal
+
+    from repro.cluster.app import serve_cluster
+    from repro.cluster.coordinator import ClusterCoordinator
+
+    if not args.data_dir and not args.ephemeral:
+        print("error: --shards requires --data-dir (each shard gets its own "
+              "WAL/snapshot directory under it); add --ephemeral to run "
+              "without durability", file=sys.stderr)
+        return 2
+    coordinator = ClusterCoordinator(
+        args.shards,
+        args.data_dir or ".repro-cluster",
+        scale=args.scale,
+        ephemeral=args.ephemeral,
+        wal_sync=args.wal_sync,
+        workers=args.shard_workers,
+        checkpoint_every=args.checkpoint_every,
+        monitor_interval=args.monitor_interval,
+    )
+    # A plain `kill` of the coordinator must not orphan N worker
+    # processes: route SIGTERM through the same shutdown path as ^C.
+    signal.signal(signal.SIGTERM, lambda _sig, _frm: sys.exit(0))
+    print("starting %d shard worker(s)..." % args.shards)
+    coordinator.start()
+    try:
+        for worker in coordinator.status()["workers"]:
+            print("  shard %d: pid %d, port %d (%s)"
+                  % (worker["shard"], worker["pid"], worker["port"],
+                     worker["data_dir"]))
+        server = serve_cluster(coordinator, host=args.host, port=args.port)
+        print("SQLShare cluster API listening on http://%s:%d "
+              "(%d shards; X-SQLShare-User selects identity and home shard)"
+              % (args.host, server.server_address[1], args.shards))
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down cluster")
+    finally:
+        # Covers bind failures too: a coordinator that already spawned
+        # workers must never leak them when the front-door port is taken.
+        coordinator.stop()
+    return 0
+
+
+def _cmd_cluster(args):
+    """``repro cluster status``: one-shot cluster topology report."""
+    import json
+
+    from repro.server.client import ClientError, SQLShareClient
+
+    client = SQLShareClient(args.user, base_url=args.url)
+    try:
+        payload = client._call("GET", "/api/v1/cluster/status")
+    except ClientError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+        return 0
+    down = payload.get("down", [])
+    print("cluster: %d shard(s), %d down, %d directory entries"
+          % (payload["shards"], len(down), payload["directory_entries"]))
+    for worker in payload["workers"]:
+        print("  shard %d: %s pid=%s port=%s restarts=%d"
+              % (worker["shard"],
+                 "up  " if worker["alive"] else "DOWN",
+                 worker["pid"], worker["port"], worker["restarts"]))
+    return 1 if down else 0
 
 
 def _cmd_export(args):
@@ -439,6 +516,27 @@ def build_parser():
     serve.add_argument("--histogram-max", type=float, default=0.0,
                        help="extend latency histogram buckets up to this many "
                             "seconds (default keeps the 10s ceiling)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="shard the deployment across this many worker "
+                            "processes behind a coordinator (default 1 = "
+                            "single process)")
+    serve.add_argument("--shard-workers", type=int, default=4,
+                       help="interactive worker threads per shard (default 4)")
+    serve.add_argument("--ephemeral", action="store_true",
+                       help="with --shards: run workers without WAL/snapshots")
+
+    cluster = commands.add_parser(
+        "cluster", help="inspect a running cluster coordinator")
+    cluster_commands = cluster.add_subparsers(dest="cluster_command",
+                                              required=True)
+    cluster_status = cluster_commands.add_parser(
+        "status", help="shard topology, liveness and restart counts")
+    cluster_status.add_argument("--url", default="http://127.0.0.1:8080",
+                                help="coordinator base URL "
+                                     "(default http://127.0.0.1:8080)")
+    cluster_status.add_argument("--user", default="operator")
+    cluster_status.add_argument("--json", action="store_true",
+                                help="dump the raw status payload as JSON")
 
     top = commands.add_parser(
         "top", help="live terminal dashboard over a running server")
@@ -560,6 +658,7 @@ def main(argv=None):
         "recover": _cmd_recover,
         "top": _cmd_top,
         "querystore": _cmd_querystore,
+        "cluster": _cmd_cluster,
     }[args.command]
     return handler(args)
 

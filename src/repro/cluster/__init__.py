@@ -1,0 +1,65 @@
+"""Shared-nothing scale-out (the CasJobs/Graywulf architecture).
+
+One Python process caps the platform's throughput regardless of engine
+speed (the GIL serializes the interactive workers), so ``repro.cluster``
+partitions the deployment across N **worker processes** — each owning its
+own :class:`~repro.engine.database.Database`, scheduler, WAL/data
+directory and metrics registry — behind a **coordinator** that fronts the
+existing REST surface:
+
+- :mod:`repro.cluster.protocol` — length-prefixed JSON frames between
+  coordinator and workers (localhost TCP);
+- :mod:`repro.cluster.router` — hash partitioning of users to shards and
+  the dataset directory (name -> owning shard);
+- :mod:`repro.cluster.worker` — the per-shard process: a full platform +
+  runtime + REST app served over the protocol socket;
+- :mod:`repro.cluster.coordinator` — spawns, supervises and restarts
+  workers; maintains the dataset directory; owns cluster-level metrics
+  and alerting;
+- :mod:`repro.cluster.app` — the coordinator's WSGI application: routes
+  user traffic to home shards, fans out aggregate endpoints, and handles
+  cross-shard queries by fetch-and-local-join.
+
+``repro serve --shards N`` starts the whole assembly; see DESIGN.md's
+"Scale-out" section.
+"""
+
+from repro.cluster.protocol import (
+    ConnectionClosed,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    ShardConnection,
+    recv_message,
+    send_message,
+)
+from repro.cluster.router import DatasetDirectory, shard_for_user
+
+
+def __getattr__(name):
+    # Lazy: importing repro.cluster must not pull in the whole server and
+    # runtime stack (the worker entry point imports this package early).
+    if name in ("ClusterCoordinator", "ClusterError"):
+        from repro.cluster import coordinator
+
+        return getattr(coordinator, name)
+    if name in ("ClusterApp", "serve_cluster"):
+        from repro.cluster import app
+
+        return getattr(app, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
+
+__all__ = [
+    "ClusterApp",
+    "ClusterCoordinator",
+    "ClusterError",
+    "ConnectionClosed",
+    "DatasetDirectory",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ShardConnection",
+    "recv_message",
+    "send_message",
+    "serve_cluster",
+    "shard_for_user",
+]

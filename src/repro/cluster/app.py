@@ -1,0 +1,343 @@
+"""The coordinator's WSGI application: the cluster's single REST surface.
+
+Speaks the same protocol as the single-process :class:`SQLShareApp`, so
+every existing client works unchanged against ``repro serve --shards N``:
+
+- **User-scoped traffic** (queries, batches, uploads, query status) goes
+  to the requesting user's home shard, which owns their datasets, their
+  scheduler admission state and their batch queue.
+- **Dataset-scoped traffic** (read/append/share/delete by name) goes to
+  the *owning* shard via the dataset directory, so a consumer on shard 1
+  can read a producer's shard-0 dataset directly.
+- **Aggregate endpoints** (``/datasets``, ``/runtime/stats``,
+  ``/metrics``, ``/health``) fan out to every live shard and merge.
+- **Cross-shard queries**: a submit whose SQL references datasets homed
+  on other shards triggers the fetch-and-local-join fallback — each
+  remote dataset's rows are fetched from its owning shard and installed
+  on the home shard as a ``kind="replica"`` dataset, then the query runs
+  locally with an explicit ``cross_shard`` marker in its outcome record.
+  This is the CasJobs shape: correctness first, locality when you
+  co-partition, and the marker makes the expensive path measurable.
+"""
+
+import json
+import re
+
+from repro.cluster.coordinator import ClusterError
+from repro.engine import parser as sql_parser
+from repro.engine.ast_nodes import CommonTableExpression, TableRef
+from repro.errors import ReproError
+
+_STATUS_TEXT = {
+    200: "200 OK", 201: "201 Created", 202: "202 Accepted",
+    400: "400 Bad Request", 401: "401 Unauthorized", 403: "403 Forbidden",
+    404: "404 Not Found", 405: "405 Method Not Allowed", 409: "409 Conflict",
+    429: "429 Too Many Requests", 500: "500 Internal Server Error",
+    503: "503 Service Unavailable",
+}
+
+# Worker-reported exception class -> HTTP status (mirrors SQLShareApp's
+# except-clause ladder for errors that surface on a *remote* shard).
+_ERROR_STATUS = {
+    "PermissionError": 403,
+    "QuotaError": 403,
+    "DatasetError": 404,
+    "SQLError": 400,
+    "IngestError": 400,
+}
+
+_DATASET_PATH = re.compile(
+    r"^/api/v1/dataset/(?P<name>[^/]+)(?P<rest>/append|/permissions)?$")
+
+
+def referenced_names(sql):
+    """Dataset names a statement references, minus its own CTE names.
+
+    Parse errors return an empty set: the home shard will produce the
+    real diagnostic, which must not be masked by routing.
+    """
+    try:
+        ast = sql_parser.parse(sql)
+    except ReproError:
+        return set()
+    tables, ctes = set(), set()
+    for node in ast.walk():
+        if isinstance(node, TableRef):
+            tables.add(node.name.lower())
+        elif isinstance(node, CommonTableExpression):
+            ctes.add(node.name.lower())
+    return tables - ctes
+
+
+class ClusterApp(object):
+    """WSGI front end over a :class:`ClusterCoordinator`."""
+
+    def __init__(self, coordinator):
+        self.coordinator = coordinator
+
+    # -- WSGI entry point ------------------------------------------------------
+
+    def __call__(self, environ, start_response):
+        method = environ["REQUEST_METHOD"]
+        path = environ.get("PATH_INFO", "/")
+        query = environ.get("QUERY_STRING", "")
+        user = environ.get("HTTP_X_SQLSHARE_USER")
+        content_type = "application/json"
+        try:
+            body = self._read_body(environ)
+            response = self._dispatch(method, path, query, user, body)
+            if len(response) == 3:
+                status, payload, content_type = response
+            else:
+                status, payload = response
+        except ClusterError as exc:
+            status, payload = 503, {"error": str(exc), "reason": "shard_down"}
+        except ReproError as exc:
+            status, payload = 400, {"error": str(exc)}
+        if content_type == "application/json":
+            data = json.dumps(payload, default=str).encode("utf-8")
+        else:
+            data = payload.encode("utf-8")
+        start_response(
+            _STATUS_TEXT.get(status, "%d Unknown" % status),
+            [("Content-Type", content_type),
+             ("Content-Length", str(len(data)))])
+        return [data]
+
+    @staticmethod
+    def _read_body(environ):
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        if not length:
+            return {}
+        raw = environ["wsgi.input"].read(length)
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except ValueError:
+            return {}
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _dispatch(self, method, path, query, user, body):
+        if path == "/api/v1/health" and method == "GET":
+            return self._health()
+        if path == "/api/v1/metrics" and method == "GET":
+            return self._metrics()
+        if path == "/api/v1/cluster/status" and method == "GET":
+            return self._cluster_status()
+        if user is None:
+            return 401, {"error": "missing X-SQLShare-User header"}
+        if path == "/api/v1/runtime/stats" and method == "GET":
+            return self._runtime_stats()
+        if path == "/api/v1/datasets" and method == "GET":
+            return self._list_datasets(user)
+        if path == "/api/v1/query" and method == "POST":
+            return self._submit_query(user, body)
+        dataset_match = _DATASET_PATH.match(path)
+        if dataset_match is not None:
+            return self._dataset_request(
+                method, path, query, user, body,
+                dataset_match.group("name"))
+        home = self.coordinator.shard_for_user(user)
+        status, payload = self._proxy(home, method, path, query, user, body)
+        if path in ("/api/v1/upload", "/api/v1/dataset") and status == 201:
+            created = payload.get("dataset", {})
+            self.coordinator.directory.register(
+                created.get("name", ""), user, home,
+                kind=created.get("kind", "wrapper"))
+        return status, payload
+
+    def _proxy(self, shard, method, path, query, user, body):
+        full_path = path + ("?" + query if query else "")
+        reply = self.coordinator.call(shard, {
+            "op": "http", "method": method, "path": full_path,
+            "user": user, "body": body or None,
+        })
+        if not reply.get("ok", False):
+            return 500, {"error": reply.get("error", "worker error"),
+                         "shard": shard}
+        return reply["status"], reply["payload"]
+
+    # -- dataset routing -------------------------------------------------------
+
+    def _dataset_request(self, method, path, query, user, body, name):
+        """Route a by-name dataset operation to the shard that owns it."""
+        entry = self.coordinator.resolve(name)
+        home = self.coordinator.shard_for_user(user)
+        shard = entry["shard"] if entry is not None else home
+        status, payload = self._proxy(shard, method, path, query, user, body)
+        if method == "DELETE" and status == 200:
+            self.coordinator.directory.forget(name)
+        return status, payload
+
+    def _list_datasets(self, user):
+        """Union of every live shard's visible datasets, replicas excluded
+        (a replica is the same dataset already listed by its owner)."""
+        merged = {}
+        for shard in self.coordinator.alive_shards():
+            status, payload = self._proxy(
+                shard, "GET", "/api/v1/datasets", "", user, None)
+            if status != 200:
+                continue
+            for info in payload.get("datasets", []):
+                if info.get("kind") == "replica":
+                    continue
+                merged.setdefault(info["name"].lower(), info)
+        datasets = sorted(merged.values(), key=lambda info: info["name"])
+        return 200, {"datasets": datasets}
+
+    # -- query routing (the cross-shard fallback) ------------------------------
+
+    def _submit_query(self, user, body):
+        sql = body.get("sql")
+        home = self.coordinator.shard_for_user(user)
+        if sql is None:
+            return self._proxy(home, "POST", "/api/v1/query", "", user, body)
+        cross = False
+        for name in sorted(referenced_names(sql)):
+            entry = self.coordinator.resolve(name)
+            if entry is None or entry["shard"] == home:
+                continue
+            error = self._replicate(entry["shard"], home, user, name)
+            if error is not None:
+                return error
+            cross = True
+        if cross:
+            body = dict(body)
+            body["cross_shard"] = True
+        return self._proxy(home, "POST", "/api/v1/query", "", user, body)
+
+    def _replicate(self, owner_shard, home, user, name):
+        """Fetch ``name`` from its owning shard (permission-checked there)
+        and install it as a replica on ``home``.  Returns an error response
+        to surface, or None on success."""
+        fetched = self.coordinator.call(owner_shard, {
+            "op": "fetch_dataset", "user": user, "name": name,
+        })
+        if not fetched.get("ok", False):
+            status = _ERROR_STATUS.get(fetched.get("error_type"), 400)
+            return status, {"error": fetched.get("error", "fetch failed"),
+                            "dataset": name}
+        self.coordinator.call_checked(home, {
+            "op": "install_replica",
+            "name": fetched["name"],
+            "owner": fetched["owner"],
+            "columns": fetched["columns"],
+            "rows": fetched["rows"],
+            "visibility": fetched["visibility"],
+            "shared_with": fetched["shared_with"],
+        })
+        return None
+
+    # -- aggregate endpoints ---------------------------------------------------
+
+    def _runtime_stats(self):
+        shards = {}
+        for handle in self.coordinator.handles:
+            if not handle.alive:
+                shards[str(handle.shard)] = {"alive": False}
+                continue
+            try:
+                reply = self.coordinator.call_checked(
+                    handle.shard, {"op": "stats"})
+            except ClusterError:
+                shards[str(handle.shard)] = {"alive": False}
+                continue
+            stats = reply["stats"]
+            stats["alive"] = True
+            shards[str(handle.shard)] = stats
+        aggregate = {"finished": 0, "batch_total": 0, "cache_hits": 0}
+        for stats in shards.values():
+            finished = stats.get("finished")
+            if isinstance(finished, dict):
+                aggregate["finished"] += sum(finished.values())
+            elif isinstance(finished, (int, float)):
+                aggregate["finished"] += finished
+            batch = stats.get("batch") or {}
+            aggregate["batch_total"] += batch.get("total", 0)
+            cache = stats.get("cache") or {}
+            aggregate["cache_hits"] += cache.get("hits", 0)
+        return 200, {
+            "cluster": self.coordinator.status(),
+            "shards": shards,
+            "aggregate": aggregate,
+        }
+
+    def _cluster_status(self):
+        payload = self.coordinator.status()
+        payload["monitor"] = self.coordinator.monitor.stats()
+        return 200, payload
+
+    def _health(self):
+        """Aggregate liveness: any dead/unresponsive shard degrades the
+        whole cluster to 503 with an explicit ``shard_down`` reason."""
+        down = self.coordinator.down_shards()
+        payload = self.coordinator.monitor.health()
+        payload["monitoring"] = True
+        payload["shards"] = self.coordinator.shards
+        payload["shards_down"] = down
+        if down:
+            payload["status"] = "degraded"
+            payload["reason"] = "shard_down"
+            return 503, payload
+        return (503 if payload["status"] == "degraded" else 200), payload
+
+    def _metrics(self):
+        """One Prometheus scrape for the whole cluster: the coordinator's
+        own series verbatim, then every live shard's series re-labeled
+        with ``shard="<i>"`` (HELP/TYPE emitted once per family)."""
+        out = [self.coordinator.metrics.render_prometheus().rstrip("\n")]
+        seen_meta = set()
+        for handle in self.coordinator.handles:
+            if not handle.alive:
+                continue
+            try:
+                reply = self.coordinator.call_checked(
+                    handle.shard, {"op": "metrics"})
+            except ClusterError:
+                continue
+            out.append(_relabel_exposition(
+                reply["text"], handle.shard, seen_meta))
+        text = "\n".join(part for part in out if part) + "\n"
+        return 200, text, "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _relabel_exposition(text, shard, seen_meta):
+    """Inject ``shard="<i>"`` into every sample of one worker's scrape."""
+    label = 'shard="%d"' % shard
+    lines = []
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            # "# HELP <name> ..." / "# TYPE <name> ..." — once per family.
+            parts = line.split(None, 3)
+            key = tuple(parts[1:3]) if len(parts) >= 3 else (line,)
+            if key in seen_meta:
+                continue
+            seen_meta.add(key)
+            lines.append(line)
+            continue
+        brace = line.find("{")
+        if brace >= 0:
+            lines.append(line[:brace + 1] + label + "," + line[brace + 1:])
+        else:
+            name, _, value = line.partition(" ")
+            lines.append("%s{%s} %s" % (name, label, value))
+    return "\n".join(lines)
+
+
+def serve_cluster(coordinator, host="127.0.0.1", port=8080):
+    """Run the cluster app on wsgiref's threaded simple server."""
+    from socketserver import ThreadingMixIn
+    from wsgiref.simple_server import WSGIServer, make_server
+
+    class ThreadedServer(ThreadingMixIn, WSGIServer):
+        daemon_threads = True
+
+    return make_server(host, port, ClusterApp(coordinator),
+                       server_class=ThreadedServer)

@@ -1,0 +1,75 @@
+"""Shard routing: users to home shards, dataset names to owning shards.
+
+Partitioning is **by user** (the Graywulf/CasJobs shape): every dataset
+lives on its owner's home shard, so the common case — a user querying
+their own and their collaborators' data on the same shard — is entirely
+shard-local.  The mapping must be deterministic across processes and
+Python runs, so it hashes with SHA-1 rather than the per-process-salted
+built-in ``hash``.
+
+The :class:`DatasetDirectory` is the coordinator's (soft-state) view of
+which shard owns which dataset name.  It is rebuilt from worker catalogs
+on startup/restart, updated on routed mutations, and lazily re-resolved
+on a miss — a stale or missing entry degrades to a directory lookup, not
+to wrong results, because workers remain the source of truth.
+"""
+
+import hashlib
+import threading
+
+
+def shard_for_user(user, shards):
+    """The home shard for ``user`` — stable across processes and runs."""
+    if shards <= 0:
+        raise ValueError("shard count must be positive, got %d" % shards)
+    digest = hashlib.sha1(("user:%s" % user).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+class DatasetDirectory(object):
+    """Thread-safe map of dataset name -> (owner, home shard, kind).
+
+    Replica datasets (``kind="replica"``, installed by cross-shard
+    routing) are deliberately never registered: they are shard-local
+    cached copies, not owned locations.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}  # lower-case name -> {"name", "owner", "shard", "kind"}
+
+    def register(self, name, owner, shard, kind="wrapper"):
+        if kind == "replica":
+            return
+        with self._lock:
+            self._entries[name.lower()] = {
+                "name": name, "owner": owner, "shard": shard, "kind": kind,
+            }
+
+    def forget(self, name):
+        with self._lock:
+            self._entries.pop(name.lower(), None)
+
+    def forget_shard(self, shard):
+        """Drop every entry owned by ``shard`` (it is being rebuilt)."""
+        with self._lock:
+            self._entries = {
+                key: entry for key, entry in self._entries.items()
+                if entry["shard"] != shard
+            }
+
+    def lookup(self, name):
+        with self._lock:
+            return self._entries.get(name.lower())
+
+    def shard_of(self, name):
+        entry = self.lookup(name)
+        return None if entry is None else entry["shard"]
+
+    def entries(self):
+        with self._lock:
+            return [dict(entry) for entry in self._entries.values()]
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)

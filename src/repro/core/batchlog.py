@@ -1,0 +1,120 @@
+"""The batch journal: the durable half of the CasJobs-style batch lane.
+
+The :class:`~repro.runtime.batch.BatchLane` executes long-running queries;
+this journal is the part of their lifecycle that must survive a crash.
+Admission writes a ``batch_submit`` WAL record (and a journal entry),
+completion writes ``batch_done`` — so after recovery, every journal entry
+without a terminal state is a batch the service accepted but never
+finished, and the lane re-enqueues it.  The journal rides in snapshot
+checkpoints like the rest of the platform state, which is what lets a
+batch submitted *before* a checkpoint and killed *after* it still resume.
+
+States mirror the interactive job machine where it matters::
+
+    QUEUED --> SUCCEEDED | FAILED
+
+There is deliberately no durable RUNNING state: a batch that was running
+at crash time is indistinguishable from one still queued (its partial
+work is gone either way), so both replay from QUEUED.
+"""
+
+import threading
+
+QUEUED = "QUEUED"
+SUCCEEDED = "SUCCEEDED"
+FAILED = "FAILED"
+
+TERMINAL = frozenset((SUCCEEDED, FAILED))
+
+
+class BatchJournal(object):
+    """Durable batch-lane bookkeeping for one platform."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._seq = 0
+        #: batch_id -> record dict (insertion-ordered by dict semantics).
+        self.entries = {}
+
+    # -- admission / completion ------------------------------------------------
+
+    def submit(self, user, sql, name, timestamp=None, batch_id=None):
+        """Record one admitted batch; returns its (new) record dict.
+
+        ``batch_id`` is only passed during WAL replay, where the original
+        identifier must be preserved; live submissions mint the next one.
+        """
+        with self._lock:
+            if batch_id is None:
+                self._seq += 1
+                batch_id = "b%06d" % self._seq
+            else:
+                # Replay: keep the sequence ahead of every restored id.
+                try:
+                    self._seq = max(self._seq, int(batch_id.lstrip("b")))
+                except ValueError:
+                    pass
+            record = {
+                "batch_id": batch_id,
+                "user": user,
+                "sql": sql,
+                "name": name,
+                "state": QUEUED,
+                "submitted_at": timestamp,
+                "error": None,
+                "result_dataset": None,
+            }
+            self.entries[batch_id] = record
+            return record
+
+    def finish(self, batch_id, state, error=None, result_dataset=None):
+        """Mark a batch terminal; unknown ids are ignored (replay safety)."""
+        if state not in TERMINAL:
+            raise ValueError("batch terminal state must be one of %s, got %r"
+                             % (sorted(TERMINAL), state))
+        with self._lock:
+            record = self.entries.get(batch_id)
+            if record is None:
+                return None
+            record["state"] = state
+            record["error"] = error
+            record["result_dataset"] = result_dataset
+            return record
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, batch_id):
+        with self._lock:
+            return self.entries.get(batch_id)
+
+    def pending(self):
+        """Records the service accepted but never finished, oldest first."""
+        with self._lock:
+            return [dict(record) for record in self.entries.values()
+                    if record["state"] not in TERMINAL]
+
+    def for_user(self, user):
+        with self._lock:
+            return [dict(record) for record in self.entries.values()
+                    if record["user"] == user]
+
+    def __len__(self):
+        with self._lock:
+            return len(self.entries)
+
+    # -- snapshot round-trip ---------------------------------------------------
+
+    def dump_state(self):
+        with self._lock:
+            return {
+                "seq": self._seq,
+                "entries": [dict(record) for record in self.entries.values()],
+            }
+
+    def restore_state(self, state):
+        with self._lock:
+            self._seq = state.get("seq", 0)
+            self.entries = {
+                record["batch_id"]: dict(record)
+                for record in state.get("entries", [])
+            }

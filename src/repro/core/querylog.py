@@ -33,12 +33,14 @@ class QueryLogEntry(object):
         "exec_seconds",
         "cache_hit",
         "error_class",
+        "cross_shard",
     )
 
     def __init__(self, query_id, owner, sql, timestamp, datasets=(), tables=(),
                  columns=(), views=(), runtime=0.0, row_count=0, error=None,
                  source="webui", outcome=None, queue_seconds=None,
-                 exec_seconds=None, cache_hit=False, error_class=None):
+                 exec_seconds=None, cache_hit=False, error_class=None,
+                 cross_shard=False):
         self.query_id = query_id
         self.owner = owner
         self.sql = sql
@@ -69,6 +71,9 @@ class QueryLogEntry(object):
         #: Taxonomy class of the failure (:data:`repro.errors.ERROR_CLASSES`);
         #: None for successful queries.
         self.error_class = error_class
+        #: True when the cluster served this query through the
+        #: fetch-and-local-join fallback (it touched remote-shard data).
+        self.cross_shard = cross_shard
 
     @property
     def succeeded(self):
@@ -101,6 +106,7 @@ class QueryLogEntry(object):
             "exec_seconds": self.exec_seconds,
             "cache_hit": self.cache_hit,
             "error_class": self.error_class,
+            "cross_shard": self.cross_shard,
         }
 
     @classmethod
@@ -127,6 +133,7 @@ class QueryLogEntry(object):
             exec_seconds=record["exec_seconds"],
             cache_hit=record["cache_hit"],
             error_class=record["error_class"],
+            cross_shard=record.get("cross_shard", False),
         )
         entry.plan_json = record.get("plan_json")
         return entry

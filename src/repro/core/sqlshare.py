@@ -22,7 +22,7 @@ from repro.engine import parser as sql_parser
 from repro.engine.catalog import Column
 from repro.engine.database import Database
 from repro.engine.types import unify_types
-from repro.errors import DatasetError, PermissionError_, classify_error
+from repro.errors import DatasetError, PermissionError_, ReproError, classify_error
 from repro.ingest.ingestor import Ingestor
 from repro.ingest.staging import StagingArea
 from repro.obs.metrics import MetricsRegistry
@@ -90,6 +90,12 @@ class SQLShare(object):
         from repro.core.macros import MacroManager
 
         self.macros = MacroManager(self)
+        #: Durable bookkeeping for the CasJobs-style batch lane; lives on
+        #: the platform (not the runtime) so snapshots carry it and a
+        #: restarted worker can re-enqueue unfinished batches.
+        from repro.core.batchlog import BatchJournal
+
+        self.batch_journal = BatchJournal()
 
     # -- durability ------------------------------------------------------------
 
@@ -199,12 +205,12 @@ class SQLShare(object):
             self.datasets[name.lower()] = dataset
             self.ingest_reports[name.lower()] = report
             self._invalidate_cache(name, dataset)
-            self._refresh_preview(dataset)
             self._durable("upload", owner=owner, name=name, text=text,
                           description=description,
                           tags=sorted(tags) if tags else [],
                           timestamp=moment)
-            return dataset
+        self._refresh_preview(dataset)
+        return dataset
 
     def _validate_name(self, name):
         if not _NAME_RE.match(name or ""):
@@ -234,12 +240,12 @@ class SQLShare(object):
             )
             self.datasets[name.lower()] = dataset
             self._invalidate_cache(name, dataset)
-            self._refresh_preview(dataset)
             self._durable("create_dataset", owner=owner, name=name, sql=sql,
                           description=description,
                           tags=sorted(tags) if tags else [],
                           timestamp=moment)
-            return dataset
+        self._refresh_preview(dataset)
+        return dataset
 
     def append(self, owner, name, text, timestamp=None):
         """Append a batch by rewriting the view as (E) UNION ALL (N) (§3.2).
@@ -269,10 +275,10 @@ class SQLShare(object):
             self.db.create_view(name, self._parse_query(new_sql), sql=new_sql, replace=True)
             dataset.sql = new_sql
             self._invalidate_cache(name, dataset)
-            self._refresh_preview(dataset)
             self._durable("append", owner=owner, name=name, text=text,
                           timestamp=moment)
-            return dataset
+        self._refresh_preview(dataset)
+        return dataset
 
     def _check_append_compatible(self, dataset, base_table):
         existing = self.db.query_schema("SELECT * FROM %s" % quote_ident(dataset.name))
@@ -300,7 +306,11 @@ class SQLShare(object):
             self._validate_name(name)
             self.permissions.check_access(owner, source_name)
             moment = self._now(timestamp)
-            result = self.db.execute("SELECT * FROM %s" % quote_ident(source_name))
+            # The snapshot read must be atomic with the source's current
+            # definition: dropping the lock between this SELECT and the
+            # CREATE below could snapshot one version of the view and
+            # record another.  Materialize is rare and explicitly heavy.
+            result = self.db.execute("SELECT * FROM %s" % quote_ident(source_name))  # selfcheck: ok[SELFCHECK003]
             schema = self.db.query_schema("SELECT * FROM %s" % quote_ident(source_name))
             base_table = "t_%05d_%s" % (self._next_table_id(), _safe(name))
             columns = [Column(col_name, col_type) for col_name, col_type in schema]
@@ -313,10 +323,57 @@ class SQLShare(object):
             )
             self.datasets[name.lower()] = dataset
             self._invalidate_cache(name, dataset)
-            self._refresh_preview(dataset)
             self._durable("materialize", owner=owner, name=name,
                           source=source_name, timestamp=moment)
-            return dataset
+        self._refresh_preview(dataset)
+        return dataset
+
+    def save_result_table(self, owner, name, columns, rows, timestamp=None):
+        """Persist a finished batch's result as a "MyDB" scratch dataset.
+
+        CasJobs semantics: every batch lands its output in the submitting
+        user's scratch space under a predictable name, and re-running a
+        batch with the same name overwrites the previous incarnation.
+        ``columns`` is the ``query_schema`` shape — (name, SQLType) pairs.
+        The rows are logged inline in the WAL (``result_table``), so a
+        worker restarted from snapshot+WAL still serves the result.
+        """
+        with self._state_lock:
+            if not _NAME_RE.match(name or ""):
+                raise DatasetError("invalid dataset name %r" % name)
+            existing = self.datasets.get(name.lower())
+            if existing is not None:
+                if existing.owner != owner or existing.kind != "scratch":
+                    raise DatasetError(
+                        "a dataset named %r already exists" % name)
+                self._invalidate_cache(name, existing)
+                self.db.catalog.drop_view(name, if_exists=True)
+                if existing.base_table:
+                    self.db.catalog.drop_table(existing.base_table, if_exists=True)
+                self.permissions.forget(name)
+                del self.datasets[name.lower()]
+            moment = self._now(timestamp)
+            base_table = "t_%05d_%s" % (self._next_table_id(), _safe(name))
+            column_objects = [Column(col_name, col_type)
+                              for col_name, col_type in columns]
+            self.db.create_table_from_rows(base_table, column_objects, rows)
+            wrapper_sql = "SELECT * FROM %s" % base_table
+            self.db.create_view(name, sql_parser.parse(wrapper_sql), sql=wrapper_sql)
+            dataset = Dataset(
+                name, owner, wrapper_sql, "scratch",
+                base_table=base_table, created_at=moment,
+                description="batch result",
+            )
+            self.datasets[name.lower()] = dataset
+            self._invalidate_cache(name, dataset)
+            self._durable(
+                "result_table", owner=owner, name=name,
+                columns=[[col_name, col_type.value]
+                         for col_name, col_type in columns],
+                rows=[list(row) for row in rows],
+                timestamp=moment)
+        self._refresh_preview(dataset)
+        return dataset
 
     def delete_dataset(self, owner, name):
         """Delete a dataset (the daily upload-process-download-delete loop).
@@ -455,10 +512,27 @@ class SQLShare(object):
         return referenced
 
     def _refresh_preview(self, dataset):
-        result = self.db.execute(
-            "SELECT TOP %d * FROM %s" % (PREVIEW_ROWS, quote_ident(dataset.name))
-        )
-        dataset.set_preview(result.columns, result.rows)
+        """Populate the dataset's 100-row preview.
+
+        Deliberately called *outside* ``_state_lock`` by the mutators: the
+        preview SELECT is by far the most expensive step of an upload and
+        holding the state lock through it stalled every concurrent query
+        worker (the old baselined SELFCHECK003 findings).  Running it
+        unlocked is safe because the preview is advisory, derived state:
+        a racing delete/replace just means we drop the result, which the
+        re-check under the lock below guarantees.
+        """
+        try:
+            result = self.db.execute(
+                "SELECT TOP %d * FROM %s" % (PREVIEW_ROWS, quote_ident(dataset.name))
+            )
+        except ReproError:
+            # The dataset was deleted or redefined out from under us; the
+            # winning mutation refreshes (or drops) the preview itself.
+            return
+        with self._state_lock:
+            if self.datasets.get(dataset.name.lower()) is dataset:
+                dataset.set_preview(result.columns, result.rows)
 
     # -- sharing ----------------------------------------------------------------------
 

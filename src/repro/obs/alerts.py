@@ -254,4 +254,12 @@ def default_rules():
             severity="critical",
             description="p99 query execution latency exceeded 1s over the last minute.",
         ),
+        # Only the cluster coordinator exports this gauge; on single-process
+        # servers the series has no data, which counts as ok (see module doc).
+        AlertRule(
+            "ShardDown",
+            "latest(repro_cluster_shards_down[60]) > 0",
+            severity="critical",
+            description="One or more cluster worker shards are dead or unresponsive.",
+        ),
     ]

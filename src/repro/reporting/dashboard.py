@@ -35,6 +35,11 @@ def render_dashboard(stats, health=None, alerts=None, querystore=None,
     lines.append("repro top — %s — health: %s" % (stamp, status.upper()))
     lines.append("")
 
+    if "shards" in stats:
+        # Cluster payload: a per-shard summary table, then the aggregate
+        # figures (the per-process sections below don't apply as one unit).
+        return "\n".join(lines + _render_cluster(stats, health=health))
+
     lines.append("scheduler  workers=%d  queued=%d  running=%d" % (
         stats.get("workers", 0), stats.get("queued", 0),
         stats.get("running", 0)))
@@ -80,6 +85,48 @@ def render_dashboard(stats, health=None, alerts=None, querystore=None,
                 time.strftime("%H:%M:%S", time.localtime(note["epoch"])),
                 note["rule"], note["from_state"], note["to_state"]))
     return "\n".join(lines)
+
+
+def _render_cluster(stats, health=None):
+    """Per-shard rows + aggregate line for a cluster stats payload."""
+    lines = []
+    cluster = stats.get("cluster") or {}
+    down = (health or {}).get("shards_down") or cluster.get("down") or []
+    lines.append("cluster    shards=%d  down=%s  directory=%d" % (
+        cluster.get("shards", len(stats.get("shards", {}))),
+        ",".join(str(s) for s in down) if down else "none",
+        cluster.get("directory_entries", 0)))
+    restarts = {str(w["shard"]): w["restarts"]
+                for w in cluster.get("workers", [])}
+    rows = []
+    for shard in sorted(stats.get("shards", {}), key=int):
+        shard_stats = stats["shards"][shard]
+        if not shard_stats.get("alive", True):
+            rows.append((shard, "DOWN", "-", "-", "-", "-",
+                         restarts.get(shard, 0)))
+            continue
+        finished = shard_stats.get("finished") or {}
+        latency = (shard_stats.get("latency") or {}).get("exec_seconds") or {}
+        batch = shard_stats.get("batch") or {}
+        rows.append((
+            shard, "up",
+            "%d/%d" % (shard_stats.get("running", 0),
+                       shard_stats.get("queued", 0)),
+            sum(finished.values()) if isinstance(finished, dict) else finished,
+            _fmt_seconds(latency.get("p99")),
+            "%d/%d" % (batch.get("queued", 0), batch.get("total", 0)),
+            restarts.get(shard, 0),
+        ))
+    if rows:
+        lines.append(format_table(
+            ["shard", "state", "run/queue", "finished", "p99",
+             "batch q/total", "restarts"], rows))
+    aggregate = stats.get("aggregate") or {}
+    if aggregate:
+        lines.append("aggregate  " + "  ".join(
+            "%s=%s" % (key, value)
+            for key, value in sorted(aggregate.items())))
+    return lines
 
 
 def render_querystore(payload, regressions_only=False):

@@ -8,6 +8,7 @@ and a versioned result cache serves repeated queries without execution.
 See DESIGN.md's "Query runtime" section for the full picture.
 """
 
+from repro.runtime.batch import BatchLane, mydb_dataset_name
 from repro.runtime.cache import CacheStats, ResultCache, normalize_sql
 from repro.runtime.cancellation import CancellationToken
 from repro.runtime.job import (
@@ -24,6 +25,8 @@ from repro.runtime.job import (
 from repro.runtime.scheduler import QueryRuntime, RuntimeConfig
 
 __all__ = [
+    "BatchLane",
+    "mydb_dataset_name",
     "CacheStats",
     "CancellationToken",
     "InvalidTransition",

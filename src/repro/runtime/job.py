@@ -56,7 +56,7 @@ class QueryJob(object):
     """One query's lifecycle through the scheduler."""
 
     def __init__(self, job_id, user, sql, source="rest", timeout=None,
-                 profile=False, tracing=True):
+                 profile=False, tracing=True, cross_shard=False):
         self.job_id = job_id
         self.user = user
         self.sql = sql
@@ -77,6 +77,9 @@ class QueryJob(object):
         #: actuals; the ExecutionProfile lands in :attr:`profile_data`.
         self.profile = profile
         self.profile_data = None
+        #: True when the cluster routed this query through the
+        #: fetch-and-local-join fallback (it touched remote-shard data).
+        self.cross_shard = cross_shard
         #: Lifecycle trace (None when the runtime disables tracing).
         self.trace = Trace(job_id) if tracing else None
         #: Durations (queue/exec) are monotonic-clock deltas, immune to
@@ -170,6 +173,8 @@ class QueryJob(object):
             "exec_seconds": round(self.exec_seconds, 6),
             "cache_hit": self.cache_hit,
         }
+        if self.cross_shard:
+            record["cross_shard"] = True
         if self.error_class is not None:
             record["error_class"] = self.error_class
         return record
@@ -185,6 +190,8 @@ class QueryJob(object):
             "diagnostics": self.diagnostics,
             "profiled": self.profile,
         }
+        if self.cross_shard:
+            payload["cross_shard"] = True
         if self.result is not None:
             payload["row_count"] = len(self.result.rows)
         if self.error is not None:

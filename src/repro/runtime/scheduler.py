@@ -40,7 +40,8 @@ class RuntimeConfig(object):
                  completed_jobs_retained=10000, tracing_enabled=True,
                  metrics_enabled=True, querystore_enabled=True,
                  querystore_entries=512, monitor_enabled=False,
-                 monitor_interval=5.0, histogram_max_seconds=None):
+                 monitor_interval=5.0, histogram_max_seconds=None,
+                 batch_workers=1):
         #: Worker threads.  0 means no threads are ever spawned: submissions
         #: run inline in the caller (the tests' synchronous mode) or wait in
         #: the queue for explicit :meth:`QueryRuntime.step` calls.
@@ -76,6 +77,11 @@ class RuntimeConfig(object):
         #: DEFAULT_BUCKETS (tops out at 10 s — under-resolves statement-
         #: timeout-bound queries when the timeout is raised).
         self.histogram_max_seconds = histogram_max_seconds
+        #: Batch-lane worker threads (CasJobs lane; see runtime/batch.py).
+        #: Effectively capped at 1 — batches serialize per shard.  When the
+        #: interactive pool is workerless (max_workers=0) the lane is
+        #: workerless too, and batch submissions run inline.
+        self.batch_workers = batch_workers
 
     def to_dict(self):
         return dict(self.__dict__)
@@ -160,6 +166,15 @@ class QueryRuntime(object):
         #: stall dispatch (selfcheck SELFCHECK003 found exactly that).
         self._lint_memo = {}
         self._lint_lock = threading.Lock()
+        # -- the batch lane (CasJobs-style second queue).  Constructed last
+        # so it can resume journalled-but-unfinished batches from a
+        # recovered platform through the fully wired runtime.
+        from repro.runtime.batch import BatchLane
+
+        self.batch = BatchLane(
+            platform, runtime=self,
+            workers=(self.config.batch_workers
+                     if self.config.max_workers > 0 else 0))
 
     def _install_instruments(self):
         """Register the scheduler's named instruments.
@@ -247,14 +262,17 @@ class QueryRuntime(object):
     # -- submission -----------------------------------------------------------
 
     def submit(self, user, sql, source="rest", timeout=None, inline=None,
-               profile=False):
+               profile=False, cross_shard=False):
         """Admit a query; returns its :class:`QueryJob` immediately.
 
         ``inline=True`` executes synchronously in the caller's thread
         (bypassing the queue but not the timeout/cache machinery); the
         default is inline when the pool has no workers.  ``profile=True``
         records per-operator actuals into ``job.profile_data`` (the
-        execution bypasses the result cache so actuals are real).  Raises
+        execution bypasses the result cache so actuals are real).
+        ``cross_shard=True`` marks the job as having been routed through
+        the cluster's fetch-and-local-join fallback; the marker lands in
+        the job payload and its query-log outcome record.  Raises
         :class:`AdmissionError` when the user's queue is full.
         """
         if inline is None:
@@ -281,7 +299,8 @@ class QueryRuntime(object):
                 )
             job = QueryJob("q%06d" % next(self._ids), user, sql,
                            source=source, timeout=timeout, profile=profile,
-                           tracing=self.config.tracing_enabled)
+                           tracing=self.config.tracing_enabled,
+                           cross_shard=cross_shard)
             self._jobs_submitted.inc()
             if diagnostics is not None:
                 job.diagnostics = diagnostics
@@ -438,14 +457,17 @@ class QueryRuntime(object):
         timeout = job.timeout if job.timeout is not None else self.config.statement_timeout
         if timeout:
             job.token.set_deadline(timeout)
+        log_extra = {
+            "outcome": jobmod.SUCCEEDED,
+            "queue_seconds": round(job.queue_seconds, 6),
+        }
+        if job.cross_shard:
+            log_extra["cross_shard"] = True
         try:
             result = self.platform.run_query(
                 job.user, job.sql, source=job.source,
                 cancellation=job.token,
-                log_extra={
-                    "outcome": jobmod.SUCCEEDED,
-                    "queue_seconds": round(job.queue_seconds, 6),
-                },
+                log_extra=log_extra,
                 trace=job.trace, profile=job.profile,
             )
         except QueryTimeout as exc:
@@ -528,6 +550,7 @@ class QueryRuntime(object):
     def shutdown(self):
         if self.monitor is not None:
             self.monitor.stop()
+        self.batch.shutdown()
         with self._cond:
             self._shutdown = True
             self._cond.notify_all()
@@ -596,4 +619,5 @@ class QueryRuntime(object):
                                  if self.query_store is not None else None)
         payload["monitor"] = (self.monitor.stats()
                               if self.monitor is not None else None)
+        payload["batch"] = self.batch.stats()
         return payload

@@ -183,6 +183,35 @@ class SQLShareClient(object):
         """The lifecycle trace (spans + Chrome trace_event) for a query."""
         return self._call("GET", "/api/v1/query/%s/trace" % query_id)
 
+    # -- batch lane --------------------------------------------------------------------
+
+    def submit_batch(self, sql, label=None):
+        """Submit a long-running query to the batch lane; returns its
+        status payload (batch id, queue position, ETA) immediately."""
+        body = {"sql": sql}
+        if label is not None:
+            body["label"] = label
+        return self._call("POST", "/api/v1/batch", body)
+
+    def batch_status(self, batch_id):
+        """Poll one batch: state, position, ETA, result dataset name."""
+        return self._call("GET", "/api/v1/batch/%s" % batch_id)
+
+    def list_batches(self):
+        """The calling user's batches, oldest first."""
+        return self._call("GET", "/api/v1/batch")["batches"]
+
+    def wait_batch(self, batch_id, timeout=60.0, poll_interval=0.05):
+        """Poll until the batch is terminal; returns its final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.batch_status(batch_id)
+            if status["state"] in ("SUCCEEDED", "FAILED"):
+                return status
+            if time.monotonic() > deadline:
+                raise ClientError(408, "batch %s timed out" % batch_id)
+            time.sleep(poll_interval)
+
     # -- continuous monitoring ---------------------------------------------------------
 
     def timeseries(self, prefix=None, window=None, max_points=None):

@@ -250,6 +250,10 @@ class SQLShareApp(object):
                 user, sql, source="rest", timeout=timeout,
                 inline=not self.run_async,
                 profile=bool(body.get("profile", False)),
+                # Set by the cluster coordinator when it routed this query
+                # through the fetch-and-local-join fallback; the marker
+                # lands in the job payload and the query-log record.
+                cross_shard=bool(body.get("cross_shard", False)),
             )
         except AdmissionError as exc:
             raise _HTTPError(429, str(exc))
@@ -319,6 +323,36 @@ class SQLShareApp(object):
     @route("GET", "/api/v1/runtime/stats")
     def runtime_stats(self, user, body):
         return 200, self.runtime.stats()
+
+    # -- batch-lane endpoints (the CasJobs-style slow queue) --------------------------------
+
+    @route("POST", "/api/v1/batch")
+    def submit_batch(self, user, body):
+        """Admit a long-running query to the batch lane.  Returns 202 with
+        the batch id; results land in the user's MyDB scratch dataset and
+        are fetched via the ordinary dataset endpoints."""
+        sql = _require(body, "sql")
+        status = self.runtime.batch.submit(
+            user, sql, label=body.get("label"),
+            inline=None if self.run_async else True)
+        return 202, status
+
+    @route("GET", "/api/v1/batch")
+    def list_batches(self, user, body):
+        """The calling user's batches, oldest first."""
+        batches = [self.runtime.batch.status(record["batch_id"])
+                   for record in self.platform.batch_journal.for_user(user)]
+        return 200, {"batches": batches}
+
+    @route("GET", "/api/v1/batch/(?P<batch_id>[^/]+)")
+    def batch_status(self, user, body, batch_id):
+        """Poll one batch: state, queue position, ETA, result dataset."""
+        status = self.runtime.batch.status(batch_id)
+        if status is None:
+            raise _HTTPError(404, "no batch %r" % batch_id)
+        if status["user"] != user:
+            raise _HTTPError(403, "batch %r belongs to another user" % batch_id)
+        return 200, status
 
     # -- durability endpoints ---------------------------------------------------------------
 

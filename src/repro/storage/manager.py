@@ -370,6 +370,23 @@ class StorageManager(object):
             platform.macros.make_public(data["owner"], data["name"])
         elif op == "engine_sql":
             platform.db.execute(data["sql"])
+        elif op == "batch_submit":
+            platform.batch_journal.submit(
+                data["user"], data["sql"], data["name"],
+                timestamp=data["timestamp"], batch_id=data["batch_id"])
+        elif op == "batch_done":
+            platform.batch_journal.finish(
+                data["batch_id"], data["state"], error=data.get("error"),
+                result_dataset=data.get("result_dataset"))
+        elif op == "result_table":
+            from repro.engine.types import SQLType
+
+            platform.save_result_table(
+                data["owner"], data["name"],
+                [(col_name, SQLType(type_name))
+                 for col_name, type_name in data["columns"]],
+                [tuple(row) for row in data["rows"]],
+                timestamp=data["timestamp"])
         elif op == "log":
             entry = platform.log.restore_entry(data)
             with platform._state_lock:

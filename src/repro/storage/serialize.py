@@ -156,6 +156,12 @@ def platform_to_state(platform):
     query_store = getattr(platform, "query_store", None)
     if query_store is not None:
         state["querystore"] = query_store.dump_state()
+    # Batch-lane journal: admitted/finished batches must survive restart so
+    # a recovered worker can re-enqueue unfinished ones (absent on
+    # snapshots written before the batch lane existed).
+    batch_journal = getattr(platform, "batch_journal", None)
+    if batch_journal is not None and len(batch_journal):
+        state["batchjournal"] = batch_journal.dump_state()
     return state
 
 
@@ -298,6 +304,9 @@ def restore_platform_state(platform, state):
         if store is None:
             store = platform.query_store = QueryStore()
         store.restore_state(state["querystore"])
+
+    if state.get("batchjournal") is not None:
+        platform.batch_journal.restore_state(state["batchjournal"])
     return platform
 
 

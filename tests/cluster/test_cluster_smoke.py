@@ -1,0 +1,155 @@
+"""End-to-end 2-shard cluster drill.
+
+Boots a real coordinator with two durable subprocess workers and drives
+it through the WSGI surface: interactive and batch traffic, a
+cross-shard fetch-and-local-join, then `kill -9` on one worker — the
+health endpoint must degrade to 503 shard_down, the supervisor must
+respawn the shard from its own WAL+snapshot, and both the uploaded
+dataset and the batch result scratch table must survive the crash.
+
+These tests spawn subprocesses and poll with real sleeps, so they live
+behind a module-scoped coordinator fixture to keep wall-clock down.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.app import ClusterApp
+from repro.cluster.router import shard_for_user
+from repro.server.client import SQLShareClient
+
+POLL = 0.05
+DEGRADE_TIMEOUT = 15.0
+RECOVER_TIMEOUT = 45.0
+
+
+def _user_on_shard(shard, shards=2):
+    for index in range(1000):
+        user = "user%d" % index
+        if shard_for_user(user, shards) == shard:
+            return user
+    raise AssertionError("no user hashes to shard %d" % shard)
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    base = tmp_path_factory.mktemp("cluster")
+    coordinator = ClusterCoordinator(
+        2, str(base), scale=0.0, ephemeral=False,
+        supervise_interval=0.25, monitor_interval=0.5)
+    coordinator.start()
+    try:
+        yield coordinator
+    finally:
+        coordinator.stop()
+
+
+@pytest.fixture(scope="module")
+def clients(cluster):
+    app = ClusterApp(cluster)
+    return (SQLShareClient(_user_on_shard(0), app=app),
+            SQLShareClient(_user_on_shard(1), app=app))
+
+
+def _wait_health(client, status, timeout, reason=None):
+    deadline = time.monotonic() + timeout
+    last = None
+    while time.monotonic() < deadline:
+        last = client.health()
+        if last["status"] == status and (
+                reason is None or last.get("reason") == reason):
+            return last
+        time.sleep(POLL)
+    raise AssertionError("health never reached %r (last: %r)" % (status, last))
+
+
+def test_cluster_end_to_end(cluster, clients):
+    alice, bob = clients
+
+    # Seed both shards and share across the partition boundary.
+    alice.upload("sales", "region,amount\nwest,10\neast,20\n")
+    bob.upload("targets", "region,goal\nwest,15\neast,15\n")
+    alice.share("sales", bob.user)
+    assert cluster.resolve("sales")["shard"] == 0
+    assert cluster.resolve("targets")["shard"] == 1
+
+    # Plain query on the owner's home shard.
+    _columns, rows = alice.run_query("SELECT SUM(amount) AS total FROM sales")
+    assert rows == [(30,)]
+
+    # Cross-shard join: bob's home shard pulls a replica of alice's
+    # table, joins locally, and the job carries the cross_shard marker.
+    _columns, rows = bob.run_query(
+        "SELECT s.region, s.amount, t.goal FROM sales s "
+        "JOIN targets t ON s.region = t.region ORDER BY s.region")
+    assert rows == [("east", 20, 15), ("west", 10, 15)]
+    job = bob.submit_query("SELECT COUNT(*) AS n FROM sales")
+    status = bob.query_status(job)
+    deadline = time.monotonic() + 10
+    while status["state"] not in ("SUCCEEDED", "FAILED"):
+        assert time.monotonic() < deadline, status
+        time.sleep(POLL)
+        status = bob.query_status(job)
+    assert status["state"] == "SUCCEEDED"
+    assert status["cross_shard"] is True
+
+    # Batch lane through the cluster: result lands in the user's MyDB.
+    submitted = alice.submit_batch(
+        "SELECT region, amount * 2 AS doubled FROM sales", label="double")
+    done = alice.wait_batch(submitted["batch_id"], timeout=15.0)
+    assert done["state"] == "SUCCEEDED"
+    assert done["result_dataset"] == "mydb_%s_double" % alice.user
+    _columns, rows = alice.run_query(
+        "SELECT * FROM %s ORDER BY region" % done["result_dataset"])
+    assert rows == [("east", 40), ("west", 20)]
+
+    # Fan-out surfaces: per-shard stats, relabeled metrics, health.
+    stats = alice.runtime_stats()
+    assert sorted(stats["shards"]) == ["0", "1"]
+    assert stats["aggregate"]["batch_total"] == 1
+    assert stats["cluster"]["down"] == []
+    exposition = alice.metrics_text()
+    assert 'shard="0"' in exposition and 'shard="1"' in exposition
+    assert "repro_cluster_shards_down 0" in exposition
+    assert alice.health()["status"] == "ok"
+
+
+def test_sigkill_recovery(cluster, clients):
+    alice, bob = clients
+    victim = cluster.handles[1]
+    old_pid = victim.pid
+
+    os.kill(victim.proc.pid, signal.SIGKILL)
+
+    # Health must degrade with the shard_down reason and name the shard.
+    degraded = _wait_health(alice, "degraded", DEGRADE_TIMEOUT,
+                            reason="shard_down")
+    assert 1 in degraded["shards_down"]
+
+    # The coordinator's own monitor fires the ShardDown alert.
+    cluster.monitor.tick()
+    states = {rule.name: rule.state for rule in cluster.monitor.alerts.rules}
+    assert states["ShardDown"] == "firing"
+
+    # The supervisor respawns the worker; it recovers from WAL+snapshot.
+    _wait_health(alice, "ok", RECOVER_TIMEOUT)
+    assert victim.restarts >= 1
+    assert victim.pid != old_pid
+
+    # Durable state survived: bob's table and alice's batch scratch
+    # table (both created before the kill in the previous test).
+    _columns, rows = bob.run_query("SELECT COUNT(*) AS n FROM targets")
+    assert rows == [(2,)]
+    _columns, rows = alice.run_query(
+        "SELECT SUM(doubled) AS total FROM mydb_%s_double" % alice.user)
+    assert rows == [(60,)]
+
+    # And the cluster surfaces reflect the restart.
+    workers = {entry["shard"]: entry
+               for entry in cluster.status()["workers"]}
+    assert workers[1]["alive"] is True
+    assert workers[1]["restarts"] >= 1

@@ -1,0 +1,100 @@
+"""Frame-level tests for the coordinator <-> worker wire protocol."""
+
+import datetime
+import decimal
+import socket
+import struct
+
+import pytest
+
+from repro.cluster.protocol import (
+    MAX_FRAME_BYTES,
+    ConnectionClosed,
+    ProtocolError,
+    encode_frame,
+    recv_message,
+    send_message,
+)
+
+
+def _pair():
+    return socket.socketpair()
+
+
+class TestFrames:
+    def test_round_trip(self):
+        left, right = _pair()
+        try:
+            message = {"op": "run", "user": "alice", "rows": [[1, "x"], [2, None]]}
+            send_message(left, message)
+            assert recv_message(right) == message
+        finally:
+            left.close()
+            right.close()
+
+    def test_tagged_types_survive_the_hop(self):
+        left, right = _pair()
+        try:
+            moment = datetime.datetime(2016, 6, 26, 12, 30, 15)
+            send_message(left, {"when": moment, "amount": decimal.Decimal("1.50")})
+            decoded = recv_message(right)
+            assert decoded["when"] == moment
+            assert decoded["amount"] == decimal.Decimal("1.50")
+        finally:
+            left.close()
+            right.close()
+
+    def test_many_frames_on_one_connection(self):
+        left, right = _pair()
+        try:
+            for index in range(20):
+                send_message(left, {"seq": index})
+            for index in range(20):
+                assert recv_message(right) == {"seq": index}
+        finally:
+            left.close()
+            right.close()
+
+    def test_header_is_big_endian_length(self):
+        frame = encode_frame({"a": 1})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+
+    def test_announced_oversize_frame_rejected(self):
+        left, right = _pair()
+        try:
+            left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError):
+                recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_garbage_payload_rejected(self):
+        left, right = _pair()
+        try:
+            left.sendall(struct.pack(">I", 3) + b"not")
+            with pytest.raises(ProtocolError):
+                recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_close_between_frames(self):
+        left, right = _pair()
+        try:
+            left.close()
+            with pytest.raises(ConnectionClosed):
+                recv_message(right)
+        finally:
+            right.close()
+
+    def test_close_mid_frame(self):
+        left, right = _pair()
+        try:
+            left.sendall(struct.pack(">I", 100) + b"{\"partial\":")
+            left.close()
+            with pytest.raises(ConnectionClosed):
+                recv_message(right)
+        finally:
+            right.close()

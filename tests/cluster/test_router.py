@@ -1,0 +1,78 @@
+"""User partitioning and the coordinator's dataset directory."""
+
+import pytest
+
+from repro.cluster.router import DatasetDirectory, shard_for_user
+
+
+class TestShardForUser:
+    def test_deterministic(self):
+        assert shard_for_user("alice", 4) == shard_for_user("alice", 4)
+
+    def test_in_range(self):
+        for user in ("alice", "bob", "ann.smith@uw.edu", "", "日本語"):
+            for shards in (1, 2, 3, 8):
+                assert 0 <= shard_for_user(user, shards) < shards
+
+    def test_single_shard_maps_everyone_home(self):
+        assert shard_for_user("anyone", 1) == 0
+
+    def test_spreads_users(self):
+        # 100 users over 4 shards: no shard may end up empty (SHA-1 is
+        # uniform; an empty shard means the hashing is broken).
+        shards = {shard_for_user("user%d" % index, 4) for index in range(100)}
+        assert shards == {0, 1, 2, 3}
+
+    def test_rejects_nonpositive_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_for_user("alice", 0)
+        with pytest.raises(ValueError):
+            shard_for_user("alice", -2)
+
+
+class TestDatasetDirectory:
+    def test_register_and_lookup(self):
+        directory = DatasetDirectory()
+        directory.register("Sales", "alice", 2, kind="wrapper")
+        entry = directory.lookup("sales")  # case-insensitive
+        assert entry["owner"] == "alice"
+        assert entry["shard"] == 2
+        assert directory.shard_of("SALES") == 2
+        assert len(directory) == 1
+
+    def test_replicas_never_registered(self):
+        directory = DatasetDirectory()
+        directory.register("sales", "alice", 0, kind="replica")
+        assert directory.lookup("sales") is None
+        assert len(directory) == 0
+
+    def test_forget(self):
+        directory = DatasetDirectory()
+        directory.register("sales", "alice", 0)
+        directory.forget("SALES")
+        assert directory.lookup("sales") is None
+        directory.forget("never-existed")  # no-op, no error
+
+    def test_forget_shard_drops_only_that_shard(self):
+        directory = DatasetDirectory()
+        directory.register("a", "alice", 0)
+        directory.register("b", "bob", 1)
+        directory.register("c", "carol", 0)
+        directory.forget_shard(0)
+        assert directory.lookup("a") is None
+        assert directory.lookup("c") is None
+        assert directory.lookup("b")["shard"] == 1
+
+    def test_reregister_moves_entry(self):
+        directory = DatasetDirectory()
+        directory.register("sales", "alice", 0)
+        directory.register("sales", "alice", 3)
+        assert directory.shard_of("sales") == 3
+        assert len(directory) == 1
+
+    def test_entries_returns_copies(self):
+        directory = DatasetDirectory()
+        directory.register("sales", "alice", 0)
+        entries = directory.entries()
+        entries[0]["shard"] = 99
+        assert directory.shard_of("sales") == 0

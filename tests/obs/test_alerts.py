@@ -61,8 +61,9 @@ class TestGrammar:
 
     def test_default_rules_all_parse(self):
         rules = default_rules()
-        assert len(rules) == 4
+        assert len(rules) == 5
         assert {rule.state for rule in rules} == {OK}
+        assert "ShardDown" in {rule.name for rule in rules}
 
 
 class TestStateMachine:
@@ -165,7 +166,7 @@ class TestAlertManager:
         health = manager.health()
         assert health["status"] == "ok"
         assert health["firing"] == []
-        assert health["rules"] == 4
+        assert health["rules"] == 5
 
     def test_to_dict_payload(self):
         store = _counter_store([0, 10])

@@ -1,0 +1,184 @@
+"""The CasJobs-style batch lane: MyDB results, polling, durability."""
+
+import pytest
+
+from repro.core.sqlshare import SQLShare
+from repro.errors import DatasetError
+from repro.runtime import BatchLane, RuntimeConfig, QueryRuntime, mydb_dataset_name
+
+
+def _platform():
+    platform = SQLShare()
+    platform.upload("alice", "numbers", "k,v\nA,1\nB,2\nC,3\n")
+    return platform
+
+
+def _lane(platform, workers=0):
+    return BatchLane(platform, workers=workers)
+
+
+class TestNaming:
+    def test_mydb_name_shape(self):
+        assert mydb_dataset_name("Alice", "My Label") == "mydb_alice_my_label"
+
+    def test_stable_per_user_and_label(self):
+        assert (mydb_dataset_name("a@b.edu", "x")
+                == mydb_dataset_name("a@b.edu", "x"))
+
+
+class TestSubmitAndResult:
+    def test_inline_submit_lands_result_in_mydb(self):
+        platform = _platform()
+        lane = _lane(platform)
+        status = lane.submit("alice", "SELECT k, v * 10 AS v10 FROM numbers",
+                             label="tens")
+        assert status["state"] == "SUCCEEDED"
+        assert status["result_dataset"] == "mydb_alice_tens"
+        result = platform.run_query("alice", "SELECT * FROM mydb_alice_tens")
+        assert sorted(result.rows) == [("A", 10), ("B", 20), ("C", 30)]
+
+    def test_unlabelled_batch_uses_its_id(self):
+        platform = _platform()
+        lane = _lane(platform)
+        status = lane.submit("alice", "SELECT COUNT(*) AS n FROM numbers")
+        assert status["result_dataset"] == "mydb_alice_" + status["batch_id"]
+
+    def test_scratch_dataset_is_kind_scratch_and_private(self):
+        platform = _platform()
+        _lane(platform).submit("alice", "SELECT * FROM numbers", label="copy")
+        dataset = platform.dataset("mydb_alice_copy")
+        assert dataset.kind == "scratch"
+        assert platform.visibility("mydb_alice_copy") == "private"
+        with pytest.raises(Exception):
+            platform.run_query("mallory", "SELECT * FROM mydb_alice_copy")
+
+    def test_relabelled_batch_overwrites_scratch(self):
+        platform = _platform()
+        lane = _lane(platform)
+        lane.submit("alice", "SELECT k FROM numbers", label="out")
+        lane.submit("alice", "SELECT v FROM numbers", label="out")
+        result = platform.run_query("alice", "SELECT * FROM mydb_alice_out")
+        assert sorted(result.rows) == [(1,), (2,), (3,)]
+
+    def test_failed_batch_records_error(self):
+        platform = _platform()
+        lane = _lane(platform)
+        status = lane.submit("alice", "SELECT * FROM no_such_table")
+        assert status["state"] == "FAILED"
+        assert status["error"]
+        assert status["result_dataset"] is None
+
+    def test_empty_label_rejected(self):
+        lane = _lane(_platform())
+        with pytest.raises(DatasetError):
+            lane.submit("alice", "SELECT 1 AS one", label="   ")
+
+
+class TestQueueAndPolling:
+    def test_queued_position_and_step(self):
+        platform = _platform()
+        lane = _lane(platform, workers=0)
+        first = lane.submit("alice", "SELECT 1 AS one", inline=False)
+        second = lane.submit("alice", "SELECT 2 AS two", inline=False)
+        assert lane.status(first["batch_id"])["position"] == 1
+        assert lane.status(second["batch_id"])["position"] == 2
+        assert lane.step() == first["batch_id"]
+        assert lane.status(first["batch_id"])["state"] == "SUCCEEDED"
+        assert lane.status(second["batch_id"])["position"] == 1
+        # ETA appears once at least one execution time is on record.
+        assert lane.status(second["batch_id"])["eta_seconds"] is not None
+        assert lane.step() == second["batch_id"]
+        assert lane.step() is None
+
+    def test_unknown_batch_is_none(self):
+        assert _lane(_platform()).status("b999999") is None
+
+    def test_stats_counts(self):
+        platform = _platform()
+        lane = _lane(platform)
+        lane.submit("alice", "SELECT 1 AS one")
+        lane.submit("alice", "SELECT * FROM missing")
+        lane.submit("alice", "SELECT 2 AS two", inline=False)
+        stats = lane.stats()
+        assert stats["total"] == 3
+        assert stats["queued"] == 1
+        assert stats["finished"] == {"SUCCEEDED": 1, "FAILED": 1}
+
+    def test_metrics_exported(self):
+        platform = _platform()
+        lane = _lane(platform)
+        lane.submit("alice", "SELECT 1 AS one")
+        text = platform.metrics.render_prometheus()
+        assert "repro_batch_submitted_total 1" in text
+        assert 'repro_batch_finished_total{outcome="SUCCEEDED"} 1' in text
+
+
+class TestRuntimeIntegration:
+    def test_runtime_owns_a_lane_and_reports_it(self):
+        platform = _platform()
+        runtime = QueryRuntime(platform, RuntimeConfig(max_workers=0))
+        try:
+            status = runtime.batch.submit("alice", "SELECT 1 AS one")
+            assert status["state"] == "SUCCEEDED"
+            assert runtime.stats()["batch"]["total"] == 1
+        finally:
+            runtime.shutdown()
+
+    def test_batch_queries_logged_with_batch_source(self):
+        platform = _platform()
+        _lane(platform).submit("alice", "SELECT 1 AS one")
+        sources = [entry.source for entry in platform.log]
+        assert "batch" in sources
+
+
+class TestDurability:
+    def test_results_survive_crash_and_recovery(self, tmp_path):
+        from repro.storage import StorageManager
+
+        manager = StorageManager(str(tmp_path))
+        platform = manager.attach(SQLShare())
+        platform.upload("alice", "numbers", "k,v\nA,1\nB,2\n")
+        _lane(platform).submit("alice", "SELECT SUM(v) AS total FROM numbers",
+                               label="sum")
+        manager.close()  # crash: no checkpoint taken
+
+        recovered, _report = StorageManager(str(tmp_path)).recover()
+        record = recovered.batch_journal.get("b000001")
+        assert record["state"] == "SUCCEEDED"
+        result = recovered.run_query("alice", "SELECT * FROM mydb_alice_sum")
+        assert result.rows == [(3,)]
+
+    def test_interrupted_batch_resumes_after_recovery(self, tmp_path):
+        from repro.storage import StorageManager
+
+        manager = StorageManager(str(tmp_path))
+        platform = manager.attach(SQLShare())
+        platform.upload("alice", "numbers", "k,v\nA,1\nB,2\n")
+        lane = BatchLane(platform, workers=0)
+        status = lane.submit("alice", "SELECT k FROM numbers",
+                             label="late", inline=False)
+        manager.close()  # crash before the queued batch ever ran
+
+        recovered, _report = StorageManager(str(tmp_path)).recover()
+        resumed = BatchLane(recovered, workers=0)
+        # The journal remembers the admission; the new lane re-enqueued it.
+        assert resumed.status(status["batch_id"])["position"] == 1
+        assert resumed.step() == status["batch_id"]
+        assert resumed.status(status["batch_id"])["state"] == "SUCCEEDED"
+        rows = recovered.run_query("alice", "SELECT * FROM mydb_alice_late").rows
+        assert sorted(rows) == [("A",), ("B",)]
+
+    def test_journal_rides_in_snapshots(self, tmp_path):
+        from repro.storage import StorageManager
+
+        manager = StorageManager(str(tmp_path))
+        platform = manager.attach(SQLShare())
+        platform.upload("alice", "numbers", "k,v\nA,1\n")
+        BatchLane(platform, workers=0).submit("alice", "SELECT 1 AS one")
+        manager.checkpoint()  # journal snapshotted; WAL truncated
+        manager.close()
+
+        recovered, report = StorageManager(str(tmp_path)).recover()
+        assert report.records_replayed == 0
+        assert len(recovered.batch_journal) == 1
+        assert recovered.batch_journal.get("b000001")["state"] == "SUCCEEDED"

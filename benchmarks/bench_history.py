@@ -53,6 +53,11 @@ BENCHES = {
         "qps.instrumented": ("rate", "higher"),
         "instrumented_overhead": ("fraction", "lower"),
     }),
+    "obs_cluster_overhead": ("obs_cluster_overhead.json", {
+        "qps.untraced": ("rate", "higher"),
+        "qps.traced": ("rate", "higher"),
+        "tracing_overhead": ("fraction", "lower"),
+    }),
     "runtime_throughput": ("runtime_throughput.json", {
         "serial_no_cache.qps": ("rate", "higher"),
         "concurrent_cold.qps": ("rate", "higher"),

@@ -18,6 +18,9 @@ Commands:
   ``--verify`` round-trip) the recovered state.
 - ``top``        — live terminal dashboard over a running server's
   scheduler stats, alerts and health.
+- ``logs``       — merged structured event log of a serve data directory
+  (coordinator + every shard, one timeline), filterable by trace id,
+  user or event kind, with ``--follow`` tailing.
 - ``querystore`` — per-fingerprint runtime history and plan regressions,
   from a running server (``--url``) or a local replay/grow/replay
   experiment.
@@ -82,6 +85,16 @@ def _cmd_serve(args):
                 platform = manager.attach(SQLShare())
     elif args.scale > 0:
         platform = _generate(args.scale)
+    if args.data_dir:
+        # Single-node structured event log beside the WAL, where `repro
+        # logs --data-dir` expects it (clusters configure per process).
+        import os
+
+        from repro.obs import events
+
+        events.configure(
+            path=os.path.join(args.data_dir, events.EVENTS_FILE),
+            process="server")
     config = RuntimeConfig(
         max_workers=4,
         monitor_enabled=not args.no_monitor,
@@ -391,6 +404,68 @@ def _cmd_top(args):
         return 1
 
 
+def _render_event(record):
+    """One event record as a terminal line: time, process, event, then
+    the correlation keys and structured fields as ``key=value`` pairs."""
+    import datetime
+
+    try:
+        stamp = datetime.datetime.fromtimestamp(
+            record.get("ts", 0.0)).strftime("%H:%M:%S.%f")[:-3]
+    except (OverflowError, OSError, ValueError):
+        stamp = "??:??:??.???"
+    parts = ["%s %-11s %-10s" % (stamp, record.get("process", "?"),
+                                 record.get("event", "?"))]
+    if record.get("trace_id"):
+        parts.append("trace=%s" % record["trace_id"])
+    if record.get("user"):
+        parts.append("user=%s" % record["user"])
+    if record.get("fingerprint"):
+        parts.append("fp=%s" % record["fingerprint"])
+    rendered = ("ts", "event", "process", "seq", "trace_id", "user",
+                "fingerprint")
+    for key in sorted(record):
+        if key in rendered:
+            continue
+        value = record[key]
+        if value is not None:
+            parts.append("%s=%s" % (key, value))
+    return " ".join(parts)
+
+
+def _cmd_logs(args):
+    """``repro logs``: one merged timeline over every event log under a
+    serve data directory (coordinator + shards), oldest first."""
+    import json
+
+    from repro.obs import events
+
+    paths = events.cluster_log_paths(args.data_dir)
+    if not paths:
+        print("no event logs under %s (is it a --data-dir a server wrote "
+              "to?)" % args.data_dir, file=sys.stderr)
+        return 2
+    emit = ((lambda record: print(json.dumps(record, sort_keys=True,
+                                             default=str)))
+            if args.json else (lambda record: print(_render_event(record))))
+    if args.follow:
+        try:
+            for record in events.follow_events(
+                    paths, trace_id=args.trace, user=args.user,
+                    event=args.event):
+                emit(record)
+        except KeyboardInterrupt:
+            print()
+        return 0
+    records = events.read_events(paths, trace_id=args.trace,
+                                 user=args.user, event=args.event)
+    if args.limit and len(records) > args.limit:
+        records = records[-args.limit:]
+    for record in records:
+        emit(record)
+    return 0
+
+
 def _cmd_querystore(args):
     from repro.reporting.dashboard import render_querystore
 
@@ -549,6 +624,30 @@ def build_parser():
     top.add_argument("--once", action="store_true",
                      help="print one snapshot and exit (no screen clearing)")
 
+    logs = commands.add_parser(
+        "logs",
+        help="merged structured event log of a serve data directory "
+             "(coordinator + every shard, one ordered timeline)")
+    logs.add_argument("--data-dir", default=".repro-cluster",
+                      help="the --data-dir a server wrote to "
+                           "(default .repro-cluster)")
+    logs.add_argument("--trace", default=None,
+                      help="only events stamped with this trace id")
+    logs.add_argument("--user", default=None,
+                      help="only events for this user")
+    logs.add_argument("--event", default=None,
+                      help="only this event kind (submit, route, shard_op, "
+                           "cache_hit, cache_miss, batch, respawn, alert, "
+                           "finish)")
+    logs.add_argument("--limit", type=int, default=200,
+                      help="keep the newest N merged events (default 200; "
+                           "0 = all)")
+    logs.add_argument("--follow", action="store_true",
+                      help="keep tailing the logs after the replay "
+                           "(Ctrl-C stops)")
+    logs.add_argument("--json", action="store_true",
+                      help="raw JSON records instead of rendered lines")
+
     querystore = commands.add_parser(
         "querystore",
         help="per-fingerprint runtime history and plan regressions "
@@ -657,6 +756,7 @@ def main(argv=None):
         "checkpoint": _cmd_checkpoint,
         "recover": _cmd_recover,
         "top": _cmd_top,
+        "logs": _cmd_logs,
         "querystore": _cmd_querystore,
         "cluster": _cmd_cluster,
     }[args.command]

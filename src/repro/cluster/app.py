@@ -22,11 +22,16 @@ every existing client works unchanged against ``repro serve --shards N``:
 
 import json
 import re
+import threading
+import time
+from collections import OrderedDict
 
 from repro.cluster.coordinator import ClusterError
 from repro.engine import parser as sql_parser
 from repro.engine.ast_nodes import CommonTableExpression, TableRef
 from repro.errors import ReproError
+from repro.obs import events
+from repro.obs.tracing import Trace, maybe_span, new_trace_id
 
 _STATUS_TEXT = {
     200: "200 OK", 201: "201 Created", 202: "202 Accepted",
@@ -48,6 +53,8 @@ _ERROR_STATUS = {
 
 _DATASET_PATH = re.compile(
     r"^/api/v1/dataset/(?P<name>[^/]+)(?P<rest>/append|/permissions)?$")
+
+_QUERY_TRACE_PATH = re.compile(r"^/api/v1/query/(?P<query_id>[^/]+)/trace$")
 
 
 def referenced_names(sql):
@@ -72,8 +79,18 @@ def referenced_names(sql):
 class ClusterApp(object):
     """WSGI front end over a :class:`ClusterCoordinator`."""
 
-    def __init__(self, coordinator):
+    #: Stitched-trace registry bound: enough for any dashboard/debug
+    #: session, small enough that traces of long-gone queries age out.
+    MAX_TRACES = 2048
+
+    def __init__(self, coordinator, tracing=True):
         self.coordinator = coordinator
+        #: Cluster-wide tracing: every submit mints a trace id, coordinator
+        #: routing/fan-out spans are recorded here, and worker fragments
+        #: are stitched in from traced protocol replies.
+        self.tracing = tracing
+        self._traces = OrderedDict()  # job_id -> {trace, home, user, ...}
+        self._traces_lock = threading.Lock()
 
     # -- WSGI entry point ------------------------------------------------------
 
@@ -137,6 +154,12 @@ class ClusterApp(object):
             return self._list_datasets(user)
         if path == "/api/v1/query" and method == "POST":
             return self._submit_query(user, body)
+        if path == "/api/v1/logs" and method == "GET":
+            return self._logs(user, query, body)
+        trace_match = _QUERY_TRACE_PATH.match(path)
+        if trace_match is not None and method == "GET":
+            return self._query_trace(user, trace_match.group("query_id"),
+                                     query)
         dataset_match = _DATASET_PATH.match(path)
         if dataset_match is not None:
             return self._dataset_request(
@@ -151,12 +174,12 @@ class ClusterApp(object):
                 kind=created.get("kind", "wrapper"))
         return status, payload
 
-    def _proxy(self, shard, method, path, query, user, body):
+    def _proxy(self, shard, method, path, query, user, body, trace=None):
         full_path = path + ("?" + query if query else "")
         reply = self.coordinator.call(shard, {
             "op": "http", "method": method, "path": full_path,
             "user": user, "body": body or None,
-        })
+        }, trace=trace)
         if not reply.get("ok", False):
             return 500, {"error": reply.get("error", "worker error"),
                          "shard": shard}
@@ -197,41 +220,149 @@ class ClusterApp(object):
         home = self.coordinator.shard_for_user(user)
         if sql is None:
             return self._proxy(home, "POST", "/api/v1/query", "", user, body)
+        trace = Trace(new_trace_id()) if self.tracing else None
+        started = time.monotonic()
         cross = False
-        for name in sorted(referenced_names(sql)):
-            entry = self.coordinator.resolve(name)
-            if entry is None or entry["shard"] == home:
-                continue
-            error = self._replicate(entry["shard"], home, user, name)
-            if error is not None:
-                return error
-            cross = True
+        with maybe_span(trace, "route", user=user) as annotations:
+            for name in sorted(referenced_names(sql)):
+                entry = self.coordinator.resolve(name, trace=trace)
+                if entry is None or entry["shard"] == home:
+                    continue
+                error = self._replicate(entry["shard"], home, user, name,
+                                        trace=trace)
+                if error is not None:
+                    return error
+                cross = True
+            annotations["home"] = home
+            annotations["cross_shard"] = cross
         if cross:
             body = dict(body)
             body["cross_shard"] = True
-        return self._proxy(home, "POST", "/api/v1/query", "", user, body)
+        # The home shard's worker injects the propagated context into the
+        # submit body (op http), so the job's lifecycle spans join ``trace``
+        # without the body carrying anything extra from here.
+        status, payload = self._proxy(home, "POST", "/api/v1/query", "",
+                                      user, body, trace=trace)
+        if trace is not None:
+            job_id = payload.get("id") if isinstance(payload, dict) else None
+            if status == 202 and job_id:
+                with self._traces_lock:
+                    self._traces[job_id] = {
+                        "trace": trace, "home": home, "user": user,
+                        "job_id": job_id, "trace_id": trace.trace_id,
+                        "cross_shard": cross,
+                        "submit_ms": round(
+                            (time.monotonic() - started) * 1000.0, 3),
+                    }
+                    while len(self._traces) > self.MAX_TRACES:
+                        self._traces.popitem(last=False)
+                payload["trace_id"] = trace.trace_id
+            events.emit("route", trace_id=trace.trace_id, user=user,
+                        fingerprint=events.fingerprint(sql), job_id=job_id,
+                        home=home, cross_shard=cross or None, status=status)
+        return status, payload
 
-    def _replicate(self, owner_shard, home, user, name):
+    def _replicate(self, owner_shard, home, user, name, trace=None):
         """Fetch ``name`` from its owning shard (permission-checked there)
         and install it as a replica on ``home``.  Returns an error response
         to surface, or None on success."""
-        fetched = self.coordinator.call(owner_shard, {
-            "op": "fetch_dataset", "user": user, "name": name,
-        })
-        if not fetched.get("ok", False):
-            status = _ERROR_STATUS.get(fetched.get("error_type"), 400)
-            return status, {"error": fetched.get("error", "fetch failed"),
-                            "dataset": name}
-        self.coordinator.call_checked(home, {
-            "op": "install_replica",
-            "name": fetched["name"],
-            "owner": fetched["owner"],
-            "columns": fetched["columns"],
-            "rows": fetched["rows"],
-            "visibility": fetched["visibility"],
-            "shared_with": fetched["shared_with"],
-        })
+        with maybe_span(trace, "replicate", dataset=name,
+                        from_shard=owner_shard, to_shard=home):
+            fetched = self.coordinator.call(owner_shard, {
+                "op": "fetch_dataset", "user": user, "name": name,
+            }, trace=trace)
+            if not fetched.get("ok", False):
+                status = _ERROR_STATUS.get(fetched.get("error_type"), 400)
+                return status, {"error": fetched.get("error", "fetch failed"),
+                                "dataset": name}
+            self.coordinator.call_checked(home, {
+                "op": "install_replica",
+                "name": fetched["name"],
+                "owner": fetched["owner"],
+                "columns": fetched["columns"],
+                "rows": fetched["rows"],
+                "visibility": fetched["visibility"],
+                "shared_with": fetched["shared_with"],
+            }, trace=trace)
         return None
+
+    # -- stitched traces & merged logs -----------------------------------------
+
+    def _query_trace(self, user, query_id, query):
+        """The cluster-wide stitched trace for one submitted query.
+
+        The coordinator's own spans (route, replicate, per-shard calls)
+        plus every worker fragment collected during the submit are already
+        in the stored trace; the job's lifecycle spans are fetched live
+        from the home shard and folded in.  A home shard that died takes
+        its spans with it — the coordinator-side spans survive, flagged
+        ``truncated``, and the response lists the dead shard.
+        """
+        with self._traces_lock:
+            entry = self._traces.get(query_id)
+        if entry is None:
+            # Unknown to the coordinator (tracing off, registry aged out,
+            # or pre-tracing query): fall through to the plain shard view.
+            home = self.coordinator.shard_for_user(user)
+            return self._proxy(home, "GET",
+                               "/api/v1/query/%s/trace" % query_id,
+                               query, user, None)
+        if entry["user"] != user:
+            return 403, {"error": "query %s belongs to %s"
+                         % (query_id, entry["user"])}
+        home = entry["home"]
+        home_label = "shard%d" % home
+        stitched = entry["trace"].snapshot()
+        truncated = []
+        try:
+            status, payload = self._proxy(
+                home, "GET", "/api/v1/query/%s/trace" % query_id, query,
+                user, None)
+        except ClusterError:
+            status, payload = None, None
+            # The failed collection is trace-relevant: remember the trace
+            # id on the handle so the supervisor's respawn event for this
+            # shard correlates with the trace that lost its spans.
+            self.coordinator.handles[home].last_trace_failure = (
+                entry["trace_id"])
+        if status == 200 and isinstance(payload, dict):
+            # The shard payload is a Trace.to_dict (plus status/chrome
+            # keys add_remote ignores).  Ids are namespaced by job id:
+            # the submit-time op fragment already claimed the bare
+            # ``shardN:spX`` names.
+            stitched.add_remote(payload, process=home_label,
+                                prefix=query_id)
+        else:
+            truncated.append(home)
+            stitched.mark_process_truncated(home_label)
+        response = stitched.to_dict()
+        response["job_id"] = query_id
+        response["home_shard"] = home
+        response["processes"] = stitched.processes()
+        response["truncated_shards"] = truncated
+        response["chrome_trace"] = stitched.to_chrome()
+        return 200, response
+
+    def _logs(self, user, query, body):
+        """Merged cluster event log: coordinator + every shard's files,
+        ordered by timestamp.  ``?trace=`` / ``?user=`` / ``?event=``
+        filter; ``?limit=`` keeps the newest N (default 200)."""
+        params = dict(body or {})
+        for pair in (query or "").split("&"):
+            key, _, value = pair.partition("=")
+            if key and value:
+                params.setdefault(key, value)
+        paths = events.cluster_log_paths(self.coordinator.base_dir)
+        records = events.read_events(
+            paths, trace_id=params.get("trace"), user=params.get("user"),
+            event=params.get("event"))
+        try:
+            limit = int(params.get("limit", 200))
+        except (TypeError, ValueError):
+            limit = 200
+        if limit and len(records) > limit:
+            records = records[-limit:]
+        return 200, {"events": records, "sources": len(paths)}
 
     # -- aggregate endpoints ---------------------------------------------------
 
@@ -265,7 +396,22 @@ class ClusterApp(object):
             "cluster": self.coordinator.status(),
             "shards": shards,
             "aggregate": aggregate,
+            "cross_shard_traces": self._slowest_cross_shard(),
         }
+
+    def _slowest_cross_shard(self, top=5):
+        """The slowest recent cross-shard submits (coordinator wall time),
+        the dashboard's "where did the fan-out cost go" panel."""
+        with self._traces_lock:
+            entries = [entry for entry in self._traces.values()
+                       if entry["cross_shard"]]
+        entries.sort(key=lambda entry: entry["submit_ms"], reverse=True)
+        return [
+            {"job_id": entry["job_id"], "trace_id": entry["trace_id"],
+             "user": entry["user"], "home": entry["home"],
+             "submit_ms": entry["submit_ms"]}
+            for entry in entries[:top]
+        ]
 
     def _cluster_status(self):
         payload = self.coordinator.status()
@@ -288,10 +434,12 @@ class ClusterApp(object):
 
     def _metrics(self):
         """One Prometheus scrape for the whole cluster: the coordinator's
-        own series verbatim, then every live shard's series re-labeled
-        with ``shard="<i>"`` (HELP/TYPE emitted once per family)."""
-        out = [self.coordinator.metrics.render_prometheus().rstrip("\n")]
-        seen_meta = set()
+        own series verbatim, every live shard's series re-labeled with
+        ``shard="<i>"`` (HELP/TYPE emitted once per family), and — so one
+        scrape yields one cluster-level p99 without cross-series bucket
+        math — each histogram family again as a merged ``<name>_cluster``
+        histogram with bucket counts summed across shards."""
+        shard_texts = []
         for handle in self.coordinator.handles:
             if not handle.alive:
                 continue
@@ -300,8 +448,13 @@ class ClusterApp(object):
                     handle.shard, {"op": "metrics"})
             except ClusterError:
                 continue
-            out.append(_relabel_exposition(
-                reply["text"], handle.shard, seen_meta))
+            shard_texts.append((handle.shard, reply["text"]))
+        out = [self.coordinator.metrics.render_prometheus().rstrip("\n")]
+        seen_meta = set()
+        for shard, text in shard_texts:
+            out.append(_relabel_exposition(text, shard, seen_meta))
+        out.append(_merge_cluster_histograms(
+            [text for _shard, text in shard_texts]))
         text = "\n".join(part for part in out if part) + "\n"
         return 200, text, "text/plain; version=0.0.4; charset=utf-8"
 
@@ -328,6 +481,87 @@ def _relabel_exposition(text, shard, seen_meta):
         else:
             name, _, value = line.partition(" ")
             lines.append("%s{%s} %s" % (name, label, value))
+    return "\n".join(lines)
+
+
+_LE_LABEL = re.compile(r'le="([^"]+)"')
+
+
+def _le_sort_key(le):
+    try:
+        return float(le)
+    except ValueError:
+        return float("inf")  # "+Inf" sorts last
+
+
+def _format_sample(value):
+    return "%g" % value
+
+
+def _merge_cluster_histograms(texts):
+    """Cluster-merged ``<name>_cluster`` histogram families.
+
+    Per-shard histograms keep their ``shard`` label for drill-down, but a
+    cluster-level quantile over them needs PromQL bucket arithmetic the
+    plain exposition consumer (and ``repro top``) doesn't have.  Summing
+    bucket/sum/count across shards is exact — buckets are counters over
+    identical ``le`` grids — so a single scrape carries a directly
+    quantile-able cluster histogram beside the per-shard ones.  The
+    merged family gets its own name rather than another label so it can
+    never double-count against the relabeled originals.
+    """
+    help_text = {}
+    order = []
+    merged = {}
+    for text in texts:
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                if len(parts) >= 4 and parts[3] == "histogram":
+                    if parts[2] not in merged:
+                        merged[parts[2]] = {"buckets": {}, "sum": 0.0,
+                                            "count": 0.0}
+                        order.append(parts[2])
+            elif line.startswith("# HELP "):
+                parts = line.split(None, 3)
+                if len(parts) >= 3:
+                    help_text.setdefault(
+                        parts[2], parts[3] if len(parts) == 4 else "")
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            sample, _, value = line.rpartition(" ")
+            metric = sample.partition("{")[0]
+            try:
+                number = float(value)
+            except ValueError:
+                continue
+            if metric.endswith("_bucket") and metric[:-7] in merged:
+                le = _LE_LABEL.search(sample)
+                if le is not None:
+                    buckets = merged[metric[:-7]]["buckets"]
+                    buckets[le.group(1)] = (
+                        buckets.get(le.group(1), 0.0) + number)
+            elif metric.endswith("_sum") and metric[:-4] in merged:
+                merged[metric[:-4]]["sum"] += number
+            elif metric.endswith("_count") and metric[:-6] in merged:
+                merged[metric[:-6]]["count"] += number
+    lines = []
+    for name in order:
+        family = merged[name]
+        if not family["buckets"]:
+            continue
+        cluster = name + "_cluster"
+        note = (help_text.get(name, "").rstrip(".") +
+                " (merged across shards).").lstrip()
+        lines.append("# HELP %s %s" % (cluster, note))
+        lines.append("# TYPE %s histogram" % cluster)
+        for le in sorted(family["buckets"], key=_le_sort_key):
+            lines.append('%s_bucket{le="%s"} %s' % (
+                cluster, le, _format_sample(family["buckets"][le])))
+        lines.append("%s_sum %s" % (cluster, _format_sample(family["sum"])))
+        lines.append("%s_count %s"
+                     % (cluster, _format_sample(family["count"])))
     return "\n".join(lines)
 
 

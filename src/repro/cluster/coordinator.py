@@ -25,8 +25,10 @@ from repro.cluster import protocol
 from repro.cluster.router import DatasetDirectory, shard_for_user
 from repro.cluster.worker import PORT_FILE
 from repro.errors import ReproError
+from repro.obs import events
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.monitor import ContinuousMonitor
+from repro.obs.tracing import TraceContext
 
 READY_TIMEOUT = 60.0
 
@@ -48,6 +50,10 @@ class WorkerHandle(object):
         self.connection = None
         self.lock = threading.Lock()
         self.started_at = None
+        #: Trace id of the most recent *traced* call this shard failed —
+        #: the respawn event carries it, so a trace whose shard died
+        #: mid-request correlates with the recovery that followed.
+        self.last_trace_failure = None
 
     def close_connection(self):
         if self.connection is not None:
@@ -62,7 +68,7 @@ class ClusterCoordinator(object):
                  partition=True, wal_sync="buffered", workers=4,
                  checkpoint_every=0, statement_timeout=30.0,
                  monitor_interval=5.0, supervise_interval=1.0,
-                 call_timeout=60.0):
+                 call_timeout=60.0, events_enabled=True):
         if shards <= 0:
             raise ValueError("shard count must be positive, got %d" % shards)
         self.shards = shards
@@ -77,6 +83,11 @@ class ClusterCoordinator(object):
         self.statement_timeout = statement_timeout
         self.supervise_interval = supervise_interval
         self.call_timeout = call_timeout
+        #: Structured event logs: the coordinator's own (configured at
+        #: start) and each worker's (they configure theirs).  Disabled
+        #: as one unit — the uninstrumented benchmark baseline.
+        self.events_enabled = events_enabled
+        self.events = None
         self.handles = [WorkerHandle(index) for index in range(shards)]
         self.directory = DatasetDirectory()
         self._stop = threading.Event()
@@ -104,6 +115,11 @@ class ClusterCoordinator(object):
 
     def start(self):
         os.makedirs(self.base_dir, exist_ok=True)
+        # The coordinator process's structured event sink (route / shard
+        # op / respawn lines); each worker configures its own in main().
+        self.events = events.configure(
+            path=os.path.join(self.base_dir, events.EVENTS_FILE),
+            process="coordinator", enabled=self.events_enabled)
         self.started_at = time.time()
         for handle in self.handles:
             self._spawn(handle)
@@ -133,6 +149,8 @@ class ClusterCoordinator(object):
             argv.append("--ephemeral")
         if not self.partition:
             argv.append("--no-partition")
+        if not self.events_enabled:
+            argv.append("--no-events")
         return argv
 
     def _spawn(self, handle):
@@ -200,21 +218,63 @@ class ClusterCoordinator(object):
 
     # -- transport -------------------------------------------------------------
 
-    def call(self, shard, message, mark_down_on_failure=True):
+    def call(self, shard, message, mark_down_on_failure=True, trace=None):
         """Send one frame to ``shard`` over its pooled connection.
 
         Reconnects once on a broken pipe (the worker may have been
         restarted under us); a second failure marks the shard down and
         raises :class:`ClusterError` — the supervisor owns recovery.
+
+        With ``trace`` (a :class:`~repro.obs.tracing.Trace`), the frame
+        carries a propagated context whose parent is this hop's
+        ``call:<op>`` span, the worker's span fragment is stitched back
+        in from the reply, and a ``shard_op`` event is emitted.  A failed
+        traced call still records its span — flagged ``truncated`` — and
+        remembers the trace id on the handle so the supervisor's respawn
+        event can correlate with the request that saw the shard die.
         """
         handle = self.handles[shard]
+        if trace is None:
+            return self._transport(handle, message, mark_down_on_failure)
+        op = message.get("op")
+        span_id = trace.new_span_id()
+        context = TraceContext(trace.trace_id, parent=span_id)
+        start = time.monotonic()
+        connect = handle.connection is None
+        try:
+            reply = self._transport(
+                handle, protocol.attach_trace(message, context),
+                mark_down_on_failure)
+        except ClusterError:
+            handle.last_trace_failure = trace.trace_id
+            trace.add_span("call:%s" % op, start, time.monotonic(),
+                           span_id=span_id, shard=shard, error=True,
+                           truncated=True)
+            events.emit("shard_op", trace_id=trace.trace_id, op=op,
+                        shard=shard, error=True)
+            raise
+        now = time.monotonic()
+        attrs = {"shard": shard}
+        if connect:
+            attrs["connect"] = True
+        trace.add_span("call:%s" % op, start, now, span_id=span_id, **attrs)
+        if isinstance(reply, dict):
+            fragment = reply.pop(protocol.TRACE_KEY, None)
+            if fragment:
+                trace.add_remote(fragment, process="shard%d" % shard,
+                                 parent=span_id)
+        events.emit("shard_op", trace_id=trace.trace_id, op=op, shard=shard,
+                    ms=round((now - start) * 1000.0, 3))
+        return reply
+
+    def _transport(self, handle, message, mark_down_on_failure):
         with handle.lock:
             for attempt in (0, 1):
                 try:
                     if handle.connection is None:
                         if handle.port is None:
                             raise ClusterError(
-                                "shard %d has no known port" % shard)
+                                "shard %d has no known port" % handle.shard)
                         handle.connection = protocol.ShardConnection(
                             handle.port, timeout=self.call_timeout)
                         handle.connection.connect()
@@ -225,12 +285,12 @@ class ClusterCoordinator(object):
                         if mark_down_on_failure:
                             handle.alive = False
                         raise ClusterError(
-                            "shard %d unreachable: %s" % (shard, exc))
+                            "shard %d unreachable: %s" % (handle.shard, exc))
         raise AssertionError("unreachable")
 
-    def call_checked(self, shard, message):
+    def call_checked(self, shard, message, trace=None):
         """``call`` + raise :class:`ClusterError` on an application error."""
-        reply = self.call(shard, message)
+        reply = self.call(shard, message, trace=trace)
         if not reply.get("ok", False):
             raise ClusterError(
                 "shard %d op %r failed: %s"
@@ -256,7 +316,7 @@ class ClusterCoordinator(object):
             self.directory.register(
                 entry["name"], entry["owner"], shard, kind=entry["kind"])
 
-    def resolve(self, name):
+    def resolve(self, name, trace=None):
         """Directory lookup with resolve-on-miss against every live shard."""
         entry = self.directory.lookup(name)
         if entry is not None:
@@ -264,7 +324,7 @@ class ClusterCoordinator(object):
         for shard in self.alive_shards():
             try:
                 reply = self.call_checked(shard, {"op": "resolve",
-                                                  "name": name})
+                                                  "name": name}, trace=trace)
             except ClusterError:
                 continue
             found = reply.get("entry")
@@ -300,6 +360,13 @@ class ClusterCoordinator(object):
                 self.refresh_directory(handle.shard)
             except (ClusterError, OSError):
                 handle.alive = False
+            # Correlated recovery line: carries the trace id of the last
+            # traced call this shard failed (if any), so `repro logs
+            # --trace <id>` shows the respawn beside the request it broke.
+            events.emit("respawn", shard=handle.shard,
+                        trace_id=handle.last_trace_failure,
+                        restarts=handle.restarts, pid=handle.pid,
+                        recovered=handle.alive)
             return
         # Process is up: ping unless the connection is busy with a call.
         if not handle.lock.acquire(timeout=0.5):

@@ -11,19 +11,48 @@ per-thread connections and the coordinator's pooled connection both rely
 on.  Frames are capped at :data:`MAX_FRAME_BYTES` — a malformed or
 runaway peer fails fast instead of making the receiver allocate
 gigabytes.
+
+Distributed tracing rides in-band: a request frame may carry a
+``"trace"`` key (``{"id": ..., "parent": <span id>, "sampled": bool}``,
+see :class:`~repro.obs.tracing.TraceContext`) attached with
+:func:`attach_trace`; a traced worker replies with its span fragment
+under the reply's ``"trace"`` key.  Untraced frames pay nothing.
 """
 
 import json
 import socket
 import struct
 
+from repro.obs.tracing import TraceContext
 from repro.storage.serialize import json_default, json_object_hook
+
+#: Frame key the trace context (requests) / span fragment (replies)
+#: travels under.
+TRACE_KEY = "trace"
 
 #: Hard ceiling on one frame (requests and responses alike).  Large query
 #: results at bench scale stay well under this; anything bigger is a bug.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
 
 _HEADER = struct.Struct(">I")
+
+
+def attach_trace(message, context):
+    """A copy of ``message`` carrying ``context``; the original message
+    untouched (and returned as-is for a None context)."""
+    if context is None:
+        return message
+    message = dict(message)
+    message[TRACE_KEY] = context.to_wire()
+    return message
+
+
+def extract_trace(message):
+    """The :class:`TraceContext` a frame carries, or None (malformed
+    context is treated as absent — tracing must never fail a frame)."""
+    if not isinstance(message, dict):
+        return None
+    return TraceContext.from_wire(message.get(TRACE_KEY))
 
 
 class ProtocolError(Exception):

@@ -39,6 +39,7 @@ import os
 import socket
 import sys
 import threading
+import time
 
 from repro.cluster import protocol
 from repro.cluster.router import shard_for_user
@@ -48,6 +49,8 @@ from repro.engine import parser as sql_parser
 from repro.engine.catalog import Column
 from repro.engine.types import SQLType
 from repro.errors import DatasetError, ReproError
+from repro.obs import events
+from repro.obs.tracing import Trace
 from repro.runtime import RuntimeConfig, QueryRuntime
 from repro.runtime import job as jobmod
 from repro.server.client import _WSGITransport
@@ -132,6 +135,10 @@ class WorkerServer(object):
         self.transport = _WSGITransport(app)
         self._listener = None
         self._stop = threading.Event()
+        #: Per-connection-thread trace state (context, fragment, op span
+        #: id) so handlers like ``_op_run`` can pick up the propagated
+        #: context without threading it through every signature.
+        self._tls = threading.local()
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -178,6 +185,37 @@ class WorkerServer(object):
 
     def handle(self, message):
         op = message.get("op")
+        context = protocol.extract_trace(message)
+        if context is None or not context.sampled:
+            return self._dispatch(op, message)
+        # Traced frame: record this op into a fragment rooted at the
+        # propagated context and ship the fragment back in the reply.
+        fragment = Trace(context.trace_id, parent=context.parent)
+        op_span = fragment.new_span_id()
+        tls = self._tls
+        tls.context, tls.fragment, tls.op_span = context, fragment, op_span
+        started = time.monotonic()
+        try:
+            with fragment.span("op:%s" % op, span_id=op_span,
+                               shard=self.shard):
+                reply = self._dispatch(op, message)
+        finally:
+            tls.context = tls.fragment = tls.op_span = None
+        if op != "run":
+            # Every traced op logs its shard-side line — except "run",
+            # whose lifecycle the runtime already logs (submit/finish
+            # with the same trace id); doubling those up would cost a
+            # second write on the hottest path for no extra correlation.
+            events.emit("shard_op", trace_id=context.trace_id, op=op,
+                        ok=bool(reply.get("ok", False))
+                        if isinstance(reply, dict) else None,
+                        ms=round((time.monotonic() - started) * 1000.0, 3))
+        if isinstance(reply, dict):
+            reply = dict(reply)
+            reply[protocol.TRACE_KEY] = fragment.to_dict()
+        return reply
+
+    def _dispatch(self, op, message):
         handler = getattr(self, "_op_%s" % op, None)
         if handler is None:
             return {"ok": False, "error": "unknown op %r" % op}
@@ -197,17 +235,32 @@ class WorkerServer(object):
         headers = {}
         if message.get("user") is not None:
             headers["X-SQLShare-User"] = message["user"]
+        body = message.get("body")
+        context = getattr(self._tls, "context", None)
+        if context is not None and isinstance(body, dict):
+            # Propagate into the REST layer: submit bodies honour a
+            # "trace" key, so proxied submits join the cluster trace.
+            body = dict(body)
+            body.setdefault(protocol.TRACE_KEY, context.to_wire())
         status, payload = self.transport.request(
-            message.get("method", "GET"), message["path"], headers,
-            message.get("body"))
+            message.get("method", "GET"), message["path"], headers, body)
         return {"ok": True, "status": status, "payload": payload}
 
     def _op_run(self, message):
         """Submit one interactive query inline and return its full result
         in this frame — the single-round-trip hot path."""
+        tls = self._tls
         job = self.runtime.submit(
             message["user"], message["sql"], source="rest", inline=True,
-            cross_shard=bool(message.get("cross_shard", False)))
+            cross_shard=bool(message.get("cross_shard", False)),
+            trace_context=getattr(tls, "context", None))
+        fragment = getattr(tls, "fragment", None)
+        if fragment is not None and job.trace is not None:
+            # Fold the query-lifecycle spans under this op's span; ids are
+            # namespaced by job id so two runs in one trace stay distinct.
+            fragment.adopt(job.trace,
+                           parent=getattr(tls, "op_span", None),
+                           prefix=job.job_id)
         if job.state != jobmod.SUCCEEDED:
             return {"ok": False, "state": job.state, "error": job.error,
                     "error_type": job.error_class or "runtime"}
@@ -345,18 +398,29 @@ def build_arg_parser():
     parser.add_argument("--monitor", action="store_true",
                         help="run the continuous monitor on this shard")
     parser.add_argument("--monitor-interval", type=float, default=5.0)
+    parser.add_argument("--no-events", dest="events", action="store_false",
+                        default=True,
+                        help="disable the structured event log (the "
+                             "uninstrumented bench baseline)")
     return parser
 
 
 def main(argv=None):
     args = build_arg_parser().parse_args(argv)
     os.makedirs(args.shard_dir, exist_ok=True)
+    # This process's structured event sink: one JSON-lines file in the
+    # shard directory, every line stamped with the shard's lane label.
+    events.configure(
+        path=os.path.join(args.shard_dir, events.EVENTS_FILE),
+        process="shard%d" % args.shard_index, shard=args.shard_index,
+        enabled=args.events)
     platform, manager = build_platform(args)
     runtime = QueryRuntime(platform, RuntimeConfig(
         max_workers=args.workers,
         statement_timeout=args.statement_timeout,
         monitor_enabled=args.monitor,
         monitor_interval=args.monitor_interval,
+        events_enabled=args.events,
     ))
     app = SQLShareApp(platform=platform, runtime=runtime)
     # Long-lived service: flag statically suspect plans but keep serving.

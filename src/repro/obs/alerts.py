@@ -200,6 +200,16 @@ class AlertManager(object):
                         "value": None if rule.value is None else round(rule.value, 6),
                         "expr": rule.expr,
                     })
+                # Correlated event-log line for the same transition (the
+                # import is deferred: events imports nothing from obs, but
+                # keeping alerts importable standalone is cheap insurance).
+                from repro.obs import events
+
+                events.emit(
+                    "alert", rule=rule.name, severity=rule.severity,
+                    from_state=before, to_state=after,
+                    value=(None if rule.value is None
+                           else round(rule.value, 6)))
         return states
 
     def firing(self):

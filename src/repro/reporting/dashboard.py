@@ -126,6 +126,16 @@ def _render_cluster(stats, health=None):
         lines.append("aggregate  " + "  ".join(
             "%s=%s" % (key, value)
             for key, value in sorted(aggregate.items())))
+    traces = stats.get("cross_shard_traces") or []
+    if traces:
+        lines.append("")
+        lines.append("slowest cross-shard traces (coordinator submit time):")
+        lines.append(format_table(
+            ["trace", "job", "user", "home", "submit"],
+            [(entry.get("trace_id", "?"), entry.get("job_id", "?"),
+              entry.get("user", "?"), entry.get("home", "?"),
+              "%.1fms" % entry.get("submit_ms", 0.0))
+             for entry in traces]))
     return lines
 
 

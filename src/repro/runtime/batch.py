@@ -29,6 +29,7 @@ from collections import deque
 from repro.core import batchlog
 from repro.core.sqlshare import _safe
 from repro.errors import DatasetError
+from repro.obs import events
 
 
 def mydb_dataset_name(user, label):
@@ -103,6 +104,9 @@ class BatchLane(object):
                 batch_id=record["batch_id"], timestamp=moment)
         self._submitted_total.inc()
         batch_id = record["batch_id"]
+        events.emit("batch", user=user, fingerprint=events.fingerprint(sql),
+                    batch_id=batch_id, state=batchlog.QUEUED,
+                    result_dataset=record["name"])
         if inline:
             self._execute(batch_id)
         else:
@@ -228,6 +232,9 @@ class BatchLane(object):
         if not claimed:
             with self._cond:
                 self._running = batch_id
+        events.emit("batch", user=record["user"],
+                    fingerprint=events.fingerprint(record["sql"]),
+                    batch_id=batch_id, state="RUNNING")
         started = time.monotonic()
         try:
             result = self.platform.run_query(
@@ -244,6 +251,10 @@ class BatchLane(object):
                     "batch_done", batch_id=batch_id, state=batchlog.FAILED,
                     error=str(exc), result_dataset=None)
             self._finished_total.labels(outcome=batchlog.FAILED).inc()
+            events.emit("batch", user=record["user"],
+                        fingerprint=events.fingerprint(record["sql"]),
+                        batch_id=batch_id, state=batchlog.FAILED,
+                        error=str(exc))
         else:
             with self.platform._state_lock:
                 self.platform.batch_journal.finish(
@@ -254,6 +265,10 @@ class BatchLane(object):
                     state=batchlog.SUCCEEDED, error=None,
                     result_dataset=record["name"])
             self._finished_total.labels(outcome=batchlog.SUCCEEDED).inc()
+            events.emit("batch", user=record["user"],
+                        fingerprint=events.fingerprint(record["sql"]),
+                        batch_id=batch_id, state=batchlog.SUCCEEDED,
+                        result_dataset=record["name"])
         finally:
             self._exec_times.append(time.monotonic() - started)
             if not claimed:

@@ -56,7 +56,8 @@ class QueryJob(object):
     """One query's lifecycle through the scheduler."""
 
     def __init__(self, job_id, user, sql, source="rest", timeout=None,
-                 profile=False, tracing=True, cross_shard=False):
+                 profile=False, tracing=True, cross_shard=False,
+                 trace_context=None):
         self.job_id = job_id
         self.user = user
         self.sql = sql
@@ -80,8 +81,19 @@ class QueryJob(object):
         #: True when the cluster routed this query through the
         #: fetch-and-local-join fallback (it touched remote-shard data).
         self.cross_shard = cross_shard
-        #: Lifecycle trace (None when the runtime disables tracing).
-        self.trace = Trace(job_id) if tracing else None
+        #: Lifecycle trace (None when the runtime disables tracing or a
+        #: propagated context asked not to sample this request).  With a
+        #: remote context the trace takes the *cluster-wide* trace id and
+        #: remembers the parent span, so this job's spans stitch into the
+        #: coordinator's trace as children of the submitting hop.
+        if tracing and (trace_context is None or trace_context.sampled):
+            self.trace = Trace(
+                trace_context.trace_id if trace_context is not None
+                else job_id,
+                parent=(trace_context.parent
+                        if trace_context is not None else None))
+        else:
+            self.trace = None
         #: Durations (queue/exec) are monotonic-clock deltas, immune to
         #: wall-clock adjustment; only log records carry epoch timestamps.
         self.submitted_at = time.monotonic()
@@ -192,6 +204,8 @@ class QueryJob(object):
         }
         if self.cross_shard:
             payload["cross_shard"] = True
+        if self.trace is not None:
+            payload["trace_id"] = self.trace.trace_id
         if self.result is not None:
             payload["row_count"] = len(self.result.rows)
         if self.error is not None:

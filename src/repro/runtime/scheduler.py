@@ -22,6 +22,7 @@ import time
 from collections import OrderedDict, deque
 
 from repro.errors import AdmissionError, QueryCancelled, QueryTimeout, classify_error
+from repro.obs import events
 from repro.obs.metrics import MetricsRegistry, NullRegistry, buckets_up_to
 from repro.obs.monitor import ContinuousMonitor
 from repro.obs.querystore import QueryStore
@@ -41,7 +42,7 @@ class RuntimeConfig(object):
                  metrics_enabled=True, querystore_enabled=True,
                  querystore_entries=512, monitor_enabled=False,
                  monitor_interval=5.0, histogram_max_seconds=None,
-                 batch_workers=1):
+                 batch_workers=1, events_enabled=None):
         #: Worker threads.  0 means no threads are ever spawned: submissions
         #: run inline in the caller (the tests' synchronous mode) or wait in
         #: the queue for explicit :meth:`QueryRuntime.step` calls.
@@ -77,6 +78,12 @@ class RuntimeConfig(object):
         #: DEFAULT_BUCKETS (tops out at 10 s — under-resolves statement-
         #: timeout-bound queries when the timeout is raised).
         self.histogram_max_seconds = histogram_max_seconds
+        #: Emit structured lifecycle events (submit / cache hit-miss /
+        #: finish) into the process event log (repro.obs.events).  None
+        #: follows metrics_enabled, so the uninstrumented benchmark
+        #: baseline pays for neither.
+        self.events_enabled = (metrics_enabled if events_enabled is None
+                               else events_enabled)
         #: Batch-lane worker threads (CasJobs lane; see runtime/batch.py).
         #: Effectively capped at 1 — batches serialize per shard.  When the
         #: interactive pool is workerless (max_workers=0) the lane is
@@ -262,7 +269,7 @@ class QueryRuntime(object):
     # -- submission -----------------------------------------------------------
 
     def submit(self, user, sql, source="rest", timeout=None, inline=None,
-               profile=False, cross_shard=False):
+               profile=False, cross_shard=False, trace_context=None):
         """Admit a query; returns its :class:`QueryJob` immediately.
 
         ``inline=True`` executes synchronously in the caller's thread
@@ -272,7 +279,11 @@ class QueryRuntime(object):
         execution bypasses the result cache so actuals are real).
         ``cross_shard=True`` marks the job as having been routed through
         the cluster's fetch-and-local-join fallback; the marker lands in
-        the job payload and its query-log outcome record.  Raises
+        the job payload and its query-log outcome record.
+        ``trace_context`` is a propagated
+        :class:`~repro.obs.tracing.TraceContext`: the job's trace adopts
+        the cluster-wide trace id (and remote parent span), so its spans
+        stitch into the coordinator's distributed trace.  Raises
         :class:`AdmissionError` when the user's queue is full.
         """
         if inline is None:
@@ -300,7 +311,8 @@ class QueryRuntime(object):
             job = QueryJob("q%06d" % next(self._ids), user, sql,
                            source=source, timeout=timeout, profile=profile,
                            tracing=self.config.tracing_enabled,
-                           cross_shard=cross_shard)
+                           cross_shard=cross_shard,
+                           trace_context=trace_context)
             self._jobs_submitted.inc()
             if diagnostics is not None:
                 job.diagnostics = diagnostics
@@ -317,6 +329,14 @@ class QueryRuntime(object):
                 queue.append(job)
                 self._queued[user] = self._queued.get(user, 0) + 1
                 self._cond.notify()
+        # Outside the scheduler lock: the event write may touch a file.
+        if self.config.events_enabled:
+            events.emit(
+                "submit",
+                trace_id=job.trace.trace_id if job.trace is not None else None,
+                user=user, fingerprint=events.fingerprint(sql),
+                job_id=job.job_id, source=source,
+                cross_shard=cross_shard or None)
         if inline:
             self._start_job(job)
         else:
@@ -496,6 +516,21 @@ class QueryRuntime(object):
             self._worker_busy.inc(job.exec_seconds)
             self._jobs_finished.labels(outcome=job.state).inc()
             self._record_querystore(job)
+            if self.config.events_enabled:
+                trace_id = (job.trace.trace_id
+                            if job.trace is not None else None)
+                if job.state == jobmod.SUCCEEDED and self.cache is not None:
+                    events.emit(
+                        "cache_hit" if job.cache_hit else "cache_miss",
+                        trace_id=trace_id, user=job.user,
+                        fingerprint=events.fingerprint(job.sql),
+                        job_id=job.job_id)
+                events.emit(
+                    "finish", trace_id=trace_id, user=job.user,
+                    fingerprint=events.fingerprint(job.sql),
+                    job_id=job.job_id, outcome=job.state,
+                    exec_ms=round(job.exec_seconds * 1000.0, 3),
+                    cross_shard=job.cross_shard or None)
             with self._cond:
                 self._running[job.user] = self._running.get(job.user, 1) - 1
                 self._finished[job.state] = self._finished.get(job.state, 0) + 1

@@ -180,8 +180,24 @@ class SQLShareClient(object):
         return self._call("GET", "/api/v1/metrics")
 
     def query_trace(self, query_id):
-        """The lifecycle trace (spans + Chrome trace_event) for a query."""
+        """The lifecycle trace (spans + Chrome trace_event) for a query.
+        Against a cluster this is the stitched cluster-wide trace: the
+        coordinator's routing/fan-out spans plus every shard's fragment."""
         return self._call("GET", "/api/v1/query/%s/trace" % query_id)
+
+    def logs(self, trace=None, user=None, event=None, limit=None):
+        """Recent structured lifecycle events (merged across shards when
+        the server is a cluster), filterable by trace id/user/event."""
+        body = {}
+        if trace is not None:
+            body["trace"] = trace
+        if user is not None:
+            body["user"] = user
+        if event is not None:
+            body["event"] = event
+        if limit is not None:
+            body["limit"] = limit
+        return self._call("GET", "/api/v1/logs", body or None)["events"]
 
     # -- batch lane --------------------------------------------------------------------
 

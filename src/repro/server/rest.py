@@ -39,6 +39,8 @@ from repro.errors import (
     ReproError,
     SQLError,
 )
+from repro.obs import events as events_mod
+from repro.obs.tracing import TraceContext
 from repro.runtime import QueryRuntime, RuntimeConfig
 
 _ROUTES = []
@@ -254,6 +256,9 @@ class SQLShareApp(object):
                 # through the fetch-and-local-join fallback; the marker
                 # lands in the job payload and the query-log record.
                 cross_shard=bool(body.get("cross_shard", False)),
+                # Propagated distributed-trace context (cluster submits):
+                # the job's spans join the coordinator's trace.
+                trace_context=TraceContext.from_wire(body.get("trace")),
             )
         except AdmissionError as exc:
             raise _HTTPError(429, str(exc))
@@ -384,6 +389,19 @@ class SQLShareApp(object):
         if job.profile_data is not None:
             payload["profile"] = job.profile_data.summary()
         return 200, payload
+
+    @route("GET", "/api/v1/logs")
+    def logs(self, user, body):
+        """Recent structured lifecycle events from this process's
+        in-memory ring; ``?trace=``, ``?user=``, ``?event=`` filter and
+        ``?limit=`` bounds the listing (newest kept)."""
+        limit = body.get("limit")
+        records = events_mod.get_log().recent(
+            limit=int(limit) if limit is not None else 200,
+            trace_id=body.get("trace"),
+            user=body.get("user"),
+            event=body.get("event"))
+        return 200, {"events": records}
 
     # -- continuous-monitoring endpoints ----------------------------------------------------
 

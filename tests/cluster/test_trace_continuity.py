@@ -1,0 +1,124 @@
+"""Trace continuity through a shard SIGKILL→respawn drill.
+
+A cross-shard query's stitched trace must survive its home shard dying:
+the coordinator-side spans and the remote shard's fragments stay in the
+trace, the dead shard's spans are *marked* truncated (never dropped),
+and the supervisor's respawn event carries the same trace id so
+``repro logs --trace <id>`` shows the crash and the recovery on one
+timeline.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cluster.app import ClusterApp
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.router import shard_for_user
+from repro.server.client import SQLShareClient
+
+POLL = 0.05
+RECOVER_TIMEOUT = 45.0
+
+
+def _user_on_shard(shard, shards=2):
+    for index in range(1000):
+        user = "user%d" % index
+        if shard_for_user(user, shards) == shard:
+            return user
+    raise AssertionError("no user hashes to shard %d" % shard)
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    base = tmp_path_factory.mktemp("continuity")
+    # A slow supervisor widens the kill -> trace-GET window so the test
+    # observes the truncated trace before recovery kicks in.
+    coordinator = ClusterCoordinator(
+        2, str(base), scale=0.0, ephemeral=False,
+        supervise_interval=1.0, monitor_interval=0.5)
+    coordinator.start()
+    try:
+        yield coordinator
+    finally:
+        coordinator.stop()
+
+
+def test_trace_survives_home_shard_kill(cluster):
+    app = ClusterApp(cluster)
+    alice = SQLShareClient(_user_on_shard(0), app=app)
+    bob = SQLShareClient(_user_on_shard(1), app=app)
+    bob.upload("goals", "region,goal\nwest,15\neast,15\n")
+    bob.share("goals", alice.user)
+
+    submitted = alice._call("POST", "/api/v1/query",
+                            {"sql": "SELECT region FROM goals"})
+    job_id, trace_id = submitted["id"], submitted["trace_id"]
+    deadline = time.monotonic() + 30.0
+    while alice.fetch_results(job_id)["status"] in ("pending", "running"):
+        assert time.monotonic() < deadline, "query never completed"
+        time.sleep(POLL)
+
+    healthy = alice.query_trace(job_id)
+    assert healthy["truncated_shards"] == []
+    assert set(healthy["processes"]) >= {"shard0", "shard1"}
+    # The coordinator holds the submit-time op fragments; the job
+    # lifecycle spans (prefixed with the job id) are fetched from the
+    # home shard at GET time and die with it.
+    held_shard0 = [s for s in healthy["spans"]
+                   if s.get("process") == "shard0"
+                   and s["id"].startswith("shard0:")]
+    assert held_shard0
+    assert any(s["id"].startswith(job_id + ":") for s in healthy["spans"])
+
+    # kill -9 the home shard and fetch the trace before recovery.
+    handle = cluster.handles[0]
+    os.kill(handle.pid, signal.SIGKILL)
+    handle.proc.wait(timeout=10)
+
+    truncated = alice.query_trace(job_id)
+    assert truncated["trace_id"] == trace_id
+    assert truncated["truncated_shards"] == [0]
+    # The dead shard's coordinator-held spans are retained — marked,
+    # not dropped — while the spans that lived only in the dead
+    # process's memory are gone.
+    shard0 = [s for s in truncated["spans"] if s.get("process") == "shard0"]
+    assert {s["id"] for s in shard0} == {s["id"] for s in held_shard0}
+    assert all(s["attrs"]["truncated"] for s in shard0)
+    # The surviving processes' spans are intact and unflagged.
+    shard1 = [s for s in truncated["spans"] if s.get("process") == "shard1"]
+    assert shard1
+    assert not any(s.get("attrs", {}).get("truncated") for s in shard1)
+    coordinator_spans = [s for s in truncated["spans"]
+                         if s.get("process") is None]
+    assert any(s["name"] == "route" for s in coordinator_spans)
+
+    # The supervisor's respawn event carries the trace id that saw the
+    # shard die, on the same merged timeline.
+    deadline = time.monotonic() + RECOVER_TIMEOUT
+    respawns = []
+    while time.monotonic() < deadline:
+        respawns = cluster.events.recent(event="respawn")
+        if respawns:
+            break
+        time.sleep(POLL)
+    assert respawns, "supervisor never logged the respawn"
+    record = respawns[-1]
+    assert record["shard"] == 0
+    assert record["trace_id"] == trace_id
+
+    # After recovery the trace is still served; the respawned shard lost
+    # its in-memory job registry, so its spans stay truncated — history
+    # is not silently rewritten by the recovery.
+    deadline = time.monotonic() + RECOVER_TIMEOUT
+    while time.monotonic() < deadline:
+        if cluster.handles[0].alive:
+            break
+        time.sleep(POLL)
+    assert cluster.handles[0].alive, "shard 0 never recovered"
+    recovered = alice.query_trace(job_id)
+    assert recovered["trace_id"] == trace_id
+    assert recovered["truncated_shards"] == [0]
+    assert [s for s in recovered["spans"] if s.get("process") == "shard1"]

@@ -1,0 +1,216 @@
+"""Cluster-wide tracing end to end: one cross-shard query yields one
+stitched trace spanning the coordinator and both worker processes, the
+merged /metrics scrape carries cluster-level histograms, and the merged
+event log correlates every process's lines by trace id.
+
+Spawns real worker subprocesses; everything shares one module-scoped
+cluster to keep wall-clock down.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.cluster.app import ClusterApp, _merge_cluster_histograms
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.router import shard_for_user
+from repro.obs import events
+from repro.server.client import SQLShareClient
+
+POLL = 0.05
+
+
+def _user_on_shard(shard, shards=2):
+    for index in range(1000):
+        user = "user%d" % index
+        if shard_for_user(user, shards) == shard:
+            return user
+    raise AssertionError("no user hashes to shard %d" % shard)
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    base = tmp_path_factory.mktemp("trace-cluster")
+    coordinator = ClusterCoordinator(
+        2, str(base), scale=0.0, ephemeral=False,
+        supervise_interval=0.25, monitor_interval=0.5)
+    coordinator.start()
+    try:
+        yield coordinator
+    finally:
+        coordinator.stop()
+
+
+@pytest.fixture(scope="module")
+def app(cluster):
+    return ClusterApp(cluster)
+
+
+@pytest.fixture(scope="module")
+def stitched(cluster, app):
+    """Run one cross-shard query and fetch its stitched trace once."""
+    alice = SQLShareClient(_user_on_shard(0), app=app)
+    bob = SQLShareClient(_user_on_shard(1), app=app)
+    bob.upload("targets", "region,goal\nwest,15\neast,15\n")
+    bob.share("targets", alice.user)
+
+    submitted = alice._call("POST", "/api/v1/query",
+                            {"sql": "SELECT region, goal FROM targets"})
+    assert submitted.get("trace_id"), "submit must mint a cluster trace id"
+    job_id = submitted["id"]
+    deadline = time.monotonic() + 30.0
+    result = alice.fetch_results(job_id)
+    while result["status"] in ("pending", "running"):
+        assert time.monotonic() < deadline, "query never completed"
+        time.sleep(POLL)
+        result = alice.fetch_results(job_id)
+    assert result["status"] == "complete"
+    trace = alice.query_trace(job_id)
+    return {"app": app, "alice": alice, "bob": bob, "job_id": job_id,
+            "trace_id": submitted["trace_id"], "payload": trace}
+
+
+def test_stitched_trace_spans_two_worker_processes(stitched):
+    payload = stitched["payload"]
+    assert payload["trace_id"] == stitched["trace_id"]
+    assert payload["job_id"] == stitched["job_id"]
+    assert payload["truncated_shards"] == []
+    # Fragments from both worker processes, stitched into one trace.
+    assert set(payload["processes"]) >= {"shard0", "shard1"}
+    by_process = {}
+    for span in payload["spans"]:
+        by_process.setdefault(span.get("process"), []).append(span["name"])
+    # Coordinator-side spans: routing + the wire cost of each shard call.
+    assert "route" in by_process[None]
+    assert "replicate" in by_process[None]
+    assert "call:fetch_dataset" in by_process[None]
+    assert "call:install_replica" in by_process[None]
+    assert "call:http" in by_process[None]
+    # The remote fetch ran on the owning shard, the install + the local
+    # join on the home shard — wire vs fetch vs local work all separable.
+    assert "op:fetch_dataset" in by_process["shard1"]
+    assert "op:install_replica" in by_process["shard0"]
+    assert "op:http" in by_process["shard0"]
+
+
+def test_stitched_trace_includes_home_shard_job_spans(stitched):
+    payload = stitched["payload"]
+    job_spans = [span for span in payload["spans"]
+                 if span.get("id", "").startswith(stitched["job_id"] + ":")]
+    assert job_spans, "job lifecycle spans must be folded in"
+    assert {span["process"] for span in job_spans} == {"shard0"}
+    assert "execute" in {span["name"] for span in job_spans}
+
+
+def test_chrome_export_has_one_lane_per_process(stitched):
+    chrome = stitched["payload"]["chrome_trace"]
+    lanes = {event["args"]["name"]: event["pid"] for event in chrome
+             if event["name"] == "process_name"}
+    assert lanes["coordinator"] == 0
+    assert lanes["shard0"] == 1
+    assert lanes["shard1"] == 2
+    event_pids = {event["pid"] for event in chrome if event["ph"] == "X"}
+    assert event_pids == {0, 1, 2}
+    # Valid Chrome trace_event JSON.
+    json.dumps(chrome)
+
+
+def test_trace_registry_enforces_ownership(stitched):
+    with pytest.raises(Exception) as excinfo:
+        stitched["bob"].query_trace(stitched["job_id"])
+    assert "403" in str(excinfo.value) or "belongs" in str(excinfo.value)
+
+
+def test_event_logs_correlate_across_processes(cluster, stitched):
+    trace_id = stitched["trace_id"]
+    deadline = time.monotonic() + 10.0
+    merged = []
+    while time.monotonic() < deadline:
+        paths = events.cluster_log_paths(cluster.base_dir)
+        merged = events.read_events(paths, trace_id=trace_id)
+        if {"coordinator", "shard0", "shard1"} <= {
+                record["process"] for record in merged}:
+            break
+        time.sleep(POLL)
+    by_process = {}
+    for record in merged:
+        by_process.setdefault(record["process"], []).append(record["event"])
+    assert "route" in by_process.get("coordinator", [])
+    assert "shard_op" in by_process.get("coordinator", [])
+    assert "submit" in by_process.get("shard0", [])
+    assert "shard_op" in by_process.get("shard1", []), \
+        "the owning shard must log its side of the fetch"
+    # Timeline ordering across processes: the owning shard served the
+    # fetch before the home shard admitted the query.
+    order = [(record["process"], record["event"]) for record in merged]
+    assert order.index(("shard1", "shard_op")) < order.index(
+        ("shard0", "submit"))
+
+
+def test_logs_endpoint_merges_cluster_timeline(stitched):
+    records = stitched["alice"].logs(trace=stitched["trace_id"])
+    assert records, "the cluster /api/v1/logs endpoint must see the trace"
+    assert {record["process"] for record in records} >= {"coordinator",
+                                                         "shard0"}
+
+
+def test_metrics_scrape_carries_merged_cluster_histograms(stitched):
+    text = stitched["alice"].metrics_text()
+    assert "# TYPE repro_scheduler_exec_seconds_cluster histogram" in text
+    assert 'repro_scheduler_exec_seconds_cluster_bucket{le="' in text
+    assert "repro_scheduler_exec_seconds_cluster_count" in text
+    # The merged family sums across shards: its count equals the sum of
+    # the per-shard relabeled counts.
+    per_shard = 0.0
+    merged = None
+    for line in text.splitlines():
+        if line.startswith("repro_scheduler_exec_seconds_count{shard="):
+            per_shard += float(line.rpartition(" ")[2])
+        elif line.startswith("repro_scheduler_exec_seconds_cluster_count"):
+            merged = float(line.rpartition(" ")[2])
+    assert merged is not None and merged == per_shard > 0
+
+
+def test_runtime_stats_reports_slowest_cross_shard_traces(stitched):
+    stats = stitched["alice"].runtime_stats()
+    traces = stats["cross_shard_traces"]
+    assert traces, "the cross-shard submit must be on the slow list"
+    entry = traces[0]
+    assert entry["trace_id"] == stitched["trace_id"]
+    assert entry["job_id"] == stitched["job_id"]
+    assert entry["submit_ms"] > 0
+
+
+def test_merge_cluster_histograms_unit():
+    shard = ("# HELP repro_x_seconds Latency.\n"
+             "# TYPE repro_x_seconds histogram\n"
+             'repro_x_seconds_bucket{le="0.1"} %d\n'
+             'repro_x_seconds_bucket{le="+Inf"} %d\n'
+             "repro_x_seconds_sum %g\n"
+             "repro_x_seconds_count %d\n")
+    merged = _merge_cluster_histograms([shard % (1, 2, 0.5, 2),
+                                        shard % (3, 4, 1.5, 4)])
+    assert "# TYPE repro_x_seconds_cluster histogram" in merged
+    assert 'repro_x_seconds_cluster_bucket{le="0.1"} 4' in merged
+    assert 'repro_x_seconds_cluster_bucket{le="+Inf"} 6' in merged
+    assert "repro_x_seconds_cluster_sum 2" in merged
+    assert "repro_x_seconds_cluster_count 6" in merged
+    lines = merged.splitlines()
+    # le ordering: numeric ascending with +Inf last.
+    les = [line for line in lines if "_bucket" in line]
+    assert les.index('repro_x_seconds_cluster_bucket{le="0.1"} 4') < \
+        les.index('repro_x_seconds_cluster_bucket{le="+Inf"} 6')
+
+
+def test_merge_cluster_histograms_ignores_counters():
+    text = ("# TYPE repro_plain_total counter\n"
+            "repro_plain_total 5\n")
+    assert _merge_cluster_histograms([text]) == ""
+
+
+def test_shard_event_files_live_in_shard_dirs(cluster):
+    for shard in (0, 1):
+        path = os.path.join(cluster.shard_dir(shard), events.EVENTS_FILE)
+        assert os.path.exists(path), "worker %d must write its own log" % shard

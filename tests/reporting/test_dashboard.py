@@ -62,6 +62,27 @@ class TestRenderDashboard:
         assert "health: UNKNOWN" in text
         assert "workers=0" in text
 
+    def test_cluster_screen_lists_slowest_cross_shard_traces(self):
+        stats = {
+            "cluster": {"shards": 2, "workers": []},
+            "shards": {"0": {"alive": True}, "1": {"alive": True}},
+            "cross_shard_traces": [
+                {"trace_id": "deadbeef01234567", "job_id": "q000003",
+                 "user": "alice", "home": 0, "submit_ms": 12.5},
+            ],
+        }
+        text = render_dashboard(stats, now=1700000000.0)
+        assert "slowest cross-shard traces" in text
+        assert "deadbeef01234567" in text
+        assert "q000003" in text
+        assert "12.5ms" in text
+
+    def test_cluster_screen_without_traces_has_no_panel(self):
+        stats = {"cluster": {"shards": 1, "workers": []},
+                 "shards": {"0": {"alive": True}}}
+        text = render_dashboard(stats, now=1700000000.0)
+        assert "slowest cross-shard traces" not in text
+
 
 class TestRenderQuerystore:
     def test_listing_with_verdict(self):

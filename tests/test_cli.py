@@ -42,6 +42,70 @@ class TestExportCommand:
         assert manifest["anonymized"] is False
 
 
+class TestLogsCommand:
+    @staticmethod
+    def _write_logs(base):
+        from repro.obs.events import EventLog
+
+        base.mkdir(parents=True, exist_ok=True)
+        (base / "shard-0").mkdir()
+        coordinator = EventLog(path=str(base / "events.jsonl"),
+                               process="coordinator")
+        coordinator.emit("route", trace_id="t1", user="alice", home=0)
+        coordinator.close()
+        shard = EventLog(path=str(base / "shard-0" / "events.jsonl"),
+                         process="shard0", shard=0)
+        shard.emit("submit", trace_id="t1", user="alice", job_id="q000001")
+        shard.emit("finish", trace_id="t2", user="bob", outcome="FAILED")
+        shard.close()
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["logs"])
+        assert args.command == "logs"
+        assert args.data_dir == ".repro-cluster"
+        assert args.limit == 200
+        assert not args.follow and not args.json
+
+    def test_merged_timeline(self, tmp_path, capsys):
+        self._write_logs(tmp_path / "data")
+        code = main(["logs", "--data-dir", str(tmp_path / "data")])
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert len(lines) == 3
+        # Both processes on one timeline, correlation keys rendered.
+        assert "coordinator" in lines[0] and "route" in lines[0]
+        assert "trace=t1" in lines[0] and "user=alice" in lines[0]
+        assert "shard0" in lines[1] and "job_id=q000001" in lines[1]
+
+    def test_trace_filter(self, tmp_path, capsys):
+        self._write_logs(tmp_path / "data")
+        main(["logs", "--data-dir", str(tmp_path / "data"),
+              "--trace", "t2"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1
+        assert "finish" in lines[0] and "user=bob" in lines[0]
+
+    def test_json_output(self, tmp_path, capsys):
+        self._write_logs(tmp_path / "data")
+        main(["logs", "--data-dir", str(tmp_path / "data"), "--json",
+              "--event", "route"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert [json.loads(line)["event"] for line in lines] == ["route"]
+
+    def test_missing_dir_exits_two(self, tmp_path, capsys):
+        code = main(["logs", "--data-dir", str(tmp_path / "nope")])
+        assert code == 2
+        assert "no event logs" in capsys.readouterr().err
+
+    def test_limit_keeps_newest(self, tmp_path, capsys):
+        self._write_logs(tmp_path / "data")
+        main(["logs", "--data-dir", str(tmp_path / "data"), "--limit", "1"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1
+        assert "finish" in lines[0]
+
+
 class TestLintCommand:
     def test_lint_parser_defaults(self):
         args = build_parser().parse_args(["lint"])

@@ -67,6 +67,14 @@ BENCHES = {
         "throughput.buffered.ops_per_second": ("rate", "higher"),
         "throughput.fsync.ops_per_second": ("rate", "higher"),
     }),
+    "advisor": ("advisor.json", {
+        "flip.speedup": ("rate", "higher"),
+        "advisor.index_speedup": ("rate", "higher"),
+        "advisor.mv_speedup": ("rate", "higher"),
+        "overhead.qps.adaptive_off": ("rate", "higher"),
+        "overhead.qps.adaptive_on": ("rate", "higher"),
+        "overhead.adaptive_overhead": ("fraction", "lower"),
+    }),
     "cluster_throughput": ("cluster_throughput.json", {
         "local_concurrent_cold.qps": ("rate", "higher"),
         "cluster_cold.qps": ("rate", "higher"),

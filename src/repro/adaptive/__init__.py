@@ -1,0 +1,28 @@
+"""Adaptive optimization: close the loop from observation to planning.
+
+The paper's workload is ad-hoc science queries over unmanaged schemas —
+exactly where static cost estimates fail.  This package consumes the
+signals the platform already measures and feeds them back into planning:
+
+- :mod:`repro.adaptive.feedback` — per-fingerprint observed operator
+  cardinalities harvested from profiled runs; the planner consults them
+  instead of the synthetic selectivity defaults when available.
+- :mod:`repro.adaptive.replan` — the controller that notices bad root
+  estimates (q-error over a bound) or Query Store regression verdicts,
+  schedules a profiled probe, and invalidates cached plans so the next
+  execution re-plans with feedback.
+- :mod:`repro.adaptive.advisor` — workload-driven index and
+  materialized-view recommendations ranked by fingerprint frequency ×
+  estimated cost saved, with dry-run and opt-in auto-apply modes.
+"""
+
+from repro.adaptive.feedback import CardinalityFeedbackStore, FeedbackView
+from repro.adaptive.replan import AdaptiveController
+from repro.adaptive.advisor import WorkloadAdvisor
+
+__all__ = [
+    "CardinalityFeedbackStore",
+    "FeedbackView",
+    "AdaptiveController",
+    "WorkloadAdvisor",
+]

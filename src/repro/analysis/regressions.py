@@ -95,17 +95,23 @@ def analyze_regressions(platform=None, limit=60, rounds=6, doublings=3,
     for _ in range(rounds):
         # Cache disabled: every round must execute for real, otherwise the
         # baselines would be one execution plus (rounds - 1) cache hits.
+        # Adaptive re-planning off: this experiment measures *detection*
+        # of a planted regression, so the loop must not correct it mid-run.
         _stats, runtime = replay_workload(
             platform, queries, workers=0, runtime=runtime,
-            cache_enabled=False, tracing_enabled=False)
+            cache_enabled=False, tracing_enabled=False,
+            adaptive_enabled=False)
     store = runtime.query_store
     changes_before = store.plan_changes
     grown = grow_tables(platform, _referenced_tables(platform, queries),
                         doublings=doublings, max_rows=max_rows)
     for _ in range(rounds):
+        # Adaptive re-planning off: this experiment measures *detection*
+        # of a planted regression, so the loop must not correct it mid-run.
         _stats, runtime = replay_workload(
             platform, queries, workers=0, runtime=runtime,
-            cache_enabled=False, tracing_enabled=False)
+            cache_enabled=False, tracing_enabled=False,
+            adaptive_enabled=False)
     changed = [
         entry.to_dict(store.min_executions, store.regression_factor)
         for entry in store.entries() if entry.plan_changes

@@ -24,6 +24,9 @@ Commands:
 - ``querystore`` — per-fingerprint runtime history and plan regressions,
   from a running server (``--url``) or a local replay/grow/replay
   experiment.
+- ``advise``     — workload-driven physical-design advisor: ranked index
+  and materialization recommendations with opt-in ``--apply``, from a
+  running server (``--url``) or a local plant→detect→re-plan demo.
 """
 
 import argparse
@@ -498,6 +501,68 @@ def _cmd_querystore(args):
     return 0
 
 
+def _cmd_advise(args):
+    import json
+
+    if args.url:
+        from repro.reporting.tables import format_table
+        from repro.server.client import ClientError, SQLShareClient
+
+        client = SQLShareClient(args.user, base_url=args.url)
+        try:
+            payload = client.advisor(limit=args.top,
+                                     min_executions=args.min_executions)
+        except ClientError as error:
+            print("error: %s" % error, file=sys.stderr)
+            return 1
+        recommendations = payload["recommendations"]
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+        else:
+            if not recommendations:
+                print("no recommendations (need >= %d executions per "
+                      "fingerprint; run more workload first)"
+                      % payload["min_executions"])
+            else:
+                print(format_table(
+                    ["rank", "kind", "dataset", "column", "freq", "score",
+                     "action"],
+                    [(r["rank"], r["kind"], r["dataset"],
+                      r.get("column", ""), r["frequency"],
+                      "%.1f" % r["score"], r["action"])
+                     for r in recommendations],
+                    title="workload advisor (%d queries considered)"
+                          % payload["queries_considered"]))
+        if not args.apply:
+            return 0
+        failures = 0
+        for recommendation in recommendations:
+            try:
+                outcome = client.advisor_apply(recommendation,
+                                               dry_run=args.dry_run)
+            except ClientError as error:
+                failures += 1
+                print("apply %s [%s]: error: %s"
+                      % (recommendation["kind"], recommendation["dataset"],
+                         error), file=sys.stderr)
+                continue
+            print("apply %s [%s]: %s"
+                  % (recommendation["kind"], recommendation["dataset"],
+                     "dry run ok" if outcome.get("dry_run") else "applied"))
+        return 1 if failures else 0
+
+    # No server: run the full plant -> detect -> probe -> re-plan flip
+    # plus the advisor apply experiment on a purpose-built deployment.
+    from repro.analysis.adaptive_flip import analyze_adaptive, render_adaptive
+
+    report = analyze_adaptive()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+    else:
+        print(render_adaptive(report))
+    return 0 if report["flip"]["within_bound"] else 1
+
+
 def _cmd_checkpoint(args):
     import json
 
@@ -638,7 +703,7 @@ def build_parser():
     logs.add_argument("--event", default=None,
                       help="only this event kind (submit, route, shard_op, "
                            "cache_hit, cache_miss, batch, respawn, alert, "
-                           "finish)")
+                           "finish, probe, replan, regression)")
     logs.add_argument("--limit", type=int, default=200,
                       help="keep the newest N merged events (default 200; "
                            "0 = all)")
@@ -667,6 +732,31 @@ def build_parser():
     querystore.add_argument("--scale", type=float, default=0.05,
                             help="deployment scale for the local experiment "
                                  "(default 0.05)")
+
+    advise = commands.add_parser(
+        "advise",
+        help="workload-driven advisor: ranked index/materialization "
+             "recommendations (from a server with --url, or a local "
+             "adaptive re-planning demo)")
+    advise.add_argument("--url", default=None,
+                        help="read a running server's workload instead of "
+                             "running the local experiment")
+    advise.add_argument("--user", default="operator",
+                        help="identity for the X-SQLShare-User header; "
+                             "--apply runs ownership checks as this user")
+    advise.add_argument("--top", type=int, default=10,
+                        help="max recommendations listed (default 10)")
+    advise.add_argument("--min-executions", type=int, default=2,
+                        dest="min_executions",
+                        help="frequency floor per fingerprint (default 2)")
+    advise.add_argument("--apply", action="store_true",
+                        help="opt-in: apply every listed recommendation "
+                             "(requires --url)")
+    advise.add_argument("--dry-run", action="store_true",
+                        help="with --apply: validate targets without "
+                             "mutating anything")
+    advise.add_argument("--json", action="store_true",
+                        help="raw JSON payload instead of rendered tables")
 
     export = commands.add_parser("export", help="write a corpus release")
     export.add_argument("--out", required=True, help="output directory")
@@ -758,6 +848,7 @@ def main(argv=None):
         "top": _cmd_top,
         "logs": _cmd_logs,
         "querystore": _cmd_querystore,
+        "advise": _cmd_advise,
         "cluster": _cmd_cluster,
     }[args.command]
     return handler(args)

@@ -156,6 +156,10 @@ class ClusterApp(object):
             return self._submit_query(user, body)
         if path == "/api/v1/logs" and method == "GET":
             return self._logs(user, query, body)
+        if path == "/api/v1/advisor" and method == "GET":
+            return self._advisor(user, query, body)
+        if path == "/api/v1/advisor/apply" and method == "POST":
+            return self._advisor_apply(user, query, body)
         trace_match = _QUERY_TRACE_PATH.match(path)
         if trace_match is not None and method == "GET":
             return self._query_trace(user, trace_match.group("query_id"),
@@ -363,6 +367,66 @@ class ClusterApp(object):
         if limit and len(records) > limit:
             records = records[-limit:]
         return 200, {"events": records, "sources": len(paths)}
+
+    # -- workload advisor (per-shard advisors, one merged ranking) -------------
+
+    def _advisor(self, user, query, body):
+        """Fan the advisor out to every live shard and merge into one
+        ranking.  Each shard only sees its own workload and datasets, so
+        its recommendations are locally correct; the merge re-ranks by
+        score and stamps each entry with its home ``shard`` so apply can
+        route back."""
+        params = dict(body or {})
+        for pair in (query or "").split("&"):
+            key, _, value = pair.partition("=")
+            if key and value:
+                params.setdefault(key, value)
+        try:
+            limit = int(params.get("limit", 10))
+        except (TypeError, ValueError):
+            limit = 10
+        merged = []
+        considered = 0
+        reporting = []
+        for shard in self.coordinator.alive_shards():
+            status, payload = self._proxy(
+                shard, "GET", "/api/v1/advisor", query, user, body)
+            if status != 200:
+                continue
+            reporting.append(shard)
+            considered += payload.get("queries_considered", 0)
+            for recommendation in payload.get("recommendations", []):
+                recommendation["shard"] = shard
+                merged.append(recommendation)
+        merged.sort(key=lambda rec: (-rec.get("score", 0.0),
+                                     rec.get("dataset", "")))
+        for rank, recommendation in enumerate(merged, start=1):
+            recommendation["rank"] = rank
+        return 200, {
+            "queries_considered": considered,
+            "shards_reporting": reporting,
+            "recommendations": merged[:limit],
+        }
+
+    def _advisor_apply(self, user, query, body):
+        """Route one apply to the shard that owns the target dataset.
+
+        The dataset directory is authoritative; a recommendation's own
+        ``shard`` stamp (from the merged listing) is the fallback, then
+        the user's home shard."""
+        recommendation = body.get("recommendation") or {}
+        name = recommendation.get("dataset") or body.get("dataset")
+        shard = None
+        if name:
+            entry = self.coordinator.resolve(name)
+            if entry is not None:
+                shard = entry["shard"]
+        if shard is None:
+            shard = recommendation.get("shard")
+        if shard is None:
+            shard = self.coordinator.shard_for_user(user)
+        return self._proxy(int(shard), "POST", "/api/v1/advisor/apply",
+                           query, user, body)
 
     # -- aggregate endpoints ---------------------------------------------------
 

@@ -152,14 +152,28 @@ class SQLShare(object):
 
     # -- result-cache invalidation ----------------------------------------------
 
-    def _invalidate_cache(self, name, dataset=None):
+    def _invalidate_cache(self, name, dataset=None, demote=True):
         """Eagerly drop cached results for ``name``, its base table, and
         every transitive dependent through the view DAG.  (The cache's
         version-vector check already guarantees stale entries are never
-        *served*; this releases their memory promptly.)"""
+        *served*; this releases their memory promptly.)
+
+        With ``demote=True`` (every content mutation) any advisor-
+        materialized view in the affected set is demoted back to its
+        logical definition first — a materialization is a snapshot of its
+        defining query, so an upstream change makes it stale and it must
+        never serve stale rows.  Physical-only changes (recluster, the
+        materialization step itself) pass ``demote=False``."""
+        names = self._dependent_names(name, dataset)
+        if demote:
+            self._demote_stale_materializations(names)
         cache = self.result_cache
         if cache is None:
             return
+        cache.invalidate(names)
+
+    def _dependent_names(self, name, dataset=None):
+        """``name``, its base table, and every transitive view dependent."""
         seen = {name.lower()}
         names = [name]
         if dataset is not None and dataset.base_table:
@@ -171,7 +185,29 @@ class SQLShare(object):
                     seen.add(dependent.lower())
                     names.append(dependent)
                     frontier.append(dependent)
-        cache.invalidate(names)
+        return names
+
+    def _demote_stale_materializations(self, names):
+        """Turn stale advisor materializations back into logical views.
+
+        Called with ``_state_lock`` held, on the affected-name set of a
+        content mutation.  Deterministic given platform state, so WAL
+        replay of the triggering mutation reproduces the demotion without
+        its own log record.  Appends each dropped snapshot table to
+        ``names`` so its cache entries are released too."""
+        for dep_name in list(names):
+            dep = self.datasets.get(dep_name.lower())
+            if dep is None or dep.kind != "derived" or not dep.base_table:
+                continue
+            base_table = dep.base_table
+            try:
+                self.db.create_view(dep.name, self._parse_query(dep.sql),
+                                    sql=dep.sql, replace=True)
+            except Exception:
+                continue  # leave the snapshot rather than break the mutation
+            dep.base_table = None
+            self.db.catalog.drop_table(base_table, if_exists=True)
+            names.append(base_table)
 
     # -- upload (Figure 2 b/c/d) ---------------------------------------------------
 
@@ -327,6 +363,77 @@ class SQLShare(object):
                           source=source_name, timestamp=moment)
         self._refresh_preview(dataset)
         return dataset
+
+    def materialize_in_place(self, owner, name, timestamp=None):
+        """Materialize a derived dataset under its own name (advisor apply).
+
+        Unlike :meth:`materialize` — which mints a *new* snapshot dataset —
+        this keeps the dataset's name, lineage (``derived_from``) and
+        permissions, but repoints its view at a physical table holding its
+        current contents, so repeat queries and dependents stop re-running
+        the defining query.  The defining SQL stays on the dataset record:
+        any content change to an upstream dataset automatically demotes the
+        materialization back to that logical definition (see
+        ``_demote_stale_materializations``), so stale rows are never served.
+        """
+        with self._state_lock:
+            dataset = self.dataset(name)
+            if dataset.owner != owner:
+                raise PermissionError_(
+                    "only the owner may materialize %r" % name)
+            if dataset.kind != "derived":
+                raise DatasetError(
+                    "%r is not a derived dataset (kind %r)"
+                    % (name, dataset.kind))
+            if dataset.base_table:
+                raise DatasetError("%r is already materialized" % name)
+            moment = self._now(timestamp)
+            # Atomic with the current definition, like materialize().
+            result = self.db.execute("SELECT * FROM %s" % quote_ident(name))  # selfcheck: ok[SELFCHECK003]
+            schema = self.db.query_schema("SELECT * FROM %s" % quote_ident(name))
+            base_table = "t_%05d_%s" % (self._next_table_id(), _safe(name))
+            columns = [Column(col_name, col_type) for col_name, col_type in schema]
+            self.db.create_table_from_rows(base_table, columns, result.rows)
+            wrapper_sql = "SELECT * FROM %s" % base_table
+            self.db.create_view(name, sql_parser.parse(wrapper_sql),
+                                sql=wrapper_sql, replace=True)
+            dataset.base_table = base_table
+            self._invalidate_cache(name, dataset, demote=False)
+            self._durable("materialize_inplace", owner=owner, name=name,
+                          timestamp=moment)
+        return dataset
+
+    def recluster_dataset(self, owner, name, column):
+        """Physically order a dataset's base table on ``column`` (advisor
+        index apply).
+
+        The engine's only access paths are the clustered scan and seek;
+        sorting the base table on a hot predicate column lets the seek
+        bisect to the matching row range instead of scanning every row
+        (:class:`~repro.engine.operators.ClusteredIndexSeek`).  Contents
+        are unchanged, so no dependent view or materialization is
+        affected; cached results for the dataset are dropped only because
+        their row *order* may differ from fresh executions.
+        """
+        with self._state_lock:
+            dataset = self.dataset(name)
+            if dataset.owner != owner:
+                raise PermissionError_("only the owner may recluster %r" % name)
+            if not dataset.base_table:
+                raise DatasetError(
+                    "%r has no physical base table to recluster "
+                    "(materialize it first)" % name)
+            table = self.db.catalog.get_table(dataset.base_table)
+            table.recluster(column)
+            self.db.catalog.bump_version(dataset.base_table)
+            self._invalidate_cache(name, dataset, demote=False)
+            self._durable("recluster", owner=owner, name=name, column=column)
+            return {
+                "dataset": dataset.name,
+                "base_table": dataset.base_table,
+                "clustered_on": table.clustered_on,
+                "rows": len(table.rows),
+            }
 
     def save_result_table(self, owner, name, columns, rows, timestamp=None):
         """Persist a finished batch's result as a "MyDB" scratch dataset.

@@ -155,11 +155,57 @@ class Table(object):
         self.columns = list(columns)
         self.rows = []
         self.stats = TableStatistics()
+        #: Advisor-chosen clustered-index column (None = default first column).
+        #: Soft state: not WAL-logged, so a recovered deployment reverts to
+        #: the default ordering until the advisor re-applies it.
+        self.clustered_on = None
+        #: Sorted key column for the seek bisect fast path; only valid while
+        #: ``_cluster_sorted`` holds (any insert invalidates it).
+        self._cluster_keys = None
+        self._cluster_lo = 0  # index of first non-NULL key
+        self._cluster_sorted = False
 
     @property
     def clustered_prefix(self):
-        """Leading column of the clustered index (first column by design)."""
-        return self.columns[0].name
+        """Leading column of the clustered index (first column by design,
+        unless :meth:`recluster` moved it)."""
+        return self.clustered_on or self.columns[0].name
+
+    def recluster(self, column_name):
+        """Re-sort row storage so ``column_name`` leads the clustered index.
+
+        This is the engine half of the advisor's "create index" action: SQL
+        Azure mandates exactly one clustered index per table (§3.4), so the
+        only index the advisor can offer is a *different* clustered order.
+        Rows are stably sorted NULLs-first by the column; afterwards sargable
+        predicates on it plan as seeks and execute via a bisect fast path.
+        """
+        index = self.column_index(column_name)
+
+        def sort_key(row):
+            value = row[index]
+            return (value is not None, value)
+
+        try:
+            self.rows = sorted(self.rows, key=sort_key)
+        except TypeError:
+            raise CatalogError(
+                "cannot recluster %r on %r: mixed-type values do not sort"
+                % (self.name, column_name)
+            )
+        self.clustered_on = self.columns[index].name
+        keys = [row[index] for row in self.rows]
+        lo = 0
+        while lo < len(keys) and keys[lo] is None:
+            lo += 1
+        self._cluster_keys = keys
+        self._cluster_lo = lo
+        self._cluster_sorted = True
+
+    def _invalidate_cluster_order(self):
+        self._cluster_keys = None
+        self._cluster_lo = 0
+        self._cluster_sorted = False
 
     def column_index(self, name):
         lowered = name.lower()
@@ -176,6 +222,8 @@ class Table(object):
             )
         row = tuple(row)
         self.rows.append(row)
+        if self._cluster_sorted:
+            self._invalidate_cluster_order()
         self.stats.observe_row(self.columns, row)
 
     def alter_column_type(self, column_name, new_type, convert):
@@ -190,6 +238,7 @@ class Table(object):
         self.rows = [
             row[:index] + (convert(row[index]),) + row[index + 1 :] for row in self.rows
         ]
+        self._invalidate_cluster_order()
         self._rebuild_stats()
 
     def _rebuild_stats(self):

@@ -88,12 +88,59 @@ def aggregate_cpu(input_rows):
 
 
 # -- selectivity heuristics (SQL-Server-style defaults) -------------------------
+#
+# When no statistics apply (non-numeric literals, unsampled columns, exotic
+# predicates) the planner falls back to these fixed guesses — the classic
+# SQL Server "magic numbers".  They are *defaults*, not truths: the whole
+# premise of `repro.adaptive` is that ad-hoc workloads over unmanaged
+# schemas (the paper's population) violate them constantly.  Each one is a
+# named module constant so experiments can reference them, and the
+# :class:`SelectivityDefaults` bundle below is the single override point —
+# the planner reads every guess through its ``Planner.selectivity_defaults``
+# instance, so the cardinality-feedback layer (or a test) can swap in a
+# tuned set without monkey-patching module globals.
 
+#: ``col = literal`` with no usable distinct-count statistics.
 EQUALITY_DEFAULT = 0.1
+#: ``col < / > / <= / >= / <>`` where range statistics don't apply
+#: (e.g. a non-numeric literal the sampled histogram can't place).
 RANGE_DEFAULT = 0.30
+#: ``col LIKE pattern``.
 LIKE_DEFAULT = 0.10
+#: ``col IS NULL``.
 NULL_DEFAULT = 0.05
+#: Any predicate shape the heuristics cannot classify.
 UNKNOWN_DEFAULT = 0.33
+
+
+class SelectivityDefaults(object):
+    """The planner's fallback-selectivity bundle (the single override point).
+
+    Immutable by convention: build a new instance to change a guess.  The
+    planner holds one of these (``Planner.selectivity_defaults``) and every
+    heuristic fallback in ``_predicate_selectivity`` reads through it, so
+    replacing the instance retunes the whole cost model at once.
+    """
+
+    __slots__ = ("equality", "range", "like", "null", "unknown")
+
+    def __init__(self, equality=EQUALITY_DEFAULT, range=RANGE_DEFAULT,
+                 like=LIKE_DEFAULT, null=NULL_DEFAULT,
+                 unknown=UNKNOWN_DEFAULT):
+        self.equality = equality
+        self.range = range
+        self.like = like
+        self.null = null
+        self.unknown = unknown
+
+    def to_dict(self):
+        return {"equality": self.equality, "range": self.range,
+                "like": self.like, "null": self.null,
+                "unknown": self.unknown}
+
+
+#: The shared stock instance planners start from.
+DEFAULTS = SelectivityDefaults()
 
 
 def conjunct_selectivity(selectivities):

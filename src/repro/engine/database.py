@@ -116,6 +116,12 @@ class Database(object):
         #: therefore never re-verified, whatever the mode.
         self.plan_check_mode = "strict"
         self._plan_violation_counter = None
+        #: Optional cardinality-feedback store
+        #: (:class:`repro.adaptive.feedback.CardinalityFeedbackStore`,
+        #: duck-typed — the engine only calls ``view_for(sql)``).  When set,
+        #: planning consults observed per-operator cardinalities for
+        #: fingerprints that have been probed.
+        self.feedback = None
 
     def _phase_histogram(self, phase):
         """The ``repro_engine_<phase>_seconds`` histogram (cached)."""
@@ -205,7 +211,12 @@ class Database(object):
             if not analysis.ok:
                 raise semantic.error_from_diagnostics(analysis.diagnostics, sql)
             started = time.monotonic()
-            planned = self.planner.plan(statement)
+            feedback = self.feedback
+            planned = self.planner.plan(
+                statement,
+                feedback=(feedback.view_for(sql)
+                          if feedback is not None else None),
+            )
             ended = time.monotonic()
             if metrics is not None:
                 self._phase_histogram("plan").observe(ended - started)
@@ -371,7 +382,12 @@ class Database(object):
         statement = parser.parse(sql)
         if not isinstance(statement, (ast.Select, ast.SetOperation, ast.WithQuery)):
             raise SQLError("only queries can be explained")
-        planned = self.planner.plan(statement)
+        feedback = self.feedback
+        planned = self.planner.plan(
+            statement,
+            feedback=(feedback.view_for(sql)
+                      if feedback is not None else None),
+        )
         plan_check = (verify_plan(planned.root, planned.schema)
                       if self.plan_check_mode != "off" else None)
         xml = plan_to_xml(

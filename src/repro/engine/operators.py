@@ -8,6 +8,7 @@ Compute Scalar, Nested Loops, Merge Join, Hash Match, Sort, Stream
 Aggregate, Concatenation, Top, Segment and Sequence Project.
 """
 
+import bisect
 import functools
 
 from repro.engine import aggregates as agg
@@ -150,7 +151,16 @@ class ClusteredIndexScan(Operator):
 
 
 class ClusteredIndexSeek(Operator):
-    """Scan restricted by a sargable predicate on the clustered index."""
+    """Scan restricted by a sargable predicate on the clustered index.
+
+    When the table has been :meth:`~repro.engine.catalog.Table.recluster`-ed
+    and the planner recorded a ``seek_range`` (a single ``column op literal``
+    conjunct on the sorted column), execution bisects the sorted key column
+    to the candidate row range instead of scanning every row.  The full seek
+    predicate (and residuals) still run over the narrowed range, so the fast
+    path is a pure superset-pruning optimisation — any type surprise falls
+    back to the linear scan.
+    """
 
     physical_name = "Clustered Index Seek"
 
@@ -165,16 +175,55 @@ class ClusteredIndexSeek(Operator):
         self.properties["Index"] = "%s.cix" % table.name
         self.properties["Table"] = table.name
         self.properties["SeekPredicate"] = " AND ".join(descriptions)
+        #: ``(row slot, op, literal)`` bisect hint, planner-set only when the
+        #: seek column is the table's advisor-sorted clustered column.
+        self.seek_range = None
 
     def add_residual(self, predicate, description):
         self.residual_predicates.append(predicate)
         self.filters.append(description)
 
     def execute(self, ctx):
+        bounds = self._bisect_bounds()
+        if bounds is not None:
+            start, stop = bounds
+            return self._scan_rows(ctx, self.table.rows[start:stop])
+        return self._scan_rows(ctx, self.table.rows)
+
+    def _bisect_bounds(self):
+        """Candidate ``(start, stop)`` row range, or None for a linear scan."""
+        if self.seek_range is None:
+            return None
+        table = self.table
+        keys = table._cluster_keys
+        if not table._cluster_sorted or keys is None:
+            return None
+        slot, op, literal = self.seek_range
+        # The sorted order may have moved to another column since planning.
+        if table.column_index(table.clustered_prefix) != slot:
+            return None
+        lo, hi = table._cluster_lo, len(keys)
+        try:
+            if op == "=":
+                return (bisect.bisect_left(keys, literal, lo, hi),
+                        bisect.bisect_right(keys, literal, lo, hi))
+            if op == "<":
+                return (lo, bisect.bisect_left(keys, literal, lo, hi))
+            if op == "<=":
+                return (lo, bisect.bisect_right(keys, literal, lo, hi))
+            if op == ">":
+                return (bisect.bisect_right(keys, literal, lo, hi), hi)
+            if op == ">=":
+                return (bisect.bisect_left(keys, literal, lo, hi), hi)
+        except TypeError:
+            return None  # literal does not order against the keys
+        return None
+
+    def _scan_rows(self, ctx, rows):
         predicate = self.predicate
         residuals = self.residual_predicates
         tick = ctx.tick
-        for row in self.table.rows:
+        for row in rows:
             tick()
             flag = predicate.eval(row, ctx)
             if flag is None or not flag:

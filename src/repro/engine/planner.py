@@ -74,13 +74,34 @@ class Planner(object):
         self._name_counter = 0
         #: Stack of CTE scopes: name (lower) -> (query AST, declared columns).
         self._cte_stack = []
+        #: Fallback-selectivity bundle (see :mod:`repro.engine.cost`); swap
+        #: the instance to retune every heuristic guess at once.
+        self.selectivity_defaults = costmodel.DEFAULTS
+        #: Active cardinality-feedback view for the plan in progress.
+        self._feedback = None
 
     # -- public entry points ----------------------------------------------------
 
-    def plan(self, query):
-        """Plan a SELECT or set operation; returns a :class:`PlannedQuery`."""
+    def plan(self, query, feedback=None):
+        """Plan a SELECT or set operation; returns a :class:`PlannedQuery`.
+
+        ``feedback`` is an optional duck-typed cardinality-feedback view
+        (``repro.adaptive.feedback.FeedbackView`` in practice, but the
+        engine never imports the adaptive layer): an object whose
+        ``estimate_for(operator)`` returns an observed row count for a plan
+        site, or None.  When provided, observed cardinalities replace the
+        synthetic selectivity guesses at scans/seeks, joins and aggregates
+        — which is what lets a misestimated plan flip back after a probe.
+        Nested ``plan()`` calls (view expansion) inherit the active view.
+        """
+        saved = self._feedback
+        if feedback is not None:
+            self._feedback = feedback
         info = PlanInfo()
-        root, schema = self._plan_query(query, None, info)
+        try:
+            root, schema = self._plan_query(query, None, info)
+        finally:
+            self._feedback = saved
         return PlannedQuery(root, schema, info)
 
     # -- helpers ------------------------------------------------------------------
@@ -481,6 +502,7 @@ class Planner(object):
                 0.0,
                 costmodel.nested_loop_cpu(left_root.est_rows, right_root.est_rows),
             )
+            self._apply_feedback(join)
             return join, schema
         binder = self._make_binder(scope, info, None, frame)
         predicate = binder.bind(node.condition)
@@ -489,6 +511,7 @@ class Planner(object):
         join = self._choose_join(
             node.kind, left_root, right_root, predicate, equi_keys, schema, description
         )
+        self._apply_feedback(join)
         join.subplans.extend(binder.subplans)
         return join, schema
 
@@ -627,6 +650,7 @@ class Planner(object):
                 costmodel.seek_io(rows, source.row_size),
                 costmodel.scan_cpu(rows),
             )
+            seek.seek_range = self._seek_range_hint(seek_predicates, seek.table)
             source = seek
         # Predicate pushdown: SQL Server evaluates residual predicates
         # inside scans/seeks (and below sorts/projections) rather than with
@@ -640,6 +664,11 @@ class Planner(object):
                 source, conjunct, selectivity
             ):
                 leftover.append(conjunct)
+        # Feedback hook: the operator's predicate set is final here (seek
+        # conjuncts plus every pushed residual), so its plan site matches
+        # what a profiled run harvested.  Must run before the leftover
+        # Filter is costed — its estimate builds on this one.
+        self._apply_feedback(source)
         if leftover:
             residual_pred = _combine_and(leftover)
             rows = max(1.0, (source.est_rows or 1.0) * self._selectivity(residual_pred, source))
@@ -650,6 +679,7 @@ class Planner(object):
                 rows, source.row_size, 0.0,
                 costmodel.FILTER_CPU_PER_ROW * max(1.0, source.est_rows) * len(leftover),
             )
+            self._apply_feedback(flt)
             source = flt
         elif binder.subplans:
             source.subplans.extend(binder.subplans)
@@ -765,7 +795,57 @@ class Planner(object):
         table = None
         if isinstance(source, (ops.ClusteredIndexScan, ops.ClusteredIndexSeek)):
             table = source.table
-        return _predicate_selectivity(predicate, table)
+        return _predicate_selectivity(predicate, table, self.selectivity_defaults)
+
+    def _seek_range_hint(self, seek_predicates, table):
+        """Bisect hint for the seek fast path (see ClusteredIndexSeek).
+
+        Returns ``(row slot, op, literal value)`` for the first
+        range/equality conjunct on the table's sorted clustered column, or
+        None.  ``<>`` never narrows a range; literal-on-the-left flips the
+        comparison direction.
+        """
+        clustered = table.clustered_prefix.lower()
+        for conjunct in seek_predicates:
+            if not (
+                isinstance(conjunct, BoundBinary)
+                and conjunct.op in ("=", "<", ">", "<=", ">=")
+            ):
+                continue
+            sides = (conjunct.left, conjunct.right)
+            columns = [s for s in sides if isinstance(s, BoundColumn)]
+            literals = [s for s in sides if isinstance(s, BoundLiteral)]
+            if len(columns) != 1 or len(literals) != 1:
+                continue
+            column, literal = columns[0], literals[0]
+            if column.name.lower() != clustered:
+                continue
+            op = conjunct.op
+            if conjunct.left is literal:
+                op = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}.get(op, op)
+            return (column.slot, op, literal.value)
+        return None
+
+    def _apply_feedback(self, operator):
+        """Replace an estimate with an observed cardinality, when one exists.
+
+        The feedback view owns all site-key computation; the planner only
+        overwrites ``est_rows`` (and the I/O-proportional costs of leaf
+        accesses) and stamps the provenance so EXPLAIN can show which
+        estimates came from observation rather than heuristics.
+        """
+        feedback = self._feedback
+        if feedback is None:
+            return
+        observed = feedback.estimate_for(operator)
+        if observed is None:
+            return
+        rows = max(1.0, float(observed))
+        operator.est_rows = rows
+        operator.properties["EstimateSource"] = "feedback"
+        if isinstance(operator, (ops.ClusteredIndexScan, ops.ClusteredIndexSeek)):
+            operator.io_cost = costmodel.seek_io(rows, operator.row_size)
+            operator.cpu_cost = costmodel.scan_cpu(rows)
 
     # -- aggregation ---------------------------------------------------------------------
 
@@ -843,6 +923,7 @@ class Planner(object):
             rows, _schema_width(out_columns), 0.0,
             costmodel.aggregate_cpu(source.est_rows) + costmodel.sort_cpu(source.est_rows),
         )
+        self._apply_feedback(aggregate)
         return aggregate, Scope(out_columns, parent=outer_scope)
 
     def _group_cardinality(self, group_by, source, scope):
@@ -1077,27 +1158,33 @@ def _combine_and(predicates):
     return combined
 
 
-def _predicate_selectivity(predicate, table):
+def _predicate_selectivity(predicate, table, defaults=costmodel.DEFAULTS):
+    """Heuristic predicate selectivity.
+
+    Statistics win when they apply; otherwise every guess reads through the
+    ``defaults`` bundle (:class:`repro.engine.cost.SelectivityDefaults`) —
+    the single override point for retuning the fallback magic numbers.
+    """
     if predicate is None:
         return 1.0
     if isinstance(predicate, BoundBinary):
         if predicate.op == "and":
             return costmodel.conjunct_selectivity(
                 [
-                    _predicate_selectivity(predicate.left, table),
-                    _predicate_selectivity(predicate.right, table),
+                    _predicate_selectivity(predicate.left, table, defaults),
+                    _predicate_selectivity(predicate.right, table, defaults),
                 ]
             )
         if predicate.op == "or":
             return costmodel.disjunct_selectivity(
-                _predicate_selectivity(predicate.left, table),
-                _predicate_selectivity(predicate.right, table),
+                _predicate_selectivity(predicate.left, table, defaults),
+                _predicate_selectivity(predicate.right, table, defaults),
             )
         if predicate.op == "=":
             column = _column_side(predicate)
             if column is not None and table is not None:
                 return 1.0 / max(1.0, table.stats.distinct_count(column.name))
-            return costmodel.EQUALITY_DEFAULT
+            return defaults.equality
         if predicate.op in ("<", ">", "<=", ">=", "<>"):
             column = _column_side(predicate)
             if column is not None and table is not None:
@@ -1114,14 +1201,14 @@ def _predicate_selectivity(predicate, table):
                 )
                 if estimated is not None:
                     return estimated
-            return costmodel.RANGE_DEFAULT
+            return defaults.range
     if isinstance(predicate, BoundLike):
-        return costmodel.LIKE_DEFAULT
+        return defaults.like
     if isinstance(predicate, BoundIsNull):
-        return 1.0 - costmodel.NULL_DEFAULT if predicate.negated else costmodel.NULL_DEFAULT
+        return 1.0 - defaults.null if predicate.negated else defaults.null
     if isinstance(predicate, BoundUnary) and predicate.op == "not":
-        return max(0.0, 1.0 - _predicate_selectivity(predicate.operand, table))
-    return costmodel.UNKNOWN_DEFAULT
+        return max(0.0, 1.0 - _predicate_selectivity(predicate.operand, table, defaults))
+    return defaults.unknown
 
 
 def _column_side(predicate):

@@ -264,6 +264,13 @@ def default_rules():
             severity="critical",
             description="p99 query execution latency exceeded 1s over the last minute.",
         ),
+        AlertRule(
+            "PlanRegression",
+            "delta(repro_plan_regressions_total[300]) > 0",
+            severity="warning",
+            description="The Query Store issued a new plan-regression "
+                        "verdict in the last 5 minutes.",
+        ),
         # Only the cluster coordinator exports this gauge; on single-process
         # servers the series has no data, which counts as ok (see module doc).
         AlertRule(

@@ -183,6 +183,25 @@ class ResultCache(object):
             self.stats.invalidations += dropped
         return dropped
 
+    def forget(self, key):
+        """Drop one normalized key's entry (counted as an invalidation).
+
+        The adaptive controller uses this to force a fingerprint's next
+        identical submission to re-plan instead of hitting the cache."""
+        with self._lock:
+            dropped = self._entries.pop(key, None) is not None
+            if dropped:
+                self.stats.invalidations += 1
+            return dropped
+
+    def forget_sql(self, sql):
+        """`forget` addressed by raw statement text."""
+        with self._lock:
+            key = self._key_memo.get(sql)
+        if key is None:
+            key = normalize_sql(sql)
+        return self.forget(key)
+
     def audit(self, version_of):
         """Count cached entries whose vector is out of date.
 

@@ -42,7 +42,9 @@ class RuntimeConfig(object):
                  metrics_enabled=True, querystore_enabled=True,
                  querystore_entries=512, monitor_enabled=False,
                  monitor_interval=5.0, histogram_max_seconds=None,
-                 batch_workers=1, events_enabled=None):
+                 batch_workers=1, events_enabled=None,
+                 adaptive_enabled=True, adaptive_q_error_bound=4.0,
+                 adaptive_max_replans=3):
         #: Worker threads.  0 means no threads are ever spawned: submissions
         #: run inline in the caller (the tests' synchronous mode) or wait in
         #: the queue for explicit :meth:`QueryRuntime.step` calls.
@@ -89,6 +91,15 @@ class RuntimeConfig(object):
         #: interactive pool is workerless (max_workers=0) the lane is
         #: workerless too, and batch submissions run inline.
         self.batch_workers = batch_workers
+        #: Close the observation -> planning loop (repro.adaptive): harvest
+        #: observed cardinalities from profiled runs, schedule probes when
+        #: the root q-error exceeds the bound or the Query Store issues a
+        #: regression verdict, and re-plan with feedback.  Off for replay
+        #: experiments that must show the *uncorrected* behavior (e.g.
+        #: analysis/regressions.py plants a regression on purpose).
+        self.adaptive_enabled = adaptive_enabled
+        self.adaptive_q_error_bound = adaptive_q_error_bound
+        self.adaptive_max_replans = adaptive_max_replans
 
     def to_dict(self):
         return dict(self.__dict__)
@@ -157,6 +168,31 @@ class QueryRuntime(object):
             self.query_store = store
         else:
             self.query_store = None
+        # -- adaptive optimization (repro.adaptive).  The feedback store
+        # lives on the platform (like the Query Store) so checkpoints can
+        # persist it and a successor runtime inherits what was learned; it
+        # is also attached to the engine as the duck-typed ``db.feedback``
+        # hook the planner consults.  The controller belongs to this
+        # runtime — it needs this runtime's cache and counters.
+        if self.config.adaptive_enabled:
+            from repro.adaptive import AdaptiveController, CardinalityFeedbackStore
+
+            feedback = getattr(platform, "feedback_store", None)
+            if feedback is None:
+                feedback = CardinalityFeedbackStore()
+                platform.feedback_store = feedback
+            platform.db.feedback = feedback
+            self.feedback_store = feedback
+            self.adaptive = AdaptiveController(
+                feedback, cache=self.cache, query_store=self.query_store,
+                metrics=self.metrics,
+                q_error_bound=self.config.adaptive_q_error_bound,
+                max_replans=self.config.adaptive_max_replans,
+                events_enabled=self.config.events_enabled)
+        else:
+            self.feedback_store = None
+            self.adaptive = None
+            platform.db.feedback = None
         if self.config.monitor_enabled and self.config.metrics_enabled:
             self.monitor = ContinuousMonitor(
                 self.metrics, interval=self.config.monitor_interval)
@@ -299,6 +335,12 @@ class QueryRuntime(object):
             lint_started = time.monotonic()
             diagnostics = self._lint(sql)
             lint_span = (lint_started, time.monotonic())
+        # Adaptive probe upgrade: when the controller wants fresh actuals
+        # for this fingerprint, run this submission profiled (profiled runs
+        # bypass the result cache, so harvested cardinalities are real).
+        if (not profile and self.adaptive is not None
+                and self.adaptive.wants_probe(sql)):
+            profile = True
         with self._cond:
             if self._shutdown:
                 raise AdmissionError("runtime is shut down")
@@ -515,7 +557,9 @@ class QueryRuntime(object):
             self._exec_hist.observe(job.exec_seconds)
             self._worker_busy.inc(job.exec_seconds)
             self._jobs_finished.labels(outcome=job.state).inc()
-            self._record_querystore(job)
+            fingerprint = self._record_querystore(job)
+            if self.adaptive is not None:
+                self.adaptive.after_job(job, fingerprint=fingerprint)
             if self.config.events_enabled:
                 trace_id = (job.trace.trace_id
                             if job.trace is not None else None)
@@ -537,10 +581,14 @@ class QueryRuntime(object):
                 self._cond.notify_all()
 
     def _record_querystore(self, job):
-        """Fold one terminal job into the per-fingerprint Query Store."""
+        """Fold one terminal job into the per-fingerprint Query Store.
+
+        Returns the entry's fingerprint (None when the store is off or the
+        record failed) — the adaptive controller uses it for regression-
+        verdict lookups without re-normalizing the text."""
         store = self.query_store
         if store is None:
-            return
+            return None
         try:
             normalized = None
             if self.cache is not None:
@@ -548,7 +596,7 @@ class QueryRuntime(object):
                 # submissions never re-normalize on the completion path.
                 normalized = self.cache.memoized_key(job.sql)
             result = job.result
-            store.record(
+            return store.record(
                 job.sql,
                 plan=result.plan if result is not None else None,
                 seconds=job.exec_seconds,
@@ -558,7 +606,7 @@ class QueryRuntime(object):
                 normalized=normalized,
             )
         except Exception:
-            pass  # history is advisory; never take the scheduler down
+            return None  # history is advisory; never take the scheduler down
 
     def _log_outcome(self, job):
         """Append the structured failure/cancel record to the query log
@@ -652,6 +700,12 @@ class QueryRuntime(object):
         payload["storage"] = storage.stats() if storage is not None else None
         payload["querystore"] = (self.query_store.summary()
                                  if self.query_store is not None else None)
+        if self.adaptive is not None:
+            adaptive = self.adaptive.summary()
+            adaptive["feedback"] = self.feedback_store.summary()
+            payload["adaptive"] = adaptive
+        else:
+            payload["adaptive"] = None
         payload["monitor"] = (self.monitor.stats()
                               if self.monitor is not None else None)
         payload["batch"] = self.batch.stats()

@@ -252,6 +252,22 @@ class SQLShareClient(object):
             body["limit"] = limit
         return self._call("GET", "/api/v1/querystore", body or None)
 
+    def advisor(self, limit=None, min_executions=None):
+        """Ranked physical-design recommendations for the workload."""
+        body = {}
+        if limit is not None:
+            body["limit"] = limit
+        if min_executions is not None:
+            body["min_executions"] = min_executions
+        return self._call("GET", "/api/v1/advisor", body or None)
+
+    def advisor_apply(self, recommendation, dry_run=False):
+        """Apply one advisor recommendation (opt-in; ``dry_run`` to vet)."""
+        body = {"recommendation": recommendation}
+        if dry_run:
+            body["dry_run"] = True
+        return self._call("POST", "/api/v1/advisor/apply", body)
+
     def alerts(self):
         """Alert rules with live state plus the notification log."""
         return self._call("GET", "/api/v1/alerts")

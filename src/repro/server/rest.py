@@ -448,6 +448,50 @@ class SQLShareApp(object):
             raise _HTTPError(404, "no query store entry %r" % fingerprint)
         return 200, entry.to_dict(store.min_executions, store.regression_factor)
 
+    # -- advisor endpoints (repro.adaptive.advisor) -----------------------------------------
+
+    def _advisor(self):
+        from repro.adaptive import WorkloadAdvisor
+
+        store = getattr(self.runtime, "query_store", None)
+        if store is None:
+            raise _HTTPError(409, "the advisor needs the query store, "
+                                  "which is disabled on this runtime")
+        return WorkloadAdvisor(self.platform, query_store=store)
+
+    @route("GET", "/api/v1/advisor")
+    def advisor(self, user, body):
+        """Ranked index/materialization recommendations (a dry run);
+        ``?limit=`` bounds the listing, ``?min_executions=`` sets the
+        frequency floor."""
+        limit = body.get("limit")
+        min_executions = body.get("min_executions")
+        payload = self._advisor().recommendations(
+            top=int(limit) if limit is not None else 10,
+            min_executions=(int(min_executions)
+                            if min_executions is not None else 2))
+        adaptive = getattr(self.runtime, "adaptive", None)
+        if adaptive is not None:
+            payload["adaptive"] = adaptive.summary()
+        return 200, payload
+
+    @route("POST", "/api/v1/advisor/apply")
+    def advisor_apply(self, user, body):
+        """Opt-in apply of one recommendation — either the dict returned
+        by ``GET /api/v1/advisor`` under ``recommendation``, or inline
+        ``kind``/``dataset``/``column`` fields.  Ownership checks run as
+        the calling user."""
+        recommendation = body.get("recommendation")
+        if recommendation is None:
+            recommendation = {
+                "kind": _require(body, "kind"),
+                "dataset": _require(body, "dataset"),
+                "column": body.get("column"),
+            }
+        outcome = self._advisor().apply(
+            recommendation, owner=user, dry_run=_truthy(body.get("dry_run")))
+        return 200, outcome
+
     @route("GET", "/api/v1/alerts")
     def alerts(self, user, body):
         """Alert rules with live state, plus the notification log."""

@@ -344,6 +344,12 @@ class StorageManager(object):
         elif op == "materialize":
             platform.materialize(data["owner"], data["name"], data["source"],
                                  timestamp=data["timestamp"])
+        elif op == "materialize_inplace":
+            platform.materialize_in_place(data["owner"], data["name"],
+                                          timestamp=data["timestamp"])
+        elif op == "recluster":
+            platform.recluster_dataset(data["owner"], data["name"],
+                                       data["column"])
         elif op == "delete_dataset":
             platform.delete_dataset(data["owner"], data["name"])
         elif op == "make_public":

@@ -162,6 +162,14 @@ def platform_to_state(platform):
     batch_journal = getattr(platform, "batch_journal", None)
     if batch_journal is not None and len(batch_journal):
         state["batchjournal"] = batch_journal.dump_state()
+    # Harvested cardinality feedback: like the Query Store, it is runtime
+    # history worth keeping — a restart should not forget the observed
+    # cardinalities that corrected a regressed plan.
+    feedback_store = getattr(platform, "feedback_store", None)
+    if feedback_store is not None:
+        dumped = feedback_store.dump_state()
+        if dumped.get("entries"):
+            state["feedback"] = dumped
     return state
 
 
@@ -305,6 +313,17 @@ def restore_platform_state(platform, state):
             store = platform.query_store = QueryStore()
         store.restore_state(state["querystore"])
 
+    if state.get("feedback") is not None:
+        from repro.adaptive import CardinalityFeedbackStore
+
+        feedback = getattr(platform, "feedback_store", None)
+        if feedback is None:
+            feedback = platform.feedback_store = CardinalityFeedbackStore()
+        feedback.restore_state(state["feedback"])
+        # The planner consults the store through the database handle; a
+        # runtime attaching later re-points this at its own store.
+        platform.db.feedback = feedback
+
     if state.get("batchjournal") is not None:
         platform.batch_journal.restore_state(state["batchjournal"])
     return platform
@@ -319,9 +338,10 @@ def state_digest(platform):
     Excludes what recovery deliberately does not round-trip: catalog
     versions (regenerated with an epoch bump so pre-crash cache vectors can
     never validate), per-entry ``plan_json`` (an analysis artifact the
-    workload framework re-attaches), and the Query Store (monitoring
-    history is checkpoint-only — the WAL does not log it, so post-
-    checkpoint executions are legitimately lost on crash).  Everything
+    workload framework re-attaches), and the Query Store and cardinality
+    feedback store (monitoring history is checkpoint-only — the WAL does
+    not log it, so post-checkpoint executions are legitimately lost on
+    crash).  Everything
     else — tables, rows, views, datasets, permissions, quotas, the query
     log — must match exactly, which is the crash harness's equality
     criterion.
@@ -330,6 +350,7 @@ def state_digest(platform):
         state = platform_to_state(platform)
     state["engine"].pop("versions")
     state.pop("querystore", None)
+    state.pop("feedback", None)
     for entry in state["querylog"]["entries"]:
         entry.pop("plan_json", None)
     payload = json.dumps(state, default=json_default, sort_keys=True,

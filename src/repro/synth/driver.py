@@ -74,7 +74,7 @@ def replay_workload(platform, queries, workers=0, runtime=None,
                     statement_timeout=30.0, cache_enabled=True,
                     cache_entries=None, cache_max_rows=2000000,
                     profile=False, metrics_enabled=True,
-                    tracing_enabled=True):
+                    tracing_enabled=True, adaptive_enabled=True):
     """Re-run ``queries`` (``(user, sql)`` pairs) through a QueryRuntime.
 
     ``workers=0`` executes serially inline in the calling thread;
@@ -87,7 +87,9 @@ def replay_workload(platform, queries, workers=0, runtime=None,
     per-job tally here (``metrics_enabled=False`` falls back to counting
     jobs directly; that is the overhead benchmark's uninstrumented
     baseline).  ``profile=True`` turns on per-operator profiling for every
-    replayed query.
+    replayed query.  ``adaptive_enabled=False`` turns the cardinality
+    feedback loop off — experiments that *plant* a bad plan (the
+    regression analysis) need it to stay planted.
     """
     from repro.runtime import QueryRuntime, RuntimeConfig, TERMINAL_STATES
 
@@ -109,6 +111,7 @@ def replay_workload(platform, queries, workers=0, runtime=None,
             cache_max_rows=cache_max_rows,
             metrics_enabled=metrics_enabled,
             tracing_enabled=tracing_enabled,
+            adaptive_enabled=adaptive_enabled,
         )
         runtime = QueryRuntime(platform, config)
     else:

@@ -217,8 +217,8 @@ class TestVerifierSurface:
     def test_strict_mode_raises_before_execution(self, db, monkeypatch):
         real_plan = db.planner.plan
 
-        def corrupting_plan(statement):
-            planned = real_plan(statement)
+        def corrupting_plan(statement, **kwargs):
+            planned = real_plan(statement, **kwargs)
             planned.root.est_rows = float("nan")
             return planned
         monkeypatch.setattr(db.planner, "plan", corrupting_plan)
@@ -233,8 +233,8 @@ class TestVerifierSurface:
         db.plan_check_mode = "warn"
         real_plan = db.planner.plan
 
-        def corrupting_plan(statement):
-            planned = real_plan(statement)
+        def corrupting_plan(statement, **kwargs):
+            planned = real_plan(statement, **kwargs)
             planned.root.est_rows = float("nan")
             return planned
         monkeypatch.setattr(db.planner, "plan", corrupting_plan)

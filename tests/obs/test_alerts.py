@@ -61,9 +61,10 @@ class TestGrammar:
 
     def test_default_rules_all_parse(self):
         rules = default_rules()
-        assert len(rules) == 5
+        assert len(rules) == 6
         assert {rule.state for rule in rules} == {OK}
         assert "ShardDown" in {rule.name for rule in rules}
+        assert "PlanRegression" in {rule.name for rule in rules}
 
 
 class TestStateMachine:
@@ -166,7 +167,7 @@ class TestAlertManager:
         health = manager.health()
         assert health["status"] == "ok"
         assert health["firing"] == []
-        assert health["rules"] == 5
+        assert health["rules"] == 6
 
     def test_to_dict_payload(self):
         store = _counter_store([0, 10])
